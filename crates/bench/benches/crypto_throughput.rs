@@ -1,0 +1,59 @@
+//! Real AES-128-GCM throughput on this machine — the measured counterpart
+//! of the paper's Figure 1 encryption curve, plus the primitive costs
+//! (AES block, GHASH) that make it up.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use eag_crypto::{Aes128, AesGcm128, Key, Nonce};
+use std::hint::black_box;
+
+fn bench_seal_open(c: &mut Criterion) {
+    let gcm = AesGcm128::new(&Key::from_bytes([7u8; 16]));
+    let nonce = Nonce::from_bytes([1u8; 12]);
+    let mut group = c.benchmark_group("gcm");
+    for &size in &[64usize, 1024, 16 * 1024, 256 * 1024, 1024 * 1024] {
+        let data = vec![0xA5u8; size];
+        let sealed = gcm.seal(&nonce, b"", &data);
+        group.throughput(Throughput::Bytes(size as u64));
+        group.bench_with_input(BenchmarkId::new("seal", size), &data, |b, d| {
+            b.iter(|| black_box(gcm.seal(&nonce, b"", d)))
+        });
+        group.bench_with_input(BenchmarkId::new("open", size), &sealed, |b, s| {
+            b.iter(|| black_box(gcm.open(&nonce, b"", s).unwrap()))
+        });
+    }
+    group.finish();
+}
+
+fn bench_primitives(c: &mut Criterion) {
+    let mut group = c.benchmark_group("primitives");
+    let aes = Aes128::new(&[0x42u8; 16]);
+    group.throughput(Throughput::Bytes(16));
+    group.bench_function("aes_block", |b| {
+        let mut block = [0u8; 16];
+        b.iter(|| {
+            aes.encrypt_block(&mut block);
+            black_box(&block);
+        })
+    });
+    group.throughput(Throughput::Bytes(64));
+    group.bench_function("aes_blocks4", |b| {
+        let mut quad = [0u8; 64];
+        b.iter(|| {
+            aes.encrypt_blocks4(&mut quad);
+            black_box(&quad);
+        })
+    });
+    group.throughput(Throughput::Bytes(16));
+    group.bench_function("ghash_block", |b| {
+        let mut g = eag_crypto::ghash::GHash::new(&[0x11u8; 16]);
+        let block = [0x22u8; 16];
+        b.iter(|| {
+            g.update_block(&block);
+            black_box(g.finalize());
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_seal_open, bench_primitives);
+criterion_main!(benches);

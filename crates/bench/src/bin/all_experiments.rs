@@ -1,0 +1,74 @@
+//! Runs the entire evaluation — every table and figure — and prints one
+//! Markdown report (the source of EXPERIMENTS.md's measured columns).
+
+use eag_bench::figures::{fig1_points, fig_encrypted, fig_unencrypted, render_fig1, render_panels};
+use eag_bench::fmt::{table3_sizes, table4_sizes, table5_sizes, table6_sizes};
+use eag_bench::paper::{self, render_side_by_side};
+use eag_bench::tables::{best_scheme_table, render_table1, render_table2, table2_rows};
+use eag_bench::SimConfig;
+use eag_netsim::Mapping;
+
+fn main() {
+    println!("# Encrypted All-gather — full experiment suite\n");
+
+    println!("{}", render_table1(128, 8, 1024));
+    println!("{}", render_table1(1024, 16, 1024));
+
+    let rows = table2_rows(128, 8, 1024);
+    println!("{}", render_table2(128, 8, 1024, &rows));
+
+    println!("{}", render_fig1(&fig1_points()));
+
+    let block = SimConfig::noleland(Mapping::Block);
+    let cyclic = SimConfig::noleland(Mapping::Cyclic);
+
+    println!(
+        "{}",
+        render_panels("Figure 5 — unencrypted, block (latency µs)", &fig_unencrypted(&block))
+    );
+    println!(
+        "{}",
+        render_panels("Figure 6 — unencrypted, cyclic (latency µs)", &fig_unencrypted(&cyclic))
+    );
+    println!(
+        "{}",
+        render_panels("Figure 7 — encrypted, block (latency µs)", &fig_encrypted(&block))
+    );
+    println!(
+        "{}",
+        render_panels("Figure 8 — encrypted, cyclic (latency µs)", &fig_encrypted(&cyclic))
+    );
+
+    println!(
+        "{}",
+        render_side_by_side(
+            "Table III (Noleland, p = 128, N = 8, block)",
+            &best_scheme_table(&block, &table3_sizes()),
+            &paper::table3()
+        )
+    );
+    println!(
+        "{}",
+        render_side_by_side(
+            "Table IV (Noleland, p = 128, N = 8, cyclic)",
+            &best_scheme_table(&cyclic, &table4_sizes()),
+            &paper::table4()
+        )
+    );
+    println!(
+        "{}",
+        render_side_by_side(
+            "Table V (Noleland, p = 91, N = 7, block)",
+            &best_scheme_table(&SimConfig::noleland_general(Mapping::Block), &table5_sizes()),
+            &paper::table5()
+        )
+    );
+    println!(
+        "{}",
+        render_side_by_side(
+            "Table VI (Bridges-2, p = 1024, N = 16)",
+            &best_scheme_table(&SimConfig::bridges2(), &table6_sizes()),
+            &paper::table6()
+        )
+    );
+}

@@ -1,0 +1,386 @@
+//! `eag` — the encrypted all-gather command-line tool.
+//!
+//! ```text
+//! eag run        --algo HS2 --p 128 --nodes 8 --size 4KB [--mapping cyclic]
+//!                [--profile bridges2] [--real] [--trace]
+//! eag sweep      --p 128 --nodes 8 [--mapping block] [--profile noleland]
+//!                [--sizes 1B,1KB,64KB,1MB]
+//! eag recommend  --p 128 --nodes 8 --size 64KB [--profile noleland]
+//! eag audit      --p 12 --nodes 3 [--size 256B]
+//! eag list
+//! ```
+
+use eag_bench::fmt::{parse_size, size_label};
+use eag_bench::tables::{best_scheme_table, render_best_scheme_table};
+use eag_bench::SimConfig;
+use eag_core::{allgather, Algorithm};
+use eag_netsim::{profile, Mapping, Topology};
+use eag_runtime::{pattern_block, run, DataMode, WorldSpec};
+use std::collections::HashMap;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(command) = args.first() else {
+        eprintln!("{USAGE}");
+        return ExitCode::FAILURE;
+    };
+    let opts = match Options::parse(&args[1..]) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("error: {e}\n\n{USAGE}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let result = match command.as_str() {
+        "run" => cmd_run(&opts),
+        "sweep" => cmd_sweep(&opts),
+        "recommend" => cmd_recommend(&opts),
+        "audit" => cmd_audit(&opts),
+        "calibrate" => cmd_calibrate(&opts),
+        "list" => cmd_list(),
+        other => Err(format!("unknown command {other:?}")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}\n\n{USAGE}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "\
+eag — encrypted all-gather simulator and benchmark CLI
+
+commands:
+  run        simulate one algorithm once (--algo, --p, --nodes, --size;
+             optional --mapping block|cyclic, --profile, --real, --trace,
+             --chrome-trace out.json)
+  sweep      best-scheme table across sizes (--p, --nodes; optional
+             --mapping, --profile, --sizes 1B,1KB,…, --csv out.csv)
+  recommend  model-driven algorithm pick (--p, --nodes, --size)
+  audit      wiretap security audit of all encrypted algorithms
+             (--p, --nodes; optional --size)
+  calibrate  measure THIS machine's crypto/memcpy speeds, fit Hockney
+             constants, and compare algorithms under the fitted profile
+             (optional --base noleland|bridges2, --p, --nodes)
+  list       list all algorithms";
+
+struct Options {
+    flags: HashMap<String, String>,
+}
+
+impl Options {
+    fn parse(args: &[String]) -> Result<Options, String> {
+        let mut flags = HashMap::new();
+        let mut it = args.iter();
+        while let Some(arg) = it.next() {
+            let Some(name) = arg.strip_prefix("--") else {
+                return Err(format!("unexpected argument {arg:?}"));
+            };
+            // Boolean flags.
+            if matches!(name, "real" | "trace") {
+                flags.insert(name.to_string(), "true".to_string());
+                continue;
+            }
+            let value = it
+                .next()
+                .ok_or_else(|| format!("--{name} needs a value"))?;
+            flags.insert(name.to_string(), value.clone());
+        }
+        Ok(Options { flags })
+    }
+
+    fn usize_of(&self, name: &str, default: usize) -> Result<usize, String> {
+        match self.flags.get(name) {
+            None => Ok(default),
+            Some(v) => v.parse().map_err(|_| format!("--{name}: bad number {v:?}")),
+        }
+    }
+
+    fn size_of(&self, name: &str, default: usize) -> Result<usize, String> {
+        match self.flags.get(name) {
+            None => Ok(default),
+            Some(v) => parse_size(v).ok_or_else(|| format!("--{name}: bad size {v:?}")),
+        }
+    }
+
+    fn mapping(&self) -> Result<Mapping, String> {
+        match self.flags.get("mapping").map(String::as_str) {
+            None | Some("block") => Ok(Mapping::Block),
+            Some("cyclic") => Ok(Mapping::Cyclic),
+            Some(other) => Err(format!("--mapping: {other:?} (use block|cyclic)")),
+        }
+    }
+
+    fn profile_name(&self) -> String {
+        self.flags
+            .get("profile")
+            .cloned()
+            .unwrap_or_else(|| "noleland".to_string())
+    }
+
+    fn bool_of(&self, name: &str) -> bool {
+        self.flags.contains_key(name)
+    }
+
+    /// Parses and validates --p / --nodes.
+    fn shape(&self, default_p: usize, default_nodes: usize) -> Result<(usize, usize), String> {
+        let p = self.usize_of("p", default_p)?;
+        let nodes = self.usize_of("nodes", default_nodes)?;
+        if p == 0 || nodes == 0 {
+            return Err("--p and --nodes must be at least 1".into());
+        }
+        if p % nodes != 0 {
+            return Err(format!(
+                "--p {p} must be a multiple of --nodes {nodes} (the paper's ℓ = p/N assumption)"
+            ));
+        }
+        Ok((p, nodes))
+    }
+}
+
+fn cmd_run(opts: &Options) -> Result<(), String> {
+    let (p, nodes) = opts.shape(16, 4)?;
+    let m = opts.size_of("size", 1024)?;
+    let mapping = opts.mapping()?;
+    let algo_name = opts
+        .flags
+        .get("algo")
+        .ok_or("run needs --algo (try `eag list`)")?;
+    let algo =
+        Algorithm::by_name(algo_name).ok_or_else(|| format!("unknown algorithm {algo_name:?}"))?;
+    let prof =
+        profile::by_name(&opts.profile_name()).ok_or_else(|| "unknown profile".to_string())?;
+
+    let mut spec = WorldSpec::new(
+        Topology::new(p, nodes, mapping),
+        prof,
+        if opts.bool_of("real") {
+            DataMode::Real { seed: 7 }
+        } else {
+            DataMode::Phantom
+        },
+    );
+    spec.trace = opts.bool_of("trace");
+    spec.capture_wire = opts.bool_of("real");
+
+    let report = run(&spec, move |ctx| {
+        allgather(ctx, algo, m).verify(7);
+    });
+
+    println!(
+        "{} | p={p} N={nodes} {mapping} | {} blocks | profile {}",
+        algo.name(),
+        size_label(m),
+        opts.profile_name()
+    );
+    println!("latency: {:.2} µs", report.latency_us);
+    let mx = report.max_metrics();
+    println!(
+        "critical path: rc={} sc={}B re={} se={}B rd={} sd={}B",
+        mx.comm_rounds,
+        mx.sc_payload(),
+        mx.enc_rounds,
+        mx.enc_bytes,
+        mx.dec_rounds,
+        mx.dec_bytes
+    );
+    if algo.is_encrypted() && opts.bool_of("real") {
+        println!(
+            "wiretap: {} frames, plaintext seen: {}",
+            report.wiretap.frame_count(),
+            report.wiretap.saw_plaintext_frame()
+        );
+    }
+    if spec.trace {
+        print!("{}", eag_runtime::trace::render_gantt(&report.traces, 100));
+        if let Some(path) = opts.flags.get("chrome-trace") {
+            let json = eag_runtime::trace::to_chrome_trace(&report.traces);
+            std::fs::write(path, json).map_err(|e| format!("writing {path}: {e}"))?;
+            println!("chrome trace written to {path} (open in chrome://tracing)");
+        }
+    }
+    Ok(())
+}
+
+fn cmd_sweep(opts: &Options) -> Result<(), String> {
+    let (p, nodes) = opts.shape(128, 8)?;
+    let cfg = SimConfig {
+        p,
+        nodes,
+        mapping: opts.mapping()?,
+        profile: opts.profile_name(),
+        reps: 3,
+        nic_contention: true,
+    };
+    let sizes: Vec<usize> = match opts.flags.get("sizes") {
+        None => vec![1, 64, 1024, 8 * 1024, 64 * 1024, 1024 * 1024],
+        Some(list) => list
+            .split(',')
+            .map(|s| parse_size(s).ok_or_else(|| format!("bad size {s:?}")))
+            .collect::<Result<_, _>>()?,
+    };
+    let rows = best_scheme_table(&cfg, &sizes);
+    if let Some(path) = opts.flags.get("csv") {
+        let csv = eag_bench::tables::render_best_scheme_csv(&rows);
+        std::fs::write(path, csv).map_err(|e| format!("writing {path}: {e}"))?;
+        println!("csv written to {path}");
+    }
+    print!(
+        "{}",
+        render_best_scheme_table(
+            &format!(
+                "Best scheme sweep — p={}, N={}, {} mapping, {} profile",
+                cfg.p, cfg.nodes, cfg.mapping, cfg.profile
+            ),
+            &rows
+        )
+    );
+    Ok(())
+}
+
+fn cmd_recommend(opts: &Options) -> Result<(), String> {
+    let (p, nodes) = opts.shape(128, 8)?;
+    let m = opts.size_of("size", 64 * 1024)?;
+    let prof =
+        profile::by_name(&opts.profile_name()).ok_or_else(|| "unknown profile".to_string())?;
+    let pick = eag_core::recommend(p, nodes, m, &prof.model);
+    println!(
+        "recommended scheme for p={p}, N={nodes}, {} blocks on {}: {}",
+        size_label(m),
+        opts.profile_name(),
+        pick.name()
+    );
+    for &algo in Algorithm::encrypted_all() {
+        if let Some(t) = eag_core::predict_latency_us(algo, p, nodes, m, &prof.model) {
+            println!("  {:<10} {t:>12.2} µs (model)", algo.name());
+        }
+    }
+    Ok(())
+}
+
+fn cmd_audit(opts: &Options) -> Result<(), String> {
+    let (p, nodes) = opts.shape(12, 3)?;
+    let m = opts.size_of("size", 256)?;
+    let seed = 17u64;
+    println!("wiretap audit: p={p}, N={nodes}, {} blocks", size_label(m));
+    for &algo in Algorithm::encrypted_all() {
+        for mapping in [Mapping::Block, Mapping::Cyclic] {
+            let mut spec = WorldSpec::new(
+                Topology::new(p, nodes, mapping),
+                profile::free(),
+                DataMode::Real { seed },
+            );
+            spec.capture_wire = true;
+            let report = run(&spec, move |ctx| {
+                allgather(ctx, algo, m).verify(seed);
+            });
+            let mut leaked = report.wiretap.saw_plaintext_frame();
+            for rank in 0..p {
+                if m >= 16 && report.wiretap.contains(&pattern_block(seed, rank, m)) {
+                    leaked = true;
+                }
+            }
+            println!(
+                "  {:<10} {:<6} {}",
+                algo.name(),
+                mapping.to_string(),
+                if leaked { "LEAKED" } else { "clean" }
+            );
+            if leaked {
+                return Err(format!("{algo} leaked plaintext"));
+            }
+        }
+    }
+    println!("all encrypted algorithms clean");
+    Ok(())
+}
+
+fn cmd_calibrate(opts: &Options) -> Result<(), String> {
+    let base = opts
+        .flags
+        .get("base")
+        .cloned()
+        .unwrap_or_else(|| "noleland".to_string());
+    let (p, nodes) = opts.shape(32, 4)?;
+    println!("measuring local AES-128-GCM and memcpy costs…");
+    let cal = eag_bench::calibrate::calibrate_local(&base)
+        .ok_or_else(|| format!("unknown base profile {base:?}"))?;
+
+    let model = &cal.profile.model;
+    println!("
+fitted constants ({}):", cal.profile.name);
+    println!(
+        "  encrypt : {:.3} µs + m / {:.0} MB/s",
+        model.crypto.enc_alpha_us, model.crypto.enc_bandwidth
+    );
+    println!(
+        "  decrypt : {:.3} µs + m / {:.0} MB/s",
+        model.crypto.dec_alpha_us, model.crypto.dec_bandwidth
+    );
+    println!(
+        "  memcpy  : {:.3} µs + m / {:.0} MB/s",
+        model.copy_alpha_us, model.copy_bandwidth
+    );
+    println!("
+measured seal throughput:");
+    for s in &cal.seal {
+        println!(
+            "  {:>8}  {:>9.0} MB/s",
+            size_label(s.bytes),
+            s.bytes as f64 / s.secs_per_op / 1e6
+        );
+    }
+
+    println!("
+algorithm comparison under the fitted profile (p={p}, N={nodes}):");
+    println!("{:>8} {:>14} {:>12} {:>12}", "size", "MPI (µs)", "Naive", "best");
+    for m in [1024usize, 64 * 1024, 1024 * 1024] {
+        let latency = |algo: Algorithm| {
+            let spec = WorldSpec::new(
+                Topology::new(p, nodes, Mapping::Block),
+                cal.profile.clone(),
+                DataMode::Phantom,
+            );
+            run(&spec, move |ctx| {
+                allgather(ctx, algo, m).verify(0);
+            })
+            .latency_us
+        };
+        let mpi = latency(Algorithm::Mvapich);
+        let naive = latency(Algorithm::Naive);
+        let (best, best_t) = Algorithm::encrypted_all()
+            .iter()
+            .filter(|&&a| a != Algorithm::Naive)
+            .map(|&a| (a, latency(a)))
+            .min_by(|a, b| a.1.total_cmp(&b.1))
+            .unwrap();
+        println!(
+            "{:>8} {:>14.2} {:>+11.1}% {:>+11.1}% ({})",
+            size_label(m),
+            mpi,
+            (naive / mpi - 1.0) * 100.0,
+            (best_t / mpi - 1.0) * 100.0,
+            best
+        );
+    }
+    Ok(())
+}
+
+fn cmd_list() -> Result<(), String> {
+    println!("unencrypted baselines:");
+    for a in Algorithm::unencrypted_all() {
+        println!("  {}", a.name());
+    }
+    println!("encrypted:");
+    for a in Algorithm::encrypted_all() {
+        println!(
+            "  {}{}",
+            a.name(),
+            if a.supports_varying() { "  (supports all-gather-v)" } else { "" }
+        );
+    }
+    Ok(())
+}

@@ -1,0 +1,8 @@
+//! Regenerates the paper's Figure 1: encryption throughput versus ping-pong
+//! throughput across message sizes.
+
+use eag_bench::figures::{fig1_points, render_fig1};
+
+fn main() {
+    print!("{}", render_fig1(&fig1_points()));
+}

@@ -1,0 +1,18 @@
+//! Regenerates the paper's Figure 8: encrypted all-gather algorithms on
+//! Noleland with cyclic-order mapping (p = 128, N = 8).
+
+use eag_bench::figures::{fig_encrypted, render_panels};
+use eag_bench::SimConfig;
+use eag_netsim::Mapping;
+
+fn main() {
+    let cfg = SimConfig::noleland(Mapping::Cyclic);
+    let panels = fig_encrypted(&cfg);
+    for panel in &panels {
+        println!("{}", eag_bench::figures::render_ascii_chart(panel, 72, 16));
+    }
+    print!(
+        "{}",
+        render_panels("Figure 8 — encrypted algorithms, cyclic mapping (latency µs)", &panels)
+    );
+}

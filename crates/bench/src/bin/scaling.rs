@@ -1,0 +1,49 @@
+//! Scaling study (not in the paper, implied by its analysis): how the
+//! encryption overhead scales with node count N at fixed ℓ and fixed m.
+//!
+//! The paper's Table II predicts Naive's decrypted volume grows as (p−1)m
+//! = (Nℓ−1)m while the bound-meeting algorithms decrypt only (N−1)m — so
+//! Naive's *relative* overhead should stay roughly constant with N while
+//! the best schemes' overhead stays near zero. This binary measures both.
+
+use eag_bench::fmt::size_label;
+use eag_bench::{simulate, SimConfig};
+use eag_core::Algorithm;
+use eag_netsim::Mapping;
+
+fn main() {
+    let ell = 8usize;
+    let m = 64 * 1024;
+    println!(
+        "### Scaling with node count (ℓ = {ell} fixed, m = {}, Noleland model)\n",
+        size_label(m)
+    );
+    println!("| N | p | MPI (µs) | Naive | O-RD | C-Ring | HS2 |");
+    println!("|---|---|---|---|---|---|---|");
+    for nodes in [2usize, 4, 8, 16, 32] {
+        let cfg = SimConfig {
+            p: nodes * ell,
+            nodes,
+            mapping: Mapping::Block,
+            profile: "noleland".into(),
+            reps: 2,
+            nic_contention: true,
+        };
+        let mpi = simulate(&cfg, Algorithm::Mvapich, m);
+        let pct = |algo| {
+            format!(
+                "{:+.1}%",
+                simulate(&cfg, algo, m).overhead_pct(&mpi)
+            )
+        };
+        println!(
+            "| {nodes} | {} | {:.1} | {} | {} | {} | {} |",
+            cfg.p,
+            mpi.mean,
+            pct(Algorithm::Naive),
+            pct(Algorithm::ORd),
+            pct(Algorithm::CRing),
+            pct(Algorithm::Hs2),
+        );
+    }
+}

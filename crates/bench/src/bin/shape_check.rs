@@ -1,0 +1,161 @@
+//! Shape regression suite: checks the *qualitative* claims of the paper's
+//! evaluation against the simulator, one PASS/FAIL line per claim. This is
+//! the reproduction contract of EXPERIMENTS.md in executable form — run it
+//! after touching the algorithms or the cost model.
+
+use eag_bench::fmt::parse_size;
+use eag_bench::tables::{best_scheme_table, candidate_schemes};
+use eag_bench::{simulate, SimConfig};
+use eag_core::Algorithm;
+use eag_netsim::Mapping;
+use std::process::ExitCode;
+
+struct Checker {
+    failures: usize,
+    checks: usize,
+}
+
+impl Checker {
+    fn claim(&mut self, name: &str, ok: bool, detail: String) {
+        self.checks += 1;
+        if ok {
+            println!("PASS  {name}  ({detail})");
+        } else {
+            self.failures += 1;
+            println!("FAIL  {name}  ({detail})");
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let mut c = Checker {
+        failures: 0,
+        checks: 0,
+    };
+    let block = SimConfig::noleland(Mapping::Block);
+    let cyclic = SimConfig::noleland(Mapping::Cyclic);
+
+    // --- Table III claims (block mapping) ---------------------------------
+    let sizes: Vec<usize> = ["1B", "64B", "2KB", "32KB", "2MB"]
+        .iter()
+        .map(|s| parse_size(s).unwrap())
+        .collect();
+    let rows = best_scheme_table(&block, &sizes);
+
+    c.claim(
+        "T3: Naive overhead is large at every size",
+        rows.iter().all(|r| r.naive_overhead_pct > 10.0),
+        format!(
+            "min Naive overhead {:.1}%",
+            rows.iter()
+                .map(|r| r.naive_overhead_pct)
+                .fold(f64::INFINITY, f64::min)
+        ),
+    );
+    c.claim(
+        "T3: best scheme always beats Naive",
+        rows.iter().all(|r| r.best_overhead_pct < r.naive_overhead_pct),
+        "pairwise comparison over all sizes".into(),
+    );
+    c.claim(
+        "T3: best scheme goes negative (beats unencrypted MPI) for large sizes",
+        rows.last().unwrap().best_overhead_pct < 0.0,
+        format!("2MB best overhead {:+.1}%", rows.last().unwrap().best_overhead_pct),
+    );
+    c.claim(
+        "T3: small-message winner is a round-efficient scheme",
+        matches!(
+            rows[0].best,
+            Algorithm::ORd | Algorithm::ORd2 | Algorithm::Hs1 | Algorithm::CRd
+        ),
+        format!("1B winner {}", rows[0].best),
+    );
+    c.claim(
+        "T3: large-message winner is a bound-meeting scheme",
+        matches!(
+            rows.last().unwrap().best,
+            Algorithm::Hs2 | Algorithm::Hs1 | Algorithm::CRing | Algorithm::CRd
+        ),
+        format!("2MB winner {}", rows.last().unwrap().best),
+    );
+
+    // --- Table IV claims (cyclic mapping) ---------------------------------
+    let big = parse_size("2MB").unwrap();
+    let mpi_block = simulate(&block, Algorithm::Mvapich, big);
+    let mpi_cyclic = simulate(&cyclic, Algorithm::Mvapich, big);
+    let degradation = mpi_cyclic.mean / mpi_block.mean;
+    c.claim(
+        "T4: MVAPICH degrades ~2-4x under cyclic mapping at 2MB (paper: 2.5x)",
+        (1.8..5.0).contains(&degradation),
+        format!("degradation {degradation:.2}x"),
+    );
+    let cring_block = simulate(&block, Algorithm::CRing, big).mean;
+    let cring_cyclic = simulate(&cyclic, Algorithm::CRing, big).mean;
+    c.claim(
+        "T4: C-Ring is mapping-oblivious at 2MB",
+        ((cring_block - cring_cyclic).abs() / cring_block) < 0.10,
+        format!("block {cring_block:.0}µs vs cyclic {cring_cyclic:.0}µs"),
+    );
+
+    // --- Table II / bounds claims ------------------------------------------
+    let lb = eag_core::lower_bounds(128, 8, 1024);
+    let mut all_match = true;
+    for &algo in Algorithm::encrypted_all() {
+        if let Some(pred) = eag_core::predict(algo, 128, 8, 1024) {
+            all_match &= pred.sd >= lb.sd && pred.se >= lb.se;
+        }
+    }
+    c.claim(
+        "T2: every prediction respects the Table I bounds",
+        all_match,
+        "se/sd vs lower bounds at p=128 N=8".into(),
+    );
+
+    // --- Figure 7 claims ----------------------------------------------------
+    let m_small = 4usize;
+    let ord2 = simulate(&block, Algorithm::ORd2, m_small).mean;
+    let oring = simulate(&block, Algorithm::ORing, m_small).mean;
+    c.claim(
+        "F7a: O-RD2 beats O-Ring for tiny messages",
+        ord2 < oring,
+        format!("{ord2:.1}µs vs {oring:.1}µs at 4B"),
+    );
+    let m_large = parse_size("1MB").unwrap();
+    let hs2 = simulate(&block, Algorithm::Hs2, m_large).mean;
+    let naive = simulate(&block, Algorithm::Naive, m_large).mean;
+    c.claim(
+        "F7c: HS2 beats Naive by a wide margin at 1MB",
+        hs2 < 0.5 * naive,
+        format!("{hs2:.0}µs vs Naive {naive:.0}µs"),
+    );
+
+    // --- Crossover claims ----------------------------------------------------
+    let ord_small = simulate(&block, Algorithm::ORd, m_small).mean;
+    let ord2_large = simulate(&block, Algorithm::ORd2, m_large).mean;
+    let ord_large = simulate(&block, Algorithm::ORd, m_large).mean;
+    c.claim(
+        "IV-B: O-RD2 better small, O-RD better large",
+        ord2 <= ord_small && ord_large < ord2_large,
+        format!(
+            "small {ord2:.1} vs {ord_small:.1}; large {ord_large:.0} vs {ord2_large:.0}"
+        ),
+    );
+
+    // --- Candidate sanity ----------------------------------------------------
+    c.claim(
+        "best-scheme candidates are the paper's seven new algorithms",
+        candidate_schemes().len() == 7 && !candidate_schemes().contains(&Algorithm::Naive),
+        format!("{} candidates", candidate_schemes().len()),
+    );
+
+    println!(
+        "\n{}/{} shape claims hold",
+        c.checks - c.failures,
+        c.checks
+    );
+    if c.failures == 0 {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

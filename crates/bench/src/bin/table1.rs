@@ -1,0 +1,10 @@
+//! Regenerates the paper's Table I: lower bounds for encrypted all-gather.
+
+use eag_bench::tables::render_table1;
+
+fn main() {
+    // The paper's two evaluation configurations.
+    print!("{}", render_table1(128, 8, 1024));
+    println!();
+    print!("{}", render_table1(1024, 16, 1024));
+}

@@ -1,0 +1,15 @@
+//! Regenerates the paper's Table II: per-algorithm metrics, comparing the
+//! closed-form predictions with what the runtime actually measures.
+
+use eag_bench::tables::{render_table2, table2_rows};
+
+fn main() {
+    for (p, nodes) in [(128usize, 8usize), (1024, 16)] {
+        let m = 1024;
+        let rows = table2_rows(p, nodes, m);
+        print!("{}", render_table2(p, nodes, m, &rows));
+        println!();
+        let mismatches = rows.iter().filter(|r| r.predicted != r.measured).count();
+        println!("{mismatches} metric mismatches out of {} algorithms\n", rows.len());
+    }
+}

@@ -1,0 +1,22 @@
+//! Regenerates the paper's Table III (Noleland, p = 128, N = 8, block-order mapping),
+//! printing the measured rows side by side with the published values.
+
+use eag_bench::fmt::table3_sizes;
+use eag_bench::paper::{render_side_by_side, table3};
+use eag_bench::tables::{best_scheme_table, render_best_scheme_table};
+use eag_bench::SimConfig;
+use eag_netsim::Mapping;
+
+fn main() {
+    let cfg = SimConfig::noleland(Mapping::Block);
+    let rows = best_scheme_table(&cfg, &table3_sizes());
+    print!(
+        "{}",
+        render_side_by_side("Table III", &rows, &table3())
+    );
+    println!();
+    print!(
+        "{}",
+        render_best_scheme_table("Table III — Noleland, p = 128, N = 8, block-order mapping", &rows)
+    );
+}

@@ -1,0 +1,22 @@
+//! Regenerates the paper's Table IV (Noleland, p = 128, N = 8, cyclic-order mapping),
+//! printing the measured rows side by side with the published values.
+
+use eag_bench::fmt::table4_sizes;
+use eag_bench::paper::{render_side_by_side, table4};
+use eag_bench::tables::{best_scheme_table, render_best_scheme_table};
+use eag_bench::SimConfig;
+use eag_netsim::Mapping;
+
+fn main() {
+    let cfg = SimConfig::noleland(Mapping::Cyclic);
+    let rows = best_scheme_table(&cfg, &table4_sizes());
+    print!(
+        "{}",
+        render_side_by_side("Table IV", &rows, &table4())
+    );
+    println!();
+    print!(
+        "{}",
+        render_best_scheme_table("Table IV — Noleland, p = 128, N = 8, cyclic-order mapping", &rows)
+    );
+}

@@ -1,0 +1,22 @@
+//! Regenerates the paper's Table V (Noleland, p = 91, N = 7, block-order mapping),
+//! printing the measured rows side by side with the published values.
+
+use eag_bench::fmt::table5_sizes;
+use eag_bench::paper::{render_side_by_side, table5};
+use eag_bench::tables::{best_scheme_table, render_best_scheme_table};
+use eag_bench::SimConfig;
+use eag_netsim::Mapping;
+
+fn main() {
+    let cfg = SimConfig::noleland_general(Mapping::Block);
+    let rows = best_scheme_table(&cfg, &table5_sizes());
+    print!(
+        "{}",
+        render_side_by_side("Table V", &rows, &table5())
+    );
+    println!();
+    print!(
+        "{}",
+        render_best_scheme_table("Table V — Noleland, p = 91, N = 7, block-order mapping", &rows)
+    );
+}

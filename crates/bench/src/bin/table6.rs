@@ -1,0 +1,22 @@
+//! Regenerates the paper's Table VI (Bridges-2, p = 1024, N = 16),
+//! printing the measured rows side by side with the published values.
+
+use eag_bench::fmt::table6_sizes;
+use eag_bench::paper::{render_side_by_side, table6};
+use eag_bench::tables::{best_scheme_table, render_best_scheme_table};
+use eag_bench::SimConfig;
+
+
+fn main() {
+    let cfg = SimConfig::bridges2();
+    let rows = best_scheme_table(&cfg, &table6_sizes());
+    print!(
+        "{}",
+        render_side_by_side("Table VI", &rows, &table6())
+    );
+    println!();
+    print!(
+        "{}",
+        render_best_scheme_table("Table VI — Bridges-2, p = 1024, N = 16", &rows)
+    );
+}

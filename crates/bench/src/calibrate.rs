@@ -1,0 +1,220 @@
+//! Local calibration: measure *this machine's* crypto and memory speeds and
+//! fit the Hockney cost constants, producing a [`ClusterProfile`] whose
+//! encryption/decryption/copy terms are real rather than borrowed from the
+//! paper's clusters. (Network terms cannot be measured on one machine; they
+//! are inherited from a base profile.)
+//!
+//! This is exactly the measurement behind the paper's Figure 1, turned into
+//! a reusable tool: `eag calibrate` prints the fitted constants and the
+//! sweep can run on them.
+
+use eag_crypto::{AesGcm128, Key, Nonce};
+use eag_netsim::{profile, ClusterProfile};
+use std::time::Instant;
+
+/// One measured (size, seconds-per-op) sample.
+#[derive(Debug, Clone, Copy)]
+pub struct Sample {
+    /// Message size in bytes.
+    pub bytes: usize,
+    /// Mean seconds per operation at that size.
+    pub secs_per_op: f64,
+}
+
+/// Least-squares fit of `t(m) = alpha + m/bandwidth` over samples.
+/// Returns `(alpha_us, bandwidth_bytes_per_us)`.
+pub fn fit_hockney(samples: &[Sample]) -> (f64, f64) {
+    assert!(samples.len() >= 2, "need at least two sizes to fit");
+    let n = samples.len() as f64;
+    let sx: f64 = samples.iter().map(|s| s.bytes as f64).sum();
+    let sy: f64 = samples.iter().map(|s| s.secs_per_op * 1e6).sum();
+    let sxx: f64 = samples.iter().map(|s| (s.bytes as f64).powi(2)).sum();
+    let sxy: f64 = samples
+        .iter()
+        .map(|s| s.bytes as f64 * s.secs_per_op * 1e6)
+        .sum();
+    let denom = n * sxx - sx * sx;
+    assert!(denom.abs() > f64::EPSILON, "degenerate sample set");
+    let beta = (n * sxy - sx * sy) / denom; // µs per byte
+    let alpha = (sy - beta * sx) / n;
+    let bandwidth = if beta > 0.0 { 1.0 / beta } else { f64::INFINITY };
+    (alpha.max(0.0), bandwidth)
+}
+
+fn time_op(mut op: impl FnMut(), per_op_budget: f64) -> f64 {
+    // Warm up, then time enough iterations for ~`per_op_budget` seconds.
+    for _ in 0..3 {
+        op();
+    }
+    let probe = Instant::now();
+    op();
+    let one = probe.elapsed().as_secs_f64().max(1e-9);
+    let iters = ((per_op_budget / one).ceil() as usize).clamp(5, 20_000);
+    let start = Instant::now();
+    for _ in 0..iters {
+        op();
+    }
+    start.elapsed().as_secs_f64() / iters as f64
+}
+
+/// Measures AES-128-GCM seal cost across `sizes` on this machine.
+pub fn measure_seal(sizes: &[usize]) -> Vec<Sample> {
+    let gcm = AesGcm128::new(&Key::from_bytes([0x5Au8; 16]));
+    let nonce = Nonce::from_bytes([3u8; 12]);
+    sizes
+        .iter()
+        .map(|&bytes| {
+            let data = vec![0xC3u8; bytes];
+            let secs = time_op(
+                || {
+                    std::hint::black_box(gcm.seal(&nonce, b"", &data));
+                },
+                0.02,
+            );
+            Sample { bytes, secs_per_op: secs }
+        })
+        .collect()
+}
+
+/// Measures AES-128-GCM open cost across `sizes` on this machine.
+pub fn measure_open(sizes: &[usize]) -> Vec<Sample> {
+    let gcm = AesGcm128::new(&Key::from_bytes([0x5Au8; 16]));
+    let nonce = Nonce::from_bytes([3u8; 12]);
+    sizes
+        .iter()
+        .map(|&bytes| {
+            let sealed = gcm.seal(&nonce, b"", &vec![0xC3u8; bytes]);
+            let secs = time_op(
+                || {
+                    std::hint::black_box(gcm.open(&nonce, b"", &sealed).unwrap());
+                },
+                0.02,
+            );
+            Sample { bytes, secs_per_op: secs }
+        })
+        .collect()
+}
+
+/// Measures plain memcpy cost across `sizes` on this machine.
+pub fn measure_memcpy(sizes: &[usize]) -> Vec<Sample> {
+    sizes
+        .iter()
+        .map(|&bytes| {
+            let src = vec![0xE1u8; bytes.max(1)];
+            let mut dst = vec![0u8; bytes.max(1)];
+            let secs = time_op(
+                || {
+                    dst.copy_from_slice(std::hint::black_box(&src));
+                    std::hint::black_box(&dst);
+                },
+                0.01,
+            );
+            Sample { bytes, secs_per_op: secs }
+        })
+        .collect()
+}
+
+/// The default size grid for calibration.
+pub fn calibration_sizes() -> Vec<usize> {
+    vec![256, 1024, 4 * 1024, 16 * 1024, 64 * 1024, 256 * 1024, 1024 * 1024]
+}
+
+/// A calibrated profile: network terms from `base`, crypto and copy terms
+/// measured on this machine. Returns the profile plus the raw samples for
+/// reporting.
+pub struct Calibration {
+    /// The resulting profile (named `<base>-local`).
+    pub profile: ClusterProfile,
+    /// Seal measurements.
+    pub seal: Vec<Sample>,
+    /// Open measurements.
+    pub open: Vec<Sample>,
+    /// Memcpy measurements.
+    pub memcpy: Vec<Sample>,
+}
+
+/// Runs the full calibration against a named base profile.
+pub fn calibrate_local(base: &str) -> Option<Calibration> {
+    let mut prof = profile::by_name(base)?;
+    let sizes = calibration_sizes();
+    let seal = measure_seal(&sizes);
+    let open = measure_open(&sizes);
+    let memcpy = measure_memcpy(&sizes);
+
+    let (enc_alpha, enc_bw) = fit_hockney(&seal);
+    let (dec_alpha, dec_bw) = fit_hockney(&open);
+    let (copy_alpha, copy_bw) = fit_hockney(&memcpy);
+
+    prof.name = format!("{base}-local");
+    prof.model.crypto.enc_alpha_us = enc_alpha;
+    prof.model.crypto.enc_bandwidth = enc_bw;
+    prof.model.crypto.dec_alpha_us = dec_alpha;
+    prof.model.crypto.dec_bandwidth = dec_bw;
+    prof.model.copy_alpha_us = copy_alpha;
+    prof.model.copy_bandwidth = copy_bw;
+
+    Some(Calibration {
+        profile: prof,
+        seal,
+        open,
+        memcpy,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fit_recovers_exact_affine_data() {
+        // t(m) = 2 µs + m / 5000 B/µs.
+        let samples: Vec<Sample> = [1000usize, 2000, 8000, 64000]
+            .iter()
+            .map(|&bytes| Sample {
+                bytes,
+                secs_per_op: (2.0 + bytes as f64 / 5000.0) * 1e-6,
+            })
+            .collect();
+        let (alpha, bw) = fit_hockney(&samples);
+        assert!((alpha - 2.0).abs() < 1e-6, "alpha {alpha}");
+        assert!((bw - 5000.0).abs() < 1e-3, "bw {bw}");
+    }
+
+    #[test]
+    fn fit_clamps_negative_alpha_to_zero() {
+        let samples = vec![
+            Sample { bytes: 1000, secs_per_op: 1e-7 },
+            Sample { bytes: 100_000, secs_per_op: 2e-5 },
+        ];
+        let (alpha, bw) = fit_hockney(&samples);
+        assert!(alpha >= 0.0);
+        assert!(bw > 0.0);
+    }
+
+    #[test]
+    fn seal_measurement_is_sane() {
+        let samples = measure_seal(&[1024, 64 * 1024]);
+        assert_eq!(samples.len(), 2);
+        for s in &samples {
+            assert!(s.secs_per_op > 0.0);
+        }
+        // Larger messages take longer.
+        assert!(samples[1].secs_per_op > samples[0].secs_per_op);
+    }
+
+    #[test]
+    fn calibrate_produces_usable_profile() {
+        let cal = calibrate_local("noleland").expect("base exists");
+        assert_eq!(cal.profile.name, "noleland-local");
+        let m = &cal.profile.model;
+        assert!(m.crypto.enc_bandwidth > 0.0 && m.crypto.enc_bandwidth.is_finite());
+        assert!(m.copy_bandwidth > 0.0);
+        // Network terms inherited from the base.
+        assert_eq!(m.inter.bandwidth, profile::noleland().model.inter.bandwidth);
+    }
+
+    #[test]
+    fn unknown_base_yields_none() {
+        assert!(calibrate_local("atlantis").is_none());
+    }
+}

@@ -1,0 +1,104 @@
+//! Message-size parsing and formatting ("1B", "4KB", "2MB", …).
+
+/// Formats a byte count the way the paper labels its axes.
+pub fn size_label(bytes: usize) -> String {
+    if bytes >= 1024 * 1024 && bytes.is_multiple_of(1024 * 1024) {
+        format!("{}MB", bytes / (1024 * 1024))
+    } else if bytes >= 1024 && bytes.is_multiple_of(1024) {
+        format!("{}KB", bytes / 1024)
+    } else {
+        format!("{bytes}B")
+    }
+}
+
+/// Parses a size label back to bytes (`"512KB"` → 524288). Returns `None`
+/// for malformed input.
+pub fn parse_size(label: &str) -> Option<usize> {
+    let s = label.trim().to_ascii_uppercase();
+    let (digits, mult) = if let Some(d) = s.strip_suffix("MB") {
+        (d, 1024 * 1024)
+    } else if let Some(d) = s.strip_suffix("KB") {
+        (d, 1024)
+    } else if let Some(d) = s.strip_suffix("B") {
+        (d, 1)
+    } else {
+        (s.as_str(), 1)
+    };
+    digits.trim().parse::<usize>().ok().map(|v| v * mult)
+}
+
+/// Formats a latency in µs with the paper's precision.
+pub fn latency_label(us: f64) -> String {
+    if us >= 10_000.0 {
+        format!("{:.1}ms", us / 1000.0)
+    } else {
+        format!("{us:.2}us")
+    }
+}
+
+/// The message-size sweep of the paper's Table III.
+pub fn table3_sizes() -> Vec<usize> {
+    ["1B", "2B", "4B", "8B", "16B", "32B", "64B", "1KB", "2KB", "4KB", "8KB", "16KB", "32KB",
+     "256KB", "2MB"]
+        .iter()
+        .map(|s| parse_size(s).unwrap())
+        .collect()
+}
+
+/// The message-size sweep of the paper's Table IV.
+pub fn table4_sizes() -> Vec<usize> {
+    ["1B", "32B", "1KB", "2KB", "4KB", "8KB", "32KB", "64KB", "256KB", "2MB"]
+        .iter()
+        .map(|s| parse_size(s).unwrap())
+        .collect()
+}
+
+/// The message-size sweep of the paper's Table V.
+pub fn table5_sizes() -> Vec<usize> {
+    ["1B", "32B", "256B", "512B", "1KB", "4KB", "8KB", "32KB", "64KB", "256KB", "2MB"]
+        .iter()
+        .map(|s| parse_size(s).unwrap())
+        .collect()
+}
+
+/// The message-size sweep of the paper's Table VI.
+pub fn table6_sizes() -> Vec<usize> {
+    ["1B", "64B", "128B", "512B", "1KB", "2KB", "16KB", "64KB", "256KB", "512KB"]
+        .iter()
+        .map(|s| parse_size(s).unwrap())
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn label_roundtrip() {
+        for bytes in [1usize, 2, 64, 1024, 8192, 524288, 2 * 1024 * 1024] {
+            assert_eq!(parse_size(&size_label(bytes)), Some(bytes));
+        }
+    }
+
+    #[test]
+    fn labels_match_paper_style() {
+        assert_eq!(size_label(1), "1B");
+        assert_eq!(size_label(2048), "2KB");
+        assert_eq!(size_label(2 * 1024 * 1024), "2MB");
+        assert_eq!(size_label(1500), "1500B");
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert_eq!(parse_size("abc"), None);
+        assert_eq!(parse_size(""), None);
+        assert_eq!(parse_size("12XB"), None);
+    }
+
+    #[test]
+    fn sweeps_are_sorted() {
+        for sizes in [table3_sizes(), table4_sizes(), table5_sizes(), table6_sizes()] {
+            assert!(sizes.windows(2).all(|w| w[0] < w[1]));
+        }
+    }
+}

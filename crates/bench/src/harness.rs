@@ -1,0 +1,161 @@
+//! The simulation driver: runs an algorithm in a phantom-payload world on a
+//! calibrated cluster profile and reports the virtual latency.
+
+use crate::stats::Stats;
+use eag_core::{allgather, Algorithm};
+use eag_netsim::{profile, ClusterProfile, Mapping, Topology};
+use eag_runtime::{run, DataMode, WorldSpec};
+
+/// One simulated cluster configuration.
+#[derive(Debug, Clone)]
+pub struct SimConfig {
+    /// Number of processes.
+    pub p: usize,
+    /// Number of nodes.
+    pub nodes: usize,
+    /// Process mapping.
+    pub mapping: Mapping,
+    /// Cluster profile name (`noleland`, `bridges2`, `unit`, `free`).
+    pub profile: String,
+    /// Repetitions per measurement (the paper averages 10 real runs; the
+    /// simulator varies only through NIC-contention arrival order, so a few
+    /// repetitions suffice).
+    pub reps: usize,
+    /// Model per-node NIC bandwidth sharing.
+    pub nic_contention: bool,
+}
+
+impl SimConfig {
+    /// The paper's Noleland setup: p = 128 over N = 8.
+    pub fn noleland(mapping: Mapping) -> Self {
+        SimConfig {
+            p: 128,
+            nodes: 8,
+            mapping,
+            profile: "noleland".into(),
+            reps: 3,
+            nic_contention: true,
+        }
+    }
+
+    /// The paper's non-power-of-two setup: p = 91 over N = 7.
+    pub fn noleland_general(mapping: Mapping) -> Self {
+        SimConfig {
+            p: 91,
+            nodes: 7,
+            mapping,
+            profile: "noleland".into(),
+            reps: 3,
+            nic_contention: true,
+        }
+    }
+
+    /// The paper's Bridges-2 setup: p = 1024 over N = 16, block mapping.
+    pub fn bridges2() -> Self {
+        SimConfig {
+            p: 1024,
+            nodes: 16,
+            mapping: Mapping::Block,
+            profile: "bridges2".into(),
+            reps: 2,
+            nic_contention: true,
+        }
+    }
+
+    /// Resolves the profile by name.
+    pub fn cluster_profile(&self) -> ClusterProfile {
+        profile::by_name(&self.profile)
+            .unwrap_or_else(|| panic!("unknown profile {:?}", self.profile))
+    }
+
+    fn world_spec(&self) -> WorldSpec {
+        let mut spec = WorldSpec::new(
+            Topology::new(self.p, self.nodes, self.mapping),
+            self.cluster_profile(),
+            DataMode::Phantom,
+        );
+        spec.nic_contention = self.nic_contention;
+        spec
+    }
+}
+
+/// Simulates `algo` gathering `m`-byte blocks under `cfg`; returns latency
+/// statistics over `cfg.reps` runs. Every run also checks the all-gather
+/// postcondition via origin tracking.
+pub fn simulate(cfg: &SimConfig, algo: Algorithm, m: usize) -> Stats {
+    let spec = cfg.world_spec();
+    let samples: Vec<f64> = (0..cfg.reps.max(1))
+        .map(|_| {
+            let report = run(&spec, move |ctx| {
+                let out = allgather(ctx, algo, m);
+                debug_assert!(out.is_complete());
+            });
+            report.latency_us
+        })
+        .collect();
+    Stats::of(&samples)
+}
+
+/// Simulates and also returns the critical-path metrics (single run).
+pub fn simulate_with_metrics(
+    cfg: &SimConfig,
+    algo: Algorithm,
+    m: usize,
+) -> (f64, eag_runtime::Metrics) {
+    let spec = cfg.world_spec();
+    let report = run(&spec, move |ctx| {
+        let out = allgather(ctx, algo, m);
+        debug_assert!(out.is_complete());
+    });
+    (report.latency_us, report.max_metrics())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny(mapping: Mapping) -> SimConfig {
+        SimConfig {
+            p: 16,
+            nodes: 4,
+            mapping,
+            profile: "noleland".into(),
+            reps: 2,
+            nic_contention: true,
+        }
+    }
+
+    #[test]
+    fn simulate_produces_positive_latency() {
+        let s = simulate(&tiny(Mapping::Block), Algorithm::Hs2, 1024);
+        assert!(s.mean > 0.0);
+        assert_eq!(s.n, 2);
+    }
+
+    #[test]
+    fn all_algorithms_simulate_on_small_worlds() {
+        let cfg = tiny(Mapping::Block);
+        for &algo in Algorithm::all() {
+            let s = simulate(&cfg, algo, 64);
+            assert!(s.mean > 0.0, "{algo}");
+        }
+    }
+
+    #[test]
+    fn latency_grows_with_message_size() {
+        let cfg = tiny(Mapping::Block);
+        let small = simulate(&cfg, Algorithm::CRing, 64);
+        let large = simulate(&cfg, Algorithm::CRing, 256 * 1024);
+        assert!(large.mean > small.mean * 10.0);
+    }
+
+    #[test]
+    fn deterministic_without_contention() {
+        let mut cfg = tiny(Mapping::Block);
+        cfg.nic_contention = false;
+        cfg.reps = 3;
+        let s = simulate(&cfg, Algorithm::ORd, 4096);
+        assert_eq!(s.std_dev, 0.0);
+        assert_eq!(s.min, s.max);
+    }
+}

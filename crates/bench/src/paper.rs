@@ -1,0 +1,183 @@
+//! The paper's published numbers (Tables III–VI), embedded for side-by-side
+//! comparison. Values are transcribed from the IPDPS 2021 paper; latencies
+//! in µs, overheads in percent, winner names as printed.
+
+use crate::fmt::parse_size;
+
+/// One published row of a best-scheme table.
+#[derive(Debug, Clone)]
+pub struct PaperRow {
+    /// Message size in bytes.
+    pub size: usize,
+    /// Latency of unencrypted MPI, µs.
+    pub mpi_latency_us: f64,
+    /// Overhead of Naive, %.
+    pub naive_overhead_pct: f64,
+    /// Overhead of the best scheme, %.
+    pub best_overhead_pct: f64,
+    /// The winning scheme as named in the paper.
+    pub best: &'static str,
+}
+
+fn row(size: &str, mpi: f64, naive: f64, best: f64, name: &'static str) -> PaperRow {
+    PaperRow {
+        size: parse_size(size).expect("valid size literal"),
+        mpi_latency_us: mpi,
+        naive_overhead_pct: naive,
+        best_overhead_pct: best,
+        best: name,
+    }
+}
+
+/// Table III — Noleland, p = 128, N = 8, block-order mapping.
+pub fn table3() -> Vec<PaperRow> {
+    vec![
+        row("1B", 10.64, 293.20, 31.49, "O-RD2"),
+        row("2B", 9.26, 342.86, 51.49, "HS1"),
+        row("4B", 9.35, 348.05, 51.50, "HS1"),
+        row("8B", 9.52, 364.69, 55.96, "O-RD"),
+        row("16B", 9.91, 309.57, 53.06, "O-RD"),
+        row("32B", 10.87, 301.63, 50.86, "O-RD"),
+        row("64B", 12.77, 265.33, 39.14, "O-RD"),
+        row("1KB", 56.58, 111.57, 9.91, "O-RD"),
+        row("2KB", 108.43, 95.54, -0.05, "C-RD"),
+        row("4KB", 227.00, 75.93, -16.02, "C-RD"),
+        row("8KB", 407.83, 92.21, 6.25, "C-Ring"),
+        row("16KB", 1602.35, 59.35, -45.89, "HS2"),
+        row("32KB", 2522.14, 87.22, -33.54, "HS2"),
+        row("256KB", 15902.40, 136.51, -12.42, "HS2"),
+        row("2MB", 136604.31, 137.50, -13.97, "HS2"),
+    ]
+}
+
+/// Table IV — Noleland, p = 128, N = 8, cyclic-order mapping.
+pub fn table4() -> Vec<PaperRow> {
+    vec![
+        row("1B", 10.27, 305.67, 47.70, "O-RD"),
+        row("32B", 10.18, 324.35, 51.21, "O-RD"),
+        row("1KB", 50.10, 128.59, 11.54, "O-RD"),
+        row("2KB", 93.99, 104.73, 7.33, "O-RD"),
+        row("4KB", 862.26, 18.21, -76.50, "O-RD2"),
+        row("8KB", 1633.01, 20.79, -75.16, "HS2"),
+        row("32KB", 5541.96, 50.85, -63.54, "HS2"),
+        row("64KB", 10889.97, 44.12, -66.45, "C-Ring"),
+        row("256KB", 43355.27, 38.92, -61.86, "C-Ring"),
+        row("2MB", 346830.02, 39.32, -60.92, "C-Ring"),
+    ]
+}
+
+/// Table V — Noleland, p = 91, N = 7, block-order mapping.
+pub fn table5() -> Vec<PaperRow> {
+    vec![
+        row("1B", 15.85, 166.60, -0.49, "HS1"),
+        row("32B", 18.97, 135.55, -6.05, "HS1"),
+        row("256B", 47.46, 65.98, -33.78, "HS1"),
+        row("512B", 76.64, 48.20, -40.40, "C-RD"),
+        row("1KB", 138.91, 35.45, -54.35, "C-RD"),
+        row("4KB", 154.49, 74.46, 5.42, "C-RD"),
+        row("8KB", 261.20, 91.08, 15.43, "C-Ring"),
+        row("32KB", 1586.33, 77.23, -32.57, "C-Ring"),
+        row("64KB", 3056.25, 74.10, -30.56, "HS2"),
+        row("256KB", 11068.30, 91.04, -19.26, "HS2"),
+        row("2MB", 92496.05, 87.95, -19.44, "HS2"),
+    ]
+}
+
+/// Table VI — Bridges-2, p = 1024, N = 16.
+pub fn table6() -> Vec<PaperRow> {
+    vec![
+        row("1B", 118.57, 344.50, -32.47, "HS1"),
+        row("64B", 167.21, 201.26, 16.43, "HS1"),
+        row("128B", 250.93, 512.47, 2.22, "HS1"),
+        row("512B", 750.43, 265.85, 16.20, "O-RD"),
+        row("1KB", 1438.99, 191.99, -3.15, "HS1"),
+        row("2KB", 6882.52, 11.18, -71.25, "HS2"),
+        row("16KB", 62871.60, 21.52, -78.10, "HS2"),
+        row("64KB", 250752.32, 20.88, -80.14, "HS2"),
+        row("256KB", 1007353.08, 20.85, -79.41, "HS2"),
+        row("512KB", 2007558.81, 20.75, -79.57, "HS2"),
+    ]
+}
+
+/// Renders a measured table side by side with the paper's published values.
+pub fn render_side_by_side(
+    title: &str,
+    measured: &[crate::tables::BestSchemeRow],
+    published: &[PaperRow],
+) -> String {
+    use crate::fmt::{latency_label, size_label};
+    let mut out = format!("### {title} — measured vs paper\n\n");
+    out.push_str(
+        "| Size | MPI (ours) | MPI (paper) | Naive % (ours/paper) | Best % (ours/paper) | Best (ours/paper) |\n\
+         |---|---|---|---|---|---|\n",
+    );
+    for m in measured {
+        let p = published.iter().find(|r| r.size == m.size);
+        match p {
+            Some(p) => out.push_str(&format!(
+                "| {} | {} | {} | {:+.1} / {:+.1} | {:+.1} / {:+.1} | {} / {} |\n",
+                size_label(m.size),
+                latency_label(m.mpi_latency_us),
+                latency_label(p.mpi_latency_us),
+                m.naive_overhead_pct,
+                p.naive_overhead_pct,
+                m.best_overhead_pct,
+                p.best_overhead_pct,
+                m.best,
+                p.best
+            )),
+            None => out.push_str(&format!(
+                "| {} | {} | — | {:+.1} / — | {:+.1} / — | {} / — |\n",
+                size_label(m.size),
+                latency_label(m.mpi_latency_us),
+                m.naive_overhead_pct,
+                m.best_overhead_pct,
+                m.best
+            )),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tables_are_sorted_and_nonempty() {
+        for t in [table3(), table4(), table5(), table6()] {
+            assert!(t.len() >= 10);
+            assert!(t.windows(2).all(|w| w[0].size < w[1].size));
+        }
+    }
+
+    #[test]
+    fn paper_signs_match_the_papers_story() {
+        // Naive is always a slowdown in the published data…
+        for t in [table3(), table4(), table5(), table6()] {
+            assert!(t.iter().all(|r| r.naive_overhead_pct > 0.0));
+            // …and the best scheme always beats Naive.
+            assert!(t
+                .iter()
+                .all(|r| r.best_overhead_pct < r.naive_overhead_pct));
+        }
+        // Large messages go negative on every table.
+        for t in [table3(), table4(), table5(), table6()] {
+            assert!(t.last().unwrap().best_overhead_pct < 0.0);
+        }
+    }
+
+    #[test]
+    fn side_by_side_renders_both_columns() {
+        let measured = vec![crate::tables::BestSchemeRow {
+            size: 1,
+            mpi_latency_us: 7.3,
+            naive_overhead_pct: 470.0,
+            best_overhead_pct: 22.0,
+            best: eag_core::Algorithm::ORd2,
+        }];
+        let md = render_side_by_side("Table III", &measured, &table3());
+        assert!(md.contains("+470.0 / +293.2"));
+        assert!(md.contains("O-RD2 / O-RD2"));
+    }
+}

@@ -1,0 +1,74 @@
+//! Small summary statistics for repeated simulation runs.
+
+/// Summary of a set of latency samples (µs).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Stats {
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Sample standard deviation (0 for a single sample).
+    pub std_dev: f64,
+    /// Smallest sample.
+    pub min: f64,
+    /// Largest sample.
+    pub max: f64,
+    /// Number of samples.
+    pub n: usize,
+}
+
+impl Stats {
+    /// Summarizes `samples`; panics on an empty slice.
+    pub fn of(samples: &[f64]) -> Stats {
+        assert!(!samples.is_empty(), "no samples");
+        let n = samples.len();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = if n > 1 {
+            samples.iter().map(|s| (s - mean).powi(2)).sum::<f64>() / (n - 1) as f64
+        } else {
+            0.0
+        };
+        let min = samples.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = samples.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        Stats {
+            mean,
+            std_dev: var.sqrt(),
+            min,
+            max,
+            n,
+        }
+    }
+
+    /// Relative overhead of `self` versus a `baseline` mean, in percent
+    /// (negative = faster than the baseline), as the paper reports.
+    pub fn overhead_pct(&self, baseline: &Stats) -> f64 {
+        (self.mean / baseline.mean - 1.0) * 100.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_sample() {
+        let s = Stats::of(&[5.0]);
+        assert_eq!(s.mean, 5.0);
+        assert_eq!(s.std_dev, 0.0);
+        assert_eq!(s.n, 1);
+    }
+
+    #[test]
+    fn mean_and_spread() {
+        let s = Stats::of(&[2.0, 4.0, 6.0]);
+        assert_eq!(s.mean, 4.0);
+        assert_eq!(s.min, 2.0);
+        assert_eq!(s.max, 6.0);
+        assert!((s.std_dev - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn overhead_sign() {
+        let base = Stats::of(&[100.0]);
+        assert!((Stats::of(&[150.0]).overhead_pct(&base) - 50.0).abs() < 1e-9);
+        assert!((Stats::of(&[80.0]).overhead_pct(&base) + 20.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,202 @@
+//! The algorithm registry: every all-gather variant the paper evaluates,
+//! dispatchable by name.
+
+use crate::output::GatherOutput;
+use crate::{encrypted, unencrypted};
+use eag_runtime::ProcCtx;
+
+/// Every all-gather algorithm in this library.
+///
+/// The unencrypted entries are the Section III baselines plus the
+/// unencrypted counterparts of the paper's new algorithms (used in
+/// Figures 5 and 6); the encrypted entries are the Section IV algorithms
+/// of Table II.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Algorithm {
+    // --- unencrypted ---
+    /// Classic ring in natural rank order.
+    Ring,
+    /// Rank-ordered ring (mapping-oblivious).
+    RingRanked,
+    /// Recursive doubling (general p).
+    Rd,
+    /// Bruck (⌈lg p⌉ rounds for any p).
+    Bruck,
+    /// Leader-based hierarchical (gather + RD + broadcast).
+    Hierarchical,
+    /// Neighbor Exchange (even p; falls back to Ring otherwise).
+    NeighborExchange,
+    /// Modeled MVAPICH default: RD/Bruck small, Ring large.
+    Mvapich,
+    /// Unencrypted counterpart of C-Ring.
+    CRingPlain,
+    /// Unencrypted counterpart of C-RD.
+    CRdPlain,
+    /// Unencrypted counterpart of HS1/HS2 (identical when unencrypted).
+    HsPlain,
+    // --- encrypted ---
+    /// Encrypt → ordinary all-gather → decrypt everything (the baseline).
+    Naive,
+    /// Opportunistic Ring.
+    ORing,
+    /// Opportunistic RD (cached ciphertext, forward-as-is).
+    ORd,
+    /// Opportunistic RD, merge-and-re-encrypt variant.
+    ORd2,
+    /// Concurrent ring sub-gathers + local ring.
+    CRing,
+    /// Concurrent RD sub-gathers + local RD.
+    CRd,
+    /// Hierarchical shared-memory, leader encryption.
+    Hs1,
+    /// Hierarchical shared-memory, per-process encryption.
+    Hs2,
+    /// Opportunistic Bruck (extension beyond the paper: ⌈lg p⌉ rounds for
+    /// any p with the opportunistic encryption rule).
+    OBruck,
+}
+
+impl Algorithm {
+    /// All algorithms.
+    pub fn all() -> &'static [Algorithm] {
+        use Algorithm::*;
+        &[
+            Ring, RingRanked, Rd, Bruck, NeighborExchange, Hierarchical, Mvapich, CRingPlain,
+            CRdPlain, HsPlain, Naive, ORing, ORd, ORd2, CRing, CRd, Hs1, Hs2, OBruck,
+        ]
+    }
+
+    /// The eight encrypted algorithms of Table II.
+    pub fn encrypted_all() -> &'static [Algorithm] {
+        use Algorithm::*;
+        &[Naive, ORing, ORd, ORd2, CRing, CRd, Hs1, Hs2, OBruck]
+    }
+
+    /// The unencrypted baselines and counterparts.
+    pub fn unencrypted_all() -> &'static [Algorithm] {
+        use Algorithm::*;
+        &[
+            Ring, RingRanked, Rd, Bruck, NeighborExchange, Hierarchical, Mvapich, CRingPlain,
+            CRdPlain, HsPlain,
+        ]
+    }
+
+    /// True for algorithms that encrypt inter-node traffic.
+    pub fn is_encrypted(&self) -> bool {
+        use Algorithm::*;
+        matches!(self, Naive | ORing | ORd | ORd2 | CRing | CRd | Hs1 | Hs2 | OBruck)
+    }
+
+    /// The paper's name for this algorithm.
+    pub fn name(&self) -> &'static str {
+        use Algorithm::*;
+        match self {
+            Ring => "Ring",
+            RingRanked => "Ring(ranked)",
+            Rd => "RD",
+            Bruck => "Bruck",
+            NeighborExchange => "NbrExchange",
+            Hierarchical => "Hierarchical",
+            Mvapich => "MVAPICH",
+            CRingPlain => "C-Ring(plain)",
+            CRdPlain => "C-RD(plain)",
+            HsPlain => "HS(plain)",
+            Naive => "Naive",
+            ORing => "O-Ring",
+            ORd => "O-RD",
+            ORd2 => "O-RD2",
+            CRing => "C-Ring",
+            CRd => "C-RD",
+            Hs1 => "HS1",
+            Hs2 => "HS2",
+            OBruck => "O-Bruck",
+        }
+    }
+
+    /// Looks an algorithm up by its paper name (case-insensitive).
+    pub fn by_name(name: &str) -> Option<Algorithm> {
+        let lower = name.to_ascii_lowercase();
+        Algorithm::all()
+            .iter()
+            .copied()
+            .find(|a| a.name().to_ascii_lowercase() == lower)
+    }
+
+    /// True when this algorithm requires `p` to be a multiple of the node
+    /// count with at least one process per node (all of them do via the
+    /// topology), and any additional structural constraint holds. All
+    /// algorithms here support any p, N ≥ 1 with ℓ = p/N integral.
+    pub fn supports(&self, p: usize, nodes: usize) -> bool {
+        p >= 1 && nodes >= 1 && p.is_multiple_of(nodes)
+    }
+}
+
+impl std::fmt::Display for Algorithm {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Runs `algo` as an all-gather of `m`-byte blocks and returns the
+/// assembled, verified-complete output.
+pub fn allgather(ctx: &mut ProcCtx, algo: Algorithm, m: usize) -> GatherOutput {
+    ctx.begin_collective();
+    use Algorithm::*;
+    let out = match algo {
+        Ring => unencrypted::ring(ctx, m),
+        RingRanked => unencrypted::ring_ranked(ctx, m),
+        Rd => unencrypted::rd(ctx, m),
+        Bruck => unencrypted::bruck(ctx, m),
+        NeighborExchange => unencrypted::neighbor_exchange(ctx, m),
+        Hierarchical => unencrypted::hierarchical(ctx, m),
+        Mvapich => unencrypted::mvapich(ctx, m),
+        CRingPlain => encrypted::c_ring_plain(ctx, m),
+        CRdPlain => encrypted::c_rd_plain(ctx, m),
+        HsPlain => encrypted::hs_plain(ctx, m),
+        Naive => encrypted::naive(ctx, m),
+        ORing => encrypted::o_ring(ctx, m),
+        ORd => encrypted::o_rd(ctx, m),
+        ORd2 => encrypted::o_rd2(ctx, m),
+        CRing => encrypted::c_ring(ctx, m),
+        CRd => encrypted::c_rd(ctx, m),
+        Hs1 => encrypted::hs1(ctx, m),
+        Hs2 => encrypted::hs2(ctx, m),
+        OBruck => encrypted::o_bruck(ctx, m),
+    };
+    assert!(out.is_complete(), "{algo} left the output incomplete");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_partitions() {
+        assert_eq!(Algorithm::all().len(), 19);
+        assert_eq!(Algorithm::encrypted_all().len(), 9);
+        assert_eq!(Algorithm::unencrypted_all().len(), 10);
+        for a in Algorithm::encrypted_all() {
+            assert!(a.is_encrypted());
+        }
+        for a in Algorithm::unencrypted_all() {
+            assert!(!a.is_encrypted());
+        }
+    }
+
+    #[test]
+    fn names_roundtrip() {
+        for &a in Algorithm::all() {
+            assert_eq!(Algorithm::by_name(a.name()), Some(a));
+        }
+        assert_eq!(Algorithm::by_name("hs2"), Some(Algorithm::Hs2));
+        assert_eq!(Algorithm::by_name("nope"), None);
+    }
+
+    #[test]
+    fn supports_divisible_only() {
+        assert!(Algorithm::Hs1.supports(128, 8));
+        assert!(Algorithm::CRing.supports(91, 7));
+        assert!(!Algorithm::CRing.supports(10, 4));
+    }
+}

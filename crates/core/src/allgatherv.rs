@@ -1,0 +1,120 @@
+//! Encrypted MPI_Allgatherv — variable per-rank block sizes.
+//!
+//! **Extension beyond the paper**, which only treats equal blocks. Real
+//! applications frequently call `MPI_Allgatherv` (boundary layers of uneven
+//! domain decompositions, sparse structures). The algorithms that move
+//! blocks as indivisible single-origin items generalize directly:
+//!
+//! - Ring / rank-ordered Ring / Bruck (unencrypted baselines),
+//! - Naive, O-Ring, O-Bruck, C-Ring, HS2 (encrypted).
+//!
+//! The merged-ciphertext algorithms (O-RD, O-RD2, HS1) rely on equal-stride
+//! node buffers and are not offered here; [`Algorithm::supports_varying`]
+//! reports capability. As in MPI, every rank must pass the same `lens`
+//! (the receive-count vector is global knowledge).
+
+use crate::algorithm::Algorithm;
+use crate::collective::{bruck_allgather_items, ring_allgather_items};
+use crate::encrypted::{hs_v, o_bruck_over, o_ring_over, HsVariant};
+use crate::output::GatherOutput;
+use crate::tags;
+use eag_netsim::Rank;
+use eag_runtime::{Item, ProcCtx};
+
+impl Algorithm {
+    /// True when this algorithm supports variable per-rank block lengths.
+    pub fn supports_varying(&self) -> bool {
+        use Algorithm::*;
+        matches!(
+            self,
+            Ring | RingRanked | Bruck | Naive | ORing | OBruck | CRing | Hs2
+        )
+    }
+}
+
+/// Runs `algo` as an all-gather-v: rank `r` contributes `lens[r]` bytes.
+/// Panics if [`Algorithm::supports_varying`] is false for `algo`.
+pub fn allgatherv(ctx: &mut ProcCtx, algo: Algorithm, lens: &[usize]) -> GatherOutput {
+    assert_eq!(lens.len(), ctx.p(), "need one length per rank");
+    assert!(
+        algo.supports_varying(),
+        "{algo} does not support variable block lengths"
+    );
+    ctx.begin_collective();
+
+    let me = ctx.rank();
+    let members: Vec<Rank> = (0..ctx.p()).collect();
+    let my_chunk = ctx.my_block(lens[me]);
+    let mut out = GatherOutput::new_varying(lens.to_vec());
+
+    use Algorithm::*;
+    match algo {
+        Ring => {
+            let items = ring_allgather_items(
+                ctx,
+                &members,
+                vec![Item::Plain(my_chunk)],
+                tags::PHASE_MAIN,
+            );
+            out.place_items(items);
+        }
+        RingRanked => {
+            let order = ctx.topology().ring_order();
+            let items =
+                ring_allgather_items(ctx, &order, vec![Item::Plain(my_chunk)], tags::PHASE_MAIN);
+            out.place_items(items);
+        }
+        Bruck => {
+            let items =
+                bruck_allgather_items(ctx, &members, Item::Plain(my_chunk), tags::PHASE_MAIN);
+            out.place_items(items);
+        }
+        Naive => {
+            out.place(my_chunk.clone());
+            let sealed = Item::Sealed(ctx.encrypt(my_chunk));
+            // Selection mirrors the uniform path, keyed on the largest block.
+            let max_len = lens.iter().copied().max().unwrap_or(0);
+            let items = if max_len < ctx.mvapich_switch_bytes() {
+                bruck_allgather_items(ctx, &members, sealed, tags::PHASE_MAIN)
+            } else {
+                ring_allgather_items(ctx, &members, vec![sealed], tags::PHASE_MAIN)
+            };
+            for item in items {
+                let s = item.into_sealed();
+                if s.origins.iter().all(|&o| out.has(o)) {
+                    continue;
+                }
+                let c = ctx.decrypt(s);
+                out.place(c);
+            }
+        }
+        ORing => o_ring_over(ctx, &members, my_chunk, &mut out, tags::PHASE_MAIN),
+        OBruck => o_bruck_over(ctx, &members, my_chunk, &mut out, tags::PHASE_MAIN),
+        CRing => {
+            let topo = ctx.topology().clone();
+            let group = topo.local_index(me);
+            let group_members: Vec<Rank> = (0..topo.nodes())
+                .map(|node| topo.peer_on_node(topo.leader_of(node), group))
+                .collect();
+            o_ring_over(ctx, &group_members, my_chunk, &mut out, tags::PHASE_SUB);
+            let local = topo.ranks_on_node(topo.node_of(me));
+            if local.len() > 1 {
+                // Contribute the group's blocks as individual items (no
+                // merging — lengths vary).
+                let contribution: Vec<Item> = group_members
+                    .iter()
+                    .map(|&r| Item::Plain(out.get(r).expect("sub-gather incomplete").clone()))
+                    .collect();
+                let items =
+                    ring_allgather_items(ctx, &local, contribution, tags::PHASE_LOCAL);
+                out.place_items(items);
+            }
+        }
+        Hs2 => {
+            out = hs_v(ctx, lens, HsVariant::Hs2);
+        }
+        _ => unreachable!("supports_varying() vetted above"),
+    }
+    assert!(out.is_complete(), "{algo} left the all-gather-v incomplete");
+    out
+}

@@ -1,0 +1,366 @@
+//! Generic, crypto-oblivious item movers.
+//!
+//! These primitives move opaque [`Item`]s (plaintext or sealed) among an
+//! ordered member list with the classic all-gather communication patterns:
+//! ring, recursive doubling (general member counts via fold/unfold), and
+//! Bruck. They do no encryption themselves; the encrypted algorithms either
+//! pre-seal items (Naive, the Concurrent sub-gathers, HS) or use the
+//! crypto-aware movers in [`crate::encrypted`].
+
+use eag_runtime::{Item, Parcel, ProcCtx};
+use eag_netsim::Rank;
+
+/// Largest power of two `<= q`.
+pub fn floor_pow2(q: usize) -> usize {
+    assert!(q >= 1);
+    1usize << (usize::BITS - 1 - q.leading_zeros())
+}
+
+/// `ceil(log2(q))` for `q >= 1`.
+pub fn ceil_log2(q: usize) -> u32 {
+    assert!(q >= 1);
+    q.next_power_of_two().trailing_zeros()
+}
+
+/// Index of `rank` within `members`; panics if absent.
+fn my_index(ctx: &ProcCtx, members: &[Rank]) -> usize {
+    members
+        .iter()
+        .position(|&r| r == ctx.rank())
+        .expect("calling rank is not in the member list")
+}
+
+/// Ring all-gather: member `k` sends to `k+1` and receives from `k-1`,
+/// `q-1` times, forwarding what it received the previous step. Every member
+/// contributes `my_items`; returns all members' items (own included).
+pub fn ring_allgather_items(
+    ctx: &mut ProcCtx,
+    members: &[Rank],
+    my_items: Vec<Item>,
+    tag_base: u64,
+) -> Vec<Item> {
+    let q = members.len();
+    let k = my_index(ctx, members);
+    let succ = members[(k + 1) % q];
+    let pred = members[(k + q - 1) % q];
+    let mut collected = my_items.clone();
+    let mut cur = my_items;
+    for step in 0..q.saturating_sub(1) {
+        let tag = tag_base + step as u64;
+        ctx.send(succ, tag, Parcel { items: cur });
+        cur = ctx.recv(pred, tag).items;
+        collected.extend(cur.iter().cloned());
+    }
+    collected
+}
+
+/// Recursive-doubling all-gather over an arbitrary member count.
+///
+/// For `q` a power of two this is the textbook algorithm (`lg q` exchange
+/// rounds, doubling data each round). Otherwise the surplus `r = q - 2^k`
+/// members fold their data into a power-of-two active set first and receive
+/// the full result afterwards, for at most `lg q + 2` rounds (the paper's
+/// "extra steps ... still bounded by 2·lg(p)").
+pub fn rd_allgather_items(
+    ctx: &mut ProcCtx,
+    members: &[Rank],
+    my_items: Vec<Item>,
+    tag_base: u64,
+) -> Vec<Item> {
+    let q = members.len();
+    if q == 1 {
+        return my_items;
+    }
+    let k = my_index(ctx, members);
+    let pow = floor_pow2(q);
+    let r = q - pow;
+
+    let mut holdings = my_items;
+
+    // Fold: odd members of the first 2r send everything to their left
+    // neighbour and go dormant until the unfold.
+    let fold_tag = tag_base;
+    if k < 2 * r {
+        if k % 2 == 1 {
+            ctx.send(members[k - 1], fold_tag, Parcel { items: holdings });
+            // Wait for the complete result.
+            let unfold_tag = tag_base + 1 + 64;
+            return ctx.recv(members[k - 1], unfold_tag).items;
+        } else {
+            let received = ctx.recv(members[k + 1], fold_tag).items;
+            holdings.extend(received);
+        }
+    }
+
+    // Active set: even members of the first 2r, then everyone from 2r on.
+    let active_index = if k < 2 * r { k / 2 } else { k - r };
+    let active_member = |idx: usize| -> Rank {
+        if idx < r {
+            members[2 * idx]
+        } else {
+            members[idx + r]
+        }
+    };
+
+    let rounds = pow.trailing_zeros();
+    for b in 0..rounds {
+        let peer = active_member(active_index ^ (1usize << b));
+        let tag = tag_base + 1 + b as u64;
+        let received = ctx
+            .sendrecv(peer, peer, tag, Parcel {
+                items: holdings.clone(),
+            })
+            .items;
+        holdings.extend(received);
+    }
+
+    // Unfold: give the folded members the complete result.
+    if k < 2 * r && k.is_multiple_of(2) {
+        let unfold_tag = tag_base + 1 + 64;
+        ctx.send(members[k + 1], unfold_tag, Parcel {
+            items: holdings.clone(),
+        });
+    }
+    holdings
+}
+
+/// Bruck all-gather (`⌈lg q⌉` rounds for any `q`). Requires exactly one item
+/// per member; item `j` of the returned vector is the item of member
+/// `(k + j) mod q` (callers place by origin, so order does not matter).
+pub fn bruck_allgather_items(
+    ctx: &mut ProcCtx,
+    members: &[Rank],
+    my_item: Item,
+    tag_base: u64,
+) -> Vec<Item> {
+    let q = members.len();
+    let k = my_index(ctx, members);
+    let mut slots: Vec<Item> = vec![my_item];
+    let mut round = 0u64;
+    let mut step = 1usize;
+    while step < q {
+        let cnt = step.min(q - step);
+        let dst = members[(k + q - step) % q];
+        let src = members[(k + step) % q];
+        let tag = tag_base + round;
+        ctx.send(dst, tag, Parcel {
+            items: slots[..cnt].to_vec(),
+        });
+        let received = ctx.recv(src, tag).items;
+        debug_assert_eq!(received.len(), cnt);
+        slots.extend(received);
+        step *= 2;
+        round += 1;
+    }
+    debug_assert_eq!(slots.len(), q);
+    slots
+}
+
+/// Point-to-point gather to `members[0]`: every other member sends its items
+/// to the root; the root returns everyone's items, others return `None`.
+pub fn gather_items_to_root(
+    ctx: &mut ProcCtx,
+    members: &[Rank],
+    my_items: Vec<Item>,
+    tag_base: u64,
+) -> Option<Vec<Item>> {
+    let root = members[0];
+    if ctx.rank() == root {
+        let mut all = my_items;
+        for (j, &m) in members.iter().enumerate().skip(1) {
+            let received = ctx.recv(m, tag_base + j as u64).items;
+            all.extend(received);
+        }
+        Some(all)
+    } else {
+        let j = my_index(ctx, members);
+        ctx.send(root, tag_base + j as u64, Parcel { items: my_items });
+        None
+    }
+}
+
+/// Binomial-tree broadcast from `members[0]`: the root's `items` reach every
+/// member in at most `⌈lg q⌉` rounds. Non-roots pass `None`.
+pub fn bcast_items_from_root(
+    ctx: &mut ProcCtx,
+    members: &[Rank],
+    items: Option<Vec<Item>>,
+    tag_base: u64,
+) -> Vec<Item> {
+    let q = members.len();
+    let k = my_index(ctx, members);
+    let mut holdings = if k == 0 {
+        items.expect("root must supply the broadcast items")
+    } else {
+        Vec::new()
+    };
+
+    // MPICH-style binomial tree, root = index 0.
+    let mut mask = 1usize;
+    while mask < q {
+        if k & mask != 0 {
+            let src = members[k - mask];
+            holdings = ctx.recv(src, tag_base + mask as u64).items;
+            break;
+        }
+        mask <<= 1;
+    }
+    mask >>= 1;
+    while mask > 0 {
+        if k + mask < q && k & (mask - 1) == 0 && k & mask == 0 {
+            let dst = members[k + mask];
+            ctx.send(dst, tag_base + mask as u64, Parcel {
+                items: holdings.clone(),
+            });
+        }
+        mask >>= 1;
+    }
+    holdings
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eag_netsim::{profile, Mapping, Topology};
+    use eag_runtime::{run, DataMode, WorldSpec};
+
+    fn spec(p: usize, nodes: usize) -> WorldSpec {
+        WorldSpec::new(
+            Topology::new(p, nodes, Mapping::Block),
+            profile::free(),
+            DataMode::Real { seed: 3 },
+        )
+    }
+
+    fn origins_of(items: &[Item]) -> Vec<usize> {
+        let mut o: Vec<usize> = items.iter().flat_map(|i| i.origins().to_vec()).collect();
+        o.sort_unstable();
+        o.dedup();
+        o
+    }
+
+    #[test]
+    fn floor_pow2_and_ceil_log2() {
+        assert_eq!(floor_pow2(1), 1);
+        assert_eq!(floor_pow2(2), 2);
+        assert_eq!(floor_pow2(7), 4);
+        assert_eq!(floor_pow2(8), 8);
+        assert_eq!(floor_pow2(91), 64);
+        assert_eq!(ceil_log2(1), 0);
+        assert_eq!(ceil_log2(2), 1);
+        assert_eq!(ceil_log2(7), 3);
+        assert_eq!(ceil_log2(8), 3);
+    }
+
+    fn check_mover(
+        p: usize,
+        mover: impl Fn(&mut eag_runtime::ProcCtx, &[Rank], Vec<Item>) -> Vec<Item> + Sync,
+    ) {
+        let members: Vec<Rank> = (0..p).collect();
+        let report = run(&spec(p, 1), |ctx| {
+            let mine = vec![Item::Plain(ctx.my_block(4))];
+            let all = mover(ctx, &members, mine);
+            origins_of(&all)
+        });
+        for out in report.outputs {
+            assert_eq!(out, (0..p).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn ring_gathers_everything() {
+        for p in [1, 2, 3, 5, 8] {
+            check_mover(p, |ctx, m, items| {
+                ring_allgather_items(ctx, m, items, 100)
+            });
+        }
+    }
+
+    #[test]
+    fn rd_gathers_everything_any_q() {
+        for p in [1, 2, 3, 4, 5, 6, 7, 8, 9, 12, 16] {
+            check_mover(p, |ctx, m, items| rd_allgather_items(ctx, m, items, 100));
+        }
+    }
+
+    #[test]
+    fn bruck_gathers_everything_any_q() {
+        for p in [1, 2, 3, 5, 7, 8, 11, 16] {
+            check_mover(p, |ctx, m, items| {
+                bruck_allgather_items(ctx, m, items.into_iter().next().unwrap(), 100)
+            });
+        }
+    }
+
+    #[test]
+    fn rd_round_count_is_lg_p_for_powers_of_two() {
+        let members: Vec<Rank> = (0..8).collect();
+        let report = run(&spec(8, 1), |ctx| {
+            let mine = vec![Item::Plain(ctx.my_block(4))];
+            rd_allgather_items(ctx, &members, mine, 100).len()
+        });
+        for m in &report.metrics {
+            assert_eq!(m.comm_rounds, 3);
+        }
+    }
+
+    #[test]
+    fn rd_round_count_bounded_for_general_q() {
+        let members: Vec<Rank> = (0..6).collect();
+        let report = run(&spec(6, 1), |ctx| {
+            let mine = vec![Item::Plain(ctx.my_block(4))];
+            origins_of(&rd_allgather_items(ctx, &members, mine, 100))
+        });
+        for out in &report.outputs {
+            assert_eq!(out, &(0..6).collect::<Vec<_>>());
+        }
+        for m in &report.metrics {
+            assert!(m.comm_rounds <= 2 * 3, "rounds {} > 2 lg q", m.comm_rounds);
+        }
+    }
+
+    #[test]
+    fn gather_and_bcast_roundtrip() {
+        let members: Vec<Rank> = (0..5).collect();
+        let report = run(&spec(5, 1), |ctx| {
+            let mine = vec![Item::Plain(ctx.my_block(4))];
+            let gathered = gather_items_to_root(ctx, &members, mine, 10);
+            if ctx.rank() == 0 {
+                assert_eq!(origins_of(gathered.as_ref().unwrap()), vec![0, 1, 2, 3, 4]);
+            }
+            let all = bcast_items_from_root(ctx, &members, gathered, 200);
+            origins_of(&all)
+        });
+        for out in report.outputs {
+            assert_eq!(out, vec![0, 1, 2, 3, 4]);
+        }
+    }
+
+    #[test]
+    fn bcast_works_for_many_sizes() {
+        for q in [1usize, 2, 3, 4, 6, 7, 8, 9] {
+            let members: Vec<Rank> = (0..q).collect();
+            let report = run(&spec(q, 1), |ctx| {
+                let items = (ctx.rank() == 0).then(|| vec![Item::Plain(ctx.my_block(4))]);
+                let got = bcast_items_from_root(ctx, &members, items, 50);
+                origins_of(&got)
+            });
+            for out in report.outputs {
+                assert_eq!(out, vec![0], "q = {q}");
+            }
+        }
+    }
+
+    #[test]
+    fn ring_respects_member_order() {
+        // Ring over a custom permutation still gathers everything.
+        let members: Vec<Rank> = vec![2, 0, 3, 1];
+        let report = run(&spec(4, 1), |ctx| {
+            let mine = vec![Item::Plain(ctx.my_block(4))];
+            origins_of(&ring_allgather_items(ctx, &members, mine, 7))
+        });
+        for out in report.outputs {
+            assert_eq!(out, vec![0, 1, 2, 3]);
+        }
+    }
+}

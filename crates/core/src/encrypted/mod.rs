@@ -1,0 +1,17 @@
+//! Encrypted all-gather algorithms (paper Section IV).
+
+pub mod concurrent;
+pub mod hs;
+pub mod hs_ml;
+pub mod naive;
+pub mod o_bruck;
+pub mod o_rd;
+pub mod o_ring;
+
+pub use concurrent::{c_rd, c_rd_plain, c_ring, c_ring_plain, concurrent, SubPattern};
+pub use hs::{hs, hs1, hs2, hs_plain, hs_v, HsVariant};
+pub use hs_ml::{hs_ml, MlPattern};
+pub use naive::naive;
+pub use o_bruck::{o_bruck, o_bruck_over};
+pub use o_rd::{o_rd, o_rd2, o_rd_over, OrdVariant};
+pub use o_ring::{o_ring, o_ring_over};

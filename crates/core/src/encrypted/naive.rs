@@ -1,0 +1,106 @@
+//! The Naive encrypted all-gather (Naser et al. \[18\], the paper's baseline).
+//!
+//! Each process encrypts its own block, the processes run an *ordinary*
+//! all-gather on the ciphertexts (the modeled MVAPICH default), and every
+//! process decrypts all `p−1` received ciphertexts — including those from
+//! its own node, which is exactly the waste the paper's algorithms remove:
+//! `rd = p−1`, `sd = (p−1)m ≈ (N−1)ℓm`.
+
+use crate::collective::{bruck_allgather_items, rd_allgather_items, ring_allgather_items};
+use crate::output::GatherOutput;
+use crate::tags;
+use eag_netsim::Rank;
+use eag_runtime::{Item, ProcCtx};
+
+/// Runs the Naive algorithm.
+pub fn naive(ctx: &mut ProcCtx, m: usize) -> GatherOutput {
+    let p = ctx.p();
+    let members: Vec<Rank> = (0..p).collect();
+    let my_chunk = ctx.my_block(m);
+
+    let mut out = GatherOutput::new(p, m);
+    out.place(my_chunk.clone());
+
+    let sealed = Item::Sealed(ctx.encrypt(my_chunk));
+
+    // Ordinary all-gather on ciphertexts, with the MVAPICH-style selection.
+    let items = if m < ctx.mvapich_switch_bytes() {
+        if p.is_power_of_two() {
+            rd_allgather_items(ctx, &members, vec![sealed], tags::PHASE_MAIN)
+        } else {
+            bruck_allgather_items(ctx, &members, sealed, tags::PHASE_MAIN)
+        }
+    } else {
+        ring_allgather_items(ctx, &members, vec![sealed], tags::PHASE_MAIN)
+    };
+
+    // Decrypt every received ciphertext (own block is already in place).
+    for item in items {
+        let s = item.into_sealed();
+        if s.origins.iter().all(|&o| out.has(o)) {
+            continue;
+        }
+        let c = ctx.decrypt(s);
+        out.place(c);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eag_netsim::{profile, Mapping, Topology};
+    use eag_runtime::{run, DataMode, WorldSpec};
+
+    fn world(p: usize, nodes: usize, mapping: Mapping) -> WorldSpec {
+        let mut s = WorldSpec::new(
+            Topology::new(p, nodes, mapping),
+            profile::free(),
+            DataMode::Real { seed: 21 },
+        );
+        s.capture_wire = true;
+        s
+    }
+
+    #[test]
+    fn naive_correct_small_and_large() {
+        for mapping in [Mapping::Block, Mapping::Cyclic] {
+            for (p, nodes) in [(8, 2), (6, 3), (9, 3)] {
+                for m in [16usize, 16 * 1024] {
+                    let report = run(&world(p, nodes, mapping), move |ctx| {
+                        naive(ctx, m).verify(21);
+                    });
+                    assert!(!report.wiretap.saw_plaintext_frame());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn naive_metrics_match_table_2() {
+        // re = 1, se = m, rd = p−1, sd = (p−1)m, rc = lg p (RD, small).
+        let (p, m) = (8usize, 64usize);
+        let report = run(&world(p, 2, Mapping::Block), |ctx| {
+            naive(ctx, m).verify(21);
+        });
+        let max = report.max_metrics();
+        assert_eq!(max.comm_rounds, 3);
+        assert_eq!(max.enc_rounds, 1);
+        assert_eq!(max.enc_bytes, m as u64);
+        assert_eq!(max.dec_rounds, (p - 1) as u64);
+        assert_eq!(max.dec_bytes, ((p - 1) * m) as u64);
+        // Wire bytes include the 28-byte GCM framing on every hop.
+        assert_eq!(max.bytes_sent, ((p - 1) * (m + 28)) as u64);
+    }
+
+    #[test]
+    fn naive_decrypts_intra_node_ciphertexts_too() {
+        // The defining waste of Naive: even blocks from the same node are
+        // decrypted. Total decryptions = p(p−1).
+        let report = run(&world(8, 2, Mapping::Block), |ctx| {
+            naive(ctx, 16).verify(21);
+        });
+        let sum = eag_runtime::Metrics::component_sum(&report.metrics);
+        assert_eq!(sum.dec_rounds, (8 * 7) as u64);
+    }
+}

@@ -1,0 +1,179 @@
+//! O-Bruck — an Opportunistic Bruck all-gather.
+//!
+//! **Extension beyond the paper.** The paper applies its opportunistic rule
+//! (encrypt inter-node hops, plaintext intra-node hops, forward ciphertexts
+//! untouched) to Ring and Recursive Doubling. Bruck's dissemination pattern
+//! completes in `⌈lg p⌉` rounds for *any* p — unlike RD, no fold/unfold
+//! steps — which makes an opportunistic Bruck the natural candidate for
+//! small messages on non-power-of-two process counts (where the modeled
+//! MVAPICH baseline also uses Bruck). Ciphertexts are cached per block, so
+//! a block crossing several node boundaries is sealed only once by whoever
+//! first exports it.
+
+use crate::output::GatherOutput;
+use eag_netsim::{LinkClass, Rank};
+use eag_runtime::{Chunk, Item, Parcel, ProcCtx, Sealed};
+
+/// One Bruck slot: a single member's block, in whichever representations we
+/// currently hold.
+enum Slot {
+    /// Plaintext only.
+    Plain(Chunk),
+    /// Ciphertext only (received over the network, not yet opened).
+    Sealed(Sealed),
+    /// Both (opened for output / sealed version cached for forwarding).
+    Both(Chunk, Sealed),
+}
+
+impl Slot {
+    /// The item to send over `link`, sealing or opening as required and
+    /// updating the cached representations.
+    fn item_for(&mut self, ctx: &mut ProcCtx, link: LinkClass) -> Item {
+        match link {
+            LinkClass::Inter => {
+                if let Slot::Plain(c) = self {
+                    let sealed = ctx.encrypt(c.clone());
+                    *self = Slot::Both(c.clone(), sealed);
+                }
+                match self {
+                    Slot::Sealed(s) | Slot::Both(_, s) => Item::Sealed(s.clone()),
+                    Slot::Plain(_) => unreachable!("sealed above"),
+                }
+            }
+            LinkClass::Intra | LinkClass::SelfLoop => {
+                if let Slot::Sealed(s) = self {
+                    let c = ctx.decrypt(s.clone());
+                    *self = Slot::Both(c, s.clone());
+                }
+                match self {
+                    Slot::Plain(c) | Slot::Both(c, _) => Item::Plain(c.clone()),
+                    Slot::Sealed(_) => unreachable!("opened above"),
+                }
+            }
+        }
+    }
+
+    fn from_item(item: Item) -> Slot {
+        match item {
+            Item::Plain(c) => Slot::Plain(c),
+            Item::Sealed(s) => Slot::Sealed(s),
+        }
+    }
+
+    /// The plaintext, opening the ciphertext if necessary.
+    fn into_plain(self, ctx: &mut ProcCtx) -> Chunk {
+        match self {
+            Slot::Plain(c) | Slot::Both(c, _) => c,
+            Slot::Sealed(s) => ctx.decrypt(s),
+        }
+    }
+}
+
+/// Opportunistic Bruck all-gather over `members`; places every member's
+/// plaintext into `out`.
+pub fn o_bruck_over(
+    ctx: &mut ProcCtx,
+    members: &[Rank],
+    my_chunk: Chunk,
+    out: &mut GatherOutput,
+    tag_base: u64,
+) {
+    let q = members.len();
+    let k = members
+        .iter()
+        .position(|&r| r == ctx.rank())
+        .expect("calling rank not in member list");
+    let me = ctx.rank();
+
+    let mut slots: Vec<Slot> = vec![Slot::Plain(my_chunk)];
+    let mut step = 1usize;
+    let mut round = 0u64;
+    while step < q {
+        let cnt = step.min(q - step);
+        let dst = members[(k + q - step) % q];
+        let src = members[(k + step) % q];
+        let link = ctx.topology().link(me, dst);
+        let items: Vec<Item> = slots[..cnt]
+            .iter_mut()
+            .map(|slot| slot.item_for(ctx, link))
+            .collect();
+        ctx.send(dst, tag_base + round, Parcel { items });
+        let received = ctx.recv(src, tag_base + round).items;
+        debug_assert_eq!(received.len(), cnt);
+        slots.extend(received.into_iter().map(Slot::from_item));
+        step *= 2;
+        round += 1;
+    }
+    debug_assert_eq!(slots.len(), q);
+    for slot in slots {
+        out.place(slot.into_plain(ctx));
+    }
+}
+
+/// O-Bruck proper: opportunistic Bruck over all ranks in natural order.
+pub fn o_bruck(ctx: &mut ProcCtx, m: usize) -> GatherOutput {
+    let members: Vec<Rank> = (0..ctx.p()).collect();
+    let mut out = GatherOutput::new(ctx.p(), m);
+    let my_chunk = ctx.my_block(m);
+    o_bruck_over(ctx, &members, my_chunk, &mut out, crate::tags::PHASE_MAIN);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eag_netsim::{profile, Mapping, Topology};
+    use eag_runtime::{run, DataMode, WorldSpec};
+
+    fn world(p: usize, nodes: usize, mapping: Mapping) -> WorldSpec {
+        let mut s = WorldSpec::new(
+            Topology::new(p, nodes, mapping),
+            profile::free(),
+            DataMode::Real { seed: 31 },
+        );
+        s.capture_wire = true;
+        s
+    }
+
+    #[test]
+    fn o_bruck_correct_many_shapes() {
+        for mapping in [Mapping::Block, Mapping::Cyclic] {
+            for (p, nodes) in [(8, 2), (9, 3), (10, 5), (12, 4), (7, 7), (6, 3)] {
+                let report = run(&world(p, nodes, mapping), |ctx| {
+                    o_bruck(ctx, 24).verify(31);
+                });
+                assert!(
+                    !report.wiretap.saw_plaintext_frame(),
+                    "O-Bruck leaked plaintext: p={p} N={nodes} {mapping}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn o_bruck_round_count_is_ceil_lg_p() {
+        for (p, nodes, want) in [(8usize, 4usize, 3u64), (9, 3, 4), (12, 4, 4)] {
+            let report = run(&world(p, nodes, Mapping::Block), |ctx| {
+                o_bruck(ctx, 16).verify(31);
+            });
+            for m in &report.metrics {
+                assert_eq!(m.comm_rounds, want, "p={p}");
+            }
+        }
+    }
+
+    #[test]
+    fn o_bruck_caches_ciphertexts_per_block() {
+        // ℓ = 1 world: every hop is inter-node. Each rank seals its own
+        // block once; everything else is forwarded sealed.
+        let report = run(&world(8, 8, Mapping::Block), |ctx| {
+            o_bruck(ctx, 16).verify(31);
+        });
+        for m in &report.metrics {
+            assert_eq!(m.enc_rounds, 1);
+            assert_eq!(m.enc_bytes, 16);
+            // Every foreign block arrives sealed and is opened exactly once.
+            assert_eq!(m.dec_rounds, 7);
+        }
+    }
+}

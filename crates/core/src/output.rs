@@ -1,0 +1,276 @@
+//! All-gather output assembly and verification.
+
+use eag_runtime::{pattern_block, Chunk, Data, Item};
+
+/// The assembled result of an all-gather at one process: one block per rank.
+///
+/// Supports both the uniform MPI_Allgather case (every rank contributes
+/// `m` bytes) and the MPI_Allgatherv case (per-rank lengths).
+#[derive(Debug, Clone)]
+pub struct GatherOutput {
+    lens: Vec<usize>,
+    uniform: Option<usize>,
+    blocks: Vec<Option<Chunk>>,
+    /// Which rank slots this collective is expected to fill (all of them
+    /// for world collectives; the member set for group collectives).
+    expected: Vec<bool>,
+}
+
+impl GatherOutput {
+    /// An empty output buffer for `p` blocks of `block_len` bytes.
+    pub fn new(p: usize, block_len: usize) -> Self {
+        GatherOutput {
+            lens: vec![block_len; p],
+            uniform: Some(block_len),
+            blocks: vec![None; p],
+            expected: vec![true; p],
+        }
+    }
+
+    /// An output buffer for a sub-communicator collective: only `members`
+    /// (global ranks) are expected to be filled, each with `block_len`
+    /// bytes.
+    pub fn new_sparse(p: usize, members: &[usize], block_len: usize) -> Self {
+        let mut expected = vec![false; p];
+        for &r in members {
+            assert!(r < p, "member rank {r} out of range");
+            expected[r] = true;
+        }
+        GatherOutput {
+            lens: vec![block_len; p],
+            uniform: Some(block_len),
+            blocks: vec![None; p],
+            expected,
+        }
+    }
+
+    /// An empty output buffer with per-rank block lengths (all-gather-v).
+    pub fn new_varying(lens: Vec<usize>) -> Self {
+        let uniform = match lens.first() {
+            Some(&first) if lens.iter().all(|&l| l == first) => Some(first),
+            _ => None,
+        };
+        let blocks = vec![None; lens.len()];
+        let expected = vec![true; lens.len()];
+        GatherOutput {
+            lens,
+            uniform,
+            blocks,
+            expected,
+        }
+    }
+
+    /// Per-rank block length (uniform collectives only).
+    ///
+    /// Panics for varying-length outputs; use [`GatherOutput::len_of`].
+    pub fn block_len(&self) -> usize {
+        self.uniform
+            .expect("block_len() is only defined for uniform all-gathers")
+    }
+
+    /// The expected block length of `origin`.
+    pub fn len_of(&self, origin: usize) -> usize {
+        self.lens[origin]
+    }
+
+    /// Number of rank slots.
+    pub fn p(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// Places a (possibly multi-origin) plaintext chunk. Chunks covering
+    /// already-placed origins must carry identical data (this tolerates the
+    /// benign duplicates of the general recursive-doubling fix-up steps).
+    pub fn place(&mut self, chunk: Chunk) {
+        chunk.check();
+        let singles = if chunk.origins.len() == 1 {
+            vec![chunk]
+        } else {
+            chunk.split()
+        };
+        for single in singles {
+            let origin = single.origins[0];
+            assert!(origin < self.blocks.len(), "origin {origin} out of range");
+            assert_eq!(
+                single.data.len(),
+                self.lens[origin],
+                "block for origin {origin} has the wrong length"
+            );
+            match &self.blocks[origin] {
+                Some(existing) => {
+                    assert_eq!(
+                        existing, &single,
+                        "conflicting data placed for origin {origin}"
+                    );
+                }
+                None => self.blocks[origin] = Some(single),
+            }
+        }
+    }
+
+    /// Places every plaintext item in `items`; panics on sealed items.
+    pub fn place_items(&mut self, items: Vec<Item>) {
+        for item in items {
+            self.place(item.into_plain());
+        }
+    }
+
+    /// Expected origins still missing.
+    pub fn missing(&self) -> Vec<usize> {
+        self.blocks
+            .iter()
+            .zip(self.expected.iter())
+            .enumerate()
+            .filter_map(|(i, (b, &exp))| (exp && b.is_none()).then_some(i))
+            .collect()
+    }
+
+    /// True once every expected rank's block is present.
+    pub fn is_complete(&self) -> bool {
+        self.missing().is_empty()
+    }
+
+    /// True if the block for `origin` is already present.
+    pub fn has(&self, origin: usize) -> bool {
+        self.blocks[origin].is_some()
+    }
+
+    /// The block placed for `origin`, if any.
+    pub fn get(&self, origin: usize) -> Option<&Chunk> {
+        self.blocks[origin].as_ref()
+    }
+
+    /// Panics unless complete; returns the blocks ordered by rank
+    /// (world collectives only — every slot must be expected).
+    pub fn into_blocks(self) -> Vec<Chunk> {
+        assert!(
+            self.expected.iter().all(|&e| e),
+            "into_blocks() requires a world collective; use get() for groups"
+        );
+        let missing = self.missing();
+        assert!(
+            missing.is_empty(),
+            "all-gather incomplete: missing origins {missing:?}"
+        );
+        self.blocks.into_iter().map(Option::unwrap).collect()
+    }
+
+    /// Verifies a completed real-mode output against the deterministic input
+    /// patterns (each rank's block must equal `pattern_block(seed, rank, m)`).
+    /// For phantom outputs, verifies lengths only.
+    pub fn verify(&self, seed: u64) {
+        let missing = self.missing();
+        assert!(
+            missing.is_empty(),
+            "all-gather incomplete: missing origins {missing:?}"
+        );
+        for (rank, block) in self
+            .blocks
+            .iter()
+            .enumerate()
+            .filter(|&(r, _)| self.expected[r])
+        {
+            let chunk = block.as_ref().unwrap();
+            assert_eq!(chunk.data.len(), self.lens[rank]);
+            if let Data::Real(bytes) = &chunk.data {
+                let expect = pattern_block(seed, rank, self.lens[rank]);
+                assert_eq!(
+                    bytes, &expect,
+                    "rank {rank}'s block corrupted in transit"
+                );
+            }
+        }
+    }
+    /// Verifies a completed group collective: exactly `members` are filled
+    /// (bit-exact, like [`GatherOutput::verify`]) and no other slot is.
+    pub fn verify_members(&self, seed: u64, members: &[usize]) {
+        self.verify(seed);
+        for (r, block) in self.blocks.iter().enumerate() {
+            let should = members.contains(&r);
+            assert_eq!(
+                block.is_some(),
+                should,
+                "rank {r}: filled = {}, member = {should}",
+                block.is_some()
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn chunk(origin: usize, bytes: Vec<u8>) -> Chunk {
+        Chunk::single(origin, Data::Real(bytes))
+    }
+
+    #[test]
+    fn place_and_complete() {
+        let mut out = GatherOutput::new(3, 2);
+        out.place(chunk(0, vec![0, 1]));
+        assert!(!out.is_complete());
+        assert_eq!(out.missing(), vec![1, 2]);
+        out.place(chunk(1, vec![2, 3]));
+        out.place(chunk(2, vec![4, 5]));
+        assert!(out.is_complete());
+        let blocks = out.into_blocks();
+        assert_eq!(blocks[2].data.bytes(), &[4, 5]);
+    }
+
+    #[test]
+    fn multi_origin_chunks_are_split() {
+        let mut out = GatherOutput::new(2, 2);
+        let merged = Chunk {
+            origins: vec![0, 1],
+            block_len: 2,
+            data: Data::Real(vec![9, 8, 7, 6]),
+        };
+        out.place(merged);
+        assert!(out.is_complete());
+        let blocks = out.into_blocks();
+        assert_eq!(blocks[0].data.bytes(), &[9, 8]);
+        assert_eq!(blocks[1].data.bytes(), &[7, 6]);
+    }
+
+    #[test]
+    fn identical_duplicates_are_tolerated() {
+        let mut out = GatherOutput::new(1, 2);
+        out.place(chunk(0, vec![1, 2]));
+        out.place(chunk(0, vec![1, 2]));
+        assert!(out.is_complete());
+    }
+
+    #[test]
+    #[should_panic(expected = "conflicting data")]
+    fn conflicting_duplicates_panic() {
+        let mut out = GatherOutput::new(1, 2);
+        out.place(chunk(0, vec![1, 2]));
+        out.place(chunk(0, vec![3, 4]));
+    }
+
+    #[test]
+    fn verify_checks_patterns() {
+        let seed = 11;
+        let mut out = GatherOutput::new(2, 8);
+        out.place(Chunk::single(0, Data::Real(pattern_block(seed, 0, 8))));
+        out.place(Chunk::single(1, Data::Real(pattern_block(seed, 1, 8))));
+        out.verify(seed);
+    }
+
+    #[test]
+    #[should_panic(expected = "corrupted")]
+    fn verify_rejects_wrong_bytes() {
+        let mut out = GatherOutput::new(1, 8);
+        out.place(Chunk::single(0, Data::Real(vec![0; 8])));
+        out.verify(11);
+    }
+
+    #[test]
+    fn phantom_blocks_verify_lengths_only() {
+        let mut out = GatherOutput::new(2, 16);
+        out.place(Chunk::single(0, Data::Phantom(16)));
+        out.place(Chunk::single(1, Data::Phantom(16)));
+        out.verify(0);
+    }
+}

@@ -1,0 +1,282 @@
+//! Unencrypted all-gather baselines (paper Section III).
+//!
+//! These are the classic algorithms found in MPICH/MVAPICH: Ring, the
+//! rank-ordered Ring of Kandalla et al., Recursive Doubling (general p),
+//! Bruck, and the Hierarchical (leader-based) algorithm, plus the modeled
+//! MVAPICH default (RD/Bruck for small messages, Ring for large). The
+//! unencrypted counterparts of the paper's C-Ring / C-RD / HS algorithms
+//! live with their encrypted versions in [`crate::encrypted`].
+
+use crate::collective::{
+    bcast_items_from_root, bruck_allgather_items, gather_items_to_root, rd_allgather_items,
+    ring_allgather_items,
+};
+use crate::output::GatherOutput;
+use crate::tags;
+use eag_netsim::Rank;
+use eag_runtime::{Item, Parcel, ProcCtx};
+
+/// Ring all-gather in natural rank order (`P0 → P1 → … → Pp−1 → P0`).
+pub fn ring(ctx: &mut ProcCtx, m: usize) -> GatherOutput {
+    let members: Vec<Rank> = (0..ctx.p()).collect();
+    let items = ring_allgather_items(
+        ctx,
+        &members,
+        vec![Item::Plain(ctx.my_block(m))],
+        tags::PHASE_MAIN,
+    );
+    let mut out = GatherOutput::new(ctx.p(), m);
+    out.place_items(items);
+    out
+}
+
+/// Rank-ordered Ring: the logical ring visits each node's processes
+/// consecutively, making performance oblivious to the process mapping
+/// (Kandalla et al. \[13\]).
+pub fn ring_ranked(ctx: &mut ProcCtx, m: usize) -> GatherOutput {
+    let members = ctx.topology().ring_order();
+    let items = ring_allgather_items(
+        ctx,
+        &members,
+        vec![Item::Plain(ctx.my_block(m))],
+        tags::PHASE_MAIN,
+    );
+    let mut out = GatherOutput::new(ctx.p(), m);
+    out.place_items(items);
+    out
+}
+
+/// Recursive Doubling, general `p` (fold/unfold for non-powers-of-two).
+pub fn rd(ctx: &mut ProcCtx, m: usize) -> GatherOutput {
+    let members: Vec<Rank> = (0..ctx.p()).collect();
+    let items = rd_allgather_items(
+        ctx,
+        &members,
+        vec![Item::Plain(ctx.my_block(m))],
+        tags::PHASE_MAIN,
+    );
+    let mut out = GatherOutput::new(ctx.p(), m);
+    out.place_items(items);
+    out
+}
+
+/// Bruck all-gather: `⌈lg p⌉` rounds for any `p`.
+pub fn bruck(ctx: &mut ProcCtx, m: usize) -> GatherOutput {
+    let members: Vec<Rank> = (0..ctx.p()).collect();
+    let items = bruck_allgather_items(
+        ctx,
+        &members,
+        Item::Plain(ctx.my_block(m)),
+        tags::PHASE_MAIN,
+    );
+    let mut out = GatherOutput::new(ctx.p(), m);
+    out.place_items(items);
+    out
+}
+
+/// The Hierarchical algorithm (Träff \[28\]): intra-node gather to a leader,
+/// inter-node all-gather among leaders (RD), intra-node broadcast.
+pub fn hierarchical(ctx: &mut ProcCtx, m: usize) -> GatherOutput {
+    let topo = ctx.topology().clone();
+    let local = topo.ranks_on_node(topo.node_of(ctx.rank()));
+    let leaders: Vec<Rank> = (0..topo.nodes()).map(|n| topo.leader_of(n)).collect();
+
+    // Step 1: gather node blocks to the leader.
+    let gathered = gather_items_to_root(
+        ctx,
+        &local,
+        vec![Item::Plain(ctx.my_block(m))],
+        tags::PHASE_GATHER,
+    );
+
+    // Step 2: leaders all-gather everything.
+    let leader_items = gathered.map(|items| rd_allgather_items(ctx, &leaders, items, tags::PHASE_MAIN));
+
+    // Step 3: broadcast the full result within each node.
+    let all = bcast_items_from_root(ctx, &local, leader_items, tags::PHASE_BCAST);
+    let mut out = GatherOutput::new(ctx.p(), m);
+    out.place_items(all);
+    out
+}
+
+/// Neighbor Exchange all-gather (Chen & Yuan): `p/2` rounds for even `p`,
+/// alternating exchanges with the left/right ring neighbours, moving two
+/// blocks per round after the first. Falls back to Ring for odd `p`
+/// (the algorithm is only defined for even process counts).
+pub fn neighbor_exchange(ctx: &mut ProcCtx, m: usize) -> GatherOutput {
+    let p = ctx.p();
+    if !p.is_multiple_of(2) {
+        return ring(ctx, m);
+    }
+    let mut out = GatherOutput::new(p, m);
+    let me = ctx.rank();
+    let my_chunk = ctx.my_block(m);
+    out.place(my_chunk.clone());
+
+    let right = (me + 1) % p;
+    let left = (me + p - 1) % p;
+    let even = me % 2 == 0;
+
+    // Round 1: pair exchange (even with right, odd with left).
+    let partner = if even { right } else { left };
+    let first = ctx
+        .sendrecv(
+            partner,
+            partner,
+            tags::PHASE_MAIN,
+            Parcel::one(Item::Plain(my_chunk.clone())),
+        )
+        .items
+        .remove(0)
+        .into_plain();
+    out.place(first.clone());
+
+    // Rounds 2..p/2: alternate sides, forwarding the pair acquired last.
+    let mut last_pair: Vec<Item> = vec![Item::Plain(my_chunk), Item::Plain(first)];
+    for round in 1..p / 2 {
+        // Even ranks alternate left, right, left, …; odd ranks mirror.
+        let partner = if even == (round % 2 == 1) { left } else { right };
+        let tag = tags::PHASE_MAIN + round as u64;
+        let received = ctx
+            .sendrecv(partner, partner, tag, Parcel {
+                items: last_pair.clone(),
+            })
+            .items;
+        for item in &received {
+            out.place(item.clone().into_plain());
+        }
+        last_pair = received;
+    }
+    out
+}
+
+/// The modeled MVAPICH default: RD for small messages (Bruck when `p` is not
+/// a power of two), Ring for large; the switch point comes from the cluster
+/// profile (the paper observes RD below ~8 KB, Ring above, on both systems).
+pub fn mvapich(ctx: &mut ProcCtx, m: usize) -> GatherOutput {
+    if m < ctx.mvapich_switch_bytes() {
+        if ctx.p().is_power_of_two() {
+            rd(ctx, m)
+        } else {
+            bruck(ctx, m)
+        }
+    } else {
+        ring(ctx, m)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eag_netsim::{profile, Mapping, Topology};
+    use eag_runtime::{run, DataMode, WorldSpec};
+
+    fn spec(p: usize, nodes: usize, mapping: Mapping) -> WorldSpec {
+        WorldSpec::new(
+            Topology::new(p, nodes, mapping),
+            profile::free(),
+            DataMode::Real { seed: 42 },
+        )
+    }
+
+    fn check(algo: impl Fn(&mut ProcCtx, usize) -> GatherOutput + Sync, p: usize, nodes: usize) {
+        for mapping in [Mapping::Block, Mapping::Cyclic] {
+            let report = run(&spec(p, nodes, mapping), |ctx| {
+                let out = algo(ctx, 32);
+                out.verify(42);
+                out.is_complete()
+            });
+            assert!(report.outputs.iter().all(|&ok| ok));
+        }
+    }
+
+    #[test]
+    fn ring_correct() {
+        check(ring, 8, 2);
+        check(ring, 6, 3);
+    }
+
+    #[test]
+    fn ring_ranked_correct() {
+        check(ring_ranked, 8, 2);
+        check(ring_ranked, 12, 3);
+    }
+
+    #[test]
+    fn rd_correct_pow2_and_general() {
+        check(rd, 8, 2);
+        check(rd, 6, 2);
+        check(rd, 12, 4);
+    }
+
+    #[test]
+    fn bruck_correct() {
+        check(bruck, 8, 2);
+        check(bruck, 10, 5);
+    }
+
+    #[test]
+    fn hierarchical_correct() {
+        check(hierarchical, 8, 2);
+        check(hierarchical, 12, 3);
+    }
+
+    #[test]
+    fn neighbor_exchange_correct() {
+        check(neighbor_exchange, 8, 2);
+        check(neighbor_exchange, 6, 3);
+        check(neighbor_exchange, 12, 4);
+        // Odd p falls back to Ring.
+        check(neighbor_exchange, 9, 3);
+    }
+
+    #[test]
+    fn neighbor_exchange_round_count_is_half_p() {
+        let report = run(&spec(8, 2, Mapping::Block), |ctx| {
+            neighbor_exchange(ctx, 16).verify(42);
+        });
+        for m in &report.metrics {
+            assert_eq!(m.comm_rounds, 4); // p/2
+            // sc = m + 2m(p/2 - 1) = (p-1)m.
+            assert_eq!(m.bytes_sent, 7 * 16);
+        }
+    }
+
+    #[test]
+    fn mvapich_switches_by_size() {
+        // Functional check both below and above the default 8 KB switch.
+        for (p, nodes) in [(8, 2), (6, 3)] {
+            for m in [32usize, 16 * 1024] {
+                let report = run(&spec(p, nodes, Mapping::Block), move |ctx| {
+                    let out = mvapich(ctx, m);
+                    out.verify(42);
+                    true
+                });
+                assert!(report.outputs.iter().all(|&ok| ok));
+            }
+        }
+    }
+
+    #[test]
+    fn ring_round_count_is_p_minus_1() {
+        let report = run(&spec(6, 2, Mapping::Block), |ctx| {
+            ring(ctx, 16).is_complete()
+        });
+        for m in &report.metrics {
+            assert_eq!(m.comm_rounds, 5);
+        }
+    }
+
+    #[test]
+    fn rd_bytes_match_theory_pow2() {
+        // sc = (p-1)·m for recursive doubling.
+        let report = run(&spec(8, 2, Mapping::Block), |ctx| {
+            rd(ctx, 64).is_complete()
+        });
+        for m in &report.metrics {
+            assert_eq!(m.bytes_sent, 7 * 64);
+            assert_eq!(m.bytes_recv, 7 * 64);
+            assert_eq!(m.comm_rounds, 3);
+        }
+    }
+}

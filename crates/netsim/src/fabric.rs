@@ -1,0 +1,141 @@
+//! Optional two-level switch fabric: leaf switches with oversubscribed
+//! uplinks to a core.
+//!
+//! The base model treats the network as a full-bisection crossbar (every
+//! inter-node stream is limited only by its endpoints' NICs). Real clusters
+//! often group nodes under leaf switches whose uplinks are *oversubscribed*:
+//! traffic between leaves shares the uplink. This module adds that second
+//! level, which is what makes locality-aware communication patterns (a
+//! node-ordered ring crosses leaf boundaries N_leaf times; recursive
+//! doubling's large rounds cross them everywhere) measurably different —
+//! the effect the paper's related work on topology-aware collectives
+//! targets.
+
+use crate::nic::NodeNic;
+use serde::{Deserialize, Serialize};
+
+/// Parameters of the leaf/core fabric.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct FabricModel {
+    /// Nodes attached to each leaf switch.
+    pub nodes_per_leaf: usize,
+    /// Aggregate uplink bandwidth per leaf in B/µs; all cross-leaf traffic
+    /// entering or leaving the leaf shares it.
+    pub uplink_bandwidth: f64,
+    /// Extra per-hop latency for crossing the core, in µs.
+    pub extra_alpha_us: f64,
+}
+
+impl FabricModel {
+    /// Which leaf a node hangs off.
+    #[inline]
+    pub fn leaf_of(&self, node: usize) -> usize {
+        node / self.nodes_per_leaf
+    }
+
+    /// Number of leaves needed for `nodes` nodes.
+    pub fn leaves(&self, nodes: usize) -> usize {
+        nodes.div_ceil(self.nodes_per_leaf)
+    }
+}
+
+/// Virtual-time ledgers for the fabric: one shared uplink per leaf.
+#[derive(Debug)]
+pub struct FabricState {
+    model: FabricModel,
+    uplinks: Vec<NodeNic>,
+}
+
+impl FabricState {
+    /// Builds ledgers for a cluster of `nodes` nodes.
+    pub fn new(model: FabricModel, nodes: usize) -> Self {
+        let uplinks = (0..model.leaves(nodes))
+            .map(|_| NodeNic::new(model.uplink_bandwidth))
+            .collect();
+        FabricState { model, uplinks }
+    }
+
+    /// The fabric parameters.
+    pub fn model(&self) -> &FabricModel {
+        &self.model
+    }
+
+    /// Accounts a transmission of `bytes` from `src_node` to `dst_node`
+    /// starting at `now_us`. Returns `(occupancy_done_us, extra_alpha_us)`:
+    /// the time the fabric is done carrying the message, and the additional
+    /// flight latency to add. Intra-leaf traffic passes through untouched.
+    pub fn reserve(
+        &self,
+        now_us: f64,
+        src_node: usize,
+        dst_node: usize,
+        bytes: usize,
+    ) -> (f64, f64) {
+        let src_leaf = self.model.leaf_of(src_node);
+        let dst_leaf = self.model.leaf_of(dst_node);
+        if src_leaf == dst_leaf {
+            return (now_us, 0.0);
+        }
+        // The message occupies the source leaf's uplink, then the
+        // destination leaf's (modeled as one bidirectional ledger each).
+        let up = self.uplinks[src_leaf].reserve(now_us, bytes);
+        let down = self.uplinks[dst_leaf].reserve(up, bytes);
+        (down, self.model.extra_alpha_us)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fabric() -> FabricState {
+        FabricState::new(
+            FabricModel {
+                nodes_per_leaf: 2,
+                uplink_bandwidth: 100.0,
+                extra_alpha_us: 1.5,
+            },
+            8,
+        )
+    }
+
+    #[test]
+    fn leaf_assignment() {
+        let f = fabric();
+        assert_eq!(f.model().leaf_of(0), 0);
+        assert_eq!(f.model().leaf_of(1), 0);
+        assert_eq!(f.model().leaf_of(2), 1);
+        assert_eq!(f.model().leaves(8), 4);
+        assert_eq!(f.model().leaves(7), 4);
+    }
+
+    #[test]
+    fn intra_leaf_traffic_is_free() {
+        let f = fabric();
+        let (done, alpha) = f.reserve(5.0, 0, 1, 1_000_000);
+        assert_eq!(done, 5.0);
+        assert_eq!(alpha, 0.0);
+    }
+
+    #[test]
+    fn cross_leaf_traffic_occupies_both_uplinks() {
+        let f = fabric();
+        // 1000 B over 100 B/µs uplinks: 10 µs up + 10 µs down.
+        let (done, alpha) = f.reserve(0.0, 0, 2, 1000);
+        assert_eq!(done, 20.0);
+        assert_eq!(alpha, 1.5);
+        // A second message from the same leaf queues behind the first on
+        // the shared source uplink.
+        let (done2, _) = f.reserve(0.0, 1, 4, 1000);
+        assert!(done2 > 20.0, "uplink not shared: {done2}");
+    }
+
+    #[test]
+    fn different_leaf_pairs_do_not_contend() {
+        let f = fabric();
+        let (a, _) = f.reserve(0.0, 0, 2, 1000); // leaves 0 -> 1
+        let (b, _) = f.reserve(0.0, 4, 6, 1000); // leaves 2 -> 3
+        assert_eq!(a, 20.0);
+        assert_eq!(b, 20.0);
+    }
+}

@@ -1,0 +1,163 @@
+//! Per-node NIC contention in virtual time.
+//!
+//! The paper observes that "on contemporary HPC systems, a single core
+//! usually does not have enough computing power to fully utilize the network
+//! link" — which is exactly why the Concurrent algorithms win: ℓ concurrent
+//! per-process streams together saturate the NIC, while a single leader
+//! stream cannot exceed its per-core rate.
+//!
+//! [`NodeNic`] models the shared NIC as a serially-reusable resource in
+//! virtual time: an inter-node transmission of `b` bytes occupies the NIC
+//! for `b / nic_bandwidth`, placed in the *earliest idle gap at or after the
+//! sender's virtual clock*. Keeping a set of busy intervals (rather than a
+//! single high-water mark) matters because worker threads reach the ledger
+//! in wall-clock order, not virtual-time order: a rank still at virtual time
+//! 4 µs must not queue behind a reservation another rank already made for
+//! virtual time 10 µs while the NIC is idle in between.
+
+use parking_lot::Mutex;
+
+/// Virtual-time ledger for one node's NIC.
+#[derive(Debug)]
+pub struct NodeNic {
+    /// Non-overlapping busy intervals, sorted by start time.
+    busy: Mutex<Vec<(f64, f64)>>,
+    /// Aggregate NIC bandwidth in B/µs (`INFINITY` disables contention).
+    bandwidth: f64,
+}
+
+impl NodeNic {
+    /// Creates a ledger with the given aggregate bandwidth.
+    pub fn new(bandwidth: f64) -> Self {
+        NodeNic {
+            busy: Mutex::new(Vec::new()),
+            bandwidth,
+        }
+    }
+
+    /// Reserves the NIC for `bytes` starting no earlier than `now`;
+    /// returns the virtual time at which the last byte clears the NIC.
+    ///
+    /// With infinite bandwidth this returns `now` and keeps no state.
+    pub fn reserve(&self, now_us: f64, bytes: usize) -> f64 {
+        if self.bandwidth.is_infinite() {
+            return now_us;
+        }
+        let occ = bytes as f64 / self.bandwidth;
+        if occ <= 0.0 {
+            return now_us;
+        }
+        let mut busy = self.busy.lock();
+
+        // Earliest candidate start: skip every interval that overlaps or
+        // precedes the running candidate without leaving room for `occ`.
+        let mut t = now_us;
+        let mut i = busy.partition_point(|&(_, end)| end <= now_us);
+        while i < busy.len() {
+            let (start, end) = busy[i];
+            if start - t >= occ {
+                break; // fits in the gap before interval i
+            }
+            if end > t {
+                t = end;
+            }
+            i += 1;
+        }
+        let finish = t + occ;
+
+        // Insert [t, finish) at position i, merging with exact-adjacent
+        // neighbours so saturated stretches collapse to one interval.
+        let merge_left = i > 0 && busy[i - 1].1 == t;
+        let merge_right = i < busy.len() && busy[i].0 == finish;
+        match (merge_left, merge_right) {
+            (true, true) => {
+                busy[i - 1].1 = busy[i].1;
+                busy.remove(i);
+            }
+            (true, false) => busy[i - 1].1 = finish,
+            (false, true) => busy[i].0 = t,
+            (false, false) => busy.insert(i, (t, finish)),
+        }
+        finish
+    }
+
+    /// Resets the ledger to idle (used between simulation repetitions).
+    pub fn reset(&self) {
+        self.busy.lock().clear();
+    }
+
+    /// Snapshot of the busy intervals (testing and diagnostics).
+    pub fn busy_intervals(&self) -> Vec<(f64, f64)> {
+        self.busy.lock().clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn infinite_bandwidth_is_transparent() {
+        let nic = NodeNic::new(f64::INFINITY);
+        assert_eq!(nic.reserve(5.0, 1 << 30), 5.0);
+        assert_eq!(nic.reserve(3.0, 1 << 30), 3.0);
+    }
+
+    #[test]
+    fn serializes_concurrent_streams() {
+        let nic = NodeNic::new(100.0); // 100 B/µs
+        // Two 1000-byte sends at the same instant: the second queues.
+        assert_eq!(nic.reserve(0.0, 1000), 10.0);
+        assert_eq!(nic.reserve(0.0, 1000), 20.0);
+        // A later send after the NIC drained starts immediately.
+        assert_eq!(nic.reserve(50.0, 1000), 60.0);
+    }
+
+    #[test]
+    fn earlier_virtual_time_uses_idle_gap() {
+        let nic = NodeNic::new(100.0);
+        // A rank that is ahead in virtual time reserves [10, 20).
+        assert_eq!(nic.reserve(10.0, 1000), 20.0);
+        // A rank still at virtual time 0 must not queue behind it:
+        // the NIC is idle during [0, 10).
+        assert_eq!(nic.reserve(0.0, 1000), 10.0);
+        // But a third rank at time 0 now has to go after [0,20).
+        assert_eq!(nic.reserve(0.0, 1000), 30.0);
+    }
+
+    #[test]
+    fn small_gap_is_skipped_when_too_tight() {
+        let nic = NodeNic::new(1.0); // 1 B/µs
+        assert_eq!(nic.reserve(0.0, 10), 10.0); // [0,10)
+        assert_eq!(nic.reserve(15.0, 10), 25.0); // [15,25)
+        // A 10-byte send at t=5 does not fit into the [10,15) gap.
+        assert_eq!(nic.reserve(5.0, 10), 35.0);
+        // A 5-byte send at t=5 does fit into [10,15).
+        assert_eq!(nic.reserve(5.0, 5), 15.0);
+    }
+
+    #[test]
+    fn adjacent_intervals_merge() {
+        let nic = NodeNic::new(1.0);
+        for k in 0..100 {
+            nic.reserve(k as f64 * 10.0, 10);
+        }
+        // All reservations were back-to-back → a single merged interval.
+        assert_eq!(nic.busy.lock().len(), 1);
+    }
+
+    #[test]
+    fn reset_clears_backlog() {
+        let nic = NodeNic::new(1.0);
+        nic.reserve(0.0, 1_000_000);
+        nic.reset();
+        assert_eq!(nic.reserve(0.0, 1), 1.0);
+    }
+
+    #[test]
+    fn zero_sized_sends_cost_nothing() {
+        let nic = NodeNic::new(1.0);
+        assert_eq!(nic.reserve(7.0, 0), 7.0);
+        assert!(nic.busy.lock().is_empty());
+    }
+}

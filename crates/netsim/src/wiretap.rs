@@ -1,0 +1,143 @@
+//! A passive network adversary for tests.
+//!
+//! The threat model of the paper is a network eavesdropper: inter-node
+//! traffic is visible (and tamperable), intra-node traffic is not. The
+//! [`Wiretap`] records every frame that crosses an inter-node link so tests
+//! can assert the security contract of every encrypted algorithm: *no
+//! plaintext byte sequence ever appears on the wire*.
+
+use parking_lot::Mutex;
+
+/// What kind of payload a recorded frame claimed to be.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FrameKind {
+    /// Sent as plaintext (allowed only intra-node; the tap flags it).
+    Plain,
+    /// Sent as an encrypted frame (nonce ‖ ciphertext ‖ tag).
+    Cipher,
+    /// Phantom payload (cost simulation; no bytes to inspect).
+    Phantom,
+}
+
+/// One captured inter-node frame.
+#[derive(Debug, Clone)]
+pub struct FrameRecord {
+    /// Sending rank.
+    pub src: usize,
+    /// Receiving rank.
+    pub dst: usize,
+    /// Payload classification at capture time.
+    pub kind: FrameKind,
+    /// Wire length in bytes.
+    pub len: usize,
+    /// Captured bytes (empty for phantom frames).
+    pub bytes: Vec<u8>,
+}
+
+/// Records all inter-node traffic of a run.
+#[derive(Debug, Default)]
+pub struct Wiretap {
+    frames: Mutex<Vec<FrameRecord>>,
+}
+
+impl Wiretap {
+    /// An empty tap.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one frame.
+    pub fn capture(&self, record: FrameRecord) {
+        self.frames.lock().push(record);
+    }
+
+    /// Number of captured frames.
+    pub fn frame_count(&self) -> usize {
+        self.frames.lock().len()
+    }
+
+    /// Snapshot of all captured frames.
+    pub fn frames(&self) -> Vec<FrameRecord> {
+        self.frames.lock().clone()
+    }
+
+    /// Total bytes observed on inter-node links.
+    pub fn total_bytes(&self) -> usize {
+        self.frames.lock().iter().map(|f| f.len).sum()
+    }
+
+    /// True if any captured frame was classified as plaintext.
+    pub fn saw_plaintext_frame(&self) -> bool {
+        self.frames
+            .lock()
+            .iter()
+            .any(|f| f.kind == FrameKind::Plain)
+    }
+
+    /// True if `needle` occurs as a contiguous byte substring of any captured
+    /// frame. Used with high-entropy plaintext blocks: a hit means plaintext
+    /// leaked onto the network.
+    pub fn contains(&self, needle: &[u8]) -> bool {
+        if needle.is_empty() {
+            return false;
+        }
+        self.frames
+            .lock()
+            .iter()
+            .any(|f| f.bytes.windows(needle.len()).any(|w| w == needle))
+    }
+
+    /// Clears all captured frames.
+    pub fn clear(&self) {
+        self.frames.lock().clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn frame(kind: FrameKind, bytes: &[u8]) -> FrameRecord {
+        FrameRecord {
+            src: 0,
+            dst: 1,
+            kind,
+            len: bytes.len(),
+            bytes: bytes.to_vec(),
+        }
+    }
+
+    #[test]
+    fn records_and_counts() {
+        let tap = Wiretap::new();
+        tap.capture(frame(FrameKind::Cipher, &[1, 2, 3]));
+        tap.capture(frame(FrameKind::Cipher, &[4, 5]));
+        assert_eq!(tap.frame_count(), 2);
+        assert_eq!(tap.total_bytes(), 5);
+        assert!(!tap.saw_plaintext_frame());
+    }
+
+    #[test]
+    fn flags_plaintext_frames() {
+        let tap = Wiretap::new();
+        tap.capture(frame(FrameKind::Plain, b"secret"));
+        assert!(tap.saw_plaintext_frame());
+    }
+
+    #[test]
+    fn substring_search() {
+        let tap = Wiretap::new();
+        tap.capture(frame(FrameKind::Cipher, b"xxTOPSECRETyy"));
+        assert!(tap.contains(b"TOPSECRET"));
+        assert!(!tap.contains(b"TOPSECRES"));
+        assert!(!tap.contains(b""));
+    }
+
+    #[test]
+    fn clear_empties_the_tap() {
+        let tap = Wiretap::new();
+        tap.capture(frame(FrameKind::Cipher, &[1]));
+        tap.clear();
+        assert_eq!(tap.frame_count(), 0);
+    }
+}

@@ -1,0 +1,128 @@
+//! Per-process metrics matching the paper's six performance measures.
+//!
+//! Section IV-A defines, per critical-path process:
+//! `rc` communication rounds, `sc` bytes sent/received, `re` encryption
+//! rounds, `se` bytes encrypted, `rd` decryption rounds, `sd` bytes
+//! decrypted. The runtime counts all six (plus a few extras) so tests can
+//! check measured values against the paper's Table II formulas and Table I
+//! lower bounds.
+
+/// Counters for one process, one collective invocation.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct Metrics {
+    /// Communication rounds (one per blocking receive).
+    pub comm_rounds: u64,
+    /// Bytes sent (wire bytes, all links).
+    pub bytes_sent: u64,
+    /// Bytes received (wire bytes, all links).
+    pub bytes_recv: u64,
+    /// Payload bytes sent: wire bytes minus the 28-byte GCM framing of each
+    /// sealed item (the paper's analyses "ignore this constant overhead").
+    pub payload_sent: u64,
+    /// Payload bytes received (framing-free).
+    pub payload_recv: u64,
+    /// Bytes sent over inter-node links only.
+    pub inter_bytes_sent: u64,
+    /// Encryption operations.
+    pub enc_rounds: u64,
+    /// Plaintext bytes encrypted.
+    pub enc_bytes: u64,
+    /// Decryption operations.
+    pub dec_rounds: u64,
+    /// Plaintext bytes recovered by decryption.
+    pub dec_bytes: u64,
+    /// Shared-memory/user-buffer copies performed.
+    pub copies: u64,
+    /// Bytes moved by those copies.
+    pub copy_bytes: u64,
+}
+
+impl Metrics {
+    /// `sc` in the paper's terms: bytes through this process's critical path
+    /// (the larger of sent and received), wire bytes.
+    pub fn sc(&self) -> u64 {
+        self.bytes_sent.max(self.bytes_recv)
+    }
+
+    /// `sc` with the GCM framing excluded — directly comparable to the
+    /// paper's Table II formulas, which treat ciphertext and plaintext as
+    /// the same length.
+    pub fn sc_payload(&self) -> u64 {
+        self.payload_sent.max(self.payload_recv)
+    }
+
+    /// Component-wise maximum: the per-metric critical path over processes.
+    pub fn component_max(all: &[Metrics]) -> Metrics {
+        let mut out = Metrics::default();
+        for m in all {
+            out.comm_rounds = out.comm_rounds.max(m.comm_rounds);
+            out.bytes_sent = out.bytes_sent.max(m.bytes_sent);
+            out.bytes_recv = out.bytes_recv.max(m.bytes_recv);
+            out.payload_sent = out.payload_sent.max(m.payload_sent);
+            out.payload_recv = out.payload_recv.max(m.payload_recv);
+            out.inter_bytes_sent = out.inter_bytes_sent.max(m.inter_bytes_sent);
+            out.enc_rounds = out.enc_rounds.max(m.enc_rounds);
+            out.enc_bytes = out.enc_bytes.max(m.enc_bytes);
+            out.dec_rounds = out.dec_rounds.max(m.dec_rounds);
+            out.dec_bytes = out.dec_bytes.max(m.dec_bytes);
+            out.copies = out.copies.max(m.copies);
+            out.copy_bytes = out.copy_bytes.max(m.copy_bytes);
+        }
+        out
+    }
+
+    /// Sum over processes (for aggregate traffic checks).
+    pub fn component_sum(all: &[Metrics]) -> Metrics {
+        let mut out = Metrics::default();
+        for m in all {
+            out.comm_rounds += m.comm_rounds;
+            out.bytes_sent += m.bytes_sent;
+            out.bytes_recv += m.bytes_recv;
+            out.payload_sent += m.payload_sent;
+            out.payload_recv += m.payload_recv;
+            out.inter_bytes_sent += m.inter_bytes_sent;
+            out.enc_rounds += m.enc_rounds;
+            out.enc_bytes += m.enc_bytes;
+            out.dec_rounds += m.dec_rounds;
+            out.dec_bytes += m.dec_bytes;
+            out.copies += m.copies;
+            out.copy_bytes += m.copy_bytes;
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sc_is_max_of_sent_and_received() {
+        let m = Metrics {
+            bytes_sent: 10,
+            bytes_recv: 25,
+            ..Default::default()
+        };
+        assert_eq!(m.sc(), 25);
+    }
+
+    #[test]
+    fn component_max_and_sum() {
+        let a = Metrics {
+            comm_rounds: 3,
+            enc_bytes: 100,
+            ..Default::default()
+        };
+        let b = Metrics {
+            comm_rounds: 5,
+            enc_bytes: 10,
+            ..Default::default()
+        };
+        let max = Metrics::component_max(&[a, b]);
+        assert_eq!(max.comm_rounds, 5);
+        assert_eq!(max.enc_bytes, 100);
+        let sum = Metrics::component_sum(&[a, b]);
+        assert_eq!(sum.comm_rounds, 8);
+        assert_eq!(sum.enc_bytes, 110);
+    }
+}

@@ -1,0 +1,345 @@
+//! The data plane: plaintext chunks, sealed (encrypted) chunks, and parcels.
+//!
+//! Algorithms are written once against these types and run in two modes:
+//!
+//! - **Real** — [`Data::Real`] carries actual bytes; encryption is real
+//!   AES-128-GCM. Used by correctness/security tests, examples, and the
+//!   wall-clock benchmarks.
+//! - **Phantom** — [`Data::Phantom`] carries only a length. Used by the
+//!   cluster-scale virtual-time simulations (e.g. p = 1024 with 512 KB
+//!   blocks, where real buffers would need hundreds of gigabytes).
+//!
+//! Both modes track *origins*: which ranks' blocks a chunk contains, in
+//! order. Even a phantom simulation therefore proves the all-gather
+//! postcondition (every rank ends with every origin exactly once).
+
+use eag_netsim::Rank;
+
+/// Payload bytes, real or phantom.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Data {
+    /// Actual bytes.
+    Real(Vec<u8>),
+    /// Length-only placeholder for cost simulation.
+    Phantom(usize),
+}
+
+impl Data {
+    /// Length in bytes (plaintext length for chunks, wire length for seals).
+    pub fn len(&self) -> usize {
+        match self {
+            Data::Real(b) => b.len(),
+            Data::Phantom(n) => *n,
+        }
+    }
+
+    /// True when the length is zero.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// True for [`Data::Real`].
+    pub fn is_real(&self) -> bool {
+        matches!(self, Data::Real(_))
+    }
+
+    /// Borrows the real bytes; panics on phantom data.
+    pub fn bytes(&self) -> &[u8] {
+        match self {
+            Data::Real(b) => b,
+            Data::Phantom(_) => panic!("phantom data has no bytes"),
+        }
+    }
+}
+
+/// A plaintext fragment: the blocks of `origins` (each `block_len` bytes),
+/// concatenated in `origins` order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Chunk {
+    /// Ranks whose blocks this chunk carries, in data order.
+    pub origins: Vec<Rank>,
+    /// Per-origin block length in bytes.
+    pub block_len: usize,
+    /// The concatenated block bytes (real or phantom).
+    pub data: Data,
+}
+
+impl Chunk {
+    /// A chunk holding a single origin's block.
+    pub fn single(origin: Rank, data: Data) -> Self {
+        let block_len = data.len();
+        Chunk {
+            origins: vec![origin],
+            block_len,
+            data,
+        }
+    }
+
+    /// Total plaintext length.
+    pub fn len(&self) -> usize {
+        self.origins.len() * self.block_len
+    }
+
+    /// True when the chunk carries no bytes.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Concatenates several chunks into one (origins order preserved).
+    /// All inputs must agree on `block_len` and data mode.
+    pub fn concat(chunks: &[Chunk]) -> Chunk {
+        assert!(!chunks.is_empty(), "cannot concat zero chunks");
+        let block_len = chunks[0].block_len;
+        let mut origins = Vec::new();
+        let phantom = !chunks[0].data.is_real();
+        let mut bytes = Vec::new();
+        let mut total = 0usize;
+        for c in chunks {
+            assert_eq!(c.block_len, block_len, "mixed block lengths");
+            assert_eq!(!c.data.is_real(), phantom, "mixed data modes");
+            origins.extend_from_slice(&c.origins);
+            total += c.data.len();
+            if !phantom {
+                bytes.extend_from_slice(c.data.bytes());
+            }
+        }
+        Chunk {
+            origins,
+            block_len,
+            data: if phantom {
+                Data::Phantom(total)
+            } else {
+                Data::Real(bytes)
+            },
+        }
+    }
+
+    /// Splits the chunk into one single-origin chunk per origin.
+    pub fn split(&self) -> Vec<Chunk> {
+        let m = self.block_len;
+        self.origins
+            .iter()
+            .enumerate()
+            .map(|(i, &origin)| Chunk {
+                origins: vec![origin],
+                block_len: m,
+                data: match &self.data {
+                    Data::Real(b) => Data::Real(b[i * m..(i + 1) * m].to_vec()),
+                    Data::Phantom(_) => Data::Phantom(m),
+                },
+            })
+            .collect()
+    }
+
+    /// Internal consistency: data length equals `origins.len() * block_len`.
+    pub fn check(&self) {
+        assert_eq!(
+            self.data.len(),
+            self.origins.len() * self.block_len,
+            "chunk data length does not match origins"
+        );
+    }
+}
+
+/// An encrypted fragment: GCM-sealed bytes of a [`Chunk`], plus the metadata
+/// needed to route and account for it. Wire layout (real mode):
+/// `nonce(12) ‖ ciphertext(plain_len) ‖ tag(16)`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Sealed {
+    /// Ranks whose blocks the underlying plaintext carries, in order.
+    pub origins: Vec<Rank>,
+    /// Per-origin block length of the underlying plaintext.
+    pub block_len: usize,
+    /// Underlying plaintext length in bytes.
+    pub plain_len: usize,
+    /// The wire bytes (real) or wire length (phantom).
+    pub data: Data,
+}
+
+impl Sealed {
+    /// Wire length: plaintext + 28 bytes of nonce/tag framing.
+    pub fn wire_len(&self) -> usize {
+        self.plain_len + eag_crypto::WIRE_OVERHEAD
+    }
+}
+
+/// One item inside a wire message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Item {
+    /// Plaintext (allowed on intra-node links only, by convention).
+    Plain(Chunk),
+    /// Encrypted.
+    Sealed(Sealed),
+}
+
+impl Item {
+    /// Bytes this item occupies on the wire.
+    pub fn wire_len(&self) -> usize {
+        match self {
+            Item::Plain(c) => c.len(),
+            Item::Sealed(s) => s.wire_len(),
+        }
+    }
+
+    /// Payload bytes: wire bytes without the GCM framing.
+    pub fn payload_len(&self) -> usize {
+        match self {
+            Item::Plain(c) => c.len(),
+            Item::Sealed(s) => s.plain_len,
+        }
+    }
+
+    /// Origins covered by this item.
+    pub fn origins(&self) -> &[Rank] {
+        match self {
+            Item::Plain(c) => &c.origins,
+            Item::Sealed(s) => &s.origins,
+        }
+    }
+
+    /// Unwraps a plaintext chunk; panics on sealed items.
+    pub fn into_plain(self) -> Chunk {
+        match self {
+            Item::Plain(c) => c,
+            Item::Sealed(_) => panic!("expected plaintext item, found sealed"),
+        }
+    }
+
+    /// Unwraps a sealed chunk; panics on plaintext items.
+    pub fn into_sealed(self) -> Sealed {
+        match self {
+            Item::Plain(_) => panic!("expected sealed item, found plaintext"),
+            Item::Sealed(s) => s,
+        }
+    }
+}
+
+/// One point-to-point message: a batch of items sent together.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Parcel {
+    /// The items, in sender-chosen order.
+    pub items: Vec<Item>,
+}
+
+impl Parcel {
+    /// An empty parcel.
+    pub fn new() -> Self {
+        Parcel { items: Vec::new() }
+    }
+
+    /// A parcel with one item.
+    pub fn one(item: Item) -> Self {
+        Parcel { items: vec![item] }
+    }
+
+    /// Total wire bytes.
+    pub fn wire_len(&self) -> usize {
+        self.items.iter().map(Item::wire_len).sum()
+    }
+
+    /// Total payload bytes (framing excluded).
+    pub fn payload_len(&self) -> usize {
+        self.items.iter().map(Item::payload_len).sum()
+    }
+
+    /// True if any item is plaintext.
+    pub fn has_plain(&self) -> bool {
+        self.items.iter().any(|i| matches!(i, Item::Plain(_)))
+    }
+}
+
+/// Deterministic test pattern for rank `origin`'s block: high-entropy-looking
+/// but reproducible, so receivers can verify content without communication.
+pub fn pattern_block(seed: u64, origin: Rank, len: usize) -> Vec<u8> {
+    // splitmix64 stream keyed by (seed, origin).
+    let mut state = seed ^ (origin as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    let mut out = Vec::with_capacity(len);
+    while out.len() < len {
+        state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^= z >> 31;
+        let bytes = z.to_le_bytes();
+        let take = bytes.len().min(len - out.len());
+        out.extend_from_slice(&bytes[..take]);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chunk_concat_and_split_roundtrip() {
+        let a = Chunk::single(0, Data::Real(vec![1, 2, 3]));
+        let b = Chunk::single(5, Data::Real(vec![4, 5, 6]));
+        let c = Chunk::concat(&[a.clone(), b.clone()]);
+        assert_eq!(c.origins, vec![0, 5]);
+        assert_eq!(c.len(), 6);
+        c.check();
+        let parts = c.split();
+        assert_eq!(parts, vec![a, b]);
+    }
+
+    #[test]
+    fn phantom_concat_tracks_lengths_and_origins() {
+        let a = Chunk::single(1, Data::Phantom(100));
+        let b = Chunk::single(2, Data::Phantom(100));
+        let c = Chunk::concat(&[a, b]);
+        assert_eq!(c.data.len(), 200);
+        assert_eq!(c.origins, vec![1, 2]);
+        let parts = c.split();
+        assert_eq!(parts.len(), 2);
+        assert_eq!(parts[0].data, Data::Phantom(100));
+    }
+
+    #[test]
+    #[should_panic(expected = "mixed data modes")]
+    fn concat_rejects_mixed_modes() {
+        let a = Chunk::single(0, Data::Real(vec![0; 4]));
+        let b = Chunk::single(1, Data::Phantom(4));
+        let _ = Chunk::concat(&[a, b]);
+    }
+
+    #[test]
+    fn sealed_wire_len_adds_28() {
+        let s = Sealed {
+            origins: vec![3],
+            block_len: 100,
+            plain_len: 100,
+            data: Data::Phantom(128),
+        };
+        assert_eq!(s.wire_len(), 128);
+    }
+
+    #[test]
+    fn parcel_wire_len_sums_items() {
+        let p = Parcel {
+            items: vec![
+                Item::Plain(Chunk::single(0, Data::Phantom(10))),
+                Item::Sealed(Sealed {
+                    origins: vec![1],
+                    block_len: 10,
+                    plain_len: 10,
+                    data: Data::Phantom(38),
+                }),
+            ],
+        };
+        assert_eq!(p.wire_len(), 48);
+        assert!(p.has_plain());
+    }
+
+    #[test]
+    fn pattern_block_is_deterministic_and_distinct() {
+        let a = pattern_block(7, 0, 64);
+        let b = pattern_block(7, 0, 64);
+        let c = pattern_block(7, 1, 64);
+        let d = pattern_block(8, 0, 64);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert_ne!(a, d);
+        assert_eq!(pattern_block(7, 0, 5).len(), 5);
+    }
+}

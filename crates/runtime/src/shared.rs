@@ -1,0 +1,209 @@
+//! Node-local shared memory: deposit/fetch slots and a clock-synchronizing
+//! barrier.
+//!
+//! The HS1/HS2 algorithms (paper Section IV-B) communicate *within* a node
+//! through shared-memory plaintext/ciphertext buffers rather than message
+//! passing. [`NodeShared`] models one node's shared segment: processes
+//! deposit items into named slots, peers fetch them, and a node barrier
+//! separates phases. In virtual time, a fetch completes no earlier than the
+//! deposit's completion, and barriers align all participants' clocks.
+
+use crate::payload::Item;
+use parking_lot::{Condvar, Mutex};
+use std::collections::HashMap;
+
+/// A slot address inside a node's shared segment.
+pub type SlotKey = (u64, usize); // (phase tag, index)
+
+struct DepositedItem {
+    item: Item,
+    /// Virtual time at which the deposit became visible.
+    ready_us: f64,
+}
+
+#[derive(Default)]
+struct SlotMap {
+    slots: HashMap<SlotKey, DepositedItem>,
+}
+
+struct BarrierState {
+    generation: u64,
+    arrived: usize,
+    max_clock_us: f64,
+    release_clock_us: f64,
+}
+
+/// One node's shared-memory segment.
+pub struct NodeShared {
+    participants: usize,
+    slots: Mutex<SlotMap>,
+    slots_cv: Condvar,
+    barrier: Mutex<BarrierState>,
+    barrier_cv: Condvar,
+    poisoned: std::sync::atomic::AtomicBool,
+}
+
+impl NodeShared {
+    /// A segment shared by `participants` processes.
+    pub fn new(participants: usize) -> Self {
+        NodeShared {
+            participants,
+            slots: Mutex::new(SlotMap::default()),
+            slots_cv: Condvar::new(),
+            barrier: Mutex::new(BarrierState {
+                generation: 0,
+                arrived: 0,
+                max_clock_us: 0.0,
+                release_clock_us: 0.0,
+            }),
+            barrier_cv: Condvar::new(),
+            poisoned: std::sync::atomic::AtomicBool::new(false),
+        }
+    }
+
+    /// Marks the segment poisoned (a sibling process panicked) and wakes all
+    /// waiters so they can propagate the failure instead of deadlocking.
+    pub fn poison(&self) {
+        self.poisoned
+            .store(true, std::sync::atomic::Ordering::SeqCst);
+        self.slots_cv.notify_all();
+        self.barrier_cv.notify_all();
+    }
+
+    fn check_poison(&self) {
+        if self.poisoned.load(std::sync::atomic::Ordering::SeqCst) {
+            panic!("node shared segment poisoned: a sibling process panicked");
+        }
+    }
+
+    /// Number of processes sharing this segment.
+    pub fn participants(&self) -> usize {
+        self.participants
+    }
+
+    /// Deposits `item` into `key`, visible from virtual time `ready_us`.
+    /// Panics if the slot is already occupied (phase tags must be unique).
+    pub fn deposit(&self, key: SlotKey, item: Item, ready_us: f64) {
+        let mut slots = self.slots.lock();
+        let prev = slots.slots.insert(key, DepositedItem { item, ready_us });
+        assert!(prev.is_none(), "shared-memory slot {key:?} deposited twice");
+        drop(slots);
+        self.slots_cv.notify_all();
+    }
+
+    /// Fetches (clones) the item in `key`, blocking until deposited.
+    /// Returns the item and the virtual time it became visible.
+    pub fn fetch(&self, key: SlotKey) -> (Item, f64) {
+        let mut slots = self.slots.lock();
+        loop {
+            self.check_poison();
+            if let Some(d) = slots.slots.get(&key) {
+                return (d.item.clone(), d.ready_us);
+            }
+            self.slots_cv.wait(&mut slots);
+        }
+    }
+
+    /// Removes the item in `key` if present (cleanup between phases).
+    pub fn take(&self, key: SlotKey) -> Option<Item> {
+        self.slots.lock().slots.remove(&key).map(|d| d.item)
+    }
+
+    /// Node barrier: blocks until all participants arrive, and returns the
+    /// common release clock = max(arrival clocks) + `barrier_cost_us`.
+    pub fn barrier(&self, my_clock_us: f64, barrier_cost_us: f64) -> f64 {
+        let mut st = self.barrier.lock();
+        let gen = st.generation;
+        st.max_clock_us = st.max_clock_us.max(my_clock_us);
+        st.arrived += 1;
+        if st.arrived == self.participants {
+            st.release_clock_us = st.max_clock_us + barrier_cost_us;
+            st.generation += 1;
+            st.arrived = 0;
+            st.max_clock_us = 0.0;
+            let release = st.release_clock_us;
+            drop(st);
+            self.barrier_cv.notify_all();
+            release
+        } else {
+            while st.generation == gen {
+                self.check_poison();
+                self.barrier_cv.wait(&mut st);
+            }
+            st.release_clock_us
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::payload::{Chunk, Data};
+    use std::sync::Arc;
+
+    fn item(v: u8) -> Item {
+        Item::Plain(Chunk::single(0, Data::Real(vec![v; 4])))
+    }
+
+    #[test]
+    fn deposit_then_fetch() {
+        let sh = NodeShared::new(1);
+        sh.deposit((1, 0), item(7), 5.0);
+        let (got, ready) = sh.fetch((1, 0));
+        assert_eq!(got, item(7));
+        assert_eq!(ready, 5.0);
+    }
+
+    #[test]
+    fn fetch_blocks_until_deposit() {
+        let sh = Arc::new(NodeShared::new(2));
+        let sh2 = Arc::clone(&sh);
+        let handle = std::thread::spawn(move || sh2.fetch((9, 3)).0);
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        sh.deposit((9, 3), item(1), 0.0);
+        assert_eq!(handle.join().unwrap(), item(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "deposited twice")]
+    fn double_deposit_panics() {
+        let sh = NodeShared::new(1);
+        sh.deposit((1, 0), item(1), 0.0);
+        sh.deposit((1, 0), item(2), 0.0);
+    }
+
+    #[test]
+    fn take_removes_slot() {
+        let sh = NodeShared::new(1);
+        sh.deposit((1, 0), item(1), 0.0);
+        assert!(sh.take((1, 0)).is_some());
+        assert!(sh.take((1, 0)).is_none());
+    }
+
+    #[test]
+    fn barrier_aligns_clocks_to_max() {
+        let sh = Arc::new(NodeShared::new(3));
+        let clocks = [3.0, 10.0, 7.0];
+        let mut handles = Vec::new();
+        for &c in &clocks {
+            let sh = Arc::clone(&sh);
+            handles.push(std::thread::spawn(move || sh.barrier(c, 0.5)));
+        }
+        for h in handles {
+            assert_eq!(h.join().unwrap(), 10.5);
+        }
+    }
+
+    #[test]
+    fn barrier_is_reusable_across_generations() {
+        let sh = Arc::new(NodeShared::new(2));
+        for round in 0..3 {
+            let sh2 = Arc::clone(&sh);
+            let base = round as f64 * 100.0;
+            let h = std::thread::spawn(move || sh2.barrier(base + 1.0, 0.0));
+            let mine = sh.barrier(base + 2.0, 0.0);
+            assert_eq!(mine, base + 2.0);
+            assert_eq!(h.join().unwrap(), base + 2.0);
+        }
+    }
+}

@@ -1,0 +1,296 @@
+//! Virtual-time event tracing.
+//!
+//! When enabled, every rank records what it did and when (in virtual time):
+//! sends, receives, crypto operations, copies, and barriers. Traces feed the
+//! overlap analyses in tests and can be rendered as a per-rank ASCII
+//! timeline for debugging algorithm schedules.
+
+use eag_netsim::{LinkClass, Rank};
+
+/// What a traced interval was spent on.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum EventKind {
+    /// Transmitting a message (occupancy on the sender).
+    Send {
+        /// Destination rank.
+        dst: Rank,
+        /// Wire bytes.
+        bytes: usize,
+        /// Link class traversed.
+        link: LinkClass,
+    },
+    /// Waiting for and receiving a message.
+    Recv {
+        /// Source rank.
+        src: Rank,
+        /// Wire bytes.
+        bytes: usize,
+    },
+    /// Encrypting (sealing) plaintext.
+    Encrypt {
+        /// Plaintext bytes.
+        bytes: usize,
+    },
+    /// Decrypting (opening) a ciphertext.
+    Decrypt {
+        /// Plaintext bytes recovered.
+        bytes: usize,
+    },
+    /// A memory copy (shared-memory deposit/fetch or user-buffer placement).
+    Copy {
+        /// Bytes moved.
+        bytes: usize,
+    },
+    /// A node-local barrier.
+    Barrier,
+}
+
+impl EventKind {
+    /// Short label for rendering.
+    pub fn label(&self) -> &'static str {
+        match self {
+            EventKind::Send { .. } => "send",
+            EventKind::Recv { .. } => "recv",
+            EventKind::Encrypt { .. } => "enc",
+            EventKind::Decrypt { .. } => "dec",
+            EventKind::Copy { .. } => "copy",
+            EventKind::Barrier => "barrier",
+        }
+    }
+}
+
+/// One traced interval on one rank's virtual timeline.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Event {
+    /// Virtual time the activity started, µs.
+    pub start_us: f64,
+    /// Virtual time it ended, µs (clock value after the operation).
+    pub end_us: f64,
+    /// What the interval was spent on.
+    pub kind: EventKind,
+}
+
+impl Event {
+    /// Interval length in µs.
+    pub fn duration_us(&self) -> f64 {
+        self.end_us - self.start_us
+    }
+}
+
+/// A rank's recorded timeline.
+pub type Trace = Vec<Event>;
+
+/// Summed busy time per activity class: (send, recv-wait, enc, dec, copy,
+/// barrier-wait) in µs.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct BusyBreakdown {
+    /// Transmission occupancy.
+    pub send_us: f64,
+    /// Receive waits (includes blocking on slower peers).
+    pub recv_us: f64,
+    /// Encryption time.
+    pub enc_us: f64,
+    /// Decryption time.
+    pub dec_us: f64,
+    /// Copy time.
+    pub copy_us: f64,
+    /// Barrier waits.
+    pub barrier_us: f64,
+}
+
+impl BusyBreakdown {
+    /// Aggregates a trace.
+    pub fn of(trace: &Trace) -> BusyBreakdown {
+        let mut b = BusyBreakdown::default();
+        for e in trace {
+            let d = e.duration_us();
+            match e.kind {
+                EventKind::Send { .. } => b.send_us += d,
+                EventKind::Recv { .. } => b.recv_us += d,
+                EventKind::Encrypt { .. } => b.enc_us += d,
+                EventKind::Decrypt { .. } => b.dec_us += d,
+                EventKind::Copy { .. } => b.copy_us += d,
+                EventKind::Barrier => b.barrier_us += d,
+            }
+        }
+        b
+    }
+
+    /// Total accounted time.
+    pub fn total_us(&self) -> f64 {
+        self.send_us + self.recv_us + self.enc_us + self.dec_us + self.copy_us + self.barrier_us
+    }
+}
+
+/// Renders per-rank timelines as an ASCII Gantt chart (one row per rank,
+/// `cols` character cells across the full duration).
+pub fn render_gantt(traces: &[Trace], cols: usize) -> String {
+    let horizon = traces
+        .iter()
+        .flat_map(|t| t.iter().map(|e| e.end_us))
+        .fold(0.0f64, f64::max);
+    if horizon <= 0.0 {
+        return String::from("(empty trace)\n");
+    }
+    let glyph = |kind: &EventKind| match kind {
+        EventKind::Send { .. } => 'S',
+        EventKind::Recv { .. } => 'r',
+        EventKind::Encrypt { .. } => 'E',
+        EventKind::Decrypt { .. } => 'D',
+        EventKind::Copy { .. } => 'c',
+        EventKind::Barrier => '|',
+    };
+    let mut out = String::new();
+    out.push_str(&format!(
+        "virtual time 0 .. {horizon:.2} µs ({cols} cells; S=send r=recv E=encrypt D=decrypt c=copy |=barrier)\n"
+    ));
+    for (rank, trace) in traces.iter().enumerate() {
+        let mut row = vec!['.'; cols];
+        for e in trace {
+            let a = ((e.start_us / horizon) * cols as f64).floor() as usize;
+            let b = ((e.end_us / horizon) * cols as f64).ceil() as usize;
+            for cell in row.iter_mut().take(b.min(cols)).skip(a.min(cols.saturating_sub(1))) {
+                *cell = glyph(&e.kind);
+            }
+        }
+        out.push_str(&format!("rank {rank:>4} "));
+        out.extend(row);
+        out.push('\n');
+    }
+    out
+}
+
+/// Serializes traces in the Chrome Trace Event format (the JSON accepted by
+/// `chrome://tracing` and Perfetto): one complete ("X") event per traced
+/// interval, one "thread" per rank. Timestamps are the virtual clocks in µs.
+pub fn to_chrome_trace(traces: &[Trace]) -> String {
+    fn esc(s: &str) -> String {
+        s.replace('\\', "\\\\").replace('"', "\\\"")
+    }
+    let mut out = String::from("[");
+    let mut first = true;
+    for (rank, trace) in traces.iter().enumerate() {
+        for e in trace {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            let args = match e.kind {
+                EventKind::Send { dst, bytes, link } => {
+                    format!("{{\"dst\":{dst},\"bytes\":{bytes},\"link\":\"{link:?}\"}}")
+                }
+                EventKind::Recv { src, bytes } => {
+                    format!("{{\"src\":{src},\"bytes\":{bytes}}}")
+                }
+                EventKind::Encrypt { bytes }
+                | EventKind::Decrypt { bytes }
+                | EventKind::Copy { bytes } => format!("{{\"bytes\":{bytes}}}"),
+                EventKind::Barrier => "{}".to_string(),
+            };
+            out.push_str(&format!(
+                "{{\"name\":\"{}\",\"ph\":\"X\",\"pid\":0,\"tid\":{rank},\
+                 \"ts\":{:.3},\"dur\":{:.3},\"args\":{args}}}",
+                esc(e.kind.label()),
+                e.start_us,
+                e.duration_us().max(0.0),
+            ));
+        }
+    }
+    out.push(']');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(start: f64, end: f64, kind: EventKind) -> Event {
+        Event {
+            start_us: start,
+            end_us: end,
+            kind,
+        }
+    }
+
+    #[test]
+    fn breakdown_sums_by_class() {
+        let trace = vec![
+            ev(0.0, 2.0, EventKind::Encrypt { bytes: 10 }),
+            ev(2.0, 5.0, EventKind::Send {
+                dst: 1,
+                bytes: 10,
+                link: LinkClass::Inter,
+            }),
+            ev(5.0, 9.0, EventKind::Recv { src: 1, bytes: 10 }),
+            ev(9.0, 10.0, EventKind::Decrypt { bytes: 10 }),
+        ];
+        let b = BusyBreakdown::of(&trace);
+        assert_eq!(b.enc_us, 2.0);
+        assert_eq!(b.send_us, 3.0);
+        assert_eq!(b.recv_us, 4.0);
+        assert_eq!(b.dec_us, 1.0);
+        assert_eq!(b.total_us(), 10.0);
+    }
+
+    #[test]
+    fn gantt_renders_rows() {
+        let traces = vec![
+            vec![ev(0.0, 5.0, EventKind::Encrypt { bytes: 1 })],
+            vec![ev(5.0, 10.0, EventKind::Recv { src: 0, bytes: 1 })],
+        ];
+        let s = render_gantt(&traces, 10);
+        assert!(s.contains("rank    0"));
+        assert!(s.contains('E'));
+        assert!(s.contains('r'));
+    }
+
+    #[test]
+    fn gantt_handles_empty() {
+        assert_eq!(render_gantt(&[], 10), "(empty trace)\n");
+    }
+
+    #[test]
+    fn labels() {
+        assert_eq!(EventKind::Barrier.label(), "barrier");
+        assert_eq!(EventKind::Encrypt { bytes: 0 }.label(), "enc");
+    }
+}
+
+#[cfg(test)]
+mod chrome_tests {
+    use super::*;
+
+    #[test]
+    fn chrome_trace_is_wellformed() {
+        let traces = vec![
+            vec![Event {
+                start_us: 0.0,
+                end_us: 2.5,
+                kind: EventKind::Encrypt { bytes: 64 },
+            }],
+            vec![Event {
+                start_us: 1.0,
+                end_us: 3.0,
+                kind: EventKind::Send {
+                    dst: 0,
+                    bytes: 92,
+                    link: LinkClass::Inter,
+                },
+            }],
+        ];
+        let json = to_chrome_trace(&traces);
+        assert!(json.starts_with('[') && json.ends_with(']'));
+        assert!(json.contains("\"name\":\"enc\""));
+        assert!(json.contains("\"tid\":1"));
+        assert!(json.contains("\"dur\":2.000"));
+        // Balanced braces (cheap well-formedness check).
+        let opens = json.matches('{').count();
+        let closes = json.matches('}').count();
+        assert_eq!(opens, closes);
+    }
+
+    #[test]
+    fn chrome_trace_empty() {
+        assert_eq!(to_chrome_trace(&[]), "[]");
+    }
+}

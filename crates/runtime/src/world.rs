@@ -1,0 +1,999 @@
+//! The process world: spawns one thread per MPI-style rank and gives each a
+//! [`ProcCtx`] with point-to-point messaging, shared memory, crypto, and a
+//! virtual clock priced by the cost model.
+
+use crate::metrics::Metrics;
+use crate::payload::{Chunk, Data, Item, Parcel, Sealed};
+use crate::shared::{NodeShared, SlotKey};
+use crate::trace::{Event, EventKind, Trace};
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use eag_crypto::{AesGcm128, Key, NonceSource, WIRE_OVERHEAD};
+use eag_netsim::fabric::FabricState;
+use eag_netsim::nic::NodeNic;
+use eag_netsim::{ClusterProfile, CostModel, FrameKind, FrameRecord, LinkClass, Rank, Topology, Wiretap};
+use std::collections::{HashMap, VecDeque};
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::Arc;
+
+/// Whether payloads carry real bytes or only lengths.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DataMode {
+    /// Real bytes; real AES-128-GCM. Input blocks are the deterministic
+    /// pattern `pattern_block(seed, rank, len)`.
+    Real {
+        /// Seed for the per-rank input patterns.
+        seed: u64,
+    },
+    /// Length-only payloads; crypto and communication are priced but not
+    /// performed. Needed for cluster-scale simulations.
+    Phantom,
+}
+
+/// Active-adversary fault injection (real mode only).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FaultPlan {
+    /// Flip one byte of the n-th inter-node frame (0-based, counted across
+    /// all ranks). Models on-path tampering; GCM must detect it.
+    pub corrupt_nth_inter_frame: Option<u64>,
+}
+
+/// Configuration of one run.
+#[derive(Clone)]
+pub struct WorldSpec {
+    /// Rank-to-node topology (p, N, mapping).
+    pub topology: Topology,
+    /// Cost model + metadata.
+    pub profile: ClusterProfile,
+    /// Real bytes or phantom lengths.
+    pub mode: DataMode,
+    /// Serialize concurrent inter-node streams through each node's NIC.
+    /// Disable for fully deterministic virtual times.
+    pub nic_contention: bool,
+    /// Store the bytes of inter-node frames in the wiretap (real mode only;
+    /// needed by the security tests, costs memory).
+    pub capture_wire: bool,
+    /// Record per-rank virtual-time event traces.
+    pub trace: bool,
+    /// Inject wire faults (tampering).
+    pub faults: FaultPlan,
+    /// Abort a blocking receive after this much *wall-clock* time with a
+    /// diagnostic panic instead of hanging. `None` waits forever. A
+    /// mismatched tag or a peer that never sends then fails the run loudly
+    /// (and the poison protocol unwinds the other ranks).
+    pub recv_timeout: Option<std::time::Duration>,
+}
+
+impl WorldSpec {
+    /// A spec with contention on and wire capture off.
+    pub fn new(topology: Topology, profile: ClusterProfile, mode: DataMode) -> Self {
+        WorldSpec {
+            topology,
+            profile,
+            mode,
+            nic_contention: true,
+            capture_wire: false,
+            trace: false,
+            faults: FaultPlan::default(),
+            recv_timeout: Some(std::time::Duration::from_secs(300)),
+        }
+    }
+}
+
+/// Reserved tag used to propagate panics between ranks.
+const POISON_TAG: u64 = u64::MAX;
+
+/// Associated data binding a sealed chunk to its routing metadata. The
+/// origins list and block length travel *outside* the ciphertext (receivers
+/// need them to route and split), so an active adversary could otherwise
+/// swap the metadata of two same-length ciphertexts and have blocks placed
+/// under the wrong ranks without failing authentication. Deriving the AAD
+/// from the metadata makes any such swap a GCM tag mismatch.
+fn seal_aad(origins: &[Rank], block_len: usize) -> Vec<u8> {
+    let mut aad = Vec::with_capacity(8 + 8 * origins.len() + 8);
+    aad.extend_from_slice(&(origins.len() as u64).to_le_bytes());
+    for &o in origins {
+        aad.extend_from_slice(&(o as u64).to_le_bytes());
+    }
+    aad.extend_from_slice(&(block_len as u64).to_le_bytes());
+    aad
+}
+
+struct Message {
+    src: Rank,
+    tag: u64,
+    parcel: Parcel,
+    arrive_us: f64,
+}
+
+/// Everything a rank needs during a collective: identity, messaging, shared
+/// memory, crypto, clock, and metrics.
+pub struct ProcCtx<'w> {
+    rank: Rank,
+    topo: &'w Topology,
+    model: &'w CostModel,
+    mvapich_switch_bytes: usize,
+    mode: DataMode,
+    clock_us: f64,
+    metrics: Metrics,
+    senders: &'w [Sender<Message>],
+    rx: Receiver<Message>,
+    pending: HashMap<(Rank, u64), VecDeque<Message>>,
+    gcm: &'w AesGcm128,
+    nonces: NonceSource,
+    nics: &'w [NodeNic],
+    fabric: Option<&'w FabricState>,
+    wiretap: &'w Wiretap,
+    shared: &'w [Arc<NodeShared>],
+    nic_contention: bool,
+    capture_wire: bool,
+    epoch: u64,
+    recv_timeout: Option<std::time::Duration>,
+    trace: Option<Trace>,
+    faults: FaultPlan,
+    inter_frame_counter: &'w std::sync::atomic::AtomicU64,
+}
+
+impl<'w> ProcCtx<'w> {
+    /// This process's rank.
+    pub fn rank(&self) -> Rank {
+        self.rank
+    }
+
+    /// Total number of processes p.
+    pub fn p(&self) -> usize {
+        self.topo.p()
+    }
+
+    /// The topology in force.
+    pub fn topology(&self) -> &Topology {
+        self.topo
+    }
+
+    /// The node hosting this rank.
+    pub fn node(&self) -> usize {
+        self.topo.node_of(self.rank)
+    }
+
+    /// The cost model in force.
+    pub fn model(&self) -> &CostModel {
+        self.model
+    }
+
+    /// Message size at which the modeled MVAPICH baseline switches RD→Ring.
+    pub fn mvapich_switch_bytes(&self) -> usize {
+        self.mvapich_switch_bytes
+    }
+
+    /// The data mode of this run.
+    pub fn mode(&self) -> DataMode {
+        self.mode
+    }
+
+    /// Current virtual time in µs.
+    pub fn clock_us(&self) -> f64 {
+        self.clock_us
+    }
+
+    /// Metrics accumulated so far.
+    pub fn metrics(&self) -> Metrics {
+        self.metrics
+    }
+
+    /// Resets clock and metrics (between repetitions inside one world).
+    pub fn reset_accounting(&mut self) {
+        self.clock_us = 0.0;
+        self.metrics = Metrics::default();
+    }
+
+    /// Starts a new collective epoch. Every collective invocation must call
+    /// this once on every rank so that shared-memory slot keys (and any
+    /// other epoch-scoped state) never collide with a previous invocation
+    /// in the same world.
+    pub fn begin_collective(&mut self) {
+        self.epoch += 1;
+    }
+
+    /// A shared-memory slot key scoped to the current collective epoch.
+    pub fn slot(&self, base: u64, idx: usize) -> SlotKey {
+        debug_assert!(base < 1 << 32, "slot base must fit below the epoch bits");
+        (base | (self.epoch << 32), idx)
+    }
+
+    #[inline]
+    fn record(&mut self, start_us: f64, kind: EventKind) {
+        if let Some(trace) = &mut self.trace {
+            trace.push(Event {
+                start_us,
+                end_us: self.clock_us,
+                kind,
+            });
+        }
+    }
+
+    /// This rank's own m-byte input block.
+    pub fn my_block(&self, len: usize) -> Chunk {
+        let data = match self.mode {
+            DataMode::Real { seed } => {
+                Data::Real(crate::payload::pattern_block(seed, self.rank, len))
+            }
+            DataMode::Phantom => Data::Phantom(len),
+        };
+        Chunk::single(self.rank, data)
+    }
+
+    // ----- point-to-point -------------------------------------------------
+
+    /// Sends `parcel` to `dst` with `tag`. Advances this rank's clock by the
+    /// transmission occupancy; the message arrives at
+    /// `occupancy end + α(link)`.
+    pub fn send(&mut self, dst: Rank, tag: u64, mut parcel: Parcel) {
+        assert!(tag != POISON_TAG, "tag {POISON_TAG} is reserved");
+        let t0 = self.clock_us;
+        let bytes = parcel.wire_len();
+        let link = self.topo.link(self.rank, dst);
+        let (done_us, arrive_us) = match link {
+            LinkClass::SelfLoop => (self.clock_us, self.clock_us),
+            LinkClass::Intra => {
+                let done = self.clock_us + bytes as f64 / self.model.intra.bandwidth;
+                (done, done + self.model.intra.alpha_us)
+            }
+            LinkClass::Inter => {
+                let stream_done = self.clock_us + bytes as f64 / self.model.inter.bandwidth;
+                let nic_done = if self.nic_contention {
+                    self.nics[self.node()].reserve(self.clock_us, bytes)
+                } else {
+                    self.clock_us
+                };
+                let mut done = stream_done.max(nic_done);
+                let mut alpha = self.model.inter.alpha_us;
+                if let Some(fabric) = self.fabric {
+                    let (fab_done, extra_alpha) = fabric.reserve(
+                        self.clock_us,
+                        self.node(),
+                        self.topo.node_of(dst),
+                        bytes,
+                    );
+                    done = done.max(fab_done);
+                    alpha += extra_alpha;
+                }
+                (done, done + alpha)
+            }
+        };
+        self.clock_us = done_us;
+        self.metrics.bytes_sent += bytes as u64;
+        self.metrics.payload_sent += parcel.payload_len() as u64;
+        if link == LinkClass::Inter {
+            self.metrics.inter_bytes_sent += bytes as u64;
+            let frame_idx = self
+                .inter_frame_counter
+                .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            if self.faults.corrupt_nth_inter_frame == Some(frame_idx) {
+                corrupt_parcel(&mut parcel);
+            }
+            self.capture(dst, &parcel);
+        }
+        self.record(t0, EventKind::Send { dst, bytes, link });
+        self.senders[dst]
+            .send(Message {
+                src: self.rank,
+                tag,
+                parcel,
+                arrive_us,
+            })
+            .expect("receiver hung up");
+    }
+
+    fn capture(&self, dst: Rank, parcel: &Parcel) {
+        let kind = if parcel.has_plain() {
+            FrameKind::Plain
+        } else if parcel.items.iter().all(|i| match i {
+            Item::Sealed(s) => s.data.is_real(),
+            Item::Plain(_) => false,
+        }) && !parcel.items.is_empty()
+        {
+            FrameKind::Cipher
+        } else {
+            FrameKind::Phantom
+        };
+        let bytes = if self.capture_wire {
+            let mut buf = Vec::with_capacity(parcel.wire_len());
+            for item in &parcel.items {
+                match item {
+                    Item::Plain(c) => {
+                        if c.data.is_real() {
+                            buf.extend_from_slice(c.data.bytes());
+                        }
+                    }
+                    Item::Sealed(s) => {
+                        if s.data.is_real() {
+                            buf.extend_from_slice(s.data.bytes());
+                        }
+                    }
+                }
+            }
+            buf
+        } else {
+            Vec::new()
+        };
+        self.wiretap.capture(FrameRecord {
+            src: self.rank,
+            dst,
+            kind,
+            len: parcel.wire_len(),
+            bytes,
+        });
+    }
+
+    /// Receives the parcel tagged `tag` from `src`, blocking until it
+    /// arrives. Advances the clock to the arrival time and counts one
+    /// communication round.
+    pub fn recv(&mut self, src: Rank, tag: u64) -> Parcel {
+        let t0 = self.clock_us;
+        let msg = self.wait_for(src, tag);
+        self.clock_us = self.clock_us.max(msg.arrive_us);
+        self.metrics.comm_rounds += 1;
+        let bytes = msg.parcel.wire_len();
+        self.metrics.bytes_recv += bytes as u64;
+        self.metrics.payload_recv += msg.parcel.payload_len() as u64;
+        self.record(t0, EventKind::Recv { src, bytes });
+        msg.parcel
+    }
+
+    fn wait_for(&mut self, src: Rank, tag: u64) -> Message {
+        if let Some(queue) = self.pending.get_mut(&(src, tag)) {
+            if let Some(msg) = queue.pop_front() {
+                return msg;
+            }
+        }
+        loop {
+            let msg = match self.recv_timeout {
+                None => self.rx.recv().expect("all peers disconnected"),
+                Some(limit) => match self.rx.recv_timeout(limit) {
+                    Ok(msg) => msg,
+                    Err(crossbeam::channel::RecvTimeoutError::Timeout) => panic!(
+                        "rank {} waited {limit:?} for a message from rank {src} \
+                         with tag {tag} that never arrived (deadlock or tag \
+                         mismatch in the algorithm)",
+                        self.rank
+                    ),
+                    Err(crossbeam::channel::RecvTimeoutError::Disconnected) => {
+                        panic!("all peers disconnected while receiving")
+                    }
+                },
+            };
+            if msg.tag == POISON_TAG {
+                panic!("rank {} panicked; propagating", msg.src);
+            }
+            if msg.src == src && msg.tag == tag {
+                return msg;
+            }
+            self.pending
+                .entry((msg.src, msg.tag))
+                .or_default()
+                .push_back(msg);
+        }
+    }
+
+    /// Send to `dst` and receive from `src` with the same tag — the classic
+    /// exchange step of ring and recursive-doubling algorithms.
+    pub fn sendrecv(&mut self, dst: Rank, src: Rank, tag: u64, parcel: Parcel) -> Parcel {
+        self.send(dst, tag, parcel);
+        self.recv(src, tag)
+    }
+
+    // ----- crypto ----------------------------------------------------------
+
+    /// Encrypts a chunk: one encryption operation of `chunk.len()` bytes
+    /// (`αe + βe·m` in the model).
+    pub fn encrypt(&mut self, chunk: Chunk) -> Sealed {
+        chunk.check();
+        let t0 = self.clock_us;
+        let plain_len = chunk.len();
+        self.clock_us += self.model.crypto.enc_time(plain_len);
+        self.record(t0, EventKind::Encrypt { bytes: plain_len });
+        self.metrics.enc_rounds += 1;
+        self.metrics.enc_bytes += plain_len as u64;
+        let data = match &chunk.data {
+            Data::Real(bytes) => {
+                let aad = seal_aad(&chunk.origins, chunk.block_len);
+                let wire = eag_crypto::seal_message(self.gcm, &mut self.nonces, &aad, bytes);
+                Data::Real(wire)
+            }
+            Data::Phantom(_) => Data::Phantom(plain_len + WIRE_OVERHEAD),
+        };
+        Sealed {
+            origins: chunk.origins,
+            block_len: chunk.block_len,
+            plain_len,
+            data,
+        }
+    }
+
+    /// Decrypts a sealed chunk: one decryption operation of `plain_len`
+    /// bytes (`αd + βd·m`). Panics if authentication fails — an encrypted
+    /// collective cannot proceed on forged data.
+    pub fn decrypt(&mut self, sealed: Sealed) -> Chunk {
+        let t0 = self.clock_us;
+        self.clock_us += self.model.crypto.dec_time(sealed.plain_len);
+        self.record(t0, EventKind::Decrypt {
+            bytes: sealed.plain_len,
+        });
+        self.metrics.dec_rounds += 1;
+        self.metrics.dec_bytes += sealed.plain_len as u64;
+        let data = match &sealed.data {
+            Data::Real(wire) => {
+                let aad = seal_aad(&sealed.origins, sealed.block_len);
+                let pt = eag_crypto::open_message(self.gcm, &aad, wire).expect(
+                    "GCM authentication failed: forged, corrupted, or relabeled ciphertext",
+                );
+                Data::Real(pt)
+            }
+            Data::Phantom(_) => Data::Phantom(sealed.plain_len),
+        };
+        let chunk = Chunk {
+            origins: sealed.origins,
+            block_len: sealed.block_len,
+            data,
+        };
+        chunk.check();
+        chunk
+    }
+
+    // ----- shared memory ----------------------------------------------------
+
+    /// Deposits `item` into this node's shared segment, charging a memory
+    /// copy. Visible to siblings once the copy completes.
+    pub fn shared_deposit(&mut self, key: SlotKey, item: Item) {
+        let t0 = self.clock_us;
+        let bytes = item.wire_len();
+        self.clock_us += self.model.copy_time(bytes);
+        self.metrics.copies += 1;
+        self.metrics.copy_bytes += bytes as u64;
+        self.record(t0, EventKind::Copy { bytes });
+        self.shared[self.node()].deposit(key, item, self.clock_us);
+    }
+
+    /// Fetches the item in `key` from this node's shared segment, charging a
+    /// memory copy and waiting (in virtual time) for the deposit.
+    pub fn shared_fetch(&mut self, key: SlotKey) -> Item {
+        let (item, ready_us) = self.shared[self.node()].fetch(key);
+        self.clock_us = self.clock_us.max(ready_us);
+        let bytes = item.wire_len();
+        self.clock_us += self.model.copy_time(bytes);
+        self.metrics.copies += 1;
+        self.metrics.copy_bytes += bytes as u64;
+        item
+    }
+
+    /// Deposits without charging a copy: models producing data directly
+    /// into the shared buffer (e.g. decrypting into it).
+    pub fn shared_deposit_free(&mut self, key: SlotKey, item: Item) {
+        self.shared[self.node()].deposit(key, item, self.clock_us);
+    }
+
+    /// Fetches without charging a copy: models reading the shared buffer in
+    /// place (e.g. encrypting or decrypting straight out of it). Still waits
+    /// (in virtual time) for the deposit to complete.
+    pub fn shared_fetch_free(&mut self, key: SlotKey) -> Item {
+        let (item, ready_us) = self.shared[self.node()].fetch(key);
+        self.clock_us = self.clock_us.max(ready_us);
+        item
+    }
+
+    /// Charges a pure memory copy of `bytes` (e.g. user-buffer placement)
+    /// without touching the shared segment.
+    pub fn charge_copy(&mut self, bytes: usize) {
+        let t0 = self.clock_us;
+        self.clock_us += self.model.copy_time(bytes);
+        self.metrics.copies += 1;
+        self.metrics.copy_bytes += bytes as u64;
+        self.record(t0, EventKind::Copy { bytes });
+    }
+
+    /// Charges a strided (cache-unfriendly) memory copy of `bytes` — the
+    /// per-block rank-order rearrangement of HS1/HS2 under cyclic mapping.
+    pub fn charge_strided_copy(&mut self, bytes: usize) {
+        let t0 = self.clock_us;
+        self.clock_us += self.model.strided_copy_time(bytes);
+        self.metrics.copies += 1;
+        self.metrics.copy_bytes += bytes as u64;
+        self.record(t0, EventKind::Copy { bytes });
+    }
+
+    /// Node-local barrier synchronizing the virtual clocks of all processes
+    /// on this node.
+    pub fn node_barrier(&mut self) {
+        let t0 = self.clock_us;
+        self.clock_us = self.shared[self.node()].barrier(self.clock_us, self.model.barrier_us);
+        self.record(t0, EventKind::Barrier);
+    }
+}
+
+/// Flips one byte of the first real payload in `parcel` (tamper injection).
+fn corrupt_parcel(parcel: &mut Parcel) {
+    for item in &mut parcel.items {
+        let data = match item {
+            Item::Plain(c) => &mut c.data,
+            Item::Sealed(s) => &mut s.data,
+        };
+        if let Data::Real(bytes) = data {
+            if !bytes.is_empty() {
+                let mid = bytes.len() / 2;
+                bytes[mid] ^= 0x80;
+                return;
+            }
+        }
+    }
+}
+
+/// The result of one [`run`].
+pub struct RunReport<T> {
+    /// Per-rank closure outputs, indexed by rank.
+    pub outputs: Vec<T>,
+    /// Collective latency: max over ranks of the final virtual clock, µs.
+    pub latency_us: f64,
+    /// Final virtual clock per rank, µs.
+    pub clocks_us: Vec<f64>,
+    /// Metrics per rank.
+    pub metrics: Vec<Metrics>,
+    /// The inter-node traffic recorder.
+    pub wiretap: Arc<Wiretap>,
+    /// Per-rank virtual-time traces (empty unless `WorldSpec::trace`).
+    pub traces: Vec<Trace>,
+}
+
+impl<T> RunReport<T> {
+    /// Component-wise maximum of the per-rank metrics (the critical path
+    /// values the paper's Table II reports).
+    pub fn max_metrics(&self) -> Metrics {
+        Metrics::component_max(&self.metrics)
+    }
+}
+
+/// Spawns one thread per rank, runs `f` on each, and collects the report.
+///
+/// A panic on any rank is broadcast to all ranks (poisoning channels and
+/// shared segments) so the world shuts down instead of deadlocking, and the
+/// original panic is re-raised here.
+pub fn run<T, F>(spec: &WorldSpec, f: F) -> RunReport<T>
+where
+    T: Send,
+    F: Fn(&mut ProcCtx) -> T + Sync,
+{
+    let p = spec.topology.p();
+    let n_nodes = spec.topology.nodes();
+    let model = &spec.profile.model;
+
+    let mut senders = Vec::with_capacity(p);
+    let mut receivers = Vec::with_capacity(p);
+    for _ in 0..p {
+        let (tx, rx) = unbounded();
+        senders.push(tx);
+        receivers.push(Some(rx));
+    }
+
+    let seed = match spec.mode {
+        DataMode::Real { seed } => seed,
+        DataMode::Phantom => 0,
+    };
+    let mut key_bytes = [0u8; 16];
+    key_bytes[..8].copy_from_slice(&seed.to_le_bytes());
+    key_bytes[8..].copy_from_slice(&(!seed).to_le_bytes());
+    let gcm = AesGcm128::new(&Key::from_bytes(key_bytes));
+
+    let nics: Vec<NodeNic> = (0..n_nodes)
+        .map(|_| NodeNic::new(model.nic_bandwidth))
+        .collect();
+    let fabric = model
+        .fabric
+        .map(|fm| FabricState::new(fm, n_nodes));
+    let shared: Vec<Arc<NodeShared>> = (0..n_nodes)
+        .map(|node| Arc::new(NodeShared::new(spec.topology.ranks_on_node(node).len())))
+        .collect();
+    let wiretap = Arc::new(Wiretap::new());
+    let frame_counter = std::sync::atomic::AtomicU64::new(0);
+
+    let mut slots: Vec<Option<(T, f64, Metrics, Trace)>> = (0..p).map(|_| None).collect();
+
+    {
+        let senders = &senders;
+        let nics = &nics;
+        let fabric_ref = fabric.as_ref();
+        let shared = &shared;
+        let wiretap_ref = &*wiretap;
+        let f = &f;
+        let spec_ref = spec;
+        let frame_counter_ref = &frame_counter;
+        let gcm_ref = &gcm;
+
+        std::thread::scope(|scope| {
+            let mut handles = Vec::with_capacity(p);
+            for (rank, (rx, slot)) in receivers
+                .iter_mut()
+                .zip(slots.iter_mut())
+                .enumerate()
+            {
+                let rx = rx.take().expect("receiver already taken");
+                let handle = std::thread::Builder::new()
+                    .name(format!("rank-{rank}"))
+                    .stack_size(1 << 20)
+                    .spawn_scoped(scope, move || {
+                        let mut ctx = ProcCtx {
+                            rank,
+                            topo: &spec_ref.topology,
+                            model: &spec_ref.profile.model,
+                            mvapich_switch_bytes: spec_ref.profile.mvapich_switch_bytes,
+                            mode: spec_ref.mode,
+                            clock_us: 0.0,
+                            metrics: Metrics::default(),
+                            senders,
+                            rx,
+                            pending: HashMap::new(),
+                            gcm: gcm_ref,
+                            nonces: NonceSource::seeded(
+                                seed ^ (rank as u64).wrapping_mul(0x0100_0000_01B3),
+                            ),
+                            nics,
+                            fabric: fabric_ref,
+                            wiretap: wiretap_ref,
+                            shared,
+                            nic_contention: spec_ref.nic_contention,
+                            capture_wire: spec_ref.capture_wire,
+                            epoch: 0,
+                            recv_timeout: spec_ref.recv_timeout,
+                            trace: spec_ref.trace.then(Vec::new),
+                            faults: spec_ref.faults,
+                            inter_frame_counter: frame_counter_ref,
+                        };
+                        let result = catch_unwind(AssertUnwindSafe(|| f(&mut ctx)));
+                        match result {
+                            Ok(out) => {
+                                *slot = Some((
+                                    out,
+                                    ctx.clock_us,
+                                    ctx.metrics,
+                                    ctx.trace.take().unwrap_or_default(),
+                                ));
+                            }
+                            Err(payload) => {
+                                // Wake everyone up before propagating.
+                                for seg in shared.iter() {
+                                    seg.poison();
+                                }
+                                for tx in senders.iter() {
+                                    let _ = tx.send(Message {
+                                        src: rank,
+                                        tag: POISON_TAG,
+                                        parcel: Parcel::new(),
+                                        arrive_us: 0.0,
+                                    });
+                                }
+                                resume_unwind(payload);
+                            }
+                        }
+                    })
+                    .expect("failed to spawn rank thread");
+                handles.push(handle);
+            }
+            let mut first_panic = None;
+            for handle in handles {
+                if let Err(e) = handle.join() {
+                    first_panic.get_or_insert(e);
+                }
+            }
+            if let Some(e) = first_panic {
+                resume_unwind(e);
+            }
+        });
+    }
+
+    let mut outputs = Vec::with_capacity(p);
+    let mut clocks_us = Vec::with_capacity(p);
+    let mut metrics = Vec::with_capacity(p);
+    let mut traces = Vec::with_capacity(p);
+    for slot in slots {
+        let (out, clock, m, trace) = slot.expect("rank produced no output");
+        outputs.push(out);
+        clocks_us.push(clock);
+        metrics.push(m);
+        traces.push(trace);
+    }
+    let latency_us = clocks_us.iter().cloned().fold(0.0f64, f64::max);
+    RunReport {
+        outputs,
+        latency_us,
+        clocks_us,
+        metrics,
+        wiretap,
+        traces,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eag_netsim::{profile, Mapping};
+
+    fn spec(p: usize, nodes: usize) -> WorldSpec {
+        WorldSpec::new(
+            Topology::new(p, nodes, Mapping::Block),
+            profile::unit(),
+            DataMode::Real { seed: 1 },
+        )
+    }
+
+    #[test]
+    fn ranks_see_their_identity() {
+        let report = run(&spec(4, 2), |ctx| (ctx.rank(), ctx.node()));
+        assert_eq!(report.outputs, vec![(0, 0), (1, 0), (2, 1), (3, 1)]);
+    }
+
+    #[test]
+    fn simple_exchange_moves_data_and_clock() {
+        // Rank 0 sends 10 bytes to rank 1 (intra-node in a 2x1 world).
+        let report = run(&spec(2, 1), |ctx| {
+            if ctx.rank() == 0 {
+                let chunk = ctx.my_block(10);
+                ctx.send(1, 1, Parcel::one(Item::Plain(chunk)));
+                Vec::new()
+            } else {
+                let parcel = ctx.recv(0, 1);
+                parcel.items[0].clone().into_plain().data.bytes().to_vec()
+            }
+        });
+        assert_eq!(
+            report.outputs[1],
+            crate::payload::pattern_block(1, 0, 10)
+        );
+        // Unit model: sender occupied 10 B / 1 B/µs = 10 µs; arrival 11 µs.
+        assert_eq!(report.clocks_us[0], 10.0);
+        assert_eq!(report.clocks_us[1], 11.0);
+        assert_eq!(report.latency_us, 11.0);
+        assert_eq!(report.metrics[1].comm_rounds, 1);
+        assert_eq!(report.metrics[0].bytes_sent, 10);
+    }
+
+    #[test]
+    fn encrypt_decrypt_roundtrip_real_mode() {
+        let report = run(&spec(1, 1), |ctx| {
+            let chunk = ctx.my_block(100);
+            let expected = chunk.data.bytes().to_vec();
+            let sealed = ctx.encrypt(chunk);
+            assert_eq!(sealed.wire_len(), 128);
+            let back = ctx.decrypt(sealed);
+            (expected, back.data.bytes().to_vec())
+        });
+        let (expected, got) = &report.outputs[0];
+        assert_eq!(expected, got);
+        // Unit crypto: (1 + 100) each way.
+        assert_eq!(report.latency_us, 202.0);
+        assert_eq!(report.metrics[0].enc_rounds, 1);
+        assert_eq!(report.metrics[0].dec_bytes, 100);
+    }
+
+    #[test]
+    fn phantom_mode_tracks_lengths() {
+        let mut s = spec(2, 2);
+        s.mode = DataMode::Phantom;
+        let report = run(&s, |ctx| {
+            if ctx.rank() == 0 {
+                let sealed = ctx.encrypt(ctx.my_block(50));
+                ctx.send(1, 7, Parcel::one(Item::Sealed(sealed)));
+                0
+            } else {
+                let parcel = ctx.recv(0, 7);
+                let sealed = parcel.items[0].clone().into_sealed();
+                let chunk = ctx.decrypt(sealed);
+                chunk.data.len()
+            }
+        });
+        assert_eq!(report.outputs[1], 50);
+        assert_eq!(report.wiretap.frame_count(), 1);
+        assert_eq!(report.wiretap.frames()[0].len, 78);
+    }
+
+    #[test]
+    fn inter_node_frames_are_captured() {
+        let mut s = spec(2, 2);
+        s.capture_wire = true;
+        let report = run(&s, |ctx| {
+            if ctx.rank() == 0 {
+                let sealed = ctx.encrypt(ctx.my_block(16));
+                ctx.send(1, 3, Parcel::one(Item::Sealed(sealed)));
+            } else {
+                let _ = ctx.recv(0, 3);
+            }
+        });
+        assert_eq!(report.wiretap.frame_count(), 1);
+        let frames = report.wiretap.frames();
+        assert_eq!(frames[0].kind, FrameKind::Cipher);
+        assert_eq!(frames[0].bytes.len(), 16 + WIRE_OVERHEAD);
+        // The plaintext pattern must not appear in the captured frame.
+        let pt = crate::payload::pattern_block(1, 0, 16);
+        assert!(!report.wiretap.contains(&pt));
+    }
+
+    #[test]
+    fn intra_node_frames_are_not_captured() {
+        let report = run(&spec(2, 1), |ctx| {
+            if ctx.rank() == 0 {
+                let chunk = ctx.my_block(16);
+                ctx.send(1, 3, Parcel::one(Item::Plain(chunk)));
+            } else {
+                let _ = ctx.recv(0, 3);
+            }
+        });
+        assert_eq!(report.wiretap.frame_count(), 0);
+    }
+
+    #[test]
+    fn sendrecv_pairs_exchange() {
+        let report = run(&spec(2, 1), |ctx| {
+            let peer = 1 - ctx.rank();
+            let mine = ctx.my_block(8);
+            let got = ctx.sendrecv(peer, peer, 5, Parcel::one(Item::Plain(mine)));
+            got.items[0].origins()[0]
+        });
+        assert_eq!(report.outputs, vec![1, 0]);
+    }
+
+    #[test]
+    fn shared_memory_deposit_fetch_and_barrier() {
+        let report = run(&spec(2, 1), |ctx| {
+            if (ctx.rank()) == 0 {
+                let item = Item::Plain(ctx.my_block(4));
+                ctx.shared_deposit((1, 0), item);
+            }
+            ctx.node_barrier();
+            let got = ctx.shared_fetch((1, 0));
+            got.origins()[0]
+        });
+        assert_eq!(report.outputs, vec![0, 0]);
+        assert!(report.metrics[1].copies >= 1);
+    }
+
+    #[test]
+    fn recv_watchdog_converts_hangs_into_panics() {
+        let mut s = spec(2, 1);
+        s.recv_timeout = Some(std::time::Duration::from_millis(200));
+        let result = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            run(&s, |ctx| {
+                if ctx.rank() == 0 {
+                    // Wrong tag: rank 0 waits for a message that never comes.
+                    let _ = ctx.recv(1, 12345);
+                }
+                // Rank 1 exits immediately.
+            })
+        }));
+        assert!(result.is_err(), "hang was not detected");
+    }
+
+    #[test]
+    fn panic_on_one_rank_propagates_without_deadlock() {
+        let result = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            run(&spec(4, 2), |ctx| {
+                if ctx.rank() == 2 {
+                    panic!("boom on rank 2");
+                }
+                // Everyone else blocks on a message that never comes.
+                let _ = ctx.recv(2, 99);
+            })
+        }));
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn self_send_is_free_and_delivered() {
+        let report = run(&spec(2, 1), |ctx| {
+            if ctx.rank() == 0 {
+                let chunk = ctx.my_block(64);
+                ctx.send(0, 42, Parcel::one(Item::Plain(chunk)));
+                let got = ctx.recv(0, 42);
+                (got.items[0].origins()[0], ctx.clock_us())
+            } else {
+                (1, 0.0)
+            }
+        });
+        let (origin, clock) = report.outputs[0];
+        assert_eq!(origin, 0);
+        // Self-loop link: no communication cost charged.
+        assert_eq!(clock, 0.0);
+    }
+
+    #[test]
+    fn reset_accounting_clears_clock_and_metrics() {
+        let report = run(&spec(2, 1), |ctx| {
+            let sealed = ctx.encrypt(ctx.my_block(100));
+            let _ = ctx.decrypt(sealed);
+            assert!(ctx.clock_us() > 0.0);
+            assert!(ctx.metrics().enc_rounds > 0);
+            ctx.reset_accounting();
+            (ctx.clock_us(), ctx.metrics())
+        });
+        for (clock, metrics) in report.outputs {
+            assert_eq!(clock, 0.0);
+            assert_eq!(metrics, Metrics::default());
+        }
+    }
+
+    #[test]
+    fn charge_helpers_accumulate_copies() {
+        let report = run(&spec(1, 1), |ctx| {
+            ctx.charge_copy(1000);
+            ctx.charge_strided_copy(1000);
+            ctx.metrics()
+        });
+        let m = report.outputs[0];
+        assert_eq!(m.copies, 2);
+        assert_eq!(m.copy_bytes, 2000);
+    }
+
+    #[test]
+    fn phantom_fault_injection_is_inert() {
+        // FaultPlan only corrupts real bytes; a phantom run must complete.
+        let mut s = spec(2, 2);
+        s.mode = DataMode::Phantom;
+        s.faults = FaultPlan {
+            corrupt_nth_inter_frame: Some(0),
+        };
+        let report = run(&s, |ctx| {
+            if ctx.rank() == 0 {
+                let sealed = ctx.encrypt(ctx.my_block(32));
+                ctx.send(1, 1, Parcel::one(Item::Sealed(sealed)));
+            } else {
+                let got = ctx.recv(0, 1);
+                let _ = ctx.decrypt(got.items[0].clone().into_sealed());
+            }
+        });
+        assert_eq!(report.outputs.len(), 2);
+    }
+
+    #[test]
+    fn epochs_scope_slot_keys() {
+        let report = run(&spec(2, 1), |ctx| {
+            // Same (base, idx) in two epochs must address distinct slots.
+            ctx.begin_collective();
+            let k1 = ctx.slot(7, 0);
+            ctx.begin_collective();
+            let k2 = ctx.slot(7, 0);
+            (k1, k2)
+        });
+        for (k1, k2) in report.outputs {
+            assert_ne!(k1, k2);
+            assert_eq!(k1.1, k2.1);
+        }
+    }
+
+    #[test]
+    fn nic_contention_serializes_when_enabled() {
+        // Two ranks on node 0 both send 1000 B to node 1. Unit model has
+        // infinite NIC bandwidth, so use a custom profile.
+        let mut profile = profile::unit();
+        profile.model.nic_bandwidth = 1.0; // 1 B/µs, same as stream rate
+        let spec = WorldSpec {
+            topology: Topology::new(4, 2, Mapping::Block),
+            profile,
+            mode: DataMode::Phantom,
+            nic_contention: true,
+            capture_wire: false,
+            trace: false,
+            faults: FaultPlan::default(),
+            recv_timeout: Some(std::time::Duration::from_secs(300)),
+        };
+        let report = run(&spec, |ctx| match ctx.rank() {
+            0 | 1 => {
+                let chunk = ctx.my_block(1000);
+                ctx.send(ctx.rank() + 2, 1, Parcel::one(Item::Plain(chunk)));
+            }
+            r => {
+                let _ = ctx.recv(r - 2, 1);
+            }
+        });
+        // One of the receivers sees its message delayed behind the other's
+        // NIC occupancy: latencies 1001 and 2001.
+        let mut recv_clocks = [report.clocks_us[2], report.clocks_us[3]];
+        recv_clocks.sort_by(f64::total_cmp);
+        assert_eq!(recv_clocks[0], 1001.0);
+        assert_eq!(recv_clocks[1], 2001.0);
+    }
+}

@@ -1,0 +1,75 @@
+//! Property-based tests for the data plane (chunks, parcels, patterns).
+
+use eag_runtime::{pattern_block, Chunk, Data, Item, Parcel, Sealed};
+use proptest::prelude::*;
+
+fn arb_chunk(max_origins: usize, block_len: usize) -> impl Strategy<Value = Chunk> {
+    proptest::collection::vec(0usize..64, 1..=max_origins).prop_map(move |origins| {
+        let data: Vec<u8> = origins
+            .iter()
+            .flat_map(|&o| pattern_block(7, o, block_len))
+            .collect();
+        Chunk {
+            origins,
+            block_len,
+            data: Data::Real(data),
+        }
+    })
+}
+
+proptest! {
+    /// split ∘ concat = identity on single-origin chunk lists.
+    #[test]
+    fn concat_split_roundtrip(chunks in proptest::collection::vec(arb_chunk(1, 8), 1..10)) {
+        let merged = Chunk::concat(&chunks);
+        merged.check();
+        prop_assert_eq!(merged.split(), chunks);
+    }
+
+    /// concat preserves total length and origin order.
+    #[test]
+    fn concat_preserves_layout(chunks in proptest::collection::vec(arb_chunk(3, 4), 1..8)) {
+        let merged = Chunk::concat(&chunks);
+        let want_len: usize = chunks.iter().map(Chunk::len).sum();
+        prop_assert_eq!(merged.len(), want_len);
+        let want_origins: Vec<usize> =
+            chunks.iter().flat_map(|c| c.origins.clone()).collect();
+        prop_assert_eq!(&merged.origins, &want_origins);
+    }
+
+    /// Parcel wire length = payload length + 28 per sealed item.
+    #[test]
+    fn parcel_framing_arithmetic(
+        plains in proptest::collection::vec(arb_chunk(2, 16), 0..5),
+        sealed_lens in proptest::collection::vec(1usize..100, 0..5),
+    ) {
+        let mut items: Vec<Item> = plains.into_iter().map(Item::Plain).collect();
+        let sealed_count = sealed_lens.len();
+        for (i, len) in sealed_lens.into_iter().enumerate() {
+            items.push(Item::Sealed(Sealed {
+                origins: vec![i],
+                block_len: len,
+                plain_len: len,
+                data: Data::Phantom(len + 28),
+            }));
+        }
+        let parcel = Parcel { items };
+        prop_assert_eq!(
+            parcel.wire_len(),
+            parcel.payload_len() + 28 * sealed_count
+        );
+    }
+
+    /// pattern_block is a pure function of (seed, origin, len) and is
+    /// prefix-consistent.
+    #[test]
+    fn pattern_block_properties(seed in any::<u64>(), origin in 0usize..1000, len in 0usize..200) {
+        let a = pattern_block(seed, origin, len);
+        prop_assert_eq!(a.len(), len);
+        prop_assert_eq!(&a, &pattern_block(seed, origin, len));
+        if len >= 8 {
+            let longer = pattern_block(seed, origin, len + 40);
+            prop_assert_eq!(&longer[..len], &a[..]);
+        }
+    }
+}

@@ -1,0 +1,142 @@
+//! MPI_Allgatherv (variable block sizes) — correctness and security of the
+//! extension across the algorithms that support it.
+
+use eag_core::{allgatherv, Algorithm};
+use eag_netsim::{profile, Mapping, Topology};
+use eag_runtime::{pattern_block, run, DataMode, WorldSpec};
+
+const SEED: u64 = 0xA11;
+
+fn spec(p: usize, nodes: usize, mapping: Mapping) -> WorldSpec {
+    let mut s = WorldSpec::new(
+        Topology::new(p, nodes, mapping),
+        profile::free(),
+        DataMode::Real { seed: SEED },
+    );
+    s.capture_wire = true;
+    s
+}
+
+fn varying_lens(p: usize) -> Vec<usize> {
+    // A mix of sizes including empty contributions.
+    (0..p).map(|r| (r * 37) % 96).collect()
+}
+
+fn v_algorithms() -> Vec<Algorithm> {
+    Algorithm::all()
+        .iter()
+        .copied()
+        .filter(Algorithm::supports_varying)
+        .collect()
+}
+
+#[test]
+fn supports_varying_matches_the_documented_set() {
+    use Algorithm::*;
+    let got = v_algorithms();
+    assert_eq!(
+        got,
+        vec![Ring, RingRanked, Bruck, Naive, ORing, CRing, Hs2, OBruck]
+    );
+}
+
+#[test]
+fn allgatherv_correct_all_supporting_algorithms() {
+    for algo in v_algorithms() {
+        for (p, nodes) in [(8usize, 4usize), (12, 3), (9, 3)] {
+            for mapping in [Mapping::Block, Mapping::Cyclic] {
+                let lens = varying_lens(p);
+                let lens2 = lens.clone();
+                let report = run(&spec(p, nodes, mapping), move |ctx| {
+                    allgatherv(ctx, algo, &lens2).verify(SEED);
+                });
+                if algo.is_encrypted() {
+                    assert!(
+                        !report.wiretap.saw_plaintext_frame(),
+                        "{algo} leaked plaintext (p={p}, N={nodes}, {mapping})"
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn allgatherv_handles_all_zero_and_single_huge_rank() {
+    for algo in v_algorithms() {
+        let mut lens = vec![0usize; 8];
+        lens[3] = 4096; // one rank carries everything
+        let lens2 = lens.clone();
+        let report = run(&spec(8, 4, Mapping::Block), move |ctx| {
+            allgatherv(ctx, algo, &lens2).verify(SEED);
+        });
+        assert_eq!(report.outputs.len(), 8);
+    }
+}
+
+#[test]
+fn allgatherv_content_is_bit_exact() {
+    let lens = vec![5usize, 64, 0, 17, 100, 1, 33, 8];
+    let lens2 = lens.clone();
+    let report = run(&spec(8, 2, Mapping::Block), move |ctx| {
+        let out = allgatherv(ctx, Algorithm::CRing, &lens2);
+        out.into_blocks()
+            .into_iter()
+            .map(|c| c.data.bytes().to_vec())
+            .collect::<Vec<_>>()
+    });
+    for blocks in &report.outputs {
+        for (rank, block) in blocks.iter().enumerate() {
+            assert_eq!(block, &pattern_block(SEED, rank, lens[rank]));
+        }
+    }
+}
+
+#[test]
+fn allgatherv_no_block_leaks_on_the_wire() {
+    let lens = vec![48usize, 96, 32, 80, 48, 96, 32, 80];
+    for algo in v_algorithms().into_iter().filter(Algorithm::is_encrypted) {
+        let lens2 = lens.clone();
+        let report = run(&spec(8, 4, Mapping::Block), move |ctx| {
+            allgatherv(ctx, algo, &lens2).verify(SEED);
+        });
+        for (rank, &len) in lens.iter().enumerate() {
+            if len >= 16 {
+                let block = pattern_block(SEED, rank, len);
+                assert!(
+                    !report.wiretap.contains(&block),
+                    "{algo}: rank {rank}'s variable block leaked"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+#[should_panic(expected = "does not support variable block lengths")]
+fn unsupported_algorithm_panics_cleanly() {
+    let lens = vec![8usize; 4];
+    run(&spec(4, 2, Mapping::Block), move |ctx| {
+        let _ = allgatherv(ctx, Algorithm::ORd, &lens);
+    });
+}
+
+#[test]
+fn uniform_lens_match_the_uniform_path_metrics() {
+    // allgatherv with equal lengths must move the same bytes as allgather.
+    let p = 8;
+    let lens = vec![64usize; p];
+    for algo in [Algorithm::Ring, Algorithm::CRing, Algorithm::Hs2] {
+        let lens2 = lens.clone();
+        let rv = run(&spec(p, 4, Mapping::Block), move |ctx| {
+            allgatherv(ctx, algo, &lens2).verify(SEED);
+        });
+        let ru = run(&spec(p, 4, Mapping::Block), move |ctx| {
+            eag_core::allgather(ctx, algo, 64).verify(SEED);
+        });
+        let sv = eag_runtime::Metrics::component_sum(&rv.metrics);
+        let su = eag_runtime::Metrics::component_sum(&ru.metrics);
+        assert_eq!(sv.payload_sent, su.payload_sent, "{algo}");
+        assert_eq!(sv.dec_rounds, su.dec_rounds, "{algo}");
+    }
+}
