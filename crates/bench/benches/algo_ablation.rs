@@ -74,7 +74,13 @@ fn multi_leader_sweep() {
 
 fn main() {
     let sizes = [
-        1usize, 64, 1024, 8 * 1024, 64 * 1024, 512 * 1024, 2 * 1024 * 1024,
+        1usize,
+        64,
+        1024,
+        8 * 1024,
+        64 * 1024,
+        512 * 1024,
+        2 * 1024 * 1024,
     ];
     let block = cfg(Mapping::Block, true);
 

@@ -55,5 +55,89 @@ fn bench_primitives(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_seal_open, bench_primitives);
+/// The seed layout walked each message twice — one CTR keystream sweep,
+/// then one GHASH sweep over the ciphertext. The fused kernel interleaves
+/// both in a single pass; this group measures that gap directly at the
+/// message sizes the paper's Figure 1 covers.
+fn bench_fused_vs_two_sweep(c: &mut Criterion) {
+    let key = [7u8; 16];
+    let aes = Aes128::new(&key);
+    let mut h = [0u8; 16];
+    aes.encrypt_block(&mut h);
+    let proto = eag_crypto::ghash::GHash::new(&h);
+    let gcm = AesGcm128::new(&Key::from_bytes(key));
+    let nonce = Nonce::from_bytes([1u8; 12]);
+    let icb = {
+        let mut b = [0u8; 16];
+        b[..12].copy_from_slice(nonce.as_bytes());
+        b[15] = 2;
+        b
+    };
+    let mut group = c.benchmark_group("fused_vs_two_sweep");
+    for &size in &[64 * 1024usize, 256 * 1024, 1024 * 1024, 2 * 1024 * 1024] {
+        let data = vec![0xA5u8; size];
+        let mut buf = data.clone();
+        group.throughput(Throughput::Bytes(size as u64));
+        group.bench_with_input(BenchmarkId::new("two_sweep", size), &data, |b, d| {
+            b.iter(|| {
+                buf.copy_from_slice(d);
+                aes.xor_ctr_keystream(&icb, &mut buf);
+                let mut g = proto.fresh();
+                g.update_padded(&buf);
+                black_box(g.finalize());
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("fused_seal", size), &data, |b, d| {
+            b.iter(|| {
+                buf.copy_from_slice(d);
+                black_box(gcm.seal_in_place_detached(&nonce, b"", &mut buf));
+            })
+        });
+    }
+    group.finish();
+}
+
+/// Allocating vs. in-place AEAD at runtime message sizes: the in-place
+/// entry points are what `ProcCtx::encrypt`/`decrypt` use per chunk.
+fn bench_in_place_vs_alloc(c: &mut Criterion) {
+    let gcm = AesGcm128::new(&Key::from_bytes([7u8; 16]));
+    let nonce = Nonce::from_bytes([1u8; 12]);
+    let mut group = c.benchmark_group("in_place_vs_alloc");
+    for &size in &[64 * 1024usize, 256 * 1024, 1024 * 1024, 2 * 1024 * 1024] {
+        let data = vec![0xA5u8; size];
+        let sealed = gcm.seal(&nonce, b"", &data);
+        let (ct, tag) = sealed.split_at(size);
+        let mut buf = data.clone();
+        group.throughput(Throughput::Bytes(size as u64));
+        group.bench_with_input(BenchmarkId::new("seal_alloc", size), &data, |b, d| {
+            b.iter(|| black_box(gcm.seal(&nonce, b"", d)))
+        });
+        group.bench_with_input(BenchmarkId::new("seal_in_place", size), &data, |b, d| {
+            b.iter(|| {
+                buf.copy_from_slice(d);
+                black_box(gcm.seal_in_place_detached(&nonce, b"", &mut buf));
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("open_alloc", size), &sealed, |b, s| {
+            b.iter(|| black_box(gcm.open(&nonce, b"", s).unwrap()))
+        });
+        group.bench_with_input(BenchmarkId::new("open_in_place", size), &ct, |b, d| {
+            b.iter(|| {
+                buf.copy_from_slice(d);
+                gcm.open_in_place_detached(&nonce, b"", &mut buf, tag)
+                    .unwrap();
+                black_box(&buf);
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_seal_open,
+    bench_primitives,
+    bench_fused_vs_two_sweep,
+    bench_in_place_vs_alloc
+);
 criterion_main!(benches);

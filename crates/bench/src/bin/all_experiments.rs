@@ -24,19 +24,31 @@ fn main() {
 
     println!(
         "{}",
-        render_panels("Figure 5 — unencrypted, block (latency µs)", &fig_unencrypted(&block))
+        render_panels(
+            "Figure 5 — unencrypted, block (latency µs)",
+            &fig_unencrypted(&block)
+        )
     );
     println!(
         "{}",
-        render_panels("Figure 6 — unencrypted, cyclic (latency µs)", &fig_unencrypted(&cyclic))
+        render_panels(
+            "Figure 6 — unencrypted, cyclic (latency µs)",
+            &fig_unencrypted(&cyclic)
+        )
     );
     println!(
         "{}",
-        render_panels("Figure 7 — encrypted, block (latency µs)", &fig_encrypted(&block))
+        render_panels(
+            "Figure 7 — encrypted, block (latency µs)",
+            &fig_encrypted(&block)
+        )
     );
     println!(
         "{}",
-        render_panels("Figure 8 — encrypted, cyclic (latency µs)", &fig_encrypted(&cyclic))
+        render_panels(
+            "Figure 8 — encrypted, cyclic (latency µs)",
+            &fig_encrypted(&cyclic)
+        )
     );
 
     println!(
@@ -59,7 +71,10 @@ fn main() {
         "{}",
         render_side_by_side(
             "Table V (Noleland, p = 91, N = 7, block)",
-            &best_scheme_table(&SimConfig::noleland_general(Mapping::Block), &table5_sizes()),
+            &best_scheme_table(
+                &SimConfig::noleland_general(Mapping::Block),
+                &table5_sizes()
+            ),
             &paper::table5()
         )
     );

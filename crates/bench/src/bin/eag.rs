@@ -84,9 +84,7 @@ impl Options {
                 flags.insert(name.to_string(), "true".to_string());
                 continue;
             }
-            let value = it
-                .next()
-                .ok_or_else(|| format!("--{name} needs a value"))?;
+            let value = it.next().ok_or_else(|| format!("--{name} needs a value"))?;
             flags.insert(name.to_string(), value.clone());
         }
         Ok(Options { flags })
@@ -310,8 +308,11 @@ fn cmd_calibrate(opts: &Options) -> Result<(), String> {
         .ok_or_else(|| format!("unknown base profile {base:?}"))?;
 
     let model = &cal.profile.model;
-    println!("
-fitted constants ({}):", cal.profile.name);
+    println!(
+        "
+fitted constants ({}):",
+        cal.profile.name
+    );
     println!(
         "  encrypt : {:.3} µs + m / {:.0} MB/s",
         model.crypto.enc_alpha_us, model.crypto.enc_bandwidth
@@ -324,8 +325,10 @@ fitted constants ({}):", cal.profile.name);
         "  memcpy  : {:.3} µs + m / {:.0} MB/s",
         model.copy_alpha_us, model.copy_bandwidth
     );
-    println!("
-measured seal throughput:");
+    println!(
+        "
+measured seal throughput:"
+    );
     for s in &cal.seal {
         println!(
             "  {:>8}  {:>9.0} MB/s",
@@ -334,9 +337,14 @@ measured seal throughput:");
         );
     }
 
-    println!("
-algorithm comparison under the fitted profile (p={p}, N={nodes}):");
-    println!("{:>8} {:>14} {:>12} {:>12}", "size", "MPI (µs)", "Naive", "best");
+    println!(
+        "
+algorithm comparison under the fitted profile (p={p}, N={nodes}):"
+    );
+    println!(
+        "{:>8} {:>14} {:>12} {:>12}",
+        "size", "MPI (µs)", "Naive", "best"
+    );
     for m in [1024usize, 64 * 1024, 1024 * 1024] {
         let latency = |algo: Algorithm| {
             let spec = WorldSpec::new(
@@ -379,7 +387,11 @@ fn cmd_list() -> Result<(), String> {
         println!(
             "  {}{}",
             a.name(),
-            if a.supports_varying() { "  (supports all-gather-v)" } else { "" }
+            if a.supports_varying() {
+                "  (supports all-gather-v)"
+            } else {
+                ""
+            }
         );
     }
     Ok(())

@@ -13,6 +13,9 @@ fn main() {
     }
     print!(
         "{}",
-        render_panels("Figure 5 — unencrypted algorithms, block mapping (latency µs)", &panels)
+        render_panels(
+            "Figure 5 — unencrypted algorithms, block mapping (latency µs)",
+            &panels
+        )
     );
 }

@@ -13,6 +13,9 @@ fn main() {
     }
     print!(
         "{}",
-        render_panels("Figure 6 — unencrypted algorithms, cyclic mapping (latency µs)", &panels)
+        render_panels(
+            "Figure 6 — unencrypted algorithms, cyclic mapping (latency µs)",
+            &panels
+        )
     );
 }

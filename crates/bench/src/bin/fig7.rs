@@ -13,6 +13,9 @@ fn main() {
     }
     print!(
         "{}",
-        render_panels("Figure 7 — encrypted algorithms, block mapping (latency µs)", &panels)
+        render_panels(
+            "Figure 7 — encrypted algorithms, block mapping (latency µs)",
+            &panels
+        )
     );
 }

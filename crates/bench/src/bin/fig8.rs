@@ -13,6 +13,9 @@ fn main() {
     }
     print!(
         "{}",
-        render_panels("Figure 8 — encrypted algorithms, cyclic mapping (latency µs)", &panels)
+        render_panels(
+            "Figure 8 — encrypted algorithms, cyclic mapping (latency µs)",
+            &panels
+        )
     );
 }

@@ -30,12 +30,7 @@ fn main() {
             nic_contention: true,
         };
         let mpi = simulate(&cfg, Algorithm::Mvapich, m);
-        let pct = |algo| {
-            format!(
-                "{:+.1}%",
-                simulate(&cfg, algo, m).overhead_pct(&mpi)
-            )
-        };
+        let pct = |algo| format!("{:+.1}%", simulate(&cfg, algo, m).overhead_pct(&mpi));
         println!(
             "| {nodes} | {} | {:.1} | {} | {} | {} | {} |",
             cfg.p,

@@ -54,13 +54,17 @@ fn main() -> ExitCode {
     );
     c.claim(
         "T3: best scheme always beats Naive",
-        rows.iter().all(|r| r.best_overhead_pct < r.naive_overhead_pct),
+        rows.iter()
+            .all(|r| r.best_overhead_pct < r.naive_overhead_pct),
         "pairwise comparison over all sizes".into(),
     );
     c.claim(
         "T3: best scheme goes negative (beats unencrypted MPI) for large sizes",
         rows.last().unwrap().best_overhead_pct < 0.0,
-        format!("2MB best overhead {:+.1}%", rows.last().unwrap().best_overhead_pct),
+        format!(
+            "2MB best overhead {:+.1}%",
+            rows.last().unwrap().best_overhead_pct
+        ),
     );
     c.claim(
         "T3: small-message winner is a round-efficient scheme",
@@ -136,9 +140,7 @@ fn main() -> ExitCode {
     c.claim(
         "IV-B: O-RD2 better small, O-RD better large",
         ord2 <= ord_small && ord_large < ord2_large,
-        format!(
-            "small {ord2:.1} vs {ord_small:.1}; large {ord_large:.0} vs {ord2_large:.0}"
-        ),
+        format!("small {ord2:.1} vs {ord_small:.1}; large {ord_large:.0} vs {ord2_large:.0}"),
     );
 
     // --- Candidate sanity ----------------------------------------------------
@@ -148,11 +150,7 @@ fn main() -> ExitCode {
         format!("{} candidates", candidate_schemes().len()),
     );
 
-    println!(
-        "\n{}/{} shape claims hold",
-        c.checks - c.failures,
-        c.checks
-    );
+    println!("\n{}/{} shape claims hold", c.checks - c.failures, c.checks);
     if c.failures == 0 {
         ExitCode::SUCCESS
     } else {

@@ -10,6 +10,9 @@ fn main() {
         print!("{}", render_table2(p, nodes, m, &rows));
         println!();
         let mismatches = rows.iter().filter(|r| r.predicted != r.measured).count();
-        println!("{mismatches} metric mismatches out of {} algorithms\n", rows.len());
+        println!(
+            "{mismatches} metric mismatches out of {} algorithms\n",
+            rows.len()
+        );
     }
 }

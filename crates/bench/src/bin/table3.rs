@@ -10,13 +10,13 @@ use eag_netsim::Mapping;
 fn main() {
     let cfg = SimConfig::noleland(Mapping::Block);
     let rows = best_scheme_table(&cfg, &table3_sizes());
-    print!(
-        "{}",
-        render_side_by_side("Table III", &rows, &table3())
-    );
+    print!("{}", render_side_by_side("Table III", &rows, &table3()));
     println!();
     print!(
         "{}",
-        render_best_scheme_table("Table III — Noleland, p = 128, N = 8, block-order mapping", &rows)
+        render_best_scheme_table(
+            "Table III — Noleland, p = 128, N = 8, block-order mapping",
+            &rows
+        )
     );
 }

@@ -10,13 +10,13 @@ use eag_netsim::Mapping;
 fn main() {
     let cfg = SimConfig::noleland(Mapping::Cyclic);
     let rows = best_scheme_table(&cfg, &table4_sizes());
-    print!(
-        "{}",
-        render_side_by_side("Table IV", &rows, &table4())
-    );
+    print!("{}", render_side_by_side("Table IV", &rows, &table4()));
     println!();
     print!(
         "{}",
-        render_best_scheme_table("Table IV — Noleland, p = 128, N = 8, cyclic-order mapping", &rows)
+        render_best_scheme_table(
+            "Table IV — Noleland, p = 128, N = 8, cyclic-order mapping",
+            &rows
+        )
     );
 }

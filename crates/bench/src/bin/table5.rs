@@ -10,13 +10,13 @@ use eag_netsim::Mapping;
 fn main() {
     let cfg = SimConfig::noleland_general(Mapping::Block);
     let rows = best_scheme_table(&cfg, &table5_sizes());
-    print!(
-        "{}",
-        render_side_by_side("Table V", &rows, &table5())
-    );
+    print!("{}", render_side_by_side("Table V", &rows, &table5()));
     println!();
     print!(
         "{}",
-        render_best_scheme_table("Table V — Noleland, p = 91, N = 7, block-order mapping", &rows)
+        render_best_scheme_table(
+            "Table V — Noleland, p = 91, N = 7, block-order mapping",
+            &rows
+        )
     );
 }

@@ -6,14 +6,10 @@ use eag_bench::paper::{render_side_by_side, table6};
 use eag_bench::tables::{best_scheme_table, render_best_scheme_table};
 use eag_bench::SimConfig;
 
-
 fn main() {
     let cfg = SimConfig::bridges2();
     let rows = best_scheme_table(&cfg, &table6_sizes());
-    print!(
-        "{}",
-        render_side_by_side("Table VI", &rows, &table6())
-    );
+    print!("{}", render_side_by_side("Table VI", &rows, &table6()));
     println!();
     print!(
         "{}",

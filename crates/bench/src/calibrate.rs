@@ -37,7 +37,11 @@ pub fn fit_hockney(samples: &[Sample]) -> (f64, f64) {
     assert!(denom.abs() > f64::EPSILON, "degenerate sample set");
     let beta = (n * sxy - sx * sy) / denom; // µs per byte
     let alpha = (sy - beta * sx) / n;
-    let bandwidth = if beta > 0.0 { 1.0 / beta } else { f64::INFINITY };
+    let bandwidth = if beta > 0.0 {
+        1.0 / beta
+    } else {
+        f64::INFINITY
+    };
     (alpha.max(0.0), bandwidth)
 }
 
@@ -71,7 +75,10 @@ pub fn measure_seal(sizes: &[usize]) -> Vec<Sample> {
                 },
                 0.02,
             );
-            Sample { bytes, secs_per_op: secs }
+            Sample {
+                bytes,
+                secs_per_op: secs,
+            }
         })
         .collect()
 }
@@ -90,7 +97,10 @@ pub fn measure_open(sizes: &[usize]) -> Vec<Sample> {
                 },
                 0.02,
             );
-            Sample { bytes, secs_per_op: secs }
+            Sample {
+                bytes,
+                secs_per_op: secs,
+            }
         })
         .collect()
 }
@@ -109,14 +119,25 @@ pub fn measure_memcpy(sizes: &[usize]) -> Vec<Sample> {
                 },
                 0.01,
             );
-            Sample { bytes, secs_per_op: secs }
+            Sample {
+                bytes,
+                secs_per_op: secs,
+            }
         })
         .collect()
 }
 
 /// The default size grid for calibration.
 pub fn calibration_sizes() -> Vec<usize> {
-    vec![256, 1024, 4 * 1024, 16 * 1024, 64 * 1024, 256 * 1024, 1024 * 1024]
+    vec![
+        256,
+        1024,
+        4 * 1024,
+        16 * 1024,
+        64 * 1024,
+        256 * 1024,
+        1024 * 1024,
+    ]
 }
 
 /// A calibrated profile: network terms from `base`, crypto and copy terms
@@ -183,8 +204,14 @@ mod tests {
     #[test]
     fn fit_clamps_negative_alpha_to_zero() {
         let samples = vec![
-            Sample { bytes: 1000, secs_per_op: 1e-7 },
-            Sample { bytes: 100_000, secs_per_op: 2e-5 },
+            Sample {
+                bytes: 1000,
+                secs_per_op: 1e-7,
+            },
+            Sample {
+                bytes: 100_000,
+                secs_per_op: 2e-5,
+            },
         ];
         let (alpha, bw) = fit_hockney(&samples);
         assert!(alpha >= 0.0);

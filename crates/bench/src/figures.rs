@@ -259,8 +259,8 @@ pub fn render_ascii_chart(panel: &Panel, width: usize, height: usize) -> String 
             let steps = x1.saturating_sub(x0).max(1);
             for s in 0..=steps {
                 let x = x0 + s;
-                let y = (y0 as f64 + (y1 as f64 - y0 as f64) * s as f64 / steps as f64)
-                    .round() as usize;
+                let y = (y0 as f64 + (y1 as f64 - y0 as f64) * s as f64 / steps as f64).round()
+                    as usize;
                 grid[y.min(height - 1)][x.min(width - 1)] = glyph;
             }
         }
@@ -319,7 +319,10 @@ mod tests {
         );
         assert_eq!(p.series.len(), 2);
         assert_eq!(p.series[0].points.len(), 2);
-        assert!(p.series.iter().all(|s| s.points.iter().all(|&(_, l)| l > 0.0)));
+        assert!(p
+            .series
+            .iter()
+            .all(|s| s.points.iter().all(|&(_, l)| l > 0.0)));
     }
 
     #[test]

@@ -38,35 +38,43 @@ pub fn latency_label(us: f64) -> String {
 
 /// The message-size sweep of the paper's Table III.
 pub fn table3_sizes() -> Vec<usize> {
-    ["1B", "2B", "4B", "8B", "16B", "32B", "64B", "1KB", "2KB", "4KB", "8KB", "16KB", "32KB",
-     "256KB", "2MB"]
-        .iter()
-        .map(|s| parse_size(s).unwrap())
-        .collect()
+    [
+        "1B", "2B", "4B", "8B", "16B", "32B", "64B", "1KB", "2KB", "4KB", "8KB", "16KB", "32KB",
+        "256KB", "2MB",
+    ]
+    .iter()
+    .map(|s| parse_size(s).unwrap())
+    .collect()
 }
 
 /// The message-size sweep of the paper's Table IV.
 pub fn table4_sizes() -> Vec<usize> {
-    ["1B", "32B", "1KB", "2KB", "4KB", "8KB", "32KB", "64KB", "256KB", "2MB"]
-        .iter()
-        .map(|s| parse_size(s).unwrap())
-        .collect()
+    [
+        "1B", "32B", "1KB", "2KB", "4KB", "8KB", "32KB", "64KB", "256KB", "2MB",
+    ]
+    .iter()
+    .map(|s| parse_size(s).unwrap())
+    .collect()
 }
 
 /// The message-size sweep of the paper's Table V.
 pub fn table5_sizes() -> Vec<usize> {
-    ["1B", "32B", "256B", "512B", "1KB", "4KB", "8KB", "32KB", "64KB", "256KB", "2MB"]
-        .iter()
-        .map(|s| parse_size(s).unwrap())
-        .collect()
+    [
+        "1B", "32B", "256B", "512B", "1KB", "4KB", "8KB", "32KB", "64KB", "256KB", "2MB",
+    ]
+    .iter()
+    .map(|s| parse_size(s).unwrap())
+    .collect()
 }
 
 /// The message-size sweep of the paper's Table VI.
 pub fn table6_sizes() -> Vec<usize> {
-    ["1B", "64B", "128B", "512B", "1KB", "2KB", "16KB", "64KB", "256KB", "512KB"]
-        .iter()
-        .map(|s| parse_size(s).unwrap())
-        .collect()
+    [
+        "1B", "64B", "128B", "512B", "1KB", "2KB", "16KB", "64KB", "256KB", "512KB",
+    ]
+    .iter()
+    .map(|s| parse_size(s).unwrap())
+    .collect()
 }
 
 #[cfg(test)]
@@ -97,7 +105,12 @@ mod tests {
 
     #[test]
     fn sweeps_are_sorted() {
-        for sizes in [table3_sizes(), table4_sizes(), table5_sizes(), table6_sizes()] {
+        for sizes in [
+            table3_sizes(),
+            table4_sizes(),
+            table5_sizes(),
+            table6_sizes(),
+        ] {
             assert!(sizes.windows(2).all(|w| w[0] < w[1]));
         }
     }

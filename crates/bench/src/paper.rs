@@ -157,9 +157,7 @@ mod tests {
         for t in [table3(), table4(), table5(), table6()] {
             assert!(t.iter().all(|r| r.naive_overhead_pct > 0.0));
             // …and the best scheme always beats Naive.
-            assert!(t
-                .iter()
-                .all(|r| r.best_overhead_pct < r.naive_overhead_pct));
+            assert!(t.iter().all(|r| r.best_overhead_pct < r.naive_overhead_pct));
         }
         // Large messages go negative on every table.
         for t in [table3(), table4(), table5(), table6()] {

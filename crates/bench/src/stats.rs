@@ -39,7 +39,14 @@ impl Stats {
 
     /// Relative overhead of `self` versus a `baseline` mean, in percent
     /// (negative = faster than the baseline), as the paper reports.
+    ///
+    /// A zero (or non-finite) baseline mean — e.g. a free-profile run where
+    /// every virtual-time sample is 0 µs — has no meaningful relative
+    /// overhead; returns 0 instead of NaN/±inf so report tables stay sane.
     pub fn overhead_pct(&self, baseline: &Stats) -> f64 {
+        if baseline.mean == 0.0 || !baseline.mean.is_finite() {
+            return 0.0;
+        }
         (self.mean / baseline.mean - 1.0) * 100.0
     }
 }
@@ -63,6 +70,15 @@ mod tests {
         assert_eq!(s.min, 2.0);
         assert_eq!(s.max, 6.0);
         assert!((s.std_dev - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn overhead_of_zero_baseline_is_finite() {
+        // Free network profiles produce all-zero virtual latencies; the
+        // relative overhead must not be NaN or infinite then.
+        let zero = Stats::of(&[0.0, 0.0, 0.0]);
+        assert_eq!(Stats::of(&[5.0]).overhead_pct(&zero), 0.0);
+        assert_eq!(zero.overhead_pct(&zero), 0.0);
     }
 
     #[test]

@@ -54,7 +54,9 @@ pub fn best_scheme_table(cfg: &SimConfig, sizes: &[usize]) -> Vec<BestSchemeRow>
 pub fn render_best_scheme_table(title: &str, rows: &[BestSchemeRow]) -> String {
     let mut out = String::new();
     out.push_str(&format!("### {title}\n\n"));
-    out.push_str("| Size | Latency of MPI | Overhead of Naive | Overhead of best scheme | Best scheme |\n");
+    out.push_str(
+        "| Size | Latency of MPI | Overhead of Naive | Overhead of best scheme | Best scheme |\n",
+    );
     out.push_str("|---|---|---|---|---|\n");
     for r in rows {
         out.push_str(&format!(

@@ -61,8 +61,25 @@ impl Algorithm {
     pub fn all() -> &'static [Algorithm] {
         use Algorithm::*;
         &[
-            Ring, RingRanked, Rd, Bruck, NeighborExchange, Hierarchical, Mvapich, CRingPlain,
-            CRdPlain, HsPlain, Naive, ORing, ORd, ORd2, CRing, CRd, Hs1, Hs2, OBruck,
+            Ring,
+            RingRanked,
+            Rd,
+            Bruck,
+            NeighborExchange,
+            Hierarchical,
+            Mvapich,
+            CRingPlain,
+            CRdPlain,
+            HsPlain,
+            Naive,
+            ORing,
+            ORd,
+            ORd2,
+            CRing,
+            CRd,
+            Hs1,
+            Hs2,
+            OBruck,
         ]
     }
 
@@ -76,15 +93,26 @@ impl Algorithm {
     pub fn unencrypted_all() -> &'static [Algorithm] {
         use Algorithm::*;
         &[
-            Ring, RingRanked, Rd, Bruck, NeighborExchange, Hierarchical, Mvapich, CRingPlain,
-            CRdPlain, HsPlain,
+            Ring,
+            RingRanked,
+            Rd,
+            Bruck,
+            NeighborExchange,
+            Hierarchical,
+            Mvapich,
+            CRingPlain,
+            CRdPlain,
+            HsPlain,
         ]
     }
 
     /// True for algorithms that encrypt inter-node traffic.
     pub fn is_encrypted(&self) -> bool {
         use Algorithm::*;
-        matches!(self, Naive | ORing | ORd | ORd2 | CRing | CRd | Hs1 | Hs2 | OBruck)
+        matches!(
+            self,
+            Naive | ORing | ORd | ORd2 | CRing | CRd | Hs1 | Hs2 | OBruck
+        )
     }
 
     /// The paper's name for this algorithm.

@@ -50,12 +50,8 @@ pub fn allgatherv(ctx: &mut ProcCtx, algo: Algorithm, lens: &[usize]) -> GatherO
     use Algorithm::*;
     match algo {
         Ring => {
-            let items = ring_allgather_items(
-                ctx,
-                &members,
-                vec![Item::Plain(my_chunk)],
-                tags::PHASE_MAIN,
-            );
+            let items =
+                ring_allgather_items(ctx, &members, vec![Item::Plain(my_chunk)], tags::PHASE_MAIN);
             out.place_items(items);
         }
         RingRanked => {
@@ -105,8 +101,7 @@ pub fn allgatherv(ctx: &mut ProcCtx, algo: Algorithm, lens: &[usize]) -> GatherO
                     .iter()
                     .map(|&r| Item::Plain(out.get(r).expect("sub-gather incomplete").clone()))
                     .collect();
-                let items =
-                    ring_allgather_items(ctx, &local, contribution, tags::PHASE_LOCAL);
+                let items = ring_allgather_items(ctx, &local, contribution, tags::PHASE_LOCAL);
                 out.place_items(items);
             }
         }

@@ -166,12 +166,7 @@ pub fn predict_latency_us(
 /// III–VI, decided analytically instead of by measurement. Falls back to
 /// HS2 (the best large-message all-rounder) when `p`/`nodes` are not powers
 /// of two and the closed forms do not apply.
-pub fn recommend(
-    p: usize,
-    nodes: usize,
-    m: usize,
-    model: &eag_netsim::CostModel,
-) -> Algorithm {
+pub fn recommend(p: usize, nodes: usize, m: usize, model: &eag_netsim::CostModel) -> Algorithm {
     Algorithm::encrypted_all()
         .iter()
         .copied()
@@ -219,8 +214,12 @@ mod tests {
                 let Some(pr) = predict(algo, p, nodes, m) else {
                     continue;
                 };
-                assert!(pr.rc >= lb.rc || matches!(algo, Algorithm::Hs1 | Algorithm::Hs2),
-                    "{algo}: rc {} < bound {}", pr.rc, lb.rc);
+                assert!(
+                    pr.rc >= lb.rc || matches!(algo, Algorithm::Hs1 | Algorithm::Hs2),
+                    "{algo}: rc {} < bound {}",
+                    pr.rc,
+                    lb.rc
+                );
                 assert!(pr.re >= lb.re, "{algo}");
                 assert!(pr.se >= lb.se, "{algo}");
                 assert!(pr.rd >= lb.rd, "{algo}: rd {} < {}", pr.rd, lb.rd);

@@ -7,8 +7,8 @@
 //! pre-seal items (Naive, the Concurrent sub-gathers, HS) or use the
 //! crypto-aware movers in [`crate::encrypted`].
 
-use eag_runtime::{Item, Parcel, ProcCtx};
 use eag_netsim::Rank;
+use eag_runtime::{Item, Parcel, ProcCtx};
 
 /// Largest power of two `<= q`.
 pub fn floor_pow2(q: usize) -> usize {
@@ -107,9 +107,14 @@ pub fn rd_allgather_items(
         let peer = active_member(active_index ^ (1usize << b));
         let tag = tag_base + 1 + b as u64;
         let received = ctx
-            .sendrecv(peer, peer, tag, Parcel {
-                items: holdings.clone(),
-            })
+            .sendrecv(
+                peer,
+                peer,
+                tag,
+                Parcel {
+                    items: holdings.clone(),
+                },
+            )
             .items;
         holdings.extend(received);
     }
@@ -117,9 +122,13 @@ pub fn rd_allgather_items(
     // Unfold: give the folded members the complete result.
     if k < 2 * r && k.is_multiple_of(2) {
         let unfold_tag = tag_base + 1 + 64;
-        ctx.send(members[k + 1], unfold_tag, Parcel {
-            items: holdings.clone(),
-        });
+        ctx.send(
+            members[k + 1],
+            unfold_tag,
+            Parcel {
+                items: holdings.clone(),
+            },
+        );
     }
     holdings
 }
@@ -143,9 +152,13 @@ pub fn bruck_allgather_items(
         let dst = members[(k + q - step) % q];
         let src = members[(k + step) % q];
         let tag = tag_base + round;
-        ctx.send(dst, tag, Parcel {
-            items: slots[..cnt].to_vec(),
-        });
+        ctx.send(
+            dst,
+            tag,
+            Parcel {
+                items: slots[..cnt].to_vec(),
+            },
+        );
         let received = ctx.recv(src, tag).items;
         debug_assert_eq!(received.len(), cnt);
         slots.extend(received);
@@ -209,9 +222,13 @@ pub fn bcast_items_from_root(
     while mask > 0 {
         if k + mask < q && k & (mask - 1) == 0 && k & mask == 0 {
             let dst = members[k + mask];
-            ctx.send(dst, tag_base + mask as u64, Parcel {
-                items: holdings.clone(),
-            });
+            ctx.send(
+                dst,
+                tag_base + mask as u64,
+                Parcel {
+                    items: holdings.clone(),
+                },
+            );
         }
         mask >>= 1;
     }
@@ -270,9 +287,7 @@ mod tests {
     #[test]
     fn ring_gathers_everything() {
         for p in [1, 2, 3, 5, 8] {
-            check_mover(p, |ctx, m, items| {
-                ring_allgather_items(ctx, m, items, 100)
-            });
+            check_mover(p, |ctx, m, items| ring_allgather_items(ctx, m, items, 100));
         }
     }
 

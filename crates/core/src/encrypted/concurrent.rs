@@ -53,9 +53,7 @@ pub fn concurrent(
     // Phase 1: concurrent sub-all-gathers (one per group).
     if encrypted {
         match pattern {
-            SubPattern::Ring => {
-                o_ring_over(ctx, &members, my_chunk, &mut out, tags::PHASE_SUB)
-            }
+            SubPattern::Ring => o_ring_over(ctx, &members, my_chunk, &mut out, tags::PHASE_SUB),
             SubPattern::Rd => o_rd_over(
                 ctx,
                 &members,
@@ -77,11 +75,11 @@ pub fn concurrent(
     // Phase 2: node-local ordinary all-gather of each group's result.
     let local = topo.ranks_on_node(topo.node_of(ctx.rank()));
     if local.len() > 1 {
-        let contribution = Chunk::concat(
-            &members
+        let contribution = Chunk::concat_owned(
+            members
                 .iter()
                 .map(|&r| out.get(r).expect("sub-gather incomplete").clone())
-                .collect::<Vec<_>>(),
+                .collect(),
         );
         let items = vec![Item::Plain(contribution)];
         let gathered = match pattern {

@@ -93,7 +93,7 @@ pub fn hs_v(ctx: &mut ProcCtx, lens: &[usize], variant: HsVariant) -> GatherOutp
                             .into_plain()
                     })
                     .collect();
-                let node_chunk = Chunk::concat(&blocks);
+                let node_chunk = Chunk::concat_owned(blocks);
                 vec![Item::Sealed(ctx.encrypt(node_chunk))]
             }
             HsVariant::Hs2 => (0..ell)
@@ -106,7 +106,7 @@ pub fn hs_v(ctx: &mut ProcCtx, lens: &[usize], variant: HsVariant) -> GatherOutp
                             .into_plain()
                     })
                     .collect();
-                vec![Item::Plain(Chunk::concat(&blocks))]
+                vec![Item::Plain(Chunk::concat_owned(blocks))]
             }
         };
         let gathered = rd_allgather_items(ctx, &leaders, contribution, tags::PHASE_MAIN);

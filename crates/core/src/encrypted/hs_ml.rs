@@ -36,7 +36,10 @@ pub fn hs_ml(ctx: &mut ProcCtx, m: usize, k: usize, pattern: MlPattern) -> Gathe
     let nodes = topo.nodes();
     let my_node = topo.node_of(ctx.rank());
     let ell = topo.procs_per_node();
-    assert!(k >= 1 && k <= ell && ell.is_multiple_of(k), "k must divide ℓ");
+    assert!(
+        k >= 1 && k <= ell && ell.is_multiple_of(k),
+        "k must divide ℓ"
+    );
     let li = topo.local_index(ctx.rank());
     let blocks_per_leader = ell / k;
     // Local indices 0..k are leaders; leader g carries the node's blocks
@@ -61,14 +64,11 @@ pub fn hs_ml(ctx: &mut ProcCtx, m: usize, k: usize, pattern: MlPattern) -> Gathe
         let members: Vec<Rank> = (0..nodes)
             .map(|node| topo.peer_on_node(topo.leader_of(node), group))
             .collect();
-        let contribution: Vec<Item> = (blocks_per_leader * group
-            ..blocks_per_leader * (group + 1))
+        let contribution: Vec<Item> = (blocks_per_leader * group..blocks_per_leader * (group + 1))
             .map(|slot_idx| ctx.shared_fetch_free(ctx.slot(tags::SLOT_CIPHER_IN, slot_idx)))
             .collect();
         let gathered = match pattern {
-            MlPattern::Ring => {
-                ring_allgather_items(ctx, &members, contribution, tags::PHASE_SUB)
-            }
+            MlPattern::Ring => ring_allgather_items(ctx, &members, contribution, tags::PHASE_SUB),
             MlPattern::Rd => rd_allgather_items(ctx, &members, contribution, tags::PHASE_SUB),
         };
         // Deposit foreign ciphertexts for the joint decryption; index them
@@ -81,7 +81,10 @@ pub fn hs_ml(ctx: &mut ProcCtx, m: usize, k: usize, pattern: MlPattern) -> Gathe
                 continue;
             }
             ctx.shared_deposit_free(
-                ctx.slot(tags::SLOT_CIPHER_FOREIGN, group * (nodes - 1) * blocks_per_leader + idx),
+                ctx.slot(
+                    tags::SLOT_CIPHER_FOREIGN,
+                    group * (nodes - 1) * blocks_per_leader + idx,
+                ),
                 item,
             );
             idx += 1;

@@ -12,7 +12,27 @@
 
 use crate::output::GatherOutput;
 use eag_netsim::{LinkClass, Rank};
-use eag_runtime::{Chunk, Item, Parcel, ProcCtx, Sealed};
+use eag_runtime::{Chunk, Data, Item, Parcel, ProcCtx, Sealed};
+
+/// Placeholder swapped in while a representation is moved out of a
+/// `&mut Slot` (immediately overwritten by the `Slot::Both` promotion).
+fn taken_chunk() -> Chunk {
+    Chunk {
+        origins: Vec::new(),
+        block_len: 0,
+        data: Data::Phantom(0),
+    }
+}
+
+/// Sealed counterpart of [`taken_chunk`].
+fn taken_sealed() -> Sealed {
+    Sealed {
+        origins: Vec::new(),
+        block_len: 0,
+        plain_len: 0,
+        data: Data::Phantom(0),
+    }
+}
 
 /// One Bruck slot: a single member's block, in whichever representations we
 /// currently hold.
@@ -32,8 +52,11 @@ impl Slot {
         match link {
             LinkClass::Inter => {
                 if let Slot::Plain(c) = self {
-                    let sealed = ctx.encrypt(c.clone());
-                    *self = Slot::Both(c.clone(), sealed);
+                    // One clone only: encrypt consumes a copy (recycling its
+                    // buffer as scratch), the original moves into the cache.
+                    let plain = std::mem::replace(c, taken_chunk());
+                    let sealed = ctx.encrypt(plain.clone());
+                    *self = Slot::Both(plain, sealed);
                 }
                 match self {
                     Slot::Sealed(s) | Slot::Both(_, s) => Item::Sealed(s.clone()),
@@ -42,8 +65,9 @@ impl Slot {
             }
             LinkClass::Intra | LinkClass::SelfLoop => {
                 if let Slot::Sealed(s) = self {
-                    let c = ctx.decrypt(s.clone());
-                    *self = Slot::Both(c, s.clone());
+                    let sealed = std::mem::replace(s, taken_sealed());
+                    let c = ctx.decrypt(sealed.clone());
+                    *self = Slot::Both(c, sealed);
                 }
                 match self {
                     Slot::Plain(c) | Slot::Both(c, _) => Item::Plain(c.clone()),

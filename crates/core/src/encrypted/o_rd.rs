@@ -304,7 +304,14 @@ mod tests {
             let members: Vec<Rank> = (0..8).collect();
             let mut out = GatherOutput::new(8, 8);
             let mine = ctx.my_block(8);
-            o_rd_over(ctx, &members, mine, &mut out, OrdVariant::ForwardSealed, 900);
+            o_rd_over(
+                ctx,
+                &members,
+                mine,
+                &mut out,
+                OrdVariant::ForwardSealed,
+                900,
+            );
             out.verify(6);
         });
         for met in &report.metrics {

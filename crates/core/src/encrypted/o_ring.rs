@@ -45,14 +45,17 @@ pub fn o_ring_over(
 
     for step in 0..q.saturating_sub(1) {
         let tag = tag_base + step as u64;
-        let to_send = match (&cur, link) {
+        // `cur` is rebuilt from the arrival below, so the match can consume
+        // it: the sealed plaintext's buffer is recycled by the rank's
+        // encrypt scratch instead of being cloned every round.
+        let to_send = match (cur, link) {
             // Plaintext over the network: seal it (exit-process role).
-            (Item::Plain(c), LinkClass::Inter) => Item::Sealed(ctx.encrypt(c.clone())),
+            (Item::Plain(c), LinkClass::Inter) => Item::Sealed(ctx.encrypt(c)),
             // Anything else is already in the right representation:
             // plaintext stays plaintext intra-node; ciphertext is forwarded
             // as-is inter-node; sealed-over-intra cannot occur because
             // receives convert to plaintext when the next hop is intra.
-            (item, _) => item.clone(),
+            (item, _) => item,
         };
         ctx.send(succ, tag, Parcel::one(to_send));
 

@@ -27,14 +27,7 @@ impl Algorithm {
         use Algorithm::*;
         matches!(
             self,
-            Ring | RingRanked
-                | Rd
-                | Bruck
-                | Naive
-                | ORing
-                | ORd
-                | ORd2
-                | OBruck
+            Ring | RingRanked | Rd | Bruck | Naive | ORing | ORd | ORd2 | OBruck
         )
     }
 }

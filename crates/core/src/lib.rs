@@ -48,8 +48,8 @@ pub mod unencrypted;
 
 pub use algorithm::{allgather, Algorithm};
 pub use allgatherv::allgatherv;
-pub use group::allgather_group;
 pub use bounds::{lower_bounds, predict, predict_latency_us, recommend, MetricSet};
+pub use group::allgather_group;
 pub use output::GatherOutput;
 
 /// Tag-space layout: every phase of every algorithm draws its message tags

@@ -174,10 +174,7 @@ impl GatherOutput {
             assert_eq!(chunk.data.len(), self.lens[rank]);
             if let Data::Real(bytes) = &chunk.data {
                 let expect = pattern_block(seed, rank, self.lens[rank]);
-                assert_eq!(
-                    bytes, &expect,
-                    "rank {rank}'s block corrupted in transit"
-                );
+                assert_eq!(bytes, &expect, "rank {rank}'s block corrupted in transit");
             }
         }
     }

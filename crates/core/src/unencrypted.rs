@@ -90,7 +90,8 @@ pub fn hierarchical(ctx: &mut ProcCtx, m: usize) -> GatherOutput {
     );
 
     // Step 2: leaders all-gather everything.
-    let leader_items = gathered.map(|items| rd_allgather_items(ctx, &leaders, items, tags::PHASE_MAIN));
+    let leader_items =
+        gathered.map(|items| rd_allgather_items(ctx, &leaders, items, tags::PHASE_MAIN));
 
     // Step 3: broadcast the full result within each node.
     let all = bcast_items_from_root(ctx, &local, leader_items, tags::PHASE_BCAST);
@@ -135,12 +136,21 @@ pub fn neighbor_exchange(ctx: &mut ProcCtx, m: usize) -> GatherOutput {
     let mut last_pair: Vec<Item> = vec![Item::Plain(my_chunk), Item::Plain(first)];
     for round in 1..p / 2 {
         // Even ranks alternate left, right, left, …; odd ranks mirror.
-        let partner = if even == (round % 2 == 1) { left } else { right };
+        let partner = if even == (round % 2 == 1) {
+            left
+        } else {
+            right
+        };
         let tag = tags::PHASE_MAIN + round as u64;
         let received = ctx
-            .sendrecv(partner, partner, tag, Parcel {
-                items: last_pair.clone(),
-            })
+            .sendrecv(
+                partner,
+                partner,
+                tag,
+                Parcel {
+                    items: last_pair.clone(),
+                },
+            )
             .items;
         for item in &received {
             out.place(item.clone().into_plain());
@@ -237,7 +247,7 @@ mod tests {
         });
         for m in &report.metrics {
             assert_eq!(m.comm_rounds, 4); // p/2
-            // sc = m + 2m(p/2 - 1) = (p-1)m.
+                                          // sc = m + 2m(p/2 - 1) = (p-1)m.
             assert_eq!(m.bytes_sent, 7 * 16);
         }
     }
@@ -270,9 +280,7 @@ mod tests {
     #[test]
     fn rd_bytes_match_theory_pow2() {
         // sc = (p-1)·m for recursive doubling.
-        let report = run(&spec(8, 2, Mapping::Block), |ctx| {
-            rd(ctx, 64).is_complete()
-        });
+        let report = run(&spec(8, 2, Mapping::Block), |ctx| rd(ctx, 64).is_complete());
         for m in &report.metrics {
             assert_eq!(m.bytes_sent, 7 * 64);
             assert_eq!(m.bytes_recv, 7 * 64);

@@ -96,11 +96,7 @@ pub fn sbox_constant_time(x: u8) -> u8 {
     let inv = gf_mul(x252, x2); // x^254
 
     // Affine transformation: b ^ rotl1(b) ^ rotl2(b) ^ rotl3(b) ^ rotl4(b) ^ 0x63.
-    inv ^ inv.rotate_left(1)
-        ^ inv.rotate_left(2)
-        ^ inv.rotate_left(3)
-        ^ inv.rotate_left(4)
-        ^ 0x63
+    inv ^ inv.rotate_left(1) ^ inv.rotate_left(2) ^ inv.rotate_left(3) ^ inv.rotate_left(4) ^ 0x63
 }
 
 /// Supported AES key sizes.
@@ -253,6 +249,12 @@ impl Aes {
     /// The backend this instance dispatches to.
     pub fn backend(&self) -> Backend {
         self.backend
+    }
+
+    /// The expanded round keys (for the fused CTR+GHASH kernel).
+    #[inline]
+    pub(crate) fn round_keys(&self) -> &RoundKeys {
+        &self.keys
     }
 
     /// The key size in force.
@@ -493,12 +495,12 @@ fn decrypt_soft(keys: &RoundKeys, block: &mut [u8; 16]) {
 // ---------------------------------------------------------------------------
 
 #[cfg(target_arch = "x86_64")]
-mod aesni {
+pub(crate) mod aesni {
     use super::{RoundKeys, MAX_ROUNDS};
     use std::arch::x86_64::*;
 
     #[inline]
-    unsafe fn load_keys(keys: &RoundKeys) -> ([__m128i; MAX_ROUNDS + 1], usize) {
+    pub(crate) unsafe fn load_keys(keys: &RoundKeys) -> ([__m128i; MAX_ROUNDS + 1], usize) {
         let mut out = [_mm_setzero_si128(); MAX_ROUNDS + 1];
         for (o, rk) in out.iter_mut().zip(keys.keys().iter()) {
             *o = _mm_loadu_si128(rk.as_ptr() as *const __m128i);
@@ -629,8 +631,8 @@ mod tests {
         assert_eq!(
             block,
             [
-                0x32, 0x43, 0xf6, 0xa8, 0x88, 0x5a, 0x30, 0x8d, 0x31, 0x31, 0x98, 0xa2, 0xe0,
-                0x37, 0x07, 0x34
+                0x32, 0x43, 0xf6, 0xa8, 0x88, 0x5a, 0x30, 0x8d, 0x31, 0x31, 0x98, 0xa2, 0xe0, 0x37,
+                0x07, 0x34
             ]
         );
     }
@@ -647,8 +649,8 @@ mod tests {
         assert_eq!(
             block,
             [
-                0x69, 0xc4, 0xe0, 0xd8, 0x6a, 0x7b, 0x04, 0x30, 0xd8, 0xcd, 0xb7, 0x80, 0x70,
-                0xb4, 0xc5, 0x5a
+                0x69, 0xc4, 0xe0, 0xd8, 0x6a, 0x7b, 0x04, 0x30, 0xd8, 0xcd, 0xb7, 0x80, 0x70, 0xb4,
+                0xc5, 0x5a
             ]
         );
 
@@ -659,8 +661,8 @@ mod tests {
         assert_eq!(
             block,
             [
-                0xdd, 0xa9, 0x7c, 0xa4, 0x86, 0x4c, 0xdf, 0xe0, 0x6e, 0xaf, 0x70, 0xa0, 0xec,
-                0x0d, 0x71, 0x91
+                0xdd, 0xa9, 0x7c, 0xa4, 0x86, 0x4c, 0xdf, 0xe0, 0x6e, 0xaf, 0x70, 0xa0, 0xec, 0x0d,
+                0x71, 0x91
             ]
         );
 
@@ -671,8 +673,8 @@ mod tests {
         assert_eq!(
             block,
             [
-                0x8e, 0xa2, 0xb7, 0xca, 0x51, 0x67, 0x45, 0xbf, 0xea, 0xfc, 0x49, 0x90, 0x4b,
-                0x49, 0x60, 0x89
+                0x8e, 0xa2, 0xb7, 0xca, 0x51, 0x67, 0x45, 0xbf, 0xea, 0xfc, 0x49, 0x90, 0x4b, 0x49,
+                0x60, 0x89
             ]
         );
     }

@@ -37,13 +37,24 @@ impl std::error::Error for OpenError {}
 /// An AES-GCM AEAD instance (128-, 192-, or 256-bit key).
 ///
 /// `seal` produces `ciphertext || tag(16)`; `open` verifies and strips the
-/// tag. Nonces are 96-bit and must be unique per key (the library draws them
-/// at random, as the paper does).
+/// tag. The in-place variants ([`AesGcm::seal_in_place_detached`] /
+/// [`AesGcm::open_in_place_detached`]) transform the buffer without
+/// allocating. Nonces are 96-bit and must be unique per key (the library
+/// draws them at random, as the paper does).
+///
+/// When the CPU has both AES-NI and PCLMULQDQ, the bulk of every message
+/// runs through the fused single-pass CTR+GHASH kernel (`crate::fused`);
+/// otherwise the portable two-sweep layout is used. All paths compute the
+/// same function (NIST SP 800-38D).
 #[derive(Clone)]
 pub struct AesGcm {
     aes: Aes128,
-    /// Hash subkey H = E_K(0^128).
-    h: [u8; 16],
+    /// Per-key GHASH prototype keyed by the hash subkey H = E_K(0^128):
+    /// key setup (byte table / H-powers) happens once here; every message
+    /// stamps a fresh accumulator off it without allocating.
+    ghash_proto: GHash,
+    /// Whether the fused CTR+GHASH kernel is usable (AES-NI + PCLMULQDQ).
+    fused: bool,
 }
 
 /// AES-GCM-128: the scheme the paper uses (BoringSSL AES-GCM-128).
@@ -61,7 +72,14 @@ impl AesGcm {
         let aes = crate::aes::Aes::new(key);
         let mut h = [0u8; 16];
         aes.encrypt_block(&mut h);
-        AesGcm { aes, h }
+        let ghash_proto = GHash::new(&h);
+        let fused = aes.backend() == crate::aes::Backend::AesNi
+            && ghash_proto.backend() == crate::ghash::MulBackend::Pclmul;
+        AesGcm {
+            aes,
+            ghash_proto,
+            fused,
+        }
     }
 
     /// Computes the pre-counter block J0 for a 96-bit IV: `IV || 0^31 || 1`.
@@ -72,23 +90,139 @@ impl AesGcm {
         j0
     }
 
-    /// Encrypts and authenticates: returns `ciphertext || tag`.
-    /// Panics if `plaintext` exceeds [`MAX_PLAINTEXT_LEN`] (the counter
-    /// would wrap and reuse keystream).
-    pub fn seal(&self, nonce: &Nonce, aad: &[u8], plaintext: &[u8]) -> Vec<u8> {
+    /// Returns `icb` advanced by `blocks` GCM `inc32` steps.
+    fn ctr_add(icb: &[u8; 16], blocks: u32) -> [u8; 16] {
+        let mut out = *icb;
+        let ctr = u32::from_be_bytes([icb[12], icb[13], icb[14], icb[15]]).wrapping_add(blocks);
+        out[12..].copy_from_slice(&ctr.to_be_bytes());
+        out
+    }
+
+    /// How many leading bytes of an `len`-byte message the fused kernel
+    /// handles (a multiple of its 128-byte stride; 0 when unfused).
+    fn fused_prefix(&self, len: usize) -> usize {
+        if self.fused {
+            len & !(128 - 1)
+        } else {
+            0
+        }
+    }
+
+    /// Encrypts `data` in place and returns the 16-byte authentication tag.
+    ///
+    /// This is the allocation-free core of [`AesGcm::seal`]: the caller
+    /// provides the plaintext in a mutable buffer and receives the
+    /// ciphertext in the same buffer. Panics if `data` exceeds
+    /// [`MAX_PLAINTEXT_LEN`] (the counter would wrap and reuse keystream).
+    pub fn seal_in_place_detached(
+        &self,
+        nonce: &Nonce,
+        aad: &[u8],
+        data: &mut [u8],
+    ) -> [u8; TAG_LEN] {
         assert!(
-            plaintext.len() <= MAX_PLAINTEXT_LEN,
+            data.len() <= MAX_PLAINTEXT_LEN,
             "GCM plaintext exceeds the SP 800-38D length limit"
         );
         let j0 = Self::j0(nonce);
         let mut icb = j0;
         inc32(&mut icb);
 
+        let mut g = self.ghash_proto.fresh();
+        g.update_padded(aad);
+
+        let bulk = self.fused_prefix(data.len());
+        #[cfg(target_arch = "x86_64")]
+        if bulk > 0 {
+            // SAFETY: `fused` is set only when the CPU reports aes +
+            // pclmulqdq + sse2 + ssse3; `bulk` is a multiple of 128.
+            let acc = unsafe {
+                crate::fused::seal_blocks(
+                    self.aes.round_keys(),
+                    g.powers(),
+                    &icb,
+                    g.acc_raw(),
+                    &mut data[..bulk],
+                )
+            };
+            g.set_acc_raw(acc);
+        }
+        if bulk < data.len() {
+            let tail_icb = Self::ctr_add(&icb, (bulk / 16) as u32);
+            gctr_xor(&self.aes, &tail_icb, &mut data[bulk..]);
+            g.update_padded(&data[bulk..]);
+        }
+        g.update_lengths(aad.len() as u64, data.len() as u64);
+        self.finish_tag(&j0, &g)
+    }
+
+    /// Verifies `tag` and decrypts `data` (ciphertext) in place.
+    ///
+    /// The allocation-free core of [`AesGcm::open`]. On tag mismatch the
+    /// buffer is zeroed (the single-pass layout decrypts before the tag
+    /// check completes, and unauthenticated plaintext must not escape) and
+    /// [`OpenError::TagMismatch`] is returned.
+    pub fn open_in_place_detached(
+        &self,
+        nonce: &Nonce,
+        aad: &[u8],
+        data: &mut [u8],
+        tag: &[u8],
+    ) -> Result<(), OpenError> {
+        if tag.len() != TAG_LEN || data.len() > MAX_PLAINTEXT_LEN {
+            return Err(OpenError::Truncated);
+        }
+        let j0 = Self::j0(nonce);
+        let mut icb = j0;
+        inc32(&mut icb);
+
+        let mut g = self.ghash_proto.fresh();
+        g.update_padded(aad);
+
+        let bulk = self.fused_prefix(data.len());
+        #[cfg(target_arch = "x86_64")]
+        if bulk > 0 {
+            // SAFETY: `fused` is set only when the CPU reports aes +
+            // pclmulqdq + sse2 + ssse3; `bulk` is a multiple of 128.
+            let acc = unsafe {
+                crate::fused::open_blocks(
+                    self.aes.round_keys(),
+                    g.powers(),
+                    &icb,
+                    g.acc_raw(),
+                    &mut data[..bulk],
+                )
+            };
+            g.set_acc_raw(acc);
+        }
+        if bulk < data.len() {
+            // GHASH runs over the ciphertext, so absorb before decrypting.
+            g.update_padded(&data[bulk..]);
+            let tail_icb = Self::ctr_add(&icb, (bulk / 16) as u32);
+            gctr_xor(&self.aes, &tail_icb, &mut data[bulk..]);
+        }
+        g.update_lengths(aad.len() as u64, data.len() as u64);
+        let expect = self.finish_tag(&j0, &g);
+
+        // Constant-time tag comparison.
+        let mut diff = 0u8;
+        for (a, b) in expect.iter().zip(tag.iter()) {
+            diff |= a ^ b;
+        }
+        if diff != 0 {
+            data.fill(0);
+            return Err(OpenError::TagMismatch);
+        }
+        Ok(())
+    }
+
+    /// Encrypts and authenticates: returns `ciphertext || tag`.
+    /// Panics if `plaintext` exceeds [`MAX_PLAINTEXT_LEN`] (the counter
+    /// would wrap and reuse keystream).
+    pub fn seal(&self, nonce: &Nonce, aad: &[u8], plaintext: &[u8]) -> Vec<u8> {
         let mut out = Vec::with_capacity(plaintext.len() + TAG_LEN);
         out.extend_from_slice(plaintext);
-        gctr_xor(&self.aes, &icb, &mut out);
-
-        let tag = self.compute_tag(&j0, aad, &out);
+        let tag = self.seal_in_place_detached(nonce, aad, &mut out);
         out.extend_from_slice(&tag);
         out
     }
@@ -99,40 +233,18 @@ impl AesGcm {
             return Err(OpenError::Truncated);
         }
         let (ct, tag) = sealed.split_at(sealed.len() - TAG_LEN);
-        if ct.len() > MAX_PLAINTEXT_LEN {
-            return Err(OpenError::Truncated);
-        }
-        let j0 = Self::j0(nonce);
-        let expect = self.compute_tag(&j0, aad, ct);
-
-        // Constant-time tag comparison.
-        let mut diff = 0u8;
-        for (a, b) in expect.iter().zip(tag.iter()) {
-            diff |= a ^ b;
-        }
-        if diff != 0 {
-            return Err(OpenError::TagMismatch);
-        }
-
         let mut pt = ct.to_vec();
-        let mut icb = j0;
-        inc32(&mut icb);
-        gctr_xor(&self.aes, &icb, &mut pt);
+        self.open_in_place_detached(nonce, aad, &mut pt, tag)?;
         Ok(pt)
     }
 
-    /// T = MSB_128( GHASH_H(A, C) ^ E_K(J0) ).
-    fn compute_tag(&self, j0: &[u8; 16], aad: &[u8], ct: &[u8]) -> [u8; 16] {
-        let mut g = GHash::new(&self.h);
-        g.update_padded(aad);
-        g.update_padded(ct);
-        g.update_lengths(aad.len() as u64, ct.len() as u64);
+    /// T = MSB_128( GHASH_H(A, C) ^ E_K(J0) ) for a finalized GHASH state.
+    fn finish_tag(&self, j0: &[u8; 16], g: &GHash) -> [u8; TAG_LEN] {
         let s = g.finalize();
-
         let mut ekj0 = *j0;
         self.aes.encrypt_block(&mut ekj0);
-        let mut tag = [0u8; 16];
-        for i in 0..16 {
+        let mut tag = [0u8; TAG_LEN];
+        for i in 0..TAG_LEN {
             tag[i] = s[i] ^ ekj0[i];
         }
         tag

@@ -60,14 +60,22 @@ fn x8_reduce_table() -> &'static [u128; 256] {
 }
 
 /// Per-key byte table: `T[b] = (b as the degree-0..7 element) · H`.
-fn byte_table(h: u128) -> Box<[u128; 256]> {
-    let mut t = Box::new([0u128; 256]);
+fn byte_table(h: u128) -> std::sync::Arc<[u128; 256]> {
+    let mut t = [0u128; 256];
     for (b, slot) in t.iter_mut().enumerate() {
         // Byte b in block-byte-0 position = most significant byte of the
         // big-endian u128.
         *slot = gf128_mul_soft((b as u128) << 120, h);
     }
-    t
+    std::sync::Arc::new(t)
+}
+
+/// Precomputes H¹..H⁴ (key setup; the portable multiply is fine here).
+fn h_powers(h: u128) -> [u128; 4] {
+    let h2 = gf128_mul_soft(h, h);
+    let h3 = gf128_mul_soft(h2, h);
+    let h4 = gf128_mul_soft(h3, h);
+    [h, h2, h3, h4]
 }
 
 /// Byte-serial multiply-by-H using the per-key table (Horner over the 16
@@ -97,13 +105,20 @@ fn detect_backend() -> MulBackend {
 }
 
 /// Incremental GHASH state keyed by `H = E_K(0^128)`.
+///
+/// Cloning is allocation-free (the per-key table is shared), so a long-lived
+/// instance can serve as a per-key prototype: build once with [`GHash::new`],
+/// then stamp out fresh accumulators with [`GHash::fresh`] on every message.
 #[derive(Clone)]
 pub struct GHash {
     h: u128,
     acc: u128,
     backend: MulBackend,
-    /// Per-key byte table (SoftTable backend only).
-    table: Option<Box<[u128; 256]>>,
+    /// Per-key byte table (SoftTable backend only), shared across clones.
+    table: Option<std::sync::Arc<[u128; 256]>>,
+    /// H¹..H⁴ for aggregated multiplies (Pclmul backend only; zeroed
+    /// otherwise to keep portable key setup cheap).
+    powers: [u128; 4],
 }
 
 impl GHash {
@@ -118,12 +133,14 @@ impl GHash {
                 acc: 0,
                 backend: MulBackend::Pclmul,
                 table: None,
+                powers: h_powers(hv),
             },
             _ => GHash {
                 h: hv,
                 acc: 0,
                 backend: MulBackend::SoftTable,
                 table: Some(byte_table(hv)),
+                powers: [0; 4],
             },
         }
     }
@@ -136,6 +153,7 @@ impl GHash {
             acc: 0,
             backend: MulBackend::Soft,
             table: None,
+            powers: [0; 4],
         }
     }
 
@@ -147,12 +165,39 @@ impl GHash {
             acc: 0,
             backend: MulBackend::SoftTable,
             table: Some(byte_table(hv)),
+            powers: [0; 4],
         }
+    }
+
+    /// A fresh accumulator sharing this instance's key material. No
+    /// allocation: the byte table (if any) is reference-counted.
+    pub fn fresh(&self) -> GHash {
+        let mut g = self.clone();
+        g.acc = 0;
+        g
     }
 
     /// The multiplication backend in use.
     pub fn backend(&self) -> MulBackend {
         self.backend
+    }
+
+    /// The raw accumulator (for the fused CTR+GHASH kernel).
+    #[inline]
+    pub(crate) fn acc_raw(&self) -> u128 {
+        self.acc
+    }
+
+    /// Overwrites the raw accumulator (for the fused CTR+GHASH kernel).
+    #[inline]
+    pub(crate) fn set_acc_raw(&mut self, acc: u128) {
+        self.acc = acc;
+    }
+
+    /// Precomputed H¹..H⁴ (Pclmul backend only).
+    #[inline]
+    pub(crate) fn powers(&self) -> &[u128; 4] {
+        &self.powers
     }
 
     #[inline]
@@ -189,7 +234,7 @@ impl GHash {
         if self.backend == MulBackend::Pclmul && full > 0 {
             // SAFETY: backend is Pclmul only when pclmulqdq+sse2+ssse3 are
             // reported by the CPU.
-            self.acc = unsafe { pclmul::ghash_blocks(self.acc, self.h, &data[..full]) };
+            self.acc = unsafe { pclmul::ghash_blocks(self.acc, &self.powers, &data[..full]) };
         } else {
             self.update_full_blocks_soft(&data[..full]);
         }
@@ -227,15 +272,15 @@ impl GHash {
 }
 
 #[cfg(target_arch = "x86_64")]
-mod pclmul {
+pub(crate) mod pclmul {
     use std::arch::x86_64::*;
 
     /// Loads a GCM field element (given as a big-endian `u128`, the same
     /// convention as the portable code) into an SSE register in *reflected*
     /// layout: byte 0 of the block in lane 15. In this layout the classic
     /// Intel "GCM with bit-reflected data" multiply below applies directly.
-    #[inline]
-    unsafe fn load_elem(x: u128) -> __m128i {
+    #[inline(always)]
+    pub(crate) unsafe fn load_elem(x: u128) -> __m128i {
         // to_be_bytes puts block byte 0 first; loading little-endian and
         // byte-reversing gives lane15 = block byte 0.
         let bytes = x.to_be_bytes();
@@ -243,24 +288,24 @@ mod pclmul {
         bswap(v)
     }
 
-    #[inline]
-    unsafe fn store_elem(v: __m128i) -> u128 {
+    #[inline(always)]
+    pub(crate) unsafe fn store_elem(v: __m128i) -> u128 {
         let mut out = [0u8; 16];
         _mm_storeu_si128(out.as_mut_ptr() as *mut __m128i, bswap(v));
         u128::from_be_bytes(out)
     }
 
     /// Byte-reverses the 16 lanes.
-    #[inline]
-    unsafe fn bswap(v: __m128i) -> __m128i {
+    #[inline(always)]
+    pub(crate) unsafe fn bswap(v: __m128i) -> __m128i {
         let mask = _mm_set_epi8(0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15);
         _mm_shuffle_epi8(v, mask)
     }
 
     /// Raw 256-bit carry-less product of two 128-bit operands
     /// (Karatsuba-free schoolbook: 4 PCLMULQDQs), returned as (lo, hi).
-    #[inline]
-    unsafe fn clmul256(a: __m128i, b: __m128i) -> (__m128i, __m128i) {
+    #[inline(always)]
+    pub(crate) unsafe fn clmul256(a: __m128i, b: __m128i) -> (__m128i, __m128i) {
         let mut lo = _mm_clmulepi64_si128(a, b, 0x00);
         let mut mid = _mm_clmulepi64_si128(a, b, 0x10);
         let mid2 = _mm_clmulepi64_si128(a, b, 0x01);
@@ -276,8 +321,8 @@ mod pclmul {
     /// shift left by one (reflection fixup), then reduce modulo
     /// x^128 + x^7 + x^2 + x + 1. Both steps are linear, so products may be
     /// XOR-summed before a single call.
-    #[inline]
-    unsafe fn shift_reduce(mut tmp3: __m128i, mut tmp6: __m128i) -> __m128i {
+    #[inline(always)]
+    pub(crate) unsafe fn shift_reduce(mut tmp3: __m128i, mut tmp6: __m128i) -> __m128i {
         // Shift the 256-bit product left by 1 bit.
         let tmp7 = _mm_srli_epi32(tmp3, 31);
         let tmp8 = _mm_srli_epi32(tmp6, 31);
@@ -311,8 +356,8 @@ mod pclmul {
     }
 
     /// One GF(2^128) multiply of bit-reflected operands.
-    #[inline]
-    unsafe fn mul_reflected(a: __m128i, b: __m128i) -> __m128i {
+    #[inline(always)]
+    pub(crate) unsafe fn mul_reflected(a: __m128i, b: __m128i) -> __m128i {
         let (lo, hi) = clmul256(a, b);
         shift_reduce(lo, hi)
     }
@@ -326,33 +371,48 @@ mod pclmul {
         store_elem(mul_reflected(a, b))
     }
 
+    /// Aggregates four bit-reflected blocks into the accumulator with one
+    /// reduction: `acc' = (acc^B0)·H⁴ ⊕ B1·H³ ⊕ B2·H² ⊕ B3·H`.
+    #[inline(always)]
+    pub(crate) unsafe fn ghash4(
+        a: __m128i,
+        b: [__m128i; 4],
+        h1: __m128i,
+        h2: __m128i,
+        h3: __m128i,
+        h4: __m128i,
+    ) -> __m128i {
+        let (mut lo, mut hi) = clmul256(_mm_xor_si128(a, b[0]), h4);
+        let (l1, h1p) = clmul256(b[1], h3);
+        let (l2, h2p) = clmul256(b[2], h2);
+        let (l3, h3p) = clmul256(b[3], h1);
+        lo = _mm_xor_si128(_mm_xor_si128(lo, l1), _mm_xor_si128(l2, l3));
+        hi = _mm_xor_si128(_mm_xor_si128(hi, h1p), _mm_xor_si128(h2p, h3p));
+        shift_reduce(lo, hi)
+    }
+
     /// Absorbs full 16-byte blocks, keeping the accumulator in a register
-    /// throughout. Four blocks are aggregated per reduction using
-    /// precomputed powers of H:
-    /// `acc' = (acc^B0)·H⁴ ⊕ B1·H³ ⊕ B2·H² ⊕ B3·H` (one `shift_reduce`).
+    /// throughout. Four blocks are aggregated per reduction using the
+    /// precomputed `powers` H¹..H⁴ (see [`ghash4`]).
     #[target_feature(enable = "pclmulqdq", enable = "sse2", enable = "ssse3")]
-    pub unsafe fn ghash_blocks(acc: u128, h: u128, data: &[u8]) -> u128 {
+    pub unsafe fn ghash_blocks(acc: u128, powers: &[u128; 4], data: &[u8]) -> u128 {
         debug_assert_eq!(data.len() % 16, 0);
-        let h1 = load_elem(h);
-        let h2 = mul_reflected(h1, h1);
-        let h3 = mul_reflected(h2, h1);
-        let h4 = mul_reflected(h3, h1);
+        let h1 = load_elem(powers[0]);
+        let h2 = load_elem(powers[1]);
+        let h3 = load_elem(powers[2]);
+        let h4 = load_elem(powers[3]);
         let mut a = load_elem(acc);
 
         let mut chunks = data.chunks_exact(64);
         for quad in &mut chunks {
             let p = quad.as_ptr() as *const __m128i;
-            let b0 = bswap(_mm_loadu_si128(p));
-            let b1 = bswap(_mm_loadu_si128(p.add(1)));
-            let b2 = bswap(_mm_loadu_si128(p.add(2)));
-            let b3 = bswap(_mm_loadu_si128(p.add(3)));
-            let (mut lo, mut hi) = clmul256(_mm_xor_si128(a, b0), h4);
-            let (l1, h1p) = clmul256(b1, h3);
-            let (l2, h2p) = clmul256(b2, h2);
-            let (l3, h3p) = clmul256(b3, h1);
-            lo = _mm_xor_si128(_mm_xor_si128(lo, l1), _mm_xor_si128(l2, l3));
-            hi = _mm_xor_si128(_mm_xor_si128(hi, h1p), _mm_xor_si128(h2p, h3p));
-            a = shift_reduce(lo, hi);
+            let b = [
+                bswap(_mm_loadu_si128(p)),
+                bswap(_mm_loadu_si128(p.add(1))),
+                bswap(_mm_loadu_si128(p.add(2))),
+                bswap(_mm_loadu_si128(p.add(3))),
+            ];
+            a = ghash4(a, b, h1, h2, h3, h4);
         }
         for chunk in chunks.remainder().chunks_exact(16) {
             let block = bswap(_mm_loadu_si128(chunk.as_ptr() as *const __m128i));
@@ -480,7 +540,13 @@ mod tests {
     fn table_mul_matches_bitwise_for_edge_elements() {
         let h = u128::from_be_bytes(hex16("66e94bd4ef8a2c3b884cfa59ca342b2e"));
         let table = byte_table(h);
-        for x in [0u128, 1, 1u128 << 127, u128::MAX, 0x0123_4567_89ab_cdef_0f1e_2d3c_4b5a_6978] {
+        for x in [
+            0u128,
+            1,
+            1u128 << 127,
+            u128::MAX,
+            0x0123_4567_89ab_cdef_0f1e_2d3c_4b5a_6978,
+        ] {
             assert_eq!(mul_h_table(&table, x), gf128_mul_soft(x, h), "x = {x:032x}");
         }
     }

@@ -36,6 +36,7 @@
 
 pub mod aes;
 pub mod ctr;
+mod fused;
 pub mod gcm;
 pub mod ghash;
 pub mod nonce;
@@ -90,24 +91,64 @@ pub fn seal_message(
     aad: &[u8],
     plaintext: &[u8],
 ) -> Vec<u8> {
-    let nonce = source.next_nonce();
-    let mut out = Vec::with_capacity(plaintext.len() + WIRE_OVERHEAD);
-    out.extend_from_slice(nonce.as_bytes());
-    let ct = cipher.seal(&nonce, aad, plaintext);
-    out.extend_from_slice(&ct);
+    let mut out = Vec::new();
+    seal_message_into(cipher, source, aad, plaintext, &mut out);
     out
+}
+
+/// Seals `plaintext` into `out` (cleared first) in the wire format of
+/// [`seal_message`], reusing `out`'s allocation when it is large enough.
+///
+/// This is the steady-state path for the runtime: a per-rank scratch buffer
+/// makes every seal allocation-free after the first message of each size
+/// class.
+pub fn seal_message_into(
+    cipher: &AesGcm128,
+    source: &mut NonceSource,
+    aad: &[u8],
+    plaintext: &[u8],
+    out: &mut Vec<u8>,
+) {
+    let nonce = source.next_nonce();
+    out.clear();
+    out.reserve(plaintext.len() + WIRE_OVERHEAD);
+    out.extend_from_slice(nonce.as_bytes());
+    out.extend_from_slice(plaintext);
+    let tag = cipher.seal_in_place_detached(&nonce, aad, &mut out[NONCE_LEN..]);
+    out.extend_from_slice(&tag);
 }
 
 /// Opens a message produced by [`seal_message`]; returns the plaintext or an
 /// error if the frame is malformed or fails authentication.
 pub fn open_message(cipher: &AesGcm128, aad: &[u8], wire: &[u8]) -> Result<Vec<u8>, OpenError> {
+    let mut buf = wire.to_vec();
+    open_message_in_place(cipher, aad, &mut buf)?;
+    Ok(buf)
+}
+
+/// Opens a wire frame in place: on success `wire` holds just the plaintext
+/// (the nonce and tag framing are stripped); on failure `wire`'s payload
+/// bytes are zeroed and the error is returned.
+///
+/// The allocation-free counterpart of [`open_message`] — the decrypt happens
+/// inside the frame's own buffer.
+pub fn open_message_in_place(
+    cipher: &AesGcm128,
+    aad: &[u8],
+    wire: &mut Vec<u8>,
+) -> Result<(), OpenError> {
     if wire.len() < WIRE_OVERHEAD {
         return Err(OpenError::Truncated);
     }
     let mut nb = [0u8; NONCE_LEN];
     nb.copy_from_slice(&wire[..NONCE_LEN]);
     let nonce = Nonce::from_bytes(nb);
-    cipher.open(&nonce, aad, &wire[NONCE_LEN..])
+    let ct_end = wire.len() - TAG_LEN;
+    let (frame, tag) = wire.split_at_mut(ct_end);
+    cipher.open_in_place_detached(&nonce, aad, &mut frame[NONCE_LEN..], tag)?;
+    wire.truncate(ct_end);
+    wire.drain(..NONCE_LEN);
+    Ok(())
 }
 
 #[cfg(test)]

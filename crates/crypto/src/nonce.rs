@@ -5,7 +5,7 @@
 //! is standard-compliant; a deterministic seeded source exists for tests.
 
 use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use rand::{RngCore, SeedableRng};
 
 /// Nonce length in bytes (96-bit IVs, the GCM fast path).
 pub const NONCE_LEN: usize = 12;

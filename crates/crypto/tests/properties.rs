@@ -1,7 +1,10 @@
 //! Property-based tests for the AEAD and its field arithmetic.
 
 use eag_crypto::ghash::{gf128_mul_soft, GHash};
-use eag_crypto::{open_message, seal_message, AesGcm128, Key, Nonce, NonceSource};
+use eag_crypto::{
+    open_message, open_message_in_place, seal_message, seal_message_into, AesGcm128, Key, Nonce,
+    NonceSource, NONCE_LEN, TAG_LEN, WIRE_OVERHEAD,
+};
 use proptest::prelude::*;
 
 fn arb_key() -> impl Strategy<Value = Key> {
@@ -112,5 +115,75 @@ proptest! {
         fast.update_padded(&data);
         soft.update_padded(&data);
         prop_assert_eq!(fast.finalize(), soft.finalize());
+    }
+
+    /// In-place seal equals the allocating seal bit for bit, and in-place
+    /// open inverts it — across the 128-byte fused-stride boundary.
+    #[test]
+    fn in_place_seal_open_matches_allocating(
+        key in arb_key(),
+        nonce in arb_nonce(),
+        aad in proptest::collection::vec(any::<u8>(), 0..48),
+        pt in proptest::collection::vec(any::<u8>(), 0..600),
+    ) {
+        let gcm = AesGcm128::new(&key);
+        let reference = gcm.seal(&nonce, &aad, &pt);
+
+        let mut buf = pt.clone();
+        let tag = gcm.seal_in_place_detached(&nonce, &aad, &mut buf);
+        prop_assert_eq!(&buf[..], &reference[..pt.len()]);
+        prop_assert_eq!(&tag[..], &reference[pt.len()..]);
+
+        gcm.open_in_place_detached(&nonce, &aad, &mut buf, &tag).unwrap();
+        prop_assert_eq!(buf, pt);
+    }
+
+    /// A tampered in-place frame is rejected *and* the buffer is zeroed, so
+    /// unauthenticated plaintext never escapes the failed open.
+    #[test]
+    fn in_place_open_zeroizes_on_tamper(
+        key in arb_key(),
+        nonce in arb_nonce(),
+        pt in proptest::collection::vec(any::<u8>(), 1..300),
+        byte_sel in any::<usize>(),
+        bit in 0u8..8,
+    ) {
+        let gcm = AesGcm128::new(&key);
+        let mut buf = pt.clone();
+        let mut tag = gcm.seal_in_place_detached(&nonce, b"aad", &mut buf);
+        // Flip one bit somewhere in ciphertext || tag.
+        let idx = byte_sel % (buf.len() + TAG_LEN);
+        if idx < buf.len() {
+            buf[idx] ^= 1 << bit;
+        } else {
+            tag[idx - buf.len()] ^= 1 << bit;
+        }
+        prop_assert!(gcm.open_in_place_detached(&nonce, b"aad", &mut buf, &tag).is_err());
+        prop_assert!(buf.iter().all(|&b| b == 0), "failed open must zeroize");
+    }
+
+    /// The scratch-reusing wire framing equals [`seal_message`]'s output and
+    /// opens in place back to the plaintext, whatever the buffer held before.
+    #[test]
+    fn framed_in_place_roundtrip_reuses_scratch(
+        key in arb_key(),
+        seed in any::<u64>(),
+        pt in proptest::collection::vec(any::<u8>(), 0..400),
+        junk in proptest::collection::vec(any::<u8>(), 0..64),
+    ) {
+        let gcm = AesGcm128::new(&key);
+
+        let mut src_a = NonceSource::seeded(seed);
+        let reference = seal_message(&gcm, &mut src_a, b"hdr", &pt);
+
+        let mut src_b = NonceSource::seeded(seed);
+        let mut wire = junk; // scratch with arbitrary prior contents
+        seal_message_into(&gcm, &mut src_b, b"hdr", &pt, &mut wire);
+        prop_assert_eq!(&wire, &reference);
+        prop_assert_eq!(wire.len(), pt.len() + WIRE_OVERHEAD);
+        prop_assert_eq!(&wire[..NONCE_LEN], &reference[..NONCE_LEN]);
+
+        open_message_in_place(&gcm, b"hdr", &mut wire).unwrap();
+        prop_assert_eq!(wire, pt);
     }
 }

@@ -106,7 +106,7 @@ mod tests {
     #[test]
     fn serializes_concurrent_streams() {
         let nic = NodeNic::new(100.0); // 100 B/µs
-        // Two 1000-byte sends at the same instant: the second queues.
+                                       // Two 1000-byte sends at the same instant: the second queues.
         assert_eq!(nic.reserve(0.0, 1000), 10.0);
         assert_eq!(nic.reserve(0.0, 1000), 20.0);
         // A later send after the NIC drained starts immediately.
@@ -130,7 +130,7 @@ mod tests {
         let nic = NodeNic::new(1.0); // 1 B/µs
         assert_eq!(nic.reserve(0.0, 10), 10.0); // [0,10)
         assert_eq!(nic.reserve(15.0, 10), 25.0); // [15,25)
-        // A 10-byte send at t=5 does not fit into the [10,15) gap.
+                                                 // A 10-byte send at t=5 does not fit into the [10,15) gap.
         assert_eq!(nic.reserve(5.0, 10), 35.0);
         // A 5-byte send at t=5 does fit into [10,15).
         assert_eq!(nic.reserve(5.0, 5), 15.0);

@@ -5,7 +5,11 @@ use eag_netsim::{LinkClass, Mapping, Topology};
 use proptest::prelude::*;
 
 fn arb_topology() -> impl Strategy<Value = Topology> {
-    (1usize..=8, 1usize..=6, prop_oneof![Just(Mapping::Block), Just(Mapping::Cyclic)])
+    (
+        1usize..=8,
+        1usize..=6,
+        prop_oneof![Just(Mapping::Block), Just(Mapping::Cyclic)],
+    )
         .prop_map(|(ell, nodes, mapping)| Topology::new(ell * nodes, nodes, mapping))
 }
 

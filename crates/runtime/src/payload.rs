@@ -114,6 +114,31 @@ impl Chunk {
         }
     }
 
+    /// Concatenates owned chunks into one, reusing the first chunk's byte
+    /// buffer as the accumulator instead of allocating a fresh one — the
+    /// allocation-lean sibling of [`Chunk::concat`] for call sites that
+    /// already own their parts.
+    pub fn concat_owned(chunks: Vec<Chunk>) -> Chunk {
+        assert!(!chunks.is_empty(), "cannot concat zero chunks");
+        let mut iter = chunks.into_iter();
+        let mut acc = iter.next().expect("non-empty checked above");
+        let phantom = !acc.data.is_real();
+        let mut total = acc.data.len();
+        for c in iter {
+            assert_eq!(c.block_len, acc.block_len, "mixed block lengths");
+            assert_eq!(!c.data.is_real(), phantom, "mixed data modes");
+            total += c.data.len();
+            acc.origins.extend_from_slice(&c.origins);
+            if let (Data::Real(bytes), Data::Real(more)) = (&mut acc.data, &c.data) {
+                bytes.extend_from_slice(more);
+            }
+        }
+        if phantom {
+            acc.data = Data::Phantom(total);
+        }
+        acc
+    }
+
     /// Splits the chunk into one single-origin chunk per origin.
     pub fn split(&self) -> Vec<Chunk> {
         let m = self.block_len;
@@ -281,6 +306,25 @@ mod tests {
         c.check();
         let parts = c.split();
         assert_eq!(parts, vec![a, b]);
+    }
+
+    #[test]
+    fn concat_owned_matches_concat() {
+        let parts = vec![
+            Chunk::single(0, Data::Real(vec![1, 2, 3])),
+            Chunk::single(5, Data::Real(vec![4, 5, 6])),
+            Chunk::single(2, Data::Real(vec![7, 8, 9])),
+        ];
+        assert_eq!(Chunk::concat(&parts), Chunk::concat_owned(parts.clone()));
+
+        let phantoms = vec![
+            Chunk::single(1, Data::Phantom(100)),
+            Chunk::single(2, Data::Phantom(100)),
+        ];
+        assert_eq!(
+            Chunk::concat(&phantoms),
+            Chunk::concat_owned(phantoms.clone())
+        );
     }
 
     #[test]

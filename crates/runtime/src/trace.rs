@@ -149,7 +149,11 @@ pub fn render_gantt(traces: &[Trace], cols: usize) -> String {
         for e in trace {
             let a = ((e.start_us / horizon) * cols as f64).floor() as usize;
             let b = ((e.end_us / horizon) * cols as f64).ceil() as usize;
-            for cell in row.iter_mut().take(b.min(cols)).skip(a.min(cols.saturating_sub(1))) {
+            for cell in row
+                .iter_mut()
+                .take(b.min(cols))
+                .skip(a.min(cols.saturating_sub(1)))
+            {
                 *cell = glyph(&e.kind);
             }
         }
@@ -216,11 +220,15 @@ mod tests {
     fn breakdown_sums_by_class() {
         let trace = vec![
             ev(0.0, 2.0, EventKind::Encrypt { bytes: 10 }),
-            ev(2.0, 5.0, EventKind::Send {
-                dst: 1,
-                bytes: 10,
-                link: LinkClass::Inter,
-            }),
+            ev(
+                2.0,
+                5.0,
+                EventKind::Send {
+                    dst: 1,
+                    bytes: 10,
+                    link: LinkClass::Inter,
+                },
+            ),
             ev(5.0, 9.0, EventKind::Recv { src: 1, bytes: 10 }),
             ev(9.0, 10.0, EventKind::Decrypt { bytes: 10 }),
         ];

@@ -10,7 +10,9 @@ use crossbeam::channel::{unbounded, Receiver, Sender};
 use eag_crypto::{AesGcm128, Key, NonceSource, WIRE_OVERHEAD};
 use eag_netsim::fabric::FabricState;
 use eag_netsim::nic::NodeNic;
-use eag_netsim::{ClusterProfile, CostModel, FrameKind, FrameRecord, LinkClass, Rank, Topology, Wiretap};
+use eag_netsim::{
+    ClusterProfile, CostModel, FrameKind, FrameRecord, LinkClass, Rank, Topology, Wiretap,
+};
 use std::collections::{HashMap, VecDeque};
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::Arc;
@@ -88,14 +90,14 @@ const POISON_TAG: u64 = u64::MAX;
 /// swap the metadata of two same-length ciphertexts and have blocks placed
 /// under the wrong ranks without failing authentication. Deriving the AAD
 /// from the metadata makes any such swap a GCM tag mismatch.
-fn seal_aad(origins: &[Rank], block_len: usize) -> Vec<u8> {
-    let mut aad = Vec::with_capacity(8 + 8 * origins.len() + 8);
+fn seal_aad_into(origins: &[Rank], block_len: usize, aad: &mut Vec<u8>) {
+    aad.clear();
+    aad.reserve(8 + 8 * origins.len() + 8);
     aad.extend_from_slice(&(origins.len() as u64).to_le_bytes());
     for &o in origins {
         aad.extend_from_slice(&(o as u64).to_le_bytes());
     }
     aad.extend_from_slice(&(block_len as u64).to_le_bytes());
-    aad
 }
 
 struct Message {
@@ -120,6 +122,13 @@ pub struct ProcCtx<'w> {
     pending: HashMap<(Rank, u64), VecDeque<Message>>,
     gcm: &'w AesGcm128,
     nonces: NonceSource,
+    /// Reusable wire buffer for [`ProcCtx::encrypt`]: each seal writes into
+    /// it and takes ownership, leaving the consumed plaintext Vec behind as
+    /// the next scratch — steady state is allocation-free.
+    seal_scratch: Vec<u8>,
+    /// Reusable AAD buffer (the routing-metadata binding is rebuilt per
+    /// chunk but never needs a fresh allocation).
+    aad_scratch: Vec<u8>,
     nics: &'w [NodeNic],
     fabric: Option<&'w FabricState>,
     wiretap: &'w Wiretap,
@@ -247,12 +256,8 @@ impl<'w> ProcCtx<'w> {
                 let mut done = stream_done.max(nic_done);
                 let mut alpha = self.model.inter.alpha_us;
                 if let Some(fabric) = self.fabric {
-                    let (fab_done, extra_alpha) = fabric.reserve(
-                        self.clock_us,
-                        self.node(),
-                        self.topo.node_of(dst),
-                        bytes,
-                    );
+                    let (fab_done, extra_alpha) =
+                        fabric.reserve(self.clock_us, self.node(), self.topo.node_of(dst), bytes);
                     done = done.max(fab_done);
                     alpha += extra_alpha;
                 }
@@ -260,8 +265,12 @@ impl<'w> ProcCtx<'w> {
             }
         };
         self.clock_us = done_us;
-        self.metrics.bytes_sent += bytes as u64;
-        self.metrics.payload_sent += parcel.payload_len() as u64;
+        // A self-send is a local buffer hand-off, not communication: it
+        // must not inflate the Table II traffic columns.
+        if link != LinkClass::SelfLoop {
+            self.metrics.bytes_sent += bytes as u64;
+            self.metrics.payload_sent += parcel.payload_len() as u64;
+        }
         if link == LinkClass::Inter {
             self.metrics.inter_bytes_sent += bytes as u64;
             let frame_idx = self
@@ -331,10 +340,14 @@ impl<'w> ProcCtx<'w> {
         let t0 = self.clock_us;
         let msg = self.wait_for(src, tag);
         self.clock_us = self.clock_us.max(msg.arrive_us);
-        self.metrics.comm_rounds += 1;
         let bytes = msg.parcel.wire_len();
-        self.metrics.bytes_recv += bytes as u64;
-        self.metrics.payload_recv += msg.parcel.payload_len() as u64;
+        // Receiving one's own self-send is a local hand-off, not a
+        // communication round (mirrors the send-side SelfLoop exclusion).
+        if msg.src != self.rank {
+            self.metrics.comm_rounds += 1;
+            self.metrics.bytes_recv += bytes as u64;
+            self.metrics.payload_recv += msg.parcel.payload_len() as u64;
+        }
         self.record(t0, EventKind::Recv { src, bytes });
         msg.parcel
     }
@@ -345,21 +358,31 @@ impl<'w> ProcCtx<'w> {
                 return msg;
             }
         }
+        // The watchdog limit is an absolute deadline for this receive, not a
+        // per-poll allowance: unrelated traffic draining through the channel
+        // must not keep pushing the timeout out indefinitely.
+        let deadline = self
+            .recv_timeout
+            .map(|limit| std::time::Instant::now() + limit);
         loop {
-            let msg = match self.recv_timeout {
+            let msg = match deadline {
                 None => self.rx.recv().expect("all peers disconnected"),
-                Some(limit) => match self.rx.recv_timeout(limit) {
-                    Ok(msg) => msg,
-                    Err(crossbeam::channel::RecvTimeoutError::Timeout) => panic!(
-                        "rank {} waited {limit:?} for a message from rank {src} \
-                         with tag {tag} that never arrived (deadlock or tag \
-                         mismatch in the algorithm)",
-                        self.rank
-                    ),
-                    Err(crossbeam::channel::RecvTimeoutError::Disconnected) => {
-                        panic!("all peers disconnected while receiving")
+                Some(deadline) => {
+                    let remaining = deadline.saturating_duration_since(std::time::Instant::now());
+                    match self.rx.recv_timeout(remaining) {
+                        Ok(msg) => msg,
+                        Err(crossbeam::channel::RecvTimeoutError::Timeout) => panic!(
+                            "rank {} waited {:?} for a message from rank {src} \
+                             with tag {tag} that never arrived (deadlock or tag \
+                             mismatch in the algorithm)",
+                            self.rank,
+                            self.recv_timeout.unwrap_or_default()
+                        ),
+                        Err(crossbeam::channel::RecvTimeoutError::Disconnected) => {
+                            panic!("all peers disconnected while receiving")
+                        }
                     }
-                },
+                }
             };
             if msg.tag == POISON_TAG {
                 panic!("rank {} panicked; propagating", msg.src);
@@ -393,17 +416,33 @@ impl<'w> ProcCtx<'w> {
         self.record(t0, EventKind::Encrypt { bytes: plain_len });
         self.metrics.enc_rounds += 1;
         self.metrics.enc_bytes += plain_len as u64;
-        let data = match &chunk.data {
+        let Chunk {
+            origins,
+            block_len,
+            data,
+        } = chunk;
+        let data = match data {
             Data::Real(bytes) => {
-                let aad = seal_aad(&chunk.origins, chunk.block_len);
-                let wire = eag_crypto::seal_message(self.gcm, &mut self.nonces, &aad, bytes);
+                seal_aad_into(&origins, block_len, &mut self.aad_scratch);
+                let mut wire = std::mem::take(&mut self.seal_scratch);
+                eag_crypto::seal_message_into(
+                    self.gcm,
+                    &mut self.nonces,
+                    &self.aad_scratch,
+                    &bytes,
+                    &mut wire,
+                );
+                // Recycle the consumed plaintext Vec as the next scratch:
+                // after the first message of each size class, encryption
+                // allocates nothing.
+                self.seal_scratch = bytes;
                 Data::Real(wire)
             }
             Data::Phantom(_) => Data::Phantom(plain_len + WIRE_OVERHEAD),
         };
         Sealed {
-            origins: chunk.origins,
-            block_len: chunk.block_len,
+            origins,
+            block_len,
             plain_len,
             data,
         }
@@ -415,24 +454,33 @@ impl<'w> ProcCtx<'w> {
     pub fn decrypt(&mut self, sealed: Sealed) -> Chunk {
         let t0 = self.clock_us;
         self.clock_us += self.model.crypto.dec_time(sealed.plain_len);
-        self.record(t0, EventKind::Decrypt {
-            bytes: sealed.plain_len,
-        });
+        self.record(
+            t0,
+            EventKind::Decrypt {
+                bytes: sealed.plain_len,
+            },
+        );
         self.metrics.dec_rounds += 1;
         self.metrics.dec_bytes += sealed.plain_len as u64;
-        let data = match &sealed.data {
-            Data::Real(wire) => {
-                let aad = seal_aad(&sealed.origins, sealed.block_len);
-                let pt = eag_crypto::open_message(self.gcm, &aad, wire).expect(
+        let Sealed {
+            origins,
+            block_len,
+            plain_len,
+            data,
+        } = sealed;
+        let data = match data {
+            Data::Real(mut wire) => {
+                seal_aad_into(&origins, block_len, &mut self.aad_scratch);
+                eag_crypto::open_message_in_place(self.gcm, &self.aad_scratch, &mut wire).expect(
                     "GCM authentication failed: forged, corrupted, or relabeled ciphertext",
                 );
-                Data::Real(pt)
+                Data::Real(wire)
             }
-            Data::Phantom(_) => Data::Phantom(sealed.plain_len),
+            Data::Phantom(_) => Data::Phantom(plain_len),
         };
         let chunk = Chunk {
-            origins: sealed.origins,
-            block_len: sealed.block_len,
+            origins,
+            block_len,
             data,
         };
         chunk.check();
@@ -584,9 +632,7 @@ where
     let nics: Vec<NodeNic> = (0..n_nodes)
         .map(|_| NodeNic::new(model.nic_bandwidth))
         .collect();
-    let fabric = model
-        .fabric
-        .map(|fm| FabricState::new(fm, n_nodes));
+    let fabric = model.fabric.map(|fm| FabricState::new(fm, n_nodes));
     let shared: Vec<Arc<NodeShared>> = (0..n_nodes)
         .map(|node| Arc::new(NodeShared::new(spec.topology.ranks_on_node(node).len())))
         .collect();
@@ -608,11 +654,7 @@ where
 
         std::thread::scope(|scope| {
             let mut handles = Vec::with_capacity(p);
-            for (rank, (rx, slot)) in receivers
-                .iter_mut()
-                .zip(slots.iter_mut())
-                .enumerate()
-            {
+            for (rank, (rx, slot)) in receivers.iter_mut().zip(slots.iter_mut()).enumerate() {
                 let rx = rx.take().expect("receiver already taken");
                 let handle = std::thread::Builder::new()
                     .name(format!("rank-{rank}"))
@@ -633,6 +675,8 @@ where
                             nonces: NonceSource::seeded(
                                 seed ^ (rank as u64).wrapping_mul(0x0100_0000_01B3),
                             ),
+                            seal_scratch: Vec::new(),
+                            aad_scratch: Vec::new(),
                             nics,
                             fabric: fabric_ref,
                             wiretap: wiretap_ref,
@@ -741,10 +785,7 @@ mod tests {
                 parcel.items[0].clone().into_plain().data.bytes().to_vec()
             }
         });
-        assert_eq!(
-            report.outputs[1],
-            crate::payload::pattern_block(1, 0, 10)
-        );
+        assert_eq!(report.outputs[1], crate::payload::pattern_block(1, 0, 10));
         // Unit model: sender occupied 10 B / 1 B/µs = 10 µs; arrival 11 µs.
         assert_eq!(report.clocks_us[0], 10.0);
         assert_eq!(report.clocks_us[1], 11.0);
@@ -898,6 +939,80 @@ mod tests {
         assert_eq!(origin, 0);
         // Self-loop link: no communication cost charged.
         assert_eq!(clock, 0.0);
+    }
+
+    #[test]
+    fn self_loop_traffic_is_excluded_from_metrics() {
+        // A rank handing a parcel to itself is a local buffer move; none of
+        // the Table II communication columns may count it.
+        let report = run(&spec(2, 1), |ctx| {
+            if ctx.rank() == 0 {
+                let chunk = ctx.my_block(64);
+                ctx.send(0, 42, Parcel::one(Item::Plain(chunk)));
+                let _ = ctx.recv(0, 42);
+            }
+        });
+        let m = report.metrics[0];
+        assert_eq!(m.bytes_sent, 0, "self-send must not count bytes_sent");
+        assert_eq!(m.payload_sent, 0, "self-send must not count payload_sent");
+        assert_eq!(m.comm_rounds, 0, "self-receive must not count a round");
+        assert_eq!(m.bytes_recv, 0, "self-receive must not count bytes_recv");
+        assert_eq!(
+            m.payload_recv, 0,
+            "self-receive must not count payload_recv"
+        );
+    }
+
+    #[test]
+    fn mixed_self_and_peer_traffic_counts_only_the_peer_leg() {
+        let report = run(&spec(2, 1), |ctx| {
+            if ctx.rank() == 0 {
+                ctx.send(0, 1, Parcel::one(Item::Plain(ctx.my_block(32))));
+                ctx.send(1, 2, Parcel::one(Item::Plain(ctx.my_block(10))));
+                let _ = ctx.recv(0, 1);
+            } else {
+                let _ = ctx.recv(0, 2);
+            }
+        });
+        // Sender: only the 10-byte intra-node leg counts.
+        assert_eq!(report.metrics[0].bytes_sent, 10);
+        assert_eq!(report.metrics[0].comm_rounds, 0);
+        // Receiver: one genuine round.
+        assert_eq!(report.metrics[1].comm_rounds, 1);
+        assert_eq!(report.metrics[1].bytes_recv, 10);
+    }
+
+    #[test]
+    fn recv_watchdog_deadline_is_absolute_not_per_message() {
+        // Rank 1 keeps feeding rank 0 messages with an unrelated tag at a
+        // cadence shorter than the timeout. Under the buggy per-poll
+        // interpretation each arrival restarts the clock and the watchdog
+        // fires only long after the feeder stops; with an absolute deadline
+        // it fires once the limit elapses regardless of traffic.
+        let mut s = spec(2, 1);
+        s.recv_timeout = Some(std::time::Duration::from_millis(200));
+        let started = std::time::Instant::now();
+        let result = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            run(&s, |ctx| {
+                if ctx.rank() == 0 {
+                    // Waits for a tag that never arrives.
+                    let _ = ctx.recv(1, 999);
+                } else {
+                    for _ in 0..8 {
+                        std::thread::sleep(std::time::Duration::from_millis(60));
+                        ctx.send(0, 1, Parcel::one(Item::Plain(ctx.my_block(1))));
+                    }
+                }
+            })
+        }));
+        let elapsed = started.elapsed();
+        assert!(result.is_err(), "watchdog did not fire");
+        // 8 feeds x 60 ms keep a per-poll timer alive past 480 ms; the
+        // absolute deadline panics at ~200 ms. Generous margin for CI noise.
+        assert!(
+            elapsed < std::time::Duration::from_millis(450),
+            "watchdog took {elapsed:?}; deadline is being reset per message"
+        );
     }
 
     #[test]

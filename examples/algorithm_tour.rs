@@ -38,7 +38,11 @@ fn main() {
                     rd: mx.dec_rounds,
                     sd: mx.dec_bytes,
                 };
-                if got == pred { "verified, matches Table II" } else { "verified (metrics differ)" }
+                if got == pred {
+                    "verified, matches Table II"
+                } else {
+                    "verified (metrics differ)"
+                }
             }
             None => "verified",
         };

@@ -38,9 +38,19 @@ fn main() {
             .join(", ")
     );
     let sizes = [
-        16, 256, 1024, 4 * 1024, 16 * 1024, 64 * 1024, 256 * 1024, 1024 * 1024,
+        16,
+        256,
+        1024,
+        4 * 1024,
+        16 * 1024,
+        64 * 1024,
+        256 * 1024,
+        1024 * 1024,
     ];
-    println!("{:>8} {:>14} {:>10} {:>10}  best", "size", "MPI (us)", "naive", "best");
+    println!(
+        "{:>8} {:>14} {:>10} {:>10}  best",
+        "size", "MPI (us)", "naive", "best"
+    );
     for row in best_scheme_table(&cfg, &sizes) {
         println!(
             "{:>8} {:>14.2} {:>+9.1}% {:>+9.1}%  {}",

@@ -44,7 +44,11 @@ fn main() {
     println!("inter-node frames : {}", report.wiretap.frame_count());
     println!(
         "plaintext on wire : {}",
-        if report.wiretap.saw_plaintext_frame() { "YES (bug!)" } else { "none" }
+        if report.wiretap.saw_plaintext_frame() {
+            "YES (bug!)"
+        } else {
+            "none"
+        }
     );
     println!("latency           : {:.2} µs", report.latency_us);
 }

@@ -31,7 +31,11 @@ fn main() {
     println!("  inter-node bytes  : {}", report.wiretap.total_bytes());
     println!(
         "  plaintext on wire : {}",
-        if report.wiretap.saw_plaintext_frame() { "YES (bug!)" } else { "none" }
+        if report.wiretap.saw_plaintext_frame() {
+            "YES (bug!)"
+        } else {
+            "none"
+        }
     );
     let max = report.max_metrics();
     println!(

@@ -37,7 +37,12 @@ fn main() {
 
     let unencrypted = simulate_solver(Algorithm::Mvapich, timesteps, plane);
     println!("{:<22} {:>12.1} us", "unencrypted MPI", unencrypted);
-    for algo in [Algorithm::Naive, Algorithm::ORd, Algorithm::CRing, Algorithm::Hs2] {
+    for algo in [
+        Algorithm::Naive,
+        Algorithm::ORd,
+        Algorithm::CRing,
+        Algorithm::Hs2,
+    ] {
         let t = simulate_solver(algo, timesteps, plane);
         println!(
             "{:<22} {:>12.1} us  ({:+.1}% vs unencrypted)",

@@ -27,7 +27,10 @@ fn main() {
         allgather(ctx, algo, 16 * 1024).verify(4);
     });
 
-    println!("{} of 16KB blocks, 8 ranks / 4 nodes (Noleland model)\n", algo.name());
+    println!(
+        "{} of 16KB blocks, 8 ranks / 4 nodes (Noleland model)\n",
+        algo.name()
+    );
     print!("{}", render_gantt(&report.traces, 100));
 
     println!("\nper-rank busy breakdown (µs):");

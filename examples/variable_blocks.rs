@@ -40,7 +40,11 @@ fn main() {
             report.latency_us,
             report.wiretap.frame_count(),
             if algo.is_encrypted() {
-                if report.wiretap.saw_plaintext_frame() { "YES (bug!)" } else { "no" }
+                if report.wiretap.saw_plaintext_frame() {
+                    "YES (bug!)"
+                } else {
+                    "no"
+                }
             } else {
                 "yes (unencrypted baseline)"
             }

@@ -14,8 +14,10 @@ use eag_runtime::{pattern_block, run, DataMode, WorldSpec};
 fn main() {
     let seed = 77;
     let (p, nodes, m) = (12usize, 3usize, 256usize);
-    println!("auditing {} encrypted algorithms on p={p}, N={nodes}, m={m}B\n", 
-             Algorithm::encrypted_all().len());
+    println!(
+        "auditing {} encrypted algorithms on p={p}, N={nodes}, m={m}B\n",
+        Algorithm::encrypted_all().len()
+    );
 
     for &algo in Algorithm::encrypted_all() {
         for mapping in [Mapping::Block, Mapping::Cyclic] {

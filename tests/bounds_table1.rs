@@ -92,7 +92,12 @@ fn bounds_are_tight_where_claimed() {
     ] {
         assert_eq!(measure(algo, p, nodes, m).enc_rounds, lb.re, "{algo} re");
     }
-    for algo in [Algorithm::Naive, Algorithm::ORd, Algorithm::ORd2, Algorithm::CRd] {
+    for algo in [
+        Algorithm::Naive,
+        Algorithm::ORd,
+        Algorithm::ORd2,
+        Algorithm::CRd,
+    ] {
         assert_eq!(measure(algo, p, nodes, m).comm_rounds, lb.rc, "{algo} rc");
     }
 }

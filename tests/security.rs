@@ -87,7 +87,10 @@ fn captured_frames_are_cipher_frames() {
         });
         for f in report.wiretap.frames() {
             assert_eq!(f.kind, FrameKind::Cipher, "{algo}: frame {f:?}");
-            assert!(f.len >= 64 + 28, "{algo}: frame shorter than one sealed block");
+            assert!(
+                f.len >= 64 + 28,
+                "{algo}: frame shorter than one sealed block"
+            );
         }
     }
 }
@@ -178,6 +181,72 @@ fn no_nonce_is_reused_for_distinct_ciphertexts() {
             }
         }
     }
+}
+
+/// Cross-rank nonce uniqueness: in a p = 16 real-mode world every rank
+/// draws from its own independent nonce source, and no nonce observed on
+/// the wire may ever pair with two different ciphertexts — neither within
+/// one rank's stream nor *across* ranks (a collision there would mean the
+/// per-rank sources are correlated, e.g. seeded identically).
+#[test]
+fn nonces_are_unique_across_ranks() {
+    use std::collections::HashMap;
+    for &algo in Algorithm::encrypted_all() {
+        let report = run(&tapped_spec(16, 4, Mapping::Block), move |ctx| {
+            allgather(ctx, algo, 48).verify(SEED);
+        });
+        // nonce of the frame's leading item → the first 16 ciphertext bytes
+        // after it. A forwarded item re-sends both unchanged (possibly from
+        // another rank, possibly with a different frame tail); two distinct
+        // encryptions colliding on a nonce would disagree on the ciphertext.
+        let mut seen: HashMap<[u8; 12], [u8; 16]> = HashMap::new();
+        let mut frames = 0usize;
+        for f in report.wiretap.frames() {
+            assert!(f.bytes.len() >= 28, "{algo}: frame below GCM framing size");
+            frames += 1;
+            let mut n = [0u8; 12];
+            n.copy_from_slice(&f.bytes[..12]);
+            let mut ct = [0u8; 16];
+            ct.copy_from_slice(&f.bytes[12..28]);
+            if let Some(prev) = seen.insert(n, ct) {
+                assert_eq!(
+                    prev, ct,
+                    "{algo}: one nonce paired with two different ciphertexts"
+                );
+            }
+        }
+        assert!(frames > 0, "{algo}: wiretap captured nothing");
+    }
+}
+
+/// Stronger issuance-level check: all ranks share one GCM key, so a nonce
+/// must never repeat across *any* two encryptions anywhere in the world.
+/// Sixteen single-process nodes seal 64 fresh messages each (every hop
+/// inter-node, nothing forwarded), and all 1024 wire nonces must be
+/// pairwise distinct.
+#[test]
+fn every_issued_nonce_is_unique_across_ranks() {
+    use eag_runtime::{Item, Parcel};
+    use std::collections::HashSet;
+    let spec = tapped_spec(16, 16, Mapping::Block);
+    let report = run(&spec, |ctx| {
+        let p = ctx.p();
+        let me = ctx.rank();
+        let next = (me + 1) % p;
+        let prev = (me + p - 1) % p;
+        for round in 0..64u64 {
+            let sealed = ctx.encrypt(ctx.my_block(32));
+            ctx.send(next, 1000 + round, Parcel::one(Item::Sealed(sealed)));
+            let _ = ctx.recv(prev, 1000 + round);
+        }
+    });
+    let mut seen: HashSet<[u8; 12]> = HashSet::new();
+    for f in report.wiretap.frames() {
+        let mut n = [0u8; 12];
+        n.copy_from_slice(&f.bytes[..12]);
+        assert!(seen.insert(n), "a 96-bit nonce was issued twice");
+    }
+    assert_eq!(seen.len(), 16 * 64, "expected one fresh nonce per seal");
 }
 
 /// Relabeling attack: an adversary swaps the (unauthenticated-looking)

@@ -231,7 +231,10 @@ fn bridges2_reduced_scale_ranking() {
     let hs2 = simulate(&cfg, Algorithm::Hs2, m).mean;
     let naive = simulate(&cfg, Algorithm::Naive, m).mean;
     let mpi = simulate(&cfg, Algorithm::Mvapich, m).mean;
-    assert!(hs2 < mpi, "HS2 {hs2:.0} should beat unencrypted MPI {mpi:.0}");
+    assert!(
+        hs2 < mpi,
+        "HS2 {hs2:.0} should beat unencrypted MPI {mpi:.0}"
+    );
     assert!(naive > mpi, "Naive {naive:.0} should trail MPI {mpi:.0}");
 }
 
@@ -276,8 +279,14 @@ fn ring_forwarding_overlaps_decryption() {
     let profile = ClusterProfile {
         name: "overlap-test".into(),
         model: CostModel {
-            intra: LinkCost { alpha_us: 100.0, bandwidth: 1e12 },
-            inter: LinkCost { alpha_us: 100.0, bandwidth: 1e12 },
+            intra: LinkCost {
+                alpha_us: 100.0,
+                bandwidth: 1e12,
+            },
+            inter: LinkCost {
+                alpha_us: 100.0,
+                bandwidth: 1e12,
+            },
             nic_bandwidth: f64::INFINITY,
             copy_alpha_us: 0.0,
             copy_bandwidth: f64::INFINITY,

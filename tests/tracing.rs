@@ -2,9 +2,7 @@
 
 use eag_core::{allgather, Algorithm};
 use eag_netsim::{profile, Mapping, Topology};
-use eag_runtime::{
-    run, BusyBreakdown, DataMode, EventKind, FaultPlan, WorldSpec,
-};
+use eag_runtime::{run, BusyBreakdown, DataMode, EventKind, FaultPlan, WorldSpec};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 
 const SEED: u64 = 0x7A;

@@ -1,0 +1,347 @@
+//! Offline vendored shim of the `criterion` benchmark harness.
+//!
+//! The build container has no network access to crates.io, so the workspace
+//! vendors the API subset its benches use: `Criterion`, `benchmark_group`,
+//! `bench_function` / `bench_with_input` / `iter` / `iter_custom`,
+//! `Throughput`, `BenchmarkId`, and the `criterion_group!` /
+//! `criterion_main!` macros.
+//!
+//! Measurement is a deliberately simple fixed-budget loop: each benchmark
+//! warms up, then runs batches until the measurement budget is spent, and
+//! the median per-iteration time is reported together with the derived
+//! throughput. That is enough for before/after comparisons on one machine
+//! (the way this repo uses benches); it does not attempt criterion's
+//! statistical machinery.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Units for derived throughput reporting.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Abstract elements processed per iteration.
+    Elements(u64),
+}
+
+/// A benchmark identifier: `function_name/parameter`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// An id made of a function name and a parameter display.
+    pub fn new(function: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            label: format!("{}/{}", function.into(), parameter),
+        }
+    }
+
+    /// An id carrying only a parameter display.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId {
+            label: s.to_string(),
+        }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { label: s }
+    }
+}
+
+/// The timing driver handed to benchmark closures.
+pub struct Bencher<'a> {
+    measurement_time: Duration,
+    warm_up_time: Duration,
+    /// Measured per-iteration time, filled by `iter`/`iter_custom`.
+    elapsed_per_iter_ns: &'a mut f64,
+}
+
+impl Bencher<'_> {
+    /// Times `f`, called repeatedly, and records the median batch.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warm-up and batch-size calibration: grow until one batch takes
+        // at least ~1/20 of the warm-up budget.
+        let mut batch = 1u64;
+        let calibration_floor = self.warm_up_time.as_secs_f64() / 20.0;
+        loop {
+            let start = Instant::now();
+            for _ in 0..batch {
+                black_box(f());
+            }
+            let took = start.elapsed().as_secs_f64();
+            if took >= calibration_floor || batch >= 1 << 30 {
+                break;
+            }
+            batch = batch.saturating_mul(2);
+        }
+
+        let mut samples = Vec::new();
+        let budget = self.measurement_time;
+        let started = Instant::now();
+        while started.elapsed() < budget || samples.len() < 3 {
+            let s = Instant::now();
+            for _ in 0..batch {
+                black_box(f());
+            }
+            samples.push(s.elapsed().as_secs_f64() / batch as f64);
+            if samples.len() >= 1000 {
+                break;
+            }
+        }
+        samples.sort_by(f64::total_cmp);
+        *self.elapsed_per_iter_ns = samples[samples.len() / 2] * 1e9;
+    }
+
+    /// Lets the closure time `iters` iterations itself and return the total.
+    pub fn iter_custom<F: FnMut(u64) -> Duration>(&mut self, mut f: F) {
+        // Calibrate an iteration count that fills the measurement budget.
+        let probe = f(1).as_secs_f64().max(1e-9);
+        let budget = self.measurement_time.as_secs_f64();
+        let per_sample = (budget / 5.0 / probe).clamp(1.0, 1e7) as u64;
+        let mut samples = Vec::new();
+        for _ in 0..5 {
+            let took = f(per_sample).as_secs_f64() / per_sample as f64;
+            samples.push(took);
+        }
+        samples.sort_by(f64::total_cmp);
+        *self.elapsed_per_iter_ns = samples[samples.len() / 2] * 1e9;
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the throughput used to derive rates for subsequent benches.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Accepted for compatibility; the shim keys on time budget, not count.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n;
+        self
+    }
+
+    /// Accepted for compatibility with criterion group configuration.
+    pub fn measurement_time(&mut self, t: Duration) -> &mut Self {
+        self.criterion.measurement_time = t;
+        self
+    }
+
+    /// Runs one benchmark in the group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let label = format!("{}/{}", self.name, id.label);
+        let throughput = self.throughput;
+        self.criterion.run_one(&label, throughput, |b| f(b));
+        self
+    }
+
+    /// Runs one benchmark parameterized by `input`.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let id = id.into();
+        let label = format!("{}/{}", self.name, id.label);
+        let throughput = self.throughput;
+        self.criterion.run_one(&label, throughput, |b| f(b, input));
+        self
+    }
+
+    /// Ends the group (printing is immediate; nothing buffered).
+    pub fn finish(&mut self) {}
+}
+
+/// The top-level benchmark harness.
+pub struct Criterion {
+    measurement_time: Duration,
+    warm_up_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            measurement_time: Duration::from_millis(900),
+            warm_up_time: Duration::from_millis(200),
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets the per-benchmark measurement budget.
+    pub fn measurement_time(mut self, t: Duration) -> Self {
+        self.measurement_time = t;
+        self
+    }
+
+    /// Sets the warm-up budget.
+    pub fn warm_up_time(mut self, t: Duration) -> Self {
+        self.warm_up_time = t;
+        self
+    }
+
+    /// Accepted for compatibility; the shim keys on time budget, not count.
+    pub fn sample_size(self, _n: usize) -> Self {
+        self
+    }
+
+    /// Accepted for compatibility; the shim takes no CLI arguments.
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Opens a named group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            throughput: None,
+            sample_size: 0,
+        }
+    }
+
+    /// Runs one ungrouped benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = name.to_string();
+        self.run_one(&label, None, |b| f(b));
+        self
+    }
+
+    fn run_one<F>(&mut self, label: &str, throughput: Option<Throughput>, mut f: F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut per_iter_ns = f64::NAN;
+        {
+            let mut bencher = Bencher {
+                measurement_time: self.measurement_time,
+                warm_up_time: self.warm_up_time,
+                elapsed_per_iter_ns: &mut per_iter_ns,
+            };
+            f(&mut bencher);
+        }
+        let rate = match throughput {
+            Some(Throughput::Bytes(n)) if per_iter_ns > 0.0 => {
+                let gib_s = n as f64 / (per_iter_ns * 1e-9) / (1u64 << 30) as f64;
+                format!("  {gib_s:>9.3} GiB/s")
+            }
+            Some(Throughput::Elements(n)) if per_iter_ns > 0.0 => {
+                let elem_s = n as f64 / (per_iter_ns * 1e-9);
+                format!("  {elem_s:>12.0} elem/s")
+            }
+            _ => String::new(),
+        };
+        println!("{label:<44} {:>12} ns/iter{rate}", format_ns(per_iter_ns));
+    }
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns.is_nan() {
+        "n/a".to_string()
+    } else if ns >= 1e6 {
+        format!("{:.1}", ns)
+    } else {
+        format!("{:.2}", ns)
+    }
+}
+
+/// Declares a group of benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Declares the benchmark entry point.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measures_something_positive() {
+        let mut c = Criterion::default()
+            .measurement_time(Duration::from_millis(20))
+            .warm_up_time(Duration::from_millis(5));
+        let mut group = c.benchmark_group("shim");
+        group.throughput(Throughput::Bytes(64));
+        group.bench_function("xor", |b| {
+            let mut acc = 0u64;
+            b.iter(|| {
+                acc = acc.wrapping_mul(6364136223846793005).wrapping_add(1);
+                acc
+            })
+        });
+        group.finish();
+    }
+
+    #[test]
+    fn iter_custom_runs() {
+        let mut c = Criterion::default()
+            .measurement_time(Duration::from_millis(10))
+            .warm_up_time(Duration::from_millis(2));
+        c.bench_function("custom", |b| {
+            b.iter_custom(|iters| {
+                let start = Instant::now();
+                let mut acc = 0u64;
+                for i in 0..iters {
+                    acc = acc.wrapping_add(black_box(i));
+                }
+                black_box(acc);
+                start.elapsed()
+            })
+        });
+    }
+}

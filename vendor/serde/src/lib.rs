@@ -1,0 +1,27 @@
+//! Offline vendored shim of `serde`.
+//!
+//! The build container has no network access to crates.io. This workspace
+//! only uses serde as derive annotations on netsim config types (no
+//! serializer backend crate is present), so the shim provides marker traits
+//! and no-op derives: `#[derive(Serialize, Deserialize)]` compiles and the
+//! trait bounds exist, but there is no data format to drive them. If a real
+//! serializer is ever added, replace this shim with the real crate.
+
+/// Marker trait standing in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker trait standing in for `serde::Deserialize<'de>`.
+pub trait Deserialize<'de>: Sized {}
+
+/// Marker trait standing in for `serde::de::DeserializeOwned`.
+pub trait DeserializeOwned: for<'de> Deserialize<'de> {}
+
+impl<T: for<'de> Deserialize<'de>> DeserializeOwned for T {}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Namespace mirror of `serde::de` for `DeserializeOwned` imports.
+pub mod de {
+    pub use crate::DeserializeOwned;
+}

@@ -1,0 +1,51 @@
+//! No-op derive macros backing the vendored `serde` shim: the attributes
+//! compile away to marker-trait impls with no serialization logic, since no
+//! data-format crate exists in this offline workspace.
+
+use proc_macro::TokenStream;
+
+/// Emits a marker `Serialize` impl for the annotated type.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    marker_impl(input, "Serialize", false)
+}
+
+/// Emits a marker `Deserialize` impl for the annotated type.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    marker_impl(input, "Deserialize", true)
+}
+
+/// Minimal parse: find the type name after `struct`/`enum` and emit
+/// `impl serde::Trait for Name {}`. Generic types are not handled — the
+/// netsim config types this workspace derives on are all concrete.
+fn marker_impl(input: TokenStream, trait_name: &str, lifetime: bool) -> TokenStream {
+    let source = input.to_string();
+    let name = type_name(&source).unwrap_or_else(|| {
+        panic!("serde_derive shim: could not find struct/enum name in `{source}`")
+    });
+    let imp = if lifetime {
+        format!("impl<'de> serde::{trait_name}<'de> for {name} {{}}")
+    } else {
+        format!("impl serde::{trait_name} for {name} {{}}")
+    };
+    imp.parse().expect("generated impl must tokenize")
+}
+
+fn type_name(source: &str) -> Option<String> {
+    let mut tokens = source.split_whitespace().peekable();
+    while let Some(tok) = tokens.next() {
+        if tok == "struct" || tok == "enum" {
+            let raw = tokens.next()?;
+            let name: String = raw
+                .chars()
+                .take_while(|c| c.is_alphanumeric() || *c == '_')
+                .collect();
+            if name.is_empty() {
+                return None;
+            }
+            return Some(name);
+        }
+    }
+    None
+}
