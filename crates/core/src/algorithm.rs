@@ -169,6 +169,10 @@ impl std::fmt::Display for Algorithm {
 /// assembled, verified-complete output.
 pub fn allgather(ctx: &mut ProcCtx, algo: Algorithm, m: usize) -> GatherOutput {
     ctx.begin_collective();
+    // Structured failures raised inside the collective (timeouts, dead
+    // peers, authentication failures) carry the algorithm's name as their
+    // phase.
+    ctx.set_phase(algo.name());
     use Algorithm::*;
     let out = match algo {
         Ring => unencrypted::ring(ctx, m),

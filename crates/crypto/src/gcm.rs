@@ -216,6 +216,43 @@ impl AesGcm {
         Ok(())
     }
 
+    /// Verifies the authentication tag of `ciphertext` **without
+    /// decrypting** it.
+    ///
+    /// GCM's tag is a function of the AAD and the *ciphertext*, so an
+    /// intermediate hop that forwards sealed frames verbatim (the paper's
+    /// ring/recursive-doubling forwarding chains) can authenticate a frame
+    /// it is not the final consumer of: one GHASH sweep plus two block
+    /// encryptions, no plaintext ever materialized. This is the detection
+    /// primitive behind the runtime's per-hop tamper recovery — the hop
+    /// that received a corrupted frame NACKs its immediate sender instead
+    /// of letting the corruption surface ranks later at the consumer.
+    pub fn verify_detached(
+        &self,
+        nonce: &Nonce,
+        aad: &[u8],
+        ciphertext: &[u8],
+        tag: &[u8],
+    ) -> Result<(), OpenError> {
+        if tag.len() != TAG_LEN || ciphertext.len() > MAX_PLAINTEXT_LEN {
+            return Err(OpenError::Truncated);
+        }
+        let j0 = Self::j0(nonce);
+        let mut g = self.ghash_proto.fresh();
+        g.update_padded(aad);
+        g.update_padded(ciphertext);
+        g.update_lengths(aad.len() as u64, ciphertext.len() as u64);
+        let expect = self.finish_tag(&j0, &g);
+        let mut diff = 0u8;
+        for (a, b) in expect.iter().zip(tag.iter()) {
+            diff |= a ^ b;
+        }
+        if diff != 0 {
+            return Err(OpenError::TagMismatch);
+        }
+        Ok(())
+    }
+
     /// Encrypts and authenticates: returns `ciphertext || tag`.
     /// Panics if `plaintext` exceeds [`MAX_PLAINTEXT_LEN`] (the counter
     /// would wrap and reuse keystream).

@@ -151,9 +151,53 @@ pub fn open_message_in_place(
     Ok(())
 }
 
+/// Verifies a wire frame produced by [`seal_message`] without decrypting
+/// it: parses `nonce(12) || ciphertext || tag(16)` and checks the tag
+/// against the AAD and ciphertext.
+///
+/// Forwarding hops use this for in-flight integrity: GCM authenticates the
+/// ciphertext, so no plaintext is produced (or zeroized) on the hot path.
+pub fn verify_message(cipher: &AesGcm128, aad: &[u8], wire: &[u8]) -> Result<(), OpenError> {
+    if wire.len() < WIRE_OVERHEAD {
+        return Err(OpenError::Truncated);
+    }
+    let mut nb = [0u8; NONCE_LEN];
+    nb.copy_from_slice(&wire[..NONCE_LEN]);
+    let nonce = Nonce::from_bytes(nb);
+    let ct_end = wire.len() - TAG_LEN;
+    cipher.verify_detached(&nonce, aad, &wire[NONCE_LEN..ct_end], &wire[ct_end..])
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn verify_message_matches_open_verdict() {
+        let key = Key::from_bytes([7u8; 16]);
+        let cipher = AesGcm128::new(&key);
+        let mut source = NonceSource::seeded(9);
+        for len in [0usize, 1, 16, 129, 1000] {
+            let pt: Vec<u8> = (0..len).map(|i| (i * 7 % 251) as u8).collect();
+            let mut wire = seal_message(&cipher, &mut source, b"aad", &pt);
+            assert!(verify_message(&cipher, b"aad", &wire).is_ok());
+            assert!(verify_message(&cipher, b"bad", &wire).is_err());
+            for i in 0..wire.len() {
+                wire[i] ^= 0x40;
+                assert!(
+                    verify_message(&cipher, b"aad", &wire).is_err(),
+                    "flip at byte {i} of len {len} undetected"
+                );
+                wire[i] ^= 0x40;
+            }
+            // Verification must not consume the frame: open still succeeds.
+            assert_eq!(open_message(&cipher, b"aad", &wire).unwrap(), pt);
+        }
+        assert!(matches!(
+            verify_message(&cipher, b"", &[0u8; 27]),
+            Err(OpenError::Truncated)
+        ));
+    }
 
     #[test]
     fn wire_overhead_is_28_bytes() {

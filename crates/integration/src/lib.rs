@@ -1,1 +1,146 @@
-// placeholder
+//! # eag-integration — workspace-spanning tests and the chaos harness
+//!
+//! The crate's `[[test]]` targets (under the repository's `tests/`) exercise
+//! correctness, security, metrics, bounds, and tracing across every crate.
+//! The library itself hosts the **chaos harness**: helpers that run an
+//! all-gather under a deterministic [`FaultPlan`] and check that the
+//! recovered result is byte-identical to a fault-free run of the same
+//! algorithm.
+//!
+//! The `chaos_sweep` binary (gated behind the `chaos` cargo feature) sweeps
+//! algorithms × fault kinds × seeds and renders the results as a markdown
+//! table; CI runs it at a fixed seed.
+
+#![deny(missing_docs)]
+
+use eag_core::{allgather, Algorithm};
+use eag_netsim::{profile, FaultPlan, Mapping, Topology};
+use eag_runtime::{try_run, CollectiveError, DataMode, Metrics, RetryPolicy, RunReport, WorldSpec};
+use std::time::Duration;
+
+/// The data-pattern seed every chaos run uses (distinct from fault seeds).
+pub const DATA_SEED: u64 = 7;
+
+/// The outcome of one all-gather under fault injection, compared against a
+/// fault-free reference run.
+#[derive(Debug, Clone)]
+pub struct ChaosReport {
+    /// The algorithm exercised.
+    pub algo: Algorithm,
+    /// The collective completed and every rank's gathered bytes are
+    /// identical to the fault-free reference.
+    pub byte_identical: bool,
+    /// The structured failure, if the collective aborted.
+    pub error: Option<CollectiveError>,
+    /// Faults injected, summed over ranks.
+    pub faults_injected: u64,
+    /// Corrupted/missing frames detected on arrival, summed over ranks.
+    pub faults_detected: u64,
+    /// Recovery actions (NACKs + retransmissions), summed over ranks.
+    pub retries: u64,
+    /// Duplicate frames discarded by sequence-number dedup, summed.
+    pub dup_frames_dropped: u64,
+    /// Wire bytes retransmitted (excluded from the Table II columns).
+    pub retransmit_bytes: u64,
+    /// Simulated latency of the faulted run, µs (faults do not perturb the
+    /// virtual-time model except for injected delays).
+    pub latency_us: f64,
+}
+
+/// Builds the world spec used by chaos runs: `p` ranks over `nodes` nodes,
+/// real data, the free-cost profile (chaos is about wall-clock recovery,
+/// not virtual-time pricing).
+pub fn chaos_spec(p: usize, nodes: usize, plan: FaultPlan) -> WorldSpec {
+    let mut spec = WorldSpec::new(
+        Topology::new(p, nodes, Mapping::Block),
+        profile::free(),
+        DataMode::Real { seed: DATA_SEED },
+    );
+    spec.faults = plan;
+    spec.retry = RetryPolicy {
+        attempt_timeout: Duration::from_millis(20),
+        max_attempts: 10,
+        backoff: 1.5,
+    };
+    spec.recv_timeout = Some(Duration::from_secs(60));
+    spec
+}
+
+/// Runs `algo` on `p` ranks / `nodes` nodes with `m`-byte blocks and
+/// returns every rank's gathered bytes, or the structured error.
+fn gather_bytes(
+    spec: &WorldSpec,
+    algo: Algorithm,
+    m: usize,
+) -> Result<RunReport<Vec<Vec<u8>>>, CollectiveError> {
+    try_run(spec, move |ctx| {
+        allgather(ctx, algo, m)
+            .into_blocks()
+            .into_iter()
+            .map(|b| b.data.bytes().to_vec())
+            .collect()
+    })
+}
+
+/// Runs `algo` under `plan` and compares the result byte-for-byte against a
+/// fault-free run of the same algorithm on the same inputs.
+pub fn chaos_run(
+    algo: Algorithm,
+    p: usize,
+    nodes: usize,
+    m: usize,
+    plan: FaultPlan,
+) -> ChaosReport {
+    let clean = gather_bytes(&chaos_spec(p, nodes, FaultPlan::default()), algo, m)
+        .unwrap_or_else(|e| panic!("{algo}: fault-free reference failed: {e}"));
+    match gather_bytes(&chaos_spec(p, nodes, plan), algo, m) {
+        Ok(report) => {
+            let sum = Metrics::component_sum(&report.metrics);
+            ChaosReport {
+                algo,
+                byte_identical: report.outputs == clean.outputs,
+                error: None,
+                faults_injected: sum.faults_injected,
+                faults_detected: sum.faults_detected,
+                retries: sum.retries(),
+                dup_frames_dropped: sum.dup_frames_dropped,
+                retransmit_bytes: sum.retransmit_bytes,
+                latency_us: report.latency_us,
+            }
+        }
+        Err(error) => ChaosReport {
+            algo,
+            byte_identical: false,
+            error: Some(error),
+            faults_injected: 0,
+            faults_detected: 0,
+            retries: 0,
+            dup_frames_dropped: 0,
+            retransmit_bytes: 0,
+            latency_us: 0.0,
+        },
+    }
+}
+
+/// Renders chaos reports as a GitHub-flavored markdown table (the format
+/// embedded in `EXPERIMENTS.md`).
+pub fn render_markdown_table(rows: &[ChaosReport]) -> String {
+    let mut out = String::from(
+        "| algorithm | recovered | injected | detected | retries | dup dropped |\n\
+         |---|---|---:|---:|---:|---:|\n",
+    );
+    for r in rows {
+        let verdict = if r.byte_identical {
+            "byte-identical".to_string()
+        } else if let Some(e) = &r.error {
+            format!("failed: {}", e.cause)
+        } else {
+            "WRONG BYTES".to_string()
+        };
+        out.push_str(&format!(
+            "| {} | {} | {} | {} | {} | {} |\n",
+            r.algo, verdict, r.faults_injected, r.faults_detected, r.retries, r.dup_frames_dropped,
+        ));
+    }
+    out
+}

@@ -37,6 +37,7 @@
 #![deny(missing_docs)]
 #![warn(clippy::undocumented_unsafe_blocks)]
 
+pub mod chaos;
 pub mod fabric;
 pub mod model;
 pub mod nic;
@@ -44,6 +45,7 @@ pub mod profile;
 pub mod topology;
 pub mod wiretap;
 
+pub use chaos::{FaultKind, FaultPlan};
 pub use fabric::{FabricModel, FabricState};
 pub use model::{CostModel, CryptoCost, LinkClass, LinkCost};
 pub use profile::ClusterProfile;

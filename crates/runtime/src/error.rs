@@ -1,0 +1,143 @@
+//! Structured collective failures.
+//!
+//! When a rank cannot make progress — a peer died, every retry of a receive
+//! timed out, or an encrypted frame failed authentication at its consumer —
+//! the runtime raises a [`CollectiveError`] instead of hanging or aborting
+//! with an opaque string. The error is carried as a panic payload through the
+//! world's poison protocol (so every rank unwinds) and surfaced intact by
+//! [`crate::world::try_run`], which downcasts it back out.
+
+use eag_netsim::Rank;
+use std::time::Duration;
+
+/// Why a collective could not complete.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FailureCause {
+    /// A blocking receive exhausted its deadline (and, in chaos mode, its
+    /// retry budget) without the expected message arriving.
+    Timeout {
+        /// Rank the message was expected from.
+        src: Rank,
+        /// Tag the receive was matching.
+        tag: u64,
+        /// Wall-clock time spent waiting.
+        waited: Duration,
+        /// Recovery attempts (NACKs) issued before giving up.
+        attempts: u32,
+    },
+    /// The peer a receive was blocked on has already exited the world and
+    /// will never send the awaited message.
+    DeadPeer {
+        /// The rank that exited.
+        peer: Rank,
+        /// Tag the receive was matching.
+        tag: u64,
+    },
+    /// GCM authentication failed at the consumer of a sealed chunk: forged,
+    /// corrupted, or relabeled ciphertext that the transport could not (or,
+    /// for the unrecovered-adversary injection, must not) recover.
+    AuthFailure {
+        /// Human-readable detail from the crypto layer.
+        detail: String,
+    },
+}
+
+impl std::fmt::Display for FailureCause {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FailureCause::Timeout {
+                src,
+                tag,
+                waited,
+                attempts,
+            } => write!(
+                f,
+                "receive from rank {src} (tag {tag}) timed out after {waited:?} \
+                 and {attempts} recovery attempt(s)"
+            ),
+            FailureCause::DeadPeer { peer, tag } => write!(
+                f,
+                "peer rank {peer} exited the world before sending the awaited \
+                 message (tag {tag})"
+            ),
+            FailureCause::AuthFailure { detail } => {
+                write!(f, "GCM authentication failed: {detail}")
+            }
+        }
+    }
+}
+
+/// A structured, rank-attributed collective failure.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CollectiveError {
+    /// The rank that detected the failure.
+    pub rank: Rank,
+    /// The collective phase in force when it failed (set via
+    /// [`crate::world::ProcCtx::set_phase`], e.g. the algorithm name).
+    pub phase: &'static str,
+    /// What went wrong.
+    pub cause: FailureCause,
+}
+
+impl std::fmt::Display for CollectiveError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "collective failed on rank {} during {}: {}",
+            self.rank, self.phase, self.cause
+        )
+    }
+}
+
+impl std::error::Error for CollectiveError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = CollectiveError {
+            rank: 3,
+            phase: "o-ring",
+            cause: FailureCause::DeadPeer { peer: 7, tag: 12 },
+        };
+        let s = e.to_string();
+        assert!(s.contains("rank 3"));
+        assert!(s.contains("o-ring"));
+        assert!(s.contains("rank 7"));
+
+        let t = CollectiveError {
+            rank: 0,
+            phase: "collective",
+            cause: FailureCause::Timeout {
+                src: 1,
+                tag: 9,
+                waited: Duration::from_millis(250),
+                attempts: 4,
+            },
+        }
+        .to_string();
+        assert!(t.contains("tag 9"));
+        assert!(t.contains("4 recovery attempt"));
+    }
+
+    #[test]
+    fn error_round_trips_through_a_panic_payload() {
+        let e = CollectiveError {
+            rank: 1,
+            phase: "test",
+            cause: FailureCause::AuthFailure {
+                detail: "tag mismatch".into(),
+            },
+        };
+        let payload = std::panic::catch_unwind(|| {
+            std::panic::panic_any(e.clone());
+        })
+        .unwrap_err();
+        let back = payload
+            .downcast_ref::<CollectiveError>()
+            .expect("payload downcasts");
+        assert_eq!(*back, e);
+    }
+}

@@ -46,14 +46,17 @@
 #![deny(missing_docs)]
 #![warn(clippy::undocumented_unsafe_blocks)]
 
+pub mod error;
 pub mod metrics;
 pub mod payload;
 pub mod shared;
 pub mod trace;
 pub mod world;
 
+pub use eag_netsim::{FaultKind, FaultPlan};
+pub use error::{CollectiveError, FailureCause};
 pub use metrics::Metrics;
 pub use payload::{pattern_block, Chunk, Data, Item, Parcel, Sealed};
 pub use shared::{NodeShared, SlotKey};
 pub use trace::{BusyBreakdown, Event, EventKind, Trace};
-pub use world::{run, DataMode, FaultPlan, ProcCtx, RunReport, WorldSpec};
+pub use world::{run, try_run, DataMode, ProcCtx, RetryPolicy, RunReport, WorldSpec};

@@ -35,6 +35,20 @@ pub struct Metrics {
     pub copies: u64,
     /// Bytes moved by those copies.
     pub copy_bytes: u64,
+    /// Faults this rank injected into its outgoing frames (chaos runs).
+    pub faults_injected: u64,
+    /// Corrupted or missing frames this rank detected on arrival (transport
+    /// checksum, per-hop GCM verification, or a sequence gap).
+    pub faults_detected: u64,
+    /// NACKs this rank sent asking a peer to retransmit.
+    pub nacks_sent: u64,
+    /// Frames this rank retransmitted in response to NACKs.
+    pub retransmits: u64,
+    /// Wire bytes of those retransmissions (excluded from `bytes_sent` so
+    /// the paper's Table II traffic columns stay fault-independent).
+    pub retransmit_bytes: u64,
+    /// Duplicate frames discarded by sequence-number deduplication.
+    pub dup_frames_dropped: u64,
 }
 
 impl Metrics {
@@ -49,6 +63,12 @@ impl Metrics {
     /// the same length.
     pub fn sc_payload(&self) -> u64 {
         self.payload_sent.max(self.payload_recv)
+    }
+
+    /// Total recovery actions: NACKs issued plus frames retransmitted.
+    /// Non-zero exactly when the run exercised the retry protocol.
+    pub fn retries(&self) -> u64 {
+        self.nacks_sent + self.retransmits
     }
 
     /// Component-wise maximum: the per-metric critical path over processes.
@@ -67,6 +87,12 @@ impl Metrics {
             out.dec_bytes = out.dec_bytes.max(m.dec_bytes);
             out.copies = out.copies.max(m.copies);
             out.copy_bytes = out.copy_bytes.max(m.copy_bytes);
+            out.faults_injected = out.faults_injected.max(m.faults_injected);
+            out.faults_detected = out.faults_detected.max(m.faults_detected);
+            out.nacks_sent = out.nacks_sent.max(m.nacks_sent);
+            out.retransmits = out.retransmits.max(m.retransmits);
+            out.retransmit_bytes = out.retransmit_bytes.max(m.retransmit_bytes);
+            out.dup_frames_dropped = out.dup_frames_dropped.max(m.dup_frames_dropped);
         }
         out
     }
@@ -87,6 +113,12 @@ impl Metrics {
             out.dec_bytes += m.dec_bytes;
             out.copies += m.copies;
             out.copy_bytes += m.copy_bytes;
+            out.faults_injected += m.faults_injected;
+            out.faults_detected += m.faults_detected;
+            out.nacks_sent += m.nacks_sent;
+            out.retransmits += m.retransmits;
+            out.retransmit_bytes += m.retransmit_bytes;
+            out.dup_frames_dropped += m.dup_frames_dropped;
         }
         out
     }
@@ -124,5 +156,22 @@ mod tests {
         let sum = Metrics::component_sum(&[a, b]);
         assert_eq!(sum.comm_rounds, 8);
         assert_eq!(sum.enc_bytes, 110);
+    }
+
+    #[test]
+    fn retries_sums_nacks_and_retransmits() {
+        let m = Metrics {
+            nacks_sent: 3,
+            retransmits: 2,
+            ..Default::default()
+        };
+        assert_eq!(m.retries(), 5);
+        assert_eq!(Metrics::default().retries(), 0);
+        let agg = Metrics::component_sum(&[m, m]);
+        assert_eq!(agg.retries(), 10);
+        assert_eq!(
+            Metrics::component_max(&[m, Metrics::default()]).nacks_sent,
+            3
+        );
     }
 }

@@ -5,7 +5,7 @@
 //! overlap analyses in tests and can be rendered as a per-rank ASCII
 //! timeline for debugging algorithm schedules.
 
-use eag_netsim::{LinkClass, Rank};
+use eag_netsim::{FaultKind, LinkClass, Rank};
 
 /// What a traced interval was spent on.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -43,6 +43,25 @@ pub enum EventKind {
     },
     /// A node-local barrier.
     Barrier,
+    /// A fault injected into an outgoing frame (chaos runs only).
+    /// Zero-duration marker: faults perturb the wire, not the clock.
+    Fault {
+        /// The kind of perturbation injected.
+        kind: FaultKind,
+        /// Destination of the perturbed frame.
+        dst: Rank,
+    },
+    /// A recovery action: a NACK issued by a receiver (`attempt` counts the
+    /// receive's retry round) or a frame retransmitted by a sender
+    /// (`attempt` counts that frame's transmissions). Zero-duration marker.
+    Retry {
+        /// The peer the NACK was sent to / the retransmission went to.
+        peer: Rank,
+        /// Tag of the affected message stream.
+        tag: u64,
+        /// Attempt number (1-based).
+        attempt: u32,
+    },
 }
 
 impl EventKind {
@@ -55,6 +74,8 @@ impl EventKind {
             EventKind::Decrypt { .. } => "dec",
             EventKind::Copy { .. } => "copy",
             EventKind::Barrier => "barrier",
+            EventKind::Fault { .. } => "fault",
+            EventKind::Retry { .. } => "retry",
         }
     }
 }
@@ -111,6 +132,8 @@ impl BusyBreakdown {
                 EventKind::Decrypt { .. } => b.dec_us += d,
                 EventKind::Copy { .. } => b.copy_us += d,
                 EventKind::Barrier => b.barrier_us += d,
+                // Zero-duration markers: no busy time to attribute.
+                EventKind::Fault { .. } | EventKind::Retry { .. } => {}
             }
         }
         b
@@ -139,10 +162,13 @@ pub fn render_gantt(traces: &[Trace], cols: usize) -> String {
         EventKind::Decrypt { .. } => 'D',
         EventKind::Copy { .. } => 'c',
         EventKind::Barrier => '|',
+        EventKind::Fault { .. } => 'X',
+        EventKind::Retry { .. } => 'R',
     };
     let mut out = String::new();
     out.push_str(&format!(
-        "virtual time 0 .. {horizon:.2} µs ({cols} cells; S=send r=recv E=encrypt D=decrypt c=copy |=barrier)\n"
+        "virtual time 0 .. {horizon:.2} µs ({cols} cells; S=send r=recv E=encrypt \
+         D=decrypt c=copy |=barrier X=fault R=retry)\n"
     ));
     for (rank, trace) in traces.iter().enumerate() {
         let mut row = vec!['.'; cols];
@@ -190,6 +216,12 @@ pub fn to_chrome_trace(traces: &[Trace]) -> String {
                 | EventKind::Decrypt { bytes }
                 | EventKind::Copy { bytes } => format!("{{\"bytes\":{bytes}}}"),
                 EventKind::Barrier => "{}".to_string(),
+                EventKind::Fault { kind, dst } => {
+                    format!("{{\"kind\":\"{}\",\"dst\":{dst}}}", kind.label())
+                }
+                EventKind::Retry { peer, tag, attempt } => {
+                    format!("{{\"peer\":{peer},\"tag\":{tag},\"attempt\":{attempt}}}")
+                }
             };
             out.push_str(&format!(
                 "{{\"name\":\"{}\",\"ph\":\"X\",\"pid\":0,\"tid\":{rank},\
@@ -261,6 +293,50 @@ mod tests {
     fn labels() {
         assert_eq!(EventKind::Barrier.label(), "barrier");
         assert_eq!(EventKind::Encrypt { bytes: 0 }.label(), "enc");
+        assert_eq!(
+            EventKind::Fault {
+                kind: FaultKind::Drop,
+                dst: 1
+            }
+            .label(),
+            "fault"
+        );
+        assert_eq!(
+            EventKind::Retry {
+                peer: 0,
+                tag: 7,
+                attempt: 1
+            }
+            .label(),
+            "retry"
+        );
+    }
+
+    #[test]
+    fn fault_and_retry_markers_carry_no_busy_time() {
+        let trace = vec![
+            ev(
+                1.0,
+                1.0,
+                EventKind::Fault {
+                    kind: FaultKind::Tamper,
+                    dst: 2,
+                },
+            ),
+            ev(
+                2.0,
+                2.0,
+                EventKind::Retry {
+                    peer: 2,
+                    tag: 4,
+                    attempt: 1,
+                },
+            ),
+        ];
+        assert_eq!(BusyBreakdown::of(&trace).total_us(), 0.0);
+        let json = to_chrome_trace(&[trace]);
+        assert!(json.contains("\"kind\":\"tamper\""));
+        assert!(json.contains("\"attempt\":1"));
     }
 }
 

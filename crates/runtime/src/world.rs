@@ -1,21 +1,46 @@
 //! The process world: spawns one thread per MPI-style rank and gives each a
 //! [`ProcCtx`] with point-to-point messaging, shared memory, crypto, and a
 //! virtual clock priced by the cost model.
+//!
+//! # Reliable transport (chaos mode)
+//!
+//! When the spec's [`FaultPlan`] is enabled, every point-to-point send is
+//! framed for recovery: frames carry a per-`(dst, tag)` stream sequence
+//! number and a transport checksum, senders keep a retransmit log, and
+//! receivers detect loss (receive timeout), corruption (checksum or per-hop
+//! GCM verification), duplication and reordering (sequence numbers), and
+//! recover by NACKing the sender, which replays the affected frames from its
+//! log. Ranks that finish while chaos is armed *linger* to service late
+//! NACKs until every rank has finished. Unrecoverable situations raise a
+//! structured [`CollectiveError`] instead of hanging: a receive that
+//! exhausts its retry budget or wall-clock watchdog fails with
+//! `Timeout`, a receive blocked on a rank that already exited fails with
+//! `DeadPeer`, and a GCM authentication failure at a consumer fails with
+//! `AuthFailure`.
+//!
+//! Recovery happens at the wall-clock level and is deliberately invisible to
+//! the virtual-time cost model: retransmissions do not advance clocks and
+//! their bytes are accounted separately (`Metrics::retransmit_bytes`), so
+//! the paper's Table II traffic columns stay fault-independent.
 
+use crate::error::{CollectiveError, FailureCause};
 use crate::metrics::Metrics;
 use crate::payload::{Chunk, Data, Item, Parcel, Sealed};
 use crate::shared::{NodeShared, SlotKey};
 use crate::trace::{Event, EventKind, Trace};
-use crossbeam::channel::{unbounded, Receiver, Sender};
+use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
 use eag_crypto::{AesGcm128, Key, NonceSource, WIRE_OVERHEAD};
 use eag_netsim::fabric::FabricState;
 use eag_netsim::nic::NodeNic;
 use eag_netsim::{
-    ClusterProfile, CostModel, FrameKind, FrameRecord, LinkClass, Rank, Topology, Wiretap,
+    ClusterProfile, CostModel, FaultKind, FaultPlan, FrameKind, FrameRecord, LinkClass, Rank,
+    Topology, Wiretap,
 };
-use std::collections::{HashMap, VecDeque};
-use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::collections::{BTreeMap, HashMap, VecDeque};
+use std::panic::{catch_unwind, panic_any, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 /// Whether payloads carry real bytes or only lengths.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -31,12 +56,30 @@ pub enum DataMode {
     Phantom,
 }
 
-/// Active-adversary fault injection (real mode only).
-#[derive(Debug, Clone, Copy, Default)]
-pub struct FaultPlan {
-    /// Flip one byte of the n-th inter-node frame (0-based, counted across
-    /// all ranks). Models on-path tampering; GCM must detect it.
-    pub corrupt_nth_inter_frame: Option<u64>,
+/// How a blocking receive retries before giving up (chaos mode).
+///
+/// Each receive gets `max_attempts` rounds; a round that elapses without the
+/// expected frame arriving sends a NACK to the peer and starts the next
+/// round with its timeout scaled by `backoff`. Exhausting the budget raises
+/// a typed `Timeout` [`CollectiveError`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RetryPolicy {
+    /// Wall-clock budget of the first receive round.
+    pub attempt_timeout: Duration,
+    /// Rounds before the receive fails with a typed timeout.
+    pub max_attempts: u32,
+    /// Multiplier applied to the round timeout after each round (≥ 1.0).
+    pub backoff: f64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            attempt_timeout: Duration::from_millis(50),
+            max_attempts: 8,
+            backoff: 1.6,
+        }
+    }
 }
 
 /// Configuration of one run.
@@ -56,13 +99,17 @@ pub struct WorldSpec {
     pub capture_wire: bool,
     /// Record per-rank virtual-time event traces.
     pub trace: bool,
-    /// Inject wire faults (tampering).
+    /// Deterministic fault injection. When the plan is
+    /// [enabled](FaultPlan::enabled), the reliability framing described in
+    /// the module docs is armed on every rank.
     pub faults: FaultPlan,
+    /// Receive retry/backoff budget used while the fault plan is enabled.
+    pub retry: RetryPolicy,
     /// Abort a blocking receive after this much *wall-clock* time with a
-    /// diagnostic panic instead of hanging. `None` waits forever. A
-    /// mismatched tag or a peer that never sends then fails the run loudly
-    /// (and the poison protocol unwinds the other ranks).
-    pub recv_timeout: Option<std::time::Duration>,
+    /// typed `Timeout` error instead of hanging. `None` waits forever
+    /// (dead peers are still detected and fail fast). Also bounds the
+    /// post-collective linger of each rank in chaos mode.
+    pub recv_timeout: Option<Duration>,
 }
 
 impl WorldSpec {
@@ -76,13 +123,11 @@ impl WorldSpec {
             capture_wire: false,
             trace: false,
             faults: FaultPlan::default(),
-            recv_timeout: Some(std::time::Duration::from_secs(300)),
+            retry: RetryPolicy::default(),
+            recv_timeout: Some(Duration::from_secs(300)),
         }
     }
 }
-
-/// Reserved tag used to propagate panics between ranks.
-const POISON_TAG: u64 = u64::MAX;
 
 /// Associated data binding a sealed chunk to its routing metadata. The
 /// origins list and block length travel *outside* the ciphertext (receivers
@@ -100,11 +145,46 @@ fn seal_aad_into(origins: &[Rank], block_len: usize, aad: &mut Vec<u8>) {
     aad.extend_from_slice(&(block_len as u64).to_le_bytes());
 }
 
+/// What travels on a channel: a data frame with reliability framing, one of
+/// the two recovery control frames, or the poison marker that propagates a
+/// panic.
+#[derive(Clone)]
+enum Wire {
+    /// An application frame. `seq` numbers the `(src, tag)` stream (always 0
+    /// outside chaos mode); `checksum` is the transport-level integrity
+    /// check (`None` outside chaos mode).
+    Data {
+        tag: u64,
+        seq: u64,
+        checksum: Option<u64>,
+        parcel: Parcel,
+    },
+    /// "Retransmit everything on `tag` from `seq` onward."
+    Nack { tag: u64, seq: u64 },
+    /// "I have nothing logged for `tag`" — the NACKed sender will never
+    /// produce the frame; lets the receiver fail fast with `DeadPeer`.
+    NackMiss { tag: u64 },
+    /// Broadcast by the last rank to finish its closure (chaos mode): wakes
+    /// lingering ranks immediately instead of on their next poll tick.
+    Finished,
+    /// The sender panicked; unwind.
+    Poison,
+}
+
+#[derive(Clone)]
 struct Message {
     src: Rank,
-    tag: u64,
-    parcel: Parcel,
     arrive_us: f64,
+    wire: Wire,
+}
+
+/// One logged transmission, kept for NACK-triggered replay. The parcel is
+/// the *pre-fault* clone: retransmissions are always clean.
+struct SentRecord {
+    tag: u64,
+    seq: u64,
+    attempts: u32,
+    parcel: Parcel,
 }
 
 /// Everything a rank needs during a collective: identity, messaging, shared
@@ -119,7 +199,21 @@ pub struct ProcCtx<'w> {
     metrics: Metrics,
     senders: &'w [Sender<Message>],
     rx: Receiver<Message>,
-    pending: HashMap<(Rank, u64), VecDeque<Message>>,
+    /// Accepted, in-order frames awaiting a matching `recv`, with their
+    /// virtual arrival times.
+    pending: HashMap<(Rank, u64), VecDeque<(Parcel, f64)>>,
+    /// Next sequence number per outgoing `(dst, tag)` stream (chaos mode).
+    next_seq: HashMap<(Rank, u64), u64>,
+    /// Next expected sequence number per incoming `(src, tag)` stream.
+    expected: HashMap<(Rank, u64), u64>,
+    /// Out-of-order frames buffered until the gap before them fills.
+    ooo: HashMap<(Rank, u64), BTreeMap<u64, (Parcel, f64)>>,
+    /// Retransmit log per destination (chaos mode only; grows with the
+    /// collective — bounded by the run, not pruned).
+    sent_log: HashMap<Rank, Vec<SentRecord>>,
+    /// Frames held back by an injected `Reorder` fault; released after the
+    /// next send (or when this rank blocks or finishes).
+    reorder_limbo: Vec<(Rank, Message)>,
     gcm: &'w AesGcm128,
     nonces: NonceSource,
     /// Reusable wire buffer for [`ProcCtx::encrypt`]: each seal writes into
@@ -136,10 +230,17 @@ pub struct ProcCtx<'w> {
     nic_contention: bool,
     capture_wire: bool,
     epoch: u64,
-    recv_timeout: Option<std::time::Duration>,
+    recv_timeout: Option<Duration>,
     trace: Option<Trace>,
     faults: FaultPlan,
-    inter_frame_counter: &'w std::sync::atomic::AtomicU64,
+    retry: RetryPolicy,
+    /// Cached `faults.enabled()`: reliability framing armed.
+    chaos: bool,
+    /// Current collective phase, stamped into [`CollectiveError`]s.
+    phase: &'static str,
+    inter_frame_counter: &'w AtomicU64,
+    finished: &'w [AtomicBool],
+    finished_count: &'w AtomicUsize,
 }
 
 impl<'w> ProcCtx<'w> {
@@ -194,6 +295,23 @@ impl<'w> ProcCtx<'w> {
         self.metrics = Metrics::default();
     }
 
+    /// Names the collective phase now in force; structured failures raised
+    /// after this call carry the name (e.g. the algorithm being run).
+    pub fn set_phase(&mut self, phase: &'static str) {
+        self.phase = phase;
+    }
+
+    /// Raises a structured, rank-attributed failure as a panic payload; the
+    /// poison protocol unwinds the remaining ranks and
+    /// [`try_run`] surfaces the error to the caller.
+    fn fail(&self, cause: FailureCause) -> ! {
+        panic_any(CollectiveError {
+            rank: self.rank,
+            phase: self.phase,
+            cause,
+        })
+    }
+
     /// Starts a new collective epoch. Every collective invocation must call
     /// this once on every rank so that shared-memory slot keys (and any
     /// other epoch-scoped state) never collide with a previous invocation
@@ -219,6 +337,13 @@ impl<'w> ProcCtx<'w> {
         }
     }
 
+    /// Records a zero-duration marker event (faults, retries).
+    #[inline]
+    fn record_marker(&mut self, kind: EventKind) {
+        let now = self.clock_us;
+        self.record(now, kind);
+    }
+
     /// This rank's own m-byte input block.
     pub fn my_block(&self, len: usize) -> Chunk {
         let data = match self.mode {
@@ -234,9 +359,13 @@ impl<'w> ProcCtx<'w> {
 
     /// Sends `parcel` to `dst` with `tag`. Advances this rank's clock by the
     /// transmission occupancy; the message arrives at
-    /// `occupancy end + α(link)`.
+    /// `occupancy end + α(link)`. In chaos mode the frame additionally gets
+    /// a stream sequence number, a transport checksum, and a retransmit-log
+    /// entry, and may be perturbed per the world's [`FaultPlan`].
     pub fn send(&mut self, dst: Rank, tag: u64, mut parcel: Parcel) {
-        assert!(tag != POISON_TAG, "tag {POISON_TAG} is reserved");
+        // Frames held back by an earlier Reorder injection are released
+        // after this send's delivery — i.e. genuinely overtaken by it.
+        let held = std::mem::take(&mut self.reorder_limbo);
         let t0 = self.clock_us;
         let bytes = parcel.wire_len();
         let link = self.topo.link(self.rank, dst);
@@ -271,25 +400,90 @@ impl<'w> ProcCtx<'w> {
             self.metrics.bytes_sent += bytes as u64;
             self.metrics.payload_sent += parcel.payload_len() as u64;
         }
+        let mut seq = 0u64;
+        let mut checksum = None;
+        // Faults are only ever injected on inter-node links, and a
+        // `(src, dst)` pair's link class never changes — so intra-node and
+        // self streams can skip the framing (sequence numbers, checksum,
+        // retransmit log) entirely. A frame with `checksum: None` bypasses
+        // the reliability admission at the receiver.
+        if self.chaos && link == LinkClass::Inter {
+            let s = self.next_seq.entry((dst, tag)).or_insert(0);
+            seq = *s;
+            *s += 1;
+            // Checksum and log the frame *before* any fault touches it:
+            // retransmissions replay the clean bytes.
+            checksum = Some(parcel.checksum());
+            self.sent_log.entry(dst).or_default().push(SentRecord {
+                tag,
+                seq,
+                attempts: 0,
+                parcel: parcel.clone(),
+            });
+        }
+        let mut fault = None;
         if link == LinkClass::Inter {
             self.metrics.inter_bytes_sent += bytes as u64;
-            let frame_idx = self
-                .inter_frame_counter
-                .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            let frame_idx = self.inter_frame_counter.fetch_add(1, Ordering::Relaxed);
             if self.faults.corrupt_nth_inter_frame == Some(frame_idx) {
+                // Legacy unrecovered adversary: corrupt without arming any
+                // recovery (the checksum, if present, is left stale so GCM
+                // aborts the collective downstream).
                 corrupt_parcel(&mut parcel);
+            }
+            if self.chaos {
+                fault = match self.faults.fault_nth_inter_frame {
+                    Some((n, kind)) if n == frame_idx => Some(kind),
+                    _ => self.faults.decide(self.rank, dst, tag, seq, 0),
+                };
+            }
+            if fault == Some(FaultKind::Tamper) {
+                corrupt_parcel(&mut parcel);
+                if self.faults.adversarial_tamper {
+                    // On-path adversary: fix up the transport checksum so
+                    // only the per-hop GCM verification can catch it.
+                    checksum = Some(parcel.checksum());
+                }
             }
             self.capture(dst, &parcel);
         }
         self.record(t0, EventKind::Send { dst, bytes, link });
-        self.senders[dst]
-            .send(Message {
-                src: self.rank,
+        if let Some(kind) = fault {
+            self.metrics.faults_injected += 1;
+            self.record_marker(EventKind::Fault { kind, dst });
+        }
+        let data = |arrive_us: f64, parcel: Parcel| Message {
+            src: self.rank,
+            arrive_us,
+            wire: Wire::Data {
                 tag,
+                seq,
+                checksum,
                 parcel,
-                arrive_us,
-            })
-            .expect("receiver hung up");
+            },
+        };
+        match fault {
+            Some(FaultKind::Drop) => {}
+            Some(FaultKind::Reorder) => {
+                self.reorder_limbo.push((dst, data(arrive_us, parcel)));
+            }
+            Some(FaultKind::Duplicate) => {
+                let msg = data(arrive_us, parcel);
+                let _ = self.senders[dst].send(msg.clone());
+                let _ = self.senders[dst].send(msg);
+            }
+            Some(FaultKind::Delay) => {
+                let msg = data(arrive_us + self.faults.delay_us, parcel);
+                let _ = self.senders[dst].send(msg);
+            }
+            Some(FaultKind::Tamper) | None => {
+                let msg = data(arrive_us, parcel);
+                let _ = self.senders[dst].send(msg);
+            }
+        }
+        for (d, m) in held {
+            let _ = self.senders[d].send(m);
+        }
     }
 
     fn capture(&self, dst: Rank, parcel: &Parcel) {
@@ -335,65 +529,380 @@ impl<'w> ProcCtx<'w> {
 
     /// Receives the parcel tagged `tag` from `src`, blocking until it
     /// arrives. Advances the clock to the arrival time and counts one
-    /// communication round.
+    /// communication round. Duplicated and retransmitted frames are
+    /// deduplicated before they reach the metrics, so the Table II traffic
+    /// columns are fault-independent.
     pub fn recv(&mut self, src: Rank, tag: u64) -> Parcel {
         let t0 = self.clock_us;
-        let msg = self.wait_for(src, tag);
-        self.clock_us = self.clock_us.max(msg.arrive_us);
-        let bytes = msg.parcel.wire_len();
+        let (parcel, arrive_us) = self.wait_for(src, tag);
+        self.clock_us = self.clock_us.max(arrive_us);
+        let bytes = parcel.wire_len();
         // Receiving one's own self-send is a local hand-off, not a
         // communication round (mirrors the send-side SelfLoop exclusion).
-        if msg.src != self.rank {
+        if src != self.rank {
             self.metrics.comm_rounds += 1;
             self.metrics.bytes_recv += bytes as u64;
-            self.metrics.payload_recv += msg.parcel.payload_len() as u64;
+            self.metrics.payload_recv += parcel.payload_len() as u64;
         }
         self.record(t0, EventKind::Recv { src, bytes });
-        msg.parcel
+        parcel
     }
 
-    fn wait_for(&mut self, src: Rank, tag: u64) -> Message {
-        if let Some(queue) = self.pending.get_mut(&(src, tag)) {
-            if let Some(msg) = queue.pop_front() {
-                return msg;
-            }
+    /// Pops the next accepted in-order frame for `(src, tag)`, if any.
+    fn take_ready(&mut self, src: Rank, tag: u64) -> Option<(Parcel, f64)> {
+        self.pending
+            .get_mut(&(src, tag))
+            .and_then(VecDeque::pop_front)
+    }
+
+    /// Releases any frames held back by Reorder injections.
+    fn flush_limbo(&mut self) {
+        for (dst, msg) in std::mem::take(&mut self.reorder_limbo) {
+            let _ = self.senders[dst].send(msg);
         }
+    }
+
+    /// The blocking receive loop: admits channel traffic, issues NACK-based
+    /// recovery rounds (chaos mode), enforces the absolute wall-clock
+    /// watchdog, and detects dead peers. Returns the accepted frame and its
+    /// virtual arrival time.
+    fn wait_for(&mut self, src: Rank, tag: u64) -> (Parcel, f64) {
+        self.flush_limbo();
+        if let Some(got) = self.take_ready(src, tag) {
+            return got;
+        }
+        let started = Instant::now();
         // The watchdog limit is an absolute deadline for this receive, not a
         // per-poll allowance: unrelated traffic draining through the channel
         // must not keep pushing the timeout out indefinitely.
-        let deadline = self
-            .recv_timeout
-            .map(|limit| std::time::Instant::now() + limit);
+        let watchdog = self.recv_timeout.map(|limit| started + limit);
+        let mut attempt: u32 = 0;
+        let mut attempt_deadline = self
+            .chaos
+            .then(|| Instant::now() + self.retry.attempt_timeout);
+        let poll = if self.chaos {
+            Duration::from_millis(5)
+        } else {
+            Duration::from_millis(50)
+        };
+        let mut peer_missed = false;
         loop {
-            let msg = match deadline {
-                None => self.rx.recv().expect("all peers disconnected"),
-                Some(deadline) => {
-                    let remaining = deadline.saturating_duration_since(std::time::Instant::now());
-                    match self.rx.recv_timeout(remaining) {
-                        Ok(msg) => msg,
-                        Err(crossbeam::channel::RecvTimeoutError::Timeout) => panic!(
-                            "rank {} waited {:?} for a message from rank {src} \
-                             with tag {tag} that never arrived (deadlock or tag \
-                             mismatch in the algorithm)",
-                            self.rank,
-                            self.recv_timeout.unwrap_or_default()
-                        ),
-                        Err(crossbeam::channel::RecvTimeoutError::Disconnected) => {
-                            panic!("all peers disconnected while receiving")
+            let now = Instant::now();
+            let mut wake = now + poll;
+            if let Some(w) = watchdog {
+                wake = wake.min(w);
+            }
+            if let Some(a) = attempt_deadline {
+                wake = wake.min(a);
+            }
+            match self.rx.recv_timeout(wake.saturating_duration_since(now)) {
+                Ok(msg) => {
+                    self.admit(msg, (src, tag), &mut peer_missed);
+                    if let Some(got) = self.take_ready(src, tag) {
+                        return got;
+                    }
+                    // Fall through: the deadline checks below must run on
+                    // every iteration, or a flood of unrelated messages
+                    // would starve the absolute watchdog.
+                }
+                Err(RecvTimeoutError::Timeout) => {}
+                Err(RecvTimeoutError::Disconnected) => {
+                    panic!("all peers disconnected while receiving")
+                }
+            }
+            let now = Instant::now();
+            if let Some(w) = watchdog {
+                if now >= w {
+                    self.fail(FailureCause::Timeout {
+                        src,
+                        tag,
+                        waited: started.elapsed(),
+                        attempts: attempt,
+                    });
+                }
+            }
+            if let Some(a) = attempt_deadline {
+                if now >= a {
+                    attempt += 1;
+                    if attempt >= self.retry.max_attempts {
+                        self.fail(FailureCause::Timeout {
+                            src,
+                            tag,
+                            waited: started.elapsed(),
+                            attempts: attempt,
+                        });
+                    }
+                    // Ask the peer to replay the stream from where we are.
+                    let from_seq = self.expected.get(&(src, tag)).copied().unwrap_or(0);
+                    self.metrics.nacks_sent += 1;
+                    self.record_marker(EventKind::Retry {
+                        peer: src,
+                        tag,
+                        attempt,
+                    });
+                    let _ = self.senders[src].send(Message {
+                        src: self.rank,
+                        arrive_us: 0.0,
+                        wire: Wire::Nack { tag, seq: from_seq },
+                    });
+                    attempt_deadline = Some(
+                        now + self
+                            .retry
+                            .attempt_timeout
+                            .mul_f64(self.retry.backoff.powi(attempt as i32)),
+                    );
+                }
+            }
+            if self.finished[src].load(Ordering::SeqCst) {
+                // The peer exited; drain anything it left in our channel.
+                while let Ok(msg) = self.rx.try_recv() {
+                    self.admit(msg, (src, tag), &mut peer_missed);
+                    if let Some(got) = self.take_ready(src, tag) {
+                        return got;
+                    }
+                }
+                // Outside chaos mode a finished peer can never send again.
+                // Inside it, a lingering peer may still replay logged
+                // frames — unless it answered NackMiss, proving it has
+                // nothing for this stream.
+                if !self.chaos || peer_missed {
+                    self.fail(FailureCause::DeadPeer { peer: src, tag });
+                }
+            }
+        }
+    }
+
+    /// Processes one channel message: control frames act immediately; data
+    /// frames pass integrity and ordering checks before joining `pending`.
+    /// `want` is the `(src, tag)` the caller is blocked on (used to route
+    /// `NackMiss` into its dead-peer detection).
+    fn admit(&mut self, msg: Message, want: (Rank, u64), peer_missed: &mut bool) {
+        let src = msg.src;
+        match msg.wire {
+            Wire::Poison => panic!("rank {src} panicked; propagating"),
+            // A `Finished` wake-up can only race a receive when the sender
+            // completed the whole closure; the blocked receive will resolve
+            // via the frames it already sent (or dead-peer detection).
+            Wire::Finished => {}
+            Wire::Nack { tag, seq } => self.service_nack(src, tag, seq),
+            Wire::NackMiss { tag } => {
+                if (src, tag) == want {
+                    *peer_missed = true;
+                }
+            }
+            Wire::Data {
+                tag,
+                seq,
+                checksum,
+                parcel,
+            } => {
+                let key = (src, tag);
+                // `checksum: None` marks an unframed frame: either chaos is
+                // off, or the stream is intra-node/self and can never be
+                // faulted, so it skips the reliability admission.
+                if !self.chaos || checksum.is_none() {
+                    self.pending
+                        .entry(key)
+                        .or_default()
+                        .push_back((parcel, msg.arrive_us));
+                    return;
+                }
+                let expected0 = *self.expected.entry(key).or_insert(0);
+                if seq < expected0 {
+                    // Already accepted (duplicate or redundant retransmit).
+                    self.metrics.dup_frames_dropped += 1;
+                    return;
+                }
+                // The transport checksum covers random corruption; the
+                // (expensive) per-hop GCM verification is only armed when
+                // the threat model includes checksum-evading tamper.
+                let intact = checksum.is_none_or(|c| parcel.checksum() == c)
+                    && (!self.faults.adversarial_tamper || self.hop_verify(&parcel));
+                if !intact {
+                    self.metrics.faults_detected += 1;
+                    self.metrics.nacks_sent += 1;
+                    self.record_marker(EventKind::Retry {
+                        peer: src,
+                        tag,
+                        attempt: 0,
+                    });
+                    let _ = self.senders[src].send(Message {
+                        src: self.rank,
+                        arrive_us: 0.0,
+                        wire: Wire::Nack {
+                            tag,
+                            seq: expected0,
+                        },
+                    });
+                    return;
+                }
+                if seq == expected0 {
+                    let mut ready = vec![(parcel, msg.arrive_us)];
+                    let mut next = seq + 1;
+                    if let Some(buf) = self.ooo.get_mut(&key) {
+                        while let Some(e) = buf.remove(&next) {
+                            ready.push(e);
+                            next += 1;
+                        }
+                    }
+                    self.expected.insert(key, next);
+                    self.pending.entry(key).or_default().extend(ready);
+                } else {
+                    // A gap: buffer and (once per gap) ask for the replay.
+                    let buf = self.ooo.entry(key).or_default();
+                    if buf.contains_key(&seq) {
+                        self.metrics.dup_frames_dropped += 1;
+                    } else {
+                        let first_of_gap = buf.is_empty();
+                        buf.insert(seq, (parcel, msg.arrive_us));
+                        if first_of_gap {
+                            self.metrics.faults_detected += 1;
+                            self.metrics.nacks_sent += 1;
+                            self.record_marker(EventKind::Retry {
+                                peer: src,
+                                tag,
+                                attempt: 0,
+                            });
+                            let _ = self.senders[src].send(Message {
+                                src: self.rank,
+                                arrive_us: 0.0,
+                                wire: Wire::Nack {
+                                    tag,
+                                    seq: expected0,
+                                },
+                            });
                         }
                     }
                 }
+            }
+        }
+    }
+
+    /// Per-hop integrity check of a frame's sealed items: verifies each GCM
+    /// tag (without decrypting) against the AAD rebuilt from the routing
+    /// metadata. Catches adversarial tampering that recomputed the transport
+    /// checksum; armed only when the fault plan's `adversarial_tamper` flag
+    /// is set (it is a full AES-GCM pass over every sealed byte at every
+    /// hop). Plaintext items have no authenticator — corruption of them
+    /// under an adversarial tamper goes undetected here, which is exactly
+    /// the integrity gap the encrypted algorithms close.
+    fn hop_verify(&mut self, parcel: &Parcel) -> bool {
+        for item in &parcel.items {
+            if let Item::Sealed(s) = item {
+                if let Data::Real(wire) = &s.data {
+                    seal_aad_into(&s.origins, s.block_len, &mut self.aad_scratch);
+                    if eag_crypto::verify_message(self.gcm, &self.aad_scratch, wire).is_err() {
+                        return false;
+                    }
+                }
+            }
+        }
+        true
+    }
+
+    /// Replays logged frames on `tag` from `from_seq` onward to `from`, or
+    /// answers `NackMiss` if nothing is logged. Retransmissions are faulted
+    /// independently (keyed by their attempt number, so a deterministic
+    /// re-fault cannot starve recovery), do not advance the virtual clock,
+    /// and are accounted in `retransmit_bytes` rather than `bytes_sent`.
+    fn service_nack(&mut self, from: Rank, tag: u64, from_seq: u64) {
+        let mut jobs = Vec::new();
+        if let Some(log) = self.sent_log.get_mut(&from) {
+            for rec in log.iter_mut() {
+                if rec.tag == tag && rec.seq >= from_seq {
+                    rec.attempts += 1;
+                    jobs.push((rec.seq, rec.attempts, rec.parcel.clone()));
+                }
+            }
+        }
+        if jobs.is_empty() {
+            let _ = self.senders[from].send(Message {
+                src: self.rank,
+                arrive_us: 0.0,
+                wire: Wire::NackMiss { tag },
+            });
+            return;
+        }
+        let link = self.topo.link(self.rank, from);
+        for (seq, attempt, mut parcel) in jobs {
+            self.metrics.retransmits += 1;
+            self.metrics.retransmit_bytes += parcel.wire_len() as u64;
+            self.record_marker(EventKind::Retry {
+                peer: from,
+                tag,
+                attempt,
+            });
+            let mut checksum = Some(parcel.checksum());
+            let fault = if link == LinkClass::Inter {
+                self.faults.decide(self.rank, from, tag, seq, attempt)
+            } else {
+                None
             };
-            if msg.tag == POISON_TAG {
-                panic!("rank {} panicked; propagating", msg.src);
+            let mut arrive_us = self.clock_us;
+            match fault {
+                Some(FaultKind::Drop) => {
+                    self.metrics.faults_injected += 1;
+                    self.record_marker(EventKind::Fault {
+                        kind: FaultKind::Drop,
+                        dst: from,
+                    });
+                    continue;
+                }
+                Some(FaultKind::Delay) => {
+                    self.metrics.faults_injected += 1;
+                    self.record_marker(EventKind::Fault {
+                        kind: FaultKind::Delay,
+                        dst: from,
+                    });
+                    arrive_us += self.faults.delay_us;
+                }
+                Some(FaultKind::Tamper) => {
+                    self.metrics.faults_injected += 1;
+                    self.record_marker(EventKind::Fault {
+                        kind: FaultKind::Tamper,
+                        dst: from,
+                    });
+                    corrupt_parcel(&mut parcel);
+                    if self.faults.adversarial_tamper {
+                        checksum = Some(parcel.checksum());
+                    }
+                }
+                // Duplication/reordering of a retransmission adds nothing
+                // the receiver's dedup does not already absorb.
+                Some(FaultKind::Duplicate) | Some(FaultKind::Reorder) | None => {}
             }
-            if msg.src == src && msg.tag == tag {
-                return msg;
+            let _ = self.senders[from].send(Message {
+                src: self.rank,
+                arrive_us,
+                wire: Wire::Data {
+                    tag,
+                    seq,
+                    checksum,
+                    parcel,
+                },
+            });
+        }
+    }
+
+    /// Post-collective service loop (chaos mode): a finished rank keeps
+    /// answering NACKs until every rank has finished, so a peer recovering
+    /// a lost frame never finds its sender gone. Bounded by the world's
+    /// `recv_timeout` (default 300 s).
+    fn linger(&mut self) {
+        let deadline = Instant::now() + self.recv_timeout.unwrap_or(Duration::from_secs(300));
+        while self.finished_count.load(Ordering::SeqCst) < self.p() {
+            if Instant::now() >= deadline {
+                break;
             }
-            self.pending
-                .entry((msg.src, msg.tag))
-                .or_default()
-                .push_back(msg);
+            match self.rx.recv_timeout(Duration::from_millis(2)) {
+                Ok(msg) => match msg.wire {
+                    Wire::Poison | Wire::Finished => break,
+                    Wire::Nack { tag, seq } => self.service_nack(msg.src, tag, seq),
+                    Wire::Data { .. } | Wire::NackMiss { .. } => {}
+                },
+                Err(RecvTimeoutError::Timeout) => {}
+                Err(RecvTimeoutError::Disconnected) => break,
+            }
         }
     }
 
@@ -449,7 +958,8 @@ impl<'w> ProcCtx<'w> {
     }
 
     /// Decrypts a sealed chunk: one decryption operation of `plain_len`
-    /// bytes (`αd + βd·m`). Panics if authentication fails — an encrypted
+    /// bytes (`αd + βd·m`). Raises a typed `AuthFailure`
+    /// [`CollectiveError`] if authentication fails — an encrypted
     /// collective cannot proceed on forged data.
     pub fn decrypt(&mut self, sealed: Sealed) -> Chunk {
         let t0 = self.clock_us;
@@ -471,9 +981,13 @@ impl<'w> ProcCtx<'w> {
         let data = match data {
             Data::Real(mut wire) => {
                 seal_aad_into(&origins, block_len, &mut self.aad_scratch);
-                eag_crypto::open_message_in_place(self.gcm, &self.aad_scratch, &mut wire).expect(
-                    "GCM authentication failed: forged, corrupted, or relabeled ciphertext",
-                );
+                if let Err(e) =
+                    eag_crypto::open_message_in_place(self.gcm, &self.aad_scratch, &mut wire)
+                {
+                    self.fail(FailureCause::AuthFailure {
+                        detail: format!("{e:?}: forged, corrupted, or relabeled ciphertext"),
+                    });
+                }
                 Data::Real(wire)
             }
             Data::Phantom(_) => Data::Phantom(plain_len),
@@ -602,7 +1116,9 @@ impl<T> RunReport<T> {
 ///
 /// A panic on any rank is broadcast to all ranks (poisoning channels and
 /// shared segments) so the world shuts down instead of deadlocking, and the
-/// original panic is re-raised here.
+/// original panic is re-raised here; a structured [`CollectiveError`] is
+/// preferred over secondary string panics when both occur. Use [`try_run`]
+/// to receive the error as a value instead of a panic.
 pub fn run<T, F>(spec: &WorldSpec, f: F) -> RunReport<T>
 where
     T: Send,
@@ -611,6 +1127,7 @@ where
     let p = spec.topology.p();
     let n_nodes = spec.topology.nodes();
     let model = &spec.profile.model;
+    let chaos = spec.faults.enabled();
 
     let mut senders = Vec::with_capacity(p);
     let mut receivers = Vec::with_capacity(p);
@@ -637,7 +1154,9 @@ where
         .map(|node| Arc::new(NodeShared::new(spec.topology.ranks_on_node(node).len())))
         .collect();
     let wiretap = Arc::new(Wiretap::new());
-    let frame_counter = std::sync::atomic::AtomicU64::new(0);
+    let frame_counter = AtomicU64::new(0);
+    let finished: Vec<AtomicBool> = (0..p).map(|_| AtomicBool::new(false)).collect();
+    let finished_count = AtomicUsize::new(0);
 
     let mut slots: Vec<Option<(T, f64, Metrics, Trace)>> = (0..p).map(|_| None).collect();
 
@@ -650,6 +1169,8 @@ where
         let f = &f;
         let spec_ref = spec;
         let frame_counter_ref = &frame_counter;
+        let finished_ref = &finished[..];
+        let finished_count_ref = &finished_count;
         let gcm_ref = &gcm;
 
         std::thread::scope(|scope| {
@@ -671,6 +1192,11 @@ where
                             senders,
                             rx,
                             pending: HashMap::new(),
+                            next_seq: HashMap::new(),
+                            expected: HashMap::new(),
+                            ooo: HashMap::new(),
+                            sent_log: HashMap::new(),
+                            reorder_limbo: Vec::new(),
                             gcm: gcm_ref,
                             nonces: NonceSource::seeded(
                                 seed ^ (rank as u64).wrapping_mul(0x0100_0000_01B3),
@@ -687,11 +1213,35 @@ where
                             recv_timeout: spec_ref.recv_timeout,
                             trace: spec_ref.trace.then(Vec::new),
                             faults: spec_ref.faults,
+                            retry: spec_ref.retry,
+                            chaos,
+                            phase: "collective",
                             inter_frame_counter: frame_counter_ref,
+                            finished: finished_ref,
+                            finished_count: finished_count_ref,
                         };
                         let result = catch_unwind(AssertUnwindSafe(|| f(&mut ctx)));
                         match result {
                             Ok(out) => {
+                                ctx.flush_limbo();
+                                finished_ref[rank].store(true, Ordering::SeqCst);
+                                let done = finished_count_ref.fetch_add(1, Ordering::SeqCst) + 1;
+                                if chaos && done == p {
+                                    // Last one out: wake the lingering ranks
+                                    // so they exit now, not on a poll tick.
+                                    for tx in senders.iter() {
+                                        let _ = tx.send(Message {
+                                            src: rank,
+                                            arrive_us: 0.0,
+                                            wire: Wire::Finished,
+                                        });
+                                    }
+                                }
+                                if ctx.chaos {
+                                    // Stay to answer late NACKs until every
+                                    // rank is done.
+                                    ctx.linger();
+                                }
                                 *slot = Some((
                                     out,
                                     ctx.clock_us,
@@ -707,9 +1257,8 @@ where
                                 for tx in senders.iter() {
                                     let _ = tx.send(Message {
                                         src: rank,
-                                        tag: POISON_TAG,
-                                        parcel: Parcel::new(),
                                         arrive_us: 0.0,
+                                        wire: Wire::Poison,
                                     });
                                 }
                                 resume_unwind(payload);
@@ -719,13 +1268,20 @@ where
                     .expect("failed to spawn rank thread");
                 handles.push(handle);
             }
-            let mut first_panic = None;
+            // Prefer the structured root-cause error over the string panics
+            // of ranks that merely got poisoned by it.
+            let mut typed: Option<Box<dyn std::any::Any + Send>> = None;
+            let mut first_panic: Option<Box<dyn std::any::Any + Send>> = None;
             for handle in handles {
                 if let Err(e) = handle.join() {
-                    first_panic.get_or_insert(e);
+                    if e.is::<CollectiveError>() {
+                        typed.get_or_insert(e);
+                    } else {
+                        first_panic.get_or_insert(e);
+                    }
                 }
             }
-            if let Some(e) = first_panic {
+            if let Some(e) = typed.or(first_panic) {
                 resume_unwind(e);
             }
         });
@@ -753,362 +1309,24 @@ where
     }
 }
 
-#[cfg(test)]
-mod tests {
-    use super::*;
-    use eag_netsim::{profile, Mapping};
-
-    fn spec(p: usize, nodes: usize) -> WorldSpec {
-        WorldSpec::new(
-            Topology::new(p, nodes, Mapping::Block),
-            profile::unit(),
-            DataMode::Real { seed: 1 },
-        )
-    }
-
-    #[test]
-    fn ranks_see_their_identity() {
-        let report = run(&spec(4, 2), |ctx| (ctx.rank(), ctx.node()));
-        assert_eq!(report.outputs, vec![(0, 0), (1, 0), (2, 1), (3, 1)]);
-    }
-
-    #[test]
-    fn simple_exchange_moves_data_and_clock() {
-        // Rank 0 sends 10 bytes to rank 1 (intra-node in a 2x1 world).
-        let report = run(&spec(2, 1), |ctx| {
-            if ctx.rank() == 0 {
-                let chunk = ctx.my_block(10);
-                ctx.send(1, 1, Parcel::one(Item::Plain(chunk)));
-                Vec::new()
-            } else {
-                let parcel = ctx.recv(0, 1);
-                parcel.items[0].clone().into_plain().data.bytes().to_vec()
-            }
-        });
-        assert_eq!(report.outputs[1], crate::payload::pattern_block(1, 0, 10));
-        // Unit model: sender occupied 10 B / 1 B/µs = 10 µs; arrival 11 µs.
-        assert_eq!(report.clocks_us[0], 10.0);
-        assert_eq!(report.clocks_us[1], 11.0);
-        assert_eq!(report.latency_us, 11.0);
-        assert_eq!(report.metrics[1].comm_rounds, 1);
-        assert_eq!(report.metrics[0].bytes_sent, 10);
-    }
-
-    #[test]
-    fn encrypt_decrypt_roundtrip_real_mode() {
-        let report = run(&spec(1, 1), |ctx| {
-            let chunk = ctx.my_block(100);
-            let expected = chunk.data.bytes().to_vec();
-            let sealed = ctx.encrypt(chunk);
-            assert_eq!(sealed.wire_len(), 128);
-            let back = ctx.decrypt(sealed);
-            (expected, back.data.bytes().to_vec())
-        });
-        let (expected, got) = &report.outputs[0];
-        assert_eq!(expected, got);
-        // Unit crypto: (1 + 100) each way.
-        assert_eq!(report.latency_us, 202.0);
-        assert_eq!(report.metrics[0].enc_rounds, 1);
-        assert_eq!(report.metrics[0].dec_bytes, 100);
-    }
-
-    #[test]
-    fn phantom_mode_tracks_lengths() {
-        let mut s = spec(2, 2);
-        s.mode = DataMode::Phantom;
-        let report = run(&s, |ctx| {
-            if ctx.rank() == 0 {
-                let sealed = ctx.encrypt(ctx.my_block(50));
-                ctx.send(1, 7, Parcel::one(Item::Sealed(sealed)));
-                0
-            } else {
-                let parcel = ctx.recv(0, 7);
-                let sealed = parcel.items[0].clone().into_sealed();
-                let chunk = ctx.decrypt(sealed);
-                chunk.data.len()
-            }
-        });
-        assert_eq!(report.outputs[1], 50);
-        assert_eq!(report.wiretap.frame_count(), 1);
-        assert_eq!(report.wiretap.frames()[0].len, 78);
-    }
-
-    #[test]
-    fn inter_node_frames_are_captured() {
-        let mut s = spec(2, 2);
-        s.capture_wire = true;
-        let report = run(&s, |ctx| {
-            if ctx.rank() == 0 {
-                let sealed = ctx.encrypt(ctx.my_block(16));
-                ctx.send(1, 3, Parcel::one(Item::Sealed(sealed)));
-            } else {
-                let _ = ctx.recv(0, 3);
-            }
-        });
-        assert_eq!(report.wiretap.frame_count(), 1);
-        let frames = report.wiretap.frames();
-        assert_eq!(frames[0].kind, FrameKind::Cipher);
-        assert_eq!(frames[0].bytes.len(), 16 + WIRE_OVERHEAD);
-        // The plaintext pattern must not appear in the captured frame.
-        let pt = crate::payload::pattern_block(1, 0, 16);
-        assert!(!report.wiretap.contains(&pt));
-    }
-
-    #[test]
-    fn intra_node_frames_are_not_captured() {
-        let report = run(&spec(2, 1), |ctx| {
-            if ctx.rank() == 0 {
-                let chunk = ctx.my_block(16);
-                ctx.send(1, 3, Parcel::one(Item::Plain(chunk)));
-            } else {
-                let _ = ctx.recv(0, 3);
-            }
-        });
-        assert_eq!(report.wiretap.frame_count(), 0);
-    }
-
-    #[test]
-    fn sendrecv_pairs_exchange() {
-        let report = run(&spec(2, 1), |ctx| {
-            let peer = 1 - ctx.rank();
-            let mine = ctx.my_block(8);
-            let got = ctx.sendrecv(peer, peer, 5, Parcel::one(Item::Plain(mine)));
-            got.items[0].origins()[0]
-        });
-        assert_eq!(report.outputs, vec![1, 0]);
-    }
-
-    #[test]
-    fn shared_memory_deposit_fetch_and_barrier() {
-        let report = run(&spec(2, 1), |ctx| {
-            if (ctx.rank()) == 0 {
-                let item = Item::Plain(ctx.my_block(4));
-                ctx.shared_deposit((1, 0), item);
-            }
-            ctx.node_barrier();
-            let got = ctx.shared_fetch((1, 0));
-            got.origins()[0]
-        });
-        assert_eq!(report.outputs, vec![0, 0]);
-        assert!(report.metrics[1].copies >= 1);
-    }
-
-    #[test]
-    fn recv_watchdog_converts_hangs_into_panics() {
-        let mut s = spec(2, 1);
-        s.recv_timeout = Some(std::time::Duration::from_millis(200));
-        let result = std::panic::catch_unwind(AssertUnwindSafe(|| {
-            run(&s, |ctx| {
-                if ctx.rank() == 0 {
-                    // Wrong tag: rank 0 waits for a message that never comes.
-                    let _ = ctx.recv(1, 12345);
-                }
-                // Rank 1 exits immediately.
-            })
-        }));
-        assert!(result.is_err(), "hang was not detected");
-    }
-
-    #[test]
-    fn panic_on_one_rank_propagates_without_deadlock() {
-        let result = std::panic::catch_unwind(AssertUnwindSafe(|| {
-            run(&spec(4, 2), |ctx| {
-                if ctx.rank() == 2 {
-                    panic!("boom on rank 2");
-                }
-                // Everyone else blocks on a message that never comes.
-                let _ = ctx.recv(2, 99);
-            })
-        }));
-        assert!(result.is_err());
-    }
-
-    #[test]
-    fn self_send_is_free_and_delivered() {
-        let report = run(&spec(2, 1), |ctx| {
-            if ctx.rank() == 0 {
-                let chunk = ctx.my_block(64);
-                ctx.send(0, 42, Parcel::one(Item::Plain(chunk)));
-                let got = ctx.recv(0, 42);
-                (got.items[0].origins()[0], ctx.clock_us())
-            } else {
-                (1, 0.0)
-            }
-        });
-        let (origin, clock) = report.outputs[0];
-        assert_eq!(origin, 0);
-        // Self-loop link: no communication cost charged.
-        assert_eq!(clock, 0.0);
-    }
-
-    #[test]
-    fn self_loop_traffic_is_excluded_from_metrics() {
-        // A rank handing a parcel to itself is a local buffer move; none of
-        // the Table II communication columns may count it.
-        let report = run(&spec(2, 1), |ctx| {
-            if ctx.rank() == 0 {
-                let chunk = ctx.my_block(64);
-                ctx.send(0, 42, Parcel::one(Item::Plain(chunk)));
-                let _ = ctx.recv(0, 42);
-            }
-        });
-        let m = report.metrics[0];
-        assert_eq!(m.bytes_sent, 0, "self-send must not count bytes_sent");
-        assert_eq!(m.payload_sent, 0, "self-send must not count payload_sent");
-        assert_eq!(m.comm_rounds, 0, "self-receive must not count a round");
-        assert_eq!(m.bytes_recv, 0, "self-receive must not count bytes_recv");
-        assert_eq!(
-            m.payload_recv, 0,
-            "self-receive must not count payload_recv"
-        );
-    }
-
-    #[test]
-    fn mixed_self_and_peer_traffic_counts_only_the_peer_leg() {
-        let report = run(&spec(2, 1), |ctx| {
-            if ctx.rank() == 0 {
-                ctx.send(0, 1, Parcel::one(Item::Plain(ctx.my_block(32))));
-                ctx.send(1, 2, Parcel::one(Item::Plain(ctx.my_block(10))));
-                let _ = ctx.recv(0, 1);
-            } else {
-                let _ = ctx.recv(0, 2);
-            }
-        });
-        // Sender: only the 10-byte intra-node leg counts.
-        assert_eq!(report.metrics[0].bytes_sent, 10);
-        assert_eq!(report.metrics[0].comm_rounds, 0);
-        // Receiver: one genuine round.
-        assert_eq!(report.metrics[1].comm_rounds, 1);
-        assert_eq!(report.metrics[1].bytes_recv, 10);
-    }
-
-    #[test]
-    fn recv_watchdog_deadline_is_absolute_not_per_message() {
-        // Rank 1 keeps feeding rank 0 messages with an unrelated tag at a
-        // cadence shorter than the timeout. Under the buggy per-poll
-        // interpretation each arrival restarts the clock and the watchdog
-        // fires only long after the feeder stops; with an absolute deadline
-        // it fires once the limit elapses regardless of traffic.
-        let mut s = spec(2, 1);
-        s.recv_timeout = Some(std::time::Duration::from_millis(200));
-        let started = std::time::Instant::now();
-        let result = std::panic::catch_unwind(AssertUnwindSafe(|| {
-            run(&s, |ctx| {
-                if ctx.rank() == 0 {
-                    // Waits for a tag that never arrives.
-                    let _ = ctx.recv(1, 999);
-                } else {
-                    for _ in 0..8 {
-                        std::thread::sleep(std::time::Duration::from_millis(60));
-                        ctx.send(0, 1, Parcel::one(Item::Plain(ctx.my_block(1))));
-                    }
-                }
-            })
-        }));
-        let elapsed = started.elapsed();
-        assert!(result.is_err(), "watchdog did not fire");
-        // 8 feeds x 60 ms keep a per-poll timer alive past 480 ms; the
-        // absolute deadline panics at ~200 ms. Generous margin for CI noise.
-        assert!(
-            elapsed < std::time::Duration::from_millis(450),
-            "watchdog took {elapsed:?}; deadline is being reset per message"
-        );
-    }
-
-    #[test]
-    fn reset_accounting_clears_clock_and_metrics() {
-        let report = run(&spec(2, 1), |ctx| {
-            let sealed = ctx.encrypt(ctx.my_block(100));
-            let _ = ctx.decrypt(sealed);
-            assert!(ctx.clock_us() > 0.0);
-            assert!(ctx.metrics().enc_rounds > 0);
-            ctx.reset_accounting();
-            (ctx.clock_us(), ctx.metrics())
-        });
-        for (clock, metrics) in report.outputs {
-            assert_eq!(clock, 0.0);
-            assert_eq!(metrics, Metrics::default());
-        }
-    }
-
-    #[test]
-    fn charge_helpers_accumulate_copies() {
-        let report = run(&spec(1, 1), |ctx| {
-            ctx.charge_copy(1000);
-            ctx.charge_strided_copy(1000);
-            ctx.metrics()
-        });
-        let m = report.outputs[0];
-        assert_eq!(m.copies, 2);
-        assert_eq!(m.copy_bytes, 2000);
-    }
-
-    #[test]
-    fn phantom_fault_injection_is_inert() {
-        // FaultPlan only corrupts real bytes; a phantom run must complete.
-        let mut s = spec(2, 2);
-        s.mode = DataMode::Phantom;
-        s.faults = FaultPlan {
-            corrupt_nth_inter_frame: Some(0),
-        };
-        let report = run(&s, |ctx| {
-            if ctx.rank() == 0 {
-                let sealed = ctx.encrypt(ctx.my_block(32));
-                ctx.send(1, 1, Parcel::one(Item::Sealed(sealed)));
-            } else {
-                let got = ctx.recv(0, 1);
-                let _ = ctx.decrypt(got.items[0].clone().into_sealed());
-            }
-        });
-        assert_eq!(report.outputs.len(), 2);
-    }
-
-    #[test]
-    fn epochs_scope_slot_keys() {
-        let report = run(&spec(2, 1), |ctx| {
-            // Same (base, idx) in two epochs must address distinct slots.
-            ctx.begin_collective();
-            let k1 = ctx.slot(7, 0);
-            ctx.begin_collective();
-            let k2 = ctx.slot(7, 0);
-            (k1, k2)
-        });
-        for (k1, k2) in report.outputs {
-            assert_ne!(k1, k2);
-            assert_eq!(k1.1, k2.1);
-        }
-    }
-
-    #[test]
-    fn nic_contention_serializes_when_enabled() {
-        // Two ranks on node 0 both send 1000 B to node 1. Unit model has
-        // infinite NIC bandwidth, so use a custom profile.
-        let mut profile = profile::unit();
-        profile.model.nic_bandwidth = 1.0; // 1 B/µs, same as stream rate
-        let spec = WorldSpec {
-            topology: Topology::new(4, 2, Mapping::Block),
-            profile,
-            mode: DataMode::Phantom,
-            nic_contention: true,
-            capture_wire: false,
-            trace: false,
-            faults: FaultPlan::default(),
-            recv_timeout: Some(std::time::Duration::from_secs(300)),
-        };
-        let report = run(&spec, |ctx| match ctx.rank() {
-            0 | 1 => {
-                let chunk = ctx.my_block(1000);
-                ctx.send(ctx.rank() + 2, 1, Parcel::one(Item::Plain(chunk)));
-            }
-            r => {
-                let _ = ctx.recv(r - 2, 1);
-            }
-        });
-        // One of the receivers sees its message delayed behind the other's
-        // NIC occupancy: latencies 1001 and 2001.
-        let mut recv_clocks = [report.clocks_us[2], report.clocks_us[3]];
-        recv_clocks.sort_by(f64::total_cmp);
-        assert_eq!(recv_clocks[0], 1001.0);
-        assert_eq!(recv_clocks[1], 2001.0);
+/// Like [`run`], but returns a structured [`CollectiveError`] as a value
+/// when a rank raised one (timeout, dead peer, authentication failure)
+/// instead of panicking. Plain string panics (algorithm bugs) still
+/// propagate as panics.
+pub fn try_run<T, F>(spec: &WorldSpec, f: F) -> Result<RunReport<T>, CollectiveError>
+where
+    T: Send,
+    F: Fn(&mut ProcCtx) -> T + Sync,
+{
+    match catch_unwind(AssertUnwindSafe(|| run(spec, f))) {
+        Ok(report) => Ok(report),
+        Err(payload) => match payload.downcast::<CollectiveError>() {
+            Ok(e) => Err(*e),
+            Err(other) => resume_unwind(other),
+        },
     }
 }
+
+#[cfg(test)]
+#[path = "world_tests.rs"]
+mod tests;

@@ -1,0 +1,672 @@
+//! Tests for the world: basic messaging/pricing semantics plus the chaos
+//! transport (fault injection, NACK recovery, dedup, typed failures).
+
+use super::*;
+use eag_netsim::{profile, Mapping};
+
+fn spec(p: usize, nodes: usize) -> WorldSpec {
+    WorldSpec::new(
+        Topology::new(p, nodes, Mapping::Block),
+        profile::unit(),
+        DataMode::Real { seed: 1 },
+    )
+}
+
+/// `Result::expect_err` without requiring `Debug` on the report.
+fn unwrap_err<T>(r: Result<RunReport<T>, CollectiveError>, msg: &str) -> CollectiveError {
+    match r {
+        Err(e) => e,
+        Ok(_) => panic!("{msg}"),
+    }
+}
+
+/// A fast retry policy so chaos tests converge in milliseconds.
+fn fast_retry() -> RetryPolicy {
+    RetryPolicy {
+        attempt_timeout: Duration::from_millis(10),
+        max_attempts: 8,
+        backoff: 1.5,
+    }
+}
+
+#[test]
+fn ranks_see_their_identity() {
+    let report = run(&spec(4, 2), |ctx| (ctx.rank(), ctx.node()));
+    assert_eq!(report.outputs, vec![(0, 0), (1, 0), (2, 1), (3, 1)]);
+}
+
+#[test]
+fn simple_exchange_moves_data_and_clock() {
+    // Rank 0 sends 10 bytes to rank 1 (intra-node in a 2x1 world).
+    let report = run(&spec(2, 1), |ctx| {
+        if ctx.rank() == 0 {
+            let chunk = ctx.my_block(10);
+            ctx.send(1, 1, Parcel::one(Item::Plain(chunk)));
+            Vec::new()
+        } else {
+            let parcel = ctx.recv(0, 1);
+            parcel.items[0].clone().into_plain().data.bytes().to_vec()
+        }
+    });
+    assert_eq!(report.outputs[1], crate::payload::pattern_block(1, 0, 10));
+    // Unit model: sender occupied 10 B / 1 B/µs = 10 µs; arrival 11 µs.
+    assert_eq!(report.clocks_us[0], 10.0);
+    assert_eq!(report.clocks_us[1], 11.0);
+    assert_eq!(report.latency_us, 11.0);
+    assert_eq!(report.metrics[1].comm_rounds, 1);
+    assert_eq!(report.metrics[0].bytes_sent, 10);
+}
+
+#[test]
+fn encrypt_decrypt_roundtrip_real_mode() {
+    let report = run(&spec(1, 1), |ctx| {
+        let chunk = ctx.my_block(100);
+        let expected = chunk.data.bytes().to_vec();
+        let sealed = ctx.encrypt(chunk);
+        assert_eq!(sealed.wire_len(), 128);
+        let back = ctx.decrypt(sealed);
+        (expected, back.data.bytes().to_vec())
+    });
+    let (expected, got) = &report.outputs[0];
+    assert_eq!(expected, got);
+    // Unit crypto: (1 + 100) each way.
+    assert_eq!(report.latency_us, 202.0);
+    assert_eq!(report.metrics[0].enc_rounds, 1);
+    assert_eq!(report.metrics[0].dec_bytes, 100);
+}
+
+#[test]
+fn phantom_mode_tracks_lengths() {
+    let mut s = spec(2, 2);
+    s.mode = DataMode::Phantom;
+    let report = run(&s, |ctx| {
+        if ctx.rank() == 0 {
+            let sealed = ctx.encrypt(ctx.my_block(50));
+            ctx.send(1, 7, Parcel::one(Item::Sealed(sealed)));
+            0
+        } else {
+            let parcel = ctx.recv(0, 7);
+            let sealed = parcel.items[0].clone().into_sealed();
+            let chunk = ctx.decrypt(sealed);
+            chunk.data.len()
+        }
+    });
+    assert_eq!(report.outputs[1], 50);
+    assert_eq!(report.wiretap.frame_count(), 1);
+    assert_eq!(report.wiretap.frames()[0].len, 78);
+}
+
+#[test]
+fn inter_node_frames_are_captured() {
+    let mut s = spec(2, 2);
+    s.capture_wire = true;
+    let report = run(&s, |ctx| {
+        if ctx.rank() == 0 {
+            let sealed = ctx.encrypt(ctx.my_block(16));
+            ctx.send(1, 3, Parcel::one(Item::Sealed(sealed)));
+        } else {
+            let _ = ctx.recv(0, 3);
+        }
+    });
+    assert_eq!(report.wiretap.frame_count(), 1);
+    let frames = report.wiretap.frames();
+    assert_eq!(frames[0].kind, FrameKind::Cipher);
+    assert_eq!(frames[0].bytes.len(), 16 + WIRE_OVERHEAD);
+    // The plaintext pattern must not appear in the captured frame.
+    let pt = crate::payload::pattern_block(1, 0, 16);
+    assert!(!report.wiretap.contains(&pt));
+}
+
+#[test]
+fn intra_node_frames_are_not_captured() {
+    let report = run(&spec(2, 1), |ctx| {
+        if ctx.rank() == 0 {
+            let chunk = ctx.my_block(16);
+            ctx.send(1, 3, Parcel::one(Item::Plain(chunk)));
+        } else {
+            let _ = ctx.recv(0, 3);
+        }
+    });
+    assert_eq!(report.wiretap.frame_count(), 0);
+}
+
+#[test]
+fn sendrecv_pairs_exchange() {
+    let report = run(&spec(2, 1), |ctx| {
+        let peer = 1 - ctx.rank();
+        let mine = ctx.my_block(8);
+        let got = ctx.sendrecv(peer, peer, 5, Parcel::one(Item::Plain(mine)));
+        got.items[0].origins()[0]
+    });
+    assert_eq!(report.outputs, vec![1, 0]);
+}
+
+#[test]
+fn shared_memory_deposit_fetch_and_barrier() {
+    let report = run(&spec(2, 1), |ctx| {
+        if (ctx.rank()) == 0 {
+            let item = Item::Plain(ctx.my_block(4));
+            ctx.shared_deposit((1, 0), item);
+        }
+        ctx.node_barrier();
+        let got = ctx.shared_fetch((1, 0));
+        got.origins()[0]
+    });
+    assert_eq!(report.outputs, vec![0, 0]);
+    assert!(report.metrics[1].copies >= 1);
+}
+
+#[test]
+fn recv_watchdog_converts_hangs_into_panics() {
+    let mut s = spec(2, 1);
+    s.recv_timeout = Some(Duration::from_millis(200));
+    let result = std::panic::catch_unwind(AssertUnwindSafe(|| {
+        run(&s, |ctx| {
+            if ctx.rank() == 0 {
+                // Wrong tag: rank 0 waits for a message that never comes.
+                let _ = ctx.recv(1, 12345);
+            }
+            // Rank 1 exits immediately.
+        })
+    }));
+    assert!(result.is_err(), "hang was not detected");
+}
+
+#[test]
+fn panic_on_one_rank_propagates_without_deadlock() {
+    let result = std::panic::catch_unwind(AssertUnwindSafe(|| {
+        run(&spec(4, 2), |ctx| {
+            if ctx.rank() == 2 {
+                panic!("boom on rank 2");
+            }
+            // Everyone else blocks on a message that never comes.
+            let _ = ctx.recv(2, 99);
+        })
+    }));
+    assert!(result.is_err());
+}
+
+#[test]
+fn self_send_is_free_and_delivered() {
+    let report = run(&spec(2, 1), |ctx| {
+        if ctx.rank() == 0 {
+            let chunk = ctx.my_block(64);
+            ctx.send(0, 42, Parcel::one(Item::Plain(chunk)));
+            let got = ctx.recv(0, 42);
+            (got.items[0].origins()[0], ctx.clock_us())
+        } else {
+            (1, 0.0)
+        }
+    });
+    let (origin, clock) = report.outputs[0];
+    assert_eq!(origin, 0);
+    // Self-loop link: no communication cost charged.
+    assert_eq!(clock, 0.0);
+}
+
+#[test]
+fn self_loop_traffic_is_excluded_from_metrics() {
+    // A rank handing a parcel to itself is a local buffer move; none of
+    // the Table II communication columns may count it.
+    let report = run(&spec(2, 1), |ctx| {
+        if ctx.rank() == 0 {
+            let chunk = ctx.my_block(64);
+            ctx.send(0, 42, Parcel::one(Item::Plain(chunk)));
+            let _ = ctx.recv(0, 42);
+        }
+    });
+    let m = report.metrics[0];
+    assert_eq!(m.bytes_sent, 0, "self-send must not count bytes_sent");
+    assert_eq!(m.payload_sent, 0, "self-send must not count payload_sent");
+    assert_eq!(m.comm_rounds, 0, "self-receive must not count a round");
+    assert_eq!(m.bytes_recv, 0, "self-receive must not count bytes_recv");
+    assert_eq!(
+        m.payload_recv, 0,
+        "self-receive must not count payload_recv"
+    );
+}
+
+#[test]
+fn mixed_self_and_peer_traffic_counts_only_the_peer_leg() {
+    let report = run(&spec(2, 1), |ctx| {
+        if ctx.rank() == 0 {
+            ctx.send(0, 1, Parcel::one(Item::Plain(ctx.my_block(32))));
+            ctx.send(1, 2, Parcel::one(Item::Plain(ctx.my_block(10))));
+            let _ = ctx.recv(0, 1);
+        } else {
+            let _ = ctx.recv(0, 2);
+        }
+    });
+    // Sender: only the 10-byte intra-node leg counts.
+    assert_eq!(report.metrics[0].bytes_sent, 10);
+    assert_eq!(report.metrics[0].comm_rounds, 0);
+    // Receiver: one genuine round.
+    assert_eq!(report.metrics[1].comm_rounds, 1);
+    assert_eq!(report.metrics[1].bytes_recv, 10);
+}
+
+#[test]
+fn recv_watchdog_deadline_is_absolute_not_per_message() {
+    // Rank 1 keeps feeding rank 0 messages with an unrelated tag at a
+    // cadence shorter than the timeout. Under the buggy per-poll
+    // interpretation each arrival restarts the clock and the watchdog
+    // fires only long after the feeder stops; with an absolute deadline
+    // it fires once the limit elapses regardless of traffic.
+    let mut s = spec(2, 1);
+    s.recv_timeout = Some(Duration::from_millis(200));
+    let err = unwrap_err(
+        try_run(&s, |ctx| {
+            if ctx.rank() == 0 {
+                // Waits for a tag that never arrives.
+                let _ = ctx.recv(1, 999);
+            } else {
+                for _ in 0..8 {
+                    std::thread::sleep(Duration::from_millis(60));
+                    ctx.send(0, 1, Parcel::one(Item::Plain(ctx.my_block(1))));
+                }
+            }
+        }),
+        "watchdog did not fire",
+    );
+    // 8 feeds x 60 ms keep a per-poll timer alive past 480 ms; the absolute
+    // deadline fires at ~200 ms. The error's `waited` field records when the
+    // watchdog actually tripped (the run itself only returns once the feeder
+    // thread exits). Generous margin for CI noise.
+    match err.cause {
+        FailureCause::Timeout { src, waited, .. } => {
+            assert_eq!(src, 1);
+            assert!(
+                waited < Duration::from_millis(450),
+                "watchdog waited {waited:?}; deadline is being reset per message"
+            );
+        }
+        other => panic!("expected Timeout, got {other:?}"),
+    }
+}
+
+#[test]
+fn reset_accounting_clears_clock_and_metrics() {
+    let report = run(&spec(2, 1), |ctx| {
+        let sealed = ctx.encrypt(ctx.my_block(100));
+        let _ = ctx.decrypt(sealed);
+        assert!(ctx.clock_us() > 0.0);
+        assert!(ctx.metrics().enc_rounds > 0);
+        ctx.reset_accounting();
+        (ctx.clock_us(), ctx.metrics())
+    });
+    for (clock, metrics) in report.outputs {
+        assert_eq!(clock, 0.0);
+        assert_eq!(metrics, Metrics::default());
+    }
+}
+
+#[test]
+fn charge_helpers_accumulate_copies() {
+    let report = run(&spec(1, 1), |ctx| {
+        ctx.charge_copy(1000);
+        ctx.charge_strided_copy(1000);
+        ctx.metrics()
+    });
+    let m = report.outputs[0];
+    assert_eq!(m.copies, 2);
+    assert_eq!(m.copy_bytes, 2000);
+}
+
+#[test]
+fn phantom_fault_injection_is_inert() {
+    // Legacy corruption only flips real bytes; a phantom run must complete.
+    let mut s = spec(2, 2);
+    s.mode = DataMode::Phantom;
+    s.faults = FaultPlan {
+        corrupt_nth_inter_frame: Some(0),
+        ..FaultPlan::default()
+    };
+    let report = run(&s, |ctx| {
+        if ctx.rank() == 0 {
+            let sealed = ctx.encrypt(ctx.my_block(32));
+            ctx.send(1, 1, Parcel::one(Item::Sealed(sealed)));
+        } else {
+            let got = ctx.recv(0, 1);
+            let _ = ctx.decrypt(got.items[0].clone().into_sealed());
+        }
+    });
+    assert_eq!(report.outputs.len(), 2);
+}
+
+#[test]
+fn epochs_scope_slot_keys() {
+    let report = run(&spec(2, 1), |ctx| {
+        // Same (base, idx) in two epochs must address distinct slots.
+        ctx.begin_collective();
+        let k1 = ctx.slot(7, 0);
+        ctx.begin_collective();
+        let k2 = ctx.slot(7, 0);
+        (k1, k2)
+    });
+    for (k1, k2) in report.outputs {
+        assert_ne!(k1, k2);
+        assert_eq!(k1.1, k2.1);
+    }
+}
+
+#[test]
+fn nic_contention_serializes_when_enabled() {
+    // Two ranks on node 0 both send 1000 B to node 1. Unit model has
+    // infinite NIC bandwidth, so use a custom profile.
+    let mut profile = profile::unit();
+    profile.model.nic_bandwidth = 1.0; // 1 B/µs, same as stream rate
+    let spec = WorldSpec {
+        topology: Topology::new(4, 2, Mapping::Block),
+        profile,
+        mode: DataMode::Phantom,
+        nic_contention: true,
+        capture_wire: false,
+        trace: false,
+        faults: FaultPlan::default(),
+        retry: RetryPolicy::default(),
+        recv_timeout: Some(Duration::from_secs(300)),
+    };
+    let report = run(&spec, |ctx| match ctx.rank() {
+        0 | 1 => {
+            let chunk = ctx.my_block(1000);
+            ctx.send(ctx.rank() + 2, 1, Parcel::one(Item::Plain(chunk)));
+        }
+        r => {
+            let _ = ctx.recv(r - 2, 1);
+        }
+    });
+    // One of the receivers sees its message delayed behind the other's
+    // NIC occupancy: latencies 1001 and 2001.
+    let mut recv_clocks = [report.clocks_us[2], report.clocks_us[3]];
+    recv_clocks.sort_by(f64::total_cmp);
+    assert_eq!(recv_clocks[0], 1001.0);
+    assert_eq!(recv_clocks[1], 2001.0);
+}
+
+// ----- chaos transport --------------------------------------------------
+
+/// A 2-rank, 2-node spec with chaos armed via `fault_nth_inter_frame`.
+fn chaos_spec(kind: FaultKind) -> WorldSpec {
+    let mut s = spec(2, 2);
+    s.faults = FaultPlan {
+        fault_nth_inter_frame: Some((0, kind)),
+        ..FaultPlan::default()
+    };
+    s.retry = fast_retry();
+    s
+}
+
+fn exchange_one(s: &WorldSpec, len: usize) -> RunReport<Vec<u8>> {
+    run(s, move |ctx| {
+        if ctx.rank() == 0 {
+            let chunk = ctx.my_block(len);
+            ctx.send(1, 1, Parcel::one(Item::Plain(chunk)));
+            Vec::new()
+        } else {
+            let parcel = ctx.recv(0, 1);
+            parcel.items[0].clone().into_plain().data.bytes().to_vec()
+        }
+    })
+}
+
+#[test]
+fn dropped_frame_is_nacked_and_retransmitted() {
+    let s = chaos_spec(FaultKind::Drop);
+    let report = exchange_one(&s, 40);
+    assert_eq!(report.outputs[1], crate::payload::pattern_block(1, 0, 40));
+    // The receiver timed out at least once and NACKed; the sender (from its
+    // linger loop) replayed the logged frame.
+    assert!(report.metrics[1].nacks_sent >= 1, "no NACK was issued");
+    assert!(report.metrics[0].retransmits >= 1, "no retransmission");
+    assert_eq!(report.metrics[0].faults_injected, 1);
+    // Accounting separation: the original frame only in bytes_sent, the
+    // replay only in retransmit_bytes.
+    assert_eq!(report.metrics[0].bytes_sent, 40);
+    assert!(report.metrics[0].retransmit_bytes >= 40);
+    assert_eq!(report.metrics[1].bytes_recv, 40);
+}
+
+#[test]
+fn random_tamper_is_caught_by_transport_checksum() {
+    let s = chaos_spec(FaultKind::Tamper);
+    let report = exchange_one(&s, 32);
+    // Recovered: the delivered bytes are the clean pattern.
+    assert_eq!(report.outputs[1], crate::payload::pattern_block(1, 0, 32));
+    assert!(
+        report.metrics[1].faults_detected >= 1,
+        "corruption went undetected"
+    );
+    assert!(report.metrics[0].retransmits >= 1);
+}
+
+#[test]
+fn adversarial_tamper_is_caught_by_hop_verification() {
+    // The adversary recomputes the transport checksum, so only the per-hop
+    // GCM verification of the sealed item can catch the corruption.
+    let mut s = chaos_spec(FaultKind::Tamper);
+    s.faults.adversarial_tamper = true;
+    let report = run(&s, |ctx| {
+        if ctx.rank() == 0 {
+            let sealed = ctx.encrypt(ctx.my_block(48));
+            ctx.send(1, 1, Parcel::one(Item::Sealed(sealed)));
+            Vec::new()
+        } else {
+            let parcel = ctx.recv(0, 1);
+            let chunk = ctx.decrypt(parcel.items[0].clone().into_sealed());
+            chunk.data.bytes().to_vec()
+        }
+    });
+    assert_eq!(report.outputs[1], crate::payload::pattern_block(1, 0, 48));
+    assert!(report.metrics[1].faults_detected >= 1);
+    assert!(report.metrics[0].retransmits >= 1);
+}
+
+#[test]
+fn duplicated_frame_is_deduplicated() {
+    let s = chaos_spec(FaultKind::Duplicate);
+    let report = run(&s, |ctx| {
+        if ctx.rank() == 0 {
+            ctx.send(1, 1, Parcel::one(Item::Plain(ctx.my_block(8))));
+            ctx.send(1, 2, Parcel::one(Item::Plain(ctx.my_block(16))));
+            0
+        } else {
+            // Receiving tag 2 forces the duplicate of tag 1 (queued between
+            // the two originals) through admission, where dedup counts it.
+            let a = ctx.recv(0, 1).wire_len();
+            let b = ctx.recv(0, 2).wire_len();
+            a + b
+        }
+    });
+    assert_eq!(report.outputs[1], 24);
+    assert_eq!(report.metrics[1].dup_frames_dropped, 1);
+    // Exactly two genuine rounds despite three deliveries.
+    assert_eq!(report.metrics[1].comm_rounds, 2);
+    assert_eq!(report.metrics[1].bytes_recv, 24);
+}
+
+#[test]
+fn reordered_frames_are_delivered_in_sequence_order() {
+    // Frame 0 of tag 1 is held back past frame 1 of the same tag; the
+    // receiver must still observe stream order (8 bytes then 16 bytes).
+    let s = chaos_spec(FaultKind::Reorder);
+    let report = run(&s, |ctx| {
+        if ctx.rank() == 0 {
+            ctx.send(1, 1, Parcel::one(Item::Plain(ctx.my_block(8))));
+            ctx.send(1, 1, Parcel::one(Item::Plain(ctx.my_block(16))));
+            (0, 0)
+        } else {
+            let a = ctx.recv(0, 1).wire_len();
+            let b = ctx.recv(0, 1).wire_len();
+            (a, b)
+        }
+    });
+    assert_eq!(report.outputs[1], (8, 16), "stream order was not restored");
+}
+
+#[test]
+fn dead_peer_fails_fast_with_typed_error() {
+    let mut s = spec(2, 1);
+    // No chaos: a finished peer can never send; must fail well before the
+    // 300 s default watchdog.
+    let started = Instant::now();
+    s.recv_timeout = Some(Duration::from_secs(30));
+    let err = unwrap_err(
+        try_run(&s, |ctx| {
+            if ctx.rank() == 0 {
+                ctx.set_phase("demo-phase");
+                let _ = ctx.recv(1, 77);
+            }
+            // Rank 1 exits immediately.
+        }),
+        "missing sender must fail the collective",
+    );
+    assert!(started.elapsed() < Duration::from_secs(5), "not fast");
+    assert_eq!(err.rank, 0);
+    assert_eq!(err.phase, "demo-phase");
+    assert_eq!(err.cause, FailureCause::DeadPeer { peer: 1, tag: 77 });
+}
+
+#[test]
+fn exhausted_retries_fail_with_typed_timeout() {
+    let mut s = spec(2, 1);
+    s.faults = FaultPlan {
+        armed: true,
+        ..FaultPlan::default()
+    };
+    s.retry = RetryPolicy {
+        attempt_timeout: Duration::from_millis(5),
+        max_attempts: 3,
+        backoff: 1.0,
+    };
+    s.recv_timeout = Some(Duration::from_secs(30));
+    let err = unwrap_err(
+        try_run(&s, |ctx| {
+            if ctx.rank() == 0 {
+                let _ = ctx.recv(1, 5);
+            } else {
+                // Alive (so no DeadPeer) but never sending tag 5.
+                std::thread::sleep(Duration::from_millis(300));
+            }
+        }),
+        "silent peer must exhaust the retry budget",
+    );
+    assert_eq!(err.rank, 0);
+    match err.cause {
+        FailureCause::Timeout {
+            src, tag, attempts, ..
+        } => {
+            assert_eq!(src, 1);
+            assert_eq!(tag, 5);
+            assert_eq!(attempts, 3);
+        }
+        other => panic!("expected Timeout, got {other:?}"),
+    }
+}
+
+#[test]
+fn forged_ciphertext_fails_with_typed_auth_error() {
+    // The legacy unrecovered adversary corrupts a sealed frame without
+    // arming recovery: decrypt must raise a typed AuthFailure.
+    let mut s = spec(2, 2);
+    s.faults = FaultPlan {
+        corrupt_nth_inter_frame: Some(0),
+        ..FaultPlan::default()
+    };
+    let err = unwrap_err(
+        try_run(&s, |ctx| {
+            if ctx.rank() == 0 {
+                let sealed = ctx.encrypt(ctx.my_block(24));
+                ctx.send(1, 9, Parcel::one(Item::Sealed(sealed)));
+            } else {
+                let parcel = ctx.recv(0, 9);
+                let _ = ctx.decrypt(parcel.items[0].clone().into_sealed());
+            }
+        }),
+        "forged ciphertext must abort the collective",
+    );
+    assert_eq!(err.rank, 1);
+    assert!(matches!(err.cause, FailureCause::AuthFailure { .. }));
+}
+
+#[test]
+fn try_run_passes_reports_through_on_success() {
+    let report = try_run(&spec(2, 1), |ctx| ctx.rank()).expect("clean run");
+    assert_eq!(report.outputs, vec![0, 1]);
+}
+
+#[test]
+fn armed_framing_at_zero_rate_changes_results_nothing() {
+    // `armed` turns on sequence numbers, checksums, and the retransmit log
+    // without injecting anything: results and traffic metrics must match a
+    // plain run, and no recovery action may fire.
+    let mut s = spec(4, 2);
+    s.faults = FaultPlan {
+        armed: true,
+        ..FaultPlan::default()
+    };
+    s.retry = fast_retry();
+    let run_ring = |s: &WorldSpec| {
+        run(s, |ctx| {
+            let p = ctx.p();
+            let next = (ctx.rank() + 1) % p;
+            let prev = (ctx.rank() + p - 1) % p;
+            let mut got = Vec::new();
+            let mut cur = Parcel::one(Item::Plain(ctx.my_block(16)));
+            for _ in 0..p - 1 {
+                cur = ctx.sendrecv(next, prev, 3, cur);
+                got.push(cur.items[0].origins()[0]);
+            }
+            got
+        })
+    };
+    let armed = run_ring(&s);
+    let plain = run_ring(&spec(4, 2));
+    assert_eq!(armed.outputs, plain.outputs);
+    for (a, b) in armed.metrics.iter().zip(plain.metrics.iter()) {
+        assert_eq!(a.bytes_sent, b.bytes_sent);
+        assert_eq!(a.comm_rounds, b.comm_rounds);
+        assert_eq!(a.retries(), 0);
+        assert_eq!(a.faults_injected, 0);
+        assert_eq!(a.faults_detected, 0);
+    }
+}
+
+#[test]
+fn rate_based_chaos_recovers_a_multi_frame_stream() {
+    // Aggressive rates over a long stream: every frame must still arrive,
+    // in order, with clean bytes.
+    let mut s = spec(2, 2);
+    s.faults = FaultPlan {
+        seed: 0xC0FFEE,
+        drop_permille: 100,
+        tamper_permille: 100,
+        duplicate_permille: 50,
+        reorder_permille: 50,
+        delay_permille: 50,
+        ..FaultPlan::default()
+    };
+    s.retry = fast_retry();
+    let n = 40usize;
+    let report = run(&s, move |ctx| {
+        if ctx.rank() == 0 {
+            for i in 0..n {
+                ctx.send(1, 4, Parcel::one(Item::Plain(ctx.my_block(8 + i))));
+            }
+            Vec::new()
+        } else {
+            (0..n).map(|_| ctx.recv(0, 4).wire_len()).collect()
+        }
+    });
+    let want: Vec<usize> = (0..n).map(|i| 8 + i).collect();
+    assert_eq!(report.outputs[1], want, "stream corrupted or misordered");
+    assert!(
+        report.metrics[0].faults_injected > 0,
+        "rates injected nothing — weak test"
+    );
+    assert!(report.metrics[1].retries() > 0);
+    // Traffic metrics stay fault-independent.
+    let sent: usize = want.iter().sum();
+    assert_eq!(report.metrics[0].bytes_sent as usize, sent);
+    assert_eq!(report.metrics[1].bytes_recv as usize, sent);
+    assert_eq!(report.metrics[1].comm_rounds as usize, n);
+}

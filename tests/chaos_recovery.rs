@@ -1,0 +1,114 @@
+//! Chaos recovery: the issue's acceptance criteria for the fault-injection
+//! layer, always-on (no `chaos` feature needed).
+//!
+//! * At the canonical mix (drop 1% + tamper 1%, fixed seed) every encrypted
+//!   algorithm at p = 16 finishes byte-identical to its fault-free run with
+//!   non-zero retry counts.
+//! * Property: any *single* injected fault — one dropped or one tampered
+//!   frame at a random position — is recovered by every encrypted algorithm
+//!   at p ∈ {4, 8, 16}.
+//! * A receive from a rank that exited early fails fast with a typed
+//!   `DeadPeer` error carrying the algorithm name as its phase, instead of
+//!   hanging.
+
+use eag_core::{allgather, Algorithm};
+use eag_integration::{chaos_run, chaos_spec};
+use eag_netsim::{FaultKind, FaultPlan};
+use eag_runtime::{try_run, FailureCause};
+use proptest::prelude::*;
+
+/// The fixed seed of the acceptance run (also CI's `chaos_sweep` default).
+const ACCEPT_SEED: u64 = 0xC0FFEE;
+
+#[test]
+fn canonical_mix_all_encrypted_algorithms_recover_byte_identical() {
+    let plan = FaultPlan::drop_and_tamper(10, 10, ACCEPT_SEED);
+    for &algo in Algorithm::encrypted_all() {
+        let r = chaos_run(algo, 16, 8, 128, plan);
+        assert!(
+            r.byte_identical,
+            "{algo} not byte-identical under drop 1% + tamper 1%: {:?}",
+            r.error
+        );
+        assert!(
+            r.faults_injected > 0,
+            "{algo}: seed {ACCEPT_SEED:#x} injected no faults — acceptance run is vacuous"
+        );
+        assert!(
+            r.retries > 0,
+            "{algo}: faults were injected but no retries recorded"
+        );
+    }
+}
+
+#[test]
+fn adversarial_tamper_is_recovered_by_hop_verification() {
+    // Checksum-evading tamper: only the per-hop GCM check can catch it.
+    let mut plan = FaultPlan::only(FaultKind::Tamper, 20, ACCEPT_SEED);
+    plan.adversarial_tamper = true;
+    for &algo in Algorithm::encrypted_all() {
+        let r = chaos_run(algo, 16, 8, 128, plan);
+        assert!(
+            r.byte_identical,
+            "{algo} not byte-identical under adversarial tamper: {:?}",
+            r.error
+        );
+    }
+}
+
+#[test]
+fn dead_peer_during_collective_fails_with_typed_error_and_phase() {
+    // Rank 1 exits without participating; its ring neighbour must fail fast
+    // with a structured DeadPeer error whose phase names the algorithm.
+    let spec = chaos_spec(4, 2, FaultPlan::default());
+    let err = try_run(&spec, |ctx| {
+        if ctx.rank() == 1 {
+            return Vec::new();
+        }
+        allgather(ctx, Algorithm::ORing, 64)
+            .into_blocks()
+            .into_iter()
+            .flat_map(|b| b.data.bytes().to_vec())
+            .collect::<Vec<u8>>()
+    })
+    .err()
+    .expect("collective with an absent rank must not succeed");
+    assert_eq!(err.phase, "O-Ring", "phase should name the algorithm");
+    match err.cause {
+        FailureCause::DeadPeer { peer, .. } => assert_eq!(peer, 1),
+        other => panic!("expected DeadPeer, got {other}"),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 24,
+        ..ProptestConfig::default()
+    })]
+
+    /// Any single fault — one dropped or one tampered inter-node frame at a
+    /// random position — is recovered by every encrypted algorithm, at
+    /// p ∈ {4, 8, 16}, with output byte-identical to the fault-free run.
+    #[test]
+    fn any_single_fault_is_recovered(
+        algo_ix in 0..Algorithm::encrypted_all().len(),
+        p_ix in 0..3usize,
+        nth in 0u64..12,
+        tamper in any::<bool>(),
+    ) {
+        let algo = Algorithm::encrypted_all()[algo_ix];
+        let (p, nodes) = [(4, 2), (8, 4), (16, 8)][p_ix];
+        let kind = if tamper { FaultKind::Tamper } else { FaultKind::Drop };
+        let plan = FaultPlan {
+            fault_nth_inter_frame: Some((nth, kind)),
+            ..FaultPlan::default()
+        };
+        let r = chaos_run(algo, p, nodes, 64, plan);
+        prop_assert!(
+            r.byte_identical,
+            "{algo} at p={p} did not recover a single {} of inter frame {nth}: {:?}",
+            kind.label(),
+            r.error
+        );
+    }
+}

@@ -99,6 +99,7 @@ fn corrupting_any_early_frame_aborts_encrypted_collectives() {
             );
             spec.faults = FaultPlan {
                 corrupt_nth_inter_frame: Some(frame),
+                ..FaultPlan::default()
             };
             let result = catch_unwind(AssertUnwindSafe(|| {
                 run(&spec, move |ctx| {
@@ -125,6 +126,7 @@ fn corruption_is_silent_without_encryption() {
     );
     spec.faults = FaultPlan {
         corrupt_nth_inter_frame: Some(0),
+        ..FaultPlan::default()
     };
     let report = run(&spec, |ctx| {
         let out = allgather(ctx, Algorithm::Ring, 128);
