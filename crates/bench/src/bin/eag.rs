@@ -2,9 +2,12 @@
 //!
 //! ```text
 //! eag run        --algo HS2 --p 128 --nodes 8 --size 4KB [--mapping cyclic]
-//!                [--profile bridges2] [--real] [--trace]
+//!                [--profile bridges2] [--real] [--trace] [--json out.json]
 //! eag sweep      --p 128 --nodes 8 [--mapping block] [--profile noleland]
 //!                [--sizes 1B,1KB,64KB,1MB]
+//! eag bench      [--json BENCH_noleland.json] [--probe]
+//! eag regress    --baseline BENCH_noleland.json [--current BENCH_ci.json]
+//!                [--threshold 10] [--confidence 0.95]
 //! eag recommend  --p 128 --nodes 8 --size 64KB [--profile noleland]
 //! eag audit      --p 12 --nodes 3 [--size 256B]
 //! eag list
@@ -35,6 +38,8 @@ fn main() -> ExitCode {
     let result = match command.as_str() {
         "run" => cmd_run(&opts),
         "sweep" => cmd_sweep(&opts),
+        "bench" => cmd_bench(&opts),
+        "regress" => cmd_regress(&opts),
         "recommend" => cmd_recommend(&opts),
         "audit" => cmd_audit(&opts),
         "calibrate" => cmd_calibrate(&opts),
@@ -59,6 +64,15 @@ commands:
              --chrome-trace out.json)
   sweep      best-scheme table across sizes (--p, --nodes; optional
              --mapping, --profile, --sizes 1B,1KB,…, --csv out.csv)
+  bench      run the fixed deterministic smoke suite and emit the
+             machine-readable report (--json PATH or '-' for stdout;
+             --probe adds wall-clock crypto throughput — never commit
+             probed reports as baselines)
+  regress    gate a report against a baseline (--baseline BENCH_x.json;
+             optional --current BENCH_y.json, else the baseline's suite is
+             re-run; --threshold pct, --confidence 0..1). Exits nonzero on
+             a statistically significant regression, metric drift, or
+             missing entries
   recommend  model-driven algorithm pick (--p, --nodes, --size)
   audit      wiretap security audit of all encrypted algorithms
              (--p, --nodes; optional --size)
@@ -80,7 +94,7 @@ impl Options {
                 return Err(format!("unexpected argument {arg:?}"));
             };
             // Boolean flags.
-            if matches!(name, "real" | "trace") {
+            if matches!(name, "real" | "trace" | "probe") {
                 flags.insert(name.to_string(), "true".to_string());
                 continue;
             }
@@ -121,6 +135,13 @@ impl Options {
 
     fn bool_of(&self, name: &str) -> bool {
         self.flags.contains_key(name)
+    }
+
+    fn f64_of(&self, name: &str, default: f64) -> Result<f64, String> {
+        match self.flags.get(name) {
+            None => Ok(default),
+            Some(v) => v.parse().map_err(|_| format!("--{name}: bad number {v:?}")),
+        }
     }
 
     /// Parses and validates --p / --nodes.
@@ -200,7 +221,126 @@ fn cmd_run(opts: &Options) -> Result<(), String> {
             println!("chrome trace written to {path} (open in chrome://tracing)");
         }
     }
+    if let Some(path) = opts.flags.get("json") {
+        // Machine-readable single-entry report: re-measured through the
+        // harness (reps + metrics) so the JSON matches what `eag bench`
+        // would emit for this cell.
+        let case = eag_bench::report::SuiteCase {
+            cfg: SimConfig {
+                p,
+                nodes,
+                mapping,
+                profile: opts.profile_name(),
+                reps: opts.usize_of("reps", 3)?,
+                nic_contention: spec.nic_contention,
+            },
+            algo,
+            msg_bytes: m,
+        };
+        let bench = eag_bench::report::run_suite("run", &opts.profile_name(), &[case]);
+        write_report(&bench, path)?;
+    }
     Ok(())
+}
+
+/// Writes a report as JSON to `path`, or to stdout when `path` is `-`.
+fn write_report(report: &eag_bench::BenchReport, path: &str) -> Result<(), String> {
+    let json = report.to_json();
+    if path == "-" {
+        print!("{json}");
+    } else {
+        std::fs::write(path, &json).map_err(|e| format!("writing {path}: {e}"))?;
+        println!(
+            "bench report written to {path} ({} entries{})",
+            report.entries.len(),
+            if report.deterministic {
+                ", deterministic"
+            } else {
+                ", NOT deterministic — do not commit as a baseline"
+            }
+        );
+    }
+    Ok(())
+}
+
+fn cmd_bench(opts: &Options) -> Result<(), String> {
+    let mut report = eag_bench::report::run_smoke_suite();
+    if opts.bool_of("probe") {
+        let points =
+            eag_crypto::probe::probe_throughput(&eag_crypto::probe::DEFAULT_PROBE_SIZES, 0.05);
+        report = report.with_crypto(eag_bench::report::CryptoProbe {
+            points: points
+                .iter()
+                .map(|p| eag_bench::report::CryptoProbePoint {
+                    msg_bytes: p.msg_bytes as u64,
+                    seal_mb_per_s: p.seal_mb_per_s,
+                    open_mb_per_s: p.open_mb_per_s,
+                })
+                .collect(),
+        });
+    }
+    let path = opts.flags.get("json").map(String::as_str).unwrap_or("-");
+    write_report(&report, path)
+}
+
+fn cmd_regress(opts: &Options) -> Result<(), String> {
+    let baseline_path = opts
+        .flags
+        .get("baseline")
+        .ok_or("regress needs --baseline BENCH_<profile>.json")?;
+    let baseline_text = std::fs::read_to_string(baseline_path)
+        .map_err(|e| format!("reading {baseline_path}: {e}"))?;
+    let baseline = eag_bench::BenchReport::from_json(&baseline_text)
+        .map_err(|e| format!("{baseline_path}: {e}"))?;
+    let current = match opts.flags.get("current") {
+        Some(path) => {
+            let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+            eag_bench::BenchReport::from_json(&text).map_err(|e| format!("{path}: {e}"))?
+        }
+        None => {
+            println!(
+                "re-running suite {:?} ({} cases) from the baseline…",
+                baseline.suite,
+                baseline.entries.len()
+            );
+            let cases = eag_bench::report::suite_from_report(&baseline)?;
+            eag_bench::report::run_suite(&baseline.suite, &baseline.profile, &cases)
+        }
+    };
+    let gate = eag_bench::regress::GateConfig {
+        threshold_pct: opts.f64_of("threshold", 10.0)?,
+        confidence: opts.f64_of("confidence", 0.95)?,
+    };
+    if !(0.5..1.0).contains(&gate.confidence) {
+        return Err(format!(
+            "--confidence must be in [0.5, 1.0), got {}",
+            gate.confidence
+        ));
+    }
+    let out = eag_bench::regress::compare(&baseline, &current, &gate);
+    for c in &out.comparisons {
+        println!("{c}");
+    }
+    use eag_bench::regress::Verdict;
+    println!(
+        "gate: {} compared, {} regressed, {} improved, {} metric drift, {} unmatched \
+         (threshold {}%, confidence {})",
+        out.comparisons.len(),
+        out.count(&Verdict::Regressed),
+        out.count(&Verdict::Improved),
+        out.count(&Verdict::MetricsDrift),
+        out.count(&Verdict::Unmatched),
+        gate.threshold_pct,
+        gate.confidence
+    );
+    if out.pass {
+        println!("PASS");
+        Ok(())
+    } else {
+        // Not a usage error: fail without re-printing the usage text.
+        eprintln!("error: regression gate FAILED");
+        std::process::exit(1);
+    }
 }
 
 fn cmd_sweep(opts: &Options) -> Result<(), String> {

@@ -96,6 +96,33 @@ pub fn simulate(cfg: &SimConfig, algo: Algorithm, m: usize) -> Stats {
     Stats::of(&samples)
 }
 
+/// Simulates `algo` under `cfg` and returns the raw per-rep latency samples
+/// (µs, in run order) together with the critical-path [`Metrics`] of the
+/// first run. The machine-readable report pipeline uses this so the JSON can
+/// carry both the summary statistics *and* the samples they came from.
+///
+/// [`Metrics`]: eag_runtime::Metrics
+pub fn simulate_samples(
+    cfg: &SimConfig,
+    algo: Algorithm,
+    m: usize,
+) -> (Vec<f64>, eag_runtime::Metrics) {
+    let spec = cfg.world_spec();
+    let mut samples = Vec::with_capacity(cfg.reps.max(1));
+    let mut metrics = None;
+    for _ in 0..cfg.reps.max(1) {
+        let report = run(&spec, move |ctx| {
+            let out = allgather(ctx, algo, m);
+            debug_assert!(out.is_complete());
+        });
+        samples.push(report.latency_us);
+        if metrics.is_none() {
+            metrics = Some(report.max_metrics());
+        }
+    }
+    (samples, metrics.expect("at least one rep"))
+}
+
 /// Simulates and also returns the critical-path metrics (single run).
 pub fn simulate_with_metrics(
     cfg: &SimConfig,

@@ -27,8 +27,11 @@ pub mod figures;
 pub mod fmt;
 pub mod harness;
 pub mod paper;
+pub mod regress;
+pub mod report;
 pub mod stats;
 pub mod tables;
 
 pub use harness::{simulate, SimConfig};
+pub use report::BenchReport;
 pub use stats::Stats;

@@ -1,0 +1,449 @@
+//! Statistical regression gating between two benchmark reports.
+//!
+//! `eag regress --baseline BENCH_x.json` compares a current report against
+//! a committed baseline entry-by-entry and fails (nonzero exit) only when a
+//! latency regression is **both** large (mean slowdown beyond a threshold)
+//! **and** statistically significant (a Welch two-sample t-test rejects
+//! "same mean" at the configured confidence). Requiring both keeps the gate
+//! from flapping on noise while still catching real slowdowns; on the
+//! deterministic smoke suite the per-entry standard deviation is 0 and the
+//! test degenerates to an exact mean comparison, so an identical re-run
+//! always passes and any genuine slowdown beyond the threshold always
+//! fails.
+//!
+//! Metric drift (the paper's six cost counters changing at all) is reported
+//! as a failure too: those counters are exact algorithm properties, so any
+//! change is a behavioral change, not noise.
+
+use crate::report::{BenchEntry, BenchReport};
+use std::fmt;
+
+/// Gate configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct GateConfig {
+    /// Mean slowdown (percent) tolerated before an entry can fail the
+    /// gate. Speedups never fail.
+    pub threshold_pct: f64,
+    /// Confidence level for the Welch t-test (e.g. `0.95`). A slowdown
+    /// only fails the gate if it is significant at this level — except
+    /// when both sides have zero variance, where means are compared
+    /// directly.
+    pub confidence: f64,
+}
+
+impl Default for GateConfig {
+    fn default() -> Self {
+        GateConfig {
+            threshold_pct: 10.0,
+            confidence: 0.95,
+        }
+    }
+}
+
+/// Why one entry passed or failed.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Verdict {
+    /// Within threshold, or slower but not statistically significant.
+    Pass,
+    /// Faster than baseline beyond the threshold (reported, never fails).
+    Improved,
+    /// Slower than baseline beyond the threshold and significant.
+    Regressed,
+    /// The paper's cost metrics changed — a behavioral change.
+    MetricsDrift,
+    /// Present in only one of the two reports.
+    Unmatched,
+}
+
+/// Comparison outcome for one entry.
+#[derive(Debug, Clone)]
+pub struct EntryComparison {
+    /// Identity of the compared entry, e.g. `hs2 p=16 block 1024B`.
+    pub label: String,
+    /// Baseline mean latency (µs); NaN when unmatched.
+    pub baseline_mean_us: f64,
+    /// Current mean latency (µs); NaN when unmatched.
+    pub current_mean_us: f64,
+    /// Mean latency change in percent (positive = slower).
+    pub delta_pct: f64,
+    /// Welch t statistic of the comparison (0 when both stds are zero).
+    pub t_stat: f64,
+    /// Whether the latency difference is statistically significant.
+    pub significant: bool,
+    /// The verdict.
+    pub verdict: Verdict,
+}
+
+impl fmt::Display for EntryComparison {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{:<34} {:>12.3} -> {:>12.3} µs  {:>+8.2}%  {}",
+            self.label,
+            self.baseline_mean_us,
+            self.current_mean_us,
+            self.delta_pct,
+            match self.verdict {
+                Verdict::Pass => "ok",
+                Verdict::Improved => "IMPROVED",
+                Verdict::Regressed => "REGRESSED",
+                Verdict::MetricsDrift => "METRICS DRIFT",
+                Verdict::Unmatched => "UNMATCHED",
+            }
+        )
+    }
+}
+
+/// Full gate outcome.
+#[derive(Debug, Clone)]
+pub struct GateReport {
+    /// Per-entry comparisons, in current-report order (then baseline-only
+    /// leftovers).
+    pub comparisons: Vec<EntryComparison>,
+    /// Overall pass/fail: fails on any `Regressed`, `MetricsDrift`, or
+    /// `Unmatched` entry.
+    pub pass: bool,
+}
+
+impl GateReport {
+    /// Count of entries with the given verdict.
+    pub fn count(&self, verdict: &Verdict) -> usize {
+        self.comparisons
+            .iter()
+            .filter(|c| c.verdict == *verdict)
+            .count()
+    }
+}
+
+fn entry_label(e: &BenchEntry) -> String {
+    format!("{} p={} {:?} {}B", e.algorithm, e.p, e.mapping, e.msg_bytes)
+}
+
+/// Compares `current` against `baseline` under `gate`.
+pub fn compare(baseline: &BenchReport, current: &BenchReport, gate: &GateConfig) -> GateReport {
+    let mut comparisons = Vec::new();
+    for cur in &current.entries {
+        match baseline.find_matching(cur) {
+            Some(base) => comparisons.push(compare_entry(base, cur, gate)),
+            None => comparisons.push(unmatched(cur, "missing from baseline")),
+        }
+    }
+    for base in &baseline.entries {
+        if current.find_matching(base).is_none() {
+            comparisons.push(unmatched(base, "missing from current"));
+        }
+    }
+    let pass = comparisons
+        .iter()
+        .all(|c| matches!(c.verdict, Verdict::Pass | Verdict::Improved));
+    GateReport { comparisons, pass }
+}
+
+fn unmatched(e: &BenchEntry, why: &str) -> EntryComparison {
+    EntryComparison {
+        label: format!("{} ({why})", entry_label(e)),
+        baseline_mean_us: f64::NAN,
+        current_mean_us: f64::NAN,
+        delta_pct: f64::NAN,
+        t_stat: f64::NAN,
+        significant: false,
+        verdict: Verdict::Unmatched,
+    }
+}
+
+/// Compares one matched entry pair.
+pub fn compare_entry(base: &BenchEntry, cur: &BenchEntry, gate: &GateConfig) -> EntryComparison {
+    let b = &base.latency;
+    let c = &cur.latency;
+    let delta_pct = if b.mean_us == 0.0 {
+        0.0
+    } else {
+        (c.mean_us / b.mean_us - 1.0) * 100.0
+    };
+    let (t_stat, significant) = welch_significant(
+        b.mean_us,
+        b.std_dev_us,
+        b.n as usize,
+        c.mean_us,
+        c.std_dev_us,
+        c.n as usize,
+        gate.confidence,
+    );
+    let verdict = if cur.metrics != base.metrics {
+        Verdict::MetricsDrift
+    } else if delta_pct > gate.threshold_pct && significant {
+        Verdict::Regressed
+    } else if delta_pct < -gate.threshold_pct && significant {
+        Verdict::Improved
+    } else {
+        Verdict::Pass
+    };
+    EntryComparison {
+        label: entry_label(cur),
+        baseline_mean_us: b.mean_us,
+        current_mean_us: c.mean_us,
+        delta_pct,
+        t_stat,
+        significant,
+        verdict,
+    }
+}
+
+/// Welch two-sample t-test: returns `(t, significant)` for the hypothesis
+/// "the two means differ" at confidence level `confidence`.
+///
+/// When both standard deviations are zero (deterministic virtual-time
+/// runs), any difference in means is exact and therefore significant; equal
+/// means are not. With variance on either side, computes the Welch t
+/// statistic and the Welch–Satterthwaite degrees of freedom, and compares
+/// `|t|` against the two-sided Student-t critical value.
+pub fn welch_significant(
+    mean_a: f64,
+    std_a: f64,
+    n_a: usize,
+    mean_b: f64,
+    std_b: f64,
+    n_b: usize,
+    confidence: f64,
+) -> (f64, bool) {
+    let va = std_a * std_a / n_a.max(1) as f64;
+    let vb = std_b * std_b / n_b.max(1) as f64;
+    let pooled = va + vb;
+    if pooled == 0.0 {
+        // Deterministic on both sides: an exact comparison.
+        return (0.0, mean_a != mean_b);
+    }
+    let t = (mean_b - mean_a) / pooled.sqrt();
+    // Welch–Satterthwaite degrees of freedom.
+    let df_den = if n_a > 1 {
+        va * va / (n_a - 1) as f64
+    } else {
+        f64::INFINITY
+    } + if n_b > 1 {
+        vb * vb / (n_b - 1) as f64
+    } else {
+        f64::INFINITY
+    };
+    let df = if df_den.is_finite() && df_den > 0.0 {
+        (pooled * pooled) / df_den
+    } else {
+        1.0
+    };
+    let crit = student_t_critical(confidence, df);
+    (t, t.abs() > crit)
+}
+
+/// Two-sided Student-t critical value at `confidence` with `df` degrees of
+/// freedom, via the Cornish–Fisher expansion of the normal quantile. Exact
+/// enough for gating (absolute error < 0.02 for df >= 2 at the confidence
+/// levels used here).
+pub fn student_t_critical(confidence: f64, df: f64) -> f64 {
+    let alpha = (1.0 - confidence).clamp(1e-9, 1.0);
+    let z = normal_quantile(1.0 - alpha / 2.0);
+    if !df.is_finite() || df > 1e6 {
+        return z;
+    }
+    let df = df.max(1.0);
+    // Cornish–Fisher / Peiser expansion of t in powers of 1/df.
+    let z3 = z * z * z;
+    let z5 = z3 * z * z;
+    let z7 = z5 * z * z;
+    z + (z3 + z) / (4.0 * df)
+        + (5.0 * z5 + 16.0 * z3 + 3.0 * z) / (96.0 * df * df)
+        + (3.0 * z7 + 19.0 * z5 + 17.0 * z3 - 15.0 * z) / (384.0 * df * df * df)
+}
+
+/// Standard normal quantile (inverse CDF) via the Acklam rational
+/// approximation (relative error < 1.15e-9 over (0, 1)).
+pub fn normal_quantile(p: f64) -> f64 {
+    assert!(p > 0.0 && p < 1.0, "quantile requires 0 < p < 1, got {p}");
+    const A: [f64; 6] = [
+        -3.969683028665376e+01,
+        2.209460984245205e+02,
+        -2.759285104469687e+02,
+        1.38357751867269e+02,
+        -3.066479806614716e+01,
+        2.506628277459239e+00,
+    ];
+    const B: [f64; 5] = [
+        -5.447609879822406e+01,
+        1.615858368580409e+02,
+        -1.556989798598866e+02,
+        6.680131188771972e+01,
+        -1.328068155288572e+01,
+    ];
+    const C: [f64; 6] = [
+        -7.784894002430293e-03,
+        -3.223964580411365e-01,
+        -2.400758277161838e+00,
+        -2.549732539343734e+00,
+        4.374664141464968e+00,
+        2.938163982698783e+00,
+    ];
+    const D: [f64; 4] = [
+        7.784695709041462e-03,
+        3.224671290700398e-01,
+        2.445134137142996e+00,
+        3.754408661907416e+00,
+    ];
+    const P_LOW: f64 = 0.02425;
+    if p < P_LOW {
+        let q = (-2.0 * p.ln()).sqrt();
+        (((((C[0] * q + C[1]) * q + C[2]) * q + C[3]) * q + C[4]) * q + C[5])
+            / ((((D[0] * q + D[1]) * q + D[2]) * q + D[3]) * q + 1.0)
+    } else if p <= 1.0 - P_LOW {
+        let q = p - 0.5;
+        let r = q * q;
+        (((((A[0] * r + A[1]) * r + A[2]) * r + A[3]) * r + A[4]) * r + A[5]) * q
+            / (((((B[0] * r + B[1]) * r + B[2]) * r + B[3]) * r + B[4]) * r + 1.0)
+    } else {
+        -normal_quantile(1.0 - p)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::report::{run_suite, SuiteCase};
+    use crate::SimConfig;
+    use eag_core::Algorithm;
+    use eag_netsim::Mapping;
+
+    fn tiny_report() -> BenchReport {
+        let cfg = SimConfig {
+            p: 8,
+            nodes: 2,
+            mapping: Mapping::Block,
+            profile: "noleland".into(),
+            reps: 3,
+            nic_contention: false,
+        };
+        run_suite(
+            "unit",
+            "noleland",
+            &[
+                SuiteCase {
+                    cfg: cfg.clone(),
+                    algo: Algorithm::Hs1,
+                    msg_bytes: 1024,
+                },
+                SuiteCase {
+                    cfg,
+                    algo: Algorithm::ORd,
+                    msg_bytes: 1024,
+                },
+            ],
+        )
+    }
+
+    #[test]
+    fn identical_rerun_passes() {
+        let base = tiny_report();
+        let cur = tiny_report();
+        let gate = GateConfig::default();
+        let out = compare(&base, &cur, &gate);
+        assert!(out.pass, "{:#?}", out.comparisons);
+    }
+
+    #[test]
+    fn twenty_percent_slowdown_fails() {
+        let base = tiny_report();
+        let mut cur = base.clone();
+        for e in &mut cur.entries {
+            e.latency.mean_us *= 1.20;
+            e.latency.median_us *= 1.20;
+            for s in &mut e.latency.samples_us {
+                *s *= 1.20;
+            }
+        }
+        let out = compare(&base, &cur, &GateConfig::default());
+        assert!(!out.pass);
+        assert_eq!(out.count(&Verdict::Regressed), base.entries.len());
+    }
+
+    #[test]
+    fn small_shift_within_threshold_passes() {
+        let base = tiny_report();
+        let mut cur = base.clone();
+        for e in &mut cur.entries {
+            e.latency.mean_us *= 1.05; // 5% < 10% threshold
+        }
+        let out = compare(&base, &cur, &GateConfig::default());
+        assert!(out.pass, "{:#?}", out.comparisons);
+    }
+
+    #[test]
+    fn noisy_overlap_does_not_flap() {
+        // Same underlying distribution, slightly different sample means,
+        // large overlapping variance: must not be significant.
+        let base = tiny_report();
+        let mut cur = base.clone();
+        let e = &mut cur.entries[0];
+        e.latency.mean_us *= 1.15; // above threshold...
+        e.latency.std_dev_us = e.latency.mean_us; // ...but huge noise
+        let mut base2 = base.clone();
+        base2.entries[0].latency.std_dev_us = base2.entries[0].latency.mean_us;
+        let out = compare(&base2, &cur, &GateConfig::default());
+        assert!(out.pass, "{:#?}", out.comparisons);
+    }
+
+    #[test]
+    fn metrics_drift_fails() {
+        let base = tiny_report();
+        let mut cur = base.clone();
+        cur.entries[0].metrics.enc_rounds += 1;
+        let out = compare(&base, &cur, &GateConfig::default());
+        assert!(!out.pass);
+        assert_eq!(out.count(&Verdict::MetricsDrift), 1);
+    }
+
+    #[test]
+    fn unmatched_entries_fail() {
+        let base = tiny_report();
+        let mut cur = base.clone();
+        cur.entries.pop();
+        let out = compare(&base, &cur, &GateConfig::default());
+        assert!(!out.pass);
+        assert_eq!(out.count(&Verdict::Unmatched), 1);
+    }
+
+    #[test]
+    fn improvement_never_fails() {
+        let base = tiny_report();
+        let mut cur = base.clone();
+        for e in &mut cur.entries {
+            e.latency.mean_us *= 0.5;
+        }
+        let out = compare(&base, &cur, &GateConfig::default());
+        assert!(out.pass);
+        assert_eq!(out.count(&Verdict::Improved), base.entries.len());
+    }
+
+    #[test]
+    fn normal_quantile_matches_known_values() {
+        assert!((normal_quantile(0.975) - 1.959964).abs() < 1e-4);
+        assert!((normal_quantile(0.995) - 2.575829).abs() < 1e-4);
+        assert!((normal_quantile(0.5)).abs() < 1e-8);
+        assert!((normal_quantile(0.025) + 1.959964).abs() < 1e-4);
+    }
+
+    #[test]
+    fn t_critical_matches_tables() {
+        // Two-sided 95%: df=4 -> 2.776, df=10 -> 2.228, df=30 -> 2.042.
+        assert!((student_t_critical(0.95, 4.0) - 2.776).abs() < 0.05);
+        assert!((student_t_critical(0.95, 10.0) - 2.228).abs() < 0.02);
+        assert!((student_t_critical(0.95, 30.0) - 2.042).abs() < 0.01);
+        // Large df converges to the normal quantile.
+        assert!((student_t_critical(0.95, 1e9) - 1.959964).abs() < 1e-3);
+    }
+
+    #[test]
+    fn welch_detects_separated_means_with_small_noise() {
+        // 100 vs 120 with std 1, n=3 each: hugely significant.
+        let (t, sig) = welch_significant(100.0, 1.0, 3, 120.0, 1.0, 3, 0.95);
+        assert!(sig, "t={t}");
+        // 100 vs 101 with std 50: not significant.
+        let (_, sig) = welch_significant(100.0, 50.0, 3, 101.0, 50.0, 3, 0.95);
+        assert!(!sig);
+    }
+}

@@ -1,0 +1,423 @@
+//! Machine-readable benchmark reports.
+//!
+//! Everything the human-readable tables print — per-configuration latency
+//! statistics, the six per-algorithm cost metrics of the paper's Table II,
+//! and (optionally) real wall-clock crypto throughput — serialized into a
+//! stable, versioned JSON schema (`BENCH_<profile>.json`) that the
+//! [`regress`](crate::regress) gate and CI can consume.
+//!
+//! The committed baseline is produced by [`run_smoke_suite`], which runs a
+//! fixed-seed, contention-free suite: on the virtual-time simulator such
+//! runs are *bit-deterministic* (pure `f64` arithmetic, no wall clock, no
+//! arrival-order races), so the serialized report is byte-identical across
+//! machines and re-runs. Wall-clock crypto probes are inherently noisy and
+//! therefore excluded from the deterministic suite; attach them explicitly
+//! via [`BenchReport::with_crypto`] when measuring, and never commit them
+//! into a gating baseline.
+
+use crate::harness::{simulate_samples, SimConfig};
+use crate::stats::Stats;
+use eag_core::Algorithm;
+use eag_netsim::Mapping;
+use eag_runtime::Metrics;
+use serde::{Deserialize, Serialize};
+
+/// Version of the JSON schema emitted by [`BenchReport`]. Bump on any
+/// breaking change to the field layout; [`BenchReport::from_json`] rejects
+/// mismatched versions instead of misreading them.
+pub const SCHEMA_VERSION: u64 = 1;
+
+/// A complete benchmark report: one entry per (algorithm, configuration,
+/// message size) plus optional wall-clock crypto throughput.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BenchReport {
+    /// Schema version ([`SCHEMA_VERSION`] at write time).
+    pub schema_version: u64,
+    /// Name of the suite that produced this report (e.g. `"smoke"`).
+    pub suite: String,
+    /// Cluster profile every entry ran on (e.g. `"noleland"`).
+    pub profile: String,
+    /// True when every entry is bit-deterministic (no NIC contention, no
+    /// wall-clock probes): a regress gate against such a baseline expects
+    /// *exact* reproduction, not just statistical agreement.
+    pub deterministic: bool,
+    /// One entry per benchmarked (algorithm, config, message size).
+    pub entries: Vec<BenchEntry>,
+    /// Real wall-clock AES-GCM throughput, if probed (`--probe`). Always
+    /// `None` in committed baselines — wall-clock numbers are machine- and
+    /// load-dependent.
+    pub crypto: Option<CryptoProbe>,
+}
+
+/// One benchmarked (algorithm, configuration, message size) cell.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BenchEntry {
+    /// Algorithm name as accepted by `Algorithm::by_name` (e.g. `"hs2"`).
+    pub algorithm: String,
+    /// Number of processes.
+    pub p: u64,
+    /// Number of nodes.
+    pub nodes: u64,
+    /// Process-to-node mapping.
+    pub mapping: Mapping,
+    /// Per-process message size in bytes (the paper's `m`).
+    pub msg_bytes: u64,
+    /// Repetitions the latency statistics summarize.
+    pub reps: u64,
+    /// Whether per-node NIC bandwidth sharing was modeled (nondeterministic
+    /// arrival order; always `false` in the deterministic smoke suite).
+    pub nic_contention: bool,
+    /// Virtual-time latency statistics over the repetitions.
+    pub latency: LatencyStats,
+    /// The paper's six cost metrics for this run (critical path over ranks).
+    pub metrics: PaperMetrics,
+}
+
+/// Latency summary plus the raw samples it was computed from, all in
+/// microseconds of virtual time.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LatencyStats {
+    /// Arithmetic mean.
+    pub mean_us: f64,
+    /// Sample standard deviation.
+    pub std_dev_us: f64,
+    /// Smallest sample.
+    pub min_us: f64,
+    /// Largest sample.
+    pub max_us: f64,
+    /// Median sample.
+    pub median_us: f64,
+    /// 95th percentile (nearest-rank).
+    pub p95_us: f64,
+    /// Number of samples.
+    pub n: u64,
+    /// The raw samples, in run order — kept so a future reader can
+    /// recompute any statistic without re-running the suite.
+    pub samples_us: Vec<f64>,
+}
+
+impl LatencyStats {
+    /// Builds the serializable summary from computed [`Stats`] and the raw
+    /// samples they summarize.
+    pub fn from_stats(stats: &Stats, samples: &[f64]) -> LatencyStats {
+        LatencyStats {
+            mean_us: stats.mean,
+            std_dev_us: stats.std_dev,
+            min_us: stats.min,
+            max_us: stats.max,
+            median_us: stats.median,
+            p95_us: stats.p95,
+            n: stats.n as u64,
+            samples_us: samples.to_vec(),
+        }
+    }
+
+    /// Reconstructs [`Stats`] for comparison code (regress gate).
+    pub fn to_stats(&self) -> Stats {
+        Stats {
+            mean: self.mean_us,
+            std_dev: self.std_dev_us,
+            min: self.min_us,
+            max: self.max_us,
+            median: self.median_us,
+            p95: self.p95_us,
+            n: self.n as usize,
+        }
+    }
+}
+
+/// The six cost metrics the paper's Table II derives per algorithm, taken
+/// from the component-wise maximum over ranks (the per-metric critical
+/// path).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PaperMetrics {
+    /// Communication rounds (`r` in Table II).
+    pub comm_rounds: u64,
+    /// max(bytes sent, bytes received) excluding GCM framing (`sc`).
+    pub sc_payload_bytes: u64,
+    /// Encryption operations (`er`).
+    pub enc_rounds: u64,
+    /// Plaintext bytes encrypted (`ec`).
+    pub enc_bytes: u64,
+    /// Decryption operations (`dr`).
+    pub dec_rounds: u64,
+    /// Plaintext bytes recovered by decryption (`dc`).
+    pub dec_bytes: u64,
+}
+
+impl PaperMetrics {
+    /// Extracts the six paper metrics from a runtime [`Metrics`] record
+    /// (normally `RunReport::max_metrics()`).
+    pub fn of(m: &Metrics) -> PaperMetrics {
+        PaperMetrics {
+            comm_rounds: m.comm_rounds,
+            sc_payload_bytes: m.sc_payload(),
+            enc_rounds: m.enc_rounds,
+            enc_bytes: m.enc_bytes,
+            dec_rounds: m.dec_rounds,
+            dec_bytes: m.dec_bytes,
+        }
+    }
+}
+
+/// Wall-clock AES-GCM throughput measured on this machine via the fused
+/// seal/open path in `eag-crypto`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CryptoProbe {
+    /// One point per probed message size.
+    pub points: Vec<CryptoProbePoint>,
+}
+
+/// Throughput at one message size.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CryptoProbePoint {
+    /// Message size in bytes.
+    pub msg_bytes: u64,
+    /// Seal (encrypt+tag) throughput in MB/s (10^6 bytes per second).
+    pub seal_mb_per_s: f64,
+    /// Open (verify+decrypt) throughput in MB/s.
+    pub open_mb_per_s: f64,
+}
+
+/// One benchmark case of a suite: a configuration, an algorithm, and a
+/// message size.
+#[derive(Debug, Clone)]
+pub struct SuiteCase {
+    /// Simulated cluster configuration.
+    pub cfg: SimConfig,
+    /// Algorithm under test.
+    pub algo: Algorithm,
+    /// Per-process message size in bytes.
+    pub msg_bytes: usize,
+}
+
+/// Message sizes exercised by the smoke suite (1 KiB and 64 KiB: one
+/// latency-bound, one bandwidth-bound point).
+pub const SMOKE_SIZES: [usize; 2] = [1024, 64 * 1024];
+
+/// The fixed smoke suite behind the committed CI baseline: every encrypted
+/// algorithm plus the modeled MVAPICH baseline, on a 16-process / 4-node
+/// Noleland world, block and cyclic mappings, [`SMOKE_SIZES`] message
+/// sizes. NIC contention is off, so every case is bit-deterministic.
+pub fn smoke_suite() -> Vec<SuiteCase> {
+    let mut cases = Vec::new();
+    for &mapping in &[Mapping::Block, Mapping::Cyclic] {
+        let cfg = SimConfig {
+            p: 16,
+            nodes: 4,
+            mapping,
+            profile: "noleland".into(),
+            reps: 3,
+            nic_contention: false,
+        };
+        let mut algos = vec![Algorithm::Mvapich];
+        algos.extend_from_slice(Algorithm::encrypted_all());
+        for algo in algos {
+            for &m in &SMOKE_SIZES {
+                cases.push(SuiteCase {
+                    cfg: cfg.clone(),
+                    algo,
+                    msg_bytes: m,
+                });
+            }
+        }
+    }
+    cases
+}
+
+/// Runs one case and serializes the result.
+pub fn run_case(case: &SuiteCase) -> BenchEntry {
+    let (samples, metrics) = simulate_samples(&case.cfg, case.algo, case.msg_bytes);
+    let stats = Stats::of(&samples);
+    BenchEntry {
+        algorithm: case.algo.name().to_string(),
+        p: case.cfg.p as u64,
+        nodes: case.cfg.nodes as u64,
+        mapping: case.cfg.mapping,
+        msg_bytes: case.msg_bytes as u64,
+        reps: case.cfg.reps as u64,
+        nic_contention: case.cfg.nic_contention,
+        latency: LatencyStats::from_stats(&stats, &samples),
+        metrics: PaperMetrics::of(&metrics),
+    }
+}
+
+/// Runs a full suite into a report. `suite` names the suite in the output;
+/// `profile` should match the cases' cluster profile.
+pub fn run_suite(suite: &str, profile: &str, cases: &[SuiteCase]) -> BenchReport {
+    let deterministic = cases.iter().all(|c| !c.cfg.nic_contention);
+    BenchReport {
+        schema_version: SCHEMA_VERSION,
+        suite: suite.to_string(),
+        profile: profile.to_string(),
+        deterministic,
+        entries: cases.iter().map(run_case).collect(),
+        crypto: None,
+    }
+}
+
+/// Runs the fixed smoke suite (the one CI gates on).
+pub fn run_smoke_suite() -> BenchReport {
+    run_suite("smoke", "noleland", &smoke_suite())
+}
+
+/// Reconstructs the suite a report was produced by, so `eag regress` can
+/// re-run exactly the baseline's cases when no `--current` report is given.
+pub fn suite_from_report(report: &BenchReport) -> Result<Vec<SuiteCase>, String> {
+    report
+        .entries
+        .iter()
+        .map(|e| {
+            let algo = Algorithm::by_name(&e.algorithm)
+                .ok_or_else(|| format!("unknown algorithm {:?} in report", e.algorithm))?;
+            Ok(SuiteCase {
+                cfg: SimConfig {
+                    p: e.p as usize,
+                    nodes: e.nodes as usize,
+                    mapping: e.mapping,
+                    profile: report.profile.clone(),
+                    reps: e.reps as usize,
+                    nic_contention: e.nic_contention,
+                },
+                algo,
+                msg_bytes: e.msg_bytes as usize,
+            })
+        })
+        .collect()
+}
+
+impl BenchReport {
+    /// Attaches wall-clock crypto throughput to this report. Doing so marks
+    /// the report nondeterministic: wall-clock numbers never reproduce
+    /// exactly.
+    pub fn with_crypto(mut self, probe: CryptoProbe) -> BenchReport {
+        self.crypto = Some(probe);
+        self.deterministic = false;
+        self
+    }
+
+    /// Serializes to pretty JSON (stable field order, shortest-round-trip
+    /// floats; byte-identical across runs for deterministic reports).
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("value-tree serialization cannot fail")
+    }
+
+    /// Parses a report back, rejecting schema-version mismatches.
+    pub fn from_json(text: &str) -> Result<BenchReport, String> {
+        let report: BenchReport = serde_json::from_str(text).map_err(|e| e.to_string())?;
+        if report.schema_version != SCHEMA_VERSION {
+            return Err(format!(
+                "unsupported schema_version {} (this binary writes {})",
+                report.schema_version, SCHEMA_VERSION
+            ));
+        }
+        Ok(report)
+    }
+
+    /// Looks up the entry matching `other` by identity (algorithm, p,
+    /// nodes, mapping, msg_bytes) — the key the regress gate joins on.
+    pub fn find_matching(&self, other: &BenchEntry) -> Option<&BenchEntry> {
+        self.entries.iter().find(|e| {
+            e.algorithm == other.algorithm
+                && e.p == other.p
+                && e.nodes == other.nodes
+                && e.mapping == other.mapping
+                && e.msg_bytes == other.msg_bytes
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_report() -> BenchReport {
+        let cfg = SimConfig {
+            p: 8,
+            nodes: 2,
+            mapping: Mapping::Block,
+            profile: "noleland".into(),
+            reps: 2,
+            nic_contention: false,
+        };
+        run_suite(
+            "unit",
+            "noleland",
+            &[
+                SuiteCase {
+                    cfg: cfg.clone(),
+                    algo: Algorithm::Hs2,
+                    msg_bytes: 512,
+                },
+                SuiteCase {
+                    cfg,
+                    algo: Algorithm::CRing,
+                    msg_bytes: 2048,
+                },
+            ],
+        )
+    }
+
+    #[test]
+    fn schema_roundtrip_is_lossless() {
+        let report = sample_report();
+        let json = report.to_json();
+        let back = BenchReport::from_json(&json).expect("parse back");
+        assert_eq!(report, back);
+        // And the re-serialization is byte-identical (deterministic field
+        // order + shortest-round-trip floats).
+        assert_eq!(json, back.to_json());
+    }
+
+    #[test]
+    fn deterministic_suite_reproduces_exactly() {
+        // Contention-free virtual-time runs are pure f64 arithmetic: two
+        // executions of the same suite serialize byte-identically.
+        let a = sample_report().to_json();
+        let b = sample_report().to_json();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn schema_version_mismatch_is_rejected() {
+        let mut report = sample_report();
+        report.schema_version = SCHEMA_VERSION + 1;
+        let json = report.to_json();
+        let err = BenchReport::from_json(&json).unwrap_err();
+        assert!(err.contains("schema_version"), "{err}");
+    }
+
+    #[test]
+    fn smoke_suite_shape() {
+        let cases = smoke_suite();
+        // 2 mappings x (1 + encrypted) algorithms x 2 sizes.
+        let algos = 1 + Algorithm::encrypted_all().len();
+        assert_eq!(cases.len(), 2 * algos * 2);
+        assert!(cases.iter().all(|c| !c.cfg.nic_contention));
+        assert!(cases.iter().all(|c| c.cfg.profile == "noleland"));
+    }
+
+    #[test]
+    fn entry_lookup_joins_on_identity() {
+        let report = sample_report();
+        let found = report.find_matching(&report.entries[1]).unwrap();
+        assert_eq!(found, &report.entries[1]);
+        let mut missing = report.entries[0].clone();
+        missing.msg_bytes += 1;
+        assert!(report.find_matching(&missing).is_none());
+    }
+
+    #[test]
+    fn crypto_probe_marks_nondeterministic() {
+        let report = sample_report().with_crypto(CryptoProbe {
+            points: vec![CryptoProbePoint {
+                msg_bytes: 4096,
+                seal_mb_per_s: 1234.5,
+                open_mb_per_s: 2345.6,
+            }],
+        });
+        assert!(!report.deterministic);
+        let back = BenchReport::from_json(&report.to_json()).unwrap();
+        assert_eq!(report, back);
+    }
+}

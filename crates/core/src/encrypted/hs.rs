@@ -68,17 +68,24 @@ pub fn hs_v(ctx: &mut ProcCtx, lens: &[usize], variant: HsVariant) -> GatherOutp
     let my_chunk = ctx.my_block(lens[ctx.rank()]);
     out.place(my_chunk.clone());
 
-    // Step 1: deposit into the node's shared buffers.
+    // Step 1: deposit into the node's shared buffers. Consumer counts come
+    // from the algorithm's structure: a gather slot is read by the ℓ−1
+    // siblings in step 4, plus (HS1/Plain only) once by the leader in
+    // step 2.
     match variant {
         HsVariant::Hs1 | HsVariant::Plain => {
-            ctx.shared_deposit(ctx.slot(tags::SLOT_GATHER, li), Item::Plain(my_chunk));
+            ctx.shared_deposit(ctx.slot(tags::SLOT_GATHER, li), Item::Plain(my_chunk), ell);
         }
         HsVariant::Hs2 => {
             // Ciphertext for the network, plus plaintext so siblings can
             // read intra-node blocks without decryption.
             let sealed = ctx.encrypt(my_chunk.clone());
-            ctx.shared_deposit(ctx.slot(tags::SLOT_GATHER, li), Item::Plain(my_chunk));
-            ctx.shared_deposit_free(ctx.slot(tags::SLOT_CIPHER_IN, li), Item::Sealed(sealed));
+            ctx.shared_deposit(
+                ctx.slot(tags::SLOT_GATHER, li),
+                Item::Plain(my_chunk),
+                ell - 1,
+            );
+            ctx.shared_deposit_free(ctx.slot(tags::SLOT_CIPHER_IN, li), Item::Sealed(sealed), 1);
         }
     }
     ctx.node_barrier();
@@ -118,7 +125,9 @@ pub fn hs_v(ctx: &mut ProcCtx, lens: &[usize], variant: HsVariant) -> GatherOutp
             if origin_node == my_node {
                 continue;
             }
-            ctx.shared_deposit_free(ctx.slot(tags::SLOT_CIPHER_FOREIGN, idx), item);
+            // Exactly one rank (local index idx mod ℓ) decrypts each
+            // foreign item in step 3.
+            ctx.shared_deposit_free(ctx.slot(tags::SLOT_CIPHER_FOREIGN, idx), item, 1);
             idx += 1;
         }
         let expected = match variant {
@@ -140,7 +149,8 @@ pub fn hs_v(ctx: &mut ProcCtx, lens: &[usize], variant: HsVariant) -> GatherOutp
             Item::Sealed(s) => ctx.decrypt(s),
             Item::Plain(c) => c,
         };
-        ctx.shared_deposit_free(ctx.slot(tags::SLOT_PLAIN_OUT, j), Item::Plain(plain));
+        // Every process copies every decrypted block out in step 4.
+        ctx.shared_deposit_free(ctx.slot(tags::SLOT_PLAIN_OUT, j), Item::Plain(plain), ell);
     }
     ctx.node_barrier();
 
@@ -267,6 +277,44 @@ mod tests {
         assert_eq!(max.enc_bytes, m as u64);
         assert_eq!(max.dec_rounds, (nodes - 1) as u64);
         assert_eq!(max.dec_bytes, ((nodes - 1) * m) as u64);
+    }
+
+    #[test]
+    fn shared_slot_map_empty_after_collective() {
+        // Consumer-counted deposits must leave the node's shared segment
+        // empty once the collective completes — the map used to grow by one
+        // generation of slots per collective and never shrink.
+        for mapping in [Mapping::Block, Mapping::Cyclic] {
+            for variant in [HsVariant::Hs1, HsVariant::Hs2, HsVariant::Plain] {
+                for (p, nodes) in [(16, 4), (12, 3), (6, 6)] {
+                    let report = run(&world(p, nodes, mapping), move |ctx| {
+                        hs(ctx, 16, variant).verify(13);
+                        // All ranks are past their last fetch here, so the
+                        // observation below is race-free.
+                        ctx.node_barrier();
+                        ctx.shared_slots_len()
+                    });
+                    assert!(
+                        report.outputs.iter().all(|&live| live == 0),
+                        "{variant:?} p={p} N={nodes} {mapping} left live slots: {:?}",
+                        report.outputs
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn back_to_back_collectives_do_not_accumulate_slots() {
+        let report = run(&world(8, 2, Mapping::Block), |ctx| {
+            for _ in 0..3 {
+                ctx.begin_collective();
+                hs(ctx, 16, HsVariant::Hs2).verify(13);
+            }
+            ctx.node_barrier();
+            ctx.shared_slots_len()
+        });
+        assert!(report.outputs.iter().all(|&live| live == 0));
     }
 
     #[test]

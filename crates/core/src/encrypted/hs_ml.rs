@@ -54,8 +54,14 @@ pub fn hs_ml(ctx: &mut ProcCtx, m: usize, k: usize, pattern: MlPattern) -> Gathe
     // buffer (HS2's per-process encryption, se = m) and shares the
     // plaintext for intra-node reads.
     let sealed = ctx.encrypt(my_chunk.clone());
-    ctx.shared_deposit(ctx.slot(tags::SLOT_GATHER, li), Item::Plain(my_chunk));
-    ctx.shared_deposit_free(ctx.slot(tags::SLOT_CIPHER_IN, li), Item::Sealed(sealed));
+    // Consumers: the plaintext is read by the ℓ−1 siblings in step 4; the
+    // ciphertext once, by the leader whose group covers this local index.
+    ctx.shared_deposit(
+        ctx.slot(tags::SLOT_GATHER, li),
+        Item::Plain(my_chunk),
+        ell - 1,
+    );
+    ctx.shared_deposit_free(ctx.slot(tags::SLOT_CIPHER_IN, li), Item::Sealed(sealed), 1);
     ctx.node_barrier();
 
     // Step 2: k concurrent inter-node all-gathers, one per leader group.
@@ -86,6 +92,7 @@ pub fn hs_ml(ctx: &mut ProcCtx, m: usize, k: usize, pattern: MlPattern) -> Gathe
                     group * (nodes - 1) * blocks_per_leader + idx,
                 ),
                 item,
+                1, // exactly one rank decrypts each foreign item in step 3
             );
             idx += 1;
         }
@@ -101,7 +108,8 @@ pub fn hs_ml(ctx: &mut ProcCtx, m: usize, k: usize, pattern: MlPattern) -> Gathe
             Item::Sealed(s) => ctx.decrypt(s),
             Item::Plain(c) => c,
         };
-        ctx.shared_deposit_free(ctx.slot(tags::SLOT_PLAIN_OUT, j), Item::Plain(plain));
+        // Every process copies every decrypted block out in step 4.
+        ctx.shared_deposit_free(ctx.slot(tags::SLOT_PLAIN_OUT, j), Item::Plain(plain), ell);
     }
     ctx.node_barrier();
 
@@ -208,6 +216,22 @@ mod tests {
             // regardless of k.
             assert_eq!(mx.enc_bytes, lb.se, "k={k}");
             assert_eq!(mx.dec_bytes, lb.sd, "k={k}");
+        }
+    }
+
+    #[test]
+    fn shared_slot_map_empty_after_collective() {
+        for k in [1usize, 2, 4] {
+            let report = run(&world(16, 4, Mapping::Block), move |ctx| {
+                hs_ml(ctx, 32, k, MlPattern::Rd).verify(53);
+                ctx.node_barrier(); // race-free observation point
+                ctx.shared_slots_len()
+            });
+            assert!(
+                report.outputs.iter().all(|&live| live == 0),
+                "k={k} left live slots: {:?}",
+                report.outputs
+            );
         }
     }
 

@@ -40,6 +40,7 @@ mod fused;
 pub mod gcm;
 pub mod ghash;
 pub mod nonce;
+pub mod probe;
 
 pub use aes::{Aes, Aes128, KeySize};
 pub use gcm::{AesGcm, AesGcm128, OpenError, MAX_PLAINTEXT_LEN, TAG_LEN};

@@ -7,18 +7,27 @@
 //! deposit items into named slots, peers fetch them, and a node barrier
 //! separates phases. In virtual time, a fetch completes no earlier than the
 //! deposit's completion, and barriers align all participants' clocks.
+//!
+//! Slots are reference-counted: a deposit declares how many fetches will
+//! consume it, items are shared via [`Arc`] (no deep copy per fetch), and
+//! the slot self-removes when the last declared consumer has fetched it —
+//! so the map is empty again after every collective instead of growing by
+//! one generation of slots per `begin_collective` epoch.
 
 use crate::payload::Item;
 use parking_lot::{Condvar, Mutex};
 use std::collections::HashMap;
+use std::sync::Arc;
 
 /// A slot address inside a node's shared segment.
 pub type SlotKey = (u64, usize); // (phase tag, index)
 
 struct DepositedItem {
-    item: Item,
+    item: Arc<Item>,
     /// Virtual time at which the deposit became visible.
     ready_us: f64,
+    /// Fetches left before the slot self-removes.
+    remaining: usize,
 }
 
 #[derive(Default)]
@@ -81,32 +90,67 @@ impl NodeShared {
         self.participants
     }
 
-    /// Deposits `item` into `key`, visible from virtual time `ready_us`.
-    /// Panics if the slot is already occupied (phase tags must be unique).
-    pub fn deposit(&self, key: SlotKey, item: Item, ready_us: f64) {
+    /// Deposits `item` into `key`, visible from virtual time `ready_us` and
+    /// consumed by exactly `consumers` fetches (after the last one the slot
+    /// is removed). A deposit nobody will fetch (`consumers == 0`) is
+    /// skipped outright. Panics if the slot is already occupied (phase tags
+    /// must be unique).
+    pub fn deposit(&self, key: SlotKey, item: Item, ready_us: f64, consumers: usize) {
+        if consumers == 0 {
+            return;
+        }
         let mut slots = self.slots.lock();
-        let prev = slots.slots.insert(key, DepositedItem { item, ready_us });
+        let prev = slots.slots.insert(
+            key,
+            DepositedItem {
+                item: Arc::new(item),
+                ready_us,
+                remaining: consumers,
+            },
+        );
         assert!(prev.is_none(), "shared-memory slot {key:?} deposited twice");
         drop(slots);
         self.slots_cv.notify_all();
     }
 
-    /// Fetches (clones) the item in `key`, blocking until deposited.
-    /// Returns the item and the virtual time it became visible.
-    pub fn fetch(&self, key: SlotKey) -> (Item, f64) {
+    /// Fetches the item in `key`, blocking until deposited. Returns a shared
+    /// handle to the item (no deep copy) and the virtual time it became
+    /// visible. The last declared consumer removes the slot and receives the
+    /// map's own `Arc` — then sole ownership, so `Arc::try_unwrap` gives the
+    /// item back without any copy at all.
+    pub fn fetch(&self, key: SlotKey) -> (Arc<Item>, f64) {
         let mut slots = self.slots.lock();
         loop {
             self.check_poison();
-            if let Some(d) = slots.slots.get(&key) {
-                return (d.item.clone(), d.ready_us);
+            if let Some(d) = slots.slots.get_mut(&key) {
+                debug_assert!(d.remaining > 0);
+                d.remaining -= 1;
+                return if d.remaining == 0 {
+                    let d = slots.slots.remove(&key).expect("slot present");
+                    (d.item, d.ready_us)
+                } else {
+                    (Arc::clone(&d.item), d.ready_us)
+                };
             }
             self.slots_cv.wait(&mut slots);
         }
     }
 
-    /// Removes the item in `key` if present (cleanup between phases).
-    pub fn take(&self, key: SlotKey) -> Option<Item> {
+    /// Removes the item in `key` if present, regardless of outstanding
+    /// consumer count (cleanup between phases).
+    pub fn take(&self, key: SlotKey) -> Option<Arc<Item>> {
         self.slots.lock().slots.remove(&key).map(|d| d.item)
+    }
+
+    /// Number of live (not yet fully consumed) slots — 0 after a correctly
+    /// consumer-counted collective completes.
+    pub fn len(&self) -> usize {
+        self.slots.lock().slots.len()
+    }
+
+    /// Whether the slot map is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
     }
 
     /// Node barrier: blocks until all participants arrive, and returns the
@@ -139,7 +183,6 @@ impl NodeShared {
 mod tests {
     use super::*;
     use crate::payload::{Chunk, Data};
-    use std::sync::Arc;
 
     fn item(v: u8) -> Item {
         Item::Plain(Chunk::single(0, Data::Real(vec![v; 4])))
@@ -148,9 +191,9 @@ mod tests {
     #[test]
     fn deposit_then_fetch() {
         let sh = NodeShared::new(1);
-        sh.deposit((1, 0), item(7), 5.0);
+        sh.deposit((1, 0), item(7), 5.0, 1);
         let (got, ready) = sh.fetch((1, 0));
-        assert_eq!(got, item(7));
+        assert_eq!(*got, item(7));
         assert_eq!(ready, 5.0);
     }
 
@@ -158,9 +201,9 @@ mod tests {
     fn fetch_blocks_until_deposit() {
         let sh = Arc::new(NodeShared::new(2));
         let sh2 = Arc::clone(&sh);
-        let handle = std::thread::spawn(move || sh2.fetch((9, 3)).0);
+        let handle = std::thread::spawn(move || (*sh2.fetch((9, 3)).0).clone());
         std::thread::sleep(std::time::Duration::from_millis(20));
-        sh.deposit((9, 3), item(1), 0.0);
+        sh.deposit((9, 3), item(1), 0.0, 1);
         assert_eq!(handle.join().unwrap(), item(1));
     }
 
@@ -168,16 +211,50 @@ mod tests {
     #[should_panic(expected = "deposited twice")]
     fn double_deposit_panics() {
         let sh = NodeShared::new(1);
-        sh.deposit((1, 0), item(1), 0.0);
-        sh.deposit((1, 0), item(2), 0.0);
+        sh.deposit((1, 0), item(1), 0.0, 2);
+        sh.deposit((1, 0), item(2), 0.0, 2);
     }
 
     #[test]
     fn take_removes_slot() {
         let sh = NodeShared::new(1);
-        sh.deposit((1, 0), item(1), 0.0);
+        sh.deposit((1, 0), item(1), 0.0, 5);
         assert!(sh.take((1, 0)).is_some());
         assert!(sh.take((1, 0)).is_none());
+        assert!(sh.is_empty());
+    }
+
+    #[test]
+    fn slot_self_removes_after_declared_consumers() {
+        let sh = NodeShared::new(3);
+        sh.deposit((2, 1), item(9), 1.0, 3);
+        assert_eq!(sh.len(), 1);
+        let (a, _) = sh.fetch((2, 1));
+        let (b, _) = sh.fetch((2, 1));
+        assert_eq!(sh.len(), 1, "slot must survive until the last consumer");
+        let (c, _) = sh.fetch((2, 1));
+        assert!(sh.is_empty(), "last consumer removes the slot");
+        assert_eq!(*a, *b);
+        drop((a, b));
+        // The final fetch got the map's own Arc: with the earlier handles
+        // dropped it is sole owner, so the item comes back copy-free.
+        assert!(Arc::try_unwrap(c).is_ok());
+    }
+
+    #[test]
+    fn zero_consumer_deposit_is_skipped() {
+        let sh = NodeShared::new(1);
+        sh.deposit((3, 0), item(4), 0.0, 0);
+        assert!(sh.is_empty());
+    }
+
+    #[test]
+    fn fetches_share_one_allocation() {
+        let sh = NodeShared::new(2);
+        sh.deposit((4, 0), item(6), 0.0, 2);
+        let (a, _) = sh.fetch((4, 0));
+        let (b, _) = sh.fetch((4, 0));
+        assert!(Arc::ptr_eq(&a, &b), "fetches must not deep-clone the item");
     }
 
     #[test]

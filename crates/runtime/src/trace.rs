@@ -172,14 +172,24 @@ pub fn render_gantt(traces: &[Trace], cols: usize) -> String {
     ));
     for (rank, trace) in traces.iter().enumerate() {
         let mut row = vec!['.'; cols];
-        for e in trace {
-            let a = ((e.start_us / horizon) * cols as f64).floor() as usize;
-            let b = ((e.end_us / horizon) * cols as f64).ceil() as usize;
-            for cell in row
-                .iter_mut()
-                .take(b.min(cols))
-                .skip(a.min(cols.saturating_sub(1)))
-            {
+        // Two passes: intervals first, then zero-duration markers
+        // (Fault/Retry), so a marker is never hidden under the interval that
+        // starts at the same instant (a faulted send begins exactly at the
+        // fault's timestamp).
+        let is_marker =
+            |e: &Event| matches!(e.kind, EventKind::Fault { .. } | EventKind::Retry { .. });
+        for e in trace
+            .iter()
+            .filter(|e| !is_marker(e))
+            .chain(trace.iter().filter(|e| is_marker(e)))
+        {
+            let a = (((e.start_us / horizon) * cols as f64).floor() as usize)
+                .min(cols.saturating_sub(1));
+            // Paint at least one cell: a zero-duration event whose start
+            // lands exactly on a cell boundary has floor(start) ==
+            // ceil(end) and would otherwise vanish from the chart.
+            let b = ((((e.end_us / horizon) * cols as f64).ceil() as usize).min(cols)).max(a + 1);
+            for cell in row.iter_mut().take(b).skip(a) {
                 *cell = glyph(&e.kind);
             }
         }
@@ -287,6 +297,75 @@ mod tests {
     #[test]
     fn gantt_handles_empty() {
         assert_eq!(render_gantt(&[], 10), "(empty trace)\n");
+    }
+
+    #[test]
+    fn gantt_keeps_zero_duration_marker_on_cell_boundary() {
+        // A fault at t=5 of horizon 10 with 10 cells lands exactly on the
+        // boundary between cells 4 and 5: floor(5/10*10) == ceil(5/10*10)
+        // == 5, so the unclamped painter dropped the marker entirely.
+        let traces = vec![vec![
+            ev(0.0, 10.0, EventKind::Recv { src: 1, bytes: 8 }),
+            ev(
+                5.0,
+                5.0,
+                EventKind::Fault {
+                    kind: FaultKind::Drop,
+                    dst: 1,
+                },
+            ),
+        ]];
+        let s = render_gantt(&traces, 10);
+        assert!(s.contains('X'), "fault marker missing:\n{s}");
+    }
+
+    #[test]
+    fn gantt_marker_at_horizon_end_stays_in_bounds() {
+        // Zero-duration retry exactly at the horizon: must clamp into the
+        // last cell instead of painting past the row (or not at all).
+        let traces = vec![vec![
+            ev(0.0, 10.0, EventKind::Barrier),
+            ev(
+                10.0,
+                10.0,
+                EventKind::Retry {
+                    peer: 0,
+                    tag: 1,
+                    attempt: 1,
+                },
+            ),
+        ]];
+        let s = render_gantt(&traces, 10);
+        let row = s.lines().nth(1).unwrap();
+        assert!(row.ends_with('R'), "retry marker not in last cell: {row:?}");
+    }
+
+    #[test]
+    fn gantt_marker_not_hidden_under_coincident_interval() {
+        // The faulted send starts at the fault's own timestamp; the marker
+        // must still be visible (painted after intervals).
+        let traces = vec![vec![
+            ev(
+                2.0,
+                2.0,
+                EventKind::Fault {
+                    kind: FaultKind::Tamper,
+                    dst: 1,
+                },
+            ),
+            ev(
+                2.0,
+                8.0,
+                EventKind::Send {
+                    dst: 1,
+                    bytes: 64,
+                    link: LinkClass::Intra,
+                },
+            ),
+        ]];
+        let s = render_gantt(&traces, 10);
+        assert!(s.contains('X'), "fault hidden under send:\n{s}");
+        assert!(s.contains('S'));
     }
 
     #[test]

@@ -1005,14 +1005,20 @@ impl<'w> ProcCtx<'w> {
 
     /// Deposits `item` into this node's shared segment, charging a memory
     /// copy. Visible to siblings once the copy completes.
-    pub fn shared_deposit(&mut self, key: SlotKey, item: Item) {
+    ///
+    /// `consumers` declares how many [`Self::shared_fetch`] /
+    /// [`Self::shared_fetch_free`] calls will read this slot; the slot
+    /// self-removes after the last one, keeping the segment's map empty
+    /// between collectives. A deposit with `consumers == 0` still charges
+    /// the copy (the data is produced either way) but stores nothing.
+    pub fn shared_deposit(&mut self, key: SlotKey, item: Item, consumers: usize) {
         let t0 = self.clock_us;
         let bytes = item.wire_len();
         self.clock_us += self.model.copy_time(bytes);
         self.metrics.copies += 1;
         self.metrics.copy_bytes += bytes as u64;
         self.record(t0, EventKind::Copy { bytes });
-        self.shared[self.node()].deposit(key, item, self.clock_us);
+        self.shared[self.node()].deposit(key, item, self.clock_us, consumers);
     }
 
     /// Fetches the item in `key` from this node's shared segment, charging a
@@ -1024,13 +1030,14 @@ impl<'w> ProcCtx<'w> {
         self.clock_us += self.model.copy_time(bytes);
         self.metrics.copies += 1;
         self.metrics.copy_bytes += bytes as u64;
-        item
+        Self::unwrap_shared(item)
     }
 
     /// Deposits without charging a copy: models producing data directly
-    /// into the shared buffer (e.g. decrypting into it).
-    pub fn shared_deposit_free(&mut self, key: SlotKey, item: Item) {
-        self.shared[self.node()].deposit(key, item, self.clock_us);
+    /// into the shared buffer (e.g. decrypting into it). Consumer counting
+    /// as in [`Self::shared_deposit`].
+    pub fn shared_deposit_free(&mut self, key: SlotKey, item: Item, consumers: usize) {
+        self.shared[self.node()].deposit(key, item, self.clock_us, consumers);
     }
 
     /// Fetches without charging a copy: models reading the shared buffer in
@@ -1039,7 +1046,21 @@ impl<'w> ProcCtx<'w> {
     pub fn shared_fetch_free(&mut self, key: SlotKey) -> Item {
         let (item, ready_us) = self.shared[self.node()].fetch(key);
         self.clock_us = self.clock_us.max(ready_us);
-        item
+        Self::unwrap_shared(item)
+    }
+
+    /// Recovers an owned [`Item`] from a fetched slot handle. The last (or
+    /// sole) consumer holds the only `Arc` and gets the item back without
+    /// copying — on HS1's decrypt path that removes an ℓ·m-byte memcpy per
+    /// ciphertext; earlier consumers clone.
+    fn unwrap_shared(item: std::sync::Arc<Item>) -> Item {
+        std::sync::Arc::try_unwrap(item).unwrap_or_else(|arc| (*arc).clone())
+    }
+
+    /// Number of live slots in this node's shared segment — 0 between
+    /// correctly consumer-counted collectives (diagnostics/tests).
+    pub fn shared_slots_len(&self) -> usize {
+        self.shared[self.node()].len()
     }
 
     /// Charges a pure memory copy of `bytes` (e.g. user-buffer placement)
@@ -1109,6 +1130,17 @@ impl<T> RunReport<T> {
     /// values the paper's Table II reports).
     pub fn max_metrics(&self) -> Metrics {
         Metrics::component_max(&self.metrics)
+    }
+
+    /// Per-rank busy-time breakdowns from the recorded traces (one entry
+    /// per rank; all-zero entries when the run was not traced). Lets
+    /// reporting tools attribute each rank's virtual time to send / recv /
+    /// crypto / copy / barrier without re-walking raw traces.
+    pub fn busy_breakdowns(&self) -> Vec<crate::trace::BusyBreakdown> {
+        self.traces
+            .iter()
+            .map(crate::trace::BusyBreakdown::of)
+            .collect()
     }
 }
 

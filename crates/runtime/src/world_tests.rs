@@ -146,13 +146,16 @@ fn shared_memory_deposit_fetch_and_barrier() {
     let report = run(&spec(2, 1), |ctx| {
         if (ctx.rank()) == 0 {
             let item = Item::Plain(ctx.my_block(4));
-            ctx.shared_deposit((1, 0), item);
+            ctx.shared_deposit((1, 0), item, 2);
         }
         ctx.node_barrier();
         let got = ctx.shared_fetch((1, 0));
-        got.origins()[0]
+        ctx.node_barrier();
+        (got.origins()[0], ctx.shared_slots_len())
     });
-    assert_eq!(report.outputs, vec![0, 0]);
+    // Both ranks got rank 0's block, and the slot self-removed after its
+    // last declared consumer.
+    assert_eq!(report.outputs, vec![(0, 0), (0, 0)]);
     assert!(report.metrics[1].copies >= 1);
 }
 

@@ -1,27 +1,429 @@
-//! Offline vendored shim of `serde`.
+//! Offline vendored shim of `serde`, upgraded from marker traits to a real
+//! (minimal) serialization framework.
 //!
-//! The build container has no network access to crates.io. This workspace
-//! only uses serde as derive annotations on netsim config types (no
-//! serializer backend crate is present), so the shim provides marker traits
-//! and no-op derives: `#[derive(Serialize, Deserialize)]` compiles and the
-//! trait bounds exist, but there is no data format to drive them. If a real
-//! serializer is ever added, replace this shim with the real crate.
+//! The build container has no network access to crates.io, so this crate
+//! implements the subset of serde's surface this workspace needs, driven by
+//! a self-describing [`Value`] tree instead of serde's visitor machinery:
+//!
+//! - [`Serialize`] converts a type into a [`Value`];
+//! - [`Deserialize`] reconstructs a type from a [`Value`];
+//! - `#[derive(Serialize, Deserialize)]` (from the sibling `serde_derive`
+//!   shim) generates field-by-field impls for named structs and unit enums;
+//! - the sibling `serde_json` shim renders a [`Value`] to JSON text and
+//!   parses it back.
+//!
+//! Object fields preserve insertion order, so serialization is fully
+//! deterministic — a property the benchmark baseline files
+//! (`BENCH_<profile>.json`) rely on for byte-identical re-runs.
 
-/// Marker trait standing in for `serde::Serialize`.
-pub trait Serialize {}
+use std::collections::BTreeMap;
+use std::fmt;
 
-/// Marker trait standing in for `serde::Deserialize<'de>`.
-pub trait Deserialize<'de>: Sized {}
+/// A self-describing serialized value (the shim's data model, playing the
+/// role of both `serde::Serializer` input and `serde_json::Value`).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// JSON `null` (and `Option::None`).
+    Null,
+    /// A boolean.
+    Bool(bool),
+    /// A signed integer (negative integers land here).
+    Int(i64),
+    /// An unsigned integer (all non-negative integers land here).
+    UInt(u64),
+    /// A floating-point number. Non-finite values are preserved (the JSON
+    /// backend writes them as the extended tokens `Infinity` / `-Infinity`
+    /// / `NaN`, which the parser accepts back).
+    Float(f64),
+    /// A string.
+    Str(String),
+    /// A sequence.
+    Array(Vec<Value>),
+    /// A map with *insertion-ordered* string keys (derived structs push
+    /// fields in declaration order, so output is deterministic).
+    Object(Vec<(String, Value)>),
+}
 
-/// Marker trait standing in for `serde::de::DeserializeOwned`.
-pub trait DeserializeOwned: for<'de> Deserialize<'de> {}
+impl Value {
+    /// Looks a key up in an object (linear scan; objects here are small).
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Object(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
 
-impl<T: for<'de> Deserialize<'de>> DeserializeOwned for T {}
+    /// The string inside [`Value::Str`], if that is what this is.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Human-readable name of the variant (for error messages).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "bool",
+            Value::Int(_) => "int",
+            Value::UInt(_) => "uint",
+            Value::Float(_) => "float",
+            Value::Str(_) => "string",
+            Value::Array(_) => "array",
+            Value::Object(_) => "object",
+        }
+    }
+}
+
+/// Serializes a type into the shim's [`Value`] data model.
+pub trait Serialize {
+    /// Converts `self` to a [`Value`] tree.
+    fn to_value(&self) -> Value;
+}
+
+/// Reconstructs a type from the shim's [`Value`] data model. The lifetime
+/// parameter mirrors real serde's `Deserialize<'de>` so existing bounds
+/// keep compiling; this shim always deserializes owned data.
+pub trait Deserialize<'de>: Sized {
+    /// Rebuilds `Self` from a [`Value`] tree.
+    fn from_value(value: &Value) -> Result<Self, de::Error>;
+
+    /// Called when a struct field is absent from the serialized object.
+    /// Defaults to an error; `Option<T>` overrides it to produce `None`,
+    /// giving optional fields for free.
+    fn from_missing_field(field: &str) -> Result<Self, de::Error> {
+        Err(de::Error::missing_field(field))
+    }
+}
+
+/// Deserialization support: the error type and helpers the derive macro
+/// generates calls to.
+pub mod de {
+    use super::{Deserialize, Value};
+    use std::fmt;
+
+    /// Why a [`Value`] could not be turned back into a type.
+    #[derive(Debug, Clone, PartialEq)]
+    pub struct Error(String);
+
+    impl Error {
+        /// A free-form deserialization error.
+        pub fn custom(msg: impl fmt::Display) -> Error {
+            Error(msg.to_string())
+        }
+
+        /// The value had the wrong variant for the requested type.
+        pub fn type_mismatch(expected: &str, got: &Value) -> Error {
+            Error(format!("expected {expected}, got {}", got.kind()))
+        }
+
+        /// A struct field was absent.
+        pub fn missing_field(field: &str) -> Error {
+            Error(format!("missing field `{field}`"))
+        }
+    }
+
+    impl fmt::Display for Error {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str(&self.0)
+        }
+    }
+
+    impl std::error::Error for Error {}
+
+    /// Marker for types deserializable without borrowing from the input —
+    /// everything here, since the shim always produces owned data.
+    pub trait DeserializeOwned: for<'de> Deserialize<'de> {}
+
+    impl<T: for<'de> Deserialize<'de>> DeserializeOwned for T {}
+
+    /// Extracts struct field `name` from `value` (derive-generated structs
+    /// call this once per field). Missing fields defer to
+    /// [`Deserialize::from_missing_field`], so `Option` fields tolerate
+    /// absence.
+    pub fn field<T: DeserializeOwned>(value: &Value, name: &str) -> Result<T, Error> {
+        match value {
+            Value::Object(_) => match value.get(name) {
+                Some(v) => {
+                    T::from_value(v).map_err(|e| Error::custom(format!("field `{name}`: {e}")))
+                }
+                None => T::from_missing_field(name),
+            },
+            other => Err(Error::type_mismatch("object", other)),
+        }
+    }
+}
+
+pub use de::DeserializeOwned;
 
 #[cfg(feature = "derive")]
 pub use serde_derive::{Deserialize, Serialize};
 
-/// Namespace mirror of `serde::de` for `DeserializeOwned` imports.
-pub mod de {
-    pub use crate::DeserializeOwned;
+// ---------------------------------------------------------------------------
+// Primitive impls
+// ---------------------------------------------------------------------------
+
+macro_rules! impl_uint {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::UInt(*self as u64)
+            }
+        }
+        impl<'de> Deserialize<'de> for $t {
+            fn from_value(value: &Value) -> Result<Self, de::Error> {
+                let n = match *value {
+                    Value::UInt(n) => n,
+                    Value::Int(n) if n >= 0 => n as u64,
+                    ref other => return Err(de::Error::type_mismatch("unsigned integer", other)),
+                };
+                <$t>::try_from(n).map_err(|_| {
+                    de::Error::custom(format!("{n} out of range for {}", stringify!($t)))
+                })
+            }
+        }
+    )*};
+}
+
+macro_rules! impl_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::Int(*self as i64)
+            }
+        }
+        impl<'de> Deserialize<'de> for $t {
+            fn from_value(value: &Value) -> Result<Self, de::Error> {
+                let n = match *value {
+                    Value::Int(n) => n,
+                    Value::UInt(n) => i64::try_from(n)
+                        .map_err(|_| de::Error::custom(format!("{n} overflows i64")))?,
+                    ref other => return Err(de::Error::type_mismatch("integer", other)),
+                };
+                <$t>::try_from(n).map_err(|_| {
+                    de::Error::custom(format!("{n} out of range for {}", stringify!($t)))
+                })
+            }
+        }
+    )*};
+}
+
+impl_uint!(u8, u16, u32, u64, usize);
+impl_int!(i8, i16, i32, i64, isize);
+
+macro_rules! impl_float {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::Float(*self as f64)
+            }
+        }
+        impl<'de> Deserialize<'de> for $t {
+            fn from_value(value: &Value) -> Result<Self, de::Error> {
+                match *value {
+                    Value::Float(f) => Ok(f as $t),
+                    Value::Int(n) => Ok(n as $t),
+                    Value::UInt(n) => Ok(n as $t),
+                    ref other => Err(de::Error::type_mismatch("number", other)),
+                }
+            }
+        }
+    )*};
+}
+
+impl_float!(f32, f64);
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl<'de> Deserialize<'de> for bool {
+    fn from_value(value: &Value) -> Result<Self, de::Error> {
+        match value {
+            Value::Bool(b) => Ok(*b),
+            other => Err(de::Error::type_mismatch("bool", other)),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl<'de> Deserialize<'de> for String {
+    fn from_value(value: &Value) -> Result<Self, de::Error> {
+        match value {
+            Value::Str(s) => Ok(s.clone()),
+            other => Err(de::Error::type_mismatch("string", other)),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<'de, T: DeserializeOwned> Deserialize<'de> for Vec<T> {
+    fn from_value(value: &Value) -> Result<Self, de::Error> {
+        match value {
+            Value::Array(items) => items.iter().map(T::from_value).collect(),
+            other => Err(de::Error::type_mismatch("array", other)),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(v) => v.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<'de, T: DeserializeOwned> Deserialize<'de> for Option<T> {
+    fn from_value(value: &Value) -> Result<Self, de::Error> {
+        match value {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+
+    fn from_missing_field(_field: &str) -> Result<Self, de::Error> {
+        Ok(None)
+    }
+}
+
+impl<T: Serialize> Serialize for Box<T> {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<'de, T: DeserializeOwned> Deserialize<'de> for Box<T> {
+    fn from_value(value: &Value) -> Result<Self, de::Error> {
+        T::from_value(value).map(Box::new)
+    }
+}
+
+impl<T: Serialize> Serialize for BTreeMap<String, T> {
+    fn to_value(&self) -> Value {
+        Value::Object(
+            self.iter()
+                .map(|(k, v)| (k.clone(), v.to_value()))
+                .collect(),
+        )
+    }
+}
+
+impl<'de, T: DeserializeOwned> Deserialize<'de> for BTreeMap<String, T> {
+    fn from_value(value: &Value) -> Result<Self, de::Error> {
+        match value {
+            Value::Object(fields) => fields
+                .iter()
+                .map(|(k, v)| Ok((k.clone(), T::from_value(v)?)))
+                .collect(),
+            other => Err(de::Error::type_mismatch("object", other)),
+        }
+    }
+}
+
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl<'de> Deserialize<'de> for Value {
+    fn from_value(value: &Value) -> Result<Self, de::Error> {
+        Ok(value.clone())
+    }
+}
+
+impl fmt::Display for Value {
+    /// Debug-ish display; use the `serde_json` shim for real JSON text.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{self:?}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_roundtrip() {
+        assert_eq!(u64::from_value(&42u64.to_value()).unwrap(), 42);
+        assert_eq!(usize::from_value(&Value::UInt(7)).unwrap(), 7);
+        assert_eq!(i64::from_value(&(-3i64).to_value()).unwrap(), -3);
+        assert_eq!(f64::from_value(&1.5f64.to_value()).unwrap(), 1.5);
+        assert!(bool::from_value(&true.to_value()).unwrap());
+        assert_eq!(
+            String::from_value(&"hi".to_string().to_value()).unwrap(),
+            "hi"
+        );
+    }
+
+    #[test]
+    fn option_handles_null_and_missing() {
+        assert_eq!(Option::<u64>::from_value(&Value::Null).unwrap(), None);
+        assert_eq!(Option::<u64>::from_value(&Value::UInt(5)).unwrap(), Some(5));
+        assert_eq!(Option::<u64>::from_missing_field("x").unwrap(), None);
+        assert!(u64::from_missing_field("x").is_err());
+    }
+
+    #[test]
+    fn vec_roundtrip() {
+        let v = vec![1u64, 2, 3];
+        assert_eq!(Vec::<u64>::from_value(&v.to_value()).unwrap(), v);
+    }
+
+    #[test]
+    fn object_get_preserves_order() {
+        let obj = Value::Object(vec![
+            ("b".into(), Value::UInt(1)),
+            ("a".into(), Value::UInt(2)),
+        ]);
+        assert_eq!(obj.get("a"), Some(&Value::UInt(2)));
+        assert_eq!(obj.get("missing"), None);
+    }
+
+    #[test]
+    fn float_accepts_integers() {
+        assert_eq!(f64::from_value(&Value::UInt(3)).unwrap(), 3.0);
+        assert_eq!(f64::from_value(&Value::Int(-3)).unwrap(), -3.0);
+    }
+
+    #[test]
+    fn nonfinite_floats_preserved_in_model() {
+        let v = f64::INFINITY.to_value();
+        assert_eq!(f64::from_value(&v).unwrap(), f64::INFINITY);
+        let nan = f64::NAN.to_value();
+        assert!(f64::from_value(&nan).unwrap().is_nan());
+    }
 }

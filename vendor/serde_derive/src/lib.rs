@@ -1,51 +1,255 @@
-//! No-op derive macros backing the vendored `serde` shim: the attributes
-//! compile away to marker-trait impls with no serialization logic, since no
-//! data-format crate exists in this offline workspace.
+//! Derive macros backing the vendored `serde` shim.
+//!
+//! Unlike the original no-op version, these derives generate *real*
+//! field-by-field `Serialize`/`Deserialize` impls against the shim's
+//! `Value` data model:
+//!
+//! - **named-field structs** serialize to an insertion-ordered object with
+//!   one entry per field (declaration order — deterministic output) and
+//!   deserialize via `serde::de::field`, which lets `Option` fields
+//!   tolerate absence;
+//! - **unit structs** serialize to an empty object;
+//! - **enums with unit variants** serialize to the variant name as a
+//!   string and deserialize by exact-match on it.
+//!
+//! Tuple structs, enums with payloads, and generic types are rejected with
+//! a compile-time panic: nothing in this workspace derives them, and the
+//! parser (a hand-rolled `TokenTree` walk — no `syn` in the offline
+//! container) stays honest about its limits.
 
-use proc_macro::TokenStream;
+use proc_macro::{Delimiter, TokenStream, TokenTree};
 
-/// Emits a marker `Serialize` impl for the annotated type.
+/// Derives `serde::Serialize` for a named-field struct or unit enum.
 #[proc_macro_derive(Serialize)]
 pub fn derive_serialize(input: TokenStream) -> TokenStream {
-    marker_impl(input, "Serialize", false)
+    let parsed = parse(input);
+    let code = match &parsed {
+        Parsed::Struct { name, fields } => {
+            let pushes: String = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "fields.push((\"{f}\".to_string(), \
+                         serde::Serialize::to_value(&self.{f})));\n"
+                    )
+                })
+                .collect();
+            format!(
+                "impl serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> serde::Value {{\n\
+                         let mut fields: Vec<(String, serde::Value)> = \
+                             Vec::with_capacity({n});\n\
+                         {pushes}\
+                         serde::Value::Object(fields)\n\
+                     }}\n\
+                 }}",
+                n = fields.len()
+            )
+        }
+        Parsed::Enum { name, variants } => {
+            let arms: String = variants
+                .iter()
+                .map(|v| format!("{name}::{v} => \"{v}\",\n"))
+                .collect();
+            format!(
+                "impl serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> serde::Value {{\n\
+                         serde::Value::Str(match self {{ {arms} }}.to_string())\n\
+                     }}\n\
+                 }}"
+            )
+        }
+    };
+    code.parse()
+        .expect("generated Serialize impl must tokenize")
 }
 
-/// Emits a marker `Deserialize` impl for the annotated type.
+/// Derives `serde::Deserialize` for a named-field struct or unit enum.
 #[proc_macro_derive(Deserialize)]
 pub fn derive_deserialize(input: TokenStream) -> TokenStream {
-    marker_impl(input, "Deserialize", true)
-}
-
-/// Minimal parse: find the type name after `struct`/`enum` and emit
-/// `impl serde::Trait for Name {}`. Generic types are not handled — the
-/// netsim config types this workspace derives on are all concrete.
-fn marker_impl(input: TokenStream, trait_name: &str, lifetime: bool) -> TokenStream {
-    let source = input.to_string();
-    let name = type_name(&source).unwrap_or_else(|| {
-        panic!("serde_derive shim: could not find struct/enum name in `{source}`")
-    });
-    let imp = if lifetime {
-        format!("impl<'de> serde::{trait_name}<'de> for {name} {{}}")
-    } else {
-        format!("impl serde::{trait_name} for {name} {{}}")
-    };
-    imp.parse().expect("generated impl must tokenize")
-}
-
-fn type_name(source: &str) -> Option<String> {
-    let mut tokens = source.split_whitespace().peekable();
-    while let Some(tok) = tokens.next() {
-        if tok == "struct" || tok == "enum" {
-            let raw = tokens.next()?;
-            let name: String = raw
-                .chars()
-                .take_while(|c| c.is_alphanumeric() || *c == '_')
+    let parsed = parse(input);
+    let code = match &parsed {
+        Parsed::Struct { name, fields } => {
+            let inits: String = fields
+                .iter()
+                .map(|f| format!("{f}: serde::de::field(value, \"{f}\")?,\n"))
                 .collect();
-            if name.is_empty() {
-                return None;
+            format!(
+                "impl<'de> serde::Deserialize<'de> for {name} {{\n\
+                     fn from_value(value: &serde::Value) \
+                         -> Result<Self, serde::de::Error> {{\n\
+                         Ok({name} {{ {inits} }})\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Parsed::Enum { name, variants } => {
+            let arms: String = variants
+                .iter()
+                .map(|v| format!("\"{v}\" => Ok({name}::{v}),\n"))
+                .collect();
+            format!(
+                "impl<'de> serde::Deserialize<'de> for {name} {{\n\
+                     fn from_value(value: &serde::Value) \
+                         -> Result<Self, serde::de::Error> {{\n\
+                         match value.as_str() {{\n\
+                             Some(s) => match s {{\n\
+                                 {arms}\
+                                 other => Err(serde::de::Error::custom(format!(\n\
+                                     \"unknown {name} variant {{other:?}}\"))),\n\
+                             }},\n\
+                             None => Err(serde::de::Error::type_mismatch(\n\
+                                 \"string ({name} variant)\", value)),\n\
+                         }}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+    };
+    code.parse()
+        .expect("generated Deserialize impl must tokenize")
+}
+
+/// What the derive input turned out to be.
+enum Parsed {
+    Struct { name: String, fields: Vec<String> },
+    Enum { name: String, variants: Vec<String> },
+}
+
+/// Parses the derive input by walking `TokenTree`s directly (attributes and
+/// doc comments arrive as `#[...]` groups and are skipped atomically, so
+/// braces inside doc text cannot confuse the parser).
+fn parse(input: TokenStream) -> Parsed {
+    let mut tokens = input.into_iter().peekable();
+    // Skip outer attributes (`#[...]`) and visibility (`pub`, `pub(...)`).
+    let kind = loop {
+        match tokens.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                tokens.next(); // the [...] group
             }
-            return Some(name);
+            Some(TokenTree::Ident(i)) if i.to_string() == "pub" => {
+                if let Some(TokenTree::Group(g)) = tokens.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        tokens.next(); // pub(crate) etc.
+                    }
+                }
+            }
+            Some(TokenTree::Ident(i)) => {
+                let s = i.to_string();
+                if s == "struct" || s == "enum" {
+                    break s;
+                }
+                panic!("serde_derive shim: unexpected token `{s}` before struct/enum");
+            }
+            Some(other) => panic!("serde_derive shim: unexpected token `{other}`"),
+            None => panic!("serde_derive shim: ran out of tokens before struct/enum"),
+        }
+    };
+    let name = match tokens.next() {
+        Some(TokenTree::Ident(i)) => i.to_string(),
+        other => panic!("serde_derive shim: expected type name, got {other:?}"),
+    };
+    if matches!(tokens.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("serde_derive shim: generic types are not supported (type `{name}`)");
+    }
+    let body = loop {
+        match tokens.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => break g.stream(),
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                panic!("serde_derive shim: tuple struct `{name}` is not supported")
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => break TokenStream::new(),
+            Some(_) => continue, // e.g. trailing tokens before the body
+            None => panic!("serde_derive shim: `{name}` has no body"),
+        }
+    };
+    if kind == "struct" {
+        Parsed::Struct {
+            name,
+            fields: parse_struct_fields(body),
+        }
+    } else {
+        Parsed::Enum {
+            name,
+            variants: parse_enum_variants(body),
         }
     }
-    None
+}
+
+/// Extracts field names from a named-field struct body: per field, skip
+/// attributes and visibility, take the identifier before `:`, then skip the
+/// type — tracking `<`/`>` depth so commas inside generics (e.g.
+/// `Option<Foo>`, `HashMap<K, V>`) do not end the field early.
+fn parse_struct_fields(body: TokenStream) -> Vec<String> {
+    let mut fields = Vec::new();
+    let mut tokens = body.into_iter().peekable();
+    loop {
+        // Skip attributes and visibility before the field name.
+        let field = loop {
+            match tokens.next() {
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                    tokens.next();
+                }
+                Some(TokenTree::Ident(i)) if i.to_string() == "pub" => {
+                    if let Some(TokenTree::Group(g)) = tokens.peek() {
+                        if g.delimiter() == Delimiter::Parenthesis {
+                            tokens.next();
+                        }
+                    }
+                }
+                Some(TokenTree::Ident(i)) => break i.to_string(),
+                Some(other) => {
+                    panic!("serde_derive shim: unexpected token `{other}` in struct body")
+                }
+                None => return fields,
+            }
+        };
+        match tokens.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => panic!("serde_derive shim: expected `:` after field `{field}`, got {other:?}"),
+        }
+        fields.push(field);
+        // Skip the type up to the next top-level comma.
+        let mut angle_depth = 0usize;
+        loop {
+            match tokens.next() {
+                Some(TokenTree::Punct(p)) if p.as_char() == '<' => angle_depth += 1,
+                Some(TokenTree::Punct(p)) if p.as_char() == '>' => {
+                    angle_depth = angle_depth.saturating_sub(1)
+                }
+                Some(TokenTree::Punct(p)) if p.as_char() == ',' && angle_depth == 0 => break,
+                Some(_) => {}
+                None => return fields,
+            }
+        }
+    }
+}
+
+/// Extracts variant names from an enum body, rejecting payload-carrying
+/// variants (nothing in this workspace serializes them).
+fn parse_enum_variants(body: TokenStream) -> Vec<String> {
+    let mut variants = Vec::new();
+    let mut tokens = body.into_iter().peekable();
+    loop {
+        let variant = loop {
+            match tokens.next() {
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                    tokens.next();
+                }
+                Some(TokenTree::Ident(i)) => break i.to_string(),
+                Some(TokenTree::Punct(p)) if p.as_char() == ',' => continue,
+                Some(other) => {
+                    panic!("serde_derive shim: unexpected token `{other}` in enum body")
+                }
+                None => return variants,
+            }
+        };
+        if let Some(TokenTree::Group(_)) = tokens.peek() {
+            panic!(
+                "serde_derive shim: enum variant `{variant}` carries a payload; \
+                 only unit variants are supported"
+            );
+        }
+        variants.push(variant);
+    }
 }

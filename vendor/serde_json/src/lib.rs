@@ -1,0 +1,490 @@
+//! Offline vendored JSON backend for the `serde` shim: renders a
+//! [`serde::Value`] to JSON text and parses it back.
+//!
+//! Guarantees the benchmark pipeline relies on:
+//!
+//! - **Deterministic output.** Object fields keep insertion order and `f64`
+//!   values print via Rust's shortest-round-trip formatting, so serializing
+//!   the same data twice yields byte-identical text.
+//! - **Lossless floats.** The shortest-round-trip form parses back to the
+//!   exact same bit pattern. Non-finite values — which standard JSON cannot
+//!   express but the cost models use (`bandwidth: inf` for free links) —
+//!   are written as the extended tokens `Infinity`, `-Infinity` and `NaN`,
+//!   and the parser accepts them back (a documented deviation, in the
+//!   spirit of JSON5).
+//! - **Integer fidelity.** Integers stay integers (`i64`/`u64`), never
+//!   silently routed through `f64`.
+
+use serde::{de, DeserializeOwned, Serialize, Value};
+use std::fmt;
+
+/// A JSON serialization or parse error.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Error(String);
+
+impl Error {
+    fn new(msg: impl fmt::Display) -> Error {
+        Error(msg.to_string())
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl From<de::Error> for Error {
+    fn from(e: de::Error) -> Error {
+        Error(e.to_string())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Writing
+// ---------------------------------------------------------------------------
+
+/// Serializes `value` to compact JSON.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(&mut out, &value.to_value(), None, 0);
+    Ok(out)
+}
+
+/// Serializes `value` to human-readable JSON (two-space indentation).
+pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(&mut out, &value.to_value(), Some(2), 0);
+    out.push('\n');
+    Ok(out)
+}
+
+fn write_value(out: &mut String, v: &Value, indent: Option<usize>, depth: usize) {
+    match v {
+        Value::Null => out.push_str("null"),
+        Value::Bool(true) => out.push_str("true"),
+        Value::Bool(false) => out.push_str("false"),
+        Value::Int(n) => out.push_str(&n.to_string()),
+        Value::UInt(n) => out.push_str(&n.to_string()),
+        Value::Float(f) => write_float(out, *f),
+        Value::Str(s) => write_string(out, s),
+        Value::Array(items) => {
+            write_seq(out, items.iter(), indent, depth, ('[', ']'), |o, x, d| {
+                write_value(o, x, indent, d)
+            })
+        }
+        Value::Object(fields) => write_seq(
+            out,
+            fields.iter(),
+            indent,
+            depth,
+            ('{', '}'),
+            |o, (k, x), d| {
+                write_string(o, k);
+                o.push(':');
+                if indent.is_some() {
+                    o.push(' ');
+                }
+                write_value(o, x, indent, d);
+            },
+        ),
+    }
+}
+
+fn write_seq<I, F>(
+    out: &mut String,
+    items: I,
+    indent: Option<usize>,
+    depth: usize,
+    brackets: (char, char),
+    mut write_item: F,
+) where
+    I: ExactSizeIterator,
+    F: FnMut(&mut String, I::Item, usize),
+{
+    out.push(brackets.0);
+    let n = items.len();
+    for (i, item) in items.enumerate() {
+        if let Some(w) = indent {
+            out.push('\n');
+            out.extend(std::iter::repeat_n(' ', w * (depth + 1)));
+        }
+        write_item(out, item, depth + 1);
+        if i + 1 < n {
+            out.push(',');
+        }
+    }
+    if n > 0 {
+        if let Some(w) = indent {
+            out.push('\n');
+            out.extend(std::iter::repeat_n(' ', w * depth));
+        }
+    }
+    out.push(brackets.1);
+}
+
+fn write_float(out: &mut String, f: f64) {
+    if f.is_nan() {
+        out.push_str("NaN");
+    } else if f == f64::INFINITY {
+        out.push_str("Infinity");
+    } else if f == f64::NEG_INFINITY {
+        out.push_str("-Infinity");
+    } else {
+        // `{:?}` prints the shortest string that round-trips to the same
+        // f64, and always includes a `.` or exponent so the parser reads
+        // it back as a float (e.g. `1.0`, not `1`).
+        out.push_str(&format!("{f:?}"));
+    }
+}
+
+fn write_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+/// Parses JSON text into `T`.
+pub fn from_str<T: DeserializeOwned>(text: &str) -> Result<T, Error> {
+    let value = parse_value_str(text)?;
+    Ok(T::from_value(&value)?)
+}
+
+/// Parses JSON text into the generic [`Value`] model.
+pub fn parse_value_str(text: &str) -> Result<Value, Error> {
+    let mut p = Parser {
+        bytes: text.as_bytes(),
+        pos: 0,
+    };
+    p.skip_ws();
+    let v = p.parse_value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(Error::new(format!("trailing characters at byte {}", p.pos)));
+    }
+    Ok(v)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if matches!(b, b' ' | b'\t' | b'\n' | b'\r') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), Error> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(Error::new(format!(
+                "expected {:?} at byte {}",
+                b as char, self.pos
+            )))
+        }
+    }
+
+    fn eat_keyword(&mut self, kw: &str) -> bool {
+        if self.bytes[self.pos..].starts_with(kw.as_bytes()) {
+            self.pos += kw.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn parse_value(&mut self) -> Result<Value, Error> {
+        match self.peek() {
+            Some(b'{') => self.parse_object(),
+            Some(b'[') => self.parse_array(),
+            Some(b'"') => Ok(Value::Str(self.parse_string()?)),
+            Some(b't') if self.eat_keyword("true") => Ok(Value::Bool(true)),
+            Some(b'f') if self.eat_keyword("false") => Ok(Value::Bool(false)),
+            Some(b'n') if self.eat_keyword("null") => Ok(Value::Null),
+            // Extended tokens for values standard JSON cannot express.
+            Some(b'N') if self.eat_keyword("NaN") => Ok(Value::Float(f64::NAN)),
+            Some(b'I') if self.eat_keyword("Infinity") => Ok(Value::Float(f64::INFINITY)),
+            Some(b'-') if self.bytes[self.pos..].starts_with(b"-Infinity") => {
+                self.pos += "-Infinity".len();
+                Ok(Value::Float(f64::NEG_INFINITY))
+            }
+            Some(b'-' | b'0'..=b'9') => self.parse_number(),
+            other => Err(Error::new(format!(
+                "unexpected {:?} at byte {}",
+                other.map(|b| b as char),
+                self.pos
+            ))),
+        }
+    }
+
+    fn parse_object(&mut self) -> Result<Value, Error> {
+        self.expect(b'{')?;
+        let mut fields = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Object(fields));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.parse_string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let value = self.parse_value()?;
+            fields.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Value::Object(fields));
+                }
+                other => {
+                    return Err(Error::new(format!(
+                        "expected ',' or '}}' in object, got {:?} at byte {}",
+                        other.map(|b| b as char),
+                        self.pos
+                    )))
+                }
+            }
+        }
+    }
+
+    fn parse_array(&mut self) -> Result<Value, Error> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Array(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.parse_value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Value::Array(items));
+                }
+                other => {
+                    return Err(Error::new(format!(
+                        "expected ',' or ']' in array, got {:?} at byte {}",
+                        other.map(|b| b as char),
+                        self.pos
+                    )))
+                }
+            }
+        }
+    }
+
+    fn parse_string(&mut self) -> Result<String, Error> {
+        self.expect(b'"')?;
+        let mut s = String::new();
+        loop {
+            let Some(b) = self.peek() else {
+                return Err(Error::new("unterminated string"));
+            };
+            self.pos += 1;
+            match b {
+                b'"' => return Ok(s),
+                b'\\' => {
+                    let Some(esc) = self.peek() else {
+                        return Err(Error::new("unterminated escape"));
+                    };
+                    self.pos += 1;
+                    match esc {
+                        b'"' => s.push('"'),
+                        b'\\' => s.push('\\'),
+                        b'/' => s.push('/'),
+                        b'n' => s.push('\n'),
+                        b'r' => s.push('\r'),
+                        b't' => s.push('\t'),
+                        b'b' => s.push('\u{0008}'),
+                        b'f' => s.push('\u{000C}'),
+                        b'u' => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos..self.pos + 4)
+                                .ok_or_else(|| Error::new("truncated \\u escape"))?;
+                            self.pos += 4;
+                            let code = u32::from_str_radix(
+                                std::str::from_utf8(hex)
+                                    .map_err(|_| Error::new("non-ascii \\u escape"))?,
+                                16,
+                            )
+                            .map_err(|_| Error::new("bad \\u escape"))?;
+                            // Surrogate pairs are not reconstructed — the
+                            // writer never emits them (it escapes only
+                            // control characters, which are in the BMP).
+                            s.push(
+                                char::from_u32(code)
+                                    .ok_or_else(|| Error::new("invalid \\u code point"))?,
+                            );
+                        }
+                        other => {
+                            return Err(Error::new(format!("unknown escape \\{}", other as char)))
+                        }
+                    }
+                }
+                _ => {
+                    // Re-decode UTF-8 from the raw bytes: back up one and
+                    // take the full code point.
+                    self.pos -= 1;
+                    let rest = &self.bytes[self.pos..];
+                    let text = std::str::from_utf8(rest)
+                        .map_err(|_| Error::new("invalid UTF-8 in string"))?;
+                    let c = text.chars().next().unwrap();
+                    s.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn parse_number(&mut self) -> Result<Value, Error> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        let mut is_float = false;
+        while let Some(b) = self.peek() {
+            match b {
+                b'0'..=b'9' => self.pos += 1,
+                b'.' | b'e' | b'E' | b'+' | b'-' => {
+                    is_float = true;
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+        let text =
+            std::str::from_utf8(&self.bytes[start..self.pos]).expect("number bytes are ASCII");
+        if is_float {
+            text.parse::<f64>()
+                .map(Value::Float)
+                .map_err(|e| Error::new(format!("bad number {text:?}: {e}")))
+        } else if text.starts_with('-') {
+            text.parse::<i64>()
+                .map(Value::Int)
+                .map_err(|e| Error::new(format!("bad integer {text:?}: {e}")))
+        } else {
+            text.parse::<u64>()
+                .map(Value::UInt)
+                .map_err(|e| Error::new(format!("bad integer {text:?}: {e}")))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalars_roundtrip() {
+        for text in ["null", "true", "false", "42", "-7", "1.5", "\"hi\""] {
+            let v = parse_value_str(text).unwrap();
+            assert_eq!(to_string(&v).unwrap(), text);
+        }
+    }
+
+    #[test]
+    fn nonfinite_floats_roundtrip() {
+        assert_eq!(
+            parse_value_str("Infinity").unwrap(),
+            Value::Float(f64::INFINITY)
+        );
+        assert_eq!(
+            parse_value_str("-Infinity").unwrap(),
+            Value::Float(f64::NEG_INFINITY)
+        );
+        assert!(matches!(
+            parse_value_str("NaN").unwrap(),
+            Value::Float(f) if f.is_nan()
+        ));
+        assert_eq!(to_string(&f64::INFINITY).unwrap(), "Infinity");
+    }
+
+    #[test]
+    fn float_precision_is_exact() {
+        for f in [0.1, 1.0 / 3.0, 123456.789012345, f64::MIN_POSITIVE, 1e300] {
+            let text = to_string(&f).unwrap();
+            let back = parse_value_str(&text).unwrap();
+            assert_eq!(back, Value::Float(f), "{text}");
+        }
+    }
+
+    #[test]
+    fn nested_structure_roundtrips() {
+        let text = r#"{"a":[1,2.5,"x"],"b":{"c":null,"d":false}}"#;
+        let v = parse_value_str(text).unwrap();
+        assert_eq!(to_string(&v).unwrap(), text);
+    }
+
+    #[test]
+    fn pretty_output_parses_back() {
+        let v = parse_value_str(r#"{"a":[1,2],"b":"s"}"#).unwrap();
+        let pretty = to_string_pretty(&v).unwrap();
+        assert!(pretty.contains("\n  \"a\": ["));
+        assert_eq!(parse_value_str(&pretty).unwrap(), v);
+    }
+
+    #[test]
+    fn string_escapes_roundtrip() {
+        let v = Value::Str("line\nquote\"back\\slash\ttab\u{1}".into());
+        let text = to_string(&v).unwrap();
+        assert_eq!(parse_value_str(&text).unwrap(), v);
+    }
+
+    #[test]
+    fn unicode_passes_through() {
+        let v = Value::Str("ℓm × π — ≥".into());
+        let text = to_string(&v).unwrap();
+        assert_eq!(parse_value_str(&text).unwrap(), v);
+    }
+
+    #[test]
+    fn rejects_trailing_garbage() {
+        assert!(parse_value_str("{} x").is_err());
+        assert!(parse_value_str("[1,]").is_err());
+        assert!(parse_value_str("{\"a\"}").is_err());
+    }
+
+    #[test]
+    fn big_integers_survive() {
+        let big = u64::MAX;
+        let text = to_string(&Value::UInt(big)).unwrap();
+        assert_eq!(parse_value_str(&text).unwrap(), Value::UInt(big));
+    }
+}
