@@ -64,8 +64,9 @@ commands:
              --chrome-trace out.json)
   sweep      best-scheme table across sizes (--p, --nodes; optional
              --mapping, --profile, --sizes 1B,1KB,…, --csv out.csv)
-  bench      run the fixed deterministic smoke suite and emit the
-             machine-readable report (--json PATH or '-' for stdout;
+  bench      run the fixed deterministic smoke suite (latency entries plus
+             crash-recovery cells) and emit the machine-readable report
+             (--json PATH or '-' for stdout;
              --probe adds wall-clock crypto throughput — never commit
              probed reports as baselines)
   regress    gate a report against a baseline (--baseline BENCH_x.json;
@@ -251,8 +252,9 @@ fn write_report(report: &eag_bench::BenchReport, path: &str) -> Result<(), Strin
     } else {
         std::fs::write(path, &json).map_err(|e| format!("writing {path}: {e}"))?;
         println!(
-            "bench report written to {path} ({} entries{})",
+            "bench report written to {path} ({} entries, {} recovery{})",
             report.entries.len(),
+            report.recovery.len(),
             if report.deterministic {
                 ", deterministic"
             } else {
@@ -299,12 +301,19 @@ fn cmd_regress(opts: &Options) -> Result<(), String> {
         }
         None => {
             println!(
-                "re-running suite {:?} ({} cases) from the baseline…",
+                "re-running suite {:?} ({} cases, {} recovery) from the baseline…",
                 baseline.suite,
-                baseline.entries.len()
+                baseline.entries.len(),
+                baseline.recovery.len()
             );
             let cases = eag_bench::report::suite_from_report(&baseline)?;
-            eag_bench::report::run_suite(&baseline.suite, &baseline.profile, &cases)
+            let recovery = eag_bench::report::recovery_suite_from_report(&baseline)?;
+            eag_bench::report::run_suite_with_recovery(
+                &baseline.suite,
+                &baseline.profile,
+                &cases,
+                &recovery,
+            )
         }
     };
     let gate = eag_bench::regress::GateConfig {

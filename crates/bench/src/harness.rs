@@ -2,9 +2,10 @@
 //! calibrated cluster profile and reports the virtual latency.
 
 use crate::stats::Stats;
-use eag_core::{allgather, Algorithm};
-use eag_netsim::{profile, ClusterProfile, Mapping, Topology};
-use eag_runtime::{run, DataMode, WorldSpec};
+use eag_core::{allgather, recover_allgather, Algorithm};
+use eag_netsim::{profile, ClusterProfile, Crash, FaultPlan, Mapping, Topology};
+use eag_runtime::{run, run_crashable, DataMode, RetryPolicy, WorldSpec};
+use std::time::Duration;
 
 /// One simulated cluster configuration.
 #[derive(Debug, Clone)]
@@ -123,6 +124,95 @@ pub fn simulate_samples(
     (samples, metrics.expect("at least one rep"))
 }
 
+/// Data-pattern seed for recovery measurements. Crash recovery needs real
+/// payloads — survivor agreement seals actual failure bitmaps and the
+/// degraded outputs are verified bit-exact against the input patterns —
+/// unlike the phantom-mode latency paths above.
+pub const RECOVERY_DATA_SEED: u64 = 7;
+
+/// One crash-recovery measurement: the virtual latency of a fault-free
+/// crash-tolerant all-gather versus the same collective surviving one
+/// planned rank crash (detection + survivor agreement + shrink-and-recover
+/// re-run over the survivors).
+#[derive(Debug, Clone, Copy)]
+pub struct RecoverySample {
+    /// Virtual latency of the fault-free run, µs.
+    pub clean_latency_us: f64,
+    /// Virtual latency of the crashed run, µs (includes detection, the
+    /// agreement rounds, and the degraded re-run).
+    pub recovery_latency_us: f64,
+    /// Ranks that survived and produced the degraded output.
+    pub survivors: usize,
+}
+
+/// Builds the world for a recovery measurement. NIC contention is always
+/// off and the NACK retry timer is pushed beyond any realistic wall-clock
+/// run: retransmission races wall-clock timers against thread scheduling
+/// and would perturb the virtual clock nondeterministically, while crash
+/// detection itself is flag-based and never needs it. The resulting
+/// latencies are bit-deterministic and safe for an exact-compare gate.
+fn recovery_spec(cfg: &SimConfig, crash: Option<Crash>) -> WorldSpec {
+    let mut spec = WorldSpec::new(
+        Topology::new(cfg.p, cfg.nodes, cfg.mapping),
+        cfg.cluster_profile(),
+        DataMode::Real {
+            seed: RECOVERY_DATA_SEED,
+        },
+    );
+    spec.nic_contention = false;
+    if let Some(c) = crash {
+        spec.faults = FaultPlan {
+            crash: Some(c),
+            ..FaultPlan::default()
+        };
+    }
+    spec.retry = RetryPolicy {
+        attempt_timeout: Duration::from_secs(5),
+        max_attempts: 3,
+        backoff: 2.0,
+    };
+    spec.recv_timeout = Some(Duration::from_secs(60));
+    spec
+}
+
+/// Measures `algo` surviving `crash_rank` dying just before its send step
+/// `crash_step`, against a fault-free reference of the same collective.
+/// Panics if the planned crash never fires (the sample would silently
+/// measure a clean run) or if any survivor's degraded output fails
+/// verification.
+pub fn simulate_recovery(
+    cfg: &SimConfig,
+    algo: Algorithm,
+    m: usize,
+    crash_rank: usize,
+    crash_step: u64,
+) -> RecoverySample {
+    // Every fired crash unwinds through panic machinery by design; keep the
+    // expected unwinds out of bench output.
+    static QUIET: std::sync::Once = std::sync::Once::new();
+    QUIET.call_once(eag_runtime::quiet_expected_panics);
+
+    let clean = run(&recovery_spec(cfg, None), move |ctx| {
+        recover_allgather(ctx, algo, m).verify(RECOVERY_DATA_SEED);
+    });
+    let crash = Crash::before(crash_rank, crash_step);
+    let report = run_crashable(&recovery_spec(cfg, Some(crash)), move |ctx| {
+        let out = recover_allgather(ctx, algo, m);
+        out.verify(RECOVERY_DATA_SEED);
+        out
+    });
+    assert!(
+        !report.crashed.is_empty(),
+        "{algo}: planned crash at rank {crash_rank} step {crash_step} never \
+         fired — the recovery sample would measure a clean run"
+    );
+    RecoverySample {
+        clean_latency_us: clean.latency_us,
+        recovery_latency_us: report.latency_us,
+        survivors: cfg.p - report.crashed.len(),
+    }
+}
+
 /// Simulates and also returns the critical-path metrics (single run).
 pub fn simulate_with_metrics(
     cfg: &SimConfig,
@@ -174,6 +264,19 @@ mod tests {
         let small = simulate(&cfg, Algorithm::CRing, 64);
         let large = simulate(&cfg, Algorithm::CRing, 256 * 1024);
         assert!(large.mean > small.mean * 10.0);
+    }
+
+    #[test]
+    fn recovery_costs_more_than_clean_and_reproduces_exactly() {
+        let mut cfg = tiny(Mapping::Block);
+        cfg.nic_contention = false;
+        let a = simulate_recovery(&cfg, Algorithm::ORing, 1024, 0, 0);
+        let b = simulate_recovery(&cfg, Algorithm::ORing, 1024, 0, 0);
+        // Bit-deterministic: the exact-compare regress gate depends on it.
+        assert_eq!(a.clean_latency_us, b.clean_latency_us);
+        assert_eq!(a.recovery_latency_us, b.recovery_latency_us);
+        assert_eq!(a.survivors, cfg.p - 1);
+        assert!(a.recovery_latency_us > a.clean_latency_us);
     }
 
     #[test]

@@ -15,7 +15,7 @@
 //! as a failure too: those counters are exact algorithm properties, so any
 //! change is a behavioral change, not noise.
 
-use crate::report::{BenchEntry, BenchReport};
+use crate::report::{BenchEntry, BenchReport, RecoveryEntry};
 use std::fmt;
 
 /// Gate configuration.
@@ -119,6 +119,13 @@ fn entry_label(e: &BenchEntry) -> String {
     format!("{} p={} {:?} {}B", e.algorithm, e.p, e.mapping, e.msg_bytes)
 }
 
+fn recovery_label(e: &RecoveryEntry) -> String {
+    format!(
+        "recover {} p={} {:?} {}B r{}@s{}",
+        e.algorithm, e.p, e.mapping, e.msg_bytes, e.crash_rank, e.crash_step
+    )
+}
+
 /// Compares `current` against `baseline` under `gate`.
 pub fn compare(baseline: &BenchReport, current: &BenchReport, gate: &GateConfig) -> GateReport {
     let mut comparisons = Vec::new();
@@ -131,6 +138,17 @@ pub fn compare(baseline: &BenchReport, current: &BenchReport, gate: &GateConfig)
     for base in &baseline.entries {
         if current.find_matching(base).is_none() {
             comparisons.push(unmatched(base, "missing from current"));
+        }
+    }
+    for cur in &current.recovery {
+        match baseline.find_matching_recovery(cur) {
+            Some(base) => comparisons.push(compare_recovery(base, cur, gate)),
+            None => comparisons.push(unmatched_recovery(cur, "missing from baseline")),
+        }
+    }
+    for base in &baseline.recovery {
+        if current.find_matching_recovery(base).is_none() {
+            comparisons.push(unmatched_recovery(base, "missing from current"));
         }
     }
     let pass = comparisons
@@ -148,6 +166,64 @@ fn unmatched(e: &BenchEntry, why: &str) -> EntryComparison {
         t_stat: f64::NAN,
         significant: false,
         verdict: Verdict::Unmatched,
+    }
+}
+
+fn unmatched_recovery(e: &RecoveryEntry, why: &str) -> EntryComparison {
+    EntryComparison {
+        label: format!("{} ({why})", recovery_label(e)),
+        baseline_mean_us: f64::NAN,
+        current_mean_us: f64::NAN,
+        delta_pct: f64::NAN,
+        t_stat: f64::NAN,
+        significant: false,
+        verdict: Verdict::Unmatched,
+    }
+}
+
+/// Compares one matched crash-recovery pair. Recovery latencies come from a
+/// single deterministic run (zero variance on both sides), so the
+/// significance machinery degenerates to an exact comparison: any slowdown
+/// of the survivor path beyond the threshold fails the gate, and an
+/// identical re-run always passes.
+pub fn compare_recovery(
+    base: &RecoveryEntry,
+    cur: &RecoveryEntry,
+    gate: &GateConfig,
+) -> EntryComparison {
+    let delta_pct = if base.recovery_latency_us == 0.0 {
+        0.0
+    } else {
+        (cur.recovery_latency_us / base.recovery_latency_us - 1.0) * 100.0
+    };
+    let (t_stat, significant) = welch_significant(
+        base.recovery_latency_us,
+        0.0,
+        1,
+        cur.recovery_latency_us,
+        0.0,
+        1,
+        gate.confidence,
+    );
+    let verdict = if cur.survivors != base.survivors {
+        // The crash took out a different number of ranks: a behavioral
+        // change in detection/agreement, not a latency matter.
+        Verdict::MetricsDrift
+    } else if delta_pct > gate.threshold_pct && significant {
+        Verdict::Regressed
+    } else if delta_pct < -gate.threshold_pct && significant {
+        Verdict::Improved
+    } else {
+        Verdict::Pass
+    };
+    EntryComparison {
+        label: recovery_label(cur),
+        baseline_mean_us: base.recovery_latency_us,
+        current_mean_us: cur.recovery_latency_us,
+        delta_pct,
+        t_stat,
+        significant,
+        verdict,
     }
 }
 
@@ -334,6 +410,69 @@ mod tests {
                 },
             ],
         )
+    }
+
+    fn recovery_report() -> BenchReport {
+        use crate::report::{run_suite_with_recovery, RecoveryCase};
+        let cfg = SimConfig {
+            p: 8,
+            nodes: 2,
+            mapping: Mapping::Block,
+            profile: "noleland".into(),
+            reps: 1,
+            nic_contention: false,
+        };
+        run_suite_with_recovery(
+            "unit",
+            "noleland",
+            &[],
+            &[RecoveryCase {
+                cfg,
+                algo: Algorithm::ORing,
+                msg_bytes: 512,
+                crash_rank: 0,
+                crash_step: 0,
+            }],
+        )
+    }
+
+    #[test]
+    fn identical_recovery_rerun_passes() {
+        let base = recovery_report();
+        let cur = recovery_report();
+        let out = compare(&base, &cur, &GateConfig::default());
+        assert!(out.pass, "{:#?}", out.comparisons);
+        assert_eq!(out.comparisons.len(), 1);
+    }
+
+    #[test]
+    fn recovery_slowdown_fails() {
+        let base = recovery_report();
+        let mut cur = base.clone();
+        cur.recovery[0].recovery_latency_us *= 1.20;
+        let out = compare(&base, &cur, &GateConfig::default());
+        assert!(!out.pass);
+        assert_eq!(out.count(&Verdict::Regressed), 1);
+    }
+
+    #[test]
+    fn missing_recovery_entry_fails() {
+        let base = recovery_report();
+        let mut cur = base.clone();
+        cur.recovery.clear();
+        let out = compare(&base, &cur, &GateConfig::default());
+        assert!(!out.pass);
+        assert_eq!(out.count(&Verdict::Unmatched), 1);
+    }
+
+    #[test]
+    fn recovery_survivor_drift_fails() {
+        let base = recovery_report();
+        let mut cur = base.clone();
+        cur.recovery[0].survivors -= 1;
+        let out = compare(&base, &cur, &GateConfig::default());
+        assert!(!out.pass);
+        assert_eq!(out.count(&Verdict::MetricsDrift), 1);
     }
 
     #[test]

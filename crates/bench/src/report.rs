@@ -15,7 +15,7 @@
 //! via [`BenchReport::with_crypto`] when measuring, and never commit them
 //! into a gating baseline.
 
-use crate::harness::{simulate_samples, SimConfig};
+use crate::harness::{simulate_recovery, simulate_samples, SimConfig};
 use crate::stats::Stats;
 use eag_core::Algorithm;
 use eag_netsim::Mapping;
@@ -25,7 +25,7 @@ use serde::{Deserialize, Serialize};
 /// Version of the JSON schema emitted by [`BenchReport`]. Bump on any
 /// breaking change to the field layout; [`BenchReport::from_json`] rejects
 /// mismatched versions instead of misreading them.
-pub const SCHEMA_VERSION: u64 = 1;
+pub const SCHEMA_VERSION: u64 = 2;
 
 /// A complete benchmark report: one entry per (algorithm, configuration,
 /// message size) plus optional wall-clock crypto throughput.
@@ -43,6 +43,11 @@ pub struct BenchReport {
     pub deterministic: bool,
     /// One entry per benchmarked (algorithm, config, message size).
     pub entries: Vec<BenchEntry>,
+    /// One entry per crash-recovery measurement: the survivor-path latency
+    /// of shrink-and-recover under a planned rank crash. Always
+    /// deterministic (flag-based detection, no NACK timers, no contention),
+    /// so the regress gate compares these exactly.
+    pub recovery: Vec<RecoveryEntry>,
     /// Real wall-clock AES-GCM throughput, if probed (`--probe`). Always
     /// `None` in committed baselines — wall-clock numbers are machine- and
     /// load-dependent.
@@ -160,6 +165,35 @@ impl PaperMetrics {
     }
 }
 
+/// One crash-recovery latency cell: the virtual-time cost of surviving a
+/// planned rank crash (failure detection + survivor agreement +
+/// shrink-and-recover re-run) versus the fault-free run of the same
+/// crash-tolerant collective.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RecoveryEntry {
+    /// Algorithm name as accepted by `Algorithm::by_name`.
+    pub algorithm: String,
+    /// Number of processes before the crash.
+    pub p: u64,
+    /// Number of nodes.
+    pub nodes: u64,
+    /// Process-to-node mapping.
+    pub mapping: Mapping,
+    /// Per-process message size in bytes.
+    pub msg_bytes: u64,
+    /// The rank that crashes.
+    pub crash_rank: u64,
+    /// The send step the rank crashes just before.
+    pub crash_step: u64,
+    /// Virtual latency of the fault-free run, µs.
+    pub clean_latency_us: f64,
+    /// Virtual latency of the crashed run (detection + agreement +
+    /// degraded re-run), µs.
+    pub recovery_latency_us: f64,
+    /// Ranks that survived and produced the degraded output.
+    pub survivors: u64,
+}
+
 /// Wall-clock AES-GCM throughput measured on this machine via the fused
 /// seal/open path in `eag-crypto`.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -189,6 +223,22 @@ pub struct SuiteCase {
     pub algo: Algorithm,
     /// Per-process message size in bytes.
     pub msg_bytes: usize,
+}
+
+/// One crash-recovery case of a suite: a configuration, an algorithm, a
+/// message size, and the planned crash (rank + send step).
+#[derive(Debug, Clone)]
+pub struct RecoveryCase {
+    /// Simulated cluster configuration.
+    pub cfg: SimConfig,
+    /// Algorithm under test.
+    pub algo: Algorithm,
+    /// Per-process message size in bytes.
+    pub msg_bytes: usize,
+    /// The rank that crashes.
+    pub crash_rank: usize,
+    /// The send step the rank crashes just before.
+    pub crash_step: u64,
 }
 
 /// Message sizes exercised by the smoke suite (1 KiB and 64 KiB: one
@@ -225,6 +275,55 @@ pub fn smoke_suite() -> Vec<SuiteCase> {
     cases
 }
 
+/// The fixed crash-recovery cases behind the committed baseline: every
+/// encrypted algorithm survives rank 0 (a node leader, so it sends in
+/// every algorithm) crashing just before its first send step, on an
+/// 8-process / 2-node Noleland world with 1 KiB blocks. Each case is
+/// bit-deterministic, so the committed latencies gate exactly.
+pub fn smoke_recovery_suite() -> Vec<RecoveryCase> {
+    let cfg = SimConfig {
+        p: 8,
+        nodes: 2,
+        mapping: Mapping::Block,
+        profile: "noleland".into(),
+        reps: 1,
+        nic_contention: false,
+    };
+    Algorithm::encrypted_all()
+        .iter()
+        .map(|&algo| RecoveryCase {
+            cfg: cfg.clone(),
+            algo,
+            msg_bytes: 1024,
+            crash_rank: 0,
+            crash_step: 0,
+        })
+        .collect()
+}
+
+/// Runs one crash-recovery case and serializes the result.
+pub fn run_recovery_case(case: &RecoveryCase) -> RecoveryEntry {
+    let sample = simulate_recovery(
+        &case.cfg,
+        case.algo,
+        case.msg_bytes,
+        case.crash_rank,
+        case.crash_step,
+    );
+    RecoveryEntry {
+        algorithm: case.algo.name().to_string(),
+        p: case.cfg.p as u64,
+        nodes: case.cfg.nodes as u64,
+        mapping: case.cfg.mapping,
+        msg_bytes: case.msg_bytes as u64,
+        crash_rank: case.crash_rank as u64,
+        crash_step: case.crash_step,
+        clean_latency_us: sample.clean_latency_us,
+        recovery_latency_us: sample.recovery_latency_us,
+        survivors: sample.survivors as u64,
+    }
+}
+
 /// Runs one case and serializes the result.
 pub fn run_case(case: &SuiteCase) -> BenchEntry {
     let (samples, metrics) = simulate_samples(&case.cfg, case.algo, case.msg_bytes);
@@ -245,6 +344,18 @@ pub fn run_case(case: &SuiteCase) -> BenchEntry {
 /// Runs a full suite into a report. `suite` names the suite in the output;
 /// `profile` should match the cases' cluster profile.
 pub fn run_suite(suite: &str, profile: &str, cases: &[SuiteCase]) -> BenchReport {
+    run_suite_with_recovery(suite, profile, cases, &[])
+}
+
+/// Like [`run_suite`], additionally measuring crash-recovery cases into the
+/// report's `recovery` section. Recovery measurements are deterministic by
+/// construction and never affect the report's `deterministic` flag.
+pub fn run_suite_with_recovery(
+    suite: &str,
+    profile: &str,
+    cases: &[SuiteCase],
+    recovery: &[RecoveryCase],
+) -> BenchReport {
     let deterministic = cases.iter().all(|c| !c.cfg.nic_contention);
     BenchReport {
         schema_version: SCHEMA_VERSION,
@@ -252,13 +363,15 @@ pub fn run_suite(suite: &str, profile: &str, cases: &[SuiteCase]) -> BenchReport
         profile: profile.to_string(),
         deterministic,
         entries: cases.iter().map(run_case).collect(),
+        recovery: recovery.iter().map(run_recovery_case).collect(),
         crypto: None,
     }
 }
 
-/// Runs the fixed smoke suite (the one CI gates on).
+/// Runs the fixed smoke suite (the one CI gates on), including the
+/// crash-recovery cases.
 pub fn run_smoke_suite() -> BenchReport {
-    run_suite("smoke", "noleland", &smoke_suite())
+    run_suite_with_recovery("smoke", "noleland", &smoke_suite(), &smoke_recovery_suite())
 }
 
 /// Reconstructs the suite a report was produced by, so `eag regress` can
@@ -281,6 +394,34 @@ pub fn suite_from_report(report: &BenchReport) -> Result<Vec<SuiteCase>, String>
                 },
                 algo,
                 msg_bytes: e.msg_bytes as usize,
+            })
+        })
+        .collect()
+}
+
+/// Reconstructs the crash-recovery cases a report carried, so `eag regress`
+/// can re-measure them alongside the latency suite when no `--current`
+/// report is given.
+pub fn recovery_suite_from_report(report: &BenchReport) -> Result<Vec<RecoveryCase>, String> {
+    report
+        .recovery
+        .iter()
+        .map(|e| {
+            let algo = Algorithm::by_name(&e.algorithm)
+                .ok_or_else(|| format!("unknown algorithm {:?} in report", e.algorithm))?;
+            Ok(RecoveryCase {
+                cfg: SimConfig {
+                    p: e.p as usize,
+                    nodes: e.nodes as usize,
+                    mapping: e.mapping,
+                    profile: report.profile.clone(),
+                    reps: 1,
+                    nic_contention: false,
+                },
+                algo,
+                msg_bytes: e.msg_bytes as usize,
+                crash_rank: e.crash_rank as usize,
+                crash_step: e.crash_step,
             })
         })
         .collect()
@@ -325,6 +466,20 @@ impl BenchReport {
                 && e.msg_bytes == other.msg_bytes
         })
     }
+
+    /// Looks up the recovery entry matching `other` by identity (algorithm,
+    /// p, nodes, mapping, msg_bytes, crash_rank, crash_step).
+    pub fn find_matching_recovery(&self, other: &RecoveryEntry) -> Option<&RecoveryEntry> {
+        self.recovery.iter().find(|e| {
+            e.algorithm == other.algorithm
+                && e.p == other.p
+                && e.nodes == other.nodes
+                && e.mapping == other.mapping
+                && e.msg_bytes == other.msg_bytes
+                && e.crash_rank == other.crash_rank
+                && e.crash_step == other.crash_step
+        })
+    }
 }
 
 #[cfg(test)]
@@ -340,7 +495,7 @@ mod tests {
             reps: 2,
             nic_contention: false,
         };
-        run_suite(
+        run_suite_with_recovery(
             "unit",
             "noleland",
             &[
@@ -350,11 +505,18 @@ mod tests {
                     msg_bytes: 512,
                 },
                 SuiteCase {
-                    cfg,
+                    cfg: cfg.clone(),
                     algo: Algorithm::CRing,
                     msg_bytes: 2048,
                 },
             ],
+            &[RecoveryCase {
+                cfg: SimConfig { reps: 1, ..cfg },
+                algo: Algorithm::ORing,
+                msg_bytes: 512,
+                crash_rank: 0,
+                crash_step: 0,
+            }],
         )
     }
 
@@ -395,6 +557,38 @@ mod tests {
         assert_eq!(cases.len(), 2 * algos * 2);
         assert!(cases.iter().all(|c| !c.cfg.nic_contention));
         assert!(cases.iter().all(|c| c.cfg.profile == "noleland"));
+    }
+
+    #[test]
+    fn smoke_recovery_suite_shape() {
+        let cases = smoke_recovery_suite();
+        assert_eq!(cases.len(), Algorithm::encrypted_all().len());
+        assert!(cases.iter().all(|c| !c.cfg.nic_contention));
+        assert!(cases.iter().all(|c| c.crash_rank == 0 && c.crash_step == 0));
+    }
+
+    #[test]
+    fn recovery_entries_measure_a_real_crash() {
+        let report = sample_report();
+        assert_eq!(report.recovery.len(), 1);
+        let e = &report.recovery[0];
+        assert_eq!(e.survivors, e.p - 1);
+        assert!(e.recovery_latency_us > e.clean_latency_us);
+        // And the suite reconstructs losslessly for the regress re-run path.
+        let cases = recovery_suite_from_report(&report).unwrap();
+        assert_eq!(cases.len(), 1);
+        assert_eq!(cases[0].algo, Algorithm::ORing);
+        assert_eq!(cases[0].cfg.p, e.p as usize);
+    }
+
+    #[test]
+    fn recovery_lookup_joins_on_identity() {
+        let report = sample_report();
+        let found = report.find_matching_recovery(&report.recovery[0]).unwrap();
+        assert_eq!(found, &report.recovery[0]);
+        let mut missing = report.recovery[0].clone();
+        missing.crash_step += 1;
+        assert!(report.find_matching_recovery(&missing).is_none());
     }
 
     #[test]

@@ -157,6 +157,19 @@ impl Algorithm {
     pub fn supports(&self, p: usize, nodes: usize) -> bool {
         p >= 1 && nodes >= 1 && p.is_multiple_of(nodes)
     }
+
+    /// The algorithm a degraded re-run uses over the survivor group: the
+    /// algorithm itself when it runs over arbitrary rank subsets, otherwise
+    /// O-Ring. The shared-memory (HS) and Concurrent families assume whole
+    /// nodes / complete ℓ-groups — structure a crash has just destroyed —
+    /// so they fail over to the mapping-oblivious opportunistic ring.
+    pub fn recovery_algorithm(&self) -> Algorithm {
+        if self.supports_groups() {
+            *self
+        } else {
+            Algorithm::ORing
+        }
+    }
 }
 
 impl std::fmt::Display for Algorithm {
@@ -230,5 +243,26 @@ mod tests {
         assert!(Algorithm::Hs1.supports(128, 8));
         assert!(Algorithm::CRing.supports(91, 7));
         assert!(!Algorithm::CRing.supports(10, 4));
+    }
+
+    #[test]
+    fn recovery_algorithm_keeps_group_capable_algorithms() {
+        use Algorithm::*;
+        for &a in Algorithm::all() {
+            let r = a.recovery_algorithm();
+            assert!(
+                r.supports_groups(),
+                "{a}: recovery algorithm {r} cannot run over a shrunk group"
+            );
+            if a.supports_groups() {
+                assert_eq!(r, a, "group-capable algorithms recover as themselves");
+            } else {
+                assert_eq!(r, ORing);
+            }
+            // An encrypted algorithm must never recover unencrypted.
+            if a.is_encrypted() {
+                assert!(r.is_encrypted(), "{a} would downgrade to plaintext");
+            }
+        }
     }
 }

@@ -1,4 +1,4 @@
-//! Generic, crypto-oblivious item movers.
+//! Generic, crypto-oblivious item movers, plus the crash-recovery driver.
 //!
 //! These primitives move opaque [`Item`]s (plaintext or sealed) among an
 //! ordered member list with the classic all-gather communication patterns:
@@ -6,9 +6,20 @@
 //! Bruck. They do no encryption themselves; the encrypted algorithms either
 //! pre-seal items (Naive, the Concurrent sub-gathers, HS) or use the
 //! crypto-aware movers in [`crate::encrypted`].
+//!
+//! [`recover_allgather`] is the ULFM-style crash-tolerant entry point: it
+//! attempts the collective, and when a peer dies mid-flight it runs
+//! survivor agreement on the failed set, shrinks the group, and re-runs the
+//! collective degraded (see the function docs for the protocol).
 
+use crate::algorithm::{allgather, Algorithm};
+use crate::group::{allgather_group, Group};
+use crate::output::DegradedOutput;
+use crate::tags;
 use eag_netsim::Rank;
-use eag_runtime::{Item, Parcel, ProcCtx};
+use eag_runtime::{Chunk, CollectiveError, Data, FailureCause, Item, Parcel, ProcCtx};
+use std::collections::BTreeSet;
+use std::panic::{catch_unwind, panic_any, resume_unwind, AssertUnwindSafe};
 
 /// Largest power of two `<= q`.
 pub fn floor_pow2(q: usize) -> usize {
@@ -235,11 +246,143 @@ pub fn bcast_items_from_root(
     holdings
 }
 
+// ----- crash recovery ---------------------------------------------------
+
+/// One round of the flooded failed-set consensus: every rank not known
+/// failed exchanges its current failed set (as a sealed `p`-byte bitmap)
+/// with every other such rank and unions what it hears. A peer that cannot
+/// answer because it crashed is itself added to the set.
+fn agreement_round(ctx: &mut ProcCtx, failed: &mut BTreeSet<Rank>, round: u64) {
+    ctx.begin_collective();
+    ctx.set_phase("recovery-agreement");
+    let p = ctx.p();
+    let me = ctx.rank();
+    let peers: Vec<Rank> = (0..p).filter(|r| *r != me && !failed.contains(r)).collect();
+    let tag = tags::PHASE_AGREE + round;
+
+    let mut bitmap = vec![0u8; p];
+    for &f in failed.iter() {
+        bitmap[f] = 1;
+    }
+    let chunk = Chunk::single(me, Data::Real(bitmap));
+    for &peer in &peers {
+        // Seal per peer: every transmission gets its own fresh nonce, so
+        // the recovery protocol upholds the nonce-uniqueness invariant.
+        let sealed = ctx.encrypt(chunk.clone());
+        ctx.send(peer, tag, Parcel::one(Item::Sealed(sealed)));
+    }
+    for &peer in &peers {
+        match ctx.try_recv(peer, tag) {
+            Ok(parcel) => {
+                for item in parcel.items {
+                    let c = ctx.decrypt(item.into_sealed());
+                    if let Data::Real(bytes) = &c.data {
+                        for (r, &bit) in bytes.iter().enumerate() {
+                            if bit != 0 {
+                                failed.insert(r);
+                            }
+                        }
+                    }
+                }
+            }
+            Err(FailureCause::Crash { rank }) => {
+                failed.insert(rank);
+            }
+            Err(cause) => panic_any(CollectiveError {
+                rank: me,
+                phase: "recovery-agreement",
+                cause,
+            }),
+        }
+    }
+}
+
+/// Crash-tolerant all-gather: attempts `algo`, and if a rank dies
+/// mid-collective, detects it, agrees on the failed set with the other
+/// survivors, shrinks the group, and re-runs the collective over the
+/// survivors — returning a [`DegradedOutput`] that marks the dead ranks'
+/// blocks missing.
+///
+/// Protocol (every rank must call this in lockstep, like the collective
+/// itself):
+///
+/// 1. **Attempt.** Run `allgather(ctx, algo, m)` inside an attempt scope;
+///    a receive blocked on a dead (or cascade-aborted) peer resolves
+///    through the failure detector with a `Crash` cause.
+/// 2. **Agreement.** Two flooded-consensus rounds over the reliable
+///    transport: each survivor seals its current failed-set bitmap to every
+///    rank not known failed and unions what it hears back (a silent peer
+///    joins the set). With at most one root crash per world — the injection
+///    model — every survivor converges on the identical set.
+/// 3. **Shrink + re-run.** All survivors — including those whose attempt
+///    completed — discard the attempt and re-run over
+///    [`Group::shrink`]\(failed\) with [`Algorithm::recovery_algorithm`],
+///    so every survivor returns byte-identical degraded output. The re-run
+///    is a fresh collective epoch: retransmitted blocks are re-sealed with
+///    fresh nonces, never reusing a (key, nonce) pair.
+///
+/// When nothing crashed, the attempt's complete output is returned with an
+/// empty failed set. In a world with no fault plan armed (chaos disabled)
+/// crashes are impossible, so the agreement rounds are skipped entirely and
+/// the wrapper costs nothing beyond the attempt bookkeeping.
+pub fn recover_allgather(ctx: &mut ProcCtx, algo: Algorithm, m: usize) -> DegradedOutput {
+    ctx.begin_attempt();
+    let attempt = catch_unwind(AssertUnwindSafe(|| allgather(ctx, algo, m)));
+    let (attempt_out, mut failed) = match attempt {
+        Ok(out) => (Some(out), BTreeSet::new()),
+        Err(payload) => match payload.downcast::<CollectiveError>() {
+            Ok(e) => match e.cause {
+                FailureCause::Crash { rank } => {
+                    let mut failed = BTreeSet::new();
+                    failed.insert(rank);
+                    (None, failed)
+                }
+                // Unrecoverable structured failure: re-raise for the
+                // poison protocol.
+                _ => resume_unwind(e),
+            },
+            // Not a structured failure (includes the runner's private
+            // crash payload when *this* rank is the one dying): re-raise.
+            Err(other) => resume_unwind(other),
+        },
+    };
+    ctx.end_attempt(attempt_out.is_some());
+
+    // A completed attempt does not exempt a rank from agreement: a peer
+    // may have crashed after serving this rank but before serving others.
+    // Only chaos worlds can crash at all, so plain worlds skip the rounds
+    // (every rank sees the same world-wide flag — lockstep is preserved).
+    if ctx.chaos_enabled() {
+        agreement_round(ctx, &mut failed, 0);
+        agreement_round(ctx, &mut failed, 1);
+    }
+
+    if failed.is_empty() {
+        let output = attempt_out.expect("no crash detected yet the attempt failed");
+        return DegradedOutput {
+            failed: Vec::new(),
+            output,
+        };
+    }
+
+    // Survivors re-run over the shrunk group — *all* of them, even those
+    // whose attempt completed, so every survivor's degraded output is
+    // byte-identical. The group keeps global rank identities, so node
+    // placement (and the opportunistic encryption rule) stays correct.
+    let failed: Vec<Rank> = failed.into_iter().collect();
+    let survivors = Group::world(ctx.p()).shrink(&failed);
+    ctx.set_phase("recovery-rerun");
+    let output = allgather_group(ctx, algo.recovery_algorithm(), survivors.members(), m);
+    ctx.note_recovery(survivors.len());
+    DegradedOutput { failed, output }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
-    use eag_netsim::{profile, Mapping, Topology};
-    use eag_runtime::{run, DataMode, WorldSpec};
+    use eag_netsim::{profile, Crash, FaultPlan, Mapping, Topology};
+    use eag_runtime::{run, run_crashable, DataMode, RetryPolicy, WorldSpec};
+    use std::time::Duration;
 
     fn spec(p: usize, nodes: usize) -> WorldSpec {
         WorldSpec::new(
@@ -376,6 +519,141 @@ mod tests {
         });
         for out in report.outputs {
             assert_eq!(out, vec![0, 1, 2, 3]);
+        }
+    }
+
+    // --- crash recovery ---
+
+    fn crash_world(p: usize, nodes: usize, crash: Crash) -> WorldSpec {
+        let mut s = spec(p, nodes);
+        s.faults = FaultPlan {
+            crash: Some(crash),
+            ..FaultPlan::default()
+        };
+        s.retry = RetryPolicy {
+            attempt_timeout: Duration::from_millis(20),
+            max_attempts: 10,
+            backoff: 1.5,
+        };
+        s
+    }
+
+    /// Asserts the degraded contract across a crashed world's survivors:
+    /// every survivor agreed on `failed`, verified bit-exact, recovered
+    /// once, and produced byte-identical output.
+    fn check_degraded(report: &eag_runtime::CrashReport<DegradedOutput>, failed: &[Rank]) {
+        assert_eq!(report.crashed, failed);
+        let mut canon: Option<Vec<u8>> = None;
+        for (rank, out) in report.survivor_outputs() {
+            assert_eq!(out.failed, failed, "rank {rank} agreed on a different set");
+            out.verify(3);
+            assert_eq!(report.metrics[rank].recoveries, 1, "rank {rank}");
+            assert!(report.metrics[rank].crashes_detected >= 1, "rank {rank}");
+            let bytes = out.canonical_bytes();
+            match &canon {
+                Some(c) => assert_eq!(c, &bytes, "rank {rank} diverged"),
+                None => canon = Some(bytes),
+            }
+        }
+        for &f in failed {
+            assert!(report.outputs[f].is_none(), "crashed rank {f} has output");
+        }
+    }
+
+    #[test]
+    fn recover_without_chaos_is_a_plain_allgather() {
+        // No fault plan: the wrapper adds no agreement traffic and returns
+        // the complete output at every rank.
+        let report = run(&spec(6, 2), |ctx| {
+            recover_allgather(ctx, Algorithm::ORing, 32)
+        });
+        let mut canon: Option<Vec<u8>> = None;
+        for out in &report.outputs {
+            assert!(out.is_complete());
+            assert!(out.failed.is_empty());
+            out.verify(3);
+            let bytes = out.canonical_bytes();
+            match &canon {
+                Some(c) => assert_eq!(c, &bytes),
+                None => canon = Some(bytes),
+            }
+        }
+        for m in &report.metrics {
+            assert_eq!(m.recoveries, 0);
+            assert_eq!(m.crashes_detected, 0);
+        }
+    }
+
+    #[test]
+    fn armed_chaos_without_a_fired_crash_completes_cleanly() {
+        // The crash is planned at a send step the rank never reaches, so
+        // the agreement rounds run against an all-alive world and must
+        // conclude "nobody failed".
+        let s = crash_world(4, 2, Crash::before(0, 1_000_000));
+        let report = run_crashable(&s, |ctx| recover_allgather(ctx, Algorithm::ORd, 32));
+        assert!(report.crashed.is_empty());
+        for (_, out) in report.survivor_outputs() {
+            assert!(out.is_complete());
+            out.verify(3);
+        }
+        assert_eq!(report.survivor_outputs().count(), 4);
+    }
+
+    #[test]
+    fn crash_mid_ring_yields_identical_degraded_outputs() {
+        // Rank 3 dies before its second ring send; the five survivors must
+        // agree on {3}, re-run over the shrunk group, and return
+        // byte-identical degraded outputs.
+        let s = crash_world(6, 2, Crash::before(3, 1));
+        let report = run_crashable(&s, |ctx| recover_allgather(ctx, Algorithm::ORing, 48));
+        check_degraded(&report, &[3]);
+        assert_eq!(report.wiretap.crashed_ranks(), vec![3]);
+    }
+
+    #[test]
+    fn crash_after_a_send_still_recovers() {
+        // The dying rank's last frame is delivered first (crash-after-send),
+        // exercising the drain-then-fail order in the failure detector.
+        let s = crash_world(5, 1, Crash::after(2, 0));
+        let report = run_crashable(&s, |ctx| recover_allgather(ctx, Algorithm::OBruck, 32));
+        check_degraded(&report, &[2]);
+    }
+
+    #[test]
+    fn shared_memory_algorithm_recovers_via_group_fallback() {
+        // HS2 cannot run over a shrunk group (it assumes whole nodes), so
+        // recovery falls back to O-Ring. The crash also exercises the
+        // shared-segment cascade: the dead leader's node is aborted by the
+        // runner, and the *other* node's non-leaders are unblocked by their
+        // own leader's attempt abandonment.
+        let s = crash_world(6, 2, Crash::before(0, 0));
+        let report = run_crashable(&s, |ctx| recover_allgather(ctx, Algorithm::Hs2, 48));
+        check_degraded(&report, &[0]);
+    }
+
+    #[test]
+    fn every_encrypted_algorithm_survives_an_early_crash() {
+        // Rank 0 is the node-0 leader: it performs peer-bound sends in every
+        // algorithm (non-leader ranks never send in the HS family, so a
+        // crash planned on one would never fire there).
+        for &algo in Algorithm::encrypted_all() {
+            let s = crash_world(6, 2, Crash::before(0, 0));
+            let report = run_crashable(&s, move |ctx| recover_allgather(ctx, algo, 32));
+            check_degraded(&report, &[0]);
+        }
+    }
+
+    #[test]
+    fn crash_planned_inside_recovery_never_fires() {
+        // Rank 1 is an HS2 non-leader: its first peer-bound send only
+        // happens inside the agreement rounds, where injection is
+        // suppressed — the run completes cleanly instead.
+        let s = crash_world(6, 2, Crash::before(1, 0));
+        let report = run_crashable(&s, |ctx| recover_allgather(ctx, Algorithm::Hs2, 32));
+        assert!(report.crashed.is_empty());
+        for (_, out) in report.survivor_outputs() {
+            assert!(out.is_complete());
+            out.verify(3);
         }
     }
 }

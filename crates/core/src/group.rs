@@ -32,6 +32,76 @@ impl Algorithm {
     }
 }
 
+/// An ordered set of participating ranks — a sub-communicator by value.
+///
+/// Ranks keep their *global* identities (so physical node placement, and
+/// with it the opportunistic encryption rule, is preserved); a member's
+/// contiguous "new rank" is its position in the sorted member list. This
+/// makes [`Group::shrink`] deterministic: every survivor that agrees on the
+/// same failed set derives the identical shrunk group, renumbering, and
+/// node mapping without any further communication.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Group {
+    members: Vec<Rank>,
+}
+
+impl Group {
+    /// The full world of `p` ranks.
+    pub fn world(p: usize) -> Self {
+        Group {
+            members: (0..p).collect(),
+        }
+    }
+
+    /// A group of the given ranks (sorted and deduplicated).
+    pub fn new(members: &[Rank]) -> Self {
+        let mut members = members.to_vec();
+        members.sort_unstable();
+        members.dedup();
+        Group { members }
+    }
+
+    /// The member ranks, ascending.
+    pub fn members(&self) -> &[Rank] {
+        &self.members
+    }
+
+    /// Number of members.
+    pub fn len(&self) -> usize {
+        self.members.len()
+    }
+
+    /// True when the group has no members.
+    pub fn is_empty(&self) -> bool {
+        self.members.is_empty()
+    }
+
+    /// True if `rank` is a member.
+    pub fn contains(&self, rank: Rank) -> bool {
+        self.members.binary_search(&rank).is_ok()
+    }
+
+    /// The contiguous position (the "new rank") of a global rank within
+    /// this group, if it is a member.
+    pub fn position_of(&self, rank: Rank) -> Option<usize> {
+        self.members.binary_search(&rank).ok()
+    }
+
+    /// The group with `failed` removed. Order (and hence the renumbering)
+    /// is preserved for the survivors — deterministic at every caller that
+    /// holds the same failed set.
+    pub fn shrink(&self, failed: &[Rank]) -> Group {
+        Group {
+            members: self
+                .members
+                .iter()
+                .copied()
+                .filter(|r| !failed.contains(r))
+                .collect(),
+        }
+    }
+}
+
 /// Runs `algo` as an all-gather of `m`-byte blocks among `members` only.
 ///
 /// Every member must call with the identical `members` list (like an MPI
@@ -151,6 +221,24 @@ mod tests {
             .copied()
             .filter(Algorithm::supports_groups)
             .collect()
+    }
+
+    #[test]
+    fn shrink_renumbers_deterministically() {
+        let g = Group::world(8);
+        assert_eq!(g.len(), 8);
+        assert!(g.contains(7));
+        let s = g.shrink(&[2, 5]);
+        assert_eq!(s.members(), &[0, 1, 3, 4, 6, 7]);
+        assert_eq!(s.position_of(3), Some(2));
+        assert_eq!(s.position_of(5), None);
+        assert!(!s.contains(5));
+        // Shrinking is order-insensitive in the failed set and idempotent.
+        assert_eq!(g.shrink(&[5, 2]), s);
+        assert_eq!(s.shrink(&[2, 5]), s);
+        // Unsorted, duplicated input normalizes.
+        assert_eq!(Group::new(&[4, 1, 4, 0]).members(), &[0, 1, 4]);
+        assert!(Group::new(&[]).is_empty());
     }
 
     #[test]

@@ -49,8 +49,9 @@ pub mod unencrypted;
 pub use algorithm::{allgather, Algorithm};
 pub use allgatherv::allgatherv;
 pub use bounds::{lower_bounds, predict, predict_latency_us, recommend, MetricSet};
-pub use group::allgather_group;
-pub use output::GatherOutput;
+pub use collective::recover_allgather;
+pub use group::{allgather_group, Group};
+pub use output::{DegradedOutput, GatherOutput};
 
 /// Tag-space layout: every phase of every algorithm draws its message tags
 /// (and shared-memory slot keys) from a distinct base so that concurrent
@@ -74,4 +75,7 @@ pub mod tags {
     pub const SLOT_CIPHER_FOREIGN: u64 = 12 << 20;
     /// Shared-memory slots: jointly decrypted plaintexts.
     pub const SLOT_PLAIN_OUT: u64 = 13 << 20;
+    /// Survivor agreement on the failed-rank set (crash recovery; the
+    /// flooded-consensus round number is added to the base).
+    pub const PHASE_AGREE: u64 = 14 << 20;
 }

@@ -194,6 +194,72 @@ impl GatherOutput {
     }
 }
 
+/// The result of a crash-tolerant all-gather ([`crate::recover_allgather`]):
+/// the blocks of every *surviving* source rank, plus the agreed set of
+/// failed ranks whose blocks are permanently missing.
+///
+/// `failed` empty means the collective completed cleanly — the output is a
+/// full all-gather result. Otherwise the output is the degraded re-run over
+/// the shrunk survivor group: complete over survivors, empty at every
+/// failed slot.
+#[derive(Debug, Clone)]
+pub struct DegradedOutput {
+    /// The agreed failed ranks, ascending. Identical at every survivor.
+    pub failed: Vec<usize>,
+    /// The gathered blocks (sparse when `failed` is non-empty).
+    pub output: GatherOutput,
+}
+
+impl DegradedOutput {
+    /// True when no rank failed (the output is a complete all-gather).
+    pub fn is_complete(&self) -> bool {
+        self.failed.is_empty()
+    }
+
+    /// The surviving source ranks, ascending.
+    pub fn survivors(&self) -> Vec<usize> {
+        (0..self.output.p())
+            .filter(|r| !self.failed.contains(r))
+            .collect()
+    }
+
+    /// Verifies the degraded contract: every survivor's block is present
+    /// and bit-exact against the deterministic input pattern, and every
+    /// failed slot is empty.
+    pub fn verify(&self, seed: u64) {
+        self.output.verify_members(seed, &self.survivors());
+    }
+
+    /// A canonical byte encoding of the failed set and every present block,
+    /// for cross-survivor byte-identity checks: two survivors agree on the
+    /// degraded result iff their encodings are equal.
+    pub fn canonical_bytes(&self) -> Vec<u8> {
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&(self.failed.len() as u64).to_le_bytes());
+        for &f in &self.failed {
+            bytes.extend_from_slice(&(f as u64).to_le_bytes());
+        }
+        for r in 0..self.output.p() {
+            match self.output.get(r) {
+                Some(chunk) => {
+                    bytes.extend_from_slice(&(r as u64).to_le_bytes());
+                    match &chunk.data {
+                        Data::Real(b) => {
+                            bytes.extend_from_slice(&(b.len() as u64).to_le_bytes());
+                            bytes.extend_from_slice(b);
+                        }
+                        Data::Phantom(len) => {
+                            bytes.extend_from_slice(&(*len as u64).to_le_bytes());
+                        }
+                    }
+                }
+                None => bytes.extend_from_slice(&u64::MAX.to_le_bytes()),
+            }
+        }
+        bytes
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -261,6 +327,29 @@ mod tests {
         let mut out = GatherOutput::new(1, 8);
         out.place(Chunk::single(0, Data::Real(vec![0; 8])));
         out.verify(11);
+    }
+
+    #[test]
+    fn degraded_output_contract() {
+        let seed = 11;
+        let mut out = GatherOutput::new_sparse(3, &[0, 2], 8);
+        out.place(Chunk::single(0, Data::Real(pattern_block(seed, 0, 8))));
+        out.place(Chunk::single(2, Data::Real(pattern_block(seed, 2, 8))));
+        let d = DegradedOutput {
+            failed: vec![1],
+            output: out,
+        };
+        assert!(!d.is_complete());
+        assert_eq!(d.survivors(), vec![0, 2]);
+        d.verify(seed);
+        // Canonical bytes are a pure function of (failed, blocks): a clone
+        // matches, a different failed set does not.
+        assert_eq!(d.canonical_bytes(), d.clone().canonical_bytes());
+        let other = DegradedOutput {
+            failed: vec![],
+            output: d.output.clone(),
+        };
+        assert_ne!(d.canonical_bytes(), other.canonical_bytes());
     }
 
     #[test]

@@ -13,9 +13,13 @@
 
 #![deny(missing_docs)]
 
-use eag_core::{allgather, Algorithm};
-use eag_netsim::{profile, FaultPlan, Mapping, Topology};
-use eag_runtime::{try_run, CollectiveError, DataMode, Metrics, RetryPolicy, RunReport, WorldSpec};
+use eag_core::{allgather, recover_allgather, Algorithm};
+use eag_netsim::{profile, Crash, FaultPlan, Mapping, Topology};
+use eag_runtime::{
+    try_run, try_run_crashable, CollectiveError, DataMode, Metrics, RetryPolicy, RunReport,
+    WorldSpec,
+};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::time::Duration;
 
 /// The data-pattern seed every chaos run uses (distinct from fault seeds).
@@ -120,6 +124,175 @@ pub fn chaos_run(
             latency_us: 0.0,
         },
     }
+}
+
+// ----- crash recovery harness -------------------------------------------
+
+/// The outcome of one crash-tolerant all-gather under an injected rank
+/// crash, checked against the survivor-agreement contract.
+#[derive(Debug, Clone)]
+pub struct CrashRunReport {
+    /// The algorithm exercised.
+    pub algo: Algorithm,
+    /// The injected crash.
+    pub crash: Crash,
+    /// The crash actually fired (the target rank reached its send step
+    /// during the attempt; see `Crash::phase_step`).
+    pub fired: bool,
+    /// Every survivor converged on the identical failed set (the run's
+    /// actual crashed ranks).
+    pub agreed: bool,
+    /// Every survivor's degraded output verified bit-exact against the
+    /// input patterns and all canonical encodings are identical.
+    pub byte_identical: bool,
+    /// Number of surviving ranks.
+    pub survivors: usize,
+    /// Crash detections, summed over ranks (a cascade detects many times).
+    pub crashes_detected: u64,
+    /// Completed shrink-and-recover re-runs, summed over ranks.
+    pub recoveries: u64,
+    /// Simulated latency of a fault-free run of the same collective, µs.
+    pub clean_latency_us: f64,
+    /// Simulated latency of the crashed run (detection + agreement +
+    /// degraded re-run), µs.
+    pub latency_us: f64,
+    /// The structured failure, if the world aborted instead of recovering.
+    pub error: Option<CollectiveError>,
+}
+
+impl CrashRunReport {
+    /// True when the run upheld the full recovery contract.
+    pub fn ok(&self) -> bool {
+        self.error.is_none() && self.agreed && self.byte_identical
+    }
+}
+
+/// Builds the world spec used by crash runs. Unlike [`chaos_spec`] this
+/// prices virtual time (the noleland profile) so the recovery-latency
+/// figures are meaningful, and arms only the single planned crash.
+pub fn crash_spec(p: usize, nodes: usize, crash: Crash) -> WorldSpec {
+    let mut spec = WorldSpec::new(
+        Topology::new(p, nodes, Mapping::Block),
+        profile::noleland(),
+        DataMode::Real { seed: DATA_SEED },
+    );
+    spec.faults = FaultPlan {
+        crash: Some(crash),
+        ..FaultPlan::default()
+    };
+    spec.retry = RetryPolicy {
+        attempt_timeout: Duration::from_millis(20),
+        max_attempts: 10,
+        backoff: 1.5,
+    };
+    spec.recv_timeout = Some(Duration::from_secs(60));
+    spec
+}
+
+/// Runs `recover_allgather` under one injected crash and checks the
+/// survivor-agreement contract: every survivor settles on the identical
+/// failed set and byte-identical degraded output. A crash whose send step
+/// the target rank never reaches simply does not fire; the run must then
+/// complete cleanly at every rank.
+pub fn crash_run(
+    algo: Algorithm,
+    p: usize,
+    nodes: usize,
+    m: usize,
+    crash: Crash,
+) -> CrashRunReport {
+    let mut clean_spec = crash_spec(p, nodes, crash);
+    clean_spec.faults = FaultPlan::default();
+    let clean = try_run(&clean_spec, move |ctx| {
+        allgather(ctx, algo, m).verify(DATA_SEED);
+    })
+    .unwrap_or_else(|e| panic!("{algo}: fault-free reference failed: {e}"));
+
+    match try_run_crashable(&crash_spec(p, nodes, crash), move |ctx| {
+        recover_allgather(ctx, algo, m)
+    }) {
+        Ok(report) => {
+            let sum = Metrics::component_sum(&report.metrics);
+            let mut agreed = true;
+            let mut byte_identical = true;
+            let mut canon: Option<Vec<u8>> = None;
+            for (_, out) in report.survivor_outputs() {
+                agreed &= out.failed == report.crashed;
+                byte_identical &= catch_unwind(AssertUnwindSafe(|| out.verify(DATA_SEED))).is_ok();
+                let bytes = out.canonical_bytes();
+                match &canon {
+                    Some(c) => byte_identical &= c == &bytes,
+                    None => canon = Some(bytes),
+                }
+            }
+            CrashRunReport {
+                algo,
+                crash,
+                fired: !report.crashed.is_empty(),
+                agreed,
+                byte_identical,
+                survivors: p - report.crashed.len(),
+                crashes_detected: sum.crashes_detected,
+                recoveries: sum.recoveries,
+                clean_latency_us: clean.latency_us,
+                latency_us: report.latency_us,
+                error: None,
+            }
+        }
+        Err(error) => CrashRunReport {
+            algo,
+            crash,
+            fired: false,
+            agreed: false,
+            byte_identical: false,
+            survivors: 0,
+            crashes_detected: 0,
+            recoveries: 0,
+            clean_latency_us: clean.latency_us,
+            latency_us: 0.0,
+            error: Some(error),
+        },
+    }
+}
+
+/// Renders crash-run reports as a per-algorithm summary table: how many
+/// planned crashes fired, how many recovered correctly, and the mean
+/// recovery-latency overhead versus the fault-free run (fired runs only).
+pub fn render_crash_markdown_table(rows: &[CrashRunReport]) -> String {
+    let mut out = String::from(
+        "| algorithm | runs | fired | recovered | mean recovery latency vs clean |\n\
+         |---|---:|---:|---:|---:|\n",
+    );
+    let mut algos: Vec<Algorithm> = Vec::new();
+    for r in rows {
+        if !algos.contains(&r.algo) {
+            algos.push(r.algo);
+        }
+    }
+    for algo in algos {
+        let runs: Vec<&CrashRunReport> = rows.iter().filter(|r| r.algo == algo).collect();
+        let fired: Vec<&&CrashRunReport> = runs.iter().filter(|r| r.fired).collect();
+        let recovered = fired.iter().filter(|r| r.ok()).count();
+        let ratio = if fired.is_empty() {
+            "—".to_string()
+        } else {
+            let mean: f64 = fired
+                .iter()
+                .map(|r| r.latency_us / r.clean_latency_us)
+                .sum::<f64>()
+                / fired.len() as f64;
+            format!("{mean:.2}x")
+        };
+        out.push_str(&format!(
+            "| {} | {} | {} | {} | {} |\n",
+            algo,
+            runs.len(),
+            fired.len(),
+            recovered,
+            ratio,
+        ));
+    }
+    out
 }
 
 /// Renders chaos reports as a GitHub-flavored markdown table (the format

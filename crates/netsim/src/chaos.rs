@@ -59,6 +59,63 @@ impl FaultKind {
     }
 }
 
+/// A seeded, replayable rank-crash event.
+///
+/// Unlike the message-level faults above — which perturb frames the
+/// transport then recovers — a crash kills a rank's *thread* mid-collective.
+/// The runtime cannot recover the rank; it can only detect the death,
+/// agree on the surviving membership, and re-run the collective degraded
+/// (see the recovery path in `eag-core`). The trigger is the crashing
+/// rank's own send-step counter, so the same plan kills the rank at the
+/// same point of the same algorithm run-to-run regardless of thread
+/// interleaving.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Crash {
+    /// The rank whose thread dies.
+    pub rank: usize,
+    /// Which of the rank's own peer-bound send steps (0-based count of
+    /// sends to a *different* rank) triggers the death.
+    pub phase_step: u64,
+    /// Die after the triggering frame has left (`true`) or just before it
+    /// would have been sent (`false`). Both points matter: dying before
+    /// leaves the peer's receive permanently unsatisfied, dying after
+    /// exercises the "message from a dead rank" admission path.
+    pub after_send: bool,
+    /// Hard crash: the dead rank leaves no exit notice, so survivors must
+    /// suspect it via heartbeat staleness instead of the runner's
+    /// immediate crash notice. Slower to detect but covers kill -9-style
+    /// deaths rather than clean aborts.
+    pub hard: bool,
+}
+
+impl Crash {
+    /// Soft crash of `rank` just before its `phase_step`-th peer send.
+    pub fn before(rank: usize, phase_step: u64) -> Self {
+        Crash {
+            rank,
+            phase_step,
+            after_send: false,
+            hard: false,
+        }
+    }
+
+    /// Soft crash of `rank` just after its `phase_step`-th peer send.
+    pub fn after(rank: usize, phase_step: u64) -> Self {
+        Crash {
+            rank,
+            phase_step,
+            after_send: true,
+            hard: false,
+        }
+    }
+
+    /// Same event, but leaving no exit notice (heartbeat detection only).
+    pub fn hard(mut self) -> Self {
+        self.hard = true;
+        self
+    }
+}
+
 /// A seeded plan of which inter-node frames to perturb, and how.
 ///
 /// Rates are per-mille (‰) per frame, evaluated independently per
@@ -107,6 +164,8 @@ pub struct FaultPlan {
     /// must abort on it (GCM tag mismatch); unencrypted ones silently
     /// deliver wrong bytes.
     pub corrupt_nth_inter_frame: Option<u64>,
+    /// Kill one rank's thread mid-collective. See [`Crash`].
+    pub crash: Option<Crash>,
 }
 
 impl Default for FaultPlan {
@@ -123,6 +182,7 @@ impl Default for FaultPlan {
             armed: false,
             fault_nth_inter_frame: None,
             corrupt_nth_inter_frame: None,
+            crash: None,
         }
     }
 }
@@ -175,7 +235,10 @@ impl FaultPlan {
     /// deliberately excluded: it models an adversary the transport must
     /// *not* recover from.
     pub fn enabled(&self) -> bool {
-        self.armed || self.total_permille() > 0 || self.fault_nth_inter_frame.is_some()
+        self.armed
+            || self.total_permille() > 0
+            || self.fault_nth_inter_frame.is_some()
+            || self.crash.is_some()
     }
 
     fn total_permille(&self) -> u32 {
@@ -306,6 +369,24 @@ mod tests {
             ..FaultPlan::default()
         };
         assert!(plan.enabled());
+    }
+
+    #[test]
+    fn crash_plan_arms_recovery_framing() {
+        let plan = FaultPlan {
+            crash: Some(Crash::before(3, 2)),
+            ..FaultPlan::default()
+        };
+        assert!(plan.enabled(), "crash detection rides on chaos framing");
+        // Crashes are not message faults: frame decisions stay clean.
+        for seq in 0..100 {
+            assert_eq!(plan.decide(3, 1, 9, seq, 0), None);
+        }
+        // Constructors cover both trigger points and the hard knob.
+        assert!(!Crash::before(3, 2).after_send);
+        assert!(Crash::after(3, 2).after_send);
+        assert!(Crash::before(0, 0).hard().hard);
+        assert!(!Crash::before(0, 0).hard);
     }
 
     #[test]

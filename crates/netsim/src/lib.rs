@@ -45,7 +45,7 @@ pub mod profile;
 pub mod topology;
 pub mod wiretap;
 
-pub use chaos::{FaultKind, FaultPlan};
+pub use chaos::{Crash, FaultKind, FaultPlan};
 pub use fabric::{FabricModel, FabricState};
 pub use model::{CostModel, CryptoCost, LinkClass, LinkCost};
 pub use profile::ClusterProfile;

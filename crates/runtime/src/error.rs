@@ -40,6 +40,17 @@ pub enum FailureCause {
         /// Human-readable detail from the crypto layer.
         detail: String,
     },
+    /// A peer's process died mid-collective (crash notice from the runner,
+    /// or heartbeat staleness for hard crashes). Unlike [`DeadPeer`] —
+    /// a *clean* early exit — this failure is recoverable: survivors can
+    /// agree on the failed set, shrink the group, and re-run degraded
+    /// (see `recover_allgather` in `eag-core`).
+    ///
+    /// [`DeadPeer`]: FailureCause::DeadPeer
+    Crash {
+        /// The rank that died.
+        rank: Rank,
+    },
 }
 
 impl std::fmt::Display for FailureCause {
@@ -62,6 +73,9 @@ impl std::fmt::Display for FailureCause {
             ),
             FailureCause::AuthFailure { detail } => {
                 write!(f, "GCM authentication failed: {detail}")
+            }
+            FailureCause::Crash { rank } => {
+                write!(f, "peer rank {rank} crashed mid-collective")
             }
         }
     }
@@ -120,6 +134,15 @@ mod tests {
         .to_string();
         assert!(t.contains("tag 9"));
         assert!(t.contains("4 recovery attempt"));
+
+        let c = CollectiveError {
+            rank: 2,
+            phase: "O-Ring",
+            cause: FailureCause::Crash { rank: 5 },
+        }
+        .to_string();
+        assert!(c.contains("rank 5"));
+        assert!(c.contains("crashed"));
     }
 
     #[test]

@@ -53,10 +53,13 @@ pub mod shared;
 pub mod trace;
 pub mod world;
 
-pub use eag_netsim::{FaultKind, FaultPlan};
+pub use eag_netsim::{Crash, FaultKind, FaultPlan};
 pub use error::{CollectiveError, FailureCause};
 pub use metrics::Metrics;
 pub use payload::{pattern_block, Chunk, Data, Item, Parcel, Sealed};
 pub use shared::{NodeShared, SlotKey};
 pub use trace::{BusyBreakdown, Event, EventKind, Trace};
-pub use world::{run, try_run, DataMode, ProcCtx, RetryPolicy, RunReport, WorldSpec};
+pub use world::{
+    quiet_expected_panics, run, run_crashable, try_run, try_run_crashable, CrashReport, DataMode,
+    ProcCtx, RetryPolicy, RunReport, WorldSpec,
+};

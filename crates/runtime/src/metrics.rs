@@ -49,6 +49,11 @@ pub struct Metrics {
     pub retransmit_bytes: u64,
     /// Duplicate frames discarded by sequence-number deduplication.
     pub dup_frames_dropped: u64,
+    /// Peer crashes this rank's failure detector observed (crash notice,
+    /// heartbeat staleness, or a same-node shared-segment abort).
+    pub crashes_detected: u64,
+    /// Degraded recoveries this rank completed (shrunk-group re-runs).
+    pub recoveries: u64,
 }
 
 impl Metrics {
@@ -93,6 +98,8 @@ impl Metrics {
             out.retransmits = out.retransmits.max(m.retransmits);
             out.retransmit_bytes = out.retransmit_bytes.max(m.retransmit_bytes);
             out.dup_frames_dropped = out.dup_frames_dropped.max(m.dup_frames_dropped);
+            out.crashes_detected = out.crashes_detected.max(m.crashes_detected);
+            out.recoveries = out.recoveries.max(m.recoveries);
         }
         out
     }
@@ -119,6 +126,8 @@ impl Metrics {
             out.retransmits += m.retransmits;
             out.retransmit_bytes += m.retransmit_bytes;
             out.dup_frames_dropped += m.dup_frames_dropped;
+            out.crashes_detected += m.crashes_detected;
+            out.recoveries += m.recoveries;
         }
         out
     }
@@ -156,6 +165,25 @@ mod tests {
         let sum = Metrics::component_sum(&[a, b]);
         assert_eq!(sum.comm_rounds, 8);
         assert_eq!(sum.enc_bytes, 110);
+    }
+
+    #[test]
+    fn crash_counters_aggregate() {
+        let a = Metrics {
+            crashes_detected: 1,
+            recoveries: 1,
+            ..Default::default()
+        };
+        let b = Metrics {
+            crashes_detected: 2,
+            ..Default::default()
+        };
+        let max = Metrics::component_max(&[a, b]);
+        assert_eq!(max.crashes_detected, 2);
+        assert_eq!(max.recoveries, 1);
+        let sum = Metrics::component_sum(&[a, b]);
+        assert_eq!(sum.crashes_detected, 3);
+        assert_eq!(sum.recoveries, 1);
     }
 
     #[test]

@@ -15,8 +15,10 @@
 //! one generation of slots per `begin_collective` epoch.
 
 use crate::payload::Item;
+use eag_netsim::Rank;
 use parking_lot::{Condvar, Mutex};
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 
 /// A slot address inside a node's shared segment.
@@ -50,6 +52,10 @@ pub struct NodeShared {
     barrier: Mutex<BarrierState>,
     barrier_cv: Condvar,
     poisoned: std::sync::atomic::AtomicBool,
+    /// `rank + 1` of a sibling process that crashed mid-collective, or 0.
+    /// Unlike poison this is recoverable: blocked `fetch`/`barrier` calls
+    /// return `Err(rank)` so survivors can run the recovery protocol.
+    crashed: AtomicUsize,
 }
 
 impl NodeShared {
@@ -67,6 +73,7 @@ impl NodeShared {
             }),
             barrier_cv: Condvar::new(),
             poisoned: std::sync::atomic::AtomicBool::new(false),
+            crashed: AtomicUsize::new(0),
         }
     }
 
@@ -82,6 +89,24 @@ impl NodeShared {
     fn check_poison(&self) {
         if self.poisoned.load(std::sync::atomic::Ordering::SeqCst) {
             panic!("node shared segment poisoned: a sibling process panicked");
+        }
+    }
+
+    /// Marks a sibling process as crashed (the node's OS observes local
+    /// process death immediately, even for a hard crash) and wakes all
+    /// waiters so blocked `fetch`/`barrier` calls return `Err(rank)`.
+    pub fn crash_abort(&self, rank: Rank) {
+        let _ = self
+            .crashed
+            .compare_exchange(0, rank + 1, Ordering::SeqCst, Ordering::SeqCst);
+        self.slots_cv.notify_all();
+        self.barrier_cv.notify_all();
+    }
+
+    fn check_crash(&self) -> Result<(), Rank> {
+        match self.crashed.load(Ordering::SeqCst) {
+            0 => Ok(()),
+            dead => Err(dead - 1),
         }
     }
 
@@ -117,19 +142,22 @@ impl NodeShared {
     /// handle to the item (no deep copy) and the virtual time it became
     /// visible. The last declared consumer removes the slot and receives the
     /// map's own `Arc` — then sole ownership, so `Arc::try_unwrap` gives the
-    /// item back without any copy at all.
-    pub fn fetch(&self, key: SlotKey) -> (Arc<Item>, f64) {
+    /// item back without any copy at all. Returns `Err(rank)` if a sibling
+    /// process on this node crashed: its deposits may never arrive, so the
+    /// whole segment fails fast once [`crash_abort`](Self::crash_abort) ran.
+    pub fn fetch(&self, key: SlotKey) -> Result<(Arc<Item>, f64), Rank> {
         let mut slots = self.slots.lock();
         loop {
             self.check_poison();
+            self.check_crash()?;
             if let Some(d) = slots.slots.get_mut(&key) {
                 debug_assert!(d.remaining > 0);
                 d.remaining -= 1;
                 return if d.remaining == 0 {
                     let d = slots.slots.remove(&key).expect("slot present");
-                    (d.item, d.ready_us)
+                    Ok((d.item, d.ready_us))
                 } else {
-                    (Arc::clone(&d.item), d.ready_us)
+                    Ok((Arc::clone(&d.item), d.ready_us))
                 };
             }
             self.slots_cv.wait(&mut slots);
@@ -155,8 +183,11 @@ impl NodeShared {
 
     /// Node barrier: blocks until all participants arrive, and returns the
     /// common release clock = max(arrival clocks) + `barrier_cost_us`.
-    pub fn barrier(&self, my_clock_us: f64, barrier_cost_us: f64) -> f64 {
+    /// Returns `Err(rank)` if a sibling process on this node crashed — the
+    /// barrier would never release, so waiters fail fast instead.
+    pub fn barrier(&self, my_clock_us: f64, barrier_cost_us: f64) -> Result<f64, Rank> {
         let mut st = self.barrier.lock();
+        self.check_crash()?;
         let gen = st.generation;
         st.max_clock_us = st.max_clock_us.max(my_clock_us);
         st.arrived += 1;
@@ -168,13 +199,14 @@ impl NodeShared {
             let release = st.release_clock_us;
             drop(st);
             self.barrier_cv.notify_all();
-            release
+            Ok(release)
         } else {
             while st.generation == gen {
                 self.check_poison();
+                self.check_crash()?;
                 self.barrier_cv.wait(&mut st);
             }
-            st.release_clock_us
+            Ok(st.release_clock_us)
         }
     }
 }
@@ -192,7 +224,7 @@ mod tests {
     fn deposit_then_fetch() {
         let sh = NodeShared::new(1);
         sh.deposit((1, 0), item(7), 5.0, 1);
-        let (got, ready) = sh.fetch((1, 0));
+        let (got, ready) = sh.fetch((1, 0)).unwrap();
         assert_eq!(*got, item(7));
         assert_eq!(ready, 5.0);
     }
@@ -201,7 +233,7 @@ mod tests {
     fn fetch_blocks_until_deposit() {
         let sh = Arc::new(NodeShared::new(2));
         let sh2 = Arc::clone(&sh);
-        let handle = std::thread::spawn(move || (*sh2.fetch((9, 3)).0).clone());
+        let handle = std::thread::spawn(move || (*sh2.fetch((9, 3)).unwrap().0).clone());
         std::thread::sleep(std::time::Duration::from_millis(20));
         sh.deposit((9, 3), item(1), 0.0, 1);
         assert_eq!(handle.join().unwrap(), item(1));
@@ -229,10 +261,10 @@ mod tests {
         let sh = NodeShared::new(3);
         sh.deposit((2, 1), item(9), 1.0, 3);
         assert_eq!(sh.len(), 1);
-        let (a, _) = sh.fetch((2, 1));
-        let (b, _) = sh.fetch((2, 1));
+        let (a, _) = sh.fetch((2, 1)).unwrap();
+        let (b, _) = sh.fetch((2, 1)).unwrap();
         assert_eq!(sh.len(), 1, "slot must survive until the last consumer");
-        let (c, _) = sh.fetch((2, 1));
+        let (c, _) = sh.fetch((2, 1)).unwrap();
         assert!(sh.is_empty(), "last consumer removes the slot");
         assert_eq!(*a, *b);
         drop((a, b));
@@ -252,8 +284,8 @@ mod tests {
     fn fetches_share_one_allocation() {
         let sh = NodeShared::new(2);
         sh.deposit((4, 0), item(6), 0.0, 2);
-        let (a, _) = sh.fetch((4, 0));
-        let (b, _) = sh.fetch((4, 0));
+        let (a, _) = sh.fetch((4, 0)).unwrap();
+        let (b, _) = sh.fetch((4, 0)).unwrap();
         assert!(Arc::ptr_eq(&a, &b), "fetches must not deep-clone the item");
     }
 
@@ -264,11 +296,31 @@ mod tests {
         let mut handles = Vec::new();
         for &c in &clocks {
             let sh = Arc::clone(&sh);
-            handles.push(std::thread::spawn(move || sh.barrier(c, 0.5)));
+            handles.push(std::thread::spawn(move || sh.barrier(c, 0.5).unwrap()));
         }
         for h in handles {
             assert_eq!(h.join().unwrap(), 10.5);
         }
+    }
+
+    #[test]
+    fn crash_abort_unblocks_fetch_and_barrier() {
+        let sh = Arc::new(NodeShared::new(2));
+        let f = {
+            let sh = Arc::clone(&sh);
+            std::thread::spawn(move || sh.fetch((5, 0)))
+        };
+        let b = {
+            let sh = Arc::clone(&sh);
+            std::thread::spawn(move || sh.barrier(1.0, 0.0))
+        };
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        sh.crash_abort(1);
+        assert_eq!(f.join().unwrap(), Err(1));
+        assert_eq!(b.join().unwrap(), Err(1));
+        // Later calls fail fast too — the segment stays dead.
+        assert_eq!(sh.fetch((5, 0)), Err(1));
+        assert_eq!(sh.barrier(2.0, 0.0), Err(1));
     }
 
     #[test]
@@ -277,8 +329,8 @@ mod tests {
         for round in 0..3 {
             let sh2 = Arc::clone(&sh);
             let base = round as f64 * 100.0;
-            let h = std::thread::spawn(move || sh2.barrier(base + 1.0, 0.0));
-            let mine = sh.barrier(base + 2.0, 0.0);
+            let h = std::thread::spawn(move || sh2.barrier(base + 1.0, 0.0).unwrap());
+            let mine = sh.barrier(base + 2.0, 0.0).unwrap();
             assert_eq!(mine, base + 2.0);
             assert_eq!(h.join().unwrap(), base + 2.0);
         }

@@ -62,6 +62,19 @@ pub enum EventKind {
         /// Attempt number (1-based).
         attempt: u32,
     },
+    /// A rank died mid-collective. Recorded on the dying rank at its point
+    /// of death, and on each survivor when its failure detector notices.
+    /// Zero-duration marker.
+    Crash {
+        /// The rank that died.
+        rank: Rank,
+    },
+    /// A survivor entered degraded recovery: the failed set was agreed and
+    /// the collective re-runs over the shrunk group. Zero-duration marker.
+    Recover {
+        /// Number of surviving ranks in the shrunk group.
+        survivors: usize,
+    },
 }
 
 impl EventKind {
@@ -76,6 +89,8 @@ impl EventKind {
             EventKind::Barrier => "barrier",
             EventKind::Fault { .. } => "fault",
             EventKind::Retry { .. } => "retry",
+            EventKind::Crash { .. } => "crash",
+            EventKind::Recover { .. } => "recover",
         }
     }
 }
@@ -133,7 +148,10 @@ impl BusyBreakdown {
                 EventKind::Copy { .. } => b.copy_us += d,
                 EventKind::Barrier => b.barrier_us += d,
                 // Zero-duration markers: no busy time to attribute.
-                EventKind::Fault { .. } | EventKind::Retry { .. } => {}
+                EventKind::Fault { .. }
+                | EventKind::Retry { .. }
+                | EventKind::Crash { .. }
+                | EventKind::Recover { .. } => {}
             }
         }
         b
@@ -164,11 +182,13 @@ pub fn render_gantt(traces: &[Trace], cols: usize) -> String {
         EventKind::Barrier => '|',
         EventKind::Fault { .. } => 'X',
         EventKind::Retry { .. } => 'R',
+        EventKind::Crash { .. } => '#',
+        EventKind::Recover { .. } => '+',
     };
     let mut out = String::new();
     out.push_str(&format!(
         "virtual time 0 .. {horizon:.2} µs ({cols} cells; S=send r=recv E=encrypt \
-         D=decrypt c=copy |=barrier X=fault R=retry)\n"
+         D=decrypt c=copy |=barrier X=fault R=retry #=crash +=recover)\n"
     ));
     for (rank, trace) in traces.iter().enumerate() {
         let mut row = vec!['.'; cols];
@@ -176,8 +196,15 @@ pub fn render_gantt(traces: &[Trace], cols: usize) -> String {
         // (Fault/Retry), so a marker is never hidden under the interval that
         // starts at the same instant (a faulted send begins exactly at the
         // fault's timestamp).
-        let is_marker =
-            |e: &Event| matches!(e.kind, EventKind::Fault { .. } | EventKind::Retry { .. });
+        let is_marker = |e: &Event| {
+            matches!(
+                e.kind,
+                EventKind::Fault { .. }
+                    | EventKind::Retry { .. }
+                    | EventKind::Crash { .. }
+                    | EventKind::Recover { .. }
+            )
+        };
         for e in trace
             .iter()
             .filter(|e| !is_marker(e))
@@ -231,6 +258,10 @@ pub fn to_chrome_trace(traces: &[Trace]) -> String {
                 }
                 EventKind::Retry { peer, tag, attempt } => {
                     format!("{{\"peer\":{peer},\"tag\":{tag},\"attempt\":{attempt}}}")
+                }
+                EventKind::Crash { rank } => format!("{{\"rank\":{rank}}}"),
+                EventKind::Recover { survivors } => {
+                    format!("{{\"survivors\":{survivors}}}")
                 }
             };
             out.push_str(&format!(
@@ -366,6 +397,48 @@ mod tests {
         let s = render_gantt(&traces, 10);
         assert!(s.contains('X'), "fault hidden under send:\n{s}");
         assert!(s.contains('S'));
+    }
+
+    #[test]
+    fn gantt_paints_crash_and_recover_markers() {
+        // A crash at the very end of rank 1's timeline and a recover marker
+        // mid-way through rank 0's: both zero-duration, both must survive
+        // the two-pass painter (crash lands on the horizon boundary).
+        let traces = vec![
+            vec![
+                ev(0.0, 10.0, EventKind::Recv { src: 1, bytes: 8 }),
+                ev(6.0, 6.0, EventKind::Recover { survivors: 3 }),
+            ],
+            vec![
+                ev(
+                    0.0,
+                    4.0,
+                    EventKind::Send {
+                        dst: 0,
+                        bytes: 8,
+                        link: LinkClass::Inter,
+                    },
+                ),
+                ev(4.0, 4.0, EventKind::Crash { rank: 1 }),
+            ],
+        ];
+        let s = render_gantt(&traces, 10);
+        assert!(s.contains('#'), "crash marker missing:\n{s}");
+        assert!(s.contains('+'), "recover marker missing:\n{s}");
+        assert!(s.contains("#=crash"), "legend missing crash glyph:\n{s}");
+    }
+
+    #[test]
+    fn crash_and_recover_markers_carry_no_busy_time() {
+        let trace = vec![
+            ev(1.0, 1.0, EventKind::Crash { rank: 2 }),
+            ev(2.0, 2.0, EventKind::Recover { survivors: 7 }),
+        ];
+        assert_eq!(BusyBreakdown::of(&trace).total_us(), 0.0);
+        let json = to_chrome_trace(&[trace]);
+        assert!(json.contains("\"name\":\"crash\""));
+        assert!(json.contains("\"rank\":2"));
+        assert!(json.contains("\"survivors\":7"));
     }
 
     #[test]

@@ -22,6 +22,24 @@
 //! the virtual-time cost model: retransmissions do not advance clocks and
 //! their bytes are accounted separately (`Metrics::retransmit_bytes`), so
 //! the paper's Table II traffic columns stay fault-independent.
+//!
+//! # Crash tolerance
+//!
+//! A [`FaultPlan`] may additionally carry a seeded [`eag_netsim::Crash`]
+//! event that kills one rank's thread at a chosen send step. The world does
+//! not treat this as a poisoning panic: the runner records the death (a
+//! *crash notice* for soft crashes, or nothing for hard crashes, which
+//! survivors must suspect via heartbeat staleness), wakes any same-node
+//! sibling blocked on the shared segment, and keeps the world alive. A
+//! receive blocked on a dead peer resolves through the failure detector
+//! with a recoverable `Crash { rank }` cause instead of waiting out its
+//! deadline; [`ProcCtx::try_recv`] surfaces the cause as a value so
+//! survivor-agreement protocols can probe dead ranks without unwinding.
+//! Collective epochs are folded into every wire tag, so frames of an
+//! abandoned attempt can never alias the agreement round or the degraded
+//! re-run that follow it (see `recover_allgather` in `eag-core`). Use
+//! [`run_crashable`]/[`try_run_crashable`] to harvest per-rank outputs with
+//! the crashed ranks marked instead of panicking on the missing output.
 
 use crate::error::{CollectiveError, FailureCause};
 use crate::metrics::Metrics;
@@ -110,6 +128,14 @@ pub struct WorldSpec {
     /// (dead peers are still detected and fail fast). Also bounds the
     /// post-collective linger of each rank in chaos mode.
     pub recv_timeout: Option<Duration>,
+    /// Heartbeat staleness threshold of the failure detector: a peer whose
+    /// heartbeat is older than this (wall clock) is suspected crashed.
+    /// Needed only to detect *hard* crashes, which leave no exit notice;
+    /// soft crashes are detected immediately from the runner's notice.
+    /// `None` (the default) disables heartbeat suspicion — pick a threshold
+    /// comfortably above the scheduler noise of the host when enabling it,
+    /// or a merely slow rank gets declared dead.
+    pub suspect_after: Option<Duration>,
 }
 
 impl WorldSpec {
@@ -125,9 +151,29 @@ impl WorldSpec {
             faults: FaultPlan::default(),
             retry: RetryPolicy::default(),
             recv_timeout: Some(Duration::from_secs(300)),
+            suspect_after: None,
         }
     }
 }
+
+/// Wire tags carry the collective epoch in their upper bits so that frames
+/// of an abandoned attempt can never be mistaken for frames of the
+/// agreement round or the degraded re-run that reuse the same logical tag
+/// bases in later epochs. Communicating ranks always agree on the epoch
+/// (every collective bumps it once on every rank), so the mapping is
+/// transparent to the algorithms.
+const EPOCH_SHIFT: u32 = 40;
+const LOGICAL_TAG_MASK: u64 = (1 << EPOCH_SHIFT) - 1;
+
+/// Strips the epoch bits back off a wire tag (for errors and traces).
+fn logical_tag(wire_tag: u64) -> u64 {
+    wire_tag & LOGICAL_TAG_MASK
+}
+
+/// Panic payload of an injected crash. Deliberately *not* a
+/// [`CollectiveError`]: the runner intercepts it and records the death
+/// instead of poisoning the world.
+struct RankCrash;
 
 /// Associated data binding a sealed chunk to its routing metadata. The
 /// origins list and block length travel *outside* the ciphertext (receivers
@@ -240,7 +286,27 @@ pub struct ProcCtx<'w> {
     phase: &'static str,
     inter_frame_counter: &'w AtomicU64,
     finished: &'w [AtomicBool],
-    finished_count: &'w AtomicUsize,
+    /// Ranks that have left the world for any reason — clean completion or
+    /// crash. Drives linger termination and the `Finished` broadcast.
+    departed_count: &'w AtomicUsize,
+    /// Crash notices: set by the runner when a rank dies softly (hard
+    /// crashes leave the flag clear and are only caught by heartbeats).
+    crashed: &'w [AtomicBool],
+    /// Ranks that abandoned the current recoverable attempt (set by the
+    /// rank itself via [`ProcCtx::end_attempt`]). Only consulted while this
+    /// rank's own receive is attempt-scoped.
+    aborted: &'w [AtomicBool],
+    /// First crashed rank + 1 (0 = none). Lets a receive that fails because
+    /// its peer *aborted* attribute the failure to the actual crash.
+    crash_notice: &'w AtomicUsize,
+    /// Wall-clock heartbeat of each rank, in ms since `world_start`.
+    heartbeats: &'w [AtomicU64],
+    world_start: Instant,
+    suspect_after: Option<Duration>,
+    /// Count of this rank's peer-bound send steps (the crash trigger).
+    send_steps: u64,
+    /// Whether receives are currently scoped to a recoverable attempt.
+    attempt_active: bool,
 }
 
 impl<'w> ProcCtx<'w> {
@@ -277,6 +343,13 @@ impl<'w> ProcCtx<'w> {
     /// The data mode of this run.
     pub fn mode(&self) -> DataMode {
         self.mode
+    }
+
+    /// True when this world has a fault plan armed (chaos mode). Worlds
+    /// without one cannot inject crashes, so crash-tolerant wrappers may
+    /// skip their agreement traffic entirely.
+    pub fn chaos_enabled(&self) -> bool {
+        self.chaos
     }
 
     /// Current virtual time in µs.
@@ -326,6 +399,126 @@ impl<'w> ProcCtx<'w> {
         (base | (self.epoch << 32), idx)
     }
 
+    /// Folds the current collective epoch into a logical tag, yielding the
+    /// tag that actually travels on the wire (and keys every reliability
+    /// structure). Frames of different epochs can never alias.
+    fn wire_tag(&self, tag: u64) -> u64 {
+        debug_assert!(tag <= LOGICAL_TAG_MASK, "tag collides with epoch bits");
+        tag | (self.epoch << EPOCH_SHIFT)
+    }
+
+    /// Publishes this rank's liveness for the heartbeat failure detector.
+    fn beat(&self) {
+        self.heartbeats[self.rank].store(
+            self.world_start.elapsed().as_millis() as u64,
+            Ordering::SeqCst,
+        );
+    }
+
+    /// Failure-detector verdict for the peer a receive is blocked on:
+    /// `Some(rank)` when the peer can never satisfy the receive because
+    /// `rank` crashed — the peer itself (crash notice or stale heartbeat),
+    /// or, for attempt-scoped receives from a peer that abandoned the
+    /// attempt, the crash that triggered the abandonment.
+    fn peer_dead(&self, src: Rank) -> Option<Rank> {
+        if src == self.rank {
+            return None;
+        }
+        if self.crashed[src].load(Ordering::SeqCst) {
+            return Some(src);
+        }
+        if self.attempt_active && self.aborted[src].load(Ordering::SeqCst) {
+            let notice = self.crash_notice.load(Ordering::SeqCst);
+            return Some(if notice > 0 { notice - 1 } else { src });
+        }
+        if let Some(limit) = self.suspect_after {
+            if self.chaos && !self.finished[src].load(Ordering::SeqCst) {
+                let now_ms = self.world_start.elapsed().as_millis() as u64;
+                let hb = self.heartbeats[src].load(Ordering::SeqCst);
+                if now_ms.saturating_sub(hb) > limit.as_millis() as u64 {
+                    // Publish the suspicion so cascade aborts triggered by
+                    // it attribute their failure to this rank.
+                    let _ = self.crash_notice.compare_exchange(
+                        0,
+                        src + 1,
+                        Ordering::SeqCst,
+                        Ordering::SeqCst,
+                    );
+                    return Some(src);
+                }
+            }
+        }
+        None
+    }
+
+    /// Kills this rank's thread per the fault plan's crash event. The
+    /// unwind is intercepted by the runner, which records the death and
+    /// keeps the world alive instead of poisoning it.
+    fn die(&mut self) -> ! {
+        self.record_marker(EventKind::Crash { rank: self.rank });
+        self.wiretap.note_crash(self.rank);
+        panic_any(RankCrash)
+    }
+
+    /// Marks the start of a recoverable collective attempt. While active,
+    /// a receive blocked on a peer that abandoned its own attempt resolves
+    /// through the failure detector (that peer will never send attempt
+    /// frames again) instead of waiting out its deadline.
+    pub fn begin_attempt(&mut self) {
+        self.attempt_active = true;
+    }
+
+    /// Ends the recoverable attempt. `completed: false` publishes this
+    /// rank's abandonment so peers still blocked on it inside their own
+    /// attempts fail over to recovery promptly. The abandonment is
+    /// published *after* the triggering crash is known world-wide (the
+    /// crash notice), so cascaded failures stay correctly attributed.
+    pub fn end_attempt(&mut self, completed: bool) {
+        self.attempt_active = false;
+        if !completed {
+            self.aborted[self.rank].store(true, Ordering::SeqCst);
+            // Same-node siblings may be blocked in a barrier or on a shared
+            // deposit this abandoned attempt will never serve. Fail our
+            // node's segment over to the crash that triggered the
+            // abandonment so they cascade into recovery too. (The segment
+            // stays dead afterwards: shared-memory algorithms are
+            // unavailable post-crash, which the recovery dispatcher
+            // respects by re-running over channels only.)
+            let notice = self.crash_notice.load(Ordering::SeqCst);
+            if notice > 0 {
+                self.shared[self.node()].crash_abort(notice - 1);
+            }
+        }
+    }
+
+    /// Records a completed shrink-and-recover on this rank: a `Recover`
+    /// trace marker plus the `recoveries` metrics counter. Called by the
+    /// recovery driver (`recover_allgather` in `eag-core`) after the
+    /// degraded re-run completes.
+    pub fn note_recovery(&mut self, survivors: usize) {
+        self.metrics.recoveries += 1;
+        self.record_marker(EventKind::Recover { survivors });
+    }
+
+    /// Converts a crash reported by the node-shared segment (a same-node
+    /// sibling died while we were blocked on its deposit or barrier) into
+    /// the recoverable typed failure.
+    /// Books a same-node crash observed through the shared segment and
+    /// returns it as a failure cause (attributing any wider cascade to it).
+    fn note_shared_crash(&mut self, dead: Rank) -> FailureCause {
+        let _ = self
+            .crash_notice
+            .compare_exchange(0, dead + 1, Ordering::SeqCst, Ordering::SeqCst);
+        self.metrics.crashes_detected += 1;
+        self.record_marker(EventKind::Crash { rank: dead });
+        FailureCause::Crash { rank: dead }
+    }
+
+    fn shared_crash(&mut self, dead: Rank) -> ! {
+        let cause = self.note_shared_crash(dead);
+        self.fail(cause)
+    }
+
     #[inline]
     fn record(&mut self, start_us: f64, kind: EventKind) {
         if let Some(trace) = &mut self.trace {
@@ -363,6 +556,32 @@ impl<'w> ProcCtx<'w> {
     /// a stream sequence number, a transport checksum, and a retransmit-log
     /// entry, and may be perturbed per the world's [`FaultPlan`].
     pub fn send(&mut self, dst: Rank, tag: u64, mut parcel: Parcel) {
+        let tag = self.wire_tag(tag);
+        let mut crash_after_send = false;
+        if dst != self.rank {
+            // Injected crashes model failures of the *attempted* collective.
+            // Once a rank enters the recovery protocol (agreement or the
+            // degraded re-run — phases prefixed "recovery"), its planned
+            // crash no longer fires: the single-crash model assumes the
+            // recovery machinery itself is failure-free, and a crash inside
+            // the final agreement round could not be agreed upon anyway.
+            if let Some(c) = self.faults.crash {
+                if c.rank == self.rank
+                    && c.phase_step == self.send_steps
+                    && !self.phase.starts_with("recovery")
+                {
+                    if c.after_send {
+                        crash_after_send = true;
+                    } else {
+                        self.die();
+                    }
+                }
+            }
+            self.send_steps += 1;
+            if self.chaos {
+                self.beat();
+            }
+        }
         // Frames held back by an earlier Reorder injection are released
         // after this send's delivery — i.e. genuinely overtaken by it.
         let held = std::mem::take(&mut self.reorder_limbo);
@@ -432,9 +651,12 @@ impl<'w> ProcCtx<'w> {
                 corrupt_parcel(&mut parcel);
             }
             if self.chaos {
+                // Fault decisions hash the *logical* tag: a stream's fault
+                // pattern at a given seed is a property of the collective's
+                // structure, not of which epoch it runs in.
                 fault = match self.faults.fault_nth_inter_frame {
                     Some((n, kind)) if n == frame_idx => Some(kind),
-                    _ => self.faults.decide(self.rank, dst, tag, seq, 0),
+                    _ => self.faults.decide(self.rank, dst, logical_tag(tag), seq, 0),
                 };
             }
             if fault == Some(FaultKind::Tamper) {
@@ -483,6 +705,9 @@ impl<'w> ProcCtx<'w> {
         }
         for (d, m) in held {
             let _ = self.senders[d].send(m);
+        }
+        if crash_after_send {
+            self.die();
         }
     }
 
@@ -533,8 +758,20 @@ impl<'w> ProcCtx<'w> {
     /// deduplicated before they reach the metrics, so the Table II traffic
     /// columns are fault-independent.
     pub fn recv(&mut self, src: Rank, tag: u64) -> Parcel {
+        match self.try_recv(src, tag) {
+            Ok(parcel) => parcel,
+            Err(cause) => self.fail(cause),
+        }
+    }
+
+    /// Like [`Self::recv`], but returns the failure cause as a value
+    /// instead of unwinding the rank. This is what survivor-agreement
+    /// protocols use to probe possibly-dead peers: a probe of a crashed
+    /// rank yields `Err(Crash { .. })` and the caller carries on.
+    pub fn try_recv(&mut self, src: Rank, tag: u64) -> Result<Parcel, FailureCause> {
         let t0 = self.clock_us;
-        let (parcel, arrive_us) = self.wait_for(src, tag);
+        let tag = self.wire_tag(tag);
+        let (parcel, arrive_us) = self.wait_for(src, tag)?;
         self.clock_us = self.clock_us.max(arrive_us);
         let bytes = parcel.wire_len();
         // Receiving one's own self-send is a local hand-off, not a
@@ -545,7 +782,7 @@ impl<'w> ProcCtx<'w> {
             self.metrics.payload_recv += parcel.payload_len() as u64;
         }
         self.record(t0, EventKind::Recv { src, bytes });
-        parcel
+        Ok(parcel)
     }
 
     /// Pops the next accepted in-order frame for `(src, tag)`, if any.
@@ -564,12 +801,13 @@ impl<'w> ProcCtx<'w> {
 
     /// The blocking receive loop: admits channel traffic, issues NACK-based
     /// recovery rounds (chaos mode), enforces the absolute wall-clock
-    /// watchdog, and detects dead peers. Returns the accepted frame and its
-    /// virtual arrival time.
-    fn wait_for(&mut self, src: Rank, tag: u64) -> (Parcel, f64) {
+    /// watchdog, and detects dead and crashed peers. Takes a *wire* tag;
+    /// returns the accepted frame and its virtual arrival time, or the
+    /// failure cause (with the logical tag restored).
+    fn wait_for(&mut self, src: Rank, tag: u64) -> Result<(Parcel, f64), FailureCause> {
         self.flush_limbo();
         if let Some(got) = self.take_ready(src, tag) {
-            return got;
+            return Ok(got);
         }
         let started = Instant::now();
         // The watchdog limit is an absolute deadline for this receive, not a
@@ -587,6 +825,9 @@ impl<'w> ProcCtx<'w> {
         };
         let mut peer_missed = false;
         loop {
+            if self.chaos {
+                self.beat();
+            }
             let now = Instant::now();
             let mut wake = now + poll;
             if let Some(w) = watchdog {
@@ -599,7 +840,7 @@ impl<'w> ProcCtx<'w> {
                 Ok(msg) => {
                     self.admit(msg, (src, tag), &mut peer_missed);
                     if let Some(got) = self.take_ready(src, tag) {
-                        return got;
+                        return Ok(got);
                     }
                     // Fall through: the deadline checks below must run on
                     // every iteration, or a flood of unrelated messages
@@ -613,9 +854,9 @@ impl<'w> ProcCtx<'w> {
             let now = Instant::now();
             if let Some(w) = watchdog {
                 if now >= w {
-                    self.fail(FailureCause::Timeout {
+                    return Err(FailureCause::Timeout {
                         src,
-                        tag,
+                        tag: logical_tag(tag),
                         waited: started.elapsed(),
                         attempts: attempt,
                     });
@@ -625,9 +866,9 @@ impl<'w> ProcCtx<'w> {
                 if now >= a {
                     attempt += 1;
                     if attempt >= self.retry.max_attempts {
-                        self.fail(FailureCause::Timeout {
+                        return Err(FailureCause::Timeout {
                             src,
-                            tag,
+                            tag: logical_tag(tag),
                             waited: started.elapsed(),
                             attempts: attempt,
                         });
@@ -637,7 +878,7 @@ impl<'w> ProcCtx<'w> {
                     self.metrics.nacks_sent += 1;
                     self.record_marker(EventKind::Retry {
                         peer: src,
-                        tag,
+                        tag: logical_tag(tag),
                         attempt,
                     });
                     let _ = self.senders[src].send(Message {
@@ -658,16 +899,37 @@ impl<'w> ProcCtx<'w> {
                 while let Ok(msg) = self.rx.try_recv() {
                     self.admit(msg, (src, tag), &mut peer_missed);
                     if let Some(got) = self.take_ready(src, tag) {
-                        return got;
+                        return Ok(got);
                     }
                 }
                 // Outside chaos mode a finished peer can never send again.
                 // Inside it, a lingering peer may still replay logged
-                // frames — unless it answered NackMiss, proving it has
-                // nothing for this stream.
+                // frames — unless it answered NackMiss, which is only ever
+                // emitted once the peer's log is complete (post-finish),
+                // proving it has nothing for this stream.
                 if !self.chaos || peer_missed {
-                    self.fail(FailureCause::DeadPeer { peer: src, tag });
+                    return Err(FailureCause::DeadPeer {
+                        peer: src,
+                        tag: logical_tag(tag),
+                    });
                 }
+            }
+            if let Some(dead) = self.peer_dead(src) {
+                // Failure detector: the peer will never send this frame.
+                // Everything a rank sends is pushed into our channel before
+                // its thread can unwind (and before it publishes an attempt
+                // abort), so after a drain an absent frame is *permanently*
+                // absent — resolve the receive now instead of waiting out
+                // the watchdog.
+                while let Ok(msg) = self.rx.try_recv() {
+                    self.admit(msg, (src, tag), &mut peer_missed);
+                }
+                if let Some(got) = self.take_ready(src, tag) {
+                    return Ok(got);
+                }
+                self.metrics.crashes_detected += 1;
+                self.record_marker(EventKind::Crash { rank: dead });
+                return Err(FailureCause::Crash { rank: dead });
             }
         }
     }
@@ -723,7 +985,7 @@ impl<'w> ProcCtx<'w> {
                     self.metrics.nacks_sent += 1;
                     self.record_marker(EventKind::Retry {
                         peer: src,
-                        tag,
+                        tag: logical_tag(tag),
                         attempt: 0,
                     });
                     let _ = self.senders[src].send(Message {
@@ -760,7 +1022,7 @@ impl<'w> ProcCtx<'w> {
                             self.metrics.nacks_sent += 1;
                             self.record_marker(EventKind::Retry {
                                 peer: src,
-                                tag,
+                                tag: logical_tag(tag),
                                 attempt: 0,
                             });
                             let _ = self.senders[src].send(Message {
@@ -816,11 +1078,21 @@ impl<'w> ProcCtx<'w> {
             }
         }
         if jobs.is_empty() {
-            let _ = self.senders[from].send(Message {
-                src: self.rank,
-                arrive_us: 0.0,
-                wire: Wire::NackMiss { tag },
-            });
+            // A NackMiss is a proof that the requested frames will *never*
+            // exist — which is only true once this rank has finished and
+            // its log is complete. Mid-run, the NACK may simply be early:
+            // the receiver's retry timer can race a send that has not
+            // happened yet (and whose frame may then be dropped in flight).
+            // Answering NackMiss then would let the receiver conclude
+            // DeadPeer the moment we finish, instead of re-asking the
+            // lingering log. Stay silent; the receiver's backoff re-asks.
+            if self.finished[self.rank].load(Ordering::SeqCst) {
+                let _ = self.senders[from].send(Message {
+                    src: self.rank,
+                    arrive_us: 0.0,
+                    wire: Wire::NackMiss { tag },
+                });
+            }
             return;
         }
         let link = self.topo.link(self.rank, from);
@@ -829,12 +1101,13 @@ impl<'w> ProcCtx<'w> {
             self.metrics.retransmit_bytes += parcel.wire_len() as u64;
             self.record_marker(EventKind::Retry {
                 peer: from,
-                tag,
+                tag: logical_tag(tag),
                 attempt,
             });
             let mut checksum = Some(parcel.checksum());
             let fault = if link == LinkClass::Inter {
-                self.faults.decide(self.rank, from, tag, seq, attempt)
+                self.faults
+                    .decide(self.rank, from, logical_tag(tag), seq, attempt)
             } else {
                 None
             };
@@ -885,12 +1158,13 @@ impl<'w> ProcCtx<'w> {
     }
 
     /// Post-collective service loop (chaos mode): a finished rank keeps
-    /// answering NACKs until every rank has finished, so a peer recovering
-    /// a lost frame never finds its sender gone. Bounded by the world's
-    /// `recv_timeout` (default 300 s).
+    /// answering NACKs until every rank has departed (finished or
+    /// crashed), so a peer recovering a lost frame never finds its sender
+    /// gone. Bounded by the world's `recv_timeout` (default 300 s).
     fn linger(&mut self) {
         let deadline = Instant::now() + self.recv_timeout.unwrap_or(Duration::from_secs(300));
-        while self.finished_count.load(Ordering::SeqCst) < self.p() {
+        while self.departed_count.load(Ordering::SeqCst) < self.p() {
+            self.beat();
             if Instant::now() >= deadline {
                 break;
             }
@@ -1024,13 +1298,33 @@ impl<'w> ProcCtx<'w> {
     /// Fetches the item in `key` from this node's shared segment, charging a
     /// memory copy and waiting (in virtual time) for the deposit.
     pub fn shared_fetch(&mut self, key: SlotKey) -> Item {
-        let (item, ready_us) = self.shared[self.node()].fetch(key);
+        let (item, ready_us) = match self.shared[self.node()].fetch(key) {
+            Ok(got) => got,
+            Err(dead) => self.shared_crash(dead),
+        };
         self.clock_us = self.clock_us.max(ready_us);
         let bytes = item.wire_len();
         self.clock_us += self.model.copy_time(bytes);
         self.metrics.copies += 1;
         self.metrics.copy_bytes += bytes as u64;
         Self::unwrap_shared(item)
+    }
+
+    /// Like [`Self::shared_fetch`], but surfaces a same-node crash as a
+    /// value instead of raising the structured failure — recovery code uses
+    /// this to fail over instead of unwinding.
+    pub fn try_shared_fetch(&mut self, key: SlotKey) -> Result<Item, FailureCause> {
+        match self.shared[self.node()].fetch(key) {
+            Ok((item, ready_us)) => {
+                self.clock_us = self.clock_us.max(ready_us);
+                let bytes = item.wire_len();
+                self.clock_us += self.model.copy_time(bytes);
+                self.metrics.copies += 1;
+                self.metrics.copy_bytes += bytes as u64;
+                Ok(Self::unwrap_shared(item))
+            }
+            Err(dead) => Err(self.note_shared_crash(dead)),
+        }
     }
 
     /// Deposits without charging a copy: models producing data directly
@@ -1044,7 +1338,10 @@ impl<'w> ProcCtx<'w> {
     /// place (e.g. encrypting or decrypting straight out of it). Still waits
     /// (in virtual time) for the deposit to complete.
     pub fn shared_fetch_free(&mut self, key: SlotKey) -> Item {
-        let (item, ready_us) = self.shared[self.node()].fetch(key);
+        let (item, ready_us) = match self.shared[self.node()].fetch(key) {
+            Ok(got) => got,
+            Err(dead) => self.shared_crash(dead),
+        };
         self.clock_us = self.clock_us.max(ready_us);
         Self::unwrap_shared(item)
     }
@@ -1087,7 +1384,11 @@ impl<'w> ProcCtx<'w> {
     /// on this node.
     pub fn node_barrier(&mut self) {
         let t0 = self.clock_us;
-        self.clock_us = self.shared[self.node()].barrier(self.clock_us, self.model.barrier_us);
+        self.clock_us = match self.shared[self.node()].barrier(self.clock_us, self.model.barrier_us)
+        {
+            Ok(release) => release,
+            Err(dead) => self.shared_crash(dead),
+        };
         self.record(t0, EventKind::Barrier);
     }
 }
@@ -1144,14 +1445,51 @@ impl<T> RunReport<T> {
     }
 }
 
-/// Spawns one thread per rank, runs `f` on each, and collects the report.
-///
-/// A panic on any rank is broadcast to all ranks (poisoning channels and
-/// shared segments) so the world shuts down instead of deadlocking, and the
-/// original panic is re-raised here; a structured [`CollectiveError`] is
-/// preferred over secondary string panics when both occur. Use [`try_run`]
-/// to receive the error as a value instead of a panic.
-pub fn run<T, F>(spec: &WorldSpec, f: F) -> RunReport<T>
+/// The result of one [`run_crashable`]: like [`RunReport`], but ranks killed
+/// by an injected [`Crash`](eag_netsim::Crash) contribute `None` outputs
+/// instead of aborting the world.
+pub struct CrashReport<T> {
+    /// Per-rank closure outputs, indexed by *original* rank. `None` for
+    /// ranks that crashed mid-collective.
+    pub outputs: Vec<Option<T>>,
+    /// Ranks that crashed, in ascending order.
+    pub crashed: Vec<Rank>,
+    /// Collective latency: max over ranks of the final virtual clock, µs.
+    pub latency_us: f64,
+    /// Final virtual clock per rank, µs (a crashed rank's clock stops at
+    /// its point of death).
+    pub clocks_us: Vec<f64>,
+    /// Metrics per rank.
+    pub metrics: Vec<Metrics>,
+    /// The inter-node traffic recorder.
+    pub wiretap: Arc<Wiretap>,
+    /// Per-rank virtual-time traces (empty unless `WorldSpec::trace`).
+    pub traces: Vec<Trace>,
+}
+
+impl<T> CrashReport<T> {
+    /// Component-wise maximum of the per-rank metrics.
+    pub fn max_metrics(&self) -> Metrics {
+        Metrics::component_max(&self.metrics)
+    }
+
+    /// The outputs of the ranks that survived, with their original ranks.
+    pub fn survivor_outputs(&self) -> impl Iterator<Item = (Rank, &T)> {
+        self.outputs
+            .iter()
+            .enumerate()
+            .filter_map(|(rank, out)| out.as_ref().map(|o| (rank, o)))
+    }
+}
+
+/// Shared engine behind [`run`] and [`run_crashable`]: spawns one thread per
+/// rank, runs `f` on each, and collects per-rank slots. A rank killed by an
+/// injected [`Crash`](eag_netsim::Crash) leaves a `None` output (its crash
+/// is published to survivors instead of poisoning the world); any other
+/// panic is broadcast as poison and re-raised, preferring a structured
+/// [`CollectiveError`] over secondary string panics.
+#[allow(clippy::type_complexity)]
+fn run_world<T, F>(spec: &WorldSpec, f: F) -> (Vec<(Option<T>, f64, Metrics, Trace)>, Arc<Wiretap>)
 where
     T: Send,
     F: Fn(&mut ProcCtx) -> T + Sync,
@@ -1188,9 +1526,14 @@ where
     let wiretap = Arc::new(Wiretap::new());
     let frame_counter = AtomicU64::new(0);
     let finished: Vec<AtomicBool> = (0..p).map(|_| AtomicBool::new(false)).collect();
-    let finished_count = AtomicUsize::new(0);
+    let crashed: Vec<AtomicBool> = (0..p).map(|_| AtomicBool::new(false)).collect();
+    let aborted: Vec<AtomicBool> = (0..p).map(|_| AtomicBool::new(false)).collect();
+    let heartbeats: Vec<AtomicU64> = (0..p).map(|_| AtomicU64::new(0)).collect();
+    let crash_notice = AtomicUsize::new(0);
+    let departed_count = AtomicUsize::new(0);
+    let world_start = Instant::now();
 
-    let mut slots: Vec<Option<(T, f64, Metrics, Trace)>> = (0..p).map(|_| None).collect();
+    let mut slots: Vec<Option<(Option<T>, f64, Metrics, Trace)>> = (0..p).map(|_| None).collect();
 
     {
         let senders = &senders;
@@ -1202,7 +1545,11 @@ where
         let spec_ref = spec;
         let frame_counter_ref = &frame_counter;
         let finished_ref = &finished[..];
-        let finished_count_ref = &finished_count;
+        let crashed_ref = &crashed[..];
+        let aborted_ref = &aborted[..];
+        let heartbeats_ref = &heartbeats[..];
+        let crash_notice_ref = &crash_notice;
+        let departed_count_ref = &departed_count;
         let gcm_ref = &gcm;
 
         std::thread::scope(|scope| {
@@ -1250,14 +1597,22 @@ where
                             phase: "collective",
                             inter_frame_counter: frame_counter_ref,
                             finished: finished_ref,
-                            finished_count: finished_count_ref,
+                            departed_count: departed_count_ref,
+                            crashed: crashed_ref,
+                            aborted: aborted_ref,
+                            crash_notice: crash_notice_ref,
+                            heartbeats: heartbeats_ref,
+                            world_start,
+                            suspect_after: spec_ref.suspect_after,
+                            send_steps: 0,
+                            attempt_active: false,
                         };
                         let result = catch_unwind(AssertUnwindSafe(|| f(&mut ctx)));
                         match result {
                             Ok(out) => {
                                 ctx.flush_limbo();
                                 finished_ref[rank].store(true, Ordering::SeqCst);
-                                let done = finished_count_ref.fetch_add(1, Ordering::SeqCst) + 1;
+                                let done = departed_count_ref.fetch_add(1, Ordering::SeqCst) + 1;
                                 if chaos && done == p {
                                     // Last one out: wake the lingering ranks
                                     // so they exit now, not on a poll tick.
@@ -1275,7 +1630,49 @@ where
                                     ctx.linger();
                                 }
                                 *slot = Some((
-                                    out,
+                                    Some(out),
+                                    ctx.clock_us,
+                                    ctx.metrics,
+                                    ctx.trace.take().unwrap_or_default(),
+                                ));
+                            }
+                            Err(payload) if payload.is::<RankCrash>() => {
+                                // An injected crash: the rank is dead, but
+                                // the world survives. Publish the death to
+                                // survivors instead of poisoning.
+                                let hard = spec_ref
+                                    .faults
+                                    .crash
+                                    .map(|c| c.rank == rank && c.hard)
+                                    .unwrap_or(false);
+                                if !hard {
+                                    // Attribute the cascade before raising
+                                    // the flag detectors look at: a survivor
+                                    // that observes `crashed[rank]` must also
+                                    // see the notice naming this rank.
+                                    let _ = crash_notice_ref.compare_exchange(
+                                        0,
+                                        rank + 1,
+                                        Ordering::SeqCst,
+                                        Ordering::SeqCst,
+                                    );
+                                    crashed_ref[rank].store(true, Ordering::SeqCst);
+                                }
+                                // Even a hard crash is visible to the node's
+                                // OS: wake same-node shared-segment waiters.
+                                shared[spec_ref.topology.node_of(rank)].crash_abort(rank);
+                                let done = departed_count_ref.fetch_add(1, Ordering::SeqCst) + 1;
+                                if chaos && done == p {
+                                    for tx in senders.iter() {
+                                        let _ = tx.send(Message {
+                                            src: rank,
+                                            arrive_us: 0.0,
+                                            wire: Wire::Finished,
+                                        });
+                                    }
+                                }
+                                *slot = Some((
+                                    None,
                                     ctx.clock_us,
                                     ctx.metrics,
                                     ctx.trace.take().unwrap_or_default(),
@@ -1319,13 +1716,37 @@ where
         });
     }
 
-    let mut outputs = Vec::with_capacity(p);
-    let mut clocks_us = Vec::with_capacity(p);
-    let mut metrics = Vec::with_capacity(p);
-    let mut traces = Vec::with_capacity(p);
-    for slot in slots {
-        let (out, clock, m, trace) = slot.expect("rank produced no output");
-        outputs.push(out);
+    let collected = slots
+        .into_iter()
+        .map(|slot| slot.expect("rank produced no output"))
+        .collect();
+    (collected, wiretap)
+}
+
+/// Spawns one thread per rank, runs `f` on each, and collects the report.
+///
+/// A panic on any rank is broadcast to all ranks (poisoning channels and
+/// shared segments) so the world shuts down instead of deadlocking, and the
+/// original panic is re-raised here; a structured [`CollectiveError`] is
+/// preferred over secondary string panics when both occur. Use [`try_run`]
+/// to receive the error as a value instead of a panic, and
+/// [`run_crashable`] when the fault plan injects a
+/// [`Crash`](eag_netsim::Crash).
+pub fn run<T, F>(spec: &WorldSpec, f: F) -> RunReport<T>
+where
+    T: Send,
+    F: Fn(&mut ProcCtx) -> T + Sync,
+{
+    let (slots, wiretap) = run_world(spec, f);
+    let mut outputs = Vec::with_capacity(slots.len());
+    let mut clocks_us = Vec::with_capacity(slots.len());
+    let mut metrics = Vec::with_capacity(slots.len());
+    let mut traces = Vec::with_capacity(slots.len());
+    for (out, clock, m, trace) in slots {
+        outputs.push(out.expect(
+            "rank crashed without a crash-tolerant runner; \
+             use run_crashable for worlds with an injected Crash",
+        ));
         clocks_us.push(clock);
         metrics.push(m);
         traces.push(trace);
@@ -1333,6 +1754,43 @@ where
     let latency_us = clocks_us.iter().cloned().fold(0.0f64, f64::max);
     RunReport {
         outputs,
+        latency_us,
+        clocks_us,
+        metrics,
+        wiretap,
+        traces,
+    }
+}
+
+/// Like [`run`], but tolerates ranks killed by an injected
+/// [`Crash`](eag_netsim::Crash): crashed ranks contribute `None` outputs
+/// (listed in [`CrashReport::crashed`]) and survivors' outputs are returned
+/// as-is. Non-crash panics still poison the world and re-raise here.
+pub fn run_crashable<T, F>(spec: &WorldSpec, f: F) -> CrashReport<T>
+where
+    T: Send,
+    F: Fn(&mut ProcCtx) -> T + Sync,
+{
+    let (slots, wiretap) = run_world(spec, f);
+    let mut outputs = Vec::with_capacity(slots.len());
+    let mut clocks_us = Vec::with_capacity(slots.len());
+    let mut metrics = Vec::with_capacity(slots.len());
+    let mut traces = Vec::with_capacity(slots.len());
+    for (out, clock, m, trace) in slots {
+        outputs.push(out);
+        clocks_us.push(clock);
+        metrics.push(m);
+        traces.push(trace);
+    }
+    let crashed = outputs
+        .iter()
+        .enumerate()
+        .filter_map(|(rank, out)| out.is_none().then_some(rank))
+        .collect();
+    let latency_us = clocks_us.iter().cloned().fold(0.0f64, f64::max);
+    CrashReport {
+        outputs,
+        crashed,
         latency_us,
         clocks_us,
         metrics,
@@ -1351,6 +1809,42 @@ where
     F: Fn(&mut ProcCtx) -> T + Sync,
 {
     match catch_unwind(AssertUnwindSafe(|| run(spec, f))) {
+        Ok(report) => Ok(report),
+        Err(payload) => match payload.downcast::<CollectiveError>() {
+            Ok(e) => Err(*e),
+            Err(other) => resume_unwind(other),
+        },
+    }
+}
+
+/// Installs a panic hook that suppresses the backtraces of *expected*
+/// panics: the structured [`CollectiveError`]s and internal crash payloads
+/// that the runners throw and catch as part of normal fault-tolerant
+/// operation. Any other panic still reaches the previously installed hook.
+///
+/// Call once from harness binaries (chaos/crash sweeps) whose happy path
+/// unwinds hundreds of rank threads — without it the logs drown in
+/// backtraces of panics that were recovered by design.
+pub fn quiet_expected_panics() {
+    let prev = std::panic::take_hook();
+    std::panic::set_hook(Box::new(move |info| {
+        let payload = info.payload();
+        if payload.is::<CollectiveError>() || payload.is::<RankCrash>() {
+            return;
+        }
+        prev(info);
+    }));
+}
+
+/// Like [`run_crashable`], but returns a structured [`CollectiveError`] as
+/// a value when a *survivor* raised one (e.g. its recovery path also failed)
+/// instead of panicking. Plain string panics still propagate as panics.
+pub fn try_run_crashable<T, F>(spec: &WorldSpec, f: F) -> Result<CrashReport<T>, CollectiveError>
+where
+    T: Send,
+    F: Fn(&mut ProcCtx) -> T + Sync,
+{
+    match catch_unwind(AssertUnwindSafe(|| run_crashable(spec, f))) {
         Ok(report) => Ok(report),
         Err(payload) => match payload.downcast::<CollectiveError>() {
             Ok(e) => Err(*e),

@@ -2,7 +2,7 @@
 //! transport (fault injection, NACK recovery, dedup, typed failures).
 
 use super::*;
-use eag_netsim::{profile, Mapping};
+use eag_netsim::{profile, Crash, Mapping};
 
 fn spec(p: usize, nodes: usize) -> WorldSpec {
     WorldSpec::new(
@@ -368,6 +368,7 @@ fn nic_contention_serializes_when_enabled() {
         faults: FaultPlan::default(),
         retry: RetryPolicy::default(),
         recv_timeout: Some(Duration::from_secs(300)),
+        suspect_after: None,
     };
     let report = run(&spec, |ctx| match ctx.rank() {
         0 | 1 => {
@@ -672,4 +673,179 @@ fn rate_based_chaos_recovers_a_multi_frame_stream() {
     assert_eq!(report.metrics[0].bytes_sent as usize, sent);
     assert_eq!(report.metrics[1].bytes_recv as usize, sent);
     assert_eq!(report.metrics[1].comm_rounds as usize, n);
+}
+
+// ----- crash tolerance --------------------------------------------------
+
+/// A 2-rank, 2-node spec whose fault plan kills rank 0 per `crash`.
+fn crash_spec(crash: Crash) -> WorldSpec {
+    let mut s = spec(2, 2);
+    s.faults = FaultPlan {
+        crash: Some(crash),
+        ..FaultPlan::default()
+    };
+    s.retry = fast_retry();
+    s
+}
+
+#[test]
+fn soft_crash_resolves_blocked_recv_without_waiting_out_the_deadline() {
+    // Rank 0 dies before its first send; rank 1 is blocked on that message.
+    // The crash notice must resolve the receive in milliseconds, not after
+    // the 300 s recv_timeout or the full retry budget.
+    let mut s = crash_spec(Crash::before(0, 0));
+    s.trace = true;
+    let t0 = Instant::now();
+    let report = run_crashable(&s, |ctx| {
+        if ctx.rank() == 0 {
+            ctx.send(1, 7, Parcel::one(Item::Plain(ctx.my_block(16))));
+            None
+        } else {
+            Some(ctx.try_recv(0, 7))
+        }
+    });
+    assert!(
+        t0.elapsed() < Duration::from_secs(10),
+        "crash detection took {:?}",
+        t0.elapsed()
+    );
+    assert_eq!(report.crashed, vec![0]);
+    assert!(report.outputs[0].is_none());
+    let got = report.outputs[1].clone().expect("survivor output");
+    assert_eq!(
+        got.expect("closure ran on rank 1").unwrap_err(),
+        FailureCause::Crash { rank: 0 }
+    );
+    assert_eq!(report.metrics[1].crashes_detected, 1);
+    assert_eq!(report.wiretap.crashed_ranks(), vec![0]);
+    // Both the dying rank and the detector recorded Crash markers.
+    for rank in 0..2 {
+        assert!(
+            report.traces[rank]
+                .iter()
+                .any(|e| matches!(e.kind, EventKind::Crash { rank: 0 })),
+            "rank {rank} trace missing crash marker"
+        );
+    }
+}
+
+#[test]
+fn crash_after_send_delivers_the_final_frame_first() {
+    // `after_send` kills rank 0 *after* frame 0 left: rank 1 still gets it.
+    let report = run_crashable(&crash_spec(Crash::after(0, 0)), |ctx| {
+        if ctx.rank() == 0 {
+            ctx.send(1, 7, Parcel::one(Item::Plain(ctx.my_block(16))));
+            unreachable!("rank 0 must die inside the send");
+        }
+        let first = ctx.try_recv(0, 7).map(|p| p.wire_len());
+        let second = ctx.try_recv(0, 8).map(|p| p.wire_len());
+        (first, second)
+    });
+    assert_eq!(report.crashed, vec![0]);
+    let (first, second) = report.outputs[1].clone().expect("survivor output");
+    assert_eq!(first, Ok(16), "frame sent before the crash must arrive");
+    assert_eq!(
+        second.unwrap_err(),
+        FailureCause::Crash { rank: 0 },
+        "frame after the crash point must fail via the detector"
+    );
+}
+
+#[test]
+fn hard_crash_is_suspected_via_heartbeat_staleness() {
+    // A hard crash leaves no notice: only the heartbeat detector fires.
+    let mut s = crash_spec(Crash::before(0, 0).hard());
+    s.suspect_after = Some(Duration::from_millis(100));
+    let t0 = Instant::now();
+    let report = run_crashable(&s, |ctx| {
+        if ctx.rank() == 0 {
+            ctx.send(1, 7, Parcel::one(Item::Plain(ctx.my_block(16))));
+            None
+        } else {
+            Some(ctx.try_recv(0, 7))
+        }
+    });
+    assert!(
+        t0.elapsed() < Duration::from_secs(30),
+        "heartbeat suspicion took {:?}",
+        t0.elapsed()
+    );
+    assert_eq!(report.crashed, vec![0]);
+    let got = report.outputs[1].clone().expect("survivor output");
+    assert_eq!(
+        got.expect("closure ran on rank 1").unwrap_err(),
+        FailureCause::Crash { rank: 0 }
+    );
+}
+
+#[test]
+fn same_node_crash_unblocks_shared_memory_waiters() {
+    // Ranks 0 and 1 share node 0. Rank 0 dies before depositing; rank 1 is
+    // blocked in a shared-memory fetch and must fail over via the segment's
+    // crash abort rather than deadlock.
+    let mut s = spec(4, 2);
+    s.faults = FaultPlan {
+        crash: Some(Crash::before(0, 0)),
+        ..FaultPlan::default()
+    };
+    s.retry = fast_retry();
+    let report = run_crashable(&s, |ctx| {
+        match ctx.rank() {
+            // The doomed rank: sending to rank 2 trips the crash.
+            0 => {
+                ctx.send(2, 9, Parcel::one(Item::Plain(ctx.my_block(8))));
+                None
+            }
+            // Same-node sibling blocked on rank 0's deposit.
+            1 => {
+                let key = ctx.slot(5, 0);
+                Some(ctx.try_shared_fetch(key).map(|_| ()))
+            }
+            // Off-node ranks: blocked on the doomed rank's message.
+            _ => Some(ctx.try_recv(0, 9).map(|_| ())),
+        }
+    });
+    assert_eq!(report.crashed, vec![0]);
+    let sibling = report.outputs[1].clone().expect("rank 1 output");
+    assert_eq!(
+        sibling.expect("closure ran on rank 1").unwrap_err(),
+        FailureCause::Crash { rank: 0 }
+    );
+    for rank in 2..4 {
+        let got = report.outputs[rank].clone().expect("survivor output");
+        assert_eq!(
+            got.expect("closure ran on survivor").unwrap_err(),
+            FailureCause::Crash { rank: 0 }
+        );
+    }
+}
+
+#[test]
+fn aborted_attempt_resolves_peers_blocked_in_their_own_attempts() {
+    // Rank 1 abandons its attempt (as if cascading from a crash elsewhere);
+    // rank 0, blocked inside its own attempt on rank 1's next message, must
+    // resolve through the detector instead of timing out.
+    let mut s = crash_spec(Crash::before(2, 0)); // arms chaos; rank 2 absent
+    s.topology = Topology::new(2, 2, Mapping::Block);
+    s.faults = FaultPlan {
+        armed: true,
+        ..FaultPlan::default()
+    };
+    let report = run_crashable(&s, |ctx| {
+        ctx.begin_attempt();
+        if ctx.rank() == 1 {
+            ctx.end_attempt(false);
+            ctx.try_recv(0, 3).map(|_| ()) // read the release signal
+        } else {
+            let got = ctx.try_recv(1, 2).map(|_| ());
+            ctx.end_attempt(false);
+            ctx.send(1, 3, Parcel::one(Item::Plain(ctx.my_block(4))));
+            got
+        }
+    });
+    let got = report.outputs[0].clone().expect("rank 0 output");
+    // No crash notice exists, so the abandonment is attributed to the
+    // abandoning peer itself.
+    assert_eq!(got.unwrap_err(), FailureCause::Crash { rank: 1 });
+    assert!(report.crashed.is_empty(), "no rank actually died");
 }

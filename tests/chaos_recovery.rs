@@ -10,12 +10,17 @@
 //! * A receive from a rank that exited early fails fast with a typed
 //!   `DeadPeer` error carrying the algorithm name as its phase, instead of
 //!   hanging.
+//! * Property: any *single* injected rank crash — random rank, send step,
+//!   before/after-send, and algorithm — resolves within an absolute
+//!   deadline to either a complete result at every rank or the identical
+//!   `DegradedOutput` at every survivor. Never a hang.
 
 use eag_core::{allgather, Algorithm};
-use eag_integration::{chaos_run, chaos_spec};
-use eag_netsim::{FaultKind, FaultPlan};
+use eag_integration::{chaos_run, chaos_spec, crash_run};
+use eag_netsim::{Crash, FaultKind, FaultPlan};
 use eag_runtime::{try_run, FailureCause};
 use proptest::prelude::*;
+use std::time::{Duration, Instant};
 
 /// The fixed seed of the acceptance run (also CI's `chaos_sweep` default).
 const ACCEPT_SEED: u64 = 0xC0FFEE;
@@ -110,5 +115,45 @@ proptest! {
             kind.label(),
             r.error
         );
+    }
+
+    /// Any single rank crash — random rank, send step, before/after-send,
+    /// and encrypted algorithm — yields, within an absolute deadline,
+    /// either a complete result at every rank (the crash never fired) or
+    /// the same `DegradedOutput` at every survivor. Never a hang.
+    #[test]
+    fn any_single_crash_recovers_or_completes(
+        algo_ix in 0..Algorithm::encrypted_all().len(),
+        rank in 0..6usize,
+        step in 0u64..4,
+        after in any::<bool>(),
+    ) {
+        let algo = Algorithm::encrypted_all()[algo_ix];
+        let crash = if after {
+            Crash::after(rank, step)
+        } else {
+            Crash::before(rank, step)
+        };
+        let t0 = Instant::now();
+        let r = crash_run(algo, 6, 2, 64, crash);
+        let elapsed = t0.elapsed();
+        prop_assert!(
+            elapsed < Duration::from_secs(30),
+            "{algo}: crash at rank {rank} step {step} took {elapsed:?} — \
+             the failure detector should resolve in milliseconds"
+        );
+        prop_assert!(
+            r.ok(),
+            "{algo}: crash at rank {rank} step {step} (after={after}) broke \
+             the recovery contract: {r:?}"
+        );
+        if r.fired {
+            prop_assert_eq!(r.survivors, 5);
+            // Every survivor completed exactly one shrink-and-recover.
+            prop_assert_eq!(r.recoveries, 5);
+        } else {
+            prop_assert_eq!(r.survivors, 6);
+            prop_assert_eq!(r.recoveries, 0);
+        }
     }
 }

@@ -276,3 +276,69 @@ fn relabeled_ciphertext_is_rejected() {
     }));
     assert!(result.is_err(), "origin relabeling went undetected");
 }
+
+/// Crash recovery must not weaken the nonce discipline: the survivors'
+/// sealed agreement rounds and the shrunk-group re-run re-seal every
+/// retransmitted block fresh, so across attempt + agreement + recovery no
+/// wire nonce is ever paired with two different ciphertexts — and no
+/// plaintext frame appears either (the adversary learns nothing extra from
+/// watching a recovery).
+#[test]
+fn crash_recovery_reseals_with_fresh_nonces() {
+    use eag_core::recover_allgather;
+    use eag_netsim::{Crash, FaultPlan};
+    use eag_runtime::{run_crashable, RetryPolicy};
+    use std::collections::HashMap;
+    use std::time::Duration;
+    for &algo in Algorithm::encrypted_all() {
+        // Rank 0 (a node leader) performs peer-bound sends in every
+        // algorithm, so the planned crash always fires.
+        let mut spec = tapped_spec(8, 2, Mapping::Block);
+        spec.faults = FaultPlan {
+            crash: Some(Crash::before(0, 0)),
+            ..FaultPlan::default()
+        };
+        spec.retry = RetryPolicy {
+            attempt_timeout: Duration::from_millis(20),
+            max_attempts: 10,
+            backoff: 1.5,
+        };
+        let report = run_crashable(&spec, move |ctx| recover_allgather(ctx, algo, 48));
+        assert_eq!(
+            report.crashed,
+            vec![0],
+            "{algo}: planned crash did not fire"
+        );
+        for (_, out) in report.survivor_outputs() {
+            assert_eq!(out.failed, vec![0], "{algo}: survivors disagreed");
+            out.verify(SEED);
+        }
+        assert!(
+            !report.wiretap.saw_plaintext_frame(),
+            "{algo}: recovery leaked a plaintext frame"
+        );
+        // nonce of the frame's leading item → first 16 ciphertext bytes;
+        // a nonce re-paired with different bytes means (key, nonce) reuse.
+        let mut seen: HashMap<[u8; 12], [u8; 16]> = HashMap::new();
+        let mut cipher_frames = 0usize;
+        for f in report.wiretap.frames() {
+            if f.kind != FrameKind::Cipher {
+                continue; // phantom-free world: only cipher frames remain
+            }
+            assert!(f.bytes.len() >= 28, "{algo}: frame below GCM framing size");
+            cipher_frames += 1;
+            let mut n = [0u8; 12];
+            n.copy_from_slice(&f.bytes[..12]);
+            let mut ct = [0u8; 16];
+            ct.copy_from_slice(&f.bytes[12..28]);
+            if let Some(prev) = seen.insert(n, ct) {
+                assert_eq!(
+                    prev, ct,
+                    "{algo}: one nonce paired with two different ciphertexts \
+                     across attempt and recovery"
+                );
+            }
+        }
+        assert!(cipher_frames > 0, "{algo}: wiretap captured nothing");
+    }
+}
