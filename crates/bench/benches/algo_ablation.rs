@@ -23,6 +23,7 @@ fn cfg(mapping: Mapping, contention: bool) -> SimConfig {
         profile: "noleland".into(),
         reps: 3,
         nic_contention: contention,
+        data_seed: None,
     }
 }
 

@@ -234,6 +234,7 @@ fn cmd_run(opts: &Options) -> Result<(), String> {
                 profile: opts.profile_name(),
                 reps: opts.usize_of("reps", 3)?,
                 nic_contention: spec.nic_contention,
+                data_seed: None,
             },
             algo,
             msg_bytes: m,
@@ -361,6 +362,7 @@ fn cmd_sweep(opts: &Options) -> Result<(), String> {
         profile: opts.profile_name(),
         reps: 3,
         nic_contention: true,
+        data_seed: None,
     };
     let sizes: Vec<usize> = match opts.flags.get("sizes") {
         None => vec![1, 64, 1024, 8 * 1024, 64 * 1024, 1024 * 1024],

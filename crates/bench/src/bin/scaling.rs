@@ -28,6 +28,7 @@ fn main() {
             profile: "noleland".into(),
             reps: 2,
             nic_contention: true,
+            data_seed: None,
         };
         let mpi = simulate(&cfg, Algorithm::Mvapich, m);
         let pct = |algo| format!("{:+.1}%", simulate(&cfg, algo, m).overhead_pct(&mpi));

@@ -306,6 +306,7 @@ mod tests {
             profile: "noleland".into(),
             reps: 1,
             nic_contention: true,
+            data_seed: None,
         }
     }
 

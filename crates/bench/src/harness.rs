@@ -24,6 +24,12 @@ pub struct SimConfig {
     pub reps: usize,
     /// Model per-node NIC bandwidth sharing.
     pub nic_contention: bool,
+    /// Data-pattern seed for real-payload runs. `None` runs phantom mode
+    /// (length-only payloads, the default for latency cells); `Some(seed)`
+    /// runs real AES-GCM over seeded pattern blocks, which also arms the
+    /// data-plane copy probe (`memcpy_bytes`/`buf_allocs`) — phantom runs
+    /// move no payload bytes, so their probe reading is trivially zero.
+    pub data_seed: Option<u64>,
 }
 
 impl SimConfig {
@@ -36,6 +42,7 @@ impl SimConfig {
             profile: "noleland".into(),
             reps: 3,
             nic_contention: true,
+            data_seed: None,
         }
     }
 
@@ -48,6 +55,7 @@ impl SimConfig {
             profile: "noleland".into(),
             reps: 3,
             nic_contention: true,
+            data_seed: None,
         }
     }
 
@@ -60,6 +68,7 @@ impl SimConfig {
             profile: "bridges2".into(),
             reps: 2,
             nic_contention: true,
+            data_seed: None,
         }
     }
 
@@ -70,10 +79,14 @@ impl SimConfig {
     }
 
     fn world_spec(&self) -> WorldSpec {
+        let mode = match self.data_seed {
+            Some(seed) => DataMode::Real { seed },
+            None => DataMode::Phantom,
+        };
         let mut spec = WorldSpec::new(
             Topology::new(self.p, self.nodes, self.mapping),
             self.cluster_profile(),
-            DataMode::Phantom,
+            mode,
         );
         spec.nic_contention = self.nic_contention;
         spec
@@ -239,6 +252,7 @@ mod tests {
             profile: "noleland".into(),
             reps: 2,
             nic_contention: true,
+            data_seed: None,
         }
     }
 

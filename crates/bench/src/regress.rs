@@ -245,7 +245,9 @@ pub fn compare_entry(base: &BenchEntry, cur: &BenchEntry, gate: &GateConfig) -> 
         c.n as usize,
         gate.confidence,
     );
-    let verdict = if cur.metrics != base.metrics {
+    let verdict = if cur.metrics != base.metrics || cur.copy_probe != base.copy_probe {
+        // Both the paper's cost counters and the data-plane copy probe are
+        // exact on the virtual-time simulator: any change is behavioral.
         Verdict::MetricsDrift
     } else if delta_pct > gate.threshold_pct && significant {
         Verdict::Regressed
@@ -393,6 +395,7 @@ mod tests {
             profile: "noleland".into(),
             reps: 3,
             nic_contention: false,
+            data_seed: None,
         };
         run_suite(
             "unit",
@@ -421,6 +424,7 @@ mod tests {
             profile: "noleland".into(),
             reps: 1,
             nic_contention: false,
+            data_seed: None,
         };
         run_suite_with_recovery(
             "unit",
@@ -534,6 +538,27 @@ mod tests {
         let out = compare(&base, &cur, &GateConfig::default());
         assert!(!out.pass);
         assert_eq!(out.count(&Verdict::MetricsDrift), 1);
+    }
+
+    #[test]
+    fn copy_probe_drift_fails() {
+        use crate::report::CopyProbe;
+        let mut base = tiny_report();
+        base.entries[0].copy_probe = Some(CopyProbe {
+            memcpy_bytes: 1000,
+            buf_allocs: 10,
+        });
+        let mut cur = base.clone();
+        cur.entries[0].copy_probe = Some(CopyProbe {
+            memcpy_bytes: 2000,
+            buf_allocs: 10,
+        });
+        let out = compare(&base, &cur, &GateConfig::default());
+        assert!(!out.pass);
+        assert_eq!(out.count(&Verdict::MetricsDrift), 1);
+        // Identical probes pass.
+        let out = compare(&base, &base.clone(), &GateConfig::default());
+        assert!(out.pass, "{:#?}", out.comparisons);
     }
 
     #[test]

@@ -25,7 +25,7 @@ use serde::{Deserialize, Serialize};
 /// Version of the JSON schema emitted by [`BenchReport`]. Bump on any
 /// breaking change to the field layout; [`BenchReport::from_json`] rejects
 /// mismatched versions instead of misreading them.
-pub const SCHEMA_VERSION: u64 = 2;
+pub const SCHEMA_VERSION: u64 = 3;
 
 /// A complete benchmark report: one entry per (algorithm, configuration,
 /// message size) plus optional wall-clock crypto throughput.
@@ -76,6 +76,27 @@ pub struct BenchEntry {
     pub latency: LatencyStats,
     /// The paper's six cost metrics for this run (critical path over ranks).
     pub metrics: PaperMetrics,
+    /// Data-pattern seed for real-payload cells; `None` for phantom-mode
+    /// cells. Part of the entry's identity: the same (algorithm, p, nodes,
+    /// mapping, msg_bytes) point exists in both modes.
+    pub data_seed: Option<u64>,
+    /// Data-plane allocation/copy probe (real-payload cells only — phantom
+    /// runs move no payload bytes, so the probe would read zero).
+    pub copy_probe: Option<CopyProbe>,
+}
+
+/// Deterministic data-plane cost of one real-payload cell: what the
+/// implementation physically moved, as opposed to the modeled traffic in
+/// [`PaperMetrics`]. Taken from the component-wise maximum over ranks, so
+/// the numbers read as "per rank on the critical path, per run". Exact
+/// counters on the virtual-time simulator, hence gated by exact comparison
+/// in `eag regress` — a change here means the zero-copy story changed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CopyProbe {
+    /// Payload bytes physically memcpy'd by the data plane.
+    pub memcpy_bytes: u64,
+    /// Fresh payload byte buffers allocated by the data plane.
+    pub buf_allocs: u64,
 }
 
 /// Latency summary plus the raw samples it was computed from, all in
@@ -249,6 +270,12 @@ pub const SMOKE_SIZES: [usize; 2] = [1024, 64 * 1024];
 /// algorithm plus the modeled MVAPICH baseline, on a 16-process / 4-node
 /// Noleland world, block and cyclic mappings, [`SMOKE_SIZES`] message
 /// sizes. NIC contention is off, so every case is bit-deterministic.
+///
+/// On top of the phantom latency grid, the suite carries real-payload cells
+/// for O-Ring and O-Bruck (block mapping, both sizes, seed
+/// [`SMOKE_DATA_SEED`]): these run actual AES-GCM over pattern blocks and
+/// record the data-plane copy probe, regression-gating the zero-copy story
+/// alongside latency.
 pub fn smoke_suite() -> Vec<SuiteCase> {
     let mut cases = Vec::new();
     for &mapping in &[Mapping::Block, Mapping::Cyclic] {
@@ -259,6 +286,7 @@ pub fn smoke_suite() -> Vec<SuiteCase> {
             profile: "noleland".into(),
             reps: 3,
             nic_contention: false,
+            data_seed: None,
         };
         let mut algos = vec![Algorithm::Mvapich];
         algos.extend_from_slice(Algorithm::encrypted_all());
@@ -272,8 +300,29 @@ pub fn smoke_suite() -> Vec<SuiteCase> {
             }
         }
     }
+    let real_cfg = SimConfig {
+        p: 16,
+        nodes: 4,
+        mapping: Mapping::Block,
+        profile: "noleland".into(),
+        reps: 3,
+        nic_contention: false,
+        data_seed: Some(SMOKE_DATA_SEED),
+    };
+    for algo in [Algorithm::ORing, Algorithm::OBruck] {
+        for &m in &SMOKE_SIZES {
+            cases.push(SuiteCase {
+                cfg: real_cfg.clone(),
+                algo,
+                msg_bytes: m,
+            });
+        }
+    }
     cases
 }
+
+/// Data-pattern seed of the smoke suite's real-payload cells.
+pub const SMOKE_DATA_SEED: u64 = 11;
 
 /// The fixed crash-recovery cases behind the committed baseline: every
 /// encrypted algorithm survives rank 0 (a node leader, so it sends in
@@ -288,6 +337,7 @@ pub fn smoke_recovery_suite() -> Vec<RecoveryCase> {
         profile: "noleland".into(),
         reps: 1,
         nic_contention: false,
+        data_seed: None,
     };
     Algorithm::encrypted_all()
         .iter()
@@ -338,6 +388,11 @@ pub fn run_case(case: &SuiteCase) -> BenchEntry {
         nic_contention: case.cfg.nic_contention,
         latency: LatencyStats::from_stats(&stats, &samples),
         metrics: PaperMetrics::of(&metrics),
+        data_seed: case.cfg.data_seed,
+        copy_probe: case.cfg.data_seed.map(|_| CopyProbe {
+            memcpy_bytes: metrics.memcpy_bytes,
+            buf_allocs: metrics.buf_allocs,
+        }),
     }
 }
 
@@ -391,6 +446,7 @@ pub fn suite_from_report(report: &BenchReport) -> Result<Vec<SuiteCase>, String>
                     profile: report.profile.clone(),
                     reps: e.reps as usize,
                     nic_contention: e.nic_contention,
+                    data_seed: e.data_seed,
                 },
                 algo,
                 msg_bytes: e.msg_bytes as usize,
@@ -417,6 +473,7 @@ pub fn recovery_suite_from_report(report: &BenchReport) -> Result<Vec<RecoveryCa
                     profile: report.profile.clone(),
                     reps: 1,
                     nic_contention: false,
+                    data_seed: None,
                 },
                 algo,
                 msg_bytes: e.msg_bytes as usize,
@@ -456,7 +513,9 @@ impl BenchReport {
     }
 
     /// Looks up the entry matching `other` by identity (algorithm, p,
-    /// nodes, mapping, msg_bytes) — the key the regress gate joins on.
+    /// nodes, mapping, msg_bytes, data_seed) — the key the regress gate
+    /// joins on. `data_seed` distinguishes real-payload cells from the
+    /// phantom cell at the same configuration point.
     pub fn find_matching(&self, other: &BenchEntry) -> Option<&BenchEntry> {
         self.entries.iter().find(|e| {
             e.algorithm == other.algorithm
@@ -464,6 +523,7 @@ impl BenchReport {
                 && e.nodes == other.nodes
                 && e.mapping == other.mapping
                 && e.msg_bytes == other.msg_bytes
+                && e.data_seed == other.data_seed
         })
     }
 
@@ -494,6 +554,7 @@ mod tests {
             profile: "noleland".into(),
             reps: 2,
             nic_contention: false,
+            data_seed: None,
         };
         run_suite_with_recovery(
             "unit",
@@ -552,11 +613,42 @@ mod tests {
     #[test]
     fn smoke_suite_shape() {
         let cases = smoke_suite();
-        // 2 mappings x (1 + encrypted) algorithms x 2 sizes.
+        // 2 mappings x (1 + encrypted) algorithms x 2 sizes, plus the
+        // real-payload copy-probe cells (O-Ring, O-Bruck) x 2 sizes.
         let algos = 1 + Algorithm::encrypted_all().len();
-        assert_eq!(cases.len(), 2 * algos * 2);
+        assert_eq!(cases.len(), 2 * algos * 2 + 4);
         assert!(cases.iter().all(|c| !c.cfg.nic_contention));
         assert!(cases.iter().all(|c| c.cfg.profile == "noleland"));
+        let real: Vec<_> = cases.iter().filter(|c| c.cfg.data_seed.is_some()).collect();
+        assert_eq!(real.len(), 4);
+        assert!(real
+            .iter()
+            .all(|c| matches!(c.algo, Algorithm::ORing | Algorithm::OBruck)));
+    }
+
+    #[test]
+    fn real_payload_cells_carry_the_copy_probe() {
+        let cfg = SimConfig {
+            p: 8,
+            nodes: 2,
+            mapping: Mapping::Block,
+            profile: "noleland".into(),
+            reps: 2,
+            nic_contention: false,
+            data_seed: Some(SMOKE_DATA_SEED),
+        };
+        let entry = run_case(&SuiteCase {
+            cfg,
+            algo: Algorithm::ORing,
+            msg_bytes: 512,
+        });
+        assert_eq!(entry.data_seed, Some(SMOKE_DATA_SEED));
+        let probe = entry.copy_probe.expect("real cell records the probe");
+        assert!(probe.buf_allocs > 0, "{probe:?}");
+        // Phantom cells at the same point join differently and carry none.
+        let phantom = sample_report();
+        assert!(phantom.entries.iter().all(|e| e.copy_probe.is_none()));
+        assert!(phantom.entries.iter().all(|e| e.data_seed.is_none()));
     }
 
     #[test]

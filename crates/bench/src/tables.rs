@@ -122,6 +122,7 @@ pub fn table2_rows(p: usize, nodes: usize, m: usize) -> Vec<MetricsRow> {
         profile: "unit".into(),
         reps: 1,
         nic_contention: false,
+        data_seed: None,
     };
     Algorithm::encrypted_all()
         .iter()
@@ -191,6 +192,7 @@ mod tests {
             profile: "noleland".into(),
             reps: 1,
             nic_contention: true,
+            data_seed: None,
         }
     }
 

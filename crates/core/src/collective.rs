@@ -264,7 +264,7 @@ fn agreement_round(ctx: &mut ProcCtx, failed: &mut BTreeSet<Rank>, round: u64) {
     for &f in failed.iter() {
         bitmap[f] = 1;
     }
-    let chunk = Chunk::single(me, Data::Real(bitmap));
+    let chunk = Chunk::single(me, Data::Real(bitmap.into()));
     for &peer in &peers {
         // Seal per peer: every transmission gets its own fresh nonce, so
         // the recovery protocol upholds the nonce-uniqueness invariant.
@@ -277,9 +277,13 @@ fn agreement_round(ctx: &mut ProcCtx, failed: &mut BTreeSet<Rank>, round: u64) {
                 for item in parcel.items {
                     let c = ctx.decrypt(item.into_sealed());
                     if let Data::Real(bytes) = &c.data {
-                        for (r, &bit) in bytes.iter().enumerate() {
-                            if bit != 0 {
-                                failed.insert(r);
+                        let mut r = 0;
+                        for seg in bytes.segments() {
+                            for &bit in seg {
+                                if bit != 0 {
+                                    failed.insert(r);
+                                }
+                                r += 1;
                             }
                         }
                     }

@@ -246,7 +246,7 @@ impl DegradedOutput {
                     match &chunk.data {
                         Data::Real(b) => {
                             bytes.extend_from_slice(&(b.len() as u64).to_le_bytes());
-                            bytes.extend_from_slice(b);
+                            b.copy_into(&mut bytes);
                         }
                         Data::Phantom(len) => {
                             bytes.extend_from_slice(&(*len as u64).to_le_bytes());
@@ -265,7 +265,7 @@ mod tests {
     use super::*;
 
     fn chunk(origin: usize, bytes: Vec<u8>) -> Chunk {
-        Chunk::single(origin, Data::Real(bytes))
+        Chunk::single(origin, Data::Real(bytes.into()))
     }
 
     #[test]
@@ -278,7 +278,7 @@ mod tests {
         out.place(chunk(2, vec![4, 5]));
         assert!(out.is_complete());
         let blocks = out.into_blocks();
-        assert_eq!(blocks[2].data.bytes(), &[4, 5]);
+        assert_eq!(blocks[2].data.to_vec(), vec![4, 5]);
     }
 
     #[test]
@@ -287,13 +287,13 @@ mod tests {
         let merged = Chunk {
             origins: vec![0, 1],
             block_len: 2,
-            data: Data::Real(vec![9, 8, 7, 6]),
+            data: Data::Real(vec![9, 8, 7, 6].into()),
         };
         out.place(merged);
         assert!(out.is_complete());
         let blocks = out.into_blocks();
-        assert_eq!(blocks[0].data.bytes(), &[9, 8]);
-        assert_eq!(blocks[1].data.bytes(), &[7, 6]);
+        assert_eq!(blocks[0].data.to_vec(), vec![9, 8]);
+        assert_eq!(blocks[1].data.to_vec(), vec![7, 6]);
     }
 
     #[test]
@@ -316,8 +316,14 @@ mod tests {
     fn verify_checks_patterns() {
         let seed = 11;
         let mut out = GatherOutput::new(2, 8);
-        out.place(Chunk::single(0, Data::Real(pattern_block(seed, 0, 8))));
-        out.place(Chunk::single(1, Data::Real(pattern_block(seed, 1, 8))));
+        out.place(Chunk::single(
+            0,
+            Data::Real(pattern_block(seed, 0, 8).into()),
+        ));
+        out.place(Chunk::single(
+            1,
+            Data::Real(pattern_block(seed, 1, 8).into()),
+        ));
         out.verify(seed);
     }
 
@@ -325,7 +331,7 @@ mod tests {
     #[should_panic(expected = "corrupted")]
     fn verify_rejects_wrong_bytes() {
         let mut out = GatherOutput::new(1, 8);
-        out.place(Chunk::single(0, Data::Real(vec![0; 8])));
+        out.place(Chunk::single(0, Data::Real(vec![0; 8].into())));
         out.verify(11);
     }
 
@@ -333,8 +339,14 @@ mod tests {
     fn degraded_output_contract() {
         let seed = 11;
         let mut out = GatherOutput::new_sparse(3, &[0, 2], 8);
-        out.place(Chunk::single(0, Data::Real(pattern_block(seed, 0, 8))));
-        out.place(Chunk::single(2, Data::Real(pattern_block(seed, 2, 8))));
+        out.place(Chunk::single(
+            0,
+            Data::Real(pattern_block(seed, 0, 8).into()),
+        ));
+        out.place(Chunk::single(
+            2,
+            Data::Real(pattern_block(seed, 2, 8).into()),
+        ));
         let d = DegradedOutput {
             failed: vec![1],
             output: out,

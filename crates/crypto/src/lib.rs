@@ -110,11 +110,29 @@ pub fn seal_message_into(
     plaintext: &[u8],
     out: &mut Vec<u8>,
 ) {
-    let nonce = source.next_nonce();
     out.clear();
     out.reserve(plaintext.len() + WIRE_OVERHEAD);
+    seal_segments_into(cipher, source, aad, std::iter::once(plaintext), out);
+}
+
+/// Seals a plaintext presented as a sequence of byte segments (cleared into
+/// `out` first): the segments are gathered directly into the wire frame in
+/// order, then encrypted in place. This is the zero-staging path for
+/// rope-backed payloads — the only plaintext copy is the gather into the
+/// frame that becomes the wire message itself.
+pub fn seal_segments_into<'a>(
+    cipher: &AesGcm128,
+    source: &mut NonceSource,
+    aad: &[u8],
+    segments: impl IntoIterator<Item = &'a [u8]>,
+    out: &mut Vec<u8>,
+) {
+    let nonce = source.next_nonce();
+    out.clear();
     out.extend_from_slice(nonce.as_bytes());
-    out.extend_from_slice(plaintext);
+    for seg in segments {
+        out.extend_from_slice(seg);
+    }
     let tag = cipher.seal_in_place_detached(&nonce, aad, &mut out[NONCE_LEN..]);
     out.extend_from_slice(&tag);
 }
@@ -138,6 +156,24 @@ pub fn open_message_in_place(
     aad: &[u8],
     wire: &mut Vec<u8>,
 ) -> Result<(), OpenError> {
+    let pt = open_frame_in_place(cipher, aad, wire)?;
+    wire.truncate(pt.end);
+    wire.drain(..pt.start);
+    Ok(())
+}
+
+/// Decrypts a wire frame in place without restitching the buffer: on success
+/// the plaintext sits at the returned range of `wire` (the nonce prefix and
+/// tag suffix are left untouched around it) and no bytes move.
+///
+/// This is the zero-copy counterpart of [`open_message_in_place`] for callers
+/// that can hold a view into the frame — freeze the buffer and slice the
+/// range instead of paying the `drain` memmove.
+pub fn open_frame_in_place(
+    cipher: &AesGcm128,
+    aad: &[u8],
+    wire: &mut [u8],
+) -> Result<std::ops::Range<usize>, OpenError> {
     if wire.len() < WIRE_OVERHEAD {
         return Err(OpenError::Truncated);
     }
@@ -147,9 +183,7 @@ pub fn open_message_in_place(
     let ct_end = wire.len() - TAG_LEN;
     let (frame, tag) = wire.split_at_mut(ct_end);
     cipher.open_in_place_detached(&nonce, aad, &mut frame[NONCE_LEN..], tag)?;
-    wire.truncate(ct_end);
-    wire.drain(..NONCE_LEN);
-    Ok(())
+    Ok(NONCE_LEN..ct_end)
 }
 
 /// Verifies a wire frame produced by [`seal_message`] without decrypting
@@ -236,6 +270,49 @@ mod tests {
             open_message(&cipher, b"", &[0u8; 27]),
             Err(OpenError::Truncated)
         ));
+    }
+
+    #[test]
+    fn seal_segments_matches_contiguous_seal() {
+        let key = Key::from_bytes([3u8; 16]);
+        let cipher = AesGcm128::new(&key);
+        let pt: Vec<u8> = (0..300).map(|i| (i % 251) as u8).collect();
+        for split in [0usize, 1, 128, 299, 300] {
+            let whole = seal_message(&cipher, &mut NonceSource::seeded(5), b"aad", &pt);
+            let mut gathered = Vec::new();
+            seal_segments_into(
+                &cipher,
+                &mut NonceSource::seeded(5),
+                b"aad",
+                [&pt[..split], &pt[split..]],
+                &mut gathered,
+            );
+            assert_eq!(whole, gathered, "split at {split}");
+        }
+    }
+
+    #[test]
+    fn open_frame_in_place_returns_plaintext_range() {
+        let key = Key::from_bytes([4u8; 16]);
+        let cipher = AesGcm128::new(&key);
+        let mut source = NonceSource::seeded(8);
+        for len in [0usize, 1, 64, 333] {
+            let pt: Vec<u8> = (0..len).map(|i| (i * 13 % 251) as u8).collect();
+            let mut wire = seal_message(&cipher, &mut source, b"hdr", &pt);
+            let before = wire.len();
+            let range = open_frame_in_place(&cipher, b"hdr", &mut wire).unwrap();
+            assert_eq!(wire.len(), before, "frame length must not change");
+            assert_eq!(range, NONCE_LEN..before - TAG_LEN);
+            assert_eq!(&wire[range], &pt[..]);
+        }
+        let mut short = vec![0u8; WIRE_OVERHEAD - 1];
+        assert!(matches!(
+            open_frame_in_place(&cipher, b"", &mut short),
+            Err(OpenError::Truncated)
+        ));
+        let mut tampered = seal_message(&cipher, &mut source, b"hdr", b"payload");
+        tampered[NONCE_LEN] ^= 1;
+        assert!(open_frame_in_place(&cipher, b"hdr", &mut tampered).is_err());
     }
 
     #[test]

@@ -81,7 +81,7 @@ fn gather_bytes(
         allgather(ctx, algo, m)
             .into_blocks()
             .into_iter()
-            .map(|b| b.data.bytes().to_vec())
+            .map(|b| b.data.to_vec())
             .collect()
     })
 }

@@ -6,6 +6,7 @@
 //! can assert the security contract of every encrypted algorithm: *no
 //! plaintext byte sequence ever appears on the wire*.
 
+use eag_rope::Rope;
 use parking_lot::Mutex;
 
 /// What kind of payload a recorded frame claimed to be.
@@ -30,8 +31,10 @@ pub struct FrameRecord {
     pub kind: FrameKind,
     /// Wire length in bytes.
     pub len: usize,
-    /// Captured bytes (empty for phantom frames).
-    pub bytes: Vec<u8>,
+    /// Captured bytes (empty for phantom frames). A refcounted rope view of
+    /// the payload buffers in flight: the tap observes traffic without
+    /// copying it.
+    pub bytes: Rope,
 }
 
 /// Records all inter-node traffic of a run.
@@ -76,16 +79,14 @@ impl Wiretap {
     }
 
     /// True if `needle` occurs as a contiguous byte substring of any captured
-    /// frame. Used with high-entropy plaintext blocks: a hit means plaintext
-    /// leaked onto the network.
+    /// frame (segment boundaries in the captured rope are transparent). Used
+    /// with high-entropy plaintext blocks: a hit means plaintext leaked onto
+    /// the network.
     pub fn contains(&self, needle: &[u8]) -> bool {
-        if needle.is_empty() {
-            return false;
-        }
         self.frames
             .lock()
             .iter()
-            .any(|f| f.bytes.windows(needle.len()).any(|w| w == needle))
+            .any(|f| f.bytes.contains_subslice(needle))
     }
 
     /// Marks `rank` as crashed mid-run (an injected [`Crash`] fired). The
@@ -118,7 +119,7 @@ mod tests {
             dst: 1,
             kind,
             len: bytes.len(),
-            bytes: bytes.to_vec(),
+            bytes: Rope::from(bytes),
         }
     }
 

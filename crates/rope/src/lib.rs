@@ -1,0 +1,589 @@
+//! # eag-rope — refcounted, sliceable segment ropes
+//!
+//! The zero-copy byte carrier of the encrypted all-gather data plane. A
+//! [`Rope`] is a small list of *segments*, each an `(Arc<Vec<u8>>, offset,
+//! len)` view into a frozen, immutable buffer:
+//!
+//! - **clone** bumps refcounts — O(#segments), no byte is copied;
+//! - **slice** narrows the views — O(#segments), no byte is copied;
+//! - **append** moves segment descriptors — O(#segments), no byte is copied;
+//! - **freeze** ([`Rope::from`]` (Vec<u8>)`) takes ownership of an existing
+//!   buffer — no byte is copied.
+//!
+//! Bytes are only ever moved at the explicit *materialize* points
+//! ([`Rope::to_vec`], [`Rope::into_vec`] on a shared or fragmented rope,
+//! [`Rope::copy_into`], the copy-on-write [`Rope::xor_byte`]), and every
+//! such move is counted by the thread-local [`probe`] so the runtime can
+//! report bytes-memcpy'd per rank and the regression gate can keep the data
+//! plane honest.
+//!
+//! Buffers are immutable once frozen, so sharing a rope across threads is
+//! safe without locks: all mutation happens before freezing (building the
+//! `Vec<u8>`) or through copy-on-write (which replaces the affected segment
+//! with a fresh private buffer and never touches the shared one).
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+use std::ops::Range;
+use std::sync::Arc;
+
+pub mod probe;
+
+/// One immutable view into a frozen buffer.
+#[derive(Clone)]
+struct Seg {
+    buf: Arc<Vec<u8>>,
+    off: usize,
+    len: usize,
+}
+
+impl Seg {
+    #[inline]
+    fn bytes(&self) -> &[u8] {
+        &self.buf[self.off..self.off + self.len]
+    }
+}
+
+/// A refcounted segment rope: a logical byte string backed by shared,
+/// immutable buffer views. See the crate docs for the cost model.
+#[derive(Clone, Default)]
+pub struct Rope {
+    segs: Vec<Seg>,
+    len: usize,
+}
+
+impl Rope {
+    /// An empty rope.
+    pub fn new() -> Rope {
+        Rope::default()
+    }
+
+    /// Logical length in bytes.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when the rope carries no bytes.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Number of backing segments (0 for an empty rope).
+    pub fn segment_count(&self) -> usize {
+        self.segs.len()
+    }
+
+    /// True when the whole rope is one contiguous view (or empty).
+    pub fn is_contiguous(&self) -> bool {
+        self.segs.len() <= 1
+    }
+
+    /// Borrows the bytes when the rope is contiguous; `None` when the
+    /// logical string spans more than one segment.
+    pub fn as_contiguous(&self) -> Option<&[u8]> {
+        match self.segs.as_slice() {
+            [] => Some(&[]),
+            [seg] => Some(seg.bytes()),
+            _ => None,
+        }
+    }
+
+    /// Iterates the backing segments in logical order.
+    pub fn segments(&self) -> impl Iterator<Item = &[u8]> {
+        self.segs.iter().map(Seg::bytes)
+    }
+
+    /// A sub-rope of the logical range — O(#segments), no byte is copied.
+    pub fn slice(&self, range: Range<usize>) -> Rope {
+        assert!(
+            range.start <= range.end && range.end <= self.len,
+            "slice {range:?} out of bounds of rope of length {}",
+            self.len
+        );
+        let mut want = range.end - range.start;
+        let mut skip = range.start;
+        let mut segs = Vec::new();
+        for seg in &self.segs {
+            if want == 0 {
+                break;
+            }
+            if skip >= seg.len {
+                skip -= seg.len;
+                continue;
+            }
+            let take = (seg.len - skip).min(want);
+            segs.push(Seg {
+                buf: Arc::clone(&seg.buf),
+                off: seg.off + skip,
+                len: take,
+            });
+            want -= take;
+            skip = 0;
+        }
+        Rope {
+            segs,
+            len: range.end - range.start,
+        }
+    }
+
+    /// Appends `other`'s segments — O(#segments of `other`), no byte is
+    /// copied. Adjacent views into the same buffer are coalesced so ropes
+    /// re-assembled from consecutive slices stay contiguous.
+    pub fn append(&mut self, other: Rope) {
+        self.len += other.len;
+        for seg in other.segs {
+            if let Some(last) = self.segs.last_mut() {
+                if Arc::ptr_eq(&last.buf, &seg.buf) && last.off + last.len == seg.off {
+                    last.len += seg.len;
+                    continue;
+                }
+            }
+            self.segs.push(seg);
+        }
+    }
+
+    /// Copies the logical bytes out into a fresh `Vec` (a counted
+    /// materialization).
+    pub fn to_vec(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.len);
+        for seg in &self.segs {
+            out.extend_from_slice(seg.bytes());
+        }
+        if self.len > 0 {
+            probe::count_buffer();
+            probe::count_copied(self.len);
+        }
+        out
+    }
+
+    /// Appends the logical bytes to `out` (a counted materialization).
+    pub fn copy_into(&self, out: &mut Vec<u8>) {
+        for seg in &self.segs {
+            out.extend_from_slice(seg.bytes());
+        }
+        probe::count_copied(self.len);
+    }
+
+    /// Recovers a contiguous owned `Vec` of the logical bytes. When the
+    /// rope is the sole owner of a single full-buffer segment this is the
+    /// freeze operation run backwards — the buffer is handed back without
+    /// copying; otherwise it falls back to a counted [`Rope::to_vec`].
+    pub fn into_vec(self) -> Vec<u8> {
+        if let [seg] = self.segs.as_slice() {
+            if seg.off == 0 && seg.len == seg.buf.len() {
+                let seg = self.segs.into_iter().next().expect("one segment");
+                match Arc::try_unwrap(seg.buf) {
+                    Ok(buf) => return buf,
+                    Err(shared) => {
+                        let out = shared[seg.off..seg.off + seg.len].to_vec();
+                        if !out.is_empty() {
+                            probe::count_buffer();
+                            probe::count_copied(out.len());
+                        }
+                        return out;
+                    }
+                }
+            }
+        }
+        self.to_vec()
+    }
+
+    /// XORs `mask` into the byte at `index`, copying only the segment that
+    /// holds it when the buffer is shared (copy-on-write). Every other
+    /// segment keeps sharing its buffer, so clones taken before the call
+    /// still see the original bytes.
+    pub fn xor_byte(&mut self, index: usize, mask: u8) {
+        assert!(index < self.len, "index {index} out of bounds");
+        let mut skip = index;
+        for seg in &mut self.segs {
+            if skip >= seg.len {
+                skip -= seg.len;
+                continue;
+            }
+            match Arc::get_mut(&mut seg.buf) {
+                Some(buf) if seg.off == 0 && seg.len == buf.len() => {
+                    buf[skip] ^= mask;
+                }
+                _ => {
+                    let mut owned = seg.bytes().to_vec();
+                    owned[skip] ^= mask;
+                    probe::count_buffer();
+                    probe::count_copied(owned.len());
+                    *seg = Seg {
+                        len: owned.len(),
+                        buf: Arc::new(owned),
+                        off: 0,
+                    };
+                }
+            }
+            return;
+        }
+    }
+
+    /// True when `needle` occurs as a contiguous run of logical bytes —
+    /// segment boundaries are transparent to the search.
+    pub fn contains_subslice(&self, needle: &[u8]) -> bool {
+        if needle.is_empty() || needle.len() > self.len {
+            return false;
+        }
+        for start in 0..=(self.len - needle.len()) {
+            if self.matches_at(start, needle) {
+                return true;
+            }
+        }
+        false
+    }
+
+    fn matches_at(&self, start: usize, needle: &[u8]) -> bool {
+        let mut pos = start;
+        let mut matched = 0;
+        for seg in &self.segs {
+            if pos >= seg.len {
+                pos -= seg.len;
+                continue;
+            }
+            let bytes = &seg.bytes()[pos..];
+            let take = bytes.len().min(needle.len() - matched);
+            if bytes[..take] != needle[matched..matched + take] {
+                return false;
+            }
+            matched += take;
+            if matched == needle.len() {
+                return true;
+            }
+            pos = 0;
+        }
+        false
+    }
+}
+
+impl From<Vec<u8>> for Rope {
+    /// Freezes an owned buffer into a rope without copying. Freezing is
+    /// free and uncounted: the buffer already exists (whoever allocated it
+    /// accounts for it), and a unique rope thawed back with
+    /// [`Rope::into_vec`] can be re-frozen at no cost.
+    fn from(buf: Vec<u8>) -> Rope {
+        if buf.is_empty() {
+            return Rope::new();
+        }
+        let len = buf.len();
+        Rope {
+            segs: vec![Seg {
+                buf: Arc::new(buf),
+                off: 0,
+                len,
+            }],
+            len,
+        }
+    }
+}
+
+impl From<&[u8]> for Rope {
+    /// Copies borrowed bytes into a fresh single-segment rope (counted).
+    fn from(bytes: &[u8]) -> Rope {
+        if !bytes.is_empty() {
+            probe::count_buffer();
+            probe::count_copied(bytes.len());
+        }
+        Rope::from(bytes.to_vec())
+    }
+}
+
+impl PartialEq for Rope {
+    /// Logical-byte equality: two ropes are equal iff they spell the same
+    /// byte string, regardless of how it is segmented.
+    fn eq(&self, other: &Rope) -> bool {
+        if self.len != other.len {
+            return false;
+        }
+        let mut a = self.segments();
+        let mut b = other.segments();
+        let (mut ca, mut cb): (&[u8], &[u8]) = (&[], &[]);
+        loop {
+            if ca.is_empty() {
+                ca = match a.next() {
+                    Some(s) => s,
+                    None => return cb.is_empty() && b.next().is_none(),
+                };
+                continue;
+            }
+            if cb.is_empty() {
+                cb = match b.next() {
+                    Some(s) => s,
+                    None => return false,
+                };
+                continue;
+            }
+            let n = ca.len().min(cb.len());
+            if ca[..n] != cb[..n] {
+                return false;
+            }
+            ca = &ca[n..];
+            cb = &cb[n..];
+        }
+    }
+}
+
+impl Eq for Rope {}
+
+impl PartialEq<[u8]> for Rope {
+    fn eq(&self, other: &[u8]) -> bool {
+        if self.len != other.len() {
+            return false;
+        }
+        let mut pos = 0;
+        for seg in self.segments() {
+            if seg != &other[pos..pos + seg.len()] {
+                return false;
+            }
+            pos += seg.len();
+        }
+        true
+    }
+}
+
+impl PartialEq<&[u8]> for Rope {
+    fn eq(&self, other: &&[u8]) -> bool {
+        *self == **other
+    }
+}
+
+impl PartialEq<Vec<u8>> for Rope {
+    fn eq(&self, other: &Vec<u8>) -> bool {
+        *self == **other
+    }
+}
+
+impl PartialEq<Rope> for Vec<u8> {
+    fn eq(&self, other: &Rope) -> bool {
+        *other == **self
+    }
+}
+
+impl std::fmt::Debug for Rope {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Rope(len={}, segs={}", self.len, self.segs.len())?;
+        if self.len <= 32 {
+            write!(f, ", bytes=[")?;
+            let mut first = true;
+            for seg in self.segments() {
+                for b in seg {
+                    if !first {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{b}")?;
+                    first = false;
+                }
+            }
+            write!(f, "]")?;
+        }
+        write!(f, ")")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rope_of(parts: &[&[u8]]) -> Rope {
+        let mut r = Rope::new();
+        for p in parts {
+            // Distinct buffers per part: forces real segment boundaries.
+            r.append(Rope::from(p.to_vec()));
+        }
+        r
+    }
+
+    #[test]
+    fn freeze_is_zero_copy_and_roundtrips() {
+        probe::reset();
+        let r = Rope::from(vec![1, 2, 3, 4]);
+        assert_eq!(probe::snapshot().copied_bytes, 0);
+        assert_eq!(r.len(), 4);
+        assert!(r.is_contiguous());
+        assert_eq!(r.as_contiguous().unwrap(), &[1, 2, 3, 4]);
+        assert_eq!(r.into_vec(), vec![1, 2, 3, 4]);
+        // Unique single full segment: into_vec copied nothing either.
+        assert_eq!(probe::snapshot().copied_bytes, 0);
+    }
+
+    #[test]
+    fn slice_and_append_are_pointer_ops() {
+        probe::reset();
+        let r = Rope::from((0u8..100).collect::<Vec<_>>());
+        let a = r.slice(0..40);
+        let b = r.slice(40..100);
+        let mut glued = a.clone();
+        glued.append(b.clone());
+        assert_eq!(glued, r);
+        // Adjacent views of the same buffer coalesce back to one segment.
+        assert_eq!(glued.segment_count(), 1);
+        assert_eq!(probe::snapshot().copied_bytes, 0);
+        assert_eq!(a.len(), 40);
+        assert_eq!(b.slice(10..20).to_vec(), (50u8..60).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn equality_ignores_segmentation() {
+        let flat = Rope::from(vec![1, 2, 3, 4, 5]);
+        let split = rope_of(&[&[1, 2], &[3], &[4, 5]]);
+        assert_eq!(flat, split);
+        assert_eq!(split, vec![1, 2, 3, 4, 5]);
+        assert_ne!(split, rope_of(&[&[1, 2], &[3], &[4, 6]]));
+        assert_ne!(split, Rope::from(vec![1, 2, 3, 4]));
+        assert_eq!(Rope::new(), Rope::from(Vec::new()));
+    }
+
+    #[test]
+    fn shared_into_vec_copies_and_counts() {
+        probe::reset();
+        let r = Rope::from(vec![7u8; 10]);
+        let keep = r.clone();
+        let out = r.into_vec(); // shared: must copy
+        assert_eq!(out, vec![7u8; 10]);
+        assert_eq!(keep.len(), 10);
+        assert_eq!(probe::snapshot().copied_bytes, 10);
+    }
+
+    #[test]
+    fn xor_byte_is_copy_on_write() {
+        let original = Rope::from(vec![0u8; 8]);
+        let mut tampered = original.clone();
+        tampered.xor_byte(4, 0x80);
+        assert_eq!(original, vec![0u8; 8]);
+        assert_eq!(tampered.to_vec(), vec![0, 0, 0, 0, 0x80, 0, 0, 0]);
+        // Unique rope: mutation happens in place, no copy.
+        probe::reset();
+        let mut unique = Rope::from(vec![1u8; 8]);
+        unique.xor_byte(0, 0x01);
+        assert_eq!(probe::snapshot().copied_bytes, 0);
+        assert_eq!(unique.to_vec()[0], 0);
+    }
+
+    #[test]
+    fn xor_byte_only_copies_the_touched_segment() {
+        let mut r = rope_of(&[&[1u8; 4], &[2u8; 4], &[3u8; 4]]);
+        let pristine = r.clone();
+        probe::reset();
+        r.xor_byte(6, 0xFF);
+        assert_eq!(probe::snapshot().copied_bytes, 4); // one 4-byte segment
+        assert_eq!(pristine, rope_of(&[&[1u8; 4], &[2u8; 4], &[3u8; 4]]));
+        assert_eq!(r.to_vec()[6], 2 ^ 0xFF);
+    }
+
+    #[test]
+    fn contains_subslice_spans_segments() {
+        let r = rope_of(&[b"hello ", b"wor", b"ld"]);
+        assert!(r.contains_subslice(b"hello world"));
+        assert!(r.contains_subslice(b"o wor"));
+        assert!(r.contains_subslice(b"orld"));
+        assert!(!r.contains_subslice(b"worlds"));
+        assert!(!r.contains_subslice(b""));
+        assert!(!Rope::new().contains_subslice(b"x"));
+    }
+
+    #[test]
+    fn slice_across_boundaries() {
+        let r = rope_of(&[&[0, 1, 2], &[3, 4], &[5, 6, 7, 8]]);
+        assert_eq!(r.slice(2..6).to_vec(), vec![2, 3, 4, 5]);
+        assert_eq!(r.slice(0..9), r);
+        assert!(r.slice(4..4).is_empty());
+        assert_eq!(r.slice(8..9).to_vec(), vec![8]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn slice_rejects_overrun() {
+        let _ = Rope::from(vec![1, 2, 3]).slice(1..4);
+    }
+
+    #[test]
+    fn send_and_sync() {
+        fn check<T: Send + Sync>() {}
+        check::<Rope>();
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    /// Builds a rope from `bytes` split at the given cut fractions, so the
+    /// logical string is fixed but the segmentation varies per case.
+    fn segmented(bytes: &[u8], cuts: &[usize]) -> Rope {
+        let mut r = Rope::new();
+        let mut prev = 0;
+        let mut cuts: Vec<usize> = cuts.iter().map(|&c| c % (bytes.len() + 1)).collect();
+        cuts.sort_unstable();
+        for c in cuts {
+            if c > prev {
+                r.append(Rope::from(bytes[prev..c].to_vec()));
+                prev = c;
+            }
+        }
+        if prev < bytes.len() {
+            r.append(Rope::from(bytes[prev..].to_vec()));
+        }
+        r
+    }
+
+    proptest! {
+        #[test]
+        fn roundtrip_any_segmentation(
+            bytes in proptest::collection::vec(any::<u8>(), 1..200),
+            cuts in proptest::collection::vec(any::<usize>(), 0..6),
+        ) {
+            let r = segmented(&bytes, &cuts);
+            prop_assert_eq!(r.len(), bytes.len());
+            prop_assert_eq!(r.to_vec(), bytes.clone());
+            prop_assert_eq!(r.clone(), Rope::from(bytes.clone()));
+            prop_assert_eq!(r.into_vec(), bytes);
+        }
+
+        #[test]
+        fn slice_matches_vec_slice(
+            bytes in proptest::collection::vec(any::<u8>(), 1..200),
+            cuts in proptest::collection::vec(any::<usize>(), 0..6),
+            a in any::<usize>(),
+            b in any::<usize>(),
+        ) {
+            let r = segmented(&bytes, &cuts);
+            let (mut a, mut b) = (a % (bytes.len() + 1), b % (bytes.len() + 1));
+            if a > b { std::mem::swap(&mut a, &mut b); }
+            prop_assert_eq!(r.slice(a..b).to_vec(), bytes[a..b].to_vec());
+        }
+
+        #[test]
+        fn split_then_append_is_identity(
+            bytes in proptest::collection::vec(any::<u8>(), 1..200),
+            cuts in proptest::collection::vec(any::<usize>(), 0..6),
+            at in any::<usize>(),
+        ) {
+            let r = segmented(&bytes, &cuts);
+            let at = at % (bytes.len() + 1);
+            let mut glued = r.slice(0..at);
+            glued.append(r.slice(at..bytes.len()));
+            prop_assert_eq!(glued, r);
+        }
+
+        #[test]
+        fn contains_subslice_matches_windows(
+            bytes in proptest::collection::vec(0u8..4, 4..60),
+            cuts in proptest::collection::vec(any::<usize>(), 0..5),
+            start in any::<usize>(),
+            len in 1usize..6,
+        ) {
+            let r = segmented(&bytes, &cuts);
+            let start = start % bytes.len();
+            let end = (start + len).min(bytes.len());
+            let needle = &bytes[start..end];
+            prop_assert!(r.contains_subslice(needle));
+            let expected = bytes.windows(5).any(|w| w == [3, 3, 3, 3, 3]);
+            prop_assert_eq!(r.contains_subslice(&[3, 3, 3, 3, 3]), expected);
+        }
+    }
+}

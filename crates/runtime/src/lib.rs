@@ -36,7 +36,7 @@
 //!     } else {
 //!         let parcel = ctx.recv(0, 7);
 //!         let chunk = ctx.decrypt(parcel.items[0].clone().into_sealed());
-//!         chunk.data.bytes().len()
+//!         chunk.data.rope().len()
 //!     }
 //! });
 //! assert_eq!(report.outputs[1], 64);

@@ -35,6 +35,15 @@ pub struct Metrics {
     pub copies: u64,
     /// Bytes moved by those copies.
     pub copy_bytes: u64,
+    /// Payload bytes physically memcpy'd by the data plane on this rank's
+    /// thread (rope materializations, staging copies, copy-on-write) — the
+    /// zero-copy probe. Unlike `copy_bytes`, which models the collective's
+    /// shared-memory traffic, this counts what the implementation actually
+    /// moved.
+    pub memcpy_bytes: u64,
+    /// Fresh payload byte buffers allocated by the data plane on this
+    /// rank's thread.
+    pub buf_allocs: u64,
     /// Faults this rank injected into its outgoing frames (chaos runs).
     pub faults_injected: u64,
     /// Corrupted or missing frames this rank detected on arrival (transport
@@ -92,6 +101,8 @@ impl Metrics {
             out.dec_bytes = out.dec_bytes.max(m.dec_bytes);
             out.copies = out.copies.max(m.copies);
             out.copy_bytes = out.copy_bytes.max(m.copy_bytes);
+            out.memcpy_bytes = out.memcpy_bytes.max(m.memcpy_bytes);
+            out.buf_allocs = out.buf_allocs.max(m.buf_allocs);
             out.faults_injected = out.faults_injected.max(m.faults_injected);
             out.faults_detected = out.faults_detected.max(m.faults_detected);
             out.nacks_sent = out.nacks_sent.max(m.nacks_sent);
@@ -120,6 +131,8 @@ impl Metrics {
             out.dec_bytes += m.dec_bytes;
             out.copies += m.copies;
             out.copy_bytes += m.copy_bytes;
+            out.memcpy_bytes += m.memcpy_bytes;
+            out.buf_allocs += m.buf_allocs;
             out.faults_injected += m.faults_injected;
             out.faults_detected += m.faults_detected;
             out.nacks_sent += m.nacks_sent;

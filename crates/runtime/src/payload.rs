@@ -2,9 +2,9 @@
 //!
 //! Algorithms are written once against these types and run in two modes:
 //!
-//! - **Real** — [`Data::Real`] carries actual bytes; encryption is real
-//!   AES-128-GCM. Used by correctness/security tests, examples, and the
-//!   wall-clock benchmarks.
+//! - **Real** — [`Data::Real`] carries actual bytes in a refcounted segment
+//!   [`Rope`]; encryption is real AES-128-GCM. Used by correctness/security
+//!   tests, examples, and the wall-clock benchmarks.
 //! - **Phantom** — [`Data::Phantom`] carries only a length. Used by the
 //!   cluster-scale virtual-time simulations (e.g. p = 1024 with 512 KB
 //!   blocks, where real buffers would need hundreds of gigabytes).
@@ -12,14 +12,23 @@
 //! Both modes track *origins*: which ranks' blocks a chunk contains, in
 //! order. Even a phantom simulation therefore proves the all-gather
 //! postcondition (every rank ends with every origin exactly once).
+//!
+//! Real payloads are rope-backed end to end: clone/slice/concat are
+//! refcount and pointer operations, so forwarding a chunk, logging a frame
+//! for retransmission, or fanning a block out to node peers never copies
+//! payload bytes. Bytes move only at the seal gather, at a GCM open over a
+//! shared or fragmented frame, and at explicit materialization points — all
+//! counted by [`eag_rope::probe`].
 
 use eag_netsim::Rank;
+use eag_rope::Rope;
 
 /// Payload bytes, real or phantom.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Data {
-    /// Actual bytes.
-    Real(Vec<u8>),
+    /// Actual bytes, as a refcounted segment rope. Equality is over the
+    /// logical byte string, independent of segmentation.
+    Real(Rope),
     /// Length-only placeholder for cost simulation.
     Phantom(usize),
 }
@@ -43,12 +52,18 @@ impl Data {
         matches!(self, Data::Real(_))
     }
 
-    /// Borrows the real bytes; panics on phantom data.
-    pub fn bytes(&self) -> &[u8] {
+    /// Borrows the real payload rope; panics on phantom data.
+    pub fn rope(&self) -> &Rope {
         match self {
             Data::Real(b) => b,
             Data::Phantom(_) => panic!("phantom data has no bytes"),
         }
+    }
+
+    /// Materializes the real bytes into a fresh contiguous `Vec` (a counted
+    /// copy); panics on phantom data.
+    pub fn to_vec(&self) -> Vec<u8> {
+        self.rope().to_vec()
     }
 }
 
@@ -87,37 +102,17 @@ impl Chunk {
 
     /// Concatenates several chunks into one (origins order preserved).
     /// All inputs must agree on `block_len` and data mode.
+    ///
+    /// Chunk clones are refcount bumps, so the borrowing variant simply
+    /// delegates to the owned rope-append implementation — no payload byte
+    /// is copied either way.
     pub fn concat(chunks: &[Chunk]) -> Chunk {
         assert!(!chunks.is_empty(), "cannot concat zero chunks");
-        let block_len = chunks[0].block_len;
-        let mut origins = Vec::new();
-        let phantom = !chunks[0].data.is_real();
-        let mut bytes = Vec::new();
-        let mut total = 0usize;
-        for c in chunks {
-            assert_eq!(c.block_len, block_len, "mixed block lengths");
-            assert_eq!(!c.data.is_real(), phantom, "mixed data modes");
-            origins.extend_from_slice(&c.origins);
-            total += c.data.len();
-            if !phantom {
-                bytes.extend_from_slice(c.data.bytes());
-            }
-        }
-        Chunk {
-            origins,
-            block_len,
-            data: if phantom {
-                Data::Phantom(total)
-            } else {
-                Data::Real(bytes)
-            },
-        }
+        Chunk::concat_owned(chunks.to_vec())
     }
 
-    /// Concatenates owned chunks into one, reusing the first chunk's byte
-    /// buffer as the accumulator instead of allocating a fresh one — the
-    /// allocation-lean sibling of [`Chunk::concat`] for call sites that
-    /// already own their parts.
+    /// Concatenates owned chunks into one by appending their ropes —
+    /// O(total segments) pointer operations, no payload byte is copied.
     pub fn concat_owned(chunks: Vec<Chunk>) -> Chunk {
         assert!(!chunks.is_empty(), "cannot concat zero chunks");
         let mut iter = chunks.into_iter();
@@ -129,8 +124,8 @@ impl Chunk {
             assert_eq!(!c.data.is_real(), phantom, "mixed data modes");
             total += c.data.len();
             acc.origins.extend_from_slice(&c.origins);
-            if let (Data::Real(bytes), Data::Real(more)) = (&mut acc.data, &c.data) {
-                bytes.extend_from_slice(more);
+            if let (Data::Real(rope), Data::Real(more)) = (&mut acc.data, c.data) {
+                rope.append(more);
             }
         }
         if phantom {
@@ -139,7 +134,8 @@ impl Chunk {
         acc
     }
 
-    /// Splits the chunk into one single-origin chunk per origin.
+    /// Splits the chunk into one single-origin chunk per origin. Real parts
+    /// are rope slices sharing the parent's buffers — no byte is copied.
     pub fn split(&self) -> Vec<Chunk> {
         let m = self.block_len;
         self.origins
@@ -149,7 +145,7 @@ impl Chunk {
                 origins: vec![origin],
                 block_len: m,
                 data: match &self.data {
-                    Data::Real(b) => Data::Real(b[i * m..(i + 1) * m].to_vec()),
+                    Data::Real(b) => Data::Real(b.slice(i * m..(i + 1) * m)),
                     Data::Phantom(_) => Data::Phantom(m),
                 },
             })
@@ -246,6 +242,103 @@ pub struct Parcel {
     pub items: Vec<Item>,
 }
 
+const MIX_M: u64 = 0x9E37_79B9_7F4A_7C15;
+const MIX_LANE_SEEDS: [u64; 4] = [
+    0xA076_1D64_78BD_642F,
+    0xE703_7ED1_A0B4_28DB,
+    0x8EBC_6AF0_9C88_C6E3,
+    0x5899_65CC_7537_4CC3,
+];
+
+#[inline]
+fn mix_lanes(h: u64) -> [u64; 4] {
+    [
+        h ^ MIX_LANE_SEEDS[0],
+        h ^ MIX_LANE_SEEDS[1],
+        h ^ MIX_LANE_SEEDS[2],
+        h ^ MIX_LANE_SEEDS[3],
+    ]
+}
+
+/// One 32-byte stride: eight bytes into each of the four lanes.
+#[inline]
+fn mix_stride(lanes: &mut [u64; 4], c: &[u8]) {
+    for (i, lane) in lanes.iter_mut().enumerate() {
+        let w = u64::from_le_bytes(c[i * 8..i * 8 + 8].try_into().unwrap());
+        *lane = (*lane ^ w).wrapping_mul(MIX_M);
+    }
+}
+
+/// Folds the lanes back into `h` and absorbs the final sub-stride bytes
+/// (`rest.len() < 32`).
+#[inline]
+fn mix_fold(h: u64, lanes: [u64; 4], rest: &[u8]) -> u64 {
+    debug_assert!(rest.len() < 32);
+    let mut h = lanes
+        .into_iter()
+        .fold(h, |acc, l| (acc ^ l.rotate_left(23)).wrapping_mul(MIX_M));
+    let mut tail = rest.chunks_exact(8);
+    for w in &mut tail {
+        h ^= u64::from_le_bytes(w.try_into().unwrap());
+        h = (h ^ (h >> 29)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    }
+    let last = tail.remainder();
+    if !last.is_empty() {
+        let mut buf = [0u8; 8];
+        buf[..last.len()].copy_from_slice(last);
+        // Fold the tail length in so "ab" and "ab\0" differ.
+        h ^= u64::from_le_bytes(buf) ^ ((last.len() as u64) << 56);
+        h = (h ^ (h >> 29)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    }
+    h
+}
+
+/// Word-stride digest of `bytes` keyed by `h`. Four independent lanes over
+/// 32-byte strides keep the hash throughput-bound instead of
+/// chained-multiply latency-bound.
+fn mix(h: u64, bytes: &[u8]) -> u64 {
+    let mut lanes = mix_lanes(h);
+    let mut chunks = bytes.chunks_exact(32);
+    for c in &mut chunks {
+        mix_stride(&mut lanes, c);
+    }
+    mix_fold(h, lanes, chunks.remainder())
+}
+
+/// [`mix`] over a rope's logical bytes without flattening it: a 32-byte
+/// carry buffer stitches strides across segment boundaries, so the digest
+/// equals `mix(h, flattened_bytes)` for every segmentation of the same byte
+/// string. Contiguous ropes (the common case for wire frames) take the
+/// slice fast path.
+fn mix_rope(h: u64, rope: &Rope) -> u64 {
+    if let Some(flat) = rope.as_contiguous() {
+        return mix(h, flat);
+    }
+    let mut lanes = mix_lanes(h);
+    let mut carry = [0u8; 32];
+    let mut fill = 0usize;
+    for mut seg in rope.segments() {
+        if fill > 0 {
+            let take = seg.len().min(32 - fill);
+            carry[fill..fill + take].copy_from_slice(&seg[..take]);
+            fill += take;
+            seg = &seg[take..];
+            if fill < 32 {
+                continue;
+            }
+            mix_stride(&mut lanes, &carry);
+        }
+        let mut chunks = seg.chunks_exact(32);
+        for c in &mut chunks {
+            mix_stride(&mut lanes, c);
+        }
+        let rest = chunks.remainder();
+        carry[..rest.len()].copy_from_slice(rest);
+        fill = rest.len();
+    }
+    mix_fold(h, lanes, &carry[..fill])
+}
+
 impl Parcel {
     /// An empty parcel.
     pub fn new() -> Self {
@@ -280,44 +373,10 @@ impl Parcel {
     /// It is **not** adversarially secure — that is GCM's job. Payload
     /// bytes are folded eight at a time (with a distinct-per-position tail)
     /// so that stamping and verifying cost ~1/8th of a byte-at-a-time FNV —
-    /// this digest runs twice per frame on the chaos hot path.
+    /// this digest runs twice per frame on the chaos hot path. Rope payloads
+    /// are digested segment by segment ([`mix_rope`]); the value depends
+    /// only on the logical bytes, never on segmentation.
     pub fn checksum(&self) -> u64 {
-        fn mix(h: u64, bytes: &[u8]) -> u64 {
-            const M: u64 = 0x9E37_79B9_7F4A_7C15;
-            // Four independent lanes over 32-byte strides keep the hash
-            // throughput-bound instead of chained-multiply latency-bound.
-            let mut lanes = [
-                h ^ 0xA076_1D64_78BD_642F,
-                h ^ 0xE703_7ED1_A0B4_28DB,
-                h ^ 0x8EBC_6AF0_9C88_C6E3,
-                h ^ 0x5899_65CC_7537_4CC3,
-            ];
-            let mut chunks = bytes.chunks_exact(32);
-            for c in &mut chunks {
-                for (i, lane) in lanes.iter_mut().enumerate() {
-                    let w = u64::from_le_bytes(c[i * 8..i * 8 + 8].try_into().unwrap());
-                    *lane = (*lane ^ w).wrapping_mul(M);
-                }
-            }
-            let mut h = lanes
-                .into_iter()
-                .fold(h, |acc, l| (acc ^ l.rotate_left(23)).wrapping_mul(M));
-            let rest = chunks.remainder();
-            let mut tail = rest.chunks_exact(8);
-            for w in &mut tail {
-                h ^= u64::from_le_bytes(w.try_into().unwrap());
-                h = (h ^ (h >> 29)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-            }
-            let last = tail.remainder();
-            if !last.is_empty() {
-                let mut buf = [0u8; 8];
-                buf[..last.len()].copy_from_slice(last);
-                // Fold the tail length in so "ab" and "ab\0" differ.
-                h ^= u64::from_le_bytes(buf) ^ ((last.len() as u64) << 56);
-                h = (h ^ (h >> 29)).wrapping_mul(0x94D0_49BB_1331_11EB);
-            }
-            h
-        }
         let mut h = mix(
             0xCBF2_9CE4_8422_2325,
             &(self.items.len() as u64).to_le_bytes(),
@@ -335,7 +394,7 @@ impl Parcel {
             h = mix(h, &(block_len as u64).to_le_bytes());
             h = mix(h, &(extra as u64).to_le_bytes());
             h = match data {
-                Data::Real(bytes) => mix(mix(h, &[1]), bytes),
+                Data::Real(bytes) => mix_rope(mix(h, &[1]), bytes),
                 Data::Phantom(n) => mix(mix(h, &[0]), &(*n as u64).to_le_bytes()),
             };
         }
@@ -366,10 +425,14 @@ pub fn pattern_block(seed: u64, origin: Rank, len: usize) -> Vec<u8> {
 mod tests {
     use super::*;
 
+    fn real(bytes: Vec<u8>) -> Data {
+        Data::Real(bytes.into())
+    }
+
     #[test]
     fn chunk_concat_and_split_roundtrip() {
-        let a = Chunk::single(0, Data::Real(vec![1, 2, 3]));
-        let b = Chunk::single(5, Data::Real(vec![4, 5, 6]));
+        let a = Chunk::single(0, real(vec![1, 2, 3]));
+        let b = Chunk::single(5, real(vec![4, 5, 6]));
         let c = Chunk::concat(&[a.clone(), b.clone()]);
         assert_eq!(c.origins, vec![0, 5]);
         assert_eq!(c.len(), 6);
@@ -381,9 +444,9 @@ mod tests {
     #[test]
     fn concat_owned_matches_concat() {
         let parts = vec![
-            Chunk::single(0, Data::Real(vec![1, 2, 3])),
-            Chunk::single(5, Data::Real(vec![4, 5, 6])),
-            Chunk::single(2, Data::Real(vec![7, 8, 9])),
+            Chunk::single(0, real(vec![1, 2, 3])),
+            Chunk::single(5, real(vec![4, 5, 6])),
+            Chunk::single(2, real(vec![7, 8, 9])),
         ];
         assert_eq!(Chunk::concat(&parts), Chunk::concat_owned(parts.clone()));
 
@@ -395,6 +458,21 @@ mod tests {
             Chunk::concat(&phantoms),
             Chunk::concat_owned(phantoms.clone())
         );
+    }
+
+    #[test]
+    fn concat_and_split_copy_no_payload_bytes() {
+        let parts = vec![
+            Chunk::single(0, real(vec![1u8; 256])),
+            Chunk::single(1, real(vec![2u8; 256])),
+            Chunk::single(2, real(vec![3u8; 256])),
+        ];
+        eag_rope::probe::reset();
+        let merged = Chunk::concat(&parts);
+        let back = merged.split();
+        assert_eq!(eag_rope::probe::snapshot().copied_bytes, 0);
+        assert_eq!(back, parts);
+        assert_eq!(merged.data.rope().segment_count(), 3);
     }
 
     #[test]
@@ -412,7 +490,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "mixed data modes")]
     fn concat_rejects_mixed_modes() {
-        let a = Chunk::single(0, Data::Real(vec![0; 4]));
+        let a = Chunk::single(0, real(vec![0; 4]));
         let b = Chunk::single(1, Data::Phantom(4));
         let _ = Chunk::concat(&[a, b]);
     }
@@ -449,12 +527,12 @@ mod tests {
     fn checksum_detects_any_single_byte_flip() {
         let mut p = Parcel {
             items: vec![
-                Item::Plain(Chunk::single(0, Data::Real(vec![1, 2, 3, 4]))),
+                Item::Plain(Chunk::single(0, real(vec![1, 2, 3, 4]))),
                 Item::Sealed(Sealed {
                     origins: vec![1, 2],
                     block_len: 3,
                     plain_len: 6,
-                    data: Data::Real(vec![9; 34]),
+                    data: real(vec![9; 34]),
                 }),
             ],
         };
@@ -466,7 +544,7 @@ mod tests {
                 Item::Sealed(s) => &mut s.data,
             };
             if let Data::Real(bytes) = data {
-                bytes[i] ^= 0x80;
+                bytes.xor_byte(i, 0x80);
             }
         }
         for item_idx in 0..p.items.len() {
@@ -481,6 +559,37 @@ mod tests {
             }
         }
         assert_eq!(p.checksum(), base);
+    }
+
+    #[test]
+    fn checksum_is_segmentation_independent() {
+        // The wire digest must not change when the same logical payload is
+        // carried by differently fragmented ropes (forwarded vs rebuilt
+        // frames), across every stride/tail boundary of the mixer.
+        for len in [0usize, 1, 7, 8, 9, 31, 32, 33, 63, 64, 65, 200] {
+            let bytes = pattern_block(3, 1, len);
+            let flat = Parcel::one(Item::Plain(Chunk::single(0, real(bytes.clone()))));
+            let base = flat.checksum();
+            for split in [0, 1, len / 3, len / 2, len.saturating_sub(1), len] {
+                if split > len {
+                    continue;
+                }
+                let mut rope = Rope::from(bytes[..split].to_vec());
+                rope.append(Rope::from(bytes[split..].to_vec()));
+                let mut three = Rope::from(bytes[..split].to_vec());
+                let mid = split + (len - split) / 2;
+                three.append(Rope::from(bytes[split..mid].to_vec()));
+                three.append(Rope::from(bytes[mid..].to_vec()));
+                for r in [rope, three] {
+                    let seg = Parcel::one(Item::Plain(Chunk {
+                        origins: vec![0],
+                        block_len: len,
+                        data: Data::Real(r),
+                    }));
+                    assert_eq!(seg.checksum(), base, "len {len} split {split}");
+                }
+            }
+        }
     }
 
     #[test]

@@ -217,7 +217,7 @@ mod tests {
     use crate::payload::{Chunk, Data};
 
     fn item(v: u8) -> Item {
-        Item::Plain(Chunk::single(0, Data::Real(vec![v; 4])))
+        Item::Plain(Chunk::single(0, Data::Real(vec![v; 4].into())))
     }
 
     #[test]

@@ -262,10 +262,6 @@ pub struct ProcCtx<'w> {
     reorder_limbo: Vec<(Rank, Message)>,
     gcm: &'w AesGcm128,
     nonces: NonceSource,
-    /// Reusable wire buffer for [`ProcCtx::encrypt`]: each seal writes into
-    /// it and takes ownership, leaving the consumed plaintext Vec behind as
-    /// the next scratch — steady state is allocation-free.
-    seal_scratch: Vec<u8>,
     /// Reusable AAD buffer (the routing-metadata binding is rebuilt per
     /// chunk but never needs a fresh allocation).
     aad_scratch: Vec<u8>,
@@ -357,15 +353,24 @@ impl<'w> ProcCtx<'w> {
         self.clock_us
     }
 
-    /// Metrics accumulated so far.
+    /// Metrics accumulated so far. The data-plane probe counters
+    /// (`memcpy_bytes`, `buf_allocs`) are folded in from this rank thread's
+    /// [`eag_rope::probe`] at read time, so they cover the same window as
+    /// the rest of the metrics (since world start or the last
+    /// [`ProcCtx::reset_accounting`]).
     pub fn metrics(&self) -> Metrics {
-        self.metrics
+        let mut m = self.metrics;
+        let probe = eag_rope::probe::snapshot();
+        m.memcpy_bytes += probe.copied_bytes;
+        m.buf_allocs += probe.buffers;
+        m
     }
 
     /// Resets clock and metrics (between repetitions inside one world).
     pub fn reset_accounting(&mut self) {
         self.clock_us = 0.0;
         self.metrics = Metrics::default();
+        eag_rope::probe::reset();
     }
 
     /// Names the collective phase now in force; structured failures raised
@@ -541,7 +546,7 @@ impl<'w> ProcCtx<'w> {
     pub fn my_block(&self, len: usize) -> Chunk {
         let data = match self.mode {
             DataMode::Real { seed } => {
-                Data::Real(crate::payload::pattern_block(seed, self.rank, len))
+                Data::Real(crate::payload::pattern_block(seed, self.rank, len).into())
             }
             DataMode::Phantom => Data::Phantom(len),
         };
@@ -724,24 +729,21 @@ impl<'w> ProcCtx<'w> {
             FrameKind::Phantom
         };
         let bytes = if self.capture_wire {
-            let mut buf = Vec::with_capacity(parcel.wire_len());
+            // The tap records refcounted views of the payload ropes — an
+            // observer, not a copier.
+            let mut buf = eag_rope::Rope::new();
             for item in &parcel.items {
-                match item {
-                    Item::Plain(c) => {
-                        if c.data.is_real() {
-                            buf.extend_from_slice(c.data.bytes());
-                        }
-                    }
-                    Item::Sealed(s) => {
-                        if s.data.is_real() {
-                            buf.extend_from_slice(s.data.bytes());
-                        }
-                    }
+                let data = match item {
+                    Item::Plain(c) => &c.data,
+                    Item::Sealed(s) => &s.data,
+                };
+                if let Data::Real(b) = data {
+                    buf.append(b.clone());
                 }
             }
             buf
         } else {
-            Vec::new()
+            eag_rope::Rope::new()
         };
         self.wiretap.capture(FrameRecord {
             src: self.rank,
@@ -1053,7 +1055,20 @@ impl<'w> ProcCtx<'w> {
             if let Item::Sealed(s) = item {
                 if let Data::Real(wire) = &s.data {
                     seal_aad_into(&s.origins, s.block_len, &mut self.aad_scratch);
-                    if eag_crypto::verify_message(self.gcm, &self.aad_scratch, wire).is_err() {
+                    // Seals are built contiguous and forwarded whole, so the
+                    // borrow fast path always hits today; the materializing
+                    // fallback keeps this correct for any future fragmented
+                    // frame.
+                    let ok = match wire.as_contiguous() {
+                        Some(flat) => {
+                            eag_crypto::verify_message(self.gcm, &self.aad_scratch, flat).is_ok()
+                        }
+                        None => {
+                            let flat = wire.to_vec();
+                            eag_crypto::verify_message(self.gcm, &self.aad_scratch, &flat).is_ok()
+                        }
+                    };
+                    if !ok {
                         return false;
                     }
                 }
@@ -1207,19 +1222,22 @@ impl<'w> ProcCtx<'w> {
         let data = match data {
             Data::Real(bytes) => {
                 seal_aad_into(&origins, block_len, &mut self.aad_scratch);
-                let mut wire = std::mem::take(&mut self.seal_scratch);
-                eag_crypto::seal_message_into(
+                // Gather the plaintext segments straight into the frame that
+                // becomes the wire message: the frame buffer cannot be
+                // recycled (the frozen rope keeps it alive for forwarding,
+                // retransmit logs, and the receiver), so this gather is the
+                // one unavoidable copy of the seal path.
+                let mut wire = Vec::with_capacity(plain_len + WIRE_OVERHEAD);
+                eag_crypto::seal_segments_into(
                     self.gcm,
                     &mut self.nonces,
                     &self.aad_scratch,
-                    &bytes,
+                    bytes.segments(),
                     &mut wire,
                 );
-                // Recycle the consumed plaintext Vec as the next scratch:
-                // after the first message of each size class, encryption
-                // allocates nothing.
-                self.seal_scratch = bytes;
-                Data::Real(wire)
+                eag_rope::probe::count_buffer();
+                eag_rope::probe::count_copied(plain_len);
+                Data::Real(wire.into())
             }
             Data::Phantom(_) => Data::Phantom(plain_len + WIRE_OVERHEAD),
         };
@@ -1253,16 +1271,21 @@ impl<'w> ProcCtx<'w> {
             data,
         } = sealed;
         let data = match data {
-            Data::Real(mut wire) => {
+            Data::Real(rope) => {
                 seal_aad_into(&origins, block_len, &mut self.aad_scratch);
-                if let Err(e) =
-                    eag_crypto::open_message_in_place(self.gcm, &self.aad_scratch, &mut wire)
-                {
-                    self.fail(FailureCause::AuthFailure {
+                // Thaw the frame: free when this rank is the frame's sole
+                // owner (the common case — each seal reaches one decryptor),
+                // a counted copy when a retransmit log or wiretap still
+                // shares the buffer. GCM then decrypts in place and the
+                // plaintext is re-frozen as a slice view — the `drain`
+                // memmove of the old path is gone.
+                let mut wire = rope.into_vec();
+                match eag_crypto::open_frame_in_place(self.gcm, &self.aad_scratch, &mut wire) {
+                    Ok(pt) => Data::Real(eag_rope::Rope::from(wire).slice(pt)),
+                    Err(e) => self.fail(FailureCause::AuthFailure {
                         detail: format!("{e:?}: forged, corrupted, or relabeled ciphertext"),
-                    });
+                    }),
                 }
-                Data::Real(wire)
             }
             Data::Phantom(_) => Data::Phantom(plain_len),
         };
@@ -1394,6 +1417,9 @@ impl<'w> ProcCtx<'w> {
 }
 
 /// Flips one byte of the first real payload in `parcel` (tamper injection).
+/// Copy-on-write: the retransmit log's clone of the same frame shares the
+/// rope's buffers, and a replayed frame must carry the original, pre-fault
+/// bytes — only the corrupted in-flight view may see the flip.
 fn corrupt_parcel(parcel: &mut Parcel) {
     for item in &mut parcel.items {
         let data = match item {
@@ -1403,7 +1429,7 @@ fn corrupt_parcel(parcel: &mut Parcel) {
         if let Data::Real(bytes) = data {
             if !bytes.is_empty() {
                 let mid = bytes.len() / 2;
-                bytes[mid] ^= 0x80;
+                bytes.xor_byte(mid, 0x80);
                 return;
             }
         }
@@ -1560,6 +1586,8 @@ where
                     .name(format!("rank-{rank}"))
                     .stack_size(1 << 20)
                     .spawn_scoped(scope, move || {
+                        // Fresh thread, but make the probe window explicit.
+                        eag_rope::probe::reset();
                         let mut ctx = ProcCtx {
                             rank,
                             topo: &spec_ref.topology,
@@ -1580,7 +1608,6 @@ where
                             nonces: NonceSource::seeded(
                                 seed ^ (rank as u64).wrapping_mul(0x0100_0000_01B3),
                             ),
-                            seal_scratch: Vec::new(),
                             aad_scratch: Vec::new(),
                             nics,
                             fabric: fabric_ref,
@@ -1632,7 +1659,7 @@ where
                                 *slot = Some((
                                     Some(out),
                                     ctx.clock_us,
-                                    ctx.metrics,
+                                    ctx.metrics(),
                                     ctx.trace.take().unwrap_or_default(),
                                 ));
                             }
@@ -1674,7 +1701,7 @@ where
                                 *slot = Some((
                                     None,
                                     ctx.clock_us,
-                                    ctx.metrics,
+                                    ctx.metrics(),
                                     ctx.trace.take().unwrap_or_default(),
                                 ));
                             }

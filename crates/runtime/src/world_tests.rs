@@ -45,7 +45,7 @@ fn simple_exchange_moves_data_and_clock() {
             Vec::new()
         } else {
             let parcel = ctx.recv(0, 1);
-            parcel.items[0].clone().into_plain().data.bytes().to_vec()
+            parcel.items[0].clone().into_plain().data.to_vec()
         }
     });
     assert_eq!(report.outputs[1], crate::payload::pattern_block(1, 0, 10));
@@ -61,11 +61,11 @@ fn simple_exchange_moves_data_and_clock() {
 fn encrypt_decrypt_roundtrip_real_mode() {
     let report = run(&spec(1, 1), |ctx| {
         let chunk = ctx.my_block(100);
-        let expected = chunk.data.bytes().to_vec();
+        let expected = chunk.data.to_vec();
         let sealed = ctx.encrypt(chunk);
         assert_eq!(sealed.wire_len(), 128);
         let back = ctx.decrypt(sealed);
-        (expected, back.data.bytes().to_vec())
+        (expected, back.data.to_vec())
     });
     let (expected, got) = &report.outputs[0];
     assert_eq!(expected, got);
@@ -408,7 +408,7 @@ fn exchange_one(s: &WorldSpec, len: usize) -> RunReport<Vec<u8>> {
             Vec::new()
         } else {
             let parcel = ctx.recv(0, 1);
-            parcel.items[0].clone().into_plain().data.bytes().to_vec()
+            parcel.items[0].clone().into_plain().data.to_vec()
         }
     })
 }
@@ -457,7 +457,7 @@ fn adversarial_tamper_is_caught_by_hop_verification() {
         } else {
             let parcel = ctx.recv(0, 1);
             let chunk = ctx.decrypt(parcel.items[0].clone().into_sealed());
-            chunk.data.bytes().to_vec()
+            chunk.data.to_vec()
         }
     });
     assert_eq!(report.outputs[1], crate::payload::pattern_block(1, 0, 48));
@@ -673,6 +673,60 @@ fn rate_based_chaos_recovers_a_multi_frame_stream() {
     assert_eq!(report.metrics[0].bytes_sent as usize, sent);
     assert_eq!(report.metrics[1].bytes_recv as usize, sent);
     assert_eq!(report.metrics[1].comm_rounds as usize, n);
+}
+
+#[test]
+fn sent_log_clone_is_zero_copy_and_tamper_is_cow() {
+    // The retransmit log stores `parcel.clone()` — with rope payloads that
+    // is a refcount bump, not a deep copy. The tamper flip that follows in
+    // `send()` is copy-on-write, so the logged (pre-fault) frame replayed by
+    // a NACK still carries the original bytes.
+    let wire: Vec<u8> = (0u8..=63).collect();
+    let mut parcel = Parcel::one(Item::Sealed(Sealed {
+        origins: vec![0],
+        block_len: 36,
+        plain_len: 36,
+        data: Data::Real(wire.clone().into()),
+    }));
+    eag_rope::probe::reset();
+    let logged = parcel.clone(); // what send() pushes into the sent_log
+    assert_eq!(
+        eag_rope::probe::snapshot().copied_bytes,
+        0,
+        "logging a frame copied payload bytes"
+    );
+    let before = logged.checksum();
+    corrupt_parcel(&mut parcel);
+    assert_ne!(parcel.checksum(), before, "tamper had no effect");
+    assert_eq!(logged.checksum(), before, "tamper leaked into the log");
+    assert_eq!(logged.items[0].clone().into_sealed().data.to_vec(), wire);
+}
+
+#[test]
+fn slices_of_one_buffer_are_safely_shared_across_threads() {
+    // Rank 0 freezes one buffer, sends two slice views of it to two other
+    // rank threads, and keeps reading the parent rope itself: three threads
+    // observing the same refcounted buffer concurrently.
+    let report = run(&spec(3, 1), |ctx| {
+        if ctx.rank() == 0 {
+            let rope = ctx.my_block(64).data.rope().clone();
+            for (dst, range) in [(1usize, 0..32), (2usize, 32..64)] {
+                let part = Chunk {
+                    origins: vec![0],
+                    block_len: 32,
+                    data: Data::Real(rope.slice(range)),
+                };
+                ctx.send(dst, 1, Parcel::one(Item::Plain(part)));
+            }
+            rope.to_vec()
+        } else {
+            ctx.recv(0, 1).items[0].clone().into_plain().data.to_vec()
+        }
+    });
+    let whole = crate::payload::pattern_block(1, 0, 64);
+    assert_eq!(report.outputs[0], whole);
+    assert_eq!(report.outputs[1], whole[..32]);
+    assert_eq!(report.outputs[2], whole[32..]);
 }
 
 // ----- crash tolerance --------------------------------------------------

@@ -12,7 +12,7 @@ fn arb_chunk(max_origins: usize, block_len: usize) -> impl Strategy<Value = Chun
         Chunk {
             origins,
             block_len,
-            data: Data::Real(data),
+            data: Data::Real(data.into()),
         }
     })
 }

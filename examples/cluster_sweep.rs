@@ -26,6 +26,7 @@ fn main() {
         profile: "noleland".into(),
         reps: 3,
         nic_contention: true,
+        data_seed: None,
     };
 
     println!(

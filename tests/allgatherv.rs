@@ -82,7 +82,7 @@ fn allgatherv_content_is_bit_exact() {
         let out = allgatherv(ctx, Algorithm::CRing, &lens2);
         out.into_blocks()
             .into_iter()
-            .map(|c| c.data.bytes().to_vec())
+            .map(|c| c.data.to_vec())
             .collect::<Vec<_>>()
     });
     for blocks in &report.outputs {

@@ -73,7 +73,7 @@ fn dead_peer_during_collective_fails_with_typed_error_and_phase() {
         allgather(ctx, Algorithm::ORing, 64)
             .into_blocks()
             .into_iter()
-            .flat_map(|b| b.data.bytes().to_vec())
+            .flat_map(|b| b.data.to_vec())
             .collect::<Vec<u8>>()
     })
     .err()

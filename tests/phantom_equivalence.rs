@@ -1,0 +1,91 @@
+//! Phantom-mode equivalence: `Data::Phantom` is a length-only stand-in for
+//! the real rope-backed payloads, so a phantom run must agree with a real
+//! run on every observable length — output block lengths at every rank and
+//! the multiset of wire-frame lengths on every inter-node link. This is
+//! what makes p=1024 phantom simulations trustworthy proxies for the
+//! byte-carrying runs.
+
+use std::collections::BTreeMap;
+
+use eag_core::{allgather, Algorithm};
+use eag_netsim::{profile, Mapping, Topology};
+use eag_runtime::{run, DataMode, WorldSpec};
+
+const SEED: u64 = 0xFA57;
+
+/// Observable shape of one run: per-rank output block lengths, plus the
+/// sorted frame lengths seen on each (src, dst) inter-node link.
+#[derive(Debug, PartialEq, Eq)]
+struct Shape {
+    block_lens: Vec<Vec<usize>>,
+    link_frames: BTreeMap<(usize, usize), Vec<usize>>,
+}
+
+fn shape(algo: Algorithm, p: usize, nodes: usize, m: usize, mode: DataMode) -> Shape {
+    let spec = WorldSpec::new(
+        Topology::new(p, nodes, Mapping::Block),
+        profile::free(),
+        mode,
+    );
+    let report = run(&spec, move |ctx| {
+        allgather(ctx, algo, m)
+            .into_blocks()
+            .iter()
+            .map(|b| b.data.len())
+            .collect::<Vec<usize>>()
+    });
+    let mut link_frames: BTreeMap<(usize, usize), Vec<usize>> = BTreeMap::new();
+    for f in report.wiretap.frames() {
+        link_frames.entry((f.src, f.dst)).or_default().push(f.len);
+    }
+    for lens in link_frames.values_mut() {
+        lens.sort_unstable();
+    }
+    Shape {
+        block_lens: report.outputs,
+        link_frames,
+    }
+}
+
+/// Every algorithm × (p, N) × message size: phantom lengths match the
+/// real-mode rope lengths, block by block and frame by frame.
+#[test]
+fn phantom_lengths_match_real_rope_lengths() {
+    for &algo in Algorithm::all() {
+        for (p, nodes) in [(8usize, 2usize), (16, 4), (12, 3)] {
+            for m in [1usize, 64, 1000] {
+                let phantom = shape(algo, p, nodes, m, DataMode::Phantom);
+                let real = shape(algo, p, nodes, m, DataMode::Real { seed: SEED });
+                assert_eq!(
+                    phantom, real,
+                    "{algo} p={p} N={nodes} m={m}: phantom run diverged from real run"
+                );
+            }
+        }
+    }
+}
+
+/// The equivalence holds for the cyclic mapping too (different ranks are
+/// node-local, so the plain/sealed split of the traffic changes).
+#[test]
+fn phantom_equivalence_cyclic_mapping() {
+    for &algo in Algorithm::all() {
+        let spec =
+            |mode| WorldSpec::new(Topology::new(12, 4, Mapping::Cyclic), profile::free(), mode);
+        let lens = |mode| {
+            run(&spec(mode), |ctx| {
+                allgather(ctx, algo, 96)
+                    .into_blocks()
+                    .iter()
+                    .map(|b| b.data.len())
+                    .collect::<Vec<usize>>()
+            })
+            .outputs
+        };
+        assert_eq!(
+            lens(DataMode::Phantom),
+            lens(DataMode::Real { seed: SEED }),
+            "{algo}: cyclic-mapping phantom lengths diverged"
+        );
+    }
+}

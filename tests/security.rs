@@ -136,7 +136,7 @@ fn tampered_ciphertext_aborts_the_collective() {
             if rank == 0 {
                 let mut sealed = ctx.encrypt(ctx.my_block(64));
                 if let eag_runtime::Data::Real(bytes) = &mut sealed.data {
-                    bytes[20] ^= 0x01; // corrupt the ciphertext body
+                    bytes.xor_byte(20, 0x01); // corrupt the ciphertext body
                 }
                 ctx.send(1, 9, Parcel::one(Item::Sealed(sealed)));
             } else if rank == 1 {
@@ -168,7 +168,8 @@ fn no_nonce_is_reused_for_distinct_ciphertexts() {
             if f.bytes.len() % 60 != 0 {
                 continue; // merged-ciphertext frame; covered by prefix below
             }
-            for item in f.bytes.chunks_exact(60) {
+            let flat = f.bytes.to_vec();
+            for item in flat.chunks_exact(60) {
                 let mut n = [0u8; 12];
                 n.copy_from_slice(&item[..12]);
                 let body = item[12..].to_vec();
@@ -204,10 +205,11 @@ fn nonces_are_unique_across_ranks() {
         for f in report.wiretap.frames() {
             assert!(f.bytes.len() >= 28, "{algo}: frame below GCM framing size");
             frames += 1;
+            let flat = f.bytes.to_vec();
             let mut n = [0u8; 12];
-            n.copy_from_slice(&f.bytes[..12]);
+            n.copy_from_slice(&flat[..12]);
             let mut ct = [0u8; 16];
-            ct.copy_from_slice(&f.bytes[12..28]);
+            ct.copy_from_slice(&flat[12..28]);
             if let Some(prev) = seen.insert(n, ct) {
                 assert_eq!(
                     prev, ct,
@@ -243,7 +245,7 @@ fn every_issued_nonce_is_unique_across_ranks() {
     let mut seen: HashSet<[u8; 12]> = HashSet::new();
     for f in report.wiretap.frames() {
         let mut n = [0u8; 12];
-        n.copy_from_slice(&f.bytes[..12]);
+        n.copy_from_slice(&f.bytes.to_vec()[..12]);
         assert!(seen.insert(n), "a 96-bit nonce was issued twice");
     }
     assert_eq!(seen.len(), 16 * 64, "expected one fresh nonce per seal");
@@ -327,10 +329,11 @@ fn crash_recovery_reseals_with_fresh_nonces() {
             }
             assert!(f.bytes.len() >= 28, "{algo}: frame below GCM framing size");
             cipher_frames += 1;
+            let flat = f.bytes.to_vec();
             let mut n = [0u8; 12];
-            n.copy_from_slice(&f.bytes[..12]);
+            n.copy_from_slice(&flat[..12]);
             let mut ct = [0u8; 16];
-            ct.copy_from_slice(&f.bytes[12..28]);
+            ct.copy_from_slice(&flat[12..28]);
             if let Some(prev) = seen.insert(n, ct) {
                 assert_eq!(
                     prev, ct,

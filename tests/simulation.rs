@@ -67,6 +67,7 @@ fn latency_monotone_in_size() {
         profile: "noleland".into(),
         reps: 1,
         nic_contention: false,
+        data_seed: None,
     };
     for &algo in Algorithm::all() {
         let mut prev = 0.0;
@@ -93,6 +94,7 @@ fn concurrent_family_beats_naive_at_large_sizes() {
         profile: "noleland".into(),
         reps: 1,
         nic_contention: true,
+        data_seed: None,
     };
     let m = 512 * 1024;
     let naive = simulate(&cfg, Algorithm::Naive, m).mean;
@@ -123,6 +125,7 @@ fn round_efficient_algorithms_win_small_messages() {
         profile: "noleland".into(),
         reps: 1,
         nic_contention: true,
+        data_seed: None,
     };
     let m = 4;
     let o_ring = simulate(&cfg, Algorithm::ORing, m).mean;
@@ -145,6 +148,7 @@ fn o_rd2_crossover() {
         profile: "noleland".into(),
         reps: 1,
         nic_contention: false,
+        data_seed: None,
     };
     let small = 4;
     assert!(
@@ -167,6 +171,7 @@ fn hs1_hs2_crossover() {
         profile: "noleland".into(),
         reps: 1,
         nic_contention: false,
+        data_seed: None,
     };
     assert!(simulate(&cfg, Algorithm::Hs1, 1).mean <= simulate(&cfg, Algorithm::Hs2, 1).mean);
     let large = 1024 * 1024;
@@ -185,6 +190,7 @@ fn no_contention_is_deterministic() {
         profile: "bridges2".into(),
         reps: 5,
         nic_contention: false,
+        data_seed: None,
     };
     for algo in [Algorithm::Naive, Algorithm::CRd, Algorithm::Hs1] {
         let s = simulate(&cfg, algo, 4096);
@@ -203,6 +209,7 @@ fn contention_noise_is_bounded() {
         profile: "noleland".into(),
         reps: 5,
         nic_contention: true,
+        data_seed: None,
     };
     for algo in [Algorithm::Mvapich, Algorithm::CRing, Algorithm::Hs2] {
         let s = simulate(&cfg, algo, 64 * 1024);
@@ -226,6 +233,7 @@ fn bridges2_reduced_scale_ranking() {
         profile: "bridges2".into(),
         reps: 1,
         nic_contention: true,
+        data_seed: None,
     };
     let m = 64 * 1024;
     let hs2 = simulate(&cfg, Algorithm::Hs2, m).mean;
@@ -250,6 +258,7 @@ fn recommender_tracks_the_simulated_best() {
         profile: "noleland".into(),
         reps: 1,
         nic_contention: false,
+        data_seed: None,
     };
     let model = cfg.cluster_profile().model;
     for m in [4usize, 1024, 64 * 1024, 1024 * 1024] {

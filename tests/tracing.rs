@@ -135,7 +135,7 @@ fn corruption_is_silent_without_encryption() {
         // ...but at least one delivered block no longer matches its source.
         let mut corrupted = 0;
         for (rank, block) in out.into_blocks().into_iter().enumerate() {
-            if block.data.bytes() != eag_runtime::pattern_block(SEED, rank, 128) {
+            if *block.data.rope() != eag_runtime::pattern_block(SEED, rank, 128) {
                 corrupted += 1;
             }
         }
