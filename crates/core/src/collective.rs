@@ -57,6 +57,8 @@ pub fn ring_allgather_items(
     let mut collected = my_items.clone();
     let mut cur = my_items;
     for step in 0..q.saturating_sub(1) {
+        // Round boundary: a natural scheduling point on a contended world.
+        ctx.yield_now();
         let tag = tag_base + step as u64;
         ctx.send(succ, tag, Parcel { items: cur });
         cur = ctx.recv(pred, tag).items;
@@ -115,6 +117,7 @@ pub fn rd_allgather_items(
 
     let rounds = pow.trailing_zeros();
     for b in 0..rounds {
+        ctx.yield_now();
         let peer = active_member(active_index ^ (1usize << b));
         let tag = tag_base + 1 + b as u64;
         let received = ctx
@@ -159,6 +162,7 @@ pub fn bruck_allgather_items(
     let mut round = 0u64;
     let mut step = 1usize;
     while step < q {
+        ctx.yield_now();
         let cnt = step.min(q - step);
         let dst = members[(k + q - step) % q];
         let src = members[(k + step) % q];

@@ -144,6 +144,9 @@ pub fn hs_v(ctx: &mut ProcCtx, lens: &[usize], variant: HsVariant) -> GatherOutp
         _ => nodes - 1,
     };
     for j in (0..foreign_items).skip(li).step_by(ell) {
+        // Each joint-decryption slice is a compute burst; give waiting
+        // ranks a turn between slices on a contended world.
+        ctx.yield_now();
         let item = ctx.shared_fetch_free(ctx.slot(tags::SLOT_CIPHER_FOREIGN, j));
         let plain = match item {
             Item::Sealed(s) => ctx.decrypt(s),

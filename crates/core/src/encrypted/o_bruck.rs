@@ -113,6 +113,8 @@ pub fn o_bruck_over(
     let mut step = 1usize;
     let mut round = 0u64;
     while step < q {
+        // Round boundary: a natural scheduling point on a contended world.
+        ctx.yield_now();
         let cnt = step.min(q - step);
         let dst = members[(k + q - step) % q];
         let src = members[(k + step) % q];

@@ -173,6 +173,8 @@ pub fn o_rd_over(
     };
 
     for b in 0..pow.trailing_zeros() {
+        // Round boundary: a natural scheduling point on a contended world.
+        ctx.yield_now();
         let peer = active_member(active_index ^ (1usize << b));
         let tag = tag_base + 1 + b as u64;
         let link = ctx.topology().link(me, peer);

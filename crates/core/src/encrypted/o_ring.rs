@@ -44,6 +44,8 @@ pub fn o_ring_over(
     let link = ctx.topology().link(ctx.rank(), succ);
 
     for step in 0..q.saturating_sub(1) {
+        // Round boundary: a natural scheduling point on a contended world.
+        ctx.yield_now();
         let tag = tag_base + step as u64;
         // `cur` is rebuilt from the arrival below, so the match can consume
         // it: the sealed plaintext's buffer is recycled by the rank's

@@ -51,6 +51,14 @@ pub enum FailureCause {
         /// The rank that died.
         rank: Rank,
     },
+    /// A rank left the world without producing an output or raising any
+    /// failure of its own — the runner found its result slot empty at
+    /// collection time. This should be unreachable through the public
+    /// runners; it replaces what used to be an opaque expect-panic.
+    SilentExit {
+        /// The rank whose output is missing.
+        rank: Rank,
+    },
 }
 
 impl std::fmt::Display for FailureCause {
@@ -76,6 +84,9 @@ impl std::fmt::Display for FailureCause {
             }
             FailureCause::Crash { rank } => {
                 write!(f, "peer rank {rank} crashed mid-collective")
+            }
+            FailureCause::SilentExit { rank } => {
+                write!(f, "rank {rank} exited without producing an output")
             }
         }
     }

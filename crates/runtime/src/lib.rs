@@ -3,10 +3,13 @@
 //! The paper's algorithms run inside an MPI library on a multi-node cluster.
 //! This crate provides the equivalent substrate for a single machine:
 //!
-//! - each MPI **process** is an OS thread with a [`world::ProcCtx`];
-//! - **nodes** are groups of threads; rank→node placement follows the
+//! - each MPI **process** is a rank state machine with a
+//!   [`world::ProcCtx`], driven by the event-driven [`sched`] scheduler
+//!   (a fixed pool of run permits; parked ranks wake on message arrival,
+//!   world events, or timer expiry);
+//! - **nodes** are groups of ranks; rank→node placement follows the
 //!   topology's block or cyclic mapping;
-//! - point-to-point messaging is tag-matched over channels;
+//! - point-to-point messaging is tag-matched over per-rank mailboxes;
 //! - **intra-node shared memory** (the HS1/HS2 buffers) is a per-node
 //!   deposit/fetch segment with a clock-synchronizing barrier;
 //! - every action advances a per-process **virtual clock** priced by the
@@ -49,6 +52,7 @@
 pub mod error;
 pub mod metrics;
 pub mod payload;
+pub mod sched;
 pub mod shared;
 pub mod trace;
 pub mod world;

@@ -374,7 +374,7 @@ impl Parcel {
     /// bytes are folded eight at a time (with a distinct-per-position tail)
     /// so that stamping and verifying cost ~1/8th of a byte-at-a-time FNV —
     /// this digest runs twice per frame on the chaos hot path. Rope payloads
-    /// are digested segment by segment ([`mix_rope`]); the value depends
+    /// are digested segment by segment (`mix_rope`); the value depends
     /// only on the logical bytes, never on segmentation.
     pub fn checksum(&self) -> u64 {
         let mut h = mix(

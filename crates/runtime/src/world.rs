@@ -1,6 +1,15 @@
-//! The process world: spawns one thread per MPI-style rank and gives each a
+//! The process world: runs one state machine per MPI-style rank on the
+//! event-driven [`crate::sched::Scheduler`] and gives each a
 //! [`ProcCtx`] with point-to-point messaging, shared memory, crypto, and a
 //! virtual clock priced by the cost model.
+//!
+//! Each rank's state machine keeps its stack on a (cheap, almost always
+//! parked) OS thread, but whether it *runs* is a scheduler decision: at
+//! most [`WorldSpec::workers`] ranks execute concurrently, messages land
+//! in per-rank mailboxes, and a rank with nothing to do parks until mail,
+//! a world event (departure, abort, poison), or its earliest timer wakes
+//! it. No rank ever spins a poll loop, which is what lets real-mode
+//! worlds of p=256–1024 run on one machine.
 //!
 //! # Reliable transport (chaos mode)
 //!
@@ -28,8 +37,9 @@
 //! A [`FaultPlan`] may additionally carry a seeded [`eag_netsim::Crash`]
 //! event that kills one rank's thread at a chosen send step. The world does
 //! not treat this as a poisoning panic: the runner records the death (a
-//! *crash notice* for soft crashes, or nothing for hard crashes, which
-//! survivors must suspect via heartbeat staleness), wakes any same-node
+//! *crash notice* for soft crashes, or only a silent scheduler departure
+//! for hard crashes, which survivors suspect after a grace period —
+//! see [`WorldSpec::suspect_after`]), wakes any same-node
 //! sibling blocked on the shared segment, and keeps the world alive. A
 //! receive blocked on a dead peer resolves through the failure detector
 //! with a recoverable `Crash { rank }` cause instead of waiting out its
@@ -44,9 +54,9 @@
 use crate::error::{CollectiveError, FailureCause};
 use crate::metrics::Metrics;
 use crate::payload::{Chunk, Data, Item, Parcel, Sealed};
+use crate::sched::{Departure, Scheduler};
 use crate::shared::{NodeShared, SlotKey};
 use crate::trace::{Event, EventKind, Trace};
-use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
 use eag_crypto::{AesGcm128, Key, NonceSource, WIRE_OVERHEAD};
 use eag_netsim::fabric::FabricState;
 use eag_netsim::nic::NodeNic;
@@ -128,14 +138,21 @@ pub struct WorldSpec {
     /// (dead peers are still detected and fail fast). Also bounds the
     /// post-collective linger of each rank in chaos mode.
     pub recv_timeout: Option<Duration>,
-    /// Heartbeat staleness threshold of the failure detector: a peer whose
-    /// heartbeat is older than this (wall clock) is suspected crashed.
-    /// Needed only to detect *hard* crashes, which leave no exit notice;
-    /// soft crashes are detected immediately from the runner's notice.
-    /// `None` (the default) disables heartbeat suspicion — pick a threshold
-    /// comfortably above the scheduler noise of the host when enabling it,
-    /// or a merely slow rank gets declared dead.
+    /// Grace period of the failure detector for *hard* crashes, which
+    /// leave no exit notice: a peer that departed the scheduler without
+    /// finishing and has stayed silent this long is suspected crashed.
+    /// Soft crashes are detected immediately from the runner's notice.
+    /// Suspicion keys off the scheduler's departure records, never off
+    /// wall-clock thread liveness, so a rank that is merely busy or
+    /// descheduled (an oversubscribed world) cannot be falsely suspected
+    /// however small the threshold. `None` (the default) disables
+    /// suspicion.
     pub suspect_after: Option<Duration>,
+    /// Width of the scheduler's worker gate: how many rank state machines
+    /// may run concurrently. Parked and blocked ranks cost no worker.
+    /// `None` (the default) sizes the gate to the host's available
+    /// parallelism (floor 4).
+    pub workers: Option<usize>,
 }
 
 impl WorldSpec {
@@ -152,6 +169,7 @@ impl WorldSpec {
             retry: RetryPolicy::default(),
             recv_timeout: Some(Duration::from_secs(300)),
             suspect_after: None,
+            workers: None,
         }
     }
 }
@@ -210,9 +228,6 @@ enum Wire {
     /// "I have nothing logged for `tag`" — the NACKed sender will never
     /// produce the frame; lets the receiver fail fast with `DeadPeer`.
     NackMiss { tag: u64 },
-    /// Broadcast by the last rank to finish its closure (chaos mode): wakes
-    /// lingering ranks immediately instead of on their next poll tick.
-    Finished,
     /// The sender panicked; unwind.
     Poison,
 }
@@ -243,8 +258,9 @@ pub struct ProcCtx<'w> {
     mode: DataMode,
     clock_us: f64,
     metrics: Metrics,
-    senders: &'w [Sender<Message>],
-    rx: Receiver<Message>,
+    sched: &'w Scheduler<Message>,
+    /// Reused drain buffer for mailbox batches (allocation-free receives).
+    inbox_scratch: Vec<Message>,
     /// Accepted, in-order frames awaiting a matching `recv`, with their
     /// virtual arrival times.
     pending: HashMap<(Rank, u64), VecDeque<(Parcel, f64)>>,
@@ -295,9 +311,6 @@ pub struct ProcCtx<'w> {
     /// First crashed rank + 1 (0 = none). Lets a receive that fails because
     /// its peer *aborted* attribute the failure to the actual crash.
     crash_notice: &'w AtomicUsize,
-    /// Wall-clock heartbeat of each rank, in ms since `world_start`.
-    heartbeats: &'w [AtomicU64],
-    world_start: Instant,
     suspect_after: Option<Duration>,
     /// Count of this rank's peer-bound send steps (the crash trigger).
     send_steps: u64,
@@ -412,19 +425,11 @@ impl<'w> ProcCtx<'w> {
         tag | (self.epoch << EPOCH_SHIFT)
     }
 
-    /// Publishes this rank's liveness for the heartbeat failure detector.
-    fn beat(&self) {
-        self.heartbeats[self.rank].store(
-            self.world_start.elapsed().as_millis() as u64,
-            Ordering::SeqCst,
-        );
-    }
-
     /// Failure-detector verdict for the peer a receive is blocked on:
     /// `Some(rank)` when the peer can never satisfy the receive because
-    /// `rank` crashed — the peer itself (crash notice or stale heartbeat),
-    /// or, for attempt-scoped receives from a peer that abandoned the
-    /// attempt, the crash that triggered the abandonment.
+    /// `rank` crashed — the peer itself (crash notice or suspected silent
+    /// departure), or, for attempt-scoped receives from a peer that
+    /// abandoned the attempt, the crash that triggered the abandonment.
     fn peer_dead(&self, src: Rank) -> Option<Rank> {
         if src == self.rank {
             return None;
@@ -436,24 +441,42 @@ impl<'w> ProcCtx<'w> {
             let notice = self.crash_notice.load(Ordering::SeqCst);
             return Some(if notice > 0 { notice - 1 } else { src });
         }
+        // Hard crashes leave no notice, but the scheduler still records the
+        // departure (the runner observes every exit — the simulation
+        // analogue of a node's OS seeing the process die). Suspicion means
+        // "departed without finishing and stayed silent past the grace
+        // period". A live rank that is merely busy or descheduled has not
+        // departed and therefore can never be suspected, no matter how
+        // oversubscribed the world.
         if let Some(limit) = self.suspect_after {
             if self.chaos && !self.finished[src].load(Ordering::SeqCst) {
-                let now_ms = self.world_start.elapsed().as_millis() as u64;
-                let hb = self.heartbeats[src].load(Ordering::SeqCst);
-                if now_ms.saturating_sub(hb) > limit.as_millis() as u64 {
-                    // Publish the suspicion so cascade aborts triggered by
-                    // it attribute their failure to this rank.
-                    let _ = self.crash_notice.compare_exchange(
-                        0,
-                        src + 1,
-                        Ordering::SeqCst,
-                        Ordering::SeqCst,
-                    );
-                    return Some(src);
+                if let Some(at) = self.sched.hard_departed_at(src) {
+                    if at.elapsed() >= limit {
+                        // Publish the suspicion so cascade aborts triggered
+                        // by it attribute their failure to this rank.
+                        let _ = self.crash_notice.compare_exchange(
+                            0,
+                            src + 1,
+                            Ordering::SeqCst,
+                            Ordering::SeqCst,
+                        );
+                        return Some(src);
+                    }
                 }
             }
         }
         None
+    }
+
+    /// The instant at which [`Self::peer_dead`] will start suspecting
+    /// `src`, if a suspicion clock is running — a park deadline, so the
+    /// detector fires on time instead of on the next unrelated wake.
+    fn suspect_deadline(&self, src: Rank) -> Option<Instant> {
+        let limit = self.suspect_after?;
+        if !self.chaos || src == self.rank || self.finished[src].load(Ordering::SeqCst) {
+            return None;
+        }
+        self.sched.hard_departed_at(src).map(|at| at + limit)
     }
 
     /// Kills this rank's thread per the fault plan's crash event. The
@@ -482,6 +505,9 @@ impl<'w> ProcCtx<'w> {
         self.attempt_active = false;
         if !completed {
             self.aborted[self.rank].store(true, Ordering::SeqCst);
+            // Peers parked on a receive from this rank must re-examine the
+            // abort flag now, not on their next timer.
+            self.sched.world_event();
             // Same-node siblings may be blocked in a barrier or on a shared
             // deposit this abandoned attempt will never serve. Fail our
             // node's segment over to the crash that triggered the
@@ -583,9 +609,6 @@ impl<'w> ProcCtx<'w> {
                 }
             }
             self.send_steps += 1;
-            if self.chaos {
-                self.beat();
-            }
         }
         // Frames held back by an earlier Reorder injection are released
         // after this send's delivery — i.e. genuinely overtaken by it.
@@ -696,20 +719,19 @@ impl<'w> ProcCtx<'w> {
             }
             Some(FaultKind::Duplicate) => {
                 let msg = data(arrive_us, parcel);
-                let _ = self.senders[dst].send(msg.clone());
-                let _ = self.senders[dst].send(msg);
+                self.sched.send(dst, msg.clone());
+                self.sched.send(dst, msg);
             }
             Some(FaultKind::Delay) => {
-                let msg = data(arrive_us + self.faults.delay_us, parcel);
-                let _ = self.senders[dst].send(msg);
+                self.sched
+                    .send(dst, data(arrive_us + self.faults.delay_us, parcel));
             }
             Some(FaultKind::Tamper) | None => {
-                let msg = data(arrive_us, parcel);
-                let _ = self.senders[dst].send(msg);
+                self.sched.send(dst, data(arrive_us, parcel));
             }
         }
         for (d, m) in held {
-            let _ = self.senders[d].send(m);
+            self.sched.send(d, m);
         }
         if crash_after_send {
             self.die();
@@ -797,61 +819,54 @@ impl<'w> ProcCtx<'w> {
     /// Releases any frames held back by Reorder injections.
     fn flush_limbo(&mut self) {
         for (dst, msg) in std::mem::take(&mut self.reorder_limbo) {
-            let _ = self.senders[dst].send(msg);
+            self.sched.send(dst, msg);
         }
     }
 
-    /// The blocking receive loop: admits channel traffic, issues NACK-based
+    /// Drains this rank's mailbox and admits every message. `want` routes
+    /// `NackMiss` into the caller's dead-peer detection.
+    fn drain_inbox(&mut self, want: (Rank, u64), peer_missed: &mut bool) {
+        let mut scratch = std::mem::take(&mut self.inbox_scratch);
+        self.sched.drain_into(self.rank, &mut scratch);
+        for msg in scratch.drain(..) {
+            self.admit(msg, want, peer_missed);
+        }
+        self.inbox_scratch = scratch;
+    }
+
+    /// The blocking receive loop: admits mailbox traffic, issues NACK-based
     /// recovery rounds (chaos mode), enforces the absolute wall-clock
     /// watchdog, and detects dead and crashed peers. Takes a *wire* tag;
     /// returns the accepted frame and its virtual arrival time, or the
     /// failure cause (with the logical tag restored).
+    ///
+    /// Fully event-driven: between checks the rank parks in the scheduler
+    /// (returning its run permit) until mail arrives, a world event fires,
+    /// or the earliest of its timers — watchdog, retry round, suspicion —
+    /// expires. There is no poll tick; every condition checked below has a
+    /// wake source (flag publishers raise world events, timers become park
+    /// deadlines).
     fn wait_for(&mut self, src: Rank, tag: u64) -> Result<(Parcel, f64), FailureCause> {
         self.flush_limbo();
         if let Some(got) = self.take_ready(src, tag) {
             return Ok(got);
         }
         let started = Instant::now();
-        // The watchdog limit is an absolute deadline for this receive, not a
-        // per-poll allowance: unrelated traffic draining through the channel
-        // must not keep pushing the timeout out indefinitely.
+        // The watchdog limit is an absolute deadline for this receive, not
+        // a per-wake allowance: unrelated traffic draining through the
+        // mailbox must not keep pushing the timeout out indefinitely.
         let watchdog = self.recv_timeout.map(|limit| started + limit);
         let mut attempt: u32 = 0;
-        let mut attempt_deadline = self
-            .chaos
-            .then(|| Instant::now() + self.retry.attempt_timeout);
-        let poll = if self.chaos {
-            Duration::from_millis(5)
-        } else {
-            Duration::from_millis(50)
-        };
+        let mut attempt_deadline = self.chaos.then(|| started + self.retry.attempt_timeout);
         let mut peer_missed = false;
         loop {
-            if self.chaos {
-                self.beat();
-            }
-            let now = Instant::now();
-            let mut wake = now + poll;
-            if let Some(w) = watchdog {
-                wake = wake.min(w);
-            }
-            if let Some(a) = attempt_deadline {
-                wake = wake.min(a);
-            }
-            match self.rx.recv_timeout(wake.saturating_duration_since(now)) {
-                Ok(msg) => {
-                    self.admit(msg, (src, tag), &mut peer_missed);
-                    if let Some(got) = self.take_ready(src, tag) {
-                        return Ok(got);
-                    }
-                    // Fall through: the deadline checks below must run on
-                    // every iteration, or a flood of unrelated messages
-                    // would starve the absolute watchdog.
-                }
-                Err(RecvTimeoutError::Timeout) => {}
-                Err(RecvTimeoutError::Disconnected) => {
-                    panic!("all peers disconnected while receiving")
-                }
+            // Snapshot the event generation *before* reading any world
+            // state: an event raised during the checks below aborts the
+            // park instead of being lost.
+            let gen = self.sched.generation();
+            self.drain_inbox((src, tag), &mut peer_missed);
+            if let Some(got) = self.take_ready(src, tag) {
+                return Ok(got);
             }
             let now = Instant::now();
             if let Some(w) = watchdog {
@@ -883,11 +898,14 @@ impl<'w> ProcCtx<'w> {
                         tag: logical_tag(tag),
                         attempt,
                     });
-                    let _ = self.senders[src].send(Message {
-                        src: self.rank,
-                        arrive_us: 0.0,
-                        wire: Wire::Nack { tag, seq: from_seq },
-                    });
+                    self.sched.send(
+                        src,
+                        Message {
+                            src: self.rank,
+                            arrive_us: 0.0,
+                            wire: Wire::Nack { tag, seq: from_seq },
+                        },
+                    );
                     attempt_deadline = Some(
                         now + self
                             .retry
@@ -897,12 +915,10 @@ impl<'w> ProcCtx<'w> {
                 }
             }
             if self.finished[src].load(Ordering::SeqCst) {
-                // The peer exited; drain anything it left in our channel.
-                while let Ok(msg) = self.rx.try_recv() {
-                    self.admit(msg, (src, tag), &mut peer_missed);
-                    if let Some(got) = self.take_ready(src, tag) {
-                        return Ok(got);
-                    }
+                // The peer exited; drain anything it left in our mailbox.
+                self.drain_inbox((src, tag), &mut peer_missed);
+                if let Some(got) = self.take_ready(src, tag) {
+                    return Ok(got);
                 }
                 // Outside chaos mode a finished peer can never send again.
                 // Inside it, a lingering peer may still replay logged
@@ -918,14 +934,12 @@ impl<'w> ProcCtx<'w> {
             }
             if let Some(dead) = self.peer_dead(src) {
                 // Failure detector: the peer will never send this frame.
-                // Everything a rank sends is pushed into our channel before
+                // Everything a rank sends is pushed into our mailbox before
                 // its thread can unwind (and before it publishes an attempt
                 // abort), so after a drain an absent frame is *permanently*
                 // absent — resolve the receive now instead of waiting out
                 // the watchdog.
-                while let Ok(msg) = self.rx.try_recv() {
-                    self.admit(msg, (src, tag), &mut peer_missed);
-                }
+                self.drain_inbox((src, tag), &mut peer_missed);
                 if let Some(got) = self.take_ready(src, tag) {
                     return Ok(got);
                 }
@@ -933,6 +947,14 @@ impl<'w> ProcCtx<'w> {
                 self.record_marker(EventKind::Crash { rank: dead });
                 return Err(FailureCause::Crash { rank: dead });
             }
+            let mut wake = watchdog;
+            if let Some(a) = attempt_deadline {
+                wake = Some(wake.map_or(a, |w| w.min(a)));
+            }
+            if let Some(s) = self.suspect_deadline(src) {
+                wake = Some(wake.map_or(s, |w| w.min(s)));
+            }
+            self.sched.park(self.rank, wake, gen);
         }
     }
 
@@ -944,10 +966,6 @@ impl<'w> ProcCtx<'w> {
         let src = msg.src;
         match msg.wire {
             Wire::Poison => panic!("rank {src} panicked; propagating"),
-            // A `Finished` wake-up can only race a receive when the sender
-            // completed the whole closure; the blocked receive will resolve
-            // via the frames it already sent (or dead-peer detection).
-            Wire::Finished => {}
             Wire::Nack { tag, seq } => self.service_nack(src, tag, seq),
             Wire::NackMiss { tag } => {
                 if (src, tag) == want {
@@ -990,14 +1008,17 @@ impl<'w> ProcCtx<'w> {
                         tag: logical_tag(tag),
                         attempt: 0,
                     });
-                    let _ = self.senders[src].send(Message {
-                        src: self.rank,
-                        arrive_us: 0.0,
-                        wire: Wire::Nack {
-                            tag,
-                            seq: expected0,
+                    self.sched.send(
+                        src,
+                        Message {
+                            src: self.rank,
+                            arrive_us: 0.0,
+                            wire: Wire::Nack {
+                                tag,
+                                seq: expected0,
+                            },
                         },
-                    });
+                    );
                     return;
                 }
                 if seq == expected0 {
@@ -1027,14 +1048,17 @@ impl<'w> ProcCtx<'w> {
                                 tag: logical_tag(tag),
                                 attempt: 0,
                             });
-                            let _ = self.senders[src].send(Message {
-                                src: self.rank,
-                                arrive_us: 0.0,
-                                wire: Wire::Nack {
-                                    tag,
-                                    seq: expected0,
+                            self.sched.send(
+                                src,
+                                Message {
+                                    src: self.rank,
+                                    arrive_us: 0.0,
+                                    wire: Wire::Nack {
+                                        tag,
+                                        seq: expected0,
+                                    },
                                 },
-                            });
+                            );
                         }
                     }
                 }
@@ -1102,11 +1126,14 @@ impl<'w> ProcCtx<'w> {
             // DeadPeer the moment we finish, instead of re-asking the
             // lingering log. Stay silent; the receiver's backoff re-asks.
             if self.finished[self.rank].load(Ordering::SeqCst) {
-                let _ = self.senders[from].send(Message {
-                    src: self.rank,
-                    arrive_us: 0.0,
-                    wire: Wire::NackMiss { tag },
-                });
+                self.sched.send(
+                    from,
+                    Message {
+                        src: self.rank,
+                        arrive_us: 0.0,
+                        wire: Wire::NackMiss { tag },
+                    },
+                );
             }
             return;
         }
@@ -1159,39 +1186,52 @@ impl<'w> ProcCtx<'w> {
                 // the receiver's dedup does not already absorb.
                 Some(FaultKind::Duplicate) | Some(FaultKind::Reorder) | None => {}
             }
-            let _ = self.senders[from].send(Message {
-                src: self.rank,
-                arrive_us,
-                wire: Wire::Data {
-                    tag,
-                    seq,
-                    checksum,
-                    parcel,
+            self.sched.send(
+                from,
+                Message {
+                    src: self.rank,
+                    arrive_us,
+                    wire: Wire::Data {
+                        tag,
+                        seq,
+                        checksum,
+                        parcel,
+                    },
                 },
-            });
+            );
         }
     }
 
     /// Post-collective service loop (chaos mode): a finished rank keeps
     /// answering NACKs until every rank has departed (finished or
     /// crashed), so a peer recovering a lost frame never finds its sender
-    /// gone. Bounded by the world's `recv_timeout` (default 300 s).
+    /// gone. Parked between requests — each departure raises a world event,
+    /// so the loop blocks on the spec's actual `recv_timeout` deadline
+    /// (`None` = unbounded) instead of spinning a short poll.
     fn linger(&mut self) {
-        let deadline = Instant::now() + self.recv_timeout.unwrap_or(Duration::from_secs(300));
-        while self.departed_count.load(Ordering::SeqCst) < self.p() {
-            self.beat();
-            if Instant::now() >= deadline {
-                break;
-            }
-            match self.rx.recv_timeout(Duration::from_millis(2)) {
-                Ok(msg) => match msg.wire {
-                    Wire::Poison | Wire::Finished => break,
+        let deadline = self.recv_timeout.map(|limit| Instant::now() + limit);
+        loop {
+            let gen = self.sched.generation();
+            let mut scratch = std::mem::take(&mut self.inbox_scratch);
+            self.sched.drain_into(self.rank, &mut scratch);
+            let mut poisoned = false;
+            for msg in scratch.drain(..) {
+                match msg.wire {
+                    Wire::Poison => poisoned = true,
                     Wire::Nack { tag, seq } => self.service_nack(msg.src, tag, seq),
                     Wire::Data { .. } | Wire::NackMiss { .. } => {}
-                },
-                Err(RecvTimeoutError::Timeout) => {}
-                Err(RecvTimeoutError::Disconnected) => break,
+                }
             }
+            self.inbox_scratch = scratch;
+            if poisoned || self.departed_count.load(Ordering::SeqCst) >= self.p() {
+                return;
+            }
+            if let Some(d) = deadline {
+                if Instant::now() >= d {
+                    return;
+                }
+            }
+            self.sched.park(self.rank, deadline, gen);
         }
     }
 
@@ -1321,7 +1361,10 @@ impl<'w> ProcCtx<'w> {
     /// Fetches the item in `key` from this node's shared segment, charging a
     /// memory copy and waiting (in virtual time) for the deposit.
     pub fn shared_fetch(&mut self, key: SlotKey) -> Item {
-        let (item, ready_us) = match self.shared[self.node()].fetch(key) {
+        let seg = &self.shared[self.node()];
+        // The segment blocks on its own condvar; give the run permit back
+        // for the duration so waiters never hold a worker hostage.
+        let (item, ready_us) = match self.sched.blocking(|| seg.fetch(key)) {
             Ok(got) => got,
             Err(dead) => self.shared_crash(dead),
         };
@@ -1337,7 +1380,8 @@ impl<'w> ProcCtx<'w> {
     /// value instead of raising the structured failure — recovery code uses
     /// this to fail over instead of unwinding.
     pub fn try_shared_fetch(&mut self, key: SlotKey) -> Result<Item, FailureCause> {
-        match self.shared[self.node()].fetch(key) {
+        let seg = &self.shared[self.node()];
+        match self.sched.blocking(|| seg.fetch(key)) {
             Ok((item, ready_us)) => {
                 self.clock_us = self.clock_us.max(ready_us);
                 let bytes = item.wire_len();
@@ -1361,7 +1405,8 @@ impl<'w> ProcCtx<'w> {
     /// place (e.g. encrypting or decrypting straight out of it). Still waits
     /// (in virtual time) for the deposit to complete.
     pub fn shared_fetch_free(&mut self, key: SlotKey) -> Item {
-        let (item, ready_us) = match self.shared[self.node()].fetch(key) {
+        let seg = &self.shared[self.node()];
+        let (item, ready_us) = match self.sched.blocking(|| seg.fetch(key)) {
             Ok(got) => got,
             Err(dead) => self.shared_crash(dead),
         };
@@ -1407,12 +1452,26 @@ impl<'w> ProcCtx<'w> {
     /// on this node.
     pub fn node_barrier(&mut self) {
         let t0 = self.clock_us;
-        self.clock_us = match self.shared[self.node()].barrier(self.clock_us, self.model.barrier_us)
-        {
+        let seg = &self.shared[self.node()];
+        let clock_us = self.clock_us;
+        let barrier_us = self.model.barrier_us;
+        // Barrier waiters block on the segment's condvar; hand the run
+        // permit back so ℓ-1 waiting siblings never exhaust the worker
+        // gate and starve the one rank that would complete the barrier.
+        self.clock_us = match self.sched.blocking(|| seg.barrier(clock_us, barrier_us)) {
             Ok(release) => release,
             Err(dead) => self.shared_crash(dead),
         };
         self.record(t0, EventKind::Barrier);
+    }
+
+    /// Cooperative scheduling point at an algorithm step boundary: if other
+    /// ranks are waiting for a run permit, hands this rank's permit over
+    /// and re-acquires it; a no-op (one mutex probe) on an uncontended
+    /// world. Purely a wall-clock fairness device — the virtual clock and
+    /// the cost model are untouched.
+    pub fn yield_now(&mut self) {
+        self.sched.yield_now(self.rank);
     }
 }
 
@@ -1508,12 +1567,38 @@ impl<T> CrashReport<T> {
     }
 }
 
-/// Shared engine behind [`run`] and [`run_crashable`]: spawns one thread per
-/// rank, runs `f` on each, and collects per-rank slots. A rank killed by an
-/// injected [`Crash`](eag_netsim::Crash) leaves a `None` output (its crash
-/// is published to survivors instead of poisoning the world); any other
-/// panic is broadcast as poison and re-raised, preferring a structured
-/// [`CollectiveError`] over secondary string panics.
+/// Derives the per-rank RNG seed from the world seed: splitmix64's
+/// finalizer over the rank-salted seed. A full-avalanche bijection with no
+/// identity point — the previous `seed ^ rank·FNV` left rank 0's nonce
+/// stream seeded with the raw world seed, correlating it with every other
+/// consumer of that seed.
+fn mix_rank_seed(seed: u64, rank: Rank) -> u64 {
+    let mut z = seed ^ (rank as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Worker-gate width for a spec: the explicit override, or the host's
+/// available parallelism (floor 4, so tiny CI machines still overlap the
+/// handful of ranks that block in wall-clock sleeps inside tests).
+fn gate_width(spec: &WorldSpec) -> usize {
+    spec.workers.unwrap_or_else(|| {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(4)
+            .max(4)
+    })
+}
+
+/// Shared engine behind [`run`] and [`run_crashable`]: runs one rank state
+/// machine per rank on the scheduler (stacks on parked OS threads, at most
+/// [`WorldSpec::workers`] running at once) and collects per-rank slots. A
+/// rank killed by an injected [`Crash`](eag_netsim::Crash) leaves a `None`
+/// output (its crash is published to survivors instead of poisoning the
+/// world); any other panic is broadcast as poison and re-raised, preferring
+/// a structured [`CollectiveError`] over secondary string panics.
 #[allow(clippy::type_complexity)]
 fn run_world<T, F>(spec: &WorldSpec, f: F) -> (Vec<(Option<T>, f64, Metrics, Trace)>, Arc<Wiretap>)
 where
@@ -1525,13 +1610,7 @@ where
     let model = &spec.profile.model;
     let chaos = spec.faults.enabled();
 
-    let mut senders = Vec::with_capacity(p);
-    let mut receivers = Vec::with_capacity(p);
-    for _ in 0..p {
-        let (tx, rx) = unbounded();
-        senders.push(tx);
-        receivers.push(Some(rx));
-    }
+    let sched: Scheduler<Message> = Scheduler::new(p, gate_width(spec));
 
     let seed = match spec.mode {
         DataMode::Real { seed } => seed,
@@ -1554,15 +1633,13 @@ where
     let finished: Vec<AtomicBool> = (0..p).map(|_| AtomicBool::new(false)).collect();
     let crashed: Vec<AtomicBool> = (0..p).map(|_| AtomicBool::new(false)).collect();
     let aborted: Vec<AtomicBool> = (0..p).map(|_| AtomicBool::new(false)).collect();
-    let heartbeats: Vec<AtomicU64> = (0..p).map(|_| AtomicU64::new(0)).collect();
     let crash_notice = AtomicUsize::new(0);
     let departed_count = AtomicUsize::new(0);
-    let world_start = Instant::now();
 
     let mut slots: Vec<Option<(Option<T>, f64, Metrics, Trace)>> = (0..p).map(|_| None).collect();
 
     {
-        let senders = &senders;
+        let sched_ref = &sched;
         let nics = &nics;
         let fabric_ref = fabric.as_ref();
         let shared = &shared;
@@ -1573,15 +1650,13 @@ where
         let finished_ref = &finished[..];
         let crashed_ref = &crashed[..];
         let aborted_ref = &aborted[..];
-        let heartbeats_ref = &heartbeats[..];
         let crash_notice_ref = &crash_notice;
         let departed_count_ref = &departed_count;
         let gcm_ref = &gcm;
 
         std::thread::scope(|scope| {
             let mut handles = Vec::with_capacity(p);
-            for (rank, (rx, slot)) in receivers.iter_mut().zip(slots.iter_mut()).enumerate() {
-                let rx = rx.take().expect("receiver already taken");
+            for (rank, slot) in slots.iter_mut().enumerate() {
                 let handle = std::thread::Builder::new()
                     .name(format!("rank-{rank}"))
                     .stack_size(1 << 20)
@@ -1596,8 +1671,8 @@ where
                             mode: spec_ref.mode,
                             clock_us: 0.0,
                             metrics: Metrics::default(),
-                            senders,
-                            rx,
+                            sched: sched_ref,
+                            inbox_scratch: Vec::new(),
                             pending: HashMap::new(),
                             next_seq: HashMap::new(),
                             expected: HashMap::new(),
@@ -1605,9 +1680,7 @@ where
                             sent_log: HashMap::new(),
                             reorder_limbo: Vec::new(),
                             gcm: gcm_ref,
-                            nonces: NonceSource::seeded(
-                                seed ^ (rank as u64).wrapping_mul(0x0100_0000_01B3),
-                            ),
+                            nonces: NonceSource::seeded(mix_rank_seed(seed, rank)),
                             aad_scratch: Vec::new(),
                             nics,
                             fabric: fabric_ref,
@@ -1628,29 +1701,23 @@ where
                             crashed: crashed_ref,
                             aborted: aborted_ref,
                             crash_notice: crash_notice_ref,
-                            heartbeats: heartbeats_ref,
-                            world_start,
                             suspect_after: spec_ref.suspect_after,
                             send_steps: 0,
                             attempt_active: false,
                         };
+                        // The state machine runs only while it holds a run
+                        // permit; parks and blocking waits hand it back.
+                        sched_ref.enter();
                         let result = catch_unwind(AssertUnwindSafe(|| f(&mut ctx)));
                         match result {
                             Ok(out) => {
                                 ctx.flush_limbo();
                                 finished_ref[rank].store(true, Ordering::SeqCst);
-                                let done = departed_count_ref.fetch_add(1, Ordering::SeqCst) + 1;
-                                if chaos && done == p {
-                                    // Last one out: wake the lingering ranks
-                                    // so they exit now, not on a poll tick.
-                                    for tx in senders.iter() {
-                                        let _ = tx.send(Message {
-                                            src: rank,
-                                            arrive_us: 0.0,
-                                            wire: Wire::Finished,
-                                        });
-                                    }
-                                }
+                                departed_count_ref.fetch_add(1, Ordering::SeqCst);
+                                // The departure event wakes every parked
+                                // rank: receivers re-check `finished`,
+                                // lingerers re-count departures.
+                                sched_ref.depart(rank, Departure::Finished);
                                 if ctx.chaos {
                                     // Stay to answer late NACKs until every
                                     // rank is done.
@@ -1688,16 +1755,19 @@ where
                                 // Even a hard crash is visible to the node's
                                 // OS: wake same-node shared-segment waiters.
                                 shared[spec_ref.topology.node_of(rank)].crash_abort(rank);
-                                let done = departed_count_ref.fetch_add(1, Ordering::SeqCst) + 1;
-                                if chaos && done == p {
-                                    for tx in senders.iter() {
-                                        let _ = tx.send(Message {
-                                            src: rank,
-                                            arrive_us: 0.0,
-                                            wire: Wire::Finished,
-                                        });
-                                    }
-                                }
+                                departed_count_ref.fetch_add(1, Ordering::SeqCst);
+                                // Hard crashes depart *silently*: the record
+                                // below is all survivors ever get, and the
+                                // failure detector suspects it only after
+                                // the spec's grace period.
+                                sched_ref.depart(
+                                    rank,
+                                    if hard {
+                                        Departure::HardCrash
+                                    } else {
+                                        Departure::SoftCrash
+                                    },
+                                );
                                 *slot = Some((
                                     None,
                                     ctx.clock_us,
@@ -1710,16 +1780,22 @@ where
                                 for seg in shared.iter() {
                                     seg.poison();
                                 }
-                                for tx in senders.iter() {
-                                    let _ = tx.send(Message {
-                                        src: rank,
-                                        arrive_us: 0.0,
-                                        wire: Wire::Poison,
-                                    });
+                                for dst in 0..p {
+                                    sched_ref.send(
+                                        dst,
+                                        Message {
+                                            src: rank,
+                                            arrive_us: 0.0,
+                                            wire: Wire::Poison,
+                                        },
+                                    );
                                 }
+                                sched_ref.depart(rank, Departure::Poisoned);
+                                sched_ref.exit();
                                 resume_unwind(payload);
                             }
                         }
+                        sched_ref.exit();
                     })
                     .expect("failed to spawn rank thread");
                 handles.push(handle);
@@ -1745,12 +1821,23 @@ where
 
     let collected = slots
         .into_iter()
-        .map(|slot| slot.expect("rank produced no output"))
+        .enumerate()
+        .map(|(rank, slot)| match slot {
+            Some(filled) => filled,
+            // A rank exited without writing its slot (and without raising
+            // any panic the join loop would have re-thrown). Surface it as
+            // a typed failure instead of an opaque expect-panic.
+            None => panic_any(CollectiveError {
+                rank,
+                phase: "collect",
+                cause: FailureCause::SilentExit { rank },
+            }),
+        })
         .collect();
     (collected, wiretap)
 }
 
-/// Spawns one thread per rank, runs `f` on each, and collects the report.
+/// Runs `f` on every rank of the world and collects the report.
 ///
 /// A panic on any rank is broadcast to all ranks (poisoning channels and
 /// shared segments) so the world shuts down instead of deadlocking, and the
@@ -1769,11 +1856,18 @@ where
     let mut clocks_us = Vec::with_capacity(slots.len());
     let mut metrics = Vec::with_capacity(slots.len());
     let mut traces = Vec::with_capacity(slots.len());
-    for (out, clock, m, trace) in slots {
-        outputs.push(out.expect(
-            "rank crashed without a crash-tolerant runner; \
-             use run_crashable for worlds with an injected Crash",
-        ));
+    for (rank, (out, clock, m, trace)) in slots.into_iter().enumerate() {
+        // A crashed rank under the non-crash-tolerant runner is a typed
+        // failure, not an expect-panic: `try_run` surfaces it as a value,
+        // and worlds that anticipate crashes should use `run_crashable`.
+        let out = out.unwrap_or_else(|| {
+            panic_any(CollectiveError {
+                rank,
+                phase: "collect",
+                cause: FailureCause::Crash { rank },
+            })
+        });
+        outputs.push(out);
         clocks_us.push(clock);
         metrics.push(m);
         traces.push(trace);

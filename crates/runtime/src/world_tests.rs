@@ -369,6 +369,7 @@ fn nic_contention_serializes_when_enabled() {
         retry: RetryPolicy::default(),
         recv_timeout: Some(Duration::from_secs(300)),
         suspect_after: None,
+        workers: None,
     };
     let report = run(&spec, |ctx| match ctx.rank() {
         0 | 1 => {
@@ -806,8 +807,9 @@ fn crash_after_send_delivers_the_final_frame_first() {
 }
 
 #[test]
-fn hard_crash_is_suspected_via_heartbeat_staleness() {
-    // A hard crash leaves no notice: only the heartbeat detector fires.
+fn hard_crash_is_suspected_after_silent_departure() {
+    // A hard crash leaves no notice: survivors learn of it only from the
+    // scheduler's departure record, suspected after the grace period.
     let mut s = crash_spec(Crash::before(0, 0).hard());
     s.suspect_after = Some(Duration::from_millis(100));
     let t0 = Instant::now();
@@ -821,7 +823,7 @@ fn hard_crash_is_suspected_via_heartbeat_staleness() {
     });
     assert!(
         t0.elapsed() < Duration::from_secs(30),
-        "heartbeat suspicion took {:?}",
+        "silent-departure suspicion took {:?}",
         t0.elapsed()
     );
     assert_eq!(report.crashed, vec![0]);
@@ -830,6 +832,99 @@ fn hard_crash_is_suspected_via_heartbeat_staleness() {
         got.expect("closure ran on rank 1").unwrap_err(),
         FailureCause::Crash { rank: 0 }
     );
+}
+
+#[test]
+fn busy_rank_is_never_suspected_however_small_the_threshold() {
+    // Regression: the old detector compared wall-clock heartbeat
+    // timestamps, so a rank that was merely busy (or descheduled in an
+    // oversubscribed world) for longer than `suspect_after` was falsely
+    // declared crashed. Suspicion now requires a scheduler *departure*; a
+    // live rank that never parks and never beats anything must still be
+    // waited for, even under an absurdly small threshold.
+    let mut s = spec(2, 2);
+    s.faults = FaultPlan {
+        armed: true,
+        ..FaultPlan::default()
+    };
+    s.retry = fast_retry();
+    s.suspect_after = Some(Duration::from_millis(1));
+    let report = run(&s, |ctx| {
+        if ctx.rank() == 0 {
+            // Busy, silent, live — for 50x the suspicion threshold.
+            std::thread::sleep(Duration::from_millis(50));
+            ctx.send(1, 7, Parcel::one(Item::Plain(ctx.my_block(16))));
+            0
+        } else {
+            ctx.recv(0, 7).payload_len()
+        }
+    });
+    assert_eq!(report.outputs, vec![0, 16]);
+    assert_eq!(
+        report.metrics[1].crashes_detected, 0,
+        "live busy rank was falsely suspected"
+    );
+}
+
+#[test]
+fn crash_under_plain_run_surfaces_a_typed_error() {
+    // Regression: `run` on a crash-injected world used to die on an opaque
+    // `expect("rank produced no output")`-style panic; it must raise a
+    // typed `CollectiveError` that `try_run` surfaces as a value.
+    let s = crash_spec(Crash::before(0, 0));
+    let err = unwrap_err(
+        try_run(&s, |ctx| {
+            if ctx.rank() == 0 {
+                ctx.send(1, 7, Parcel::one(Item::Plain(ctx.my_block(16))));
+                0
+            } else {
+                ctx.try_recv(0, 7).map(|p| p.payload_len()).unwrap_or(0)
+            }
+        }),
+        "plain run of a crashed world must fail",
+    );
+    assert_eq!(err.cause, FailureCause::Crash { rank: 0 });
+    assert_eq!(err.phase, "collect");
+}
+
+#[test]
+fn rank_seeds_are_distinct_and_never_the_raw_world_seed() {
+    // Regression: `seed ^ (rank * FNV)` is the identity for rank 0, so
+    // rank 0's nonce RNG was seeded with the raw world seed.
+    for seed in [0u64, 1, 0xFA57, u64::MAX] {
+        let mut seen = std::collections::HashSet::new();
+        for rank in 0..1024 {
+            let mixed = mix_rank_seed(seed, rank);
+            assert_ne!(mixed, seed, "rank {rank} reuses the world seed {seed}");
+            assert!(seen.insert(mixed), "rank {rank} collides at seed {seed}");
+        }
+    }
+}
+
+#[test]
+fn single_worker_world_interleaves_cooperatively() {
+    // Deterministic interleaving: with a one-permit gate, only one rank
+    // runs at a time and every park/yield hands the permit over. A full
+    // ring exchange must still complete (no lost wakeups, no permit leaks).
+    let mut s = spec(4, 2);
+    s.workers = Some(1);
+    let report = run(&s, |ctx| {
+        let p = ctx.p();
+        let me = ctx.rank();
+        let mut seen = 0usize;
+        for round in 0..p - 1 {
+            ctx.yield_now();
+            let parcel = ctx.sendrecv(
+                (me + 1) % p,
+                (me + p - 1) % p,
+                round as u64,
+                Parcel::one(Item::Plain(ctx.my_block(8))),
+            );
+            seen += parcel.payload_len();
+        }
+        seen
+    });
+    assert_eq!(report.outputs, vec![24; 4]);
 }
 
 #[test]

@@ -65,6 +65,22 @@ fn phantom_lengths_match_real_rope_lengths() {
     }
 }
 
+/// The scheduler's headline payoff: a byte-carrying real-mode world at
+/// p=256 on one machine, checked against its phantom twin. Log-round
+/// algorithms keep the round count at ⌈lg 256⌉ = 8 so the cell stays cheap
+/// under default `cargo test` settings.
+#[test]
+fn phantom_equivalence_real_mode_p256() {
+    for algo in [Algorithm::OBruck, Algorithm::ORd] {
+        let phantom = shape(algo, 256, 8, 64, DataMode::Phantom);
+        let real = shape(algo, 256, 8, 64, DataMode::Real { seed: SEED });
+        assert_eq!(
+            phantom, real,
+            "{algo} p=256 N=8 m=64: phantom run diverged from real run"
+        );
+    }
+}
+
 /// The equivalence holds for the cyclic mapping too (different ranks are
 /// node-local, so the plain/sealed split of the traffic changes).
 #[test]
