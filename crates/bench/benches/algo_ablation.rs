@@ -24,6 +24,7 @@ fn cfg(mapping: Mapping, contention: bool) -> SimConfig {
         reps: 3,
         nic_contention: contention,
         data_seed: None,
+        suite: eag_runtime::CipherSuite::AesGcm128,
     }
 }
 

@@ -2,7 +2,8 @@
 //!
 //! ```text
 //! eag run        --algo HS2 --p 128 --nodes 8 --size 4KB [--mapping cyclic]
-//!                [--profile bridges2] [--real] [--trace] [--json out.json]
+//!                [--profile bridges2] [--cipher aes-gcm-siv] [--real]
+//!                [--trace] [--json out.json]
 //! eag sweep      --p 128 --nodes 8 [--mapping block] [--profile noleland]
 //!                [--sizes 1B,1KB,64KB,1MB]
 //! eag bench      [--json BENCH_noleland.json] [--probe]
@@ -18,7 +19,7 @@ use eag_bench::tables::{best_scheme_table, render_best_scheme_table};
 use eag_bench::SimConfig;
 use eag_core::{allgather, Algorithm};
 use eag_netsim::{profile, Mapping, Topology};
-use eag_runtime::{pattern_block, run, DataMode, WorldSpec};
+use eag_runtime::{pattern_block, run, CipherSuite, DataMode, WorldSpec};
 use std::collections::HashMap;
 use std::process::ExitCode;
 
@@ -61,7 +62,8 @@ eag — encrypted all-gather simulator and benchmark CLI
 commands:
   run        simulate one algorithm once (--algo, --p, --nodes, --size;
              optional --mapping block|cyclic, --profile, --real, --trace,
-             --chrome-trace out.json)
+             --chrome-trace out.json, --cipher
+             aes-gcm|aes-gcm-siv|chacha20-poly1305)
   sweep      best-scheme table across sizes (--p, --nodes; optional
              --mapping, --profile, --sizes 1B,1KB,…, --csv out.csv)
   bench      run the fixed deterministic smoke suite (latency entries plus
@@ -77,9 +79,10 @@ commands:
   recommend  model-driven algorithm pick (--p, --nodes, --size)
   audit      wiretap security audit of all encrypted algorithms
              (--p, --nodes; optional --size)
-  calibrate  measure THIS machine's crypto/memcpy speeds, fit Hockney
-             constants, and compare algorithms under the fitted profile
-             (optional --base noleland|bridges2, --p, --nodes)
+  calibrate  measure THIS machine's crypto/memcpy speeds for every AEAD
+             backend, fit per-suite Hockney constants, and compare
+             algorithms under each fitted profile (optional --base
+             noleland|bridges2, --p, --nodes)
   list       list all algorithms";
 
 struct Options {
@@ -138,6 +141,16 @@ impl Options {
         self.flags.contains_key(name)
     }
 
+    /// Parses --cipher (default aes-gcm).
+    fn cipher(&self) -> Result<CipherSuite, String> {
+        match self.flags.get("cipher") {
+            None => Ok(CipherSuite::AesGcm128),
+            Some(v) => CipherSuite::by_name(v).ok_or_else(|| {
+                format!("--cipher: {v:?} (use aes-gcm|aes-gcm-siv|chacha20-poly1305)")
+            }),
+        }
+    }
+
     fn f64_of(&self, name: &str, default: f64) -> Result<f64, String> {
         match self.flags.get(name) {
             None => Ok(default),
@@ -183,6 +196,7 @@ fn cmd_run(opts: &Options) -> Result<(), String> {
             DataMode::Phantom
         },
     );
+    spec.suite = opts.cipher()?;
     spec.trace = opts.bool_of("trace");
     spec.capture_wire = opts.bool_of("real");
 
@@ -191,10 +205,11 @@ fn cmd_run(opts: &Options) -> Result<(), String> {
     });
 
     println!(
-        "{} | p={p} N={nodes} {mapping} | {} blocks | profile {}",
+        "{} | p={p} N={nodes} {mapping} | {} blocks | profile {} | cipher {}",
         algo.name(),
         size_label(m),
-        opts.profile_name()
+        opts.profile_name(),
+        spec.suite
     );
     println!("latency: {:.2} µs", report.latency_us);
     let mx = report.max_metrics();
@@ -235,6 +250,7 @@ fn cmd_run(opts: &Options) -> Result<(), String> {
                 reps: opts.usize_of("reps", 3)?,
                 nic_contention: spec.nic_contention,
                 data_seed: None,
+                suite: spec.suite,
             },
             algo,
             msg_bytes: m,
@@ -269,18 +285,24 @@ fn write_report(report: &eag_bench::BenchReport, path: &str) -> Result<(), Strin
 fn cmd_bench(opts: &Options) -> Result<(), String> {
     let mut report = eag_bench::report::run_smoke_suite();
     if opts.bool_of("probe") {
-        let points =
-            eag_crypto::probe::probe_throughput(&eag_crypto::probe::DEFAULT_PROBE_SIZES, 0.05);
-        report = report.with_crypto(eag_bench::report::CryptoProbe {
-            points: points
+        let mut points = Vec::new();
+        for suite in CipherSuite::ALL {
+            points.extend(
+                eag_crypto::probe::probe_throughput_suite(
+                    suite,
+                    &eag_crypto::probe::DEFAULT_PROBE_SIZES,
+                    0.05,
+                )
                 .iter()
                 .map(|p| eag_bench::report::CryptoProbePoint {
+                    cipher_suite: suite.name().to_string(),
                     msg_bytes: p.msg_bytes as u64,
                     seal_mb_per_s: p.seal_mb_per_s,
                     open_mb_per_s: p.open_mb_per_s,
-                })
-                .collect(),
-        });
+                }),
+            );
+        }
+        report = report.with_crypto(eag_bench::report::CryptoProbe { points });
     }
     let path = opts.flags.get("json").map(String::as_str).unwrap_or("-");
     write_report(&report, path)
@@ -363,6 +385,7 @@ fn cmd_sweep(opts: &Options) -> Result<(), String> {
         reps: 3,
         nic_contention: true,
         data_seed: None,
+        suite: eag_runtime::CipherSuite::AesGcm128,
     };
     let sizes: Vec<usize> = match opts.flags.get("sizes") {
         None => vec![1, 64, 1024, 8 * 1024, 64 * 1024, 1024 * 1024],
@@ -454,76 +477,106 @@ fn cmd_calibrate(opts: &Options) -> Result<(), String> {
         .cloned()
         .unwrap_or_else(|| "noleland".to_string());
     let (p, nodes) = opts.shape(32, 4)?;
-    println!("measuring local AES-128-GCM and memcpy costs…");
-    let cal = eag_bench::calibrate::calibrate_local(&base)
-        .ok_or_else(|| format!("unknown base profile {base:?}"))?;
 
-    let model = &cal.profile.model;
-    println!(
-        "
-fitted constants ({}):",
-        cal.profile.name
-    );
-    println!(
-        "  encrypt : {:.3} µs + m / {:.0} MB/s",
-        model.crypto.enc_alpha_us, model.crypto.enc_bandwidth
-    );
-    println!(
-        "  decrypt : {:.3} µs + m / {:.0} MB/s",
-        model.crypto.dec_alpha_us, model.crypto.dec_bandwidth
-    );
-    println!(
-        "  memcpy  : {:.3} µs + m / {:.0} MB/s",
-        model.copy_alpha_us, model.copy_bandwidth
-    );
-    println!(
-        "
-measured seal throughput:"
-    );
-    for s in &cal.seal {
+    // Calibrate every AEAD backend: per-suite Hockney fits feed per-suite
+    // profiles, so the algorithm comparison below answers "which collective
+    // wins under *this* cipher on *this* machine".
+    let mut cals = Vec::new();
+    for suite in CipherSuite::ALL {
+        println!("measuring local {suite} and memcpy costs…");
+        let cal = eag_bench::calibrate::calibrate_local_suite(&base, suite)
+            .ok_or_else(|| format!("unknown base profile {base:?}"))?;
+        cals.push(cal);
+    }
+
+    for cal in &cals {
+        let model = &cal.profile.model;
         println!(
-            "  {:>8}  {:>9.0} MB/s",
-            size_label(s.bytes),
-            s.bytes as f64 / s.secs_per_op / 1e6
+            "
+fitted constants ({}):",
+            cal.profile.name
+        );
+        println!(
+            "  encrypt : {:.3} µs + m / {:.0} MB/s",
+            model.crypto.enc_alpha_us, model.crypto.enc_bandwidth
+        );
+        println!(
+            "  decrypt : {:.3} µs + m / {:.0} MB/s",
+            model.crypto.dec_alpha_us, model.crypto.dec_bandwidth
+        );
+        println!(
+            "  memcpy  : {:.3} µs + m / {:.0} MB/s",
+            model.copy_alpha_us, model.copy_bandwidth
         );
     }
 
+    // Per-size seal throughput side by side, with the winning backend —
+    // the measured backend-crossover table.
     println!(
         "
-algorithm comparison under the fitted profile (p={p}, N={nodes}):"
+measured seal throughput (MB/s):"
     );
-    println!(
-        "{:>8} {:>14} {:>12} {:>12}",
-        "size", "MPI (µs)", "Naive", "best"
-    );
-    for m in [1024usize, 64 * 1024, 1024 * 1024] {
-        let latency = |algo: Algorithm| {
-            let spec = WorldSpec::new(
-                Topology::new(p, nodes, Mapping::Block),
-                cal.profile.clone(),
-                DataMode::Phantom,
-            );
-            run(&spec, move |ctx| {
-                allgather(ctx, algo, m).verify(0);
-            })
-            .latency_us
-        };
-        let mpi = latency(Algorithm::Mvapich);
-        let naive = latency(Algorithm::Naive);
-        let (best, best_t) = Algorithm::encrypted_all()
-            .iter()
-            .filter(|&&a| a != Algorithm::Naive)
-            .map(|&a| (a, latency(a)))
-            .min_by(|a, b| a.1.total_cmp(&b.1))
-            .unwrap();
+    print!("{:>8}", "size");
+    for cal in &cals {
+        print!(" {:>18}", cal.suite.name());
+    }
+    println!(" {:>18}", "fastest");
+    for (i, s) in cals[0].seal.iter().enumerate() {
+        print!("{:>8}", size_label(s.bytes));
+        let mut best: Option<(&str, f64)> = None;
+        for cal in &cals {
+            let sample = &cal.seal[i];
+            let mbps = sample.bytes as f64 / sample.secs_per_op / 1e6;
+            print!(" {mbps:>18.0}");
+            if best.is_none_or(|(_, b)| mbps > b) {
+                best = Some((cal.suite.name(), mbps));
+            }
+        }
+        println!(" {:>18}", best.expect("at least one suite").0);
+    }
+
+    // Algorithm crossover under each suite's fitted profile: where the
+    // encrypted schemes overtake the MPI baseline depends on the cipher's
+    // αe/βe, so the table is per backend.
+    for cal in &cals {
         println!(
-            "{:>8} {:>14.2} {:>+11.1}% {:>+11.1}% ({})",
-            size_label(m),
-            mpi,
-            (naive / mpi - 1.0) * 100.0,
-            (best_t / mpi - 1.0) * 100.0,
-            best
+            "
+algorithm comparison under {} (p={p}, N={nodes}):",
+            cal.profile.name
         );
+        println!(
+            "{:>8} {:>14} {:>12} {:>12}",
+            "size", "MPI (µs)", "Naive", "best"
+        );
+        for m in [1024usize, 64 * 1024, 1024 * 1024] {
+            let latency = |algo: Algorithm| {
+                let spec = WorldSpec::new(
+                    Topology::new(p, nodes, Mapping::Block),
+                    cal.profile.clone(),
+                    DataMode::Phantom,
+                );
+                run(&spec, move |ctx| {
+                    allgather(ctx, algo, m).verify(0);
+                })
+                .latency_us
+            };
+            let mpi = latency(Algorithm::Mvapich);
+            let naive = latency(Algorithm::Naive);
+            let (best, best_t) = Algorithm::encrypted_all()
+                .iter()
+                .filter(|&&a| a != Algorithm::Naive)
+                .map(|&a| (a, latency(a)))
+                .min_by(|a, b| a.1.total_cmp(&b.1))
+                .unwrap();
+            println!(
+                "{:>8} {:>14.2} {:>+11.1}% {:>+11.1}% ({})",
+                size_label(m),
+                mpi,
+                (naive / mpi - 1.0) * 100.0,
+                (best_t / mpi - 1.0) * 100.0,
+                best
+            );
+        }
     }
     Ok(())
 }

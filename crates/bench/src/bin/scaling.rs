@@ -29,6 +29,7 @@ fn main() {
             reps: 2,
             nic_contention: true,
             data_seed: None,
+            suite: eag_runtime::CipherSuite::AesGcm128,
         };
         let mpi = simulate(&cfg, Algorithm::Mvapich, m);
         let pct = |algo| format!("{:+.1}%", simulate(&cfg, algo, m).overhead_pct(&mpi));

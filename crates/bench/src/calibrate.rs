@@ -6,9 +6,12 @@
 //!
 //! This is exactly the measurement behind the paper's Figure 1, turned into
 //! a reusable tool: `eag calibrate` prints the fitted constants and the
-//! sweep can run on them.
+//! sweep can run on them. Calibration is per cipher suite —
+//! [`calibrate_local_suite`] fits each backend's own αe/βe so the simulator
+//! can answer "which algorithm wins *under this AEAD on this machine*",
+//! not just under the paper's AES-GCM numbers.
 
-use eag_crypto::{AesGcm128, Key, Nonce};
+use eag_crypto::{CipherSuite, Key, Nonce};
 use eag_netsim::{profile, ClusterProfile};
 use std::time::Instant;
 
@@ -61,17 +64,25 @@ fn time_op(mut op: impl FnMut(), per_op_budget: f64) -> f64 {
     start.elapsed().as_secs_f64() / iters as f64
 }
 
-/// Measures AES-128-GCM seal cost across `sizes` on this machine.
+/// Measures the default AES-128-GCM seal cost across `sizes`.
 pub fn measure_seal(sizes: &[usize]) -> Vec<Sample> {
-    let gcm = AesGcm128::new(&Key::from_bytes([0x5Au8; 16]));
+    measure_seal_suite(CipherSuite::AesGcm128, sizes)
+}
+
+/// Measures one suite's seal cost across `sizes` on this machine.
+pub fn measure_seal_suite(suite: CipherSuite, sizes: &[usize]) -> Vec<Sample> {
+    let aead = suite.aead_for_key(&Key::from_bytes([0x5Au8; 16]));
     let nonce = Nonce::from_bytes([3u8; 12]);
     sizes
         .iter()
         .map(|&bytes| {
-            let data = vec![0xC3u8; bytes];
+            let mut data = vec![0xC3u8; bytes];
+            // Sealing in place re-encrypts the previous ciphertext each
+            // iteration; AEAD cost is content-independent, so the timing
+            // stands.
             let secs = time_op(
                 || {
-                    std::hint::black_box(gcm.seal(&nonce, b"", &data));
+                    std::hint::black_box(aead.seal_in_place_detached(&nonce, b"", &mut data));
                 },
                 0.02,
             );
@@ -83,17 +94,30 @@ pub fn measure_seal(sizes: &[usize]) -> Vec<Sample> {
         .collect()
 }
 
-/// Measures AES-128-GCM open cost across `sizes` on this machine.
+/// Measures the default AES-128-GCM open cost across `sizes`.
 pub fn measure_open(sizes: &[usize]) -> Vec<Sample> {
-    let gcm = AesGcm128::new(&Key::from_bytes([0x5Au8; 16]));
+    measure_open_suite(CipherSuite::AesGcm128, sizes)
+}
+
+/// Measures one suite's open cost across `sizes` on this machine. Each
+/// timed operation restores the ciphertext and opens it in place (opening
+/// consumes the buffer), mirroring what a receiving rank actually does
+/// with an arrived frame.
+pub fn measure_open_suite(suite: CipherSuite, sizes: &[usize]) -> Vec<Sample> {
+    let aead = suite.aead_for_key(&Key::from_bytes([0x5Au8; 16]));
     let nonce = Nonce::from_bytes([3u8; 12]);
     sizes
         .iter()
         .map(|&bytes| {
-            let sealed = gcm.seal(&nonce, b"", &vec![0xC3u8; bytes]);
+            let mut ciphertext = vec![0xC3u8; bytes];
+            let tag = aead.seal_in_place_detached(&nonce, b"", &mut ciphertext);
+            let mut scratch = vec![0u8; bytes];
             let secs = time_op(
                 || {
-                    std::hint::black_box(gcm.open(&nonce, b"", &sealed).unwrap());
+                    scratch.copy_from_slice(&ciphertext);
+                    aead.open_in_place_detached(&nonce, b"", &mut scratch, &tag)
+                        .expect("frame is authentic");
+                    std::hint::black_box(&scratch);
                 },
                 0.02,
             );
@@ -144,8 +168,11 @@ pub fn calibration_sizes() -> Vec<usize> {
 /// measured on this machine. Returns the profile plus the raw samples for
 /// reporting.
 pub struct Calibration {
-    /// The resulting profile (named `<base>-local`).
+    /// The resulting profile (named `<base>-local` for the default AES-GCM
+    /// suite, `<base>-local-<suite>` otherwise).
     pub profile: ClusterProfile,
+    /// The cipher suite the crypto terms were measured under.
+    pub suite: CipherSuite,
     /// Seal measurements.
     pub seal: Vec<Sample>,
     /// Open measurements.
@@ -154,19 +181,31 @@ pub struct Calibration {
     pub memcpy: Vec<Sample>,
 }
 
-/// Runs the full calibration against a named base profile.
+/// Runs the full calibration against a named base profile under the
+/// default AES-GCM suite (profile named `<base>-local`).
 pub fn calibrate_local(base: &str) -> Option<Calibration> {
+    calibrate_local_suite(base, CipherSuite::AesGcm128)
+}
+
+/// Runs the full calibration against a named base profile with the crypto
+/// terms measured under `suite`. The fitted profile keeps the historical
+/// `<base>-local` name for AES-GCM and is named `<base>-local-<suite>` for
+/// the other suites, so per-suite profiles can coexist in one report.
+pub fn calibrate_local_suite(base: &str, suite: CipherSuite) -> Option<Calibration> {
     let mut prof = profile::by_name(base)?;
     let sizes = calibration_sizes();
-    let seal = measure_seal(&sizes);
-    let open = measure_open(&sizes);
+    let seal = measure_seal_suite(suite, &sizes);
+    let open = measure_open_suite(suite, &sizes);
     let memcpy = measure_memcpy(&sizes);
 
     let (enc_alpha, enc_bw) = fit_hockney(&seal);
     let (dec_alpha, dec_bw) = fit_hockney(&open);
     let (copy_alpha, copy_bw) = fit_hockney(&memcpy);
 
-    prof.name = format!("{base}-local");
+    prof.name = match suite {
+        CipherSuite::AesGcm128 => format!("{base}-local"),
+        other => format!("{base}-local-{other}"),
+    };
     prof.model.crypto.enc_alpha_us = enc_alpha;
     prof.model.crypto.enc_bandwidth = enc_bw;
     prof.model.crypto.dec_alpha_us = dec_alpha;
@@ -176,6 +215,7 @@ pub fn calibrate_local(base: &str) -> Option<Calibration> {
 
     Some(Calibration {
         profile: prof,
+        suite,
         seal,
         open,
         memcpy,
@@ -233,11 +273,28 @@ mod tests {
     fn calibrate_produces_usable_profile() {
         let cal = calibrate_local("noleland").expect("base exists");
         assert_eq!(cal.profile.name, "noleland-local");
+        assert_eq!(cal.suite, CipherSuite::AesGcm128);
         let m = &cal.profile.model;
         assert!(m.crypto.enc_bandwidth > 0.0 && m.crypto.enc_bandwidth.is_finite());
         assert!(m.copy_bandwidth > 0.0);
         // Network terms inherited from the base.
         assert_eq!(m.inter.bandwidth, profile::noleland().model.inter.bandwidth);
+    }
+
+    #[test]
+    fn per_suite_calibrations_get_distinct_profile_names() {
+        // Tiny grids keep this test fast; the fit only needs two sizes.
+        for suite in CipherSuite::ALL {
+            let seal = measure_seal_suite(suite, &[256, 4096]);
+            assert_eq!(seal.len(), 2);
+            assert!(seal.iter().all(|s| s.secs_per_op > 0.0), "{suite}");
+            let open = measure_open_suite(suite, &[256, 4096]);
+            assert!(open.iter().all(|s| s.secs_per_op > 0.0), "{suite}");
+        }
+        let cal =
+            calibrate_local_suite("noleland", CipherSuite::ChaCha20Poly1305).expect("base exists");
+        assert_eq!(cal.profile.name, "noleland-local-chacha20-poly1305");
+        assert_eq!(cal.suite, CipherSuite::ChaCha20Poly1305);
     }
 
     #[test]

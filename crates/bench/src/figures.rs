@@ -307,6 +307,7 @@ mod tests {
             reps: 1,
             nic_contention: true,
             data_seed: None,
+            suite: eag_runtime::CipherSuite::AesGcm128,
         }
     }
 

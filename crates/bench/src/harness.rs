@@ -4,7 +4,7 @@
 use crate::stats::Stats;
 use eag_core::{allgather, recover_allgather, Algorithm};
 use eag_netsim::{profile, ClusterProfile, Crash, FaultPlan, Mapping, Topology};
-use eag_runtime::{run, run_crashable, DataMode, RetryPolicy, WorldSpec};
+use eag_runtime::{run, run_crashable, CipherSuite, DataMode, RetryPolicy, WorldSpec};
 use std::time::Duration;
 
 /// One simulated cluster configuration.
@@ -26,10 +26,15 @@ pub struct SimConfig {
     pub nic_contention: bool,
     /// Data-pattern seed for real-payload runs. `None` runs phantom mode
     /// (length-only payloads, the default for latency cells); `Some(seed)`
-    /// runs real AES-GCM over seeded pattern blocks, which also arms the
+    /// runs real AEAD over seeded pattern blocks, which also arms the
     /// data-plane copy probe (`memcpy_bytes`/`buf_allocs`) — phantom runs
     /// move no payload bytes, so their probe reading is trivially zero.
     pub data_seed: Option<u64>,
+    /// The AEAD cipher suite ranks seal under (performed in real mode,
+    /// priced in phantom mode). Virtual latencies are suite-invariant —
+    /// the cost model charges by byte count, and the 28-byte framing is
+    /// shared — so only real-mode cells distinguish suites in reports.
+    pub suite: CipherSuite,
 }
 
 impl SimConfig {
@@ -43,6 +48,7 @@ impl SimConfig {
             reps: 3,
             nic_contention: true,
             data_seed: None,
+            suite: CipherSuite::AesGcm128,
         }
     }
 
@@ -56,6 +62,7 @@ impl SimConfig {
             reps: 3,
             nic_contention: true,
             data_seed: None,
+            suite: CipherSuite::AesGcm128,
         }
     }
 
@@ -69,6 +76,7 @@ impl SimConfig {
             reps: 2,
             nic_contention: true,
             data_seed: None,
+            suite: CipherSuite::AesGcm128,
         }
     }
 
@@ -89,6 +97,7 @@ impl SimConfig {
             mode,
         );
         spec.nic_contention = self.nic_contention;
+        spec.suite = self.suite;
         spec
     }
 }
@@ -173,6 +182,7 @@ fn recovery_spec(cfg: &SimConfig, crash: Option<Crash>) -> WorldSpec {
         },
     );
     spec.nic_contention = false;
+    spec.suite = cfg.suite;
     if let Some(c) = crash {
         spec.faults = FaultPlan {
             crash: Some(c),
@@ -253,6 +263,7 @@ mod tests {
             reps: 2,
             nic_contention: true,
             data_seed: None,
+            suite: CipherSuite::AesGcm128,
         }
     }
 

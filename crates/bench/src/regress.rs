@@ -396,6 +396,7 @@ mod tests {
             reps: 3,
             nic_contention: false,
             data_seed: None,
+            suite: eag_runtime::CipherSuite::AesGcm128,
         };
         run_suite(
             "unit",
@@ -425,6 +426,7 @@ mod tests {
             reps: 1,
             nic_contention: false,
             data_seed: None,
+            suite: eag_runtime::CipherSuite::AesGcm128,
         };
         run_suite_with_recovery(
             "unit",

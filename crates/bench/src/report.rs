@@ -19,13 +19,13 @@ use crate::harness::{simulate_recovery, simulate_samples, SimConfig};
 use crate::stats::Stats;
 use eag_core::Algorithm;
 use eag_netsim::Mapping;
-use eag_runtime::Metrics;
+use eag_runtime::{CipherSuite, Metrics};
 use serde::{Deserialize, Serialize};
 
 /// Version of the JSON schema emitted by [`BenchReport`]. Bump on any
 /// breaking change to the field layout; [`BenchReport::from_json`] rejects
 /// mismatched versions instead of misreading them.
-pub const SCHEMA_VERSION: u64 = 3;
+pub const SCHEMA_VERSION: u64 = 4;
 
 /// A complete benchmark report: one entry per (algorithm, configuration,
 /// message size) plus optional wall-clock crypto throughput.
@@ -80,6 +80,10 @@ pub struct BenchEntry {
     /// cells. Part of the entry's identity: the same (algorithm, p, nodes,
     /// mapping, msg_bytes) point exists in both modes.
     pub data_seed: Option<u64>,
+    /// AEAD cipher suite the cell ran under, by canonical name
+    /// (`CipherSuite::name`). Part of the entry's identity: real-payload
+    /// smoke cells exist per suite at the same configuration point.
+    pub cipher_suite: String,
     /// Data-plane allocation/copy probe (real-payload cells only — phantom
     /// runs move no payload bytes, so the probe would read zero).
     pub copy_probe: Option<CopyProbe>,
@@ -215,17 +219,19 @@ pub struct RecoveryEntry {
     pub survivors: u64,
 }
 
-/// Wall-clock AES-GCM throughput measured on this machine via the fused
-/// seal/open path in `eag-crypto`.
+/// Wall-clock AEAD throughput measured on this machine via the in-place
+/// seal/open paths in `eag-crypto`, one point per (suite, message size).
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct CryptoProbe {
-    /// One point per probed message size.
+    /// One point per probed (cipher suite, message size) pair.
     pub points: Vec<CryptoProbePoint>,
 }
 
-/// Throughput at one message size.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+/// Throughput of one cipher suite at one message size.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct CryptoProbePoint {
+    /// AEAD cipher suite probed, by canonical name.
+    pub cipher_suite: String,
     /// Message size in bytes.
     pub msg_bytes: u64,
     /// Seal (encrypt+tag) throughput in MB/s (10^6 bytes per second).
@@ -273,9 +279,12 @@ pub const SMOKE_SIZES: [usize; 2] = [1024, 64 * 1024];
 ///
 /// On top of the phantom latency grid, the suite carries real-payload cells
 /// for O-Ring and O-Bruck (block mapping, both sizes, seed
-/// [`SMOKE_DATA_SEED`]): these run actual AES-GCM over pattern blocks and
-/// record the data-plane copy probe, regression-gating the zero-copy story
-/// alongside latency.
+/// [`SMOKE_DATA_SEED`]) under *every* cipher suite: these run actual AEAD
+/// over pattern blocks and record the data-plane copy probe,
+/// regression-gating the zero-copy story and every backend's correctness
+/// alongside latency. The virtual latencies of the per-suite cells are
+/// identical by construction (the cost model is suite-blind), which the
+/// regress gate then re-checks for free.
 pub fn smoke_suite() -> Vec<SuiteCase> {
     let mut cases = Vec::new();
     for &mapping in &[Mapping::Block, Mapping::Cyclic] {
@@ -287,6 +296,7 @@ pub fn smoke_suite() -> Vec<SuiteCase> {
             reps: 3,
             nic_contention: false,
             data_seed: None,
+            suite: CipherSuite::AesGcm128,
         };
         let mut algos = vec![Algorithm::Mvapich];
         algos.extend_from_slice(Algorithm::encrypted_all());
@@ -300,22 +310,25 @@ pub fn smoke_suite() -> Vec<SuiteCase> {
             }
         }
     }
-    let real_cfg = SimConfig {
-        p: 16,
-        nodes: 4,
-        mapping: Mapping::Block,
-        profile: "noleland".into(),
-        reps: 3,
-        nic_contention: false,
-        data_seed: Some(SMOKE_DATA_SEED),
-    };
-    for algo in [Algorithm::ORing, Algorithm::OBruck] {
-        for &m in &SMOKE_SIZES {
-            cases.push(SuiteCase {
-                cfg: real_cfg.clone(),
-                algo,
-                msg_bytes: m,
-            });
+    for suite in CipherSuite::ALL {
+        let real_cfg = SimConfig {
+            p: 16,
+            nodes: 4,
+            mapping: Mapping::Block,
+            profile: "noleland".into(),
+            reps: 3,
+            nic_contention: false,
+            data_seed: Some(SMOKE_DATA_SEED),
+            suite,
+        };
+        for algo in [Algorithm::ORing, Algorithm::OBruck] {
+            for &m in &SMOKE_SIZES {
+                cases.push(SuiteCase {
+                    cfg: real_cfg.clone(),
+                    algo,
+                    msg_bytes: m,
+                });
+            }
         }
     }
     cases
@@ -338,6 +351,7 @@ pub fn smoke_recovery_suite() -> Vec<RecoveryCase> {
         reps: 1,
         nic_contention: false,
         data_seed: None,
+        suite: eag_runtime::CipherSuite::AesGcm128,
     };
     Algorithm::encrypted_all()
         .iter()
@@ -389,6 +403,7 @@ pub fn run_case(case: &SuiteCase) -> BenchEntry {
         latency: LatencyStats::from_stats(&stats, &samples),
         metrics: PaperMetrics::of(&metrics),
         data_seed: case.cfg.data_seed,
+        cipher_suite: case.cfg.suite.name().to_string(),
         copy_probe: case.cfg.data_seed.map(|_| CopyProbe {
             memcpy_bytes: metrics.memcpy_bytes,
             buf_allocs: metrics.buf_allocs,
@@ -438,6 +453,8 @@ pub fn suite_from_report(report: &BenchReport) -> Result<Vec<SuiteCase>, String>
         .map(|e| {
             let algo = Algorithm::by_name(&e.algorithm)
                 .ok_or_else(|| format!("unknown algorithm {:?} in report", e.algorithm))?;
+            let suite = CipherSuite::by_name(&e.cipher_suite)
+                .ok_or_else(|| format!("unknown cipher suite {:?} in report", e.cipher_suite))?;
             Ok(SuiteCase {
                 cfg: SimConfig {
                     p: e.p as usize,
@@ -447,6 +464,7 @@ pub fn suite_from_report(report: &BenchReport) -> Result<Vec<SuiteCase>, String>
                     reps: e.reps as usize,
                     nic_contention: e.nic_contention,
                     data_seed: e.data_seed,
+                    suite,
                 },
                 algo,
                 msg_bytes: e.msg_bytes as usize,
@@ -474,6 +492,7 @@ pub fn recovery_suite_from_report(report: &BenchReport) -> Result<Vec<RecoveryCa
                     reps: 1,
                     nic_contention: false,
                     data_seed: None,
+                    suite: CipherSuite::AesGcm128,
                 },
                 algo,
                 msg_bytes: e.msg_bytes as usize,
@@ -513,9 +532,11 @@ impl BenchReport {
     }
 
     /// Looks up the entry matching `other` by identity (algorithm, p,
-    /// nodes, mapping, msg_bytes, data_seed) — the key the regress gate
-    /// joins on. `data_seed` distinguishes real-payload cells from the
-    /// phantom cell at the same configuration point.
+    /// nodes, mapping, msg_bytes, data_seed, cipher_suite) — the key the
+    /// regress gate joins on. `data_seed` distinguishes real-payload cells
+    /// from the phantom cell at the same configuration point;
+    /// `cipher_suite` distinguishes the per-suite real cells from each
+    /// other.
     pub fn find_matching(&self, other: &BenchEntry) -> Option<&BenchEntry> {
         self.entries.iter().find(|e| {
             e.algorithm == other.algorithm
@@ -524,6 +545,7 @@ impl BenchReport {
                 && e.mapping == other.mapping
                 && e.msg_bytes == other.msg_bytes
                 && e.data_seed == other.data_seed
+                && e.cipher_suite == other.cipher_suite
         })
     }
 
@@ -555,6 +577,7 @@ mod tests {
             reps: 2,
             nic_contention: false,
             data_seed: None,
+            suite: eag_runtime::CipherSuite::AesGcm128,
         };
         run_suite_with_recovery(
             "unit",
@@ -614,16 +637,31 @@ mod tests {
     fn smoke_suite_shape() {
         let cases = smoke_suite();
         // 2 mappings x (1 + encrypted) algorithms x 2 sizes, plus the
-        // real-payload copy-probe cells (O-Ring, O-Bruck) x 2 sizes.
+        // real-payload copy-probe cells (O-Ring, O-Bruck) x 2 sizes under
+        // every cipher suite.
         let algos = 1 + Algorithm::encrypted_all().len();
-        assert_eq!(cases.len(), 2 * algos * 2 + 4);
+        let real_cells = CipherSuite::ALL.len() * 2 * SMOKE_SIZES.len();
+        assert_eq!(cases.len(), 2 * algos * 2 + real_cells);
         assert!(cases.iter().all(|c| !c.cfg.nic_contention));
         assert!(cases.iter().all(|c| c.cfg.profile == "noleland"));
         let real: Vec<_> = cases.iter().filter(|c| c.cfg.data_seed.is_some()).collect();
-        assert_eq!(real.len(), 4);
+        assert_eq!(real.len(), real_cells);
         assert!(real
             .iter()
             .all(|c| matches!(c.algo, Algorithm::ORing | Algorithm::OBruck)));
+        // Every suite appears in the real cells; phantom cells stay on the
+        // default suite.
+        for suite in CipherSuite::ALL {
+            assert_eq!(
+                real.iter().filter(|c| c.cfg.suite == suite).count(),
+                2 * SMOKE_SIZES.len(),
+                "{suite}"
+            );
+        }
+        assert!(cases
+            .iter()
+            .filter(|c| c.cfg.data_seed.is_none())
+            .all(|c| c.cfg.suite == CipherSuite::AesGcm128));
     }
 
     #[test]
@@ -636,6 +674,7 @@ mod tests {
             reps: 2,
             nic_contention: false,
             data_seed: Some(SMOKE_DATA_SEED),
+            suite: eag_runtime::CipherSuite::AesGcm128,
         };
         let entry = run_case(&SuiteCase {
             cfg,
@@ -697,6 +736,7 @@ mod tests {
     fn crypto_probe_marks_nondeterministic() {
         let report = sample_report().with_crypto(CryptoProbe {
             points: vec![CryptoProbePoint {
+                cipher_suite: "aes-gcm".into(),
                 msg_bytes: 4096,
                 seal_mb_per_s: 1234.5,
                 open_mb_per_s: 2345.6,

@@ -123,6 +123,7 @@ pub fn table2_rows(p: usize, nodes: usize, m: usize) -> Vec<MetricsRow> {
         reps: 1,
         nic_contention: false,
         data_seed: None,
+        suite: eag_runtime::CipherSuite::AesGcm128,
     };
     Algorithm::encrypted_all()
         .iter()
@@ -193,6 +194,7 @@ mod tests {
             reps: 1,
             nic_contention: true,
             data_seed: None,
+            suite: eag_runtime::CipherSuite::AesGcm128,
         }
     }
 

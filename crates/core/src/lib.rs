@@ -50,6 +50,7 @@ pub use algorithm::{allgather, Algorithm};
 pub use allgatherv::allgatherv;
 pub use bounds::{lower_bounds, predict, predict_latency_us, recommend, MetricSet};
 pub use collective::recover_allgather;
+pub use eag_runtime::CipherSuite;
 pub use group::{allgather_group, Group};
 pub use output::{DegradedOutput, GatherOutput};
 

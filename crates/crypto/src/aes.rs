@@ -338,7 +338,7 @@ impl Aes {
 fn detect_backend() -> Backend {
     #[cfg(target_arch = "x86_64")]
     {
-        if std::arch::is_x86_feature_detected!("aes") {
+        if !crate::dispatch::force_soft() && std::arch::is_x86_feature_detected!("aes") {
             return Backend::AesNi;
         }
     }

@@ -1,0 +1,306 @@
+//! The ChaCha20 stream cipher (RFC 8439 §2.1–2.4).
+//!
+//! ChaCha20 is the AEAD workhorse for hosts without AES-NI: its block
+//! function is 16 32-bit words of add/rotate/xor, which runs at full speed
+//! on plain integer ALUs. Two implementations live here:
+//!
+//! - a portable scalar implementation (the reference, used everywhere);
+//! - an SSE2 single-block path on x86-64 that keeps the four state rows in
+//!   xmm registers and diagonalizes with lane shuffles, behind runtime CPU
+//!   feature detection.
+//!
+//! Both compute the same function; the dispatch policy (including the
+//! `EAG_CRYPTO_FORCE_SOFT` override) is shared with the other primitives
+//! via [`crate::dispatch`].
+
+/// The ChaCha20 constants: `"expand 32-byte k"` as four LE words.
+const SIGMA: [u32; 4] = [0x6170_7865, 0x3320_646e, 0x7962_2d32, 0x6b20_6574];
+
+/// Which implementation a [`ChaCha20`] instance dispatches to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ChaChaBackend {
+    /// Portable scalar implementation (the reference).
+    Soft,
+    /// x86-64 SSE2 row-vector implementation.
+    Sse2,
+}
+
+fn detect_backend() -> ChaChaBackend {
+    #[cfg(target_arch = "x86_64")]
+    {
+        if !crate::dispatch::force_soft() && std::arch::is_x86_feature_detected!("sse2") {
+            return ChaChaBackend::Sse2;
+        }
+    }
+    ChaChaBackend::Soft
+}
+
+/// A ChaCha20 instance with a 256-bit key.
+///
+/// Nonces are 96-bit and the block counter 32-bit (the RFC 8439 layout used
+/// by ChaCha20-Poly1305).
+#[derive(Clone)]
+pub struct ChaCha20 {
+    key: [u32; 8],
+    backend: ChaChaBackend,
+}
+
+impl ChaCha20 {
+    /// Creates an instance, selecting the fastest available backend.
+    pub fn new(key: &[u8; 32]) -> Self {
+        ChaCha20 {
+            key: key_words(key),
+            backend: detect_backend(),
+        }
+    }
+
+    /// Forces the portable scalar backend (for tests and cross-checks).
+    pub fn new_soft(key: &[u8; 32]) -> Self {
+        ChaCha20 {
+            key: key_words(key),
+            backend: ChaChaBackend::Soft,
+        }
+    }
+
+    /// The backend this instance dispatches to.
+    pub fn backend(&self) -> ChaChaBackend {
+        self.backend
+    }
+
+    /// The 64-byte keystream block at `counter`.
+    pub fn block(&self, nonce: &[u8; 12], counter: u32) -> [u8; 64] {
+        let mut out = [0u8; 64];
+        match self.backend {
+            ChaChaBackend::Soft => block_soft(&self.key, nonce, counter, &mut out),
+            ChaChaBackend::Sse2 => {
+                #[cfg(target_arch = "x86_64")]
+                // SAFETY: backend is Sse2 only when the CPU reports SSE2.
+                unsafe {
+                    sse2::block(&self.key, nonce, counter, &mut out)
+                }
+                #[cfg(not(target_arch = "x86_64"))]
+                block_soft(&self.key, nonce, counter, &mut out)
+            }
+        }
+        out
+    }
+
+    /// XORs `data` with the keystream starting at block `counter`
+    /// (incrementing per 64-byte block, wrapping mod 2^32).
+    pub fn xor(&self, nonce: &[u8; 12], counter: u32, data: &mut [u8]) {
+        let mut ctr = counter;
+        for chunk in data.chunks_mut(64) {
+            let ks = self.block(nonce, ctr);
+            for (d, k) in chunk.iter_mut().zip(ks.iter()) {
+                *d ^= k;
+            }
+            ctr = ctr.wrapping_add(1);
+        }
+    }
+}
+
+fn key_words(key: &[u8; 32]) -> [u32; 8] {
+    let mut w = [0u32; 8];
+    for (i, slot) in w.iter_mut().enumerate() {
+        *slot = u32::from_le_bytes([key[4 * i], key[4 * i + 1], key[4 * i + 2], key[4 * i + 3]]);
+    }
+    w
+}
+
+fn nonce_words(nonce: &[u8; 12]) -> [u32; 3] {
+    [
+        u32::from_le_bytes([nonce[0], nonce[1], nonce[2], nonce[3]]),
+        u32::from_le_bytes([nonce[4], nonce[5], nonce[6], nonce[7]]),
+        u32::from_le_bytes([nonce[8], nonce[9], nonce[10], nonce[11]]),
+    ]
+}
+
+#[inline(always)]
+fn quarter(state: &mut [u32; 16], a: usize, b: usize, c: usize, d: usize) {
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(16);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(12);
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(8);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(7);
+}
+
+fn block_soft(key: &[u32; 8], nonce: &[u8; 12], counter: u32, out: &mut [u8; 64]) {
+    let n = nonce_words(nonce);
+    let mut init = [0u32; 16];
+    init[..4].copy_from_slice(&SIGMA);
+    init[4..12].copy_from_slice(key);
+    init[12] = counter;
+    init[13..].copy_from_slice(&n);
+
+    let mut s = init;
+    for _ in 0..10 {
+        quarter(&mut s, 0, 4, 8, 12);
+        quarter(&mut s, 1, 5, 9, 13);
+        quarter(&mut s, 2, 6, 10, 14);
+        quarter(&mut s, 3, 7, 11, 15);
+        quarter(&mut s, 0, 5, 10, 15);
+        quarter(&mut s, 1, 6, 11, 12);
+        quarter(&mut s, 2, 7, 8, 13);
+        quarter(&mut s, 3, 4, 9, 14);
+    }
+    for i in 0..16 {
+        out[4 * i..4 * i + 4].copy_from_slice(&s[i].wrapping_add(init[i]).to_le_bytes());
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+mod sse2 {
+    use super::{nonce_words, SIGMA};
+    use std::arch::x86_64::*;
+
+    /// Rotate each 32-bit lane left by `L` bits; `R` must equal `32 - L`
+    /// (the intrinsics take immediate shift counts, so both are spelled out).
+    #[inline(always)]
+    unsafe fn rotl<const L: i32, const R: i32>(v: __m128i) -> __m128i {
+        _mm_or_si128(_mm_slli_epi32(v, L), _mm_srli_epi32(v, R))
+    }
+
+    /// One round step applied to all four columns (or diagonals) at once:
+    /// the classic row-based layout where row `a` holds state words 0–3,
+    /// `b` 4–7, `c` 8–11, `d` 12–15.
+    #[inline(always)]
+    unsafe fn round(a: &mut __m128i, b: &mut __m128i, c: &mut __m128i, d: &mut __m128i) {
+        *a = _mm_add_epi32(*a, *b);
+        *d = rotl::<16, 16>(_mm_xor_si128(*d, *a));
+        *c = _mm_add_epi32(*c, *d);
+        *b = rotl::<12, 20>(_mm_xor_si128(*b, *c));
+        *a = _mm_add_epi32(*a, *b);
+        *d = rotl::<8, 24>(_mm_xor_si128(*d, *a));
+        *c = _mm_add_epi32(*c, *d);
+        *b = rotl::<7, 25>(_mm_xor_si128(*b, *c));
+    }
+
+    /// Computes one 64-byte ChaCha20 keystream block with the state rows in
+    /// xmm registers; diagonal rounds are column rounds on lane-rotated rows.
+    ///
+    /// # Safety
+    /// The caller must ensure the CPU supports SSE2 (guaranteed by the
+    /// backend detection in [`super::ChaCha20::new`]).
+    #[target_feature(enable = "sse2")]
+    pub unsafe fn block(key: &[u32; 8], nonce: &[u8; 12], counter: u32, out: &mut [u8; 64]) {
+        let n = nonce_words(nonce);
+        let a0 = _mm_set_epi32(
+            SIGMA[3] as i32,
+            SIGMA[2] as i32,
+            SIGMA[1] as i32,
+            SIGMA[0] as i32,
+        );
+        let b0 = _mm_set_epi32(key[3] as i32, key[2] as i32, key[1] as i32, key[0] as i32);
+        let c0 = _mm_set_epi32(key[7] as i32, key[6] as i32, key[5] as i32, key[4] as i32);
+        let d0 = _mm_set_epi32(n[2] as i32, n[1] as i32, n[0] as i32, counter as i32);
+
+        let (mut a, mut b, mut c, mut d) = (a0, b0, c0, d0);
+        for _ in 0..10 {
+            // Column round.
+            round(&mut a, &mut b, &mut c, &mut d);
+            // Diagonalize: rotate row lanes left by 1/2/3.
+            b = _mm_shuffle_epi32(b, 0b00_11_10_01);
+            c = _mm_shuffle_epi32(c, 0b01_00_11_10);
+            d = _mm_shuffle_epi32(d, 0b10_01_00_11);
+            // Diagonal round.
+            round(&mut a, &mut b, &mut c, &mut d);
+            // Undo the rotation.
+            b = _mm_shuffle_epi32(b, 0b10_01_00_11);
+            c = _mm_shuffle_epi32(c, 0b01_00_11_10);
+            d = _mm_shuffle_epi32(d, 0b00_11_10_01);
+        }
+        a = _mm_add_epi32(a, a0);
+        b = _mm_add_epi32(b, b0);
+        c = _mm_add_epi32(c, c0);
+        d = _mm_add_epi32(d, d0);
+
+        let p = out.as_mut_ptr() as *mut __m128i;
+        _mm_storeu_si128(p, a);
+        _mm_storeu_si128(p.add(1), b);
+        _mm_storeu_si128(p.add(2), c);
+        _mm_storeu_si128(p.add(3), d);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hex(s: &str) -> Vec<u8> {
+        (0..s.len() / 2)
+            .map(|i| u8::from_str_radix(&s[2 * i..2 * i + 2], 16).unwrap())
+            .collect()
+    }
+
+    fn rfc_key() -> [u8; 32] {
+        let mut k = [0u8; 32];
+        for (i, slot) in k.iter_mut().enumerate() {
+            *slot = i as u8;
+        }
+        k
+    }
+
+    /// RFC 8439 §2.3.2: the block function test vector.
+    #[test]
+    fn block_function_known_answer() {
+        let key = rfc_key();
+        let nonce = {
+            let mut n = [0u8; 12];
+            n.copy_from_slice(&hex("000000090000004a00000000"));
+            n
+        };
+        let expect = hex(
+            "10f1e7e4d13b5915500fdd1fa32071c4c7d1f4c733c068030422aa9ac3d46c4e\
+             d2826446079faa0914c2d705d98b02a2b5129cd1de164eb9cbd083e8a2503c4e",
+        );
+        let fast = ChaCha20::new(&key);
+        assert_eq!(&fast.block(&nonce, 1)[..], &expect[..]);
+        let soft = ChaCha20::new_soft(&key);
+        assert_eq!(&soft.block(&nonce, 1)[..], &expect[..]);
+    }
+
+    /// RFC 8439 §2.4.2: the encryption test vector.
+    #[test]
+    fn encryption_known_answer() {
+        let key = rfc_key();
+        let mut nonce = [0u8; 12];
+        nonce.copy_from_slice(&hex("000000000000004a00000000"));
+        let pt = b"Ladies and Gentlemen of the class of '99: If I could offer you \
+only one tip for the future, sunscreen would be it.";
+        let expect = hex(
+            "6e2e359a2568f98041ba0728dd0d6981e97e7aec1d4360c20a27afccfd9fae0b\
+             f91b65c5524733ab8f593dabcd62b3571639d624e65152ab8f530c359f0861d8\
+             07ca0dbf500d6a6156a38e088a22b65e52bc514d16ccf806818ce91ab7793736\
+             5af90bbf74a35be6b40b8eedf2785e42874d",
+        );
+        for cipher in [ChaCha20::new(&key), ChaCha20::new_soft(&key)] {
+            let mut buf = pt.to_vec();
+            cipher.xor(&nonce, 1, &mut buf);
+            assert_eq!(buf, expect);
+            // XOR is its own inverse.
+            cipher.xor(&nonce, 1, &mut buf);
+            assert_eq!(&buf[..], &pt[..]);
+        }
+    }
+
+    /// SSE2 and scalar backends agree across block boundaries and counters.
+    #[test]
+    fn backends_agree() {
+        let key = rfc_key();
+        let nonce = [7u8; 12];
+        let fast = ChaCha20::new(&key);
+        let soft = ChaCha20::new_soft(&key);
+        for len in [0usize, 1, 63, 64, 65, 200, 1024] {
+            for counter in [0u32, 1, u32::MAX - 1] {
+                let mut a: Vec<u8> = (0..len).map(|i| (i * 13) as u8).collect();
+                let mut b = a.clone();
+                fast.xor(&nonce, counter, &mut a);
+                soft.xor(&nonce, counter, &mut b);
+                assert_eq!(a, b, "len={len} counter={counter}");
+            }
+        }
+    }
+}

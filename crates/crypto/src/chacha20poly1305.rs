@@ -1,0 +1,296 @@
+//! ChaCha20-Poly1305 AEAD (RFC 8439 §2.8).
+//!
+//! The no-AES-NI cipher suite: a ChaCha20 keystream (SSE2 or scalar, see
+//! [`crate::chacha`]) with a Poly1305 tag over `AAD ‖ ciphertext` under a
+//! per-nonce one-time key drawn from keystream block 0. Because the tag
+//! authenticates the *ciphertext*, forwarding hops can verify frames without
+//! decrypting, and a failed open never produces plaintext — the tag check
+//! completes before the keystream is ever applied.
+//!
+//! Framing (12-byte nonce, 16-byte tag) is identical to AES-GCM, so the wire
+//! overhead of every suite in this crate is the same [`crate::WIRE_OVERHEAD`].
+
+use crate::chacha::{ChaCha20, ChaChaBackend};
+use crate::gcm::{OpenError, TAG_LEN};
+use crate::nonce::Nonce;
+use crate::poly1305::Poly1305;
+use crate::Key;
+
+/// Maximum plaintext length: the 32-bit block counter starts at 1 for data,
+/// leaving 2^32 − 2 blocks of 64 bytes (≈ 256 GiB).
+pub const MAX_PLAINTEXT_LEN_CHACHA: usize = ((1u64 << 32) - 2) as usize * 64;
+
+/// A ChaCha20-Poly1305 AEAD instance.
+#[derive(Clone)]
+pub struct ChaCha20Poly1305 {
+    core: ChaCha20,
+}
+
+impl ChaCha20Poly1305 {
+    /// Creates an instance from the collective's 128-bit [`Key`].
+    ///
+    /// ChaCha20 needs 256 key bits; the 128-bit world key is expanded with
+    /// ChaCha20 itself as a PRF: the key doubled (`k ‖ k`) keys a block-0
+    /// keystream call at the zero nonce, and the first 32 output bytes
+    /// become the session key. Deterministic across backends.
+    pub fn new(key: &Key) -> Self {
+        Self::from_key_bytes(&Self::expand_key(key))
+    }
+
+    /// Like [`ChaCha20Poly1305::new`] but pinned to the scalar backend.
+    pub fn new_soft(key: &Key) -> Self {
+        Self::from_key_bytes_soft(&Self::expand_key(key))
+    }
+
+    /// Creates an instance from a full 256-bit key (RFC 8439 layout),
+    /// selecting the fastest available backend.
+    pub fn from_key_bytes(key: &[u8; 32]) -> Self {
+        ChaCha20Poly1305 {
+            core: ChaCha20::new(key),
+        }
+    }
+
+    /// Creates an instance from a 256-bit key pinned to the scalar backend
+    /// (for cross-checks and forced-soft dispatch).
+    pub fn from_key_bytes_soft(key: &[u8; 32]) -> Self {
+        ChaCha20Poly1305 {
+            core: ChaCha20::new_soft(key),
+        }
+    }
+
+    /// The ChaCha20 backend this instance dispatches to.
+    pub fn backend(&self) -> ChaChaBackend {
+        self.core.backend()
+    }
+
+    fn expand_key(key: &Key) -> [u8; 32] {
+        let mut seed = [0u8; 32];
+        seed[..16].copy_from_slice(key.as_bytes());
+        seed[16..].copy_from_slice(key.as_bytes());
+        let block = ChaCha20::new(&seed).block(&[0u8; 12], 0);
+        let mut out = [0u8; 32];
+        out.copy_from_slice(&block[..32]);
+        out
+    }
+
+    /// The per-nonce Poly1305 one-time key (RFC 8439 §2.6): the first 32
+    /// bytes of keystream block 0.
+    fn poly_key(&self, nonce: &Nonce) -> [u8; 32] {
+        let block = self.core.block(nonce.as_bytes(), 0);
+        let mut otk = [0u8; 32];
+        otk.copy_from_slice(&block[..32]);
+        otk
+    }
+
+    /// The §2.8 MAC input: `aad ‖ pad16 ‖ ct ‖ pad16 ‖ le64(|aad|) ‖ le64(|ct|)`.
+    fn tag_of(&self, otk: &[u8; 32], aad: &[u8], ciphertext: &[u8]) -> [u8; TAG_LEN] {
+        let zeros = [0u8; 16];
+        let mut p = Poly1305::new(otk);
+        p.update(aad);
+        p.update(&zeros[..(16 - aad.len() % 16) % 16]);
+        p.update(ciphertext);
+        p.update(&zeros[..(16 - ciphertext.len() % 16) % 16]);
+        let mut lens = [0u8; 16];
+        lens[..8].copy_from_slice(&(aad.len() as u64).to_le_bytes());
+        lens[8..].copy_from_slice(&(ciphertext.len() as u64).to_le_bytes());
+        p.update(&lens);
+        p.finalize()
+    }
+
+    /// Encrypts `data` in place and returns the 16-byte tag.
+    /// Panics if `data` exceeds [`MAX_PLAINTEXT_LEN_CHACHA`].
+    pub fn seal_in_place_detached(
+        &self,
+        nonce: &Nonce,
+        aad: &[u8],
+        data: &mut [u8],
+    ) -> [u8; TAG_LEN] {
+        assert!(
+            data.len() <= MAX_PLAINTEXT_LEN_CHACHA,
+            "ChaCha20 plaintext exceeds the 32-bit-counter length limit"
+        );
+        let otk = self.poly_key(nonce);
+        self.core.xor(nonce.as_bytes(), 1, data);
+        self.tag_of(&otk, aad, data)
+    }
+
+    /// Verifies `tag` and decrypts `data` (ciphertext) in place.
+    ///
+    /// The tag covers the ciphertext, so verification happens **before**
+    /// decryption; on mismatch the buffer is returned untouched (still
+    /// ciphertext — no plaintext is ever produced).
+    pub fn open_in_place_detached(
+        &self,
+        nonce: &Nonce,
+        aad: &[u8],
+        data: &mut [u8],
+        tag: &[u8],
+    ) -> Result<(), OpenError> {
+        self.verify_detached(nonce, aad, data, tag)?;
+        self.core.xor(nonce.as_bytes(), 1, data);
+        Ok(())
+    }
+
+    /// Verifies the tag of `ciphertext` without decrypting (one Poly1305
+    /// sweep plus one keystream block) — the per-hop forwarding check.
+    pub fn verify_detached(
+        &self,
+        nonce: &Nonce,
+        aad: &[u8],
+        ciphertext: &[u8],
+        tag: &[u8],
+    ) -> Result<(), OpenError> {
+        if tag.len() != TAG_LEN || ciphertext.len() > MAX_PLAINTEXT_LEN_CHACHA {
+            return Err(OpenError::Truncated);
+        }
+        let otk = self.poly_key(nonce);
+        let expect = self.tag_of(&otk, aad, ciphertext);
+        let mut diff = 0u8;
+        for (a, b) in expect.iter().zip(tag.iter()) {
+            diff |= a ^ b;
+        }
+        if diff != 0 {
+            return Err(OpenError::TagMismatch);
+        }
+        Ok(())
+    }
+
+    /// Encrypts and authenticates: returns `ciphertext || tag`.
+    pub fn seal(&self, nonce: &Nonce, aad: &[u8], plaintext: &[u8]) -> Vec<u8> {
+        let mut out = Vec::with_capacity(plaintext.len() + TAG_LEN);
+        out.extend_from_slice(plaintext);
+        let tag = self.seal_in_place_detached(nonce, aad, &mut out);
+        out.extend_from_slice(&tag);
+        out
+    }
+
+    /// Verifies and decrypts `ciphertext || tag`; returns the plaintext.
+    pub fn open(&self, nonce: &Nonce, aad: &[u8], sealed: &[u8]) -> Result<Vec<u8>, OpenError> {
+        if sealed.len() < TAG_LEN {
+            return Err(OpenError::Truncated);
+        }
+        let (ct, tag) = sealed.split_at(sealed.len() - TAG_LEN);
+        let mut pt = ct.to_vec();
+        self.open_in_place_detached(nonce, aad, &mut pt, tag)?;
+        Ok(pt)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hex(s: &str) -> Vec<u8> {
+        (0..s.len() / 2)
+            .map(|i| u8::from_str_radix(&s[2 * i..2 * i + 2], 16).unwrap())
+            .collect()
+    }
+
+    fn rfc_cipher(soft: bool) -> ChaCha20Poly1305 {
+        let mut key = [0u8; 32];
+        key.copy_from_slice(&hex(
+            "808182838485868788898a8b8c8d8e8f909192939495969798999a9b9c9d9e9f",
+        ));
+        if soft {
+            ChaCha20Poly1305::from_key_bytes_soft(&key)
+        } else {
+            ChaCha20Poly1305::from_key_bytes(&key)
+        }
+    }
+
+    fn rfc_nonce() -> Nonce {
+        let mut n = [0u8; 12];
+        n.copy_from_slice(&hex("070000004041424344454647"));
+        Nonce::from_bytes(n)
+    }
+
+    /// RFC 8439 §2.6.2: the one-time Poly1305 key derivation vector.
+    #[test]
+    fn poly_key_gen_known_answer() {
+        let mut key = [0u8; 32];
+        key.copy_from_slice(&hex(
+            "808182838485868788898a8b8c8d8e8f909192939495969798999a9b9c9d9e9f",
+        ));
+        let mut n = [0u8; 12];
+        n.copy_from_slice(&hex("000000000001020304050607"));
+        let cipher = ChaCha20Poly1305::from_key_bytes(&key);
+        let otk = cipher.poly_key(&Nonce::from_bytes(n));
+        assert_eq!(
+            &otk[..],
+            &hex("8ad5a08b905f81cc815040274ab29471a833b637e3fd0da508dbb8e2fdd1a646")[..]
+        );
+    }
+
+    /// RFC 8439 §2.8.2: the full AEAD vector, on both backends.
+    #[test]
+    fn aead_known_answer() {
+        let pt = b"Ladies and Gentlemen of the class of '99: If I could offer you \
+only one tip for the future, sunscreen would be it.";
+        let aad = hex("50515253c0c1c2c3c4c5c6c7");
+        let expect_ct = hex(
+            "d31a8d34648e60db7b86afbc53ef7ec2a4aded51296e08fea9e2b5a736ee62d6\
+             3dbea45e8ca9671282fafb69da92728b1a71de0a9e060b2905d6a5b67ecd3b36\
+             92ddbd7f2d778b8c9803aee328091b58fab324e4fad675945585808b4831d7bc\
+             3ff4def08e4b7a9de576d26586cec64b6116",
+        );
+        let expect_tag = hex("1ae10b594f09e26a7e902ecbd0600691");
+        for soft in [false, true] {
+            let cipher = rfc_cipher(soft);
+            let sealed = cipher.seal(&rfc_nonce(), &aad, pt);
+            assert_eq!(&sealed[..pt.len()], &expect_ct[..], "soft={soft}");
+            assert_eq!(&sealed[pt.len()..], &expect_tag[..], "soft={soft}");
+            let back = cipher.open(&rfc_nonce(), &aad, &sealed).unwrap();
+            assert_eq!(&back[..], &pt[..]);
+        }
+    }
+
+    #[test]
+    fn tamper_and_wrong_aad_rejected() {
+        let cipher = rfc_cipher(false);
+        let nonce = rfc_nonce();
+        let mut sealed = cipher.seal(&nonce, b"aad", b"attack at dawn");
+        assert!(cipher.open(&nonce, b"other", &sealed).is_err());
+        for i in 0..sealed.len() {
+            sealed[i] ^= 0x10;
+            assert_eq!(
+                cipher.open(&nonce, b"aad", &sealed),
+                Err(OpenError::TagMismatch),
+                "flip at {i}"
+            );
+            sealed[i] ^= 0x10;
+        }
+        assert!(cipher.open(&nonce, b"aad", &sealed).is_ok());
+    }
+
+    #[test]
+    fn verify_matches_open_and_world_key_roundtrips() {
+        let key = Key::from_bytes([0x42u8; 16]);
+        let cipher = ChaCha20Poly1305::new(&key);
+        let soft = ChaCha20Poly1305::new_soft(&key);
+        let nonce = Nonce::from_bytes([9u8; 12]);
+        for len in [0usize, 1, 16, 63, 64, 65, 500] {
+            let pt: Vec<u8> = (0..len).map(|i| (i * 11 % 251) as u8).collect();
+            let sealed = cipher.seal(&nonce, b"hdr", &pt);
+            // The two backends produce identical frames.
+            assert_eq!(sealed, soft.seal(&nonce, b"hdr", &pt), "len = {len}");
+            let (ct, tag) = sealed.split_at(sealed.len() - TAG_LEN);
+            assert!(cipher.verify_detached(&nonce, b"hdr", ct, tag).is_ok());
+            assert!(cipher.verify_detached(&nonce, b"bad", ct, tag).is_err());
+            assert_eq!(soft.open(&nonce, b"hdr", &sealed).unwrap(), pt);
+        }
+    }
+
+    #[test]
+    fn failed_open_leaves_ciphertext_untouched() {
+        let cipher = rfc_cipher(false);
+        let nonce = rfc_nonce();
+        let mut buf = b"some secret payload".to_vec();
+        let mut tag = cipher.seal_in_place_detached(&nonce, b"", &mut buf);
+        let snapshot = buf.clone();
+        tag[0] ^= 1;
+        assert!(cipher
+            .open_in_place_detached(&nonce, b"", &mut buf, &tag)
+            .is_err());
+        assert_eq!(buf, snapshot, "no partial decryption on tag mismatch");
+    }
+}

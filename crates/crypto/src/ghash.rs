@@ -91,10 +91,23 @@ fn mul_h_table(table: &[u128; 256], x: u128) -> u128 {
     z
 }
 
+/// Multiplies a GHASH field element by x (one step of the reduction walk).
+/// This is `mulX_GHASH` from RFC 8452 Appendix A, used to translate a
+/// POLYVAL key into the GHASH representation.
+pub(crate) fn mulx_ghash(v: u128) -> u128 {
+    let lsb = v & 1;
+    let mut v = v >> 1;
+    if lsb == 1 {
+        v ^= R;
+    }
+    v
+}
+
 fn detect_backend() -> MulBackend {
     #[cfg(target_arch = "x86_64")]
     {
-        if std::arch::is_x86_feature_detected!("pclmulqdq")
+        if !crate::dispatch::force_soft()
+            && std::arch::is_x86_feature_detected!("pclmulqdq")
             && std::arch::is_x86_feature_detected!("sse2")
             && std::arch::is_x86_feature_detected!("ssse3")
         {

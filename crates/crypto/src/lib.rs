@@ -1,27 +1,40 @@
-//! # eag-crypto — AES-128-GCM for encrypted collectives
+//! # eag-crypto — pluggable AEAD suites for encrypted collectives
 //!
-//! A from-scratch implementation of the AEAD scheme used by the paper
-//! *Efficient Algorithms for Encrypted All-gather Operation* (IPDPS 2021):
-//! AES-128 in Galois/Counter Mode (GCM), as specified in NIST SP 800-38D.
+//! From-scratch authenticated encryption for the paper *Efficient Algorithms
+//! for Encrypted All-gather Operation* (IPDPS 2021). The paper's scheme is
+//! AES-128-GCM with a random 96-bit nonce (following Naser et al., CLUSTER
+//! 2019); this crate implements that plus two alternative cipher suites
+//! behind one [`Aead`] trait, selected at runtime via [`CipherSuite`]:
 //!
-//! The paper (following Naser et al., CLUSTER 2019) encrypts every inter-node
-//! MPI message with AES-GCM-128 and a random 96-bit nonce, producing a wire
-//! message that is exactly **28 bytes longer** than the plaintext
-//! (12-byte nonce + 16-byte tag). This crate reproduces that framing in
-//! [`seal_message`] / [`open_message`].
+//! - **AES-128-GCM** ([`gcm`]) — the default; fused single-pass
+//!   CTR+GHASH kernel on AES-NI + PCLMULQDQ hardware.
+//! - **AES-128-GCM-SIV** ([`gcm_siv`]) — nonce-misuse-resistant (RFC 8452);
+//!   POLYVAL rides the same PCLMUL kernel bit-reflected.
+//! - **ChaCha20-Poly1305** ([`chacha20poly1305`]) — for hosts without
+//!   AES-NI (RFC 8439); SSE2 or scalar.
+//!
+//! Every suite frames messages identically — `nonce(12) ‖ ct ‖ tag(16)`,
+//! exactly **28 bytes** ([`WIRE_OVERHEAD`]) over the plaintext — so suite
+//! choice is session configuration, not wire format. The framing helpers
+//! ([`seal_message`], [`seal_segments_into`], [`open_frame_in_place`], …)
+//! are generic over `A: Aead + ?Sized` and work with `&dyn Aead`.
 //!
 //! ## Layout
-//! - [`aes`] — the AES-128 block cipher (portable software implementation plus
-//!   a runtime-detected AES-NI fast path on x86-64).
-//! - [`ghash`] — GHASH over GF(2^128) (portable bitwise reference plus a
-//!   runtime-detected PCLMULQDQ fast path).
-//! - [`ctr`] — the CTR keystream used by GCM.
-//! - [`gcm`] — the full AEAD: [`gcm::AesGcm128`].
+//! - [`aead`] — the [`Aead`] trait and [`CipherSuite`] selection.
+//! - [`aes`] — the AES block cipher (portable soft / constant-time soft /
+//!   runtime-detected AES-NI).
+//! - [`ghash`] — GHASH over GF(2^128) (bitwise / table-driven / PCLMULQDQ).
+//! - [`polyval`] — POLYVAL, GHASH's bit-reflected twin (RFC 8452 App. A).
+//! - [`ctr`] — the big-endian CTR keystream used by GCM.
+//! - [`gcm`], [`gcm_siv`], [`chacha20poly1305`] — the three AEADs.
+//! - [`chacha`], [`poly1305`] — the ChaCha20-Poly1305 primitives.
 //! - [`nonce`] — random and deterministic nonce sources.
+//! - [`dispatch`] — the shared soft-force override for CPU dispatch.
+//! - [`probe`] — wall-clock throughput probes per suite.
 //!
 //! ## Example
 //! ```
-//! use eag_crypto::{AesGcm128, Key, Nonce};
+//! use eag_crypto::{AesGcm128, CipherSuite, Key, Nonce};
 //!
 //! let key = Key::from_bytes([0u8; 16]);
 //! let cipher = AesGcm128::new(&key);
@@ -29,21 +42,37 @@
 //! let ct = cipher.seal(&nonce, b"header", b"secret payload");
 //! let pt = cipher.open(&nonce, b"header", &ct).expect("authentic");
 //! assert_eq!(pt, b"secret payload");
+//!
+//! // Suite-generic: the same framing under a misuse-resistant AEAD.
+//! let aead = CipherSuite::AesGcmSiv128.aead_for_key(&key);
+//! let mut nonces = eag_crypto::NonceSource::seeded(7);
+//! let wire = eag_crypto::seal_message(&*aead, &mut nonces, b"hdr", b"payload");
+//! assert_eq!(eag_crypto::open_message(&*aead, b"hdr", &wire).unwrap(), b"payload");
 //! ```
 
 #![deny(missing_docs)]
 #![warn(clippy::undocumented_unsafe_blocks)]
 
+pub mod aead;
 pub mod aes;
+pub mod chacha;
+pub mod chacha20poly1305;
 pub mod ctr;
+pub mod dispatch;
 mod fused;
 pub mod gcm;
+pub mod gcm_siv;
 pub mod ghash;
 pub mod nonce;
+pub mod poly1305;
+pub mod polyval;
 pub mod probe;
 
+pub use aead::{Aead, CipherSuite};
 pub use aes::{Aes, Aes128, KeySize};
+pub use chacha20poly1305::ChaCha20Poly1305;
 pub use gcm::{AesGcm, AesGcm128, OpenError, MAX_PLAINTEXT_LEN, TAG_LEN};
+pub use gcm_siv::AesGcmSiv;
 pub use nonce::{Nonce, NonceSource, NONCE_LEN};
 
 /// Total per-message wire overhead of the encrypted framing:
@@ -86,8 +115,8 @@ impl std::fmt::Debug for Key {
 ///
 /// The nonce is drawn from `source`; the same `aad` must be presented to
 /// [`open_message`].
-pub fn seal_message(
-    cipher: &AesGcm128,
+pub fn seal_message<A: Aead + ?Sized>(
+    cipher: &A,
     source: &mut NonceSource,
     aad: &[u8],
     plaintext: &[u8],
@@ -103,8 +132,8 @@ pub fn seal_message(
 /// This is the steady-state path for the runtime: a per-rank scratch buffer
 /// makes every seal allocation-free after the first message of each size
 /// class.
-pub fn seal_message_into(
-    cipher: &AesGcm128,
+pub fn seal_message_into<A: Aead + ?Sized>(
+    cipher: &A,
     source: &mut NonceSource,
     aad: &[u8],
     plaintext: &[u8],
@@ -120,8 +149,8 @@ pub fn seal_message_into(
 /// order, then encrypted in place. This is the zero-staging path for
 /// rope-backed payloads — the only plaintext copy is the gather into the
 /// frame that becomes the wire message itself.
-pub fn seal_segments_into<'a>(
-    cipher: &AesGcm128,
+pub fn seal_segments_into<'a, A: Aead + ?Sized>(
+    cipher: &A,
     source: &mut NonceSource,
     aad: &[u8],
     segments: impl IntoIterator<Item = &'a [u8]>,
@@ -139,7 +168,11 @@ pub fn seal_segments_into<'a>(
 
 /// Opens a message produced by [`seal_message`]; returns the plaintext or an
 /// error if the frame is malformed or fails authentication.
-pub fn open_message(cipher: &AesGcm128, aad: &[u8], wire: &[u8]) -> Result<Vec<u8>, OpenError> {
+pub fn open_message<A: Aead + ?Sized>(
+    cipher: &A,
+    aad: &[u8],
+    wire: &[u8],
+) -> Result<Vec<u8>, OpenError> {
     let mut buf = wire.to_vec();
     open_message_in_place(cipher, aad, &mut buf)?;
     Ok(buf)
@@ -151,8 +184,8 @@ pub fn open_message(cipher: &AesGcm128, aad: &[u8], wire: &[u8]) -> Result<Vec<u
 ///
 /// The allocation-free counterpart of [`open_message`] — the decrypt happens
 /// inside the frame's own buffer.
-pub fn open_message_in_place(
-    cipher: &AesGcm128,
+pub fn open_message_in_place<A: Aead + ?Sized>(
+    cipher: &A,
     aad: &[u8],
     wire: &mut Vec<u8>,
 ) -> Result<(), OpenError> {
@@ -169,8 +202,8 @@ pub fn open_message_in_place(
 /// This is the zero-copy counterpart of [`open_message_in_place`] for callers
 /// that can hold a view into the frame — freeze the buffer and slice the
 /// range instead of paying the `drain` memmove.
-pub fn open_frame_in_place(
-    cipher: &AesGcm128,
+pub fn open_frame_in_place<A: Aead + ?Sized>(
+    cipher: &A,
     aad: &[u8],
     wire: &mut [u8],
 ) -> Result<std::ops::Range<usize>, OpenError> {
@@ -192,7 +225,11 @@ pub fn open_frame_in_place(
 ///
 /// Forwarding hops use this for in-flight integrity: GCM authenticates the
 /// ciphertext, so no plaintext is produced (or zeroized) on the hot path.
-pub fn verify_message(cipher: &AesGcm128, aad: &[u8], wire: &[u8]) -> Result<(), OpenError> {
+pub fn verify_message<A: Aead + ?Sized>(
+    cipher: &A,
+    aad: &[u8],
+    wire: &[u8],
+) -> Result<(), OpenError> {
     if wire.len() < WIRE_OVERHEAD {
         return Err(OpenError::Truncated);
     }

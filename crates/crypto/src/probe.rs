@@ -1,14 +1,16 @@
-//! Wall-clock throughput probe for the fused AES-GCM hot path.
+//! Wall-clock throughput probes for the AEAD hot paths.
 //!
 //! Measures what this machine actually sustains through
 //! [`seal_message_into`] and [`open_message_in_place`] — the exact
 //! buffer-reusing calls the runtime's encrypted transport makes — so
 //! benchmark reports can carry real crypto throughput next to the
-//! virtual-time latencies. Wall-clock numbers are machine- and
-//! load-dependent by nature; callers must treat them as informational, not
-//! as regression-gate inputs.
+//! virtual-time latencies. [`probe_throughput`] probes the default
+//! AES-GCM suite; [`probe_throughput_suite`] probes any [`CipherSuite`]
+//! (the per-backend calibration in `eag-bench` runs it for all three).
+//! Wall-clock numbers are machine- and load-dependent by nature; callers
+//! must treat them as informational, not as regression-gate inputs.
 
-use crate::{open_message_in_place, seal_message_into, AesGcm128, Key, NonceSource};
+use crate::{open_message_in_place, seal_message_into, CipherSuite, Key, NonceSource};
 use std::time::Instant;
 
 /// Throughput measured at one message size.
@@ -26,14 +28,26 @@ pub struct ThroughputPoint {
 /// Default sizes for a quick probe: 1 KiB, 16 KiB, 256 KiB, 1 MiB.
 pub const DEFAULT_PROBE_SIZES: [usize; 4] = [1024, 16 * 1024, 256 * 1024, 1024 * 1024];
 
-/// Measures fused seal/open throughput at each size in `sizes`.
+/// Measures seal/open throughput of the default AES-GCM suite at each size
+/// in `sizes`.
 ///
 /// `budget_secs` is the approximate wall-clock budget *per direction per
 /// size* (a calibration pass sizes the iteration count to fit it; at least
 /// 3 iterations always run). `probe_throughput(&DEFAULT_PROBE_SIZES, 0.05)`
 /// finishes in well under a second on anything modern.
 pub fn probe_throughput(sizes: &[usize], budget_secs: f64) -> Vec<ThroughputPoint> {
-    let cipher = AesGcm128::new(&Key::from_bytes([0x5Au8; 16]));
+    probe_throughput_suite(CipherSuite::AesGcm128, sizes, budget_secs)
+}
+
+/// Measures seal/open throughput of one cipher suite at each size in
+/// `sizes` (same budget semantics as [`probe_throughput`]).
+pub fn probe_throughput_suite(
+    suite: CipherSuite,
+    sizes: &[usize],
+    budget_secs: f64,
+) -> Vec<ThroughputPoint> {
+    let cipher = suite.aead_for_key(&Key::from_bytes([0x5Au8; 16]));
+    let cipher = &*cipher;
     let mut nonces = NonceSource::seeded(0xBE7C);
     sizes
         .iter()
@@ -41,18 +55,18 @@ pub fn probe_throughput(sizes: &[usize], budget_secs: f64) -> Vec<ThroughputPoin
             let plaintext = vec![0xC3u8; msg_bytes];
             let mut wire = Vec::new();
             let seal_secs = time_op(budget_secs, || {
-                seal_message_into(&cipher, &mut nonces, b"", &plaintext, &mut wire);
+                seal_message_into(cipher, &mut nonces, b"", &plaintext, &mut wire);
                 std::hint::black_box(wire.len());
             });
             // `wire` now holds a valid frame; open copies it fresh each
             // iteration since opening consumes the frame in place. The copy
             // is subtracted via a memcpy-only baseline.
-            seal_message_into(&cipher, &mut nonces, b"", &plaintext, &mut wire);
+            seal_message_into(cipher, &mut nonces, b"", &plaintext, &mut wire);
             let mut scratch = Vec::new();
             let open_with_copy = time_op(budget_secs, || {
                 scratch.clear();
                 scratch.extend_from_slice(&wire);
-                open_message_in_place(&cipher, b"", &mut scratch).expect("frame is authentic");
+                open_message_in_place(cipher, b"", &mut scratch).expect("frame is authentic");
                 std::hint::black_box(scratch.len());
             });
             let copy_only = time_op(budget_secs * 0.2, || {

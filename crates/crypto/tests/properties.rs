@@ -2,10 +2,14 @@
 
 use eag_crypto::ghash::{gf128_mul_soft, GHash};
 use eag_crypto::{
-    open_message, open_message_in_place, seal_message, seal_message_into, AesGcm128, Key, Nonce,
-    NonceSource, NONCE_LEN, TAG_LEN, WIRE_OVERHEAD,
+    open_message, open_message_in_place, seal_message, seal_message_into, AesGcm128, CipherSuite,
+    Key, Nonce, NonceSource, NONCE_LEN, TAG_LEN, WIRE_OVERHEAD,
 };
 use proptest::prelude::*;
+
+fn arb_suite() -> impl Strategy<Value = CipherSuite> {
+    (0usize..CipherSuite::ALL.len()).prop_map(|i| CipherSuite::ALL[i])
+}
 
 fn arb_key() -> impl Strategy<Value = Key> {
     any::<[u8; 16]>().prop_map(Key::from_bytes)
@@ -185,5 +189,121 @@ proptest! {
 
         open_message_in_place(&gcm, b"hdr", &mut wire).unwrap();
         prop_assert_eq!(wire, pt);
+    }
+
+    /// Every backend behind the [`Aead`] trait roundtrips any key, nonce,
+    /// AAD, and plaintext — the cross-backend analogue of
+    /// [`seal_open_roundtrip`].
+    ///
+    /// [`Aead`]: eag_crypto::Aead
+    #[test]
+    fn every_backend_roundtrips(
+        suite in arb_suite(),
+        key in arb_key(),
+        nonce in arb_nonce(),
+        aad in proptest::collection::vec(any::<u8>(), 0..64),
+        pt in proptest::collection::vec(any::<u8>(), 0..512),
+    ) {
+        let aead = suite.aead_for_key(&key);
+        let mut buf = pt.clone();
+        let tag = aead.seal_in_place_detached(&nonce, &aad, &mut buf);
+        if !pt.is_empty() {
+            prop_assert_ne!(&buf, &pt);
+        }
+        aead.open_in_place_detached(&nonce, &aad, &mut buf, &tag).unwrap();
+        prop_assert_eq!(buf, pt);
+    }
+
+    /// Flipping any single bit of any backend's ciphertext or tag is
+    /// rejected, and the failed open never exposes plaintext: per the trait
+    /// contract the buffer afterwards is either all zeros (suites that must
+    /// decrypt before verifying) or the untouched tampered ciphertext
+    /// (ChaCha20-Poly1305, which verifies first).
+    #[test]
+    fn every_backend_rejects_any_bitflip(
+        suite in arb_suite(),
+        key in arb_key(),
+        nonce in arb_nonce(),
+        pt in proptest::collection::vec(any::<u8>(), 1..256),
+        byte_sel in any::<usize>(),
+        bit in 0u8..8,
+    ) {
+        let aead = suite.aead_for_key(&key);
+        let mut buf = pt.clone();
+        let mut tag = aead.seal_in_place_detached(&nonce, b"aad", &mut buf);
+        let tampered = buf.clone();
+        let idx = byte_sel % (buf.len() + TAG_LEN);
+        if idx < buf.len() {
+            buf[idx] ^= 1 << bit;
+        } else {
+            tag[idx - buf.len()] ^= 1 << bit;
+        }
+        let tampered = if idx < buf.len() { buf.clone() } else { tampered };
+        prop_assert!(
+            aead.open_in_place_detached(&nonce, b"aad", &mut buf, &tag).is_err(),
+            "{} accepted a tampered frame", suite
+        );
+        let zeroized = buf.iter().all(|&b| b == 0);
+        let untouched = buf == tampered;
+        prop_assert!(zeroized || untouched, "failed open leaked state");
+    }
+
+    /// The dispatched (possibly SIMD) construction and the forced-soft
+    /// construction of every suite produce bit-identical frames and agree on
+    /// what opens. On hardware without the relevant CPU features both sides
+    /// are soft and the test is trivially true; on hardware with them it
+    /// pins the accelerated path to the portable reference.
+    #[test]
+    fn dispatch_and_soft_produce_identical_frames(
+        suite in arb_suite(),
+        key in arb_key(),
+        nonce in arb_nonce(),
+        aad in proptest::collection::vec(any::<u8>(), 0..48),
+        pt in proptest::collection::vec(any::<u8>(), 0..600),
+    ) {
+        let fast = suite.aead_for_key(&key);
+        let soft = suite.aead_for_key_soft(&key);
+
+        let mut fast_buf = pt.clone();
+        let fast_tag = fast.seal_in_place_detached(&nonce, &aad, &mut fast_buf);
+        let mut soft_buf = pt.clone();
+        let soft_tag = soft.seal_in_place_detached(&nonce, &aad, &mut soft_buf);
+        prop_assert_eq!(&fast_buf, &soft_buf);
+        prop_assert_eq!(&fast_tag[..], &soft_tag[..]);
+
+        // Cross-open: soft opens the dispatched frame and vice versa.
+        let mut cross = fast_buf.clone();
+        soft.open_in_place_detached(&nonce, &aad, &mut cross, &fast_tag).unwrap();
+        prop_assert_eq!(&cross, &pt);
+        let mut cross = soft_buf;
+        fast.open_in_place_detached(&nonce, &aad, &mut cross, &soft_tag).unwrap();
+        prop_assert_eq!(&cross, &pt);
+    }
+
+    /// One suite's frame never opens under another suite with the same key
+    /// and nonce: the suites are mutually unintelligible, so a
+    /// misconfigured world cannot silently accept foreign ciphertext.
+    #[test]
+    fn suites_never_cross_open(
+        key in arb_key(),
+        nonce in arb_nonce(),
+        pt in proptest::collection::vec(any::<u8>(), 1..128),
+    ) {
+        for sealer in CipherSuite::ALL {
+            let seal_aead = sealer.aead_for_key(&key);
+            let mut ct = pt.clone();
+            let tag = seal_aead.seal_in_place_detached(&nonce, b"", &mut ct);
+            for opener in CipherSuite::ALL {
+                if opener == sealer {
+                    continue;
+                }
+                let open_aead = opener.aead_for_key(&key);
+                let mut buf = ct.clone();
+                prop_assert!(
+                    open_aead.open_in_place_detached(&nonce, b"", &mut buf, &tag).is_err(),
+                    "{} opened a {} frame", opener, sealer
+                );
+            }
+        }
     }
 }

@@ -57,6 +57,7 @@ pub mod shared;
 pub mod trace;
 pub mod world;
 
+pub use eag_crypto::{Aead, CipherSuite};
 pub use eag_netsim::{Crash, FaultKind, FaultPlan};
 pub use error::{CollectiveError, FailureCause};
 pub use metrics::Metrics;

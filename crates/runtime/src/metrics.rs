@@ -63,6 +63,12 @@ pub struct Metrics {
     pub crashes_detected: u64,
     /// Degraded recoveries this rank completed (shrunk-group re-runs).
     pub recoveries: u64,
+    /// The [`CipherSuite::id`](eag_crypto::CipherSuite::id) of the suite
+    /// this rank sealed under (0 = unset, e.g. a default-constructed
+    /// `Metrics`). A label, not a counter: aggregations take the max so a
+    /// uniform world reports its suite and a default-padded slot never
+    /// masks it.
+    pub cipher_suite: u64,
 }
 
 impl Metrics {
@@ -111,6 +117,7 @@ impl Metrics {
             out.dup_frames_dropped = out.dup_frames_dropped.max(m.dup_frames_dropped);
             out.crashes_detected = out.crashes_detected.max(m.crashes_detected);
             out.recoveries = out.recoveries.max(m.recoveries);
+            out.cipher_suite = out.cipher_suite.max(m.cipher_suite);
         }
         out
     }
@@ -141,6 +148,8 @@ impl Metrics {
             out.dup_frames_dropped += m.dup_frames_dropped;
             out.crashes_detected += m.crashes_detected;
             out.recoveries += m.recoveries;
+            // Label, not a counter: summing suite ids is meaningless.
+            out.cipher_suite = out.cipher_suite.max(m.cipher_suite);
         }
         out
     }

@@ -5,6 +5,7 @@
 //! overlap analyses in tests and can be rendered as a per-rank ASCII
 //! timeline for debugging algorithm schedules.
 
+use eag_crypto::CipherSuite;
 use eag_netsim::{FaultKind, LinkClass, Rank};
 
 /// What a traced interval was spent on.
@@ -75,6 +76,12 @@ pub enum EventKind {
         /// Number of surviving ranks in the shrunk group.
         survivors: usize,
     },
+    /// The cipher suite this rank's transport seals frames under. Recorded
+    /// once per rank at virtual time zero. Zero-duration marker.
+    Suite {
+        /// The configured suite.
+        suite: CipherSuite,
+    },
 }
 
 impl EventKind {
@@ -91,6 +98,7 @@ impl EventKind {
             EventKind::Retry { .. } => "retry",
             EventKind::Crash { .. } => "crash",
             EventKind::Recover { .. } => "recover",
+            EventKind::Suite { .. } => "suite",
         }
     }
 }
@@ -151,7 +159,8 @@ impl BusyBreakdown {
                 EventKind::Fault { .. }
                 | EventKind::Retry { .. }
                 | EventKind::Crash { .. }
-                | EventKind::Recover { .. } => {}
+                | EventKind::Recover { .. }
+                | EventKind::Suite { .. } => {}
             }
         }
         b
@@ -184,11 +193,12 @@ pub fn render_gantt(traces: &[Trace], cols: usize) -> String {
         EventKind::Retry { .. } => 'R',
         EventKind::Crash { .. } => '#',
         EventKind::Recover { .. } => '+',
+        EventKind::Suite { .. } => '@',
     };
     let mut out = String::new();
     out.push_str(&format!(
         "virtual time 0 .. {horizon:.2} µs ({cols} cells; S=send r=recv E=encrypt \
-         D=decrypt c=copy |=barrier X=fault R=retry #=crash +=recover)\n"
+         D=decrypt c=copy |=barrier X=fault R=retry #=crash +=recover @=suite)\n"
     ));
     for (rank, trace) in traces.iter().enumerate() {
         let mut row = vec!['.'; cols];
@@ -203,6 +213,7 @@ pub fn render_gantt(traces: &[Trace], cols: usize) -> String {
                     | EventKind::Retry { .. }
                     | EventKind::Crash { .. }
                     | EventKind::Recover { .. }
+                    | EventKind::Suite { .. }
             )
         };
         for e in trace
@@ -263,6 +274,7 @@ pub fn to_chrome_trace(traces: &[Trace]) -> String {
                 EventKind::Recover { survivors } => {
                     format!("{{\"survivors\":{survivors}}}")
                 }
+                EventKind::Suite { suite } => format!("{{\"suite\":\"{suite}\"}}"),
             };
             out.push_str(&format!(
                 "{{\"name\":\"{}\",\"ph\":\"X\",\"pid\":0,\"tid\":{rank},\
@@ -439,6 +451,25 @@ mod tests {
         assert!(json.contains("\"name\":\"crash\""));
         assert!(json.contains("\"rank\":2"));
         assert!(json.contains("\"survivors\":7"));
+    }
+
+    #[test]
+    fn suite_marker_is_zero_cost_and_rendered() {
+        let trace = vec![
+            ev(
+                0.0,
+                0.0,
+                EventKind::Suite {
+                    suite: CipherSuite::AesGcmSiv128,
+                },
+            ),
+            ev(0.0, 4.0, EventKind::Encrypt { bytes: 32 }),
+        ];
+        assert_eq!(BusyBreakdown::of(&trace).total_us(), 4.0);
+        let s = render_gantt(std::slice::from_ref(&trace), 10);
+        assert!(s.contains('@'), "suite marker missing:\n{s}");
+        let json = to_chrome_trace(&[trace]);
+        assert!(json.contains("\"suite\":\"aes-gcm-siv\""));
     }
 
     #[test]

@@ -57,7 +57,7 @@ use crate::payload::{Chunk, Data, Item, Parcel, Sealed};
 use crate::sched::{Departure, Scheduler};
 use crate::shared::{NodeShared, SlotKey};
 use crate::trace::{Event, EventKind, Trace};
-use eag_crypto::{AesGcm128, Key, NonceSource, WIRE_OVERHEAD};
+use eag_crypto::{Aead, CipherSuite, Key, NonceSource, WIRE_OVERHEAD};
 use eag_netsim::fabric::FabricState;
 use eag_netsim::nic::NodeNic;
 use eag_netsim::{
@@ -119,6 +119,10 @@ pub struct WorldSpec {
     pub profile: ClusterProfile,
     /// Real bytes or phantom lengths.
     pub mode: DataMode,
+    /// The AEAD cipher suite every rank seals/opens under (real mode; in
+    /// phantom mode it is priced but not performed). All suites share the
+    /// 28-byte wire framing, so traffic metrics are suite-invariant.
+    pub suite: CipherSuite,
     /// Serialize concurrent inter-node streams through each node's NIC.
     /// Disable for fully deterministic virtual times.
     pub nic_contention: bool,
@@ -162,6 +166,7 @@ impl WorldSpec {
             topology,
             profile,
             mode,
+            suite: CipherSuite::AesGcm128,
             nic_contention: true,
             capture_wire: false,
             trace: false,
@@ -276,7 +281,7 @@ pub struct ProcCtx<'w> {
     /// Frames held back by an injected `Reorder` fault; released after the
     /// next send (or when this rank blocks or finishes).
     reorder_limbo: Vec<(Rank, Message)>,
-    gcm: &'w AesGcm128,
+    aead: &'w dyn Aead,
     nonces: NonceSource,
     /// Reusable AAD buffer (the routing-metadata binding is rebuilt per
     /// chunk but never needs a fresh allocation).
@@ -1085,11 +1090,11 @@ impl<'w> ProcCtx<'w> {
                     // frame.
                     let ok = match wire.as_contiguous() {
                         Some(flat) => {
-                            eag_crypto::verify_message(self.gcm, &self.aad_scratch, flat).is_ok()
+                            eag_crypto::verify_message(self.aead, &self.aad_scratch, flat).is_ok()
                         }
                         None => {
                             let flat = wire.to_vec();
-                            eag_crypto::verify_message(self.gcm, &self.aad_scratch, &flat).is_ok()
+                            eag_crypto::verify_message(self.aead, &self.aad_scratch, &flat).is_ok()
                         }
                     };
                     if !ok {
@@ -1269,7 +1274,7 @@ impl<'w> ProcCtx<'w> {
                 // one unavoidable copy of the seal path.
                 let mut wire = Vec::with_capacity(plain_len + WIRE_OVERHEAD);
                 eag_crypto::seal_segments_into(
-                    self.gcm,
+                    self.aead,
                     &mut self.nonces,
                     &self.aad_scratch,
                     bytes.segments(),
@@ -1320,7 +1325,7 @@ impl<'w> ProcCtx<'w> {
                 // plaintext is re-frozen as a slice view — the `drain`
                 // memmove of the old path is gone.
                 let mut wire = rope.into_vec();
-                match eag_crypto::open_frame_in_place(self.gcm, &self.aad_scratch, &mut wire) {
+                match eag_crypto::open_frame_in_place(self.aead, &self.aad_scratch, &mut wire) {
                     Ok(pt) => Data::Real(eag_rope::Rope::from(wire).slice(pt)),
                     Err(e) => self.fail(FailureCause::AuthFailure {
                         detail: format!("{e:?}: forged, corrupted, or relabeled ciphertext"),
@@ -1619,7 +1624,7 @@ where
     let mut key_bytes = [0u8; 16];
     key_bytes[..8].copy_from_slice(&seed.to_le_bytes());
     key_bytes[8..].copy_from_slice(&(!seed).to_le_bytes());
-    let gcm = AesGcm128::new(&Key::from_bytes(key_bytes));
+    let aead = spec.suite.aead_for_key(&Key::from_bytes(key_bytes));
 
     let nics: Vec<NodeNic> = (0..n_nodes)
         .map(|_| NodeNic::new(model.nic_bandwidth))
@@ -1652,7 +1657,7 @@ where
         let aborted_ref = &aborted[..];
         let crash_notice_ref = &crash_notice;
         let departed_count_ref = &departed_count;
-        let gcm_ref = &gcm;
+        let aead_ref: &dyn Aead = &*aead;
 
         std::thread::scope(|scope| {
             let mut handles = Vec::with_capacity(p);
@@ -1670,7 +1675,10 @@ where
                             mvapich_switch_bytes: spec_ref.profile.mvapich_switch_bytes,
                             mode: spec_ref.mode,
                             clock_us: 0.0,
-                            metrics: Metrics::default(),
+                            metrics: Metrics {
+                                cipher_suite: spec_ref.suite.id(),
+                                ..Metrics::default()
+                            },
                             sched: sched_ref,
                             inbox_scratch: Vec::new(),
                             pending: HashMap::new(),
@@ -1679,7 +1687,7 @@ where
                             ooo: HashMap::new(),
                             sent_log: HashMap::new(),
                             reorder_limbo: Vec::new(),
-                            gcm: gcm_ref,
+                            aead: aead_ref,
                             nonces: NonceSource::seeded(mix_rank_seed(seed, rank)),
                             aad_scratch: Vec::new(),
                             nics,
@@ -1690,7 +1698,17 @@ where
                             capture_wire: spec_ref.capture_wire,
                             epoch: 0,
                             recv_timeout: spec_ref.recv_timeout,
-                            trace: spec_ref.trace.then(Vec::new),
+                            // A traced timeline opens with the suite marker
+                            // so consumers can attribute enc/dec intervals.
+                            trace: spec_ref.trace.then(|| {
+                                vec![Event {
+                                    start_us: 0.0,
+                                    end_us: 0.0,
+                                    kind: EventKind::Suite {
+                                        suite: spec_ref.suite,
+                                    },
+                                }]
+                            }),
                             faults: spec_ref.faults,
                             retry: spec_ref.retry,
                             chaos,

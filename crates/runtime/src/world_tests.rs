@@ -362,6 +362,7 @@ fn nic_contention_serializes_when_enabled() {
         topology: Topology::new(4, 2, Mapping::Block),
         profile,
         mode: DataMode::Phantom,
+        suite: eag_crypto::CipherSuite::AesGcm128,
         nic_contention: true,
         capture_wire: false,
         trace: false,

@@ -27,6 +27,7 @@ fn main() {
         reps: 3,
         nic_contention: true,
         data_seed: None,
+        suite: eag_runtime::CipherSuite::AesGcm128,
     };
 
     println!(

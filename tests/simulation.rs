@@ -68,6 +68,7 @@ fn latency_monotone_in_size() {
         reps: 1,
         nic_contention: false,
         data_seed: None,
+        suite: eag_runtime::CipherSuite::AesGcm128,
     };
     for &algo in Algorithm::all() {
         let mut prev = 0.0;
@@ -95,6 +96,7 @@ fn concurrent_family_beats_naive_at_large_sizes() {
         reps: 1,
         nic_contention: true,
         data_seed: None,
+        suite: eag_runtime::CipherSuite::AesGcm128,
     };
     let m = 512 * 1024;
     let naive = simulate(&cfg, Algorithm::Naive, m).mean;
@@ -126,6 +128,7 @@ fn round_efficient_algorithms_win_small_messages() {
         reps: 1,
         nic_contention: true,
         data_seed: None,
+        suite: eag_runtime::CipherSuite::AesGcm128,
     };
     let m = 4;
     let o_ring = simulate(&cfg, Algorithm::ORing, m).mean;
@@ -149,6 +152,7 @@ fn o_rd2_crossover() {
         reps: 1,
         nic_contention: false,
         data_seed: None,
+        suite: eag_runtime::CipherSuite::AesGcm128,
     };
     let small = 4;
     assert!(
@@ -172,6 +176,7 @@ fn hs1_hs2_crossover() {
         reps: 1,
         nic_contention: false,
         data_seed: None,
+        suite: eag_runtime::CipherSuite::AesGcm128,
     };
     assert!(simulate(&cfg, Algorithm::Hs1, 1).mean <= simulate(&cfg, Algorithm::Hs2, 1).mean);
     let large = 1024 * 1024;
@@ -191,6 +196,7 @@ fn no_contention_is_deterministic() {
         reps: 5,
         nic_contention: false,
         data_seed: None,
+        suite: eag_runtime::CipherSuite::AesGcm128,
     };
     for algo in [Algorithm::Naive, Algorithm::CRd, Algorithm::Hs1] {
         let s = simulate(&cfg, algo, 4096);
@@ -210,6 +216,7 @@ fn contention_noise_is_bounded() {
         reps: 5,
         nic_contention: true,
         data_seed: None,
+        suite: eag_runtime::CipherSuite::AesGcm128,
     };
     for algo in [Algorithm::Mvapich, Algorithm::CRing, Algorithm::Hs2] {
         let s = simulate(&cfg, algo, 64 * 1024);
@@ -234,6 +241,7 @@ fn bridges2_reduced_scale_ranking() {
         reps: 1,
         nic_contention: true,
         data_seed: None,
+        suite: eag_runtime::CipherSuite::AesGcm128,
     };
     let m = 64 * 1024;
     let hs2 = simulate(&cfg, Algorithm::Hs2, m).mean;
@@ -259,6 +267,7 @@ fn recommender_tracks_the_simulated_best() {
         reps: 1,
         nic_contention: false,
         data_seed: None,
+        suite: eag_runtime::CipherSuite::AesGcm128,
     };
     let model = cfg.cluster_profile().model;
     for m in [4usize, 1024, 64 * 1024, 1024 * 1024] {
