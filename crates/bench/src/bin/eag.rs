@@ -66,16 +66,18 @@ commands:
              aes-gcm|aes-gcm-siv|chacha20-poly1305)
   sweep      best-scheme table across sizes (--p, --nodes; optional
              --mapping, --profile, --sizes 1B,1KB,…, --csv out.csv)
-  bench      run the fixed deterministic smoke suite (latency entries plus
-             crash-recovery cells) and emit the machine-readable report
+  bench      run the fixed deterministic smoke suite (latency entries,
+             crash-recovery cells, and the concurrent-sessions sweep:
+             throughput and p95/p99 tail latency vs 1→10k tenant sessions)
+             and emit the machine-readable report
              (--json PATH or '-' for stdout;
              --probe adds wall-clock crypto throughput — never commit
              probed reports as baselines)
   regress    gate a report against a baseline (--baseline BENCH_x.json;
              optional --current BENCH_y.json, else the baseline's suite is
              re-run; --threshold pct, --confidence 0..1). Exits nonzero on
-             a statistically significant regression, metric drift, or
-             missing entries
+             a statistically significant regression (mean or p99 tail),
+             metric drift, or missing entries
   recommend  model-driven algorithm pick (--p, --nodes, --size)
   audit      wiretap security audit of all encrypted algorithms
              (--p, --nodes; optional --size)
@@ -269,9 +271,10 @@ fn write_report(report: &eag_bench::BenchReport, path: &str) -> Result<(), Strin
     } else {
         std::fs::write(path, &json).map_err(|e| format!("writing {path}: {e}"))?;
         println!(
-            "bench report written to {path} ({} entries, {} recovery{})",
+            "bench report written to {path} ({} entries, {} recovery, {} sessions{})",
             report.entries.len(),
             report.recovery.len(),
+            report.sessions.len(),
             if report.deterministic {
                 ", deterministic"
             } else {
@@ -324,18 +327,21 @@ fn cmd_regress(opts: &Options) -> Result<(), String> {
         }
         None => {
             println!(
-                "re-running suite {:?} ({} cases, {} recovery) from the baseline…",
+                "re-running suite {:?} ({} cases, {} recovery, {} sessions) from the baseline…",
                 baseline.suite,
                 baseline.entries.len(),
-                baseline.recovery.len()
+                baseline.recovery.len(),
+                baseline.sessions.len()
             );
             let cases = eag_bench::report::suite_from_report(&baseline)?;
             let recovery = eag_bench::report::recovery_suite_from_report(&baseline)?;
-            eag_bench::report::run_suite_with_recovery(
+            let sessions = eag_bench::sessions::session_suite_from_report(&baseline)?;
+            eag_bench::report::run_suite_full(
                 &baseline.suite,
                 &baseline.profile,
                 &cases,
                 &recovery,
+                &sessions,
             )
         }
     };
@@ -355,10 +361,11 @@ fn cmd_regress(opts: &Options) -> Result<(), String> {
     }
     use eag_bench::regress::Verdict;
     println!(
-        "gate: {} compared, {} regressed, {} improved, {} metric drift, {} unmatched \
-         (threshold {}%, confidence {})",
+        "gate: {} compared, {} regressed, {} tail-regressed (p99), {} improved, \
+         {} metric drift, {} unmatched (threshold {}%, confidence {})",
         out.comparisons.len(),
         out.count(&Verdict::Regressed),
+        out.count(&Verdict::TailRegressed),
         out.count(&Verdict::Improved),
         out.count(&Verdict::MetricsDrift),
         out.count(&Verdict::Unmatched),

@@ -29,6 +29,7 @@ pub mod harness;
 pub mod paper;
 pub mod regress;
 pub mod report;
+pub mod sessions;
 pub mod stats;
 pub mod tables;
 

@@ -16,6 +16,7 @@
 //! change is a behavioral change, not noise.
 
 use crate::report::{BenchEntry, BenchReport, RecoveryEntry};
+use crate::sessions::SessionEntry;
 use std::fmt;
 
 /// Gate configuration.
@@ -49,6 +50,11 @@ pub enum Verdict {
     Improved,
     /// Slower than baseline beyond the threshold and significant.
     Regressed,
+    /// The mean held but the tail did not: p99 latency slower than
+    /// baseline beyond the threshold and significant. Split out from
+    /// [`Verdict::Regressed`] so a tail-only slowdown — the failure mode a
+    /// multi-tenant service cares about most — is named in the gate output.
+    TailRegressed,
     /// The paper's cost metrics changed — a behavioral change.
     MetricsDrift,
     /// Present in only one of the two reports.
@@ -87,6 +93,7 @@ impl fmt::Display for EntryComparison {
                 Verdict::Pass => "ok",
                 Verdict::Improved => "IMPROVED",
                 Verdict::Regressed => "REGRESSED",
+                Verdict::TailRegressed => "TAIL REGRESSED (p99)",
                 Verdict::MetricsDrift => "METRICS DRIFT",
                 Verdict::Unmatched => "UNMATCHED",
             }
@@ -126,6 +133,13 @@ fn recovery_label(e: &RecoveryEntry) -> String {
     )
 }
 
+fn session_label(e: &SessionEntry) -> String {
+    format!(
+        "sessions {} p={} {}B x{} nic{}",
+        e.algorithm, e.p, e.msg_bytes, e.sessions, e.physical_nodes
+    )
+}
+
 /// Compares `current` against `baseline` under `gate`.
 pub fn compare(baseline: &BenchReport, current: &BenchReport, gate: &GateConfig) -> GateReport {
     let mut comparisons = Vec::new();
@@ -149,6 +163,17 @@ pub fn compare(baseline: &BenchReport, current: &BenchReport, gate: &GateConfig)
     for base in &baseline.recovery {
         if current.find_matching_recovery(base).is_none() {
             comparisons.push(unmatched_recovery(base, "missing from current"));
+        }
+    }
+    for cur in &current.sessions {
+        match baseline.find_matching_session(cur) {
+            Some(base) => comparisons.push(compare_session(base, cur, gate)),
+            None => comparisons.push(unmatched_session(cur, "missing from baseline")),
+        }
+    }
+    for base in &baseline.sessions {
+        if current.find_matching_session(base).is_none() {
+            comparisons.push(unmatched_session(base, "missing from current"));
         }
     }
     let pass = comparisons
@@ -178,6 +203,80 @@ fn unmatched_recovery(e: &RecoveryEntry, why: &str) -> EntryComparison {
         t_stat: f64::NAN,
         significant: false,
         verdict: Verdict::Unmatched,
+    }
+}
+
+fn unmatched_session(e: &SessionEntry, why: &str) -> EntryComparison {
+    EntryComparison {
+        label: format!("{} ({why})", session_label(e)),
+        baseline_mean_us: f64::NAN,
+        current_mean_us: f64::NAN,
+        delta_pct: f64::NAN,
+        t_stat: f64::NAN,
+        significant: false,
+        verdict: Verdict::Unmatched,
+    }
+}
+
+/// Compares one matched concurrent-sessions pair. Session sweeps are
+/// deterministic (one ledger replay per cell, zero variance), so every
+/// check is an exact comparison: the mean completion time gates as usual,
+/// the p99 tail gates separately as [`Verdict::TailRegressed`] (the
+/// failure mode a multi-tenant service cares about most), and a service
+/// throughput drop beyond the threshold also fails.
+pub fn compare_session(
+    base: &SessionEntry,
+    cur: &SessionEntry,
+    gate: &GateConfig,
+) -> EntryComparison {
+    let (b, c) = (&base.latency, &cur.latency);
+    let pct = |base_v: f64, cur_v: f64| {
+        if base_v == 0.0 {
+            0.0
+        } else {
+            (cur_v / base_v - 1.0) * 100.0
+        }
+    };
+    let delta_pct = pct(b.mean_us, c.mean_us);
+    let tail_delta_pct = pct(b.p99_us, c.p99_us);
+    let throughput_drop_pct = -pct(base.throughput_mb_per_s, cur.throughput_mb_per_s);
+    let (t_stat, significant) = welch_significant(
+        b.mean_us,
+        b.std_dev_us,
+        b.n as usize,
+        c.mean_us,
+        c.std_dev_us,
+        c.n as usize,
+        gate.confidence,
+    );
+    let (_, tail_significant) = welch_significant(
+        b.p99_us,
+        b.std_dev_us,
+        b.n as usize,
+        c.p99_us,
+        c.std_dev_us,
+        c.n as usize,
+        gate.confidence,
+    );
+    let verdict = if (delta_pct > gate.threshold_pct && significant)
+        || throughput_drop_pct > gate.threshold_pct
+    {
+        Verdict::Regressed
+    } else if tail_delta_pct > gate.threshold_pct && tail_significant {
+        Verdict::TailRegressed
+    } else if delta_pct < -gate.threshold_pct && significant {
+        Verdict::Improved
+    } else {
+        Verdict::Pass
+    };
+    EntryComparison {
+        label: session_label(cur),
+        baseline_mean_us: b.mean_us,
+        current_mean_us: c.mean_us,
+        delta_pct,
+        t_stat,
+        significant,
+        verdict,
     }
 }
 
@@ -227,7 +326,11 @@ pub fn compare_recovery(
     }
 }
 
-/// Compares one matched entry pair.
+/// Compares one matched entry pair. Besides the mean, the p99 tail gates
+/// separately: an entry whose mean holds but whose 99th percentile slows
+/// beyond the threshold (significantly, by the same Welch machinery — an
+/// exact comparison on deterministic runs) fails as
+/// [`Verdict::TailRegressed`].
 pub fn compare_entry(base: &BenchEntry, cur: &BenchEntry, gate: &GateConfig) -> EntryComparison {
     let b = &base.latency;
     let c = &cur.latency;
@@ -235,6 +338,11 @@ pub fn compare_entry(base: &BenchEntry, cur: &BenchEntry, gate: &GateConfig) -> 
         0.0
     } else {
         (c.mean_us / b.mean_us - 1.0) * 100.0
+    };
+    let tail_delta_pct = if b.p99_us == 0.0 {
+        0.0
+    } else {
+        (c.p99_us / b.p99_us - 1.0) * 100.0
     };
     let (t_stat, significant) = welch_significant(
         b.mean_us,
@@ -245,12 +353,23 @@ pub fn compare_entry(base: &BenchEntry, cur: &BenchEntry, gate: &GateConfig) -> 
         c.n as usize,
         gate.confidence,
     );
+    let (_, tail_significant) = welch_significant(
+        b.p99_us,
+        b.std_dev_us,
+        b.n as usize,
+        c.p99_us,
+        c.std_dev_us,
+        c.n as usize,
+        gate.confidence,
+    );
     let verdict = if cur.metrics != base.metrics || cur.copy_probe != base.copy_probe {
         // Both the paper's cost counters and the data-plane copy probe are
         // exact on the virtual-time simulator: any change is behavioral.
         Verdict::MetricsDrift
     } else if delta_pct > gate.threshold_pct && significant {
         Verdict::Regressed
+    } else if tail_delta_pct > gate.threshold_pct && tail_significant {
+        Verdict::TailRegressed
     } else if delta_pct < -gate.threshold_pct && significant {
         Verdict::Improved
     } else {
@@ -583,6 +702,76 @@ mod tests {
         let out = compare(&base, &cur, &GateConfig::default());
         assert!(out.pass);
         assert_eq!(out.count(&Verdict::Improved), base.entries.len());
+    }
+
+    fn session_report() -> BenchReport {
+        use crate::report::run_suite_full;
+        use crate::sessions::SessionCase;
+        run_suite_full(
+            "unit",
+            "noleland",
+            &[],
+            &[],
+            &[SessionCase {
+                algo: Algorithm::ORing,
+                p: 8,
+                nodes: 2,
+                msg_bytes: 1024,
+                sessions: 32,
+                physical_nodes: 4,
+                profile: "noleland".into(),
+            }],
+        )
+    }
+
+    #[test]
+    fn identical_session_rerun_passes() {
+        let out = compare(&session_report(), &session_report(), &GateConfig::default());
+        assert!(out.pass, "{:#?}", out.comparisons);
+        assert_eq!(out.comparisons.len(), 1);
+    }
+
+    #[test]
+    fn session_tail_only_slowdown_fails_as_tail_regressed() {
+        let base = session_report();
+        let mut cur = base.clone();
+        // Mean holds, p99 stretches 20%: a pure tail regression.
+        cur.sessions[0].latency.p99_us *= 1.20;
+        let out = compare(&base, &cur, &GateConfig::default());
+        assert!(!out.pass);
+        assert_eq!(out.count(&Verdict::TailRegressed), 1);
+    }
+
+    #[test]
+    fn session_throughput_drop_fails() {
+        let base = session_report();
+        let mut cur = base.clone();
+        cur.sessions[0].throughput_mb_per_s *= 0.80;
+        let out = compare(&base, &cur, &GateConfig::default());
+        assert!(!out.pass);
+        assert_eq!(out.count(&Verdict::Regressed), 1);
+    }
+
+    #[test]
+    fn missing_session_entry_fails() {
+        let base = session_report();
+        let mut cur = base.clone();
+        cur.sessions.clear();
+        let out = compare(&base, &cur, &GateConfig::default());
+        assert!(!out.pass);
+        assert_eq!(out.count(&Verdict::Unmatched), 1);
+    }
+
+    #[test]
+    fn entry_tail_only_slowdown_fails_as_tail_regressed() {
+        let base = tiny_report();
+        let mut cur = base.clone();
+        // Deterministic entries: mean unchanged, p99 up 20% — the tail
+        // gate must catch it even though the mean check passes.
+        cur.entries[0].latency.p99_us *= 1.20;
+        let out = compare(&base, &cur, &GateConfig::default());
+        assert!(!out.pass);
+        assert_eq!(out.count(&Verdict::TailRegressed), 1);
     }
 
     #[test]

@@ -16,6 +16,7 @@
 //! into a gating baseline.
 
 use crate::harness::{simulate_recovery, simulate_samples, SimConfig};
+use crate::sessions::{run_session_case, smoke_session_suite, SessionCase, SessionEntry};
 use crate::stats::Stats;
 use eag_core::Algorithm;
 use eag_netsim::Mapping;
@@ -25,7 +26,7 @@ use serde::{Deserialize, Serialize};
 /// Version of the JSON schema emitted by [`BenchReport`]. Bump on any
 /// breaking change to the field layout; [`BenchReport::from_json`] rejects
 /// mismatched versions instead of misreading them.
-pub const SCHEMA_VERSION: u64 = 4;
+pub const SCHEMA_VERSION: u64 = 5;
 
 /// A complete benchmark report: one entry per (algorithm, configuration,
 /// message size) plus optional wall-clock crypto throughput.
@@ -48,6 +49,11 @@ pub struct BenchReport {
     /// deterministic (flag-based detection, no NACK timers, no contention),
     /// so the regress gate compares these exactly.
     pub recovery: Vec<RecoveryEntry>,
+    /// One entry per concurrent-sessions cell: service throughput and
+    /// per-session tail latency (p95/p99) versus how many tenant sessions
+    /// share the fabric (see [`crate::sessions`]). Deterministic by
+    /// construction, so the regress gate compares the tails exactly.
+    pub sessions: Vec<SessionEntry>,
     /// Real wall-clock AES-GCM throughput, if probed (`--probe`). Always
     /// `None` in committed baselines — wall-clock numbers are machine- and
     /// load-dependent.
@@ -119,6 +125,8 @@ pub struct LatencyStats {
     pub median_us: f64,
     /// 95th percentile (nearest-rank).
     pub p95_us: f64,
+    /// 99th percentile (nearest-rank; equals `max_us` for `n < 100`).
+    pub p99_us: f64,
     /// Number of samples.
     pub n: u64,
     /// The raw samples, in run order — kept so a future reader can
@@ -137,6 +145,7 @@ impl LatencyStats {
             max_us: stats.max,
             median_us: stats.median,
             p95_us: stats.p95,
+            p99_us: stats.p99,
             n: stats.n as u64,
             samples_us: samples.to_vec(),
         }
@@ -151,6 +160,7 @@ impl LatencyStats {
             max: self.max_us,
             median: self.median_us,
             p95: self.p95_us,
+            p99: self.p99_us,
             n: self.n as usize,
         }
     }
@@ -426,6 +436,20 @@ pub fn run_suite_with_recovery(
     cases: &[SuiteCase],
     recovery: &[RecoveryCase],
 ) -> BenchReport {
+    run_suite_full(suite, profile, cases, recovery, &[])
+}
+
+/// Like [`run_suite_with_recovery`], additionally sweeping the
+/// concurrent-sessions cases into the report's `sessions` section. Session
+/// sweeps are deterministic by construction (see [`crate::sessions`]) and
+/// never affect the report's `deterministic` flag.
+pub fn run_suite_full(
+    suite: &str,
+    profile: &str,
+    cases: &[SuiteCase],
+    recovery: &[RecoveryCase],
+    sessions: &[SessionCase],
+) -> BenchReport {
     let deterministic = cases.iter().all(|c| !c.cfg.nic_contention);
     BenchReport {
         schema_version: SCHEMA_VERSION,
@@ -434,14 +458,21 @@ pub fn run_suite_with_recovery(
         deterministic,
         entries: cases.iter().map(run_case).collect(),
         recovery: recovery.iter().map(run_recovery_case).collect(),
+        sessions: sessions.iter().map(run_session_case).collect(),
         crypto: None,
     }
 }
 
 /// Runs the fixed smoke suite (the one CI gates on), including the
-/// crash-recovery cases.
+/// crash-recovery cases and the concurrent-sessions sweep.
 pub fn run_smoke_suite() -> BenchReport {
-    run_suite_with_recovery("smoke", "noleland", &smoke_suite(), &smoke_recovery_suite())
+    run_suite_full(
+        "smoke",
+        "noleland",
+        &smoke_suite(),
+        &smoke_recovery_suite(),
+        &smoke_session_suite(),
+    )
 }
 
 /// Reconstructs the suite a report was produced by, so `eag regress` can
@@ -560,6 +591,19 @@ impl BenchReport {
                 && e.msg_bytes == other.msg_bytes
                 && e.crash_rank == other.crash_rank
                 && e.crash_step == other.crash_step
+        })
+    }
+
+    /// Looks up the sessions entry matching `other` by identity (algorithm,
+    /// p, nodes, msg_bytes, sessions, physical_nodes).
+    pub fn find_matching_session(&self, other: &SessionEntry) -> Option<&SessionEntry> {
+        self.sessions.iter().find(|e| {
+            e.algorithm == other.algorithm
+                && e.p == other.p
+                && e.nodes == other.nodes
+                && e.msg_bytes == other.msg_bytes
+                && e.sessions == other.sessions
+                && e.physical_nodes == other.physical_nodes
         })
     }
 }
@@ -730,6 +774,33 @@ mod tests {
         let mut missing = report.entries[0].clone();
         missing.msg_bytes += 1;
         assert!(report.find_matching(&missing).is_none());
+    }
+
+    #[test]
+    fn session_entries_roundtrip_and_join_on_identity() {
+        let session_case = SessionCase {
+            algo: Algorithm::ORing,
+            p: 8,
+            nodes: 2,
+            msg_bytes: 1024,
+            sessions: 16,
+            physical_nodes: 4,
+            profile: "noleland".into(),
+        };
+        let report = run_suite_full("unit", "noleland", &[], &[], &[session_case]);
+        assert!(report.deterministic);
+        assert_eq!(report.sessions.len(), 1);
+        let back = BenchReport::from_json(&report.to_json()).unwrap();
+        assert_eq!(report, back);
+        let found = report.find_matching_session(&report.sessions[0]).unwrap();
+        assert_eq!(found, &report.sessions[0]);
+        let mut missing = report.sessions[0].clone();
+        missing.sessions += 1;
+        assert!(report.find_matching_session(&missing).is_none());
+        // And the sweep reconstructs for the regress re-run path.
+        let cases = crate::sessions::session_suite_from_report(&report).unwrap();
+        assert_eq!(cases.len(), 1);
+        assert_eq!(cases[0].sessions, 16);
     }
 
     #[test]

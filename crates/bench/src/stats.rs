@@ -16,6 +16,10 @@ pub struct Stats {
     /// 95th percentile by the nearest-rank method (`ceil(0.95 n)`-th
     /// smallest sample); equals `max` for `n < 20`.
     pub p95: f64,
+    /// 99th percentile by the nearest-rank method (`ceil(0.99 n)`-th
+    /// smallest sample); equals `max` for `n < 100`. The tail the
+    /// regression gate bites on for the concurrent-sessions axis.
+    pub p99: f64,
     /// Number of samples.
     pub n: usize,
 }
@@ -60,6 +64,8 @@ impl Stats {
         // frequency >= 95%.
         let p95_rank = ((0.95 * n as f64).ceil() as usize).clamp(1, n);
         let p95 = sorted[p95_rank - 1];
+        let p99_rank = ((0.99 * n as f64).ceil() as usize).clamp(1, n);
+        let p99 = sorted[p99_rank - 1];
         Ok(Stats {
             mean,
             std_dev: var.sqrt(),
@@ -67,6 +73,7 @@ impl Stats {
             max: sorted[n - 1],
             median,
             p95,
+            p99,
             n,
         })
     }
@@ -119,12 +126,25 @@ mod tests {
 
     #[test]
     fn single_sample() {
+        // n=1 edge case: every percentile is the lone sample.
         let s = Stats::of(&[5.0]);
         assert_eq!(s.mean, 5.0);
         assert_eq!(s.std_dev, 0.0);
         assert_eq!(s.median, 5.0);
         assert_eq!(s.p95, 5.0);
+        assert_eq!(s.p99, 5.0);
         assert_eq!(s.n, 1);
+    }
+
+    #[test]
+    fn two_samples_pin_the_tail_to_the_max() {
+        // n=2 edge case: ceil(0.95*2)=ceil(0.99*2)=2 → both tails are the
+        // larger sample, regardless of input order.
+        let s = Stats::of(&[8.0, 2.0]);
+        assert_eq!(s.median, 2.0); // lower middle
+        assert_eq!(s.p95, 8.0);
+        assert_eq!(s.p99, 8.0);
+        assert_eq!(s.n, 2);
     }
 
     #[test]
@@ -153,7 +173,22 @@ mod tests {
         v.push(1e6);
         let s = Stats::of(&v);
         assert_eq!(s.p95, 19.0);
+        // p99 still lands on the outlier at n=20: ceil(0.99*20)=20.
+        assert_eq!(s.p99, 1e6);
         assert_eq!(s.max, 1e6);
+    }
+
+    #[test]
+    fn p99_with_two_hundred_samples_drops_the_top_outliers() {
+        // 1..=198 plus two huge outliers: rank ceil(0.99*200)=198 → the
+        // p99 sheds both, while p95 (rank 190) sits lower still.
+        let mut v: Vec<f64> = (1..=198).map(|i| i as f64).collect();
+        v.push(1e6);
+        v.push(2e6);
+        let s = Stats::of(&v);
+        assert_eq!(s.p95, 190.0);
+        assert_eq!(s.p99, 198.0);
+        assert_eq!(s.max, 2e6);
     }
 
     #[test]

@@ -28,6 +28,8 @@
 //! - [`ctr`] — the big-endian CTR keystream used by GCM.
 //! - [`gcm`], [`gcm_siv`], [`chacha20poly1305`] — the three AEADs.
 //! - [`chacha`], [`poly1305`] — the ChaCha20-Poly1305 primitives.
+//! - [`kdf`] — per-session AEAD keys derived from a service master key
+//!   (multi-tenant session layer, with rotation epochs).
 //! - [`nonce`] — random and deterministic nonce sources.
 //! - [`dispatch`] — the shared soft-force override for CPU dispatch.
 //! - [`probe`] — wall-clock throughput probes per suite.
@@ -63,6 +65,7 @@ mod fused;
 pub mod gcm;
 pub mod gcm_siv;
 pub mod ghash;
+pub mod kdf;
 pub mod nonce;
 pub mod poly1305;
 pub mod polyval;
@@ -73,6 +76,7 @@ pub use aes::{Aes, Aes128, KeySize};
 pub use chacha20poly1305::ChaCha20Poly1305;
 pub use gcm::{AesGcm, AesGcm128, OpenError, MAX_PLAINTEXT_LEN, TAG_LEN};
 pub use gcm_siv::AesGcmSiv;
+pub use kdf::SessionKeychain;
 pub use nonce::{Nonce, NonceSource, NONCE_LEN};
 
 /// Total per-message wire overhead of the encrypted framing:

@@ -14,14 +14,32 @@
 //! in wall-clock order, not virtual-time order: a rank still at virtual time
 //! 4 µs must not queue behind a reservation another rank already made for
 //! virtual time 10 µs while the NIC is idle in between.
+//!
+//! # Multi-session sharing
+//!
+//! One physical NIC may be shared by several concurrent sessions (worlds):
+//! each reservation is stamped with its caller's *owner id*
+//! ([`NodeNic::reserve_for`]), and a finished session retires only its own
+//! intervals ([`NodeNic::retire`]) — it must not drop another session's
+//! live reservations the way a blanket [`NodeNic::reset`] would. Intervals
+//! only merge with same-owner neighbours so retirement stays exact;
+//! cross-owner back-to-back reservations remain distinct ledger entries.
 
 use parking_lot::Mutex;
+
+/// One busy stretch of the NIC, stamped with the reserving session.
+#[derive(Debug, Clone, Copy)]
+struct Interval {
+    start: f64,
+    end: f64,
+    owner: u64,
+}
 
 /// Virtual-time ledger for one node's NIC.
 #[derive(Debug)]
 pub struct NodeNic {
     /// Non-overlapping busy intervals, sorted by start time.
-    busy: Mutex<Vec<(f64, f64)>>,
+    busy: Mutex<Vec<Interval>>,
     /// Aggregate NIC bandwidth in B/µs (`INFINITY` disables contention).
     bandwidth: f64,
 }
@@ -35,11 +53,22 @@ impl NodeNic {
         }
     }
 
-    /// Reserves the NIC for `bytes` starting no earlier than `now`;
-    /// returns the virtual time at which the last byte clears the NIC.
+    /// Reserves the NIC for `bytes` starting no earlier than `now`, on
+    /// behalf of the standalone owner 0; returns the virtual time at which
+    /// the last byte clears the NIC. See [`NodeNic::reserve_for`].
+    pub fn reserve(&self, now_us: f64, bytes: usize) -> f64 {
+        self.reserve_for(0, now_us, bytes)
+    }
+
+    /// Reserves the NIC for `bytes` starting no earlier than `now`, on
+    /// behalf of session `owner`; returns the virtual time at which the
+    /// last byte clears the NIC. Contention is global — a reservation
+    /// queues behind *every* session's traffic — but the interval is
+    /// stamped with `owner` so [`NodeNic::retire`] can later remove
+    /// exactly this session's stretches.
     ///
     /// With infinite bandwidth this returns `now` and keeps no state.
-    pub fn reserve(&self, now_us: f64, bytes: usize) -> f64 {
+    pub fn reserve_for(&self, owner: u64, now_us: f64, bytes: usize) -> f64 {
         if self.bandwidth.is_infinite() {
             return now_us;
         }
@@ -52,43 +81,66 @@ impl NodeNic {
         // Earliest candidate start: skip every interval that overlaps or
         // precedes the running candidate without leaving room for `occ`.
         let mut t = now_us;
-        let mut i = busy.partition_point(|&(_, end)| end <= now_us);
+        let mut i = busy.partition_point(|iv| iv.end <= now_us);
         while i < busy.len() {
-            let (start, end) = busy[i];
-            if start - t >= occ {
+            let iv = busy[i];
+            if iv.start - t >= occ {
                 break; // fits in the gap before interval i
             }
-            if end > t {
-                t = end;
+            if iv.end > t {
+                t = iv.end;
             }
             i += 1;
         }
         let finish = t + occ;
 
         // Insert [t, finish) at position i, merging with exact-adjacent
-        // neighbours so saturated stretches collapse to one interval.
-        let merge_left = i > 0 && busy[i - 1].1 == t;
-        let merge_right = i < busy.len() && busy[i].0 == finish;
+        // *same-owner* neighbours so saturated stretches collapse to one
+        // interval; cross-owner neighbours stay distinct so retirement
+        // removes exactly the caller's time.
+        let merge_left = i > 0 && busy[i - 1].end == t && busy[i - 1].owner == owner;
+        let merge_right = i < busy.len() && busy[i].start == finish && busy[i].owner == owner;
         match (merge_left, merge_right) {
             (true, true) => {
-                busy[i - 1].1 = busy[i].1;
+                busy[i - 1].end = busy[i].end;
                 busy.remove(i);
             }
-            (true, false) => busy[i - 1].1 = finish,
-            (false, true) => busy[i].0 = t,
-            (false, false) => busy.insert(i, (t, finish)),
+            (true, false) => busy[i - 1].end = finish,
+            (false, true) => busy[i].start = t,
+            (false, false) => busy.insert(
+                i,
+                Interval {
+                    start: t,
+                    end: finish,
+                    owner,
+                },
+            ),
         }
         finish
     }
 
-    /// Resets the ledger to idle (used between simulation repetitions).
+    /// Retires every interval reserved by session `owner`, leaving all
+    /// other sessions' reservations intact. This is how a finished session
+    /// leaves a *shared* NIC; contrast [`NodeNic::reset`].
+    pub fn retire(&self, owner: u64) {
+        self.busy.lock().retain(|iv| iv.owner != owner);
+    }
+
+    /// Resets the ledger to idle (used between simulation repetitions of a
+    /// NIC with a single owner). On a NIC shared across sessions use
+    /// [`NodeNic::retire`] instead: a blanket reset here would drop other
+    /// sessions' live reservations.
     pub fn reset(&self) {
         self.busy.lock().clear();
     }
 
     /// Snapshot of the busy intervals (testing and diagnostics).
     pub fn busy_intervals(&self) -> Vec<(f64, f64)> {
-        self.busy.lock().clone()
+        self.busy
+            .lock()
+            .iter()
+            .map(|iv| (iv.start, iv.end))
+            .collect()
     }
 }
 
@@ -144,6 +196,45 @@ mod tests {
         }
         // All reservations were back-to-back → a single merged interval.
         assert_eq!(nic.busy.lock().len(), 1);
+    }
+
+    #[test]
+    fn cross_owner_adjacency_does_not_merge() {
+        let nic = NodeNic::new(1.0);
+        // Sessions 1 and 2 alternate back-to-back 10-byte stretches.
+        for k in 0..10 {
+            let owner = 1 + (k % 2) as u64;
+            nic.reserve_for(owner, k as f64 * 10.0, 10);
+        }
+        // Same wall of traffic, but per-owner boundaries survive.
+        assert_eq!(nic.busy.lock().len(), 10);
+        assert_eq!(nic.busy_intervals().first(), Some(&(0.0, 10.0)));
+        assert_eq!(nic.busy_intervals().last(), Some(&(90.0, 100.0)));
+    }
+
+    /// Satellite-2 regression: two interleaved sessions share the ledger;
+    /// one retiring must not free the other's backlog (the old blanket
+    /// `reset` did exactly that).
+    #[test]
+    fn retire_removes_only_the_callers_intervals() {
+        let nic = NodeNic::new(1.0); // 1 B/µs
+                                     // Session A and session B interleave reservations at t=0:
+                                     // A:[0,100) B:[100,200) A:[200,300) B:[300,400).
+        assert_eq!(nic.reserve_for(0xA, 0.0, 100), 100.0);
+        assert_eq!(nic.reserve_for(0xB, 0.0, 100), 200.0);
+        assert_eq!(nic.reserve_for(0xA, 0.0, 100), 300.0);
+        assert_eq!(nic.reserve_for(0xB, 0.0, 100), 400.0);
+
+        nic.retire(0xA);
+
+        // B's stretches survive verbatim...
+        assert_eq!(nic.busy_intervals(), vec![(100.0, 200.0), (300.0, 400.0)]);
+        // ...and still queue B's (and anyone's) new work: a fresh send at
+        // t=150 lands in the [200,300) gap A vacated, not at t=400.
+        assert_eq!(nic.reserve_for(0xB, 150.0, 100), 300.0);
+        // Retiring B empties the ledger entirely.
+        nic.retire(0xB);
+        assert!(nic.busy_intervals().is_empty());
     }
 
     #[test]

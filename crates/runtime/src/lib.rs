@@ -53,6 +53,7 @@ pub mod error;
 pub mod metrics;
 pub mod payload;
 pub mod sched;
+pub mod session;
 pub mod shared;
 pub mod trace;
 pub mod world;
@@ -62,6 +63,8 @@ pub use eag_netsim::{Crash, FaultKind, FaultPlan};
 pub use error::{CollectiveError, FailureCause};
 pub use metrics::Metrics;
 pub use payload::{pattern_block, Chunk, Data, Item, Parcel, Sealed};
+pub use sched::RunGate;
+pub use session::{AdmitError, Session, SessionConfig, SessionManager, SessionStats};
 pub use shared::{NodeShared, SlotKey};
 pub use trace::{BusyBreakdown, Event, EventKind, Trace};
 pub use world::{

@@ -42,6 +42,7 @@
 use parking_lot::{Condvar, Mutex};
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock};
 use std::time::Instant;
 
 /// Why [`Scheduler::park`] returned.
@@ -72,12 +73,22 @@ pub enum Departure {
     Poisoned,
 }
 
-/// Counting semaphore of run permits. Private: ranks interact with it only
-/// through [`Scheduler::enter`] / [`Scheduler::exit`] / [`Scheduler::park`]
-/// / [`Scheduler::blocking`].
-struct Gate {
+/// Counting semaphore of run permits, shareable across schedulers.
+///
+/// Every [`Scheduler`] draws its run permits from a `RunGate`. A world that
+/// builds its own scheduler gets a private gate ([`Scheduler::new`]); worlds
+/// that should contend for the *same* worker pool — concurrent tenant
+/// sessions on one host — are built with [`Scheduler::with_gate`] over one
+/// shared `Arc<RunGate>`, so the bound is per host, not per world. Ranks
+/// never touch the gate directly; they go through [`Scheduler::enter`] /
+/// [`Scheduler::exit`] / [`Scheduler::park`] / [`Scheduler::blocking`],
+/// which release the permit across every blocking region — a parked or
+/// blocked rank costs no permit, so sharing a gate cannot deadlock worlds
+/// against each other.
+pub struct RunGate {
     state: Mutex<GateState>,
     cv: Condvar,
+    width: usize,
 }
 
 struct GateState {
@@ -85,15 +96,38 @@ struct GateState {
     waiting: usize,
 }
 
-impl Gate {
-    fn new(width: usize) -> Self {
-        Gate {
+impl RunGate {
+    /// A gate holding `width` run permits (clamped to at least 1).
+    pub fn new(width: usize) -> Self {
+        let width = width.max(1);
+        RunGate {
             state: Mutex::new(GateState {
                 free: width,
                 waiting: 0,
             }),
             cv: Condvar::new(),
+            width,
         }
+    }
+
+    /// The process-global gate, sized to `available_parallelism()` (floor
+    /// 4) on first use. Worlds that specify neither an explicit worker
+    /// count nor their own gate share this one, so N concurrent worlds
+    /// are bounded by the host's core count — not N× it.
+    pub fn global() -> Arc<RunGate> {
+        static GLOBAL: OnceLock<Arc<RunGate>> = OnceLock::new();
+        Arc::clone(GLOBAL.get_or_init(|| {
+            let width = std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(4)
+                .max(4);
+            Arc::new(RunGate::new(width))
+        }))
+    }
+
+    /// Total number of run permits this gate was built with.
+    pub fn width(&self) -> usize {
+        self.width
     }
 
     fn acquire(&self) {
@@ -134,15 +168,21 @@ pub struct Scheduler<M> {
     slots: Vec<RankSlot<M>>,
     /// World-event generation counter (see [`Scheduler::world_event`]).
     generation: AtomicU64,
-    gate: Gate,
-    width: usize,
+    gate: Arc<RunGate>,
 }
 
 impl<M> Scheduler<M> {
-    /// A scheduler for `p` ranks driven by `width` run permits
-    /// (clamped to at least 1).
+    /// A scheduler for `p` ranks driven by a private gate of `width` run
+    /// permits (clamped to at least 1).
     pub fn new(p: usize, width: usize) -> Self {
-        let width = width.max(1);
+        Self::with_gate(p, Arc::new(RunGate::new(width)))
+    }
+
+    /// A scheduler for `p` ranks drawing permits from a caller-provided
+    /// (possibly shared) gate. Multiple schedulers over one gate contend
+    /// for the same worker pool: total running ranks across all of them
+    /// never exceed the gate's width.
+    pub fn with_gate(p: usize, gate: Arc<RunGate>) -> Self {
         Scheduler {
             slots: (0..p)
                 .map(|_| RankSlot {
@@ -153,14 +193,13 @@ impl<M> Scheduler<M> {
                 })
                 .collect(),
             generation: AtomicU64::new(0),
-            gate: Gate::new(width),
-            width,
+            gate,
         }
     }
 
-    /// Number of run permits.
+    /// Number of run permits in this scheduler's gate.
     pub fn width(&self) -> usize {
-        self.width
+        self.gate.width()
     }
 
     /// Acquires a run permit; a rank's state machine must hold one while
@@ -264,7 +303,7 @@ impl<M> Scheduler<M> {
     /// scheduler's own parking — shared-memory fetches and barriers block
     /// on their segment's condvar and must not hold a worker hostage.
     pub fn blocking<R>(&self, f: impl FnOnce() -> R) -> R {
-        struct Reacquire<'a>(&'a Gate);
+        struct Reacquire<'a>(&'a RunGate);
         impl Drop for Reacquire<'_> {
             fn drop(&mut self) {
                 self.0.acquire();
@@ -440,6 +479,54 @@ mod tests {
             h.join().unwrap();
         }
         assert!(peak.load(Ordering::SeqCst) <= 2, "gate width exceeded");
+    }
+
+    /// One gate, two schedulers: the permit bound is global across both,
+    /// not per scheduler — this is what keeps N concurrent worlds from
+    /// oversubscribing the host N×.
+    #[test]
+    fn shared_gate_bounds_ranks_across_schedulers() {
+        let gate = Arc::new(RunGate::new(2));
+        let a: Arc<Scheduler<u32>> = Arc::new(Scheduler::with_gate(4, Arc::clone(&gate)));
+        let b: Arc<Scheduler<u32>> = Arc::new(Scheduler::with_gate(4, Arc::clone(&gate)));
+        assert_eq!(a.width(), 2);
+        assert_eq!(b.width(), 2);
+        let running = Arc::new(AtomicUsize::new(0));
+        let peak = Arc::new(AtomicUsize::new(0));
+        let handles: Vec<_> = (0..8)
+            .map(|i| {
+                let s = if i % 2 == 0 {
+                    Arc::clone(&a)
+                } else {
+                    Arc::clone(&b)
+                };
+                let running = Arc::clone(&running);
+                let peak = Arc::clone(&peak);
+                thread::spawn(move || {
+                    s.enter();
+                    let now = running.fetch_add(1, Ordering::SeqCst) + 1;
+                    peak.fetch_max(now, Ordering::SeqCst);
+                    thread::sleep(Duration::from_millis(5));
+                    running.fetch_sub(1, Ordering::SeqCst);
+                    s.exit();
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert!(
+            peak.load(Ordering::SeqCst) <= 2,
+            "shared gate width exceeded across schedulers"
+        );
+    }
+
+    #[test]
+    fn global_gate_is_one_instance() {
+        let g1 = RunGate::global();
+        let g2 = RunGate::global();
+        assert!(Arc::ptr_eq(&g1, &g2));
+        assert!(g1.width() >= 4);
     }
 
     /// A rank inside `blocking` must not hold a worker hostage: with a

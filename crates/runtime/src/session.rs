@@ -1,0 +1,608 @@
+//! The multi-tenant session layer: admit, schedule, and retire many
+//! concurrent worlds over one shared runtime and fabric.
+//!
+//! The paper frames the encrypted all-gather as a library call one job
+//! makes; a deployed collective *service* instead runs many independent
+//! tenant groups at once. [`SessionManager`] is that service's control
+//! plane:
+//!
+//! - **Admission.** At most `max_live` sessions run at once. A blocking
+//!   [`SessionManager::admit`] queues per tenant (FIFO within a tenant);
+//!   when a tenant's queue is full the request is **shed** — typed
+//!   backpressure, not an unbounded pile-up. The non-blocking
+//!   [`SessionManager::try_admit`] is **rejected** instead of waiting.
+//! - **Fairness.** Freed slots are handed to waiting tenants round-robin,
+//!   so a tenant that floods the queue cannot starve a tenant with a
+//!   single pending session.
+//! - **Keys.** Every session seals under its own AEAD key, derived from
+//!   the service master key via [`SessionKeychain`] from the triple
+//!   `(tenant, session, epoch)`. [`SessionManager::rotate_keys`] bumps the
+//!   epoch: later admissions re-key, live sessions finish under the key
+//!   they were admitted with.
+//! - **One worker pool.** All sessions draw run permits from a single
+//!   [`RunGate`], so total running ranks across every live world is
+//!   bounded by the host — not multiplied per world.
+//! - **One fabric.** The manager owns the *physical* node NICs; each
+//!   session's logical nodes are mapped onto them, so concurrent sessions
+//!   sharing a physical node genuinely contend for its NIC in virtual
+//!   time. Reservations are owner-stamped with the session id and retired
+//!   when the session ends, leaving other sessions' ledgers intact.
+
+use crate::sched::RunGate;
+use crate::world::{run, ProcCtx, RunReport, WorldSpec};
+use eag_crypto::{Key, SessionKeychain};
+use eag_netsim::nic::NodeNic;
+use parking_lot::{Condvar, Mutex};
+use std::collections::{BTreeMap, HashSet, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Configuration of a [`SessionManager`].
+pub struct SessionConfig {
+    /// Service master key all session keys are derived from.
+    pub master_key: Key,
+    /// Maximum sessions admitted (running) at once.
+    pub max_live: usize,
+    /// Per-tenant cap on *waiting* admissions; a blocking admit beyond it
+    /// is shed.
+    pub queue_capacity: usize,
+    /// Width of the shared run-permit gate. `None` uses the
+    /// [process-global gate](RunGate::global); `Some(w)` builds a
+    /// dedicated gate of `w` permits for this manager's sessions.
+    pub gate_width: Option<usize>,
+    /// Physical nodes (NICs) the service runs on. Sessions whose worlds
+    /// span more logical nodes wrap around these.
+    pub physical_nodes: usize,
+    /// Aggregate bandwidth of each physical NIC in B/µs
+    /// (`f64::INFINITY` disables cross-session NIC contention).
+    pub nic_bandwidth: f64,
+}
+
+impl SessionConfig {
+    /// A config with service defaults: 8 live sessions, 64 queued per
+    /// tenant, the process-global gate, 4 physical nodes, no NIC cap.
+    pub fn new(master_key: Key) -> Self {
+        SessionConfig {
+            master_key,
+            max_live: 8,
+            queue_capacity: 64,
+            gate_width: None,
+            physical_nodes: 4,
+            nic_bandwidth: f64::INFINITY,
+        }
+    }
+}
+
+/// Why an admission did not produce a session.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AdmitError {
+    /// Backpressure: the tenant's waiting queue is full, so the blocking
+    /// [`SessionManager::admit`] dropped the request instead of queueing
+    /// it. The flooding tenant sees this; other tenants' queues are
+    /// unaffected.
+    Shed {
+        /// The tenant whose queue overflowed.
+        tenant: u64,
+        /// Sessions of that tenant already waiting.
+        queued: usize,
+    },
+    /// The non-blocking [`SessionManager::try_admit`] found no free slot
+    /// (or waiters ahead of it) and refused to block.
+    Rejected {
+        /// The tenant that was refused.
+        tenant: u64,
+        /// Sessions currently live across all tenants.
+        live: usize,
+    },
+}
+
+/// Monotone counters of a manager's lifetime (snapshot).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SessionStats {
+    /// Sessions admitted (immediately or after queueing).
+    pub admitted: u64,
+    /// Blocking admissions shed by per-tenant backpressure.
+    pub shed: u64,
+    /// Non-blocking admissions rejected.
+    pub rejected: u64,
+    /// Sessions retired (dropped or run to completion).
+    pub completed: u64,
+    /// Peak concurrently-live sessions.
+    pub peak_live: u64,
+}
+
+/// Admission bookkeeping behind the manager's mutex.
+struct Admission {
+    /// Live (admitted, unretired) sessions.
+    live: usize,
+    /// Per-tenant FIFO of waiting ticket ids.
+    queues: BTreeMap<u64, VecDeque<u64>>,
+    /// Round-robin order over tenants (first-contact order).
+    order: Vec<u64>,
+    /// Next tenant index in `order` to serve.
+    cursor: usize,
+    /// Tickets granted a slot but not yet collected by their waiter.
+    granted: HashSet<u64>,
+    /// Next waiting-ticket id.
+    next_ticket: u64,
+    /// Monotone counters (under the lock; snapshot via `stats`).
+    admitted: u64,
+    shed: u64,
+    rejected: u64,
+    completed: u64,
+    peak_live: u64,
+}
+
+impl Admission {
+    /// Total tickets still waiting across all tenants.
+    fn waiting(&self) -> usize {
+        self.queues.values().map(|q| q.len()).sum()
+    }
+
+    /// Hands the freed (or still-free) slot to the next waiting tenant in
+    /// round-robin order, if any.
+    fn grant_next(&mut self) {
+        let n = self.order.len();
+        for step in 0..n {
+            let tenant = self.order[(self.cursor + step) % n];
+            if let Some(q) = self.queues.get_mut(&tenant) {
+                if let Some(ticket) = q.pop_front() {
+                    self.granted.insert(ticket);
+                    self.live += 1;
+                    self.peak_live = self.peak_live.max(self.live as u64);
+                    self.cursor = (self.cursor + step + 1) % n;
+                    return;
+                }
+            }
+        }
+    }
+}
+
+struct ManagerInner {
+    gate: Arc<RunGate>,
+    /// The physical per-node NICs every session's traffic shares.
+    nics: Vec<Arc<NodeNic>>,
+    keychain: SessionKeychain,
+    epoch: AtomicU64,
+    next_session: AtomicU64,
+    max_live: usize,
+    queue_capacity: usize,
+    admission: Mutex<Admission>,
+    cv: Condvar,
+}
+
+impl ManagerInner {
+    /// Returns a session's slot and serves the next waiter.
+    fn release(&self) {
+        let mut adm = self.admission.lock();
+        adm.live -= 1;
+        adm.completed += 1;
+        if adm.live < self.max_live {
+            adm.grant_next();
+        }
+        drop(adm);
+        self.cv.notify_all();
+    }
+}
+
+/// The multi-tenant control plane. See the [module docs](self).
+pub struct SessionManager {
+    inner: Arc<ManagerInner>,
+}
+
+impl SessionManager {
+    /// A manager over `cfg`. Builds the shared gate and the physical NIC
+    /// ledgers; derives no keys until sessions are admitted.
+    pub fn new(cfg: SessionConfig) -> Self {
+        let gate = match cfg.gate_width {
+            Some(w) => Arc::new(RunGate::new(w)),
+            None => RunGate::global(),
+        };
+        let nics = (0..cfg.physical_nodes.max(1))
+            .map(|_| Arc::new(NodeNic::new(cfg.nic_bandwidth)))
+            .collect();
+        SessionManager {
+            inner: Arc::new(ManagerInner {
+                gate,
+                nics,
+                keychain: SessionKeychain::new(&cfg.master_key),
+                epoch: AtomicU64::new(0),
+                // Session ids start at 1: id 0 is the standalone
+                // (non-session) world and must never collide with a
+                // tenant session on a shared NIC ledger.
+                next_session: AtomicU64::new(1),
+                max_live: cfg.max_live.max(1),
+                queue_capacity: cfg.queue_capacity,
+                admission: Mutex::new(Admission {
+                    live: 0,
+                    queues: BTreeMap::new(),
+                    order: Vec::new(),
+                    cursor: 0,
+                    granted: HashSet::new(),
+                    next_ticket: 0,
+                    admitted: 0,
+                    shed: 0,
+                    rejected: 0,
+                    completed: 0,
+                    peak_live: 0,
+                }),
+                cv: Condvar::new(),
+            }),
+        }
+    }
+
+    /// Admits a session for `tenant`, blocking while the service is full.
+    /// Returns [`AdmitError::Shed`] without blocking when the tenant
+    /// already has `queue_capacity` sessions waiting — the backpressure
+    /// signal a flooding tenant sees.
+    pub fn admit(&self, tenant: u64) -> Result<Session, AdmitError> {
+        let inner = &self.inner;
+        let ticket = {
+            let mut adm = inner.admission.lock();
+            // Fast path: free slot and nobody waiting → no queueing.
+            if adm.live < inner.max_live && adm.waiting() == 0 {
+                adm.live += 1;
+                adm.peak_live = adm.peak_live.max(adm.live as u64);
+                adm.admitted += 1;
+                drop(adm);
+                return Ok(self.open_session(tenant));
+            }
+            let queued = adm.queues.get(&tenant).map_or(0, |q| q.len());
+            if queued >= inner.queue_capacity {
+                adm.shed += 1;
+                return Err(AdmitError::Shed { tenant, queued });
+            }
+            let ticket = adm.next_ticket;
+            adm.next_ticket += 1;
+            if !adm.order.contains(&tenant) {
+                adm.order.push(tenant);
+            }
+            adm.queues.entry(tenant).or_default().push_back(ticket);
+            // A slot may already be free (e.g. others queued behind a
+            // different tenant raced us); try to serve immediately. The
+            // grant may land on an earlier waiter, so wake them all.
+            if adm.live < inner.max_live {
+                adm.grant_next();
+                inner.cv.notify_all();
+            }
+            ticket
+        };
+        let mut adm = inner.admission.lock();
+        while !adm.granted.remove(&ticket) {
+            inner.cv.wait(&mut adm);
+        }
+        adm.admitted += 1;
+        drop(adm);
+        Ok(self.open_session(tenant))
+    }
+
+    /// Admits a session for `tenant` only if a slot is free *and* no one
+    /// is waiting; otherwise returns [`AdmitError::Rejected`] immediately.
+    pub fn try_admit(&self, tenant: u64) -> Result<Session, AdmitError> {
+        let inner = &self.inner;
+        let mut adm = inner.admission.lock();
+        if adm.live < inner.max_live && adm.waiting() == 0 {
+            adm.live += 1;
+            adm.peak_live = adm.peak_live.max(adm.live as u64);
+            adm.admitted += 1;
+            drop(adm);
+            return Ok(self.open_session(tenant));
+        }
+        adm.rejected += 1;
+        let live = adm.live;
+        Err(AdmitError::Rejected { tenant, live })
+    }
+
+    fn open_session(&self, tenant: u64) -> Session {
+        let inner = &self.inner;
+        let id = inner.next_session.fetch_add(1, Ordering::Relaxed);
+        let epoch = inner.epoch.load(Ordering::SeqCst);
+        let key = inner.keychain.derive(tenant, id, epoch);
+        Session {
+            mgr: Arc::clone(inner),
+            tenant,
+            id,
+            epoch,
+            key,
+        }
+    }
+
+    /// Starts a new rotation epoch and returns it. Sessions admitted from
+    /// now on derive their keys under the new epoch; live sessions keep
+    /// the key they were admitted with.
+    pub fn rotate_keys(&self) -> u64 {
+        self.inner.epoch.fetch_add(1, Ordering::SeqCst) + 1
+    }
+
+    /// The current rotation epoch.
+    pub fn epoch(&self) -> u64 {
+        self.inner.epoch.load(Ordering::SeqCst)
+    }
+
+    /// The run-permit gate all of this manager's sessions share.
+    pub fn gate(&self) -> Arc<RunGate> {
+        Arc::clone(&self.inner.gate)
+    }
+
+    /// Snapshot of the admission counters.
+    pub fn stats(&self) -> SessionStats {
+        let adm = self.inner.admission.lock();
+        SessionStats {
+            admitted: adm.admitted,
+            shed: adm.shed,
+            rejected: adm.rejected,
+            completed: adm.completed,
+            peak_live: adm.peak_live,
+        }
+    }
+
+    /// Sessions of `tenant` currently waiting for admission.
+    pub fn queue_depth(&self, tenant: u64) -> usize {
+        self.inner
+            .admission
+            .lock()
+            .queues
+            .get(&tenant)
+            .map_or(0, |q| q.len())
+    }
+}
+
+/// One admitted tenant session: a slot in the service, a derived AEAD
+/// key, and an owner id for shared-NIC reservations. Dropping the session
+/// retires its NIC intervals and hands its slot to the next waiter.
+pub struct Session {
+    mgr: Arc<ManagerInner>,
+    tenant: u64,
+    id: u64,
+    epoch: u64,
+    key: Key,
+}
+
+impl Session {
+    /// The owning tenant.
+    pub fn tenant(&self) -> u64 {
+        self.tenant
+    }
+
+    /// Service-unique session id (also the NIC reservation owner).
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// Rotation epoch this session's key was derived under.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// The session's derived AEAD key.
+    pub fn key(&self) -> &Key {
+        &self.key
+    }
+
+    /// Equips `spec` to run *inside* the service: the shared gate (unless
+    /// the spec pins an explicit `workers` width for cooperative
+    /// interleaving), the physical NICs (logical node `i` maps to
+    /// physical NIC `i % physical_nodes`), the session's owner id, and
+    /// its derived key.
+    pub fn equip(&self, spec: &mut WorldSpec) {
+        if spec.workers.is_none() {
+            spec.gate = Some(Arc::clone(&self.mgr.gate));
+        }
+        let physical = self.mgr.nics.len();
+        spec.shared_nics = Some(
+            (0..spec.topology.nodes())
+                .map(|node| Arc::clone(&self.mgr.nics[node % physical]))
+                .collect(),
+        );
+        spec.session_id = self.id;
+        spec.key = Some(self.key.clone());
+    }
+
+    /// Runs one collective under this session: equips a copy of `spec`
+    /// (see [`Session::equip`]), runs it, then retires this session's NIC
+    /// reservations so the shared ledgers only carry live traffic.
+    pub fn run<T, F>(&self, spec: &WorldSpec, f: F) -> RunReport<T>
+    where
+        T: Send,
+        F: Fn(&mut ProcCtx) -> T + Sync,
+    {
+        let mut spec = spec.clone();
+        self.equip(&mut spec);
+        let report = run(&spec, f);
+        for nic in &self.mgr.nics {
+            nic.retire(self.id);
+        }
+        report
+    }
+}
+
+impl Drop for Session {
+    fn drop(&mut self) {
+        for nic in &self.mgr.nics {
+            nic.retire(self.id);
+        }
+        self.mgr.release();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::world::DataMode;
+    use eag_netsim::{profile, Mapping, Topology};
+    use std::thread;
+    use std::time::Duration;
+
+    fn manager(max_live: usize, queue_capacity: usize) -> SessionManager {
+        let mut cfg = SessionConfig::new(Key::from_bytes([9u8; 16]));
+        cfg.max_live = max_live;
+        cfg.queue_capacity = queue_capacity;
+        cfg.gate_width = Some(4);
+        cfg.physical_nodes = 2;
+        cfg.nic_bandwidth = 100.0;
+        SessionManager::new(cfg)
+    }
+
+    #[test]
+    fn sessions_get_distinct_derived_keys() {
+        let m = manager(4, 4);
+        let a = m.admit(1).unwrap();
+        let b = m.admit(1).unwrap();
+        let c = m.admit(2).unwrap();
+        assert_ne!(a.key().as_bytes(), b.key().as_bytes());
+        assert_ne!(a.key().as_bytes(), c.key().as_bytes());
+        assert_ne!(a.id(), b.id());
+    }
+
+    #[test]
+    fn rotation_changes_epoch_for_later_sessions() {
+        let m = manager(4, 4);
+        let before = m.admit(1).unwrap();
+        assert_eq!(before.epoch(), 0);
+        assert_eq!(m.rotate_keys(), 1);
+        let after = m.admit(1).unwrap();
+        assert_eq!(after.epoch(), 1);
+        assert_eq!(m.epoch(), 1);
+    }
+
+    #[test]
+    fn flooding_tenant_is_shed_but_not_others() {
+        let m = Arc::new(manager(1, 1));
+        let live = m.admit(7).unwrap();
+        // One waiter fills tenant 7's queue.
+        let waiter = {
+            let m = Arc::clone(&m);
+            thread::spawn(move || m.admit(7).map(|s| s.tenant()))
+        };
+        while m.queue_depth(7) < 1 {
+            thread::sleep(Duration::from_millis(1));
+        }
+        // Tenant 7 flooding past its queue is shed...
+        match m.admit(7) {
+            Err(e) => assert_eq!(
+                e,
+                AdmitError::Shed {
+                    tenant: 7,
+                    queued: 1
+                }
+            ),
+            Ok(_) => panic!("flooding admit must be shed, not admitted"),
+        }
+        // ...and a non-blocking probe is rejected, not queued.
+        assert!(matches!(
+            m.try_admit(8),
+            Err(AdmitError::Rejected { tenant: 8, .. })
+        ));
+        let stats = m.stats();
+        assert_eq!(stats.shed, 1);
+        assert_eq!(stats.rejected, 1);
+        drop(live);
+        assert_eq!(waiter.join().unwrap().unwrap(), 7);
+    }
+
+    /// Round-robin handoff: with tenant A flooding and tenant B holding a
+    /// single pending admission, B is served after at most one A grant —
+    /// never starved behind A's whole queue.
+    #[test]
+    fn freed_slots_rotate_across_tenants() {
+        let m = Arc::new(manager(1, 8));
+        let live = m.admit(0xA).unwrap();
+        let grant_order = Arc::new(Mutex::new(Vec::new()));
+
+        // Three A waiters first, then one B waiter.
+        let mut handles = Vec::new();
+        for tenant in [0xA, 0xA, 0xA] {
+            let m2 = Arc::clone(&m);
+            let order = Arc::clone(&grant_order);
+            let before = m.queue_depth(0xA);
+            handles.push(thread::spawn(move || {
+                let s = m2.admit(tenant).unwrap();
+                order.lock().push(s.tenant());
+            }));
+            while m.queue_depth(0xA) <= before {
+                thread::sleep(Duration::from_millis(1));
+            }
+        }
+        {
+            let m2 = Arc::clone(&m);
+            let order = Arc::clone(&grant_order);
+            handles.push(thread::spawn(move || {
+                let s = m2.admit(0xB).unwrap();
+                order.lock().push(s.tenant());
+            }));
+            while m.queue_depth(0xB) < 1 {
+                thread::sleep(Duration::from_millis(1));
+            }
+        }
+
+        drop(live); // start the handoff chain
+        for h in handles {
+            h.join().unwrap();
+        }
+        let order = grant_order.lock().clone();
+        assert_eq!(order.len(), 4);
+        let b_pos = order.iter().position(|&t| t == 0xB).unwrap();
+        assert!(
+            b_pos <= 1,
+            "tenant B starved behind tenant A's flood: grant order {order:?}"
+        );
+        assert_eq!(m.stats().completed, 5);
+        assert_eq!(m.stats().peak_live, 1);
+    }
+
+    #[test]
+    fn equip_wires_gate_nics_key_and_owner() {
+        let m = manager(2, 2);
+        let s = m.admit(3).unwrap();
+        let mut spec = WorldSpec::new(
+            Topology::new(8, 4, Mapping::Block),
+            profile::unit(),
+            DataMode::Real { seed: 5 },
+        );
+        s.equip(&mut spec);
+        assert!(spec
+            .gate
+            .as_ref()
+            .is_some_and(|g| Arc::ptr_eq(g, &m.gate())));
+        let nics = spec.shared_nics.as_ref().unwrap();
+        // 4 logical nodes wrap onto 2 physical NICs.
+        assert_eq!(nics.len(), 4);
+        assert!(Arc::ptr_eq(&nics[0], &nics[2]));
+        assert!(Arc::ptr_eq(&nics[1], &nics[3]));
+        assert!(!Arc::ptr_eq(&nics[0], &nics[1]));
+        assert_eq!(spec.session_id, s.id());
+        assert_eq!(spec.key.as_ref().unwrap().as_bytes(), s.key().as_bytes());
+
+        // A pinned worker width keeps its private cooperative gate.
+        let mut coop = WorldSpec::new(
+            Topology::new(2, 1, Mapping::Block),
+            profile::unit(),
+            DataMode::Real { seed: 5 },
+        );
+        coop.workers = Some(1);
+        s.equip(&mut coop);
+        assert!(coop.gate.is_none());
+    }
+
+    /// End-to-end: a session's world runs, produces output, and leaves
+    /// the shared NIC ledgers clean afterwards.
+    #[test]
+    fn session_run_retires_its_nic_reservations() {
+        let m = manager(2, 2);
+        let s = m.admit(1).unwrap();
+        let mut spec = WorldSpec::new(
+            Topology::new(4, 2, Mapping::Block),
+            profile::noleland(),
+            DataMode::Real { seed: 11 },
+        );
+        spec.workers = Some(2);
+        let report = s.run(&spec, |ctx| ctx.rank());
+        assert_eq!(report.outputs, vec![0, 1, 2, 3]);
+        for nic in &s.mgr.nics {
+            assert!(
+                nic.busy_intervals().is_empty(),
+                "session traffic must be retired after the run"
+            );
+        }
+    }
+}

@@ -54,7 +54,7 @@
 use crate::error::{CollectiveError, FailureCause};
 use crate::metrics::Metrics;
 use crate::payload::{Chunk, Data, Item, Parcel, Sealed};
-use crate::sched::{Departure, Scheduler};
+use crate::sched::{Departure, RunGate, Scheduler};
 use crate::shared::{NodeShared, SlotKey};
 use crate::trace::{Event, EventKind, Trace};
 use eag_crypto::{Aead, CipherSuite, Key, NonceSource, WIRE_OVERHEAD};
@@ -154,9 +154,31 @@ pub struct WorldSpec {
     pub suspect_after: Option<Duration>,
     /// Width of the scheduler's worker gate: how many rank state machines
     /// may run concurrently. Parked and blocked ranks cost no worker.
-    /// `None` (the default) sizes the gate to the host's available
-    /// parallelism (floor 4).
+    /// `Some(w)` builds a *private* gate of `w` permits for this world
+    /// (cooperative-interleave tests rely on this). `None` (the default)
+    /// shares the [process-global gate](RunGate::global), so concurrent
+    /// worlds are together bounded by the host's parallelism instead of
+    /// each bringing its own host-wide pool.
     pub workers: Option<usize>,
+    /// Explicit run-permit gate, overriding both [`WorldSpec::workers`]
+    /// and the process-global default. The session layer hands every
+    /// tenant world the same `Arc` so total running ranks across all live
+    /// sessions never exceed one configured width.
+    pub gate: Option<Arc<RunGate>>,
+    /// Physical per-node NICs shared with other worlds, one per logical
+    /// node of this world (entries may alias the same physical NIC).
+    /// `None` builds private NICs. Shared ledgers are scoped by
+    /// [`WorldSpec::session_id`], so retiring one session's reservations
+    /// leaves the others' intact.
+    pub shared_nics: Option<Vec<Arc<NodeNic>>>,
+    /// Owner id stamped on this world's NIC reservations (and surfaced in
+    /// diagnostics). Distinct concurrent sessions sharing NICs must use
+    /// distinct ids; the standalone default is 0.
+    pub session_id: u64,
+    /// Explicit AEAD key for real-mode sealing, e.g. a per-session key
+    /// derived from a service master key. `None` (the standalone default)
+    /// derives the key from the data seed as before.
+    pub key: Option<Key>,
 }
 
 impl WorldSpec {
@@ -175,6 +197,10 @@ impl WorldSpec {
             recv_timeout: Some(Duration::from_secs(300)),
             suspect_after: None,
             workers: None,
+            gate: None,
+            shared_nics: None,
+            session_id: 0,
+            key: None,
         }
     }
 }
@@ -286,7 +312,10 @@ pub struct ProcCtx<'w> {
     /// Reusable AAD buffer (the routing-metadata binding is rebuilt per
     /// chunk but never needs a fresh allocation).
     aad_scratch: Vec<u8>,
-    nics: &'w [NodeNic],
+    nics: &'w [Arc<NodeNic>],
+    /// Owner id stamped on shared-NIC reservations (see
+    /// [`WorldSpec::session_id`]).
+    session_id: u64,
     fabric: Option<&'w FabricState>,
     wiretap: &'w Wiretap,
     shared: &'w [Arc<NodeShared>],
@@ -630,7 +659,7 @@ impl<'w> ProcCtx<'w> {
             LinkClass::Inter => {
                 let stream_done = self.clock_us + bytes as f64 / self.model.inter.bandwidth;
                 let nic_done = if self.nic_contention {
-                    self.nics[self.node()].reserve(self.clock_us, bytes)
+                    self.nics[self.node()].reserve_for(self.session_id, self.clock_us, bytes)
                 } else {
                     self.clock_us
                 };
@@ -1585,16 +1614,19 @@ fn mix_rank_seed(seed: u64, rank: Rank) -> u64 {
     z ^ (z >> 31)
 }
 
-/// Worker-gate width for a spec: the explicit override, or the host's
-/// available parallelism (floor 4, so tiny CI machines still overlap the
-/// handful of ranks that block in wall-clock sleeps inside tests).
-fn gate_width(spec: &WorldSpec) -> usize {
-    spec.workers.unwrap_or_else(|| {
-        std::thread::available_parallelism()
-            .map(|n| n.get())
-            .unwrap_or(4)
-            .max(4)
-    })
+/// Run-permit gate for a spec: the explicit shared gate if one was
+/// provided, else a private gate when the worker count is pinned
+/// (cooperative tests), else the process-global gate — so concurrent
+/// default-configured worlds contend for one host-wide pool instead of
+/// each conjuring an `available_parallelism()`-wide pool of their own.
+fn resolve_gate(spec: &WorldSpec) -> Arc<RunGate> {
+    if let Some(gate) = &spec.gate {
+        return Arc::clone(gate);
+    }
+    match spec.workers {
+        Some(w) => Arc::new(RunGate::new(w)),
+        None => RunGate::global(),
+    }
 }
 
 /// Shared engine behind [`run`] and [`run_crashable`]: runs one rank state
@@ -1615,20 +1647,33 @@ where
     let model = &spec.profile.model;
     let chaos = spec.faults.enabled();
 
-    let sched: Scheduler<Message> = Scheduler::new(p, gate_width(spec));
+    let sched: Scheduler<Message> = Scheduler::with_gate(p, resolve_gate(spec));
 
     let seed = match spec.mode {
         DataMode::Real { seed } => seed,
         DataMode::Phantom => 0,
     };
-    let mut key_bytes = [0u8; 16];
-    key_bytes[..8].copy_from_slice(&seed.to_le_bytes());
-    key_bytes[8..].copy_from_slice(&(!seed).to_le_bytes());
-    let aead = spec.suite.aead_for_key(&Key::from_bytes(key_bytes));
+    let key = spec.key.clone().unwrap_or_else(|| {
+        let mut key_bytes = [0u8; 16];
+        key_bytes[..8].copy_from_slice(&seed.to_le_bytes());
+        key_bytes[8..].copy_from_slice(&(!seed).to_le_bytes());
+        Key::from_bytes(key_bytes)
+    });
+    let aead = spec.suite.aead_for_key(&key);
 
-    let nics: Vec<NodeNic> = (0..n_nodes)
-        .map(|_| NodeNic::new(model.nic_bandwidth))
-        .collect();
+    let nics: Vec<Arc<NodeNic>> = match &spec.shared_nics {
+        Some(shared) => {
+            assert_eq!(
+                shared.len(),
+                n_nodes,
+                "shared_nics must provide one NIC per logical node"
+            );
+            shared.iter().map(Arc::clone).collect()
+        }
+        None => (0..n_nodes)
+            .map(|_| Arc::new(NodeNic::new(model.nic_bandwidth)))
+            .collect(),
+    };
     let fabric = model.fabric.map(|fm| FabricState::new(fm, n_nodes));
     let shared: Vec<Arc<NodeShared>> = (0..n_nodes)
         .map(|node| Arc::new(NodeShared::new(spec.topology.ranks_on_node(node).len())))
@@ -1688,9 +1733,17 @@ where
                             sent_log: HashMap::new(),
                             reorder_limbo: Vec::new(),
                             aead: aead_ref,
-                            nonces: NonceSource::seeded(mix_rank_seed(seed, rank)),
+                            // Fold the session id into the nonce seed so
+                            // concurrent sessions sharing a data seed never
+                            // share nonce streams (a no-op for the
+                            // standalone session_id = 0).
+                            nonces: NonceSource::seeded(mix_rank_seed(
+                                seed ^ spec_ref.session_id.wrapping_mul(0xD6E8_FEB8_6659_FD93),
+                                rank,
+                            )),
                             aad_scratch: Vec::new(),
                             nics,
+                            session_id: spec_ref.session_id,
                             fabric: fabric_ref,
                             wiretap: wiretap_ref,
                             shared,

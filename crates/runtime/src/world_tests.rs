@@ -29,6 +29,65 @@ fn fast_retry() -> RetryPolicy {
     }
 }
 
+/// Satellite-1 regression: two concurrent worlds handed the *same* gate
+/// must together never run more ranks than the gate's width. Before the
+/// shared gate existed, each world built its own
+/// `available_parallelism()`-wide pool, so N sessions oversubscribed the
+/// host N×.
+#[test]
+fn shared_gate_bounds_ranks_across_concurrent_worlds() {
+    use std::sync::atomic::AtomicUsize;
+
+    let gate = Arc::new(RunGate::new(2));
+    let running = Arc::new(AtomicUsize::new(0));
+    let peak = Arc::new(AtomicUsize::new(0));
+    let worlds: Vec<_> = (0..3)
+        .map(|w| {
+            let mut s = spec(4, 2);
+            s.gate = Some(Arc::clone(&gate));
+            s.session_id = w as u64;
+            let running = Arc::clone(&running);
+            let peak = Arc::clone(&peak);
+            std::thread::spawn(move || {
+                run(&s, move |ctx| {
+                    // Occupy the permit for a visible wall-clock window so
+                    // the worlds genuinely overlap.
+                    let now = running.fetch_add(1, Ordering::SeqCst) + 1;
+                    peak.fetch_max(now, Ordering::SeqCst);
+                    std::thread::sleep(Duration::from_millis(3));
+                    running.fetch_sub(1, Ordering::SeqCst);
+                    ctx.rank()
+                })
+            })
+        })
+        .collect();
+    for (w, handle) in worlds.into_iter().enumerate() {
+        let report = handle.join().unwrap();
+        assert_eq!(report.outputs, vec![0, 1, 2, 3], "world {w} outputs");
+    }
+    let peak = peak.load(Ordering::SeqCst);
+    assert!(
+        peak <= 2,
+        "shared gate must bound total running ranks across worlds; peak was {peak}"
+    );
+}
+
+/// Default-configured specs (no explicit workers, no explicit gate) all
+/// resolve to the one process-global gate.
+#[test]
+fn default_specs_share_the_global_gate() {
+    let a = resolve_gate(&spec(2, 1));
+    let b = resolve_gate(&spec(8, 2));
+    assert!(Arc::ptr_eq(&a, &b), "default worlds must share one gate");
+    assert!(Arc::ptr_eq(&a, &RunGate::global()));
+    // An explicit worker count still gets a private gate of that width.
+    let mut pinned = spec(2, 1);
+    pinned.workers = Some(1);
+    let g = resolve_gate(&pinned);
+    assert!(!Arc::ptr_eq(&g, &a));
+    assert_eq!(g.width(), 1);
+}
+
 #[test]
 fn ranks_see_their_identity() {
     let report = run(&spec(4, 2), |ctx| (ctx.rank(), ctx.node()));
@@ -371,6 +430,10 @@ fn nic_contention_serializes_when_enabled() {
         recv_timeout: Some(Duration::from_secs(300)),
         suspect_after: None,
         workers: None,
+        gate: None,
+        shared_nics: None,
+        session_id: 0,
+        key: None,
     };
     let report = run(&spec, |ctx| match ctx.rank() {
         0 | 1 => {
