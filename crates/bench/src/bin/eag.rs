@@ -4,6 +4,7 @@
 //! eag run        --algo HS2 --p 128 --nodes 8 --size 4KB [--mapping cyclic]
 //!                [--profile bridges2] [--cipher aes-gcm-siv] [--real]
 //!                [--trace] [--json out.json]
+//!                [--crash 3@1 --crash 2@0e1 …]  (crash-tolerant run)
 //! eag sweep      --p 128 --nodes 8 [--mapping block] [--profile noleland]
 //!                [--sizes 1B,1KB,64KB,1MB]
 //! eag bench      [--json BENCH_noleland.json] [--probe]
@@ -17,11 +18,14 @@
 use eag_bench::fmt::{parse_size, size_label};
 use eag_bench::tables::{best_scheme_table, render_best_scheme_table};
 use eag_bench::SimConfig;
-use eag_core::{allgather, Algorithm};
-use eag_netsim::{profile, Mapping, Topology};
-use eag_runtime::{pattern_block, run, CipherSuite, DataMode, WorldSpec};
+use eag_core::{allgather, recover_allgather, Algorithm};
+use eag_netsim::{profile, Crash, FaultPlan, Mapping, Topology};
+use eag_runtime::{
+    pattern_block, run, run_crashable, CipherSuite, DataMode, RetryPolicy, WorldSpec,
+};
 use std::collections::HashMap;
 use std::process::ExitCode;
+use std::time::Duration;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -63,7 +67,13 @@ commands:
   run        simulate one algorithm once (--algo, --p, --nodes, --size;
              optional --mapping block|cyclic, --profile, --real, --trace,
              --chrome-trace out.json, --cipher
-             aes-gcm|aes-gcm-siv|chacha20-poly1305)
+             aes-gcm|aes-gcm-siv|chacha20-poly1305).
+             Repeatable --crash RANK@STEP[eEPOCH][a][h] switches to a
+             crash-tolerant run surviving that schedule: STEP counts the
+             rank's peer sends within its arming epoch (e1 = inside the
+             first agreement instance), 'a' dies after the send leaves,
+             'h' is a hard crash (heartbeat detection only). A schedule
+             replays deterministically: same flags, same recovery.
   sweep      best-scheme table across sizes (--p, --nodes; optional
              --mapping, --profile, --sizes 1B,1KB,…, --csv out.csv)
   bench      run the fixed deterministic smoke suite (latency entries,
@@ -89,11 +99,15 @@ commands:
 
 struct Options {
     flags: HashMap<String, String>,
+    /// Every `--crash` occurrence, in order — the one repeatable flag
+    /// (`flags` is last-wins).
+    crashes: Vec<String>,
 }
 
 impl Options {
     fn parse(args: &[String]) -> Result<Options, String> {
         let mut flags = HashMap::new();
+        let mut crashes = Vec::new();
         let mut it = args.iter();
         while let Some(arg) = it.next() {
             let Some(name) = arg.strip_prefix("--") else {
@@ -105,9 +119,13 @@ impl Options {
                 continue;
             }
             let value = it.next().ok_or_else(|| format!("--{name} needs a value"))?;
+            if name == "crash" {
+                crashes.push(value.clone());
+                continue;
+            }
             flags.insert(name.to_string(), value.clone());
         }
-        Ok(Options { flags })
+        Ok(Options { flags, crashes })
     }
 
     fn usize_of(&self, name: &str, default: usize) -> Result<usize, String> {
@@ -174,6 +192,49 @@ impl Options {
         }
         Ok((p, nodes))
     }
+
+    /// Parses every `--crash` occurrence into the planned crash schedule.
+    fn crash_schedule(&self) -> Result<Vec<Crash>, String> {
+        self.crashes.iter().map(|s| parse_crash(s)).collect()
+    }
+}
+
+/// Parses one `--crash` spec: `RANK@STEP[eEPOCH][a][h]`.
+///
+/// * `3@1`   — rank 3 dies just before its 2nd peer send (epoch 0);
+/// * `2@0e1` — rank 2 dies at epoch 1's first send, i.e. inside round 0
+///   of the first survivor-agreement instance;
+/// * `4@0a`  — rank 4 dies just *after* its first send left;
+/// * `1@0h`  — hard crash: no exit notice, heartbeat detection only.
+fn parse_crash(spec: &str) -> Result<Crash, String> {
+    let bad = || format!("--crash: bad spec {spec:?} (use RANK@STEP[eEPOCH][a][h])");
+    let (rank_s, rest) = spec.split_once('@').ok_or_else(bad)?;
+    let rank: usize = rank_s.parse().map_err(|_| bad())?;
+    let digits = |s: &str| s.find(|c: char| !c.is_ascii_digit()).unwrap_or(s.len());
+    let step_end = digits(rest);
+    let step: u64 = rest[..step_end].parse().map_err(|_| bad())?;
+    let mut tail = &rest[step_end..];
+    let mut epoch = 0u64;
+    if let Some(t) = tail.strip_prefix('e') {
+        let end = digits(t);
+        epoch = t[..end].parse().map_err(|_| bad())?;
+        tail = &t[end..];
+    }
+    let (mut after, mut hard) = (false, false);
+    for c in tail.chars() {
+        match c {
+            'a' => after = true,
+            'h' => hard = true,
+            _ => return Err(bad()),
+        }
+    }
+    let c = if after {
+        Crash::after(rank, step)
+    } else {
+        Crash::before(rank, step)
+    };
+    let c = c.at_epoch(epoch);
+    Ok(if hard { c.hard() } else { c })
 }
 
 fn cmd_run(opts: &Options) -> Result<(), String> {
@@ -188,6 +249,11 @@ fn cmd_run(opts: &Options) -> Result<(), String> {
         Algorithm::by_name(algo_name).ok_or_else(|| format!("unknown algorithm {algo_name:?}"))?;
     let prof =
         profile::by_name(&opts.profile_name()).ok_or_else(|| "unknown profile".to_string())?;
+
+    let crashes = opts.crash_schedule()?;
+    if !crashes.is_empty() {
+        return cmd_run_crash(opts, algo, p, nodes, m, mapping, prof, crashes);
+    }
 
     let mut spec = WorldSpec::new(
         Topology::new(p, nodes, mapping),
@@ -259,6 +325,101 @@ fn cmd_run(opts: &Options) -> Result<(), String> {
         };
         let bench = eag_bench::report::run_suite("run", &opts.profile_name(), &[case]);
         write_report(&bench, path)?;
+    }
+    Ok(())
+}
+
+/// `eag run --crash …`: one crash-tolerant all-gather surviving the planned
+/// crash schedule. Runs `recover_allgather` under real payloads (survivor
+/// agreement seals actual failure bitmaps and the outputs verify bit-exact),
+/// with NIC contention off and flag-based detection, so a given schedule
+/// replays deterministically.
+#[allow(clippy::too_many_arguments)]
+fn cmd_run_crash(
+    opts: &Options,
+    algo: Algorithm,
+    p: usize,
+    nodes: usize,
+    m: usize,
+    mapping: Mapping,
+    prof: eag_netsim::ClusterProfile,
+    crashes: Vec<Crash>,
+) -> Result<(), String> {
+    if let Some(c) = crashes.iter().find(|c| c.rank >= p) {
+        return Err(format!("--crash: rank {} is outside 0..{p}", c.rank));
+    }
+    let seed = 7u64;
+    let mut spec = WorldSpec::new(
+        Topology::new(p, nodes, mapping),
+        prof,
+        DataMode::Real { seed },
+    );
+    spec.suite = opts.cipher()?;
+    spec.nic_contention = false;
+    spec.faults = FaultPlan {
+        crashes: crashes.clone(),
+        ..FaultPlan::default()
+    };
+    spec.retry = RetryPolicy {
+        attempt_timeout: Duration::from_secs(5),
+        max_attempts: 3,
+        backoff: 2.0,
+    };
+    spec.recv_timeout = Some(Duration::from_secs(60));
+    if crashes.iter().any(|c| c.hard) {
+        // Hard crashes leave no exit notice: arm the heartbeat-staleness
+        // suspicion clock or survivors would wait out the full timeout.
+        spec.suspect_after = Some(Duration::from_millis(50));
+    }
+    eag_runtime::quiet_expected_panics();
+
+    let report = run_crashable(&spec, move |ctx| {
+        let out = recover_allgather(ctx, algo, m);
+        out.verify(seed);
+        out
+    });
+
+    let schedule = crashes
+        .iter()
+        .map(|c| {
+            format!(
+                "{}@{}{}{}{}",
+                c.rank,
+                c.phase_step,
+                if c.epoch > 0 {
+                    format!("e{}", c.epoch)
+                } else {
+                    String::new()
+                },
+                if c.after_send { "a" } else { "" },
+                if c.hard { "h" } else { "" }
+            )
+        })
+        .collect::<Vec<_>>()
+        .join(", ");
+    println!(
+        "{} | p={p} N={nodes} {mapping} | {} blocks | profile {} | crash schedule [{schedule}]",
+        algo.name(),
+        size_label(m),
+        opts.profile_name(),
+    );
+    println!(
+        "crashed: {:?} | survivors: {}",
+        report.crashed,
+        p - report.crashed.len()
+    );
+    if let Some(out) = report.outputs.iter().flatten().next() {
+        println!(
+            "agreed failed set: {:?} | recovery epochs: {}",
+            out.failed, out.epochs
+        );
+    }
+    println!(
+        "latency: {:.2} µs (clean run + detection + agreement + re-runs)",
+        report.latency_us
+    );
+    if report.crashed.is_empty() {
+        println!("note: no planned crash fired (the schedule never reached its send steps)");
     }
     Ok(())
 }

@@ -173,7 +173,7 @@ pub struct RecoverySample {
 /// and would perturb the virtual clock nondeterministically, while crash
 /// detection itself is flag-based and never needs it. The resulting
 /// latencies are bit-deterministic and safe for an exact-compare gate.
-fn recovery_spec(cfg: &SimConfig, crash: Option<Crash>) -> WorldSpec {
+fn recovery_spec(cfg: &SimConfig, crashes: Vec<Crash>) -> WorldSpec {
     let mut spec = WorldSpec::new(
         Topology::new(cfg.p, cfg.nodes, cfg.mapping),
         cfg.cluster_profile(),
@@ -183,12 +183,10 @@ fn recovery_spec(cfg: &SimConfig, crash: Option<Crash>) -> WorldSpec {
     );
     spec.nic_contention = false;
     spec.suite = cfg.suite;
-    if let Some(c) = crash {
-        spec.faults = FaultPlan {
-            crash: Some(c),
-            ..FaultPlan::default()
-        };
-    }
+    spec.faults = FaultPlan {
+        crashes,
+        ..FaultPlan::default()
+    };
     spec.retry = RetryPolicy {
         attempt_timeout: Duration::from_secs(5),
         max_attempts: 3,
@@ -198,11 +196,45 @@ fn recovery_spec(cfg: &SimConfig, crash: Option<Crash>) -> WorldSpec {
     spec
 }
 
-/// Measures `algo` surviving `crash_rank` dying just before its send step
-/// `crash_step`, against a fault-free reference of the same collective.
-/// Panics if the planned crash never fires (the sample would silently
+/// Measures `algo` surviving the planned crash *schedule* — up to
+/// `crashes.len()` ranks dying at their armed epochs and send steps —
+/// against a fault-free reference of the same crash-tolerant collective.
+/// Panics if no planned crash fires at all (the sample would silently
 /// measure a clean run) or if any survivor's degraded output fails
 /// verification.
+pub fn simulate_recovery_schedule(
+    cfg: &SimConfig,
+    algo: Algorithm,
+    m: usize,
+    crashes: &[Crash],
+) -> RecoverySample {
+    // Every fired crash unwinds through panic machinery by design; keep the
+    // expected unwinds out of bench output.
+    static QUIET: std::sync::Once = std::sync::Once::new();
+    QUIET.call_once(eag_runtime::quiet_expected_panics);
+
+    let clean = run(&recovery_spec(cfg, Vec::new()), move |ctx| {
+        recover_allgather(ctx, algo, m).verify(RECOVERY_DATA_SEED);
+    });
+    let report = run_crashable(&recovery_spec(cfg, crashes.to_vec()), move |ctx| {
+        let out = recover_allgather(ctx, algo, m);
+        out.verify(RECOVERY_DATA_SEED);
+        out
+    });
+    assert!(
+        !report.crashed.is_empty(),
+        "{algo}: no crash of the planned schedule {crashes:?} ever fired — \
+         the recovery sample would measure a clean run"
+    );
+    RecoverySample {
+        clean_latency_us: clean.latency_us,
+        recovery_latency_us: report.latency_us,
+        survivors: cfg.p - report.crashed.len(),
+    }
+}
+
+/// Single-crash convenience wrapper: `crash_rank` dies just before its send
+/// step `crash_step`. See [`simulate_recovery_schedule`].
 pub fn simulate_recovery(
     cfg: &SimConfig,
     algo: Algorithm,
@@ -210,30 +242,7 @@ pub fn simulate_recovery(
     crash_rank: usize,
     crash_step: u64,
 ) -> RecoverySample {
-    // Every fired crash unwinds through panic machinery by design; keep the
-    // expected unwinds out of bench output.
-    static QUIET: std::sync::Once = std::sync::Once::new();
-    QUIET.call_once(eag_runtime::quiet_expected_panics);
-
-    let clean = run(&recovery_spec(cfg, None), move |ctx| {
-        recover_allgather(ctx, algo, m).verify(RECOVERY_DATA_SEED);
-    });
-    let crash = Crash::before(crash_rank, crash_step);
-    let report = run_crashable(&recovery_spec(cfg, Some(crash)), move |ctx| {
-        let out = recover_allgather(ctx, algo, m);
-        out.verify(RECOVERY_DATA_SEED);
-        out
-    });
-    assert!(
-        !report.crashed.is_empty(),
-        "{algo}: planned crash at rank {crash_rank} step {crash_step} never \
-         fired — the recovery sample would measure a clean run"
-    );
-    RecoverySample {
-        clean_latency_us: clean.latency_us,
-        recovery_latency_us: report.latency_us,
-        survivors: cfg.p - report.crashed.len(),
-    }
+    simulate_recovery_schedule(cfg, algo, m, &[Crash::before(crash_rank, crash_step)])
 }
 
 /// Simulates and also returns the critical-path metrics (single run).
@@ -301,6 +310,26 @@ mod tests {
         assert_eq!(a.clean_latency_us, b.clean_latency_us);
         assert_eq!(a.recovery_latency_us, b.recovery_latency_us);
         assert_eq!(a.survivors, cfg.p - 1);
+        assert!(a.recovery_latency_us > a.clean_latency_us);
+    }
+
+    #[test]
+    fn multi_crash_schedule_reproduces_exactly() {
+        let mut cfg = tiny(Mapping::Block);
+        cfg.nic_contention = false;
+        // Two epoch-0 crashes plus one armed inside the first agreement
+        // instance: the hardest cell shape the committed baseline carries.
+        let crashes = [
+            Crash::before(0, 0),
+            Crash::before(5, 1),
+            Crash::before(9, 0).at_epoch(1),
+        ];
+        let a = simulate_recovery_schedule(&cfg, Algorithm::OBruck, 1024, &crashes);
+        let b = simulate_recovery_schedule(&cfg, Algorithm::OBruck, 1024, &crashes);
+        assert_eq!(a.clean_latency_us, b.clean_latency_us);
+        assert_eq!(a.recovery_latency_us, b.recovery_latency_us);
+        assert_eq!(a.survivors, b.survivors);
+        assert!(a.survivors >= cfg.p - crashes.len());
         assert!(a.recovery_latency_us > a.clean_latency_us);
     }
 

@@ -127,9 +127,26 @@ fn entry_label(e: &BenchEntry) -> String {
 }
 
 fn recovery_label(e: &RecoveryEntry) -> String {
+    let schedule = e
+        .crashes
+        .iter()
+        .map(|c| {
+            format!(
+                "r{}@s{}{}",
+                c.rank,
+                c.step,
+                if c.epoch > 0 {
+                    format!("e{}", c.epoch)
+                } else {
+                    String::new()
+                }
+            )
+        })
+        .collect::<Vec<_>>()
+        .join("+");
     format!(
-        "recover {} p={} {:?} {}B r{}@s{}",
-        e.algorithm, e.p, e.mapping, e.msg_bytes, e.crash_rank, e.crash_step
+        "recover {} p={} {:?} {}B {schedule}",
+        e.algorithm, e.p, e.mapping, e.msg_bytes
     )
 }
 
@@ -555,8 +572,7 @@ mod tests {
                 cfg,
                 algo: Algorithm::ORing,
                 msg_bytes: 512,
-                crash_rank: 0,
-                crash_step: 0,
+                crashes: vec![eag_netsim::Crash::before(0, 0)],
             }],
         )
     }

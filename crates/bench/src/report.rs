@@ -15,18 +15,18 @@
 //! via [`BenchReport::with_crypto`] when measuring, and never commit them
 //! into a gating baseline.
 
-use crate::harness::{simulate_recovery, simulate_samples, SimConfig};
+use crate::harness::{simulate_recovery_schedule, simulate_samples, SimConfig};
 use crate::sessions::{run_session_case, smoke_session_suite, SessionCase, SessionEntry};
 use crate::stats::Stats;
 use eag_core::Algorithm;
-use eag_netsim::Mapping;
+use eag_netsim::{Crash, Mapping};
 use eag_runtime::{CipherSuite, Metrics};
 use serde::{Deserialize, Serialize};
 
 /// Version of the JSON schema emitted by [`BenchReport`]. Bump on any
 /// breaking change to the field layout; [`BenchReport::from_json`] rejects
 /// mismatched versions instead of misreading them.
-pub const SCHEMA_VERSION: u64 = 5;
+pub const SCHEMA_VERSION: u64 = 6;
 
 /// A complete benchmark report: one entry per (algorithm, configuration,
 /// message size) plus optional wall-clock crypto throughput.
@@ -200,15 +200,64 @@ impl PaperMetrics {
     }
 }
 
+/// One planned crash of a recovery cell's schedule, in serialized form.
+/// Mirrors [`eag_netsim::Crash`] field-for-field so a baseline replays the
+/// exact schedule it was measured under.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CrashPoint {
+    /// The rank that crashes.
+    pub rank: u64,
+    /// The peer-bound send step (within the arming epoch) that triggers it.
+    pub step: u64,
+    /// The membership epoch the crash is armed in (0 = initial attempt,
+    /// e ≥ 1 = inside the e-th recovery iteration's agreement/re-run).
+    pub epoch: u64,
+    /// Die after the triggering frame left (`true`) or just before
+    /// (`false`).
+    pub after_send: bool,
+    /// Hard crash: no exit notice, survivors detect via heartbeat
+    /// staleness.
+    pub hard: bool,
+}
+
+impl CrashPoint {
+    /// Serialized form of one planned crash.
+    pub fn of(c: &Crash) -> CrashPoint {
+        CrashPoint {
+            rank: c.rank as u64,
+            step: c.phase_step,
+            epoch: c.epoch,
+            after_send: c.after_send,
+            hard: c.hard,
+        }
+    }
+
+    /// Reconstructs the runnable crash this point was serialized from.
+    pub fn to_crash(self) -> Crash {
+        let base = if self.after_send {
+            Crash::after(self.rank as usize, self.step)
+        } else {
+            Crash::before(self.rank as usize, self.step)
+        };
+        let base = base.at_epoch(self.epoch);
+        if self.hard {
+            base.hard()
+        } else {
+            base
+        }
+    }
+}
+
 /// One crash-recovery latency cell: the virtual-time cost of surviving a
-/// planned rank crash (failure detection + survivor agreement +
-/// shrink-and-recover re-run) versus the fault-free run of the same
-/// crash-tolerant collective.
+/// planned crash *schedule* — up to f ranks dying at their armed epochs
+/// and send steps (failure detection, epoch-versioned survivor agreement,
+/// and shrink-and-recover re-runs) — versus the fault-free run of the
+/// same crash-tolerant collective.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct RecoveryEntry {
     /// Algorithm name as accepted by `Algorithm::by_name`.
     pub algorithm: String,
-    /// Number of processes before the crash.
+    /// Number of processes before the crashes.
     pub p: u64,
     /// Number of nodes.
     pub nodes: u64,
@@ -216,14 +265,12 @@ pub struct RecoveryEntry {
     pub mapping: Mapping,
     /// Per-process message size in bytes.
     pub msg_bytes: u64,
-    /// The rank that crashes.
-    pub crash_rank: u64,
-    /// The send step the rank crashes just before.
-    pub crash_step: u64,
+    /// The planned crash schedule (f = `crashes.len()`), in arming order.
+    pub crashes: Vec<CrashPoint>,
     /// Virtual latency of the fault-free run, µs.
     pub clean_latency_us: f64,
-    /// Virtual latency of the crashed run (detection + agreement +
-    /// degraded re-run), µs.
+    /// Virtual latency of the crashed run (detection + agreement epochs +
+    /// degraded re-runs), µs.
     pub recovery_latency_us: f64,
     /// Ranks that survived and produced the degraded output.
     pub survivors: u64,
@@ -263,7 +310,7 @@ pub struct SuiteCase {
 }
 
 /// One crash-recovery case of a suite: a configuration, an algorithm, a
-/// message size, and the planned crash (rank + send step).
+/// message size, and the planned crash schedule.
 #[derive(Debug, Clone)]
 pub struct RecoveryCase {
     /// Simulated cluster configuration.
@@ -272,10 +319,8 @@ pub struct RecoveryCase {
     pub algo: Algorithm,
     /// Per-process message size in bytes.
     pub msg_bytes: usize,
-    /// The rank that crashes.
-    pub crash_rank: usize,
-    /// The send step the rank crashes just before.
-    pub crash_step: u64,
+    /// The planned crash schedule (f = `crashes.len()`), in arming order.
+    pub crashes: Vec<Crash>,
 }
 
 /// Message sizes exercised by the smoke suite (1 KiB and 64 KiB: one
@@ -347,11 +392,19 @@ pub fn smoke_suite() -> Vec<SuiteCase> {
 /// Data-pattern seed of the smoke suite's real-payload cells.
 pub const SMOKE_DATA_SEED: u64 = 11;
 
-/// The fixed crash-recovery cases behind the committed baseline: every
-/// encrypted algorithm survives rank 0 (a node leader, so it sends in
-/// every algorithm) crashing just before its first send step, on an
-/// 8-process / 2-node Noleland world with 1 KiB blocks. Each case is
-/// bit-deterministic, so the committed latencies gate exactly.
+/// The fixed crash-recovery cases behind the committed baseline, on an
+/// 8-process / 2-node Noleland world with 1 KiB blocks:
+///
+/// * `f = 1` — every encrypted algorithm survives rank 0 (a node leader,
+///   so it sends in every algorithm) crashing just before its first send
+///   step;
+/// * `f = 2` — O-Ring and O-Bruck survive two concurrent epoch-0 crashes;
+/// * `f = 3` — O-Ring and O-Bruck survive a cascading schedule whose last
+///   crash is armed at epoch 1, inside round 0 of the first agreement
+///   instance (the mid-agreement cascade the restartable agreement
+///   exists for).
+///
+/// Each case is bit-deterministic, so the committed latencies gate exactly.
 pub fn smoke_recovery_suite() -> Vec<RecoveryCase> {
     let cfg = SimConfig {
         p: 8,
@@ -363,35 +416,46 @@ pub fn smoke_recovery_suite() -> Vec<RecoveryCase> {
         data_seed: None,
         suite: eag_runtime::CipherSuite::AesGcm128,
     };
-    Algorithm::encrypted_all()
+    let mut cases: Vec<RecoveryCase> = Algorithm::encrypted_all()
         .iter()
         .map(|&algo| RecoveryCase {
             cfg: cfg.clone(),
             algo,
             msg_bytes: 1024,
-            crash_rank: 0,
-            crash_step: 0,
+            crashes: vec![Crash::before(0, 0)],
         })
-        .collect()
+        .collect();
+    for algo in [Algorithm::ORing, Algorithm::OBruck] {
+        cases.push(RecoveryCase {
+            cfg: cfg.clone(),
+            algo,
+            msg_bytes: 1024,
+            crashes: vec![Crash::before(0, 0), Crash::before(4, 1)],
+        });
+        cases.push(RecoveryCase {
+            cfg: cfg.clone(),
+            algo,
+            msg_bytes: 1024,
+            crashes: vec![
+                Crash::before(0, 0),
+                Crash::before(2, 1),
+                Crash::before(4, 0).at_epoch(1),
+            ],
+        });
+    }
+    cases
 }
 
 /// Runs one crash-recovery case and serializes the result.
 pub fn run_recovery_case(case: &RecoveryCase) -> RecoveryEntry {
-    let sample = simulate_recovery(
-        &case.cfg,
-        case.algo,
-        case.msg_bytes,
-        case.crash_rank,
-        case.crash_step,
-    );
+    let sample = simulate_recovery_schedule(&case.cfg, case.algo, case.msg_bytes, &case.crashes);
     RecoveryEntry {
         algorithm: case.algo.name().to_string(),
         p: case.cfg.p as u64,
         nodes: case.cfg.nodes as u64,
         mapping: case.cfg.mapping,
         msg_bytes: case.msg_bytes as u64,
-        crash_rank: case.crash_rank as u64,
-        crash_step: case.crash_step,
+        crashes: case.crashes.iter().map(CrashPoint::of).collect(),
         clean_latency_us: sample.clean_latency_us,
         recovery_latency_us: sample.recovery_latency_us,
         survivors: sample.survivors as u64,
@@ -527,8 +591,7 @@ pub fn recovery_suite_from_report(report: &BenchReport) -> Result<Vec<RecoveryCa
                 },
                 algo,
                 msg_bytes: e.msg_bytes as usize,
-                crash_rank: e.crash_rank as usize,
-                crash_step: e.crash_step,
+                crashes: e.crashes.iter().map(|c| c.to_crash()).collect(),
             })
         })
         .collect()
@@ -581,7 +644,7 @@ impl BenchReport {
     }
 
     /// Looks up the recovery entry matching `other` by identity (algorithm,
-    /// p, nodes, mapping, msg_bytes, crash_rank, crash_step).
+    /// p, nodes, mapping, msg_bytes, and the full crash schedule).
     pub fn find_matching_recovery(&self, other: &RecoveryEntry) -> Option<&RecoveryEntry> {
         self.recovery.iter().find(|e| {
             e.algorithm == other.algorithm
@@ -589,8 +652,7 @@ impl BenchReport {
                 && e.nodes == other.nodes
                 && e.mapping == other.mapping
                 && e.msg_bytes == other.msg_bytes
-                && e.crash_rank == other.crash_rank
-                && e.crash_step == other.crash_step
+                && e.crashes == other.crashes
         })
     }
 
@@ -642,8 +704,7 @@ mod tests {
                 cfg: SimConfig { reps: 1, ..cfg },
                 algo: Algorithm::ORing,
                 msg_bytes: 512,
-                crash_rank: 0,
-                crash_step: 0,
+                crashes: vec![Crash::before(0, 0)],
             }],
         )
     }
@@ -737,9 +798,19 @@ mod tests {
     #[test]
     fn smoke_recovery_suite_shape() {
         let cases = smoke_recovery_suite();
-        assert_eq!(cases.len(), Algorithm::encrypted_all().len());
+        // One f=1 cell per encrypted algorithm, plus f=2 and f=3 schedules
+        // for O-Ring and O-Bruck.
+        assert_eq!(cases.len(), Algorithm::encrypted_all().len() + 4);
         assert!(cases.iter().all(|c| !c.cfg.nic_contention));
-        assert!(cases.iter().all(|c| c.crash_rank == 0 && c.crash_step == 0));
+        let singles: Vec<_> = cases.iter().filter(|c| c.crashes.len() == 1).collect();
+        assert_eq!(singles.len(), Algorithm::encrypted_all().len());
+        assert!(singles.iter().all(|c| c.crashes[0] == Crash::before(0, 0)));
+        // The f=3 schedules cascade into the first agreement instance.
+        let deep: Vec<_> = cases.iter().filter(|c| c.crashes.len() == 3).collect();
+        assert_eq!(deep.len(), 2);
+        assert!(deep
+            .iter()
+            .all(|c| c.crashes.iter().any(|crash| crash.epoch == 1)));
     }
 
     #[test]
@@ -762,8 +833,14 @@ mod tests {
         let found = report.find_matching_recovery(&report.recovery[0]).unwrap();
         assert_eq!(found, &report.recovery[0]);
         let mut missing = report.recovery[0].clone();
-        missing.crash_step += 1;
+        missing.crashes[0].step += 1;
         assert!(report.find_matching_recovery(&missing).is_none());
+        // A deeper schedule at the same point is a different cell too.
+        let mut extended = report.recovery[0].clone();
+        extended
+            .crashes
+            .push(CrashPoint::of(&Crash::before(1, 0).at_epoch(1)));
+        assert!(report.find_matching_recovery(&extended).is_none());
     }
 
     #[test]

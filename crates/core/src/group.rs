@@ -202,6 +202,7 @@ mod tests {
     use super::*;
     use eag_netsim::{profile, Mapping, Topology};
     use eag_runtime::{run, DataMode, WorldSpec};
+    use proptest::prelude::*;
 
     const SEED: u64 = 0x6A0;
 
@@ -239,6 +240,56 @@ mod tests {
         // Unsorted, duplicated input normalizes.
         assert_eq!(Group::new(&[4, 1, 4, 0]).members(), &[0, 1, 4]);
         assert!(Group::new(&[]).is_empty());
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig {
+            cases: 256,
+            ..ProptestConfig::default()
+        })]
+
+        /// Shrinking composes: removing the union of two failed sets in one
+        /// step reaches the same group — members, order, and renumbering —
+        /// as removing them sequentially, in either order. This is the
+        /// property the multi-crash recovery engine leans on: epoch-`e`
+        /// failures are applied by *global* rank on top of epoch-`e-1`'s
+        /// shrunk group, and every survivor that agrees on the same sets
+        /// must derive the identical final communicator without talking.
+        #[test]
+        fn shrink_composes_over_arbitrary_failed_sets(
+            base in proptest::collection::vec(0usize..64, 1..32),
+            a in proptest::collection::vec(0usize..64, 0..16),
+            b in proptest::collection::vec(0usize..64, 0..16),
+        ) {
+            let g = Group::new(&base);
+            let mut a: Vec<Rank> = a;
+            a.sort_unstable();
+            a.dedup();
+
+            // Disjoint failed sets — the common cascading-crash shape.
+            let mut b_disjoint: Vec<Rank> =
+                b.iter().copied().filter(|r| !a.contains(r)).collect();
+            b_disjoint.sort_unstable();
+            b_disjoint.dedup();
+            let mut union: Vec<Rank> = a.clone();
+            union.extend(&b_disjoint);
+            let combined = g.shrink(&union);
+            prop_assert_eq!(&g.shrink(&a).shrink(&b_disjoint), &combined);
+            prop_assert_eq!(&g.shrink(&b_disjoint).shrink(&a), &combined);
+
+            // Overlapping sets compose too (re-suspecting an already-agreed
+            // -dead rank is idempotent), and survivor renumbering matches.
+            let b_any: Vec<Rank> = b;
+            let mut overlap_union = a.clone();
+            overlap_union.extend(&b_any);
+            let seq = g.shrink(&a).shrink(&b_any);
+            prop_assert_eq!(&seq, &g.shrink(&overlap_union));
+            for (pos, &r) in seq.members().iter().enumerate() {
+                prop_assert_eq!(seq.position_of(r), Some(pos));
+                prop_assert!(g.contains(r));
+                prop_assert!(!overlap_union.contains(&r));
+            }
+        }
     }
 
     #[test]

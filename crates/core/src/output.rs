@@ -206,6 +206,12 @@ impl GatherOutput {
 pub struct DegradedOutput {
     /// The agreed failed ranks, ascending. Identical at every survivor.
     pub failed: Vec<usize>,
+    /// Membership epochs consumed before the deciding agreement: 0 for a
+    /// clean (or clean-confirmed) run, `e ≥ 1` when `e` recovery
+    /// iterations ran. Protocol-lockstep, so identical at every survivor
+    /// — it participates in [`DegradedOutput::canonical_bytes`] as a
+    /// cross-survivor sanity check on the recovery engine itself.
+    pub epochs: u64,
     /// The gathered blocks (sparse when `failed` is non-empty).
     pub output: GatherOutput,
 }
@@ -235,6 +241,7 @@ impl DegradedOutput {
     /// degraded result iff their encodings are equal.
     pub fn canonical_bytes(&self) -> Vec<u8> {
         let mut bytes = Vec::new();
+        bytes.extend_from_slice(&self.epochs.to_le_bytes());
         bytes.extend_from_slice(&(self.failed.len() as u64).to_le_bytes());
         for &f in &self.failed {
             bytes.extend_from_slice(&(f as u64).to_le_bytes());
@@ -349,19 +356,27 @@ mod tests {
         ));
         let d = DegradedOutput {
             failed: vec![1],
+            epochs: 1,
             output: out,
         };
         assert!(!d.is_complete());
         assert_eq!(d.survivors(), vec![0, 2]);
         d.verify(seed);
-        // Canonical bytes are a pure function of (failed, blocks): a clone
-        // matches, a different failed set does not.
+        // Canonical bytes are a pure function of (epochs, failed, blocks):
+        // a clone matches, a different failed set or epoch count does not.
         assert_eq!(d.canonical_bytes(), d.clone().canonical_bytes());
         let other = DegradedOutput {
             failed: vec![],
+            epochs: 1,
             output: d.output.clone(),
         };
         assert_ne!(d.canonical_bytes(), other.canonical_bytes());
+        let later_epoch = DegradedOutput {
+            failed: d.failed.clone(),
+            epochs: 2,
+            output: d.output.clone(),
+        };
+        assert_ne!(d.canonical_bytes(), later_epoch.canonical_bytes());
     }
 
     #[test]

@@ -128,25 +128,30 @@ pub fn chaos_run(
 
 // ----- crash recovery harness -------------------------------------------
 
-/// The outcome of one crash-tolerant all-gather under an injected rank
-/// crash, checked against the survivor-agreement contract.
+/// The outcome of one crash-tolerant all-gather under an injected crash
+/// schedule, checked against the survivor-agreement contract.
 #[derive(Debug, Clone)]
 pub struct CrashRunReport {
     /// The algorithm exercised.
     pub algo: Algorithm,
-    /// The injected crash.
-    pub crash: Crash,
-    /// The crash actually fired (the target rank reached its send step
-    /// during the attempt; see `Crash::phase_step`).
+    /// The injected crash schedule (see `FaultPlan::crashes`).
+    pub crashes: Vec<Crash>,
+    /// At least one planned crash actually fired (its target rank reached
+    /// the armed send step in the armed membership epoch).
     pub fired: bool,
-    /// Every survivor converged on the identical failed set (the run's
-    /// actual crashed ranks).
+    /// Every survivor converged on the *identical* failed set, and that
+    /// set only names ranks that really crashed. The decided set may be a
+    /// strict subset of the crashed ranks: a victim that dies after the
+    /// deciding agreement (or after contributing its block) is attributed
+    /// like a post-collective death and stays out of the decision.
     pub agreed: bool,
     /// Every survivor's degraded output verified bit-exact against the
     /// input patterns and all canonical encodings are identical.
     pub byte_identical: bool,
     /// Number of surviving ranks.
     pub survivors: usize,
+    /// The ranks that actually died during the run, ascending.
+    pub crashed: Vec<usize>,
     /// Crash detections, summed over ranks (a cascade detects many times).
     pub crashes_detected: u64,
     /// Completed shrink-and-recover re-runs, summed over ranks.
@@ -169,15 +174,15 @@ impl CrashRunReport {
 
 /// Builds the world spec used by crash runs. Unlike [`chaos_spec`] this
 /// prices virtual time (the noleland profile) so the recovery-latency
-/// figures are meaningful, and arms only the single planned crash.
-pub fn crash_spec(p: usize, nodes: usize, crash: Crash) -> WorldSpec {
+/// figures are meaningful, and arms exactly the planned crash schedule.
+pub fn crash_schedule_spec(p: usize, nodes: usize, crashes: Vec<Crash>) -> WorldSpec {
     let mut spec = WorldSpec::new(
         Topology::new(p, nodes, Mapping::Block),
         profile::noleland(),
         DataMode::Real { seed: DATA_SEED },
     );
     spec.faults = FaultPlan {
-        crash: Some(crash),
+        crashes,
         ..FaultPlan::default()
     };
     spec.retry = RetryPolicy {
@@ -189,35 +194,45 @@ pub fn crash_spec(p: usize, nodes: usize, crash: Crash) -> WorldSpec {
     spec
 }
 
-/// Runs `recover_allgather` under one injected crash and checks the
-/// survivor-agreement contract: every survivor settles on the identical
-/// failed set and byte-identical degraded output. A crash whose send step
-/// the target rank never reaches simply does not fire; the run must then
-/// complete cleanly at every rank.
-pub fn crash_run(
+/// Single-crash convenience wrapper over [`crash_schedule_spec`].
+pub fn crash_spec(p: usize, nodes: usize, crash: Crash) -> WorldSpec {
+    crash_schedule_spec(p, nodes, vec![crash])
+}
+
+/// Runs `recover_allgather` under an injected crash schedule and checks
+/// the survivor-agreement contract: every survivor settles on the
+/// *identical* failed set — a subset of the ranks that really crashed —
+/// and returns the byte-identical degraded output. A crash whose armed
+/// step its rank never reaches simply does not fire; with no fired crash
+/// the run must complete cleanly at every rank.
+pub fn crash_schedule_run(
     algo: Algorithm,
     p: usize,
     nodes: usize,
     m: usize,
-    crash: Crash,
+    crashes: Vec<Crash>,
 ) -> CrashRunReport {
-    let mut clean_spec = crash_spec(p, nodes, crash);
+    let mut clean_spec = crash_schedule_spec(p, nodes, Vec::new());
     clean_spec.faults = FaultPlan::default();
     let clean = try_run(&clean_spec, move |ctx| {
         allgather(ctx, algo, m).verify(DATA_SEED);
     })
     .unwrap_or_else(|e| panic!("{algo}: fault-free reference failed: {e}"));
 
-    match try_run_crashable(&crash_spec(p, nodes, crash), move |ctx| {
-        recover_allgather(ctx, algo, m)
-    }) {
+    let spec = crash_schedule_spec(p, nodes, crashes.clone());
+    match try_run_crashable(&spec, move |ctx| recover_allgather(ctx, algo, m)) {
         Ok(report) => {
             let sum = Metrics::component_sum(&report.metrics);
             let mut agreed = true;
             let mut byte_identical = true;
             let mut canon: Option<Vec<u8>> = None;
+            let mut decided: Option<Vec<usize>> = None;
             for (_, out) in report.survivor_outputs() {
-                agreed &= out.failed == report.crashed;
+                match &decided {
+                    Some(d) => agreed &= &out.failed == d,
+                    None => decided = Some(out.failed.clone()),
+                }
+                agreed &= out.failed.iter().all(|r| report.crashed.contains(r));
                 byte_identical &= catch_unwind(AssertUnwindSafe(|| out.verify(DATA_SEED))).is_ok();
                 let bytes = out.canonical_bytes();
                 match &canon {
@@ -227,11 +242,12 @@ pub fn crash_run(
             }
             CrashRunReport {
                 algo,
-                crash,
+                crashes,
                 fired: !report.crashed.is_empty(),
                 agreed,
                 byte_identical,
                 survivors: p - report.crashed.len(),
+                crashed: report.crashed.clone(),
                 crashes_detected: sum.crashes_detected,
                 recoveries: sum.recoveries,
                 clean_latency_us: clean.latency_us,
@@ -241,11 +257,12 @@ pub fn crash_run(
         }
         Err(error) => CrashRunReport {
             algo,
-            crash,
+            crashes,
             fired: false,
             agreed: false,
             byte_identical: false,
             survivors: 0,
+            crashed: Vec::new(),
             crashes_detected: 0,
             recoveries: 0,
             clean_latency_us: clean.latency_us,
@@ -253,6 +270,17 @@ pub fn crash_run(
             error: Some(error),
         },
     }
+}
+
+/// Single-crash convenience wrapper over [`crash_schedule_run`].
+pub fn crash_run(
+    algo: Algorithm,
+    p: usize,
+    nodes: usize,
+    m: usize,
+    crash: Crash,
+) -> CrashRunReport {
+    crash_schedule_run(algo, p, nodes, m, vec![crash])
 }
 
 /// Renders crash-run reports as a per-algorithm summary table: how many

@@ -66,16 +66,25 @@ impl FaultKind {
 /// The runtime cannot recover the rank; it can only detect the death,
 /// agree on the surviving membership, and re-run the collective degraded
 /// (see the recovery path in `eag-core`). The trigger is the crashing
-/// rank's own send-step counter, so the same plan kills the rank at the
-/// same point of the same algorithm run-to-run regardless of thread
-/// interleaving.
+/// rank's own send-step counter *within a membership epoch*, so the same
+/// plan kills the rank at the same point of the same algorithm run-to-run
+/// regardless of thread interleaving — including points inside the
+/// recovery machinery itself (agreement rounds and degraded re-runs run
+/// under epochs ≥ 1).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Crash {
     /// The rank whose thread dies.
     pub rank: usize,
     /// Which of the rank's own peer-bound send steps (0-based count of
-    /// sends to a *different* rank) triggers the death.
+    /// sends to a *different* rank, counted from the start of the arming
+    /// epoch) triggers the death.
     pub phase_step: u64,
+    /// The membership epoch the crash is armed in. Epoch 0 is the initial
+    /// optimistic attempt; epoch `e ≥ 1` covers the e-th recovery
+    /// iteration (its agreement rounds followed by its degraded re-run).
+    /// The per-epoch send counter resets when a rank enters an epoch, so
+    /// `phase_step` addresses a send *inside* that epoch's traffic.
+    pub epoch: u64,
     /// Die after the triggering frame has left (`true`) or just before it
     /// would have been sent (`false`). Both points matter: dying before
     /// leaves the peer's receive permanently unsatisfied, dying after
@@ -89,21 +98,25 @@ pub struct Crash {
 }
 
 impl Crash {
-    /// Soft crash of `rank` just before its `phase_step`-th peer send.
+    /// Soft crash of `rank` just before its `phase_step`-th peer send
+    /// (armed in epoch 0, the initial attempt).
     pub fn before(rank: usize, phase_step: u64) -> Self {
         Crash {
             rank,
             phase_step,
+            epoch: 0,
             after_send: false,
             hard: false,
         }
     }
 
-    /// Soft crash of `rank` just after its `phase_step`-th peer send.
+    /// Soft crash of `rank` just after its `phase_step`-th peer send
+    /// (armed in epoch 0, the initial attempt).
     pub fn after(rank: usize, phase_step: u64) -> Self {
         Crash {
             rank,
             phase_step,
+            epoch: 0,
             after_send: true,
             hard: false,
         }
@@ -112,6 +125,15 @@ impl Crash {
     /// Same event, but leaving no exit notice (heartbeat detection only).
     pub fn hard(mut self) -> Self {
         self.hard = true;
+        self
+    }
+
+    /// Re-arm the event in membership epoch `epoch`. Epoch 1's early send
+    /// steps land inside the first agreement rounds, so
+    /// `Crash::before(r, 0).at_epoch(1)` kills `r` mid-agreement — the
+    /// cascade the restartable-agreement machinery exists for.
+    pub fn at_epoch(mut self, epoch: u64) -> Self {
+        self.epoch = epoch;
         self
     }
 }
@@ -127,7 +149,7 @@ impl Crash {
 /// the legacy **unrecovered** active-adversary injection: it corrupts the
 /// frame without arming any of the transport's recovery machinery, so GCM
 /// must abort the collective (the security tests rely on this).
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct FaultPlan {
     /// Seed of the per-frame fault hash. Two runs with equal seeds (and
     /// equal traffic) inject identical fault sets.
@@ -164,8 +186,11 @@ pub struct FaultPlan {
     /// must abort on it (GCM tag mismatch); unencrypted ones silently
     /// deliver wrong bytes.
     pub corrupt_nth_inter_frame: Option<u64>,
-    /// Kill one rank's thread mid-collective. See [`Crash`].
-    pub crash: Option<Crash>,
+    /// Kill rank threads mid-collective, possibly several and possibly
+    /// inside the recovery machinery itself. Each entry arms
+    /// independently; the schedule's length is the fault bound `f` the
+    /// recovery engine sizes its agreement rounds for. See [`Crash`].
+    pub crashes: Vec<Crash>,
 }
 
 impl Default for FaultPlan {
@@ -182,7 +207,7 @@ impl Default for FaultPlan {
             armed: false,
             fault_nth_inter_frame: None,
             corrupt_nth_inter_frame: None,
-            crash: None,
+            crashes: Vec::new(),
         }
     }
 }
@@ -238,7 +263,14 @@ impl FaultPlan {
         self.armed
             || self.total_permille() > 0
             || self.fault_nth_inter_frame.is_some()
-            || self.crash.is_some()
+            || !self.crashes.is_empty()
+    }
+
+    /// The fault bound `f`: how many rank crashes this plan can fire. The
+    /// recovery engine runs `max(2, f + 1)` agreement rounds per
+    /// membership epoch so that one round is guaranteed crash-free.
+    pub fn fault_bound(&self) -> usize {
+        self.crashes.len()
     }
 
     fn total_permille(&self) -> u32 {
@@ -374,10 +406,11 @@ mod tests {
     #[test]
     fn crash_plan_arms_recovery_framing() {
         let plan = FaultPlan {
-            crash: Some(Crash::before(3, 2)),
+            crashes: vec![Crash::before(3, 2)],
             ..FaultPlan::default()
         };
         assert!(plan.enabled(), "crash detection rides on chaos framing");
+        assert_eq!(plan.fault_bound(), 1);
         // Crashes are not message faults: frame decisions stay clean.
         for seq in 0..100 {
             assert_eq!(plan.decide(3, 1, 9, seq, 0), None);
@@ -387,6 +420,35 @@ mod tests {
         assert!(Crash::after(3, 2).after_send);
         assert!(Crash::before(0, 0).hard().hard);
         assert!(!Crash::before(0, 0).hard);
+    }
+
+    #[test]
+    fn multi_crash_schedules_arm_per_epoch() {
+        // A cascade: rank 3 dies in the first attempt, rank 1 dies inside
+        // the first recovery iteration's agreement rounds, rank 5 dies in
+        // the second iteration's re-run.
+        let plan = FaultPlan {
+            crashes: vec![
+                Crash::before(3, 2),
+                Crash::before(1, 0).at_epoch(1),
+                Crash::after(5, 4).at_epoch(2).hard(),
+            ],
+            ..FaultPlan::default()
+        };
+        assert!(plan.enabled());
+        assert_eq!(plan.fault_bound(), 3);
+        assert_eq!(plan.crashes[0].epoch, 0);
+        assert_eq!(plan.crashes[1].epoch, 1);
+        assert_eq!(plan.crashes[2].epoch, 2);
+        assert!(plan.crashes[2].hard && plan.crashes[2].after_send);
+        // Constructors default to the initial attempt.
+        assert_eq!(Crash::before(0, 0).epoch, 0);
+        assert_eq!(Crash::after(0, 0).epoch, 0);
+        // `hard()` and `at_epoch()` compose in either order.
+        assert_eq!(
+            Crash::before(2, 1).hard().at_epoch(3),
+            Crash::before(2, 1).at_epoch(3).hard()
+        );
     }
 
     #[test]

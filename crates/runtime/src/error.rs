@@ -59,6 +59,16 @@ pub enum FailureCause {
         /// The rank whose output is missing.
         rank: Rank,
     },
+    /// A session's retry budget ran dry: every allowed attempt of the
+    /// collective failed, or the budget's hard deadline passed. Raised by
+    /// the session layer (`Session::run_with_budget` in `eag-runtime`)
+    /// so an exhausted tenant sees a typed error instead of a hang.
+    BudgetExhausted {
+        /// Collective attempts made before giving up.
+        attempts: u32,
+        /// Wall-clock time spent across all attempts and backoffs.
+        elapsed: Duration,
+    },
 }
 
 impl std::fmt::Display for FailureCause {
@@ -88,6 +98,11 @@ impl std::fmt::Display for FailureCause {
             FailureCause::SilentExit { rank } => {
                 write!(f, "rank {rank} exited without producing an output")
             }
+            FailureCause::BudgetExhausted { attempts, elapsed } => write!(
+                f,
+                "session retry budget exhausted after {attempts} attempt(s) \
+                 in {elapsed:?}"
+            ),
         }
     }
 }
@@ -154,6 +169,18 @@ mod tests {
         .to_string();
         assert!(c.contains("rank 5"));
         assert!(c.contains("crashed"));
+
+        let b = CollectiveError {
+            rank: 0,
+            phase: "session-retry",
+            cause: FailureCause::BudgetExhausted {
+                attempts: 3,
+                elapsed: Duration::from_millis(120),
+            },
+        }
+        .to_string();
+        assert!(b.contains("3 attempt"));
+        assert!(b.contains("budget exhausted"));
     }
 
     #[test]

@@ -64,7 +64,7 @@ pub use error::{CollectiveError, FailureCause};
 pub use metrics::Metrics;
 pub use payload::{pattern_block, Chunk, Data, Item, Parcel, Sealed};
 pub use sched::RunGate;
-pub use session::{AdmitError, Session, SessionConfig, SessionManager, SessionStats};
+pub use session::{AdmitError, RetryBudget, Session, SessionConfig, SessionManager, SessionStats};
 pub use shared::{NodeShared, SlotKey};
 pub use trace::{BusyBreakdown, Event, EventKind, Trace};
 pub use world::{

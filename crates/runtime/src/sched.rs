@@ -130,6 +130,13 @@ impl RunGate {
         self.width
     }
 
+    /// Run permits currently unheld — a diagnostic snapshot (stale the
+    /// moment it returns). Tests use it to assert that parked or retired
+    /// worlds hold no permits; schedulers must not branch on it.
+    pub fn free_permits(&self) -> usize {
+        self.state.lock().free
+    }
+
     fn acquire(&self) {
         let mut st = self.state.lock();
         while st.free == 0 {

@@ -28,14 +28,16 @@
 //!   time. Reservations are owner-stamped with the session id and retired
 //!   when the session ends, leaving other sessions' ledgers intact.
 
+use crate::error::{CollectiveError, FailureCause};
 use crate::sched::RunGate;
-use crate::world::{run, ProcCtx, RunReport, WorldSpec};
+use crate::world::{run, try_run, CrashReport, ProcCtx, RunReport, WorldSpec};
 use eag_crypto::{Key, SessionKeychain};
 use eag_netsim::nic::NodeNic;
 use parking_lot::{Condvar, Mutex};
 use std::collections::{BTreeMap, HashSet, VecDeque};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 /// Configuration of a [`SessionManager`].
 pub struct SessionConfig {
@@ -69,6 +71,43 @@ impl SessionConfig {
             gate_width: None,
             physical_nodes: 4,
             nic_bandwidth: f64::INFINITY,
+        }
+    }
+}
+
+/// A session's whole-collective retry budget: how many times a tenant may
+/// re-run a failed collective, how long to back off between attempts, and
+/// a hard wall-clock deadline across all of them.
+///
+/// This sits *above* the per-receive [`RetryPolicy`](crate::RetryPolicy):
+/// the policy retries one blocked receive inside an attempt, the budget
+/// retries whole attempts of the collective. [`Session::run_with_budget`]
+/// enforces it and converts exhaustion into a typed
+/// [`BudgetExhausted`](FailureCause::BudgetExhausted) error — a tenant
+/// whose group keeps failing is parked with an answer, never a hang.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RetryBudget {
+    /// Whole-collective attempts before giving up (min 1).
+    pub max_attempts: u32,
+    /// Sleep before the second attempt; grows by `backoff_factor` after
+    /// each further failure.
+    pub initial_backoff: Duration,
+    /// Multiplier applied to the backoff after every failed attempt
+    /// (clamped to ≥ 1.0).
+    pub backoff_factor: f64,
+    /// Hard wall-clock ceiling across all attempts and backoffs. Every
+    /// blocking receive inside an attempt is clamped to the remaining
+    /// deadline, so a wedged attempt surfaces as a typed timeout.
+    pub deadline: Duration,
+}
+
+impl Default for RetryBudget {
+    fn default() -> Self {
+        RetryBudget {
+            max_attempts: 3,
+            initial_backoff: Duration::from_millis(5),
+            backoff_factor: 2.0,
+            deadline: Duration::from_secs(30),
         }
     }
 }
@@ -414,6 +453,90 @@ impl Session {
         }
         report
     }
+
+    /// Like [`Session::run`] for a world whose fault plan injects crashes:
+    /// survivors recover (or fail with a typed error), the runner keeps
+    /// the world alive, and this session's NIC reservations are retired
+    /// afterwards either way.
+    pub fn run_crashable<T, F>(&self, spec: &WorldSpec, f: F) -> CrashReport<T>
+    where
+        T: Send,
+        F: Fn(&mut ProcCtx) -> T + Sync,
+    {
+        let mut spec = spec.clone();
+        self.equip(&mut spec);
+        let report = crate::world::run_crashable(&spec, f);
+        for nic in &self.mgr.nics {
+            nic.retire(self.id);
+        }
+        report
+    }
+
+    /// Runs a collective under this session with a whole-collective
+    /// [`RetryBudget`]: failed attempts are retried with exponential
+    /// backoff until the budget's attempts or hard deadline run out, at
+    /// which point a typed [`BudgetExhausted`](FailureCause::BudgetExhausted)
+    /// error is returned — never a hang.
+    ///
+    /// Every attempt's blocking receives are clamped to the remaining
+    /// deadline (tightening any `recv_timeout` the spec already sets), so
+    /// even an attempt that would otherwise wedge forever is converted
+    /// into a failure the budget can account. NIC reservations are retired
+    /// after every attempt, successful or not.
+    pub fn run_with_budget<T, F>(
+        &self,
+        spec: &WorldSpec,
+        budget: &RetryBudget,
+        f: F,
+    ) -> Result<RunReport<T>, CollectiveError>
+    where
+        T: Send,
+        F: Fn(&mut ProcCtx) -> T + Sync,
+    {
+        let start = Instant::now();
+        let max_attempts = budget.max_attempts.max(1);
+        let mut backoff = budget.initial_backoff;
+        let mut attempts = 0u32;
+        while attempts < max_attempts {
+            let Some(remaining) = budget
+                .deadline
+                .checked_sub(start.elapsed())
+                .filter(|r| !r.is_zero())
+            else {
+                break;
+            };
+            let mut attempt_spec = spec.clone();
+            self.equip(&mut attempt_spec);
+            attempt_spec.recv_timeout = Some(
+                attempt_spec
+                    .recv_timeout
+                    .map_or(remaining, |t| t.min(remaining)),
+            );
+            attempts += 1;
+            let result = try_run(&attempt_spec, &f);
+            for nic in &self.mgr.nics {
+                nic.retire(self.id);
+            }
+            match result {
+                Ok(report) => return Ok(report),
+                Err(_) if attempts < max_attempts => {
+                    if let Some(rem) = budget.deadline.checked_sub(start.elapsed()) {
+                        std::thread::sleep(backoff.min(rem));
+                    }
+                    backoff = backoff.mul_f64(budget.backoff_factor.max(1.0));
+                }
+                Err(_) => break,
+            }
+        }
+        Err(CollectiveError {
+            rank: 0,
+            phase: "session-retry",
+            cause: FailureCause::BudgetExhausted {
+                attempts,
+                elapsed: start.elapsed(),
+            },
+        })
+    }
 }
 
 impl Drop for Session {
@@ -582,6 +705,116 @@ mod tests {
         coop.workers = Some(1);
         s.equip(&mut coop);
         assert!(coop.gate.is_none());
+    }
+
+    #[test]
+    fn budget_returns_first_success_unretried() {
+        let m = manager(2, 2);
+        let s = m.admit(1).unwrap();
+        let mut spec = WorldSpec::new(
+            Topology::new(4, 2, Mapping::Block),
+            profile::noleland(),
+            DataMode::Real { seed: 11 },
+        );
+        spec.workers = Some(2);
+        let report = s
+            .run_with_budget(&spec, &RetryBudget::default(), |ctx| ctx.rank())
+            .expect("clean world must succeed on the first attempt");
+        assert_eq!(report.outputs, vec![0, 1, 2, 3]);
+        for nic in &s.mgr.nics {
+            assert!(nic.busy_intervals().is_empty());
+        }
+    }
+
+    #[test]
+    fn exhausted_budget_is_a_typed_error_not_a_hang() {
+        use crate::payload::{Item, Parcel};
+        use eag_netsim::{Crash, FaultPlan};
+
+        let m = manager(2, 2);
+        let s = m.admit(4).unwrap();
+        let mut spec = WorldSpec::new(
+            Topology::new(2, 2, Mapping::Block),
+            profile::noleland(),
+            DataMode::Real { seed: 3 },
+        );
+        spec.workers = Some(2);
+        // Rank 1 dies at its first send on every attempt; the collective
+        // (which does not recover) fails each time, so the budget runs dry.
+        spec.faults = FaultPlan {
+            crashes: vec![Crash::before(1, 0)],
+            ..FaultPlan::default()
+        };
+        crate::world::quiet_expected_panics();
+        let start = Instant::now();
+        let err = s
+            .run_with_budget(
+                &spec,
+                &RetryBudget {
+                    max_attempts: 2,
+                    initial_backoff: Duration::from_millis(1),
+                    backoff_factor: 2.0,
+                    deadline: Duration::from_secs(20),
+                },
+                |ctx| {
+                    if ctx.rank() == 1 {
+                        ctx.send(0, 9, Parcel::one(Item::Plain(ctx.my_block(8))));
+                        0
+                    } else {
+                        ctx.recv(1, 9).items.len()
+                    }
+                },
+            )
+            .map(|_| ())
+            .expect_err("every attempt crashes; the budget must exhaust");
+        assert!(
+            start.elapsed() < Duration::from_secs(20),
+            "hung to deadline"
+        );
+        assert_eq!(err.phase, "session-retry");
+        assert_eq!(
+            err.cause,
+            FailureCause::BudgetExhausted {
+                attempts: 2,
+                elapsed: match err.cause {
+                    FailureCause::BudgetExhausted { elapsed, .. } => elapsed,
+                    _ => unreachable!(),
+                }
+            }
+        );
+        for nic in &s.mgr.nics {
+            assert!(
+                nic.busy_intervals().is_empty(),
+                "failed attempts must retire NICs"
+            );
+        }
+    }
+
+    #[test]
+    fn zero_deadline_budget_fails_before_any_attempt() {
+        let m = manager(2, 2);
+        let s = m.admit(1).unwrap();
+        let mut spec = WorldSpec::new(
+            Topology::new(2, 1, Mapping::Block),
+            profile::unit(),
+            DataMode::Real { seed: 1 },
+        );
+        spec.workers = Some(1);
+        let err = s
+            .run_with_budget(
+                &spec,
+                &RetryBudget {
+                    deadline: Duration::ZERO,
+                    ..RetryBudget::default()
+                },
+                |ctx| ctx.rank(),
+            )
+            .map(|_| ())
+            .expect_err("an already-expired deadline admits no attempts");
+        assert!(matches!(
+            err.cause,
+            FailureCause::BudgetExhausted { attempts: 0, .. }
+        ));
     }
 
     /// End-to-end: a session's world runs, produces output, and leaves

@@ -34,20 +34,24 @@
 //!
 //! # Crash tolerance
 //!
-//! A [`FaultPlan`] may additionally carry a seeded [`eag_netsim::Crash`]
-//! event that kills one rank's thread at a chosen send step. The world does
-//! not treat this as a poisoning panic: the runner records the death (a
-//! *crash notice* for soft crashes, or only a silent scheduler departure
-//! for hard crashes, which survivors suspect after a grace period —
-//! see [`WorldSpec::suspect_after`]), wakes any same-node
+//! A [`FaultPlan`] may additionally carry a schedule of seeded
+//! [`eag_netsim::Crash`] events, each killing one rank's thread at a
+//! chosen send step of a chosen membership epoch — including steps inside
+//! the recovery machinery itself (agreement rounds, degraded re-runs).
+//! The world does not treat these as poisoning panics: the runner records
+//! each death (a *crash notice* for soft crashes, or only a silent
+//! scheduler departure for hard crashes, which survivors suspect after a
+//! grace period — see [`WorldSpec::suspect_after`]), wakes any same-node
 //! sibling blocked on the shared segment, and keeps the world alive. A
 //! receive blocked on a dead peer resolves through the failure detector
 //! with a recoverable `Crash { rank }` cause instead of waiting out its
 //! deadline; [`ProcCtx::try_recv`] surfaces the cause as a value so
 //! survivor-agreement protocols can probe dead ranks without unwinding.
 //! Collective epochs are folded into every wire tag, so frames of an
-//! abandoned attempt can never alias the agreement round or the degraded
-//! re-run that follow it (see `recover_allgather` in `eag-core`). Use
+//! abandoned attempt can never alias the agreement rounds or the degraded
+//! re-runs that follow it, and abandonments are serial-scoped so a stale
+//! abort from one membership epoch never bleeds into a later attempt
+//! (see `recover_collective` in `eag-core`). Use
 //! [`run_crashable`]/[`try_run_crashable`] to harvest per-rank outputs with
 //! the crashed ranks marked instead of panicking on the missing output.
 
@@ -221,8 +225,12 @@ fn logical_tag(wire_tag: u64) -> u64 {
 
 /// Panic payload of an injected crash. Deliberately *not* a
 /// [`CollectiveError`]: the runner intercepts it and records the death
-/// instead of poisoning the world.
-struct RankCrash;
+/// instead of poisoning the world. Carries the hardness of the death so
+/// the runner needs no fault-plan lookup (multi-crash schedules can kill
+/// the same rank list in different ways).
+struct RankCrash {
+    hard: bool,
+}
 
 /// Associated data binding a sealed chunk to its routing metadata. The
 /// origins list and block length travel *outside* the ciphertext (receivers
@@ -324,7 +332,7 @@ pub struct ProcCtx<'w> {
     epoch: u64,
     recv_timeout: Option<Duration>,
     trace: Option<Trace>,
-    faults: FaultPlan,
+    faults: &'w FaultPlan,
     retry: RetryPolicy,
     /// Cached `faults.enabled()`: reliability framing armed.
     chaos: bool,
@@ -338,16 +346,34 @@ pub struct ProcCtx<'w> {
     /// Crash notices: set by the runner when a rank dies softly (hard
     /// crashes leave the flag clear and are only caught by heartbeats).
     crashed: &'w [AtomicBool],
-    /// Ranks that abandoned the current recoverable attempt (set by the
-    /// rank itself via [`ProcCtx::end_attempt`]). Only consulted while this
-    /// rank's own receive is attempt-scoped.
-    aborted: &'w [AtomicBool],
-    /// First crashed rank + 1 (0 = none). Lets a receive that fails because
-    /// its peer *aborted* attribute the failure to the actual crash.
+    /// Per-rank abandonment serials: the attempt serial the rank most
+    /// recently abandoned (0 = never; set by the rank itself via
+    /// [`ProcCtx::abort_attempt`]). Receives are attempt-scoped: a peer
+    /// counts as aborted only if its abandoned serial reaches this rank's
+    /// current serial, so stale abandonments from earlier membership
+    /// epochs never leak into later attempts.
+    aborted: &'w [AtomicU64],
+    /// Per-rank abort blame: the rank + 1 whose crash triggered that
+    /// rank's most recent abandonment (0 = none). Lets a cascaded receive
+    /// failure name the *new* crash of the current epoch rather than a
+    /// stale world-first notice.
+    abort_blame: &'w [AtomicUsize],
+    /// First crashed rank + 1 (0 = none). Publish-before-flag ordering
+    /// anchor for soft-crash notices and hard-crash suspicions.
     crash_notice: &'w AtomicUsize,
     suspect_after: Option<Duration>,
-    /// Count of this rank's peer-bound send steps (the crash trigger).
+    /// Count of this rank's peer-bound send steps since it entered the
+    /// current membership epoch (the crash trigger).
     send_steps: u64,
+    /// The membership epoch crash events arm against: 0 during the
+    /// initial optimistic attempt, `e ≥ 1` during the e-th recovery
+    /// iteration. Advanced by [`ProcCtx::enter_epoch`].
+    membership_epoch: u64,
+    /// Serial number of the current (or most recent) recoverable attempt,
+    /// bumped by every [`ProcCtx::begin_attempt`]. Attempts are
+    /// protocol-lockstep across ranks, so equal serials name the same
+    /// attempt world-wide.
+    attempt_serial: u64,
     /// Whether receives are currently scoped to a recoverable attempt.
     attempt_active: bool,
 }
@@ -471,9 +497,12 @@ impl<'w> ProcCtx<'w> {
         if self.crashed[src].load(Ordering::SeqCst) {
             return Some(src);
         }
-        if self.attempt_active && self.aborted[src].load(Ordering::SeqCst) {
-            let notice = self.crash_notice.load(Ordering::SeqCst);
-            return Some(if notice > 0 { notice - 1 } else { src });
+        if self.attempt_active && self.aborted[src].load(Ordering::SeqCst) >= self.attempt_serial {
+            // The peer abandoned this attempt (or a later one): it will
+            // never send the awaited frame. Blame the crash that made it
+            // abandon — published before the serial, so it is visible here.
+            let blame = self.abort_blame[src].load(Ordering::SeqCst);
+            return Some(if blame > 0 { blame - 1 } else { src });
         }
         // Hard crashes leave no notice, but the scheduler still records the
         // departure (the runner observes every exit — the simulation
@@ -513,47 +542,74 @@ impl<'w> ProcCtx<'w> {
         self.sched.hard_departed_at(src).map(|at| at + limit)
     }
 
-    /// Kills this rank's thread per the fault plan's crash event. The
-    /// unwind is intercepted by the runner, which records the death and
-    /// keeps the world alive instead of poisoning it.
-    fn die(&mut self) -> ! {
+    /// Kills this rank's thread per a fault-plan crash event. The unwind
+    /// is intercepted by the runner, which records the death and keeps the
+    /// world alive instead of poisoning it.
+    fn die(&mut self, hard: bool) -> ! {
         self.record_marker(EventKind::Crash { rank: self.rank });
         self.wiretap.note_crash(self.rank);
-        panic_any(RankCrash)
+        panic_any(RankCrash { hard })
     }
 
-    /// Marks the start of a recoverable collective attempt. While active,
-    /// a receive blocked on a peer that abandoned its own attempt resolves
-    /// through the failure detector (that peer will never send attempt
-    /// frames again) instead of waiting out its deadline.
+    /// Enters membership epoch `epoch` and resets the per-epoch send-step
+    /// counter, re-arming crash events scheduled for this epoch. Called by
+    /// the recovery driver once per iteration (epoch 0 is the initial
+    /// attempt and is entered implicitly at world start).
+    pub fn enter_epoch(&mut self, epoch: u64) {
+        self.membership_epoch = epoch;
+        self.send_steps = 0;
+    }
+
+    /// The membership epoch this rank is currently executing under.
+    pub fn membership_epoch(&self) -> u64 {
+        self.membership_epoch
+    }
+
+    /// The fault bound `f` of this world's crash schedule. The recovery
+    /// engine sizes its agreement rounds from it.
+    pub fn fault_bound(&self) -> usize {
+        self.faults.fault_bound()
+    }
+
+    /// Marks the start of a recoverable collective attempt (the initial
+    /// optimistic run or a degraded re-run). While active, a receive
+    /// blocked on a peer that abandoned its own attempt resolves through
+    /// the failure detector (that peer will never send attempt frames
+    /// again) instead of waiting out its deadline. Attempts are
+    /// protocol-lockstep: every rank performs the same sequence of
+    /// attempts, so the serial bumped here names the same attempt on
+    /// every rank.
     pub fn begin_attempt(&mut self) {
+        self.attempt_serial += 1;
         self.attempt_active = true;
     }
 
-    /// Ends the recoverable attempt. `completed: false` publishes this
-    /// rank's abandonment so peers still blocked on it inside their own
-    /// attempts fail over to recovery promptly. The abandonment is
-    /// published *after* the triggering crash is known world-wide (the
-    /// crash notice), so cascaded failures stay correctly attributed.
-    pub fn end_attempt(&mut self, completed: bool) {
+    /// Ends the recoverable attempt successfully (this rank produced the
+    /// attempt's output and sent every frame the attempt asked of it).
+    pub fn complete_attempt(&mut self) {
         self.attempt_active = false;
-        if !completed {
-            self.aborted[self.rank].store(true, Ordering::SeqCst);
-            // Peers parked on a receive from this rank must re-examine the
-            // abort flag now, not on their next timer.
-            self.sched.world_event();
-            // Same-node siblings may be blocked in a barrier or on a shared
-            // deposit this abandoned attempt will never serve. Fail our
-            // node's segment over to the crash that triggered the
-            // abandonment so they cascade into recovery too. (The segment
-            // stays dead afterwards: shared-memory algorithms are
-            // unavailable post-crash, which the recovery dispatcher
-            // respects by re-running over channels only.)
-            let notice = self.crash_notice.load(Ordering::SeqCst);
-            if notice > 0 {
-                self.shared[self.node()].crash_abort(notice - 1);
-            }
-        }
+    }
+
+    /// Abandons the recoverable attempt, blaming `blamed` (the crashed
+    /// rank whose detection made this rank give up). Publishes the
+    /// abandonment so peers still blocked on this rank inside their own
+    /// attempts fail over to recovery promptly — the blame is published
+    /// *before* the abandonment serial, so a cascading peer always sees
+    /// which crash to pin its own failure on.
+    pub fn abort_attempt(&mut self, blamed: Rank) {
+        self.attempt_active = false;
+        self.abort_blame[self.rank].store(blamed + 1, Ordering::SeqCst);
+        self.aborted[self.rank].store(self.attempt_serial, Ordering::SeqCst);
+        // Peers parked on a receive from this rank must re-examine the
+        // abort serial now, not on their next timer.
+        self.sched.world_event();
+        // Same-node siblings may be blocked in a barrier or on a shared
+        // deposit this abandoned attempt will never serve. Fail our
+        // node's segment over to the blamed crash so they cascade into
+        // recovery too. (The segment stays dead afterwards: shared-memory
+        // algorithms are unavailable post-crash, which the recovery
+        // dispatcher respects by re-running over channels only.)
+        self.shared[self.node()].crash_abort(blamed);
     }
 
     /// Records a completed shrink-and-recover on this rank: a `Recover`
@@ -622,24 +678,30 @@ impl<'w> ProcCtx<'w> {
     /// entry, and may be perturbed per the world's [`FaultPlan`].
     pub fn send(&mut self, dst: Rank, tag: u64, mut parcel: Parcel) {
         let tag = self.wire_tag(tag);
-        let mut crash_after_send = false;
+        // `Some(hard)` when a crash event fires after this frame leaves.
+        let mut crash_after_send = None;
         if dst != self.rank {
-            // Injected crashes model failures of the *attempted* collective.
-            // Once a rank enters the recovery protocol (agreement or the
-            // degraded re-run — phases prefixed "recovery"), its planned
-            // crash no longer fires: the single-crash model assumes the
-            // recovery machinery itself is failure-free, and a crash inside
-            // the final agreement round could not be agreed upon anyway.
-            if let Some(c) = self.faults.crash {
-                if c.rank == self.rank
-                    && c.phase_step == self.send_steps
-                    && !self.phase.starts_with("recovery")
-                {
-                    if c.after_send {
-                        crash_after_send = true;
-                    } else {
-                        self.die();
-                    }
+            // Crash events arm per membership epoch: the trigger is this
+            // rank's send-step count *within* the epoch, so schedules can
+            // kill ranks inside the recovery machinery itself (agreement
+            // rounds and degraded re-runs run under epochs ≥ 1). Nothing
+            // is suppressed — the epoch-versioned recovery loop restarts
+            // agreement when a crash lands inside it.
+            let hit = self
+                .faults
+                .crashes
+                .iter()
+                .find(|c| {
+                    c.rank == self.rank
+                        && c.epoch == self.membership_epoch
+                        && c.phase_step == self.send_steps
+                })
+                .copied();
+            if let Some(c) = hit {
+                if c.after_send {
+                    crash_after_send = Some(c.hard);
+                } else {
+                    self.die(c.hard);
                 }
             }
             self.send_steps += 1;
@@ -767,8 +829,8 @@ impl<'w> ProcCtx<'w> {
         for (d, m) in held {
             self.sched.send(d, m);
         }
-        if crash_after_send {
-            self.die();
+        if let Some(hard) = crash_after_send {
+            self.die(hard);
         }
     }
 
@@ -1682,7 +1744,8 @@ where
     let frame_counter = AtomicU64::new(0);
     let finished: Vec<AtomicBool> = (0..p).map(|_| AtomicBool::new(false)).collect();
     let crashed: Vec<AtomicBool> = (0..p).map(|_| AtomicBool::new(false)).collect();
-    let aborted: Vec<AtomicBool> = (0..p).map(|_| AtomicBool::new(false)).collect();
+    let aborted: Vec<AtomicU64> = (0..p).map(|_| AtomicU64::new(0)).collect();
+    let abort_blame: Vec<AtomicUsize> = (0..p).map(|_| AtomicUsize::new(0)).collect();
     let crash_notice = AtomicUsize::new(0);
     let departed_count = AtomicUsize::new(0);
 
@@ -1700,6 +1763,7 @@ where
         let finished_ref = &finished[..];
         let crashed_ref = &crashed[..];
         let aborted_ref = &aborted[..];
+        let abort_blame_ref = &abort_blame[..];
         let crash_notice_ref = &crash_notice;
         let departed_count_ref = &departed_count;
         let aead_ref: &dyn Aead = &*aead;
@@ -1762,7 +1826,7 @@ where
                                     },
                                 }]
                             }),
-                            faults: spec_ref.faults,
+                            faults: &spec_ref.faults,
                             retry: spec_ref.retry,
                             chaos,
                             phase: "collective",
@@ -1771,9 +1835,12 @@ where
                             departed_count: departed_count_ref,
                             crashed: crashed_ref,
                             aborted: aborted_ref,
+                            abort_blame: abort_blame_ref,
                             crash_notice: crash_notice_ref,
                             suspect_after: spec_ref.suspect_after,
                             send_steps: 0,
+                            membership_epoch: 0,
+                            attempt_serial: 0,
                             attempt_active: false,
                         };
                         // The state machine runs only while it holds a run
@@ -1804,11 +1871,13 @@ where
                             Err(payload) if payload.is::<RankCrash>() => {
                                 // An injected crash: the rank is dead, but
                                 // the world survives. Publish the death to
-                                // survivors instead of poisoning.
-                                let hard = spec_ref
-                                    .faults
-                                    .crash
-                                    .map(|c| c.rank == rank && c.hard)
+                                // survivors instead of poisoning. The
+                                // payload says how the rank died — a
+                                // schedule may kill several ranks, each
+                                // its own way.
+                                let hard = payload
+                                    .downcast_ref::<RankCrash>()
+                                    .map(|rc| rc.hard)
                                     .unwrap_or(false);
                                 if !hard {
                                     // Attribute the cascade before raising

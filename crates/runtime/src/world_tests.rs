@@ -800,7 +800,7 @@ fn slices_of_one_buffer_are_safely_shared_across_threads() {
 fn crash_spec(crash: Crash) -> WorldSpec {
     let mut s = spec(2, 2);
     s.faults = FaultPlan {
-        crash: Some(crash),
+        crashes: vec![crash],
         ..FaultPlan::default()
     };
     s.retry = fast_retry();
@@ -998,7 +998,7 @@ fn same_node_crash_unblocks_shared_memory_waiters() {
     // crash abort rather than deadlock.
     let mut s = spec(4, 2);
     s.faults = FaultPlan {
-        crash: Some(Crash::before(0, 0)),
+        crashes: vec![Crash::before(0, 0)],
         ..FaultPlan::default()
     };
     s.retry = fast_retry();
@@ -1047,18 +1047,55 @@ fn aborted_attempt_resolves_peers_blocked_in_their_own_attempts() {
     let report = run_crashable(&s, |ctx| {
         ctx.begin_attempt();
         if ctx.rank() == 1 {
-            ctx.end_attempt(false);
+            ctx.abort_attempt(1); // blame self: the cascade's root is here
             ctx.try_recv(0, 3).map(|_| ()) // read the release signal
         } else {
             let got = ctx.try_recv(1, 2).map(|_| ());
-            ctx.end_attempt(false);
+            ctx.abort_attempt(1);
             ctx.send(1, 3, Parcel::one(Item::Plain(ctx.my_block(4))));
             got
         }
     });
     let got = report.outputs[0].clone().expect("rank 0 output");
-    // No crash notice exists, so the abandonment is attributed to the
-    // abandoning peer itself.
+    // The abandonment carries its blame, so rank 0's cascaded failure is
+    // attributed to the rank the aborter named.
     assert_eq!(got.unwrap_err(), FailureCause::Crash { rank: 1 });
     assert!(report.crashed.is_empty(), "no rank actually died");
+}
+
+#[test]
+fn stale_aborts_from_an_earlier_attempt_do_not_leak_into_the_next() {
+    // Rank 1 abandons attempt 1; both ranks then run attempt 2 cleanly.
+    // Rank 0's attempt-2 receive must wait for rank 1's real message
+    // instead of resolving through rank 1's stale attempt-1 abort.
+    let mut s = spec(2, 2);
+    s.faults = FaultPlan {
+        armed: true,
+        ..FaultPlan::default()
+    };
+    s.retry = fast_retry();
+    let report = run(&s, |ctx| {
+        ctx.begin_attempt();
+        if ctx.rank() == 1 {
+            ctx.abort_attempt(1);
+        } else {
+            let got = ctx.try_recv(1, 2);
+            ctx.abort_attempt(1);
+            assert!(got.is_err(), "attempt-1 receive must cascade");
+        }
+        // Attempt 2: the stale abort serial (1) is below the new serial
+        // (2), so receives block for real data again.
+        ctx.begin_attempt();
+        let out = if ctx.rank() == 1 {
+            ctx.send(0, 5, Parcel::one(Item::Plain(ctx.my_block(4))));
+            4
+        } else {
+            ctx.try_recv(1, 5)
+                .expect("live peer, live attempt")
+                .payload_len()
+        };
+        ctx.complete_attempt();
+        out
+    });
+    assert_eq!(report.outputs, vec![4, 4]);
 }

@@ -12,7 +12,7 @@ const SEEDS: &[u64] = &[0xC0FFEE, 1, 0xDEAD_BEEF];
 
 fn assert_sweep(label: &str, plan: FaultPlan) {
     for &algo in Algorithm::encrypted_all() {
-        let r = chaos_run(algo, 16, 8, 128, plan);
+        let r = chaos_run(algo, 16, 8, 128, plan.clone());
         assert!(
             r.byte_identical,
             "{algo} under {label}: not byte-identical ({:?})",

@@ -297,7 +297,7 @@ fn crash_recovery_reseals_with_fresh_nonces() {
         // algorithm, so the planned crash always fires.
         let mut spec = tapped_spec(8, 2, Mapping::Block);
         spec.faults = FaultPlan {
-            crash: Some(Crash::before(0, 0)),
+            crashes: vec![Crash::before(0, 0)],
             ..FaultPlan::default()
         };
         spec.retry = RetryPolicy {
