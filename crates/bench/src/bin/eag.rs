@@ -2,6 +2,7 @@
 //!
 //! ```text
 //! eag run        --algo HS2 --p 128 --nodes 8 --size 4KB [--mapping cyclic]
+//!                [--op bcast|gather|scatter|alltoall|allgatherv|…]
 //!                [--profile bridges2] [--cipher aes-gcm-siv] [--real]
 //!                [--trace] [--json out.json]
 //!                [--crash 3@1 --crash 2@0e1 …]  (crash-tolerant run)
@@ -18,7 +19,7 @@
 use eag_bench::fmt::{parse_size, size_label};
 use eag_bench::tables::{best_scheme_table, render_best_scheme_table};
 use eag_bench::SimConfig;
-use eag_core::{allgather, recover_allgather, Algorithm};
+use eag_core::{allgather, Algorithm, Collective, Operation};
 use eag_netsim::{profile, Crash, FaultPlan, Mapping, Topology};
 use eag_runtime::{
     pattern_block, run, run_crashable, CipherSuite, DataMode, RetryPolicy, WorldSpec,
@@ -64,7 +65,10 @@ const USAGE: &str = "\
 eag — encrypted all-gather simulator and benchmark CLI
 
 commands:
-  run        simulate one algorithm once (--algo, --p, --nodes, --size;
+  run        simulate one collective once (--algo, --p, --nodes, --size;
+             optional --op allgather|allgatherv|bcast|gather|gatherv|
+             scatter|scatterv|alltoall — default allgather; --op also
+             accepts op/variant in one flag, e.g. --op bcast/binomial;
              optional --mapping block|cyclic, --profile, --real, --trace,
              --chrome-trace out.json, --cipher
              aes-gcm|aes-gcm-siv|chacha20-poly1305).
@@ -237,22 +241,55 @@ fn parse_crash(spec: &str) -> Result<Crash, String> {
     Ok(if hard { c.hard() } else { c })
 }
 
+/// The variant `eag run --op <operation>` picks when no `--algo` is given.
+/// The all-gathers have no obvious default among 19 variants, so they keep
+/// requiring `--algo`.
+fn default_collective(op: &str) -> Option<Collective> {
+    let variant = match Operation::by_name(op)? {
+        Operation::Allgather | Operation::Allgatherv => return None,
+        Operation::Broadcast
+        | Operation::Gather
+        | Operation::Gatherv
+        | Operation::Scatter
+        | Operation::Scatterv => "binomial",
+        Operation::Alltoall => "pairwise",
+    };
+    Collective::by_names(op, variant)
+}
+
+/// Resolves `--op` / `--algo` into the collective to run. `--op` accepts
+/// either an operation name (variant from `--algo`, or the operation's
+/// default) or a combined `op/variant` spec.
+fn parse_collective(opts: &Options) -> Result<Collective, String> {
+    let (op, inline_variant) = match opts.flags.get("op").map(String::as_str) {
+        Some(spec) => match spec.split_once('/') {
+            Some((o, v)) => (o.to_string(), Some(v.to_string())),
+            None => (spec.to_string(), None),
+        },
+        None => ("allgather".to_string(), None),
+    };
+    if Operation::by_name(&op).is_none() {
+        return Err(format!("unknown operation {op:?} (try `eag list`)"));
+    }
+    match inline_variant.or_else(|| opts.flags.get("algo").cloned()) {
+        Some(variant) => Collective::by_names(&op, &variant)
+            .ok_or_else(|| format!("unknown collective {op}/{variant} (try `eag list`)")),
+        None => default_collective(&op)
+            .ok_or_else(|| format!("--op {op} needs --algo (try `eag list`)")),
+    }
+}
+
 fn cmd_run(opts: &Options) -> Result<(), String> {
     let (p, nodes) = opts.shape(16, 4)?;
     let m = opts.size_of("size", 1024)?;
     let mapping = opts.mapping()?;
-    let algo_name = opts
-        .flags
-        .get("algo")
-        .ok_or("run needs --algo (try `eag list`)")?;
-    let algo =
-        Algorithm::by_name(algo_name).ok_or_else(|| format!("unknown algorithm {algo_name:?}"))?;
+    let collective = parse_collective(opts)?;
     let prof =
         profile::by_name(&opts.profile_name()).ok_or_else(|| "unknown profile".to_string())?;
 
     let crashes = opts.crash_schedule()?;
     if !crashes.is_empty() {
-        return cmd_run_crash(opts, algo, p, nodes, m, mapping, prof, crashes);
+        return cmd_run_crash(opts, collective, p, nodes, m, mapping, prof, crashes);
     }
 
     let mut spec = WorldSpec::new(
@@ -269,12 +306,13 @@ fn cmd_run(opts: &Options) -> Result<(), String> {
     spec.capture_wire = opts.bool_of("real");
 
     let report = run(&spec, move |ctx| {
-        allgather(ctx, algo, m).verify(7);
+        let out = collective.run(ctx, m);
+        collective.verify(ctx.rank(), &out, 7);
     });
 
     println!(
         "{} | p={p} N={nodes} {mapping} | {} blocks | profile {} | cipher {}",
-        algo.name(),
+        collective.name(),
         size_label(m),
         opts.profile_name(),
         spec.suite
@@ -290,7 +328,13 @@ fn cmd_run(opts: &Options) -> Result<(), String> {
         mx.dec_rounds,
         mx.dec_bytes
     );
-    if algo.is_encrypted() && opts.bool_of("real") {
+    // Every new operation is encrypted by construction; among the
+    // all-gathers only the encrypted variants promise a clean wiretap.
+    let encrypted = match collective {
+        Collective::Allgather(a) | Collective::Allgatherv(a) => a.is_encrypted(),
+        _ => true,
+    };
+    if encrypted && opts.bool_of("real") {
         println!(
             "wiretap: {} frames, plaintext seen: {}",
             report.wiretap.frame_count(),
@@ -320,7 +364,7 @@ fn cmd_run(opts: &Options) -> Result<(), String> {
                 data_seed: None,
                 suite: spec.suite,
             },
-            algo,
+            collective,
             msg_bytes: m,
         };
         let bench = eag_bench::report::run_suite("run", &opts.profile_name(), &[case]);
@@ -329,15 +373,15 @@ fn cmd_run(opts: &Options) -> Result<(), String> {
     Ok(())
 }
 
-/// `eag run --crash …`: one crash-tolerant all-gather surviving the planned
-/// crash schedule. Runs `recover_allgather` under real payloads (survivor
-/// agreement seals actual failure bitmaps and the outputs verify bit-exact),
-/// with NIC contention off and flag-based detection, so a given schedule
-/// replays deterministically.
+/// `eag run --crash …`: one crash-tolerant collective surviving the planned
+/// crash schedule. Runs the operation's recovery wrapper under real payloads
+/// (survivor agreement seals actual failure bitmaps and the outputs verify
+/// bit-exact), with NIC contention off and flag-based detection, so a given
+/// schedule replays deterministically.
 #[allow(clippy::too_many_arguments)]
 fn cmd_run_crash(
     opts: &Options,
-    algo: Algorithm,
+    collective: Collective,
     p: usize,
     nodes: usize,
     m: usize,
@@ -374,8 +418,8 @@ fn cmd_run_crash(
     eag_runtime::quiet_expected_panics();
 
     let report = run_crashable(&spec, move |ctx| {
-        let out = recover_allgather(ctx, algo, m);
-        out.verify(seed);
+        let out = collective.recover(ctx, m);
+        collective.verify(ctx.rank(), &out.output, seed);
         out
     });
 
@@ -399,7 +443,7 @@ fn cmd_run_crash(
         .join(", ");
     println!(
         "{} | p={p} N={nodes} {mapping} | {} blocks | profile {} | crash schedule [{schedule}]",
-        algo.name(),
+        collective.name(),
         size_label(m),
         opts.profile_name(),
     );
@@ -766,5 +810,10 @@ fn cmd_list() -> Result<(), String> {
             }
         );
     }
+    println!("other collectives (--op, all encrypted):");
+    for c in Collective::new_operations_all() {
+        println!("  {}", c.name());
+    }
+    println!("  allgatherv/<any varying-capable algorithm above>");
     Ok(())
 }

@@ -2,7 +2,7 @@
 //! calibrated cluster profile and reports the virtual latency.
 
 use crate::stats::Stats;
-use eag_core::{allgather, recover_allgather, Algorithm};
+use eag_core::{Algorithm, Collective};
 use eag_netsim::{profile, ClusterProfile, Crash, FaultPlan, Mapping, Topology};
 use eag_runtime::{run, run_crashable, CipherSuite, DataMode, RetryPolicy, WorldSpec};
 use std::time::Duration;
@@ -106,11 +106,17 @@ impl SimConfig {
 /// statistics over `cfg.reps` runs. Every run also checks the all-gather
 /// postcondition via origin tracking.
 pub fn simulate(cfg: &SimConfig, algo: Algorithm, m: usize) -> Stats {
+    simulate_collective(cfg, Collective::Allgather(algo), m)
+}
+
+/// Operation-generic version of [`simulate`]: runs any [`Collective`]
+/// (broadcast, gather/scatter, all-to-all, the all-gathers) under `cfg`.
+pub fn simulate_collective(cfg: &SimConfig, c: Collective, m: usize) -> Stats {
     let spec = cfg.world_spec();
     let samples: Vec<f64> = (0..cfg.reps.max(1))
         .map(|_| {
             let report = run(&spec, move |ctx| {
-                let out = allgather(ctx, algo, m);
+                let out = c.run(ctx, m);
                 debug_assert!(out.is_complete());
             });
             report.latency_us
@@ -130,12 +136,21 @@ pub fn simulate_samples(
     algo: Algorithm,
     m: usize,
 ) -> (Vec<f64>, eag_runtime::Metrics) {
+    simulate_collective_samples(cfg, Collective::Allgather(algo), m)
+}
+
+/// Operation-generic version of [`simulate_samples`].
+pub fn simulate_collective_samples(
+    cfg: &SimConfig,
+    c: Collective,
+    m: usize,
+) -> (Vec<f64>, eag_runtime::Metrics) {
     let spec = cfg.world_spec();
     let mut samples = Vec::with_capacity(cfg.reps.max(1));
     let mut metrics = None;
     for _ in 0..cfg.reps.max(1) {
         let report = run(&spec, move |ctx| {
-            let out = allgather(ctx, algo, m);
+            let out = c.run(ctx, m);
             debug_assert!(out.is_complete());
         });
         samples.push(report.latency_us);
@@ -208,22 +223,35 @@ pub fn simulate_recovery_schedule(
     m: usize,
     crashes: &[Crash],
 ) -> RecoverySample {
+    simulate_collective_recovery_schedule(cfg, Collective::Allgather(algo), m, crashes)
+}
+
+/// Operation-generic version of [`simulate_recovery_schedule`]: any
+/// [`Collective`] under a planned crash schedule, verified per-role (the
+/// rooted and personalized operations have rank-dependent outputs).
+pub fn simulate_collective_recovery_schedule(
+    cfg: &SimConfig,
+    c: Collective,
+    m: usize,
+    crashes: &[Crash],
+) -> RecoverySample {
     // Every fired crash unwinds through panic machinery by design; keep the
     // expected unwinds out of bench output.
     static QUIET: std::sync::Once = std::sync::Once::new();
     QUIET.call_once(eag_runtime::quiet_expected_panics);
 
     let clean = run(&recovery_spec(cfg, Vec::new()), move |ctx| {
-        recover_allgather(ctx, algo, m).verify(RECOVERY_DATA_SEED);
+        let out = c.recover(ctx, m);
+        c.verify(ctx.rank(), &out.output, RECOVERY_DATA_SEED);
     });
     let report = run_crashable(&recovery_spec(cfg, crashes.to_vec()), move |ctx| {
-        let out = recover_allgather(ctx, algo, m);
-        out.verify(RECOVERY_DATA_SEED);
+        let out = c.recover(ctx, m);
+        c.verify(ctx.rank(), &out.output, RECOVERY_DATA_SEED);
         out
     });
     assert!(
         !report.crashed.is_empty(),
-        "{algo}: no crash of the planned schedule {crashes:?} ever fired — \
+        "{c}: no crash of the planned schedule {crashes:?} ever fired — \
          the recovery sample would measure a clean run"
     );
     RecoverySample {
@@ -251,9 +279,18 @@ pub fn simulate_with_metrics(
     algo: Algorithm,
     m: usize,
 ) -> (f64, eag_runtime::Metrics) {
+    simulate_collective_with_metrics(cfg, Collective::Allgather(algo), m)
+}
+
+/// Operation-generic version of [`simulate_with_metrics`].
+pub fn simulate_collective_with_metrics(
+    cfg: &SimConfig,
+    c: Collective,
+    m: usize,
+) -> (f64, eag_runtime::Metrics) {
     let spec = cfg.world_spec();
     let report = run(&spec, move |ctx| {
-        let out = allgather(ctx, algo, m);
+        let out = c.run(ctx, m);
         debug_assert!(out.is_complete());
     });
     (report.latency_us, report.max_metrics())

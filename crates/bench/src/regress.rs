@@ -123,7 +123,10 @@ impl GateReport {
 }
 
 fn entry_label(e: &BenchEntry) -> String {
-    format!("{} p={} {:?} {}B", e.algorithm, e.p, e.mapping, e.msg_bytes)
+    format!(
+        "{}/{} p={} {:?} {}B",
+        e.operation, e.algorithm, e.p, e.mapping, e.msg_bytes
+    )
 }
 
 fn recovery_label(e: &RecoveryEntry) -> String {
@@ -145,8 +148,8 @@ fn recovery_label(e: &RecoveryEntry) -> String {
         .collect::<Vec<_>>()
         .join("+");
     format!(
-        "recover {} p={} {:?} {}B {schedule}",
-        e.algorithm, e.p, e.mapping, e.msg_bytes
+        "recover {}/{} p={} {:?} {}B {schedule}",
+        e.operation, e.algorithm, e.p, e.mapping, e.msg_bytes
     )
 }
 
@@ -520,7 +523,7 @@ mod tests {
     use super::*;
     use crate::report::{run_suite, SuiteCase};
     use crate::SimConfig;
-    use eag_core::Algorithm;
+    use eag_core::{Algorithm, Collective};
     use eag_netsim::Mapping;
 
     fn tiny_report() -> BenchReport {
@@ -540,12 +543,12 @@ mod tests {
             &[
                 SuiteCase {
                     cfg: cfg.clone(),
-                    algo: Algorithm::Hs1,
+                    collective: Collective::Allgather(Algorithm::Hs1),
                     msg_bytes: 1024,
                 },
                 SuiteCase {
                     cfg,
-                    algo: Algorithm::ORd,
+                    collective: Collective::Allgather(Algorithm::ORd),
                     msg_bytes: 1024,
                 },
             ],
@@ -570,7 +573,7 @@ mod tests {
             &[],
             &[RecoveryCase {
                 cfg,
-                algo: Algorithm::ORing,
+                collective: Collective::Allgather(Algorithm::ORing),
                 msg_bytes: 512,
                 crashes: vec![eag_netsim::Crash::before(0, 0)],
             }],

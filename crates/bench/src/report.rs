@@ -15,10 +15,12 @@
 //! via [`BenchReport::with_crypto`] when measuring, and never commit them
 //! into a gating baseline.
 
-use crate::harness::{simulate_recovery_schedule, simulate_samples, SimConfig};
+use crate::harness::{
+    simulate_collective_recovery_schedule, simulate_collective_samples, SimConfig,
+};
 use crate::sessions::{run_session_case, smoke_session_suite, SessionCase, SessionEntry};
 use crate::stats::Stats;
-use eag_core::Algorithm;
+use eag_core::{Algorithm, AlltoallAlgo, BcastAlgo, Collective};
 use eag_netsim::{Crash, Mapping};
 use eag_runtime::{CipherSuite, Metrics};
 use serde::{Deserialize, Serialize};
@@ -26,7 +28,12 @@ use serde::{Deserialize, Serialize};
 /// Version of the JSON schema emitted by [`BenchReport`]. Bump on any
 /// breaking change to the field layout; [`BenchReport::from_json`] rejects
 /// mismatched versions instead of misreading them.
-pub const SCHEMA_VERSION: u64 = 6;
+///
+/// v7: entries and recovery cells carry an `operation` field (the collective
+/// operation the cell measured — `allgather`, `bcast`, `alltoall`, …) which
+/// joined the entry-identity key; `algorithm` now names the per-operation
+/// variant.
+pub const SCHEMA_VERSION: u64 = 7;
 
 /// A complete benchmark report: one entry per (algorithm, configuration,
 /// message size) plus optional wall-clock crypto throughput.
@@ -60,10 +67,16 @@ pub struct BenchReport {
     pub crypto: Option<CryptoProbe>,
 }
 
-/// One benchmarked (algorithm, configuration, message size) cell.
+/// One benchmarked (operation, variant, configuration, message size) cell.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct BenchEntry {
-    /// Algorithm name as accepted by `Algorithm::by_name` (e.g. `"hs2"`).
+    /// Collective operation name as accepted by `Operation::by_name`
+    /// (e.g. `"allgather"`, `"bcast"`, `"alltoall"`). Part of the entry's
+    /// identity: the same variant name can exist under several operations
+    /// (`allgather/O-Ring` vs `allgatherv/O-Ring`).
+    pub operation: String,
+    /// Variant name within the operation, as accepted by
+    /// `Collective::by_names` (e.g. `"O-Ring"`, `"binomial"`).
     pub algorithm: String,
     /// Number of processes.
     pub p: u64,
@@ -255,7 +268,11 @@ impl CrashPoint {
 /// same crash-tolerant collective.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct RecoveryEntry {
-    /// Algorithm name as accepted by `Algorithm::by_name`.
+    /// Collective operation name (part of the cell identity, like
+    /// [`BenchEntry::operation`]).
+    pub operation: String,
+    /// Variant name within the operation, as accepted by
+    /// `Collective::by_names`.
     pub algorithm: String,
     /// Number of processes before the crashes.
     pub p: u64,
@@ -297,26 +314,26 @@ pub struct CryptoProbePoint {
     pub open_mb_per_s: f64,
 }
 
-/// One benchmark case of a suite: a configuration, an algorithm, and a
-/// message size.
+/// One benchmark case of a suite: a configuration, a collective
+/// (operation × variant), and a message size.
 #[derive(Debug, Clone)]
 pub struct SuiteCase {
     /// Simulated cluster configuration.
     pub cfg: SimConfig,
-    /// Algorithm under test.
-    pub algo: Algorithm,
+    /// Collective under test (operation × algorithm variant).
+    pub collective: Collective,
     /// Per-process message size in bytes.
     pub msg_bytes: usize,
 }
 
-/// One crash-recovery case of a suite: a configuration, an algorithm, a
+/// One crash-recovery case of a suite: a configuration, a collective, a
 /// message size, and the planned crash schedule.
 #[derive(Debug, Clone)]
 pub struct RecoveryCase {
     /// Simulated cluster configuration.
     pub cfg: SimConfig,
-    /// Algorithm under test.
-    pub algo: Algorithm,
+    /// Collective under test (operation × algorithm variant).
+    pub collective: Collective,
     /// Per-process message size in bytes.
     pub msg_bytes: usize,
     /// The planned crash schedule (f = `crashes.len()`), in arming order.
@@ -340,6 +357,12 @@ pub const SMOKE_SIZES: [usize; 2] = [1024, 64 * 1024];
 /// alongside latency. The virtual latencies of the per-suite cells are
 /// identical by construction (the cost model is suite-blind), which the
 /// regress gate then re-checks for free.
+///
+/// Since schema v7 the suite also carries one phantom latency cell per new
+/// collective (broadcast, gather/scatter incl. the irregular variants,
+/// all-to-all; block mapping, both sizes) plus real-payload copy-probe
+/// cells for a representative pair of them (binomial broadcast and pairwise
+/// all-to-all, default suite).
 pub fn smoke_suite() -> Vec<SuiteCase> {
     let mut cases = Vec::new();
     for &mapping in &[Mapping::Block, Mapping::Cyclic] {
@@ -359,10 +382,29 @@ pub fn smoke_suite() -> Vec<SuiteCase> {
             for &m in &SMOKE_SIZES {
                 cases.push(SuiteCase {
                     cfg: cfg.clone(),
-                    algo,
+                    collective: Collective::Allgather(algo),
                     msg_bytes: m,
                 });
             }
+        }
+    }
+    let new_cfg = SimConfig {
+        p: 16,
+        nodes: 4,
+        mapping: Mapping::Block,
+        profile: "noleland".into(),
+        reps: 3,
+        nic_contention: false,
+        data_seed: None,
+        suite: CipherSuite::AesGcm128,
+    };
+    for collective in Collective::new_operations_all() {
+        for &m in &SMOKE_SIZES {
+            cases.push(SuiteCase {
+                cfg: new_cfg.clone(),
+                collective,
+                msg_bytes: m,
+            });
         }
     }
     for suite in CipherSuite::ALL {
@@ -380,10 +422,26 @@ pub fn smoke_suite() -> Vec<SuiteCase> {
             for &m in &SMOKE_SIZES {
                 cases.push(SuiteCase {
                     cfg: real_cfg.clone(),
-                    algo,
+                    collective: Collective::Allgather(algo),
                     msg_bytes: m,
                 });
             }
+        }
+    }
+    let new_real_cfg = SimConfig {
+        data_seed: Some(SMOKE_DATA_SEED),
+        ..new_cfg
+    };
+    for collective in [
+        Collective::Broadcast(BcastAlgo::Binomial),
+        Collective::Alltoall(AlltoallAlgo::Pairwise),
+    ] {
+        for &m in &SMOKE_SIZES {
+            cases.push(SuiteCase {
+                cfg: new_real_cfg.clone(),
+                collective,
+                msg_bytes: m,
+            });
         }
     }
     cases
@@ -402,7 +460,10 @@ pub const SMOKE_DATA_SEED: u64 = 11;
 /// * `f = 3` — O-Ring and O-Bruck survive a cascading schedule whose last
 ///   crash is armed at epoch 1, inside round 0 of the first agreement
 ///   instance (the mid-agreement cascade the restartable agreement
-///   exists for).
+///   exists for);
+/// * `f = 1` per new operation — binomial broadcast, pairwise all-to-all
+///   and the irregular O-Ring allgatherv each survive a crash of a rank
+///   that sends in their main phase (so the armed crash reliably fires).
 ///
 /// Each case is bit-deterministic, so the committed latencies gate exactly.
 pub fn smoke_recovery_suite() -> Vec<RecoveryCase> {
@@ -420,7 +481,7 @@ pub fn smoke_recovery_suite() -> Vec<RecoveryCase> {
         .iter()
         .map(|&algo| RecoveryCase {
             cfg: cfg.clone(),
-            algo,
+            collective: Collective::Allgather(algo),
             msg_bytes: 1024,
             crashes: vec![Crash::before(0, 0)],
         })
@@ -428,13 +489,13 @@ pub fn smoke_recovery_suite() -> Vec<RecoveryCase> {
     for algo in [Algorithm::ORing, Algorithm::OBruck] {
         cases.push(RecoveryCase {
             cfg: cfg.clone(),
-            algo,
+            collective: Collective::Allgather(algo),
             msg_bytes: 1024,
             crashes: vec![Crash::before(0, 0), Crash::before(4, 1)],
         });
         cases.push(RecoveryCase {
             cfg: cfg.clone(),
-            algo,
+            collective: Collective::Allgather(algo),
             msg_bytes: 1024,
             crashes: vec![
                 Crash::before(0, 0),
@@ -443,14 +504,32 @@ pub fn smoke_recovery_suite() -> Vec<RecoveryCase> {
             ],
         });
     }
+    for (collective, victim) in [
+        (Collective::Broadcast(BcastAlgo::Binomial), 4usize),
+        (Collective::Alltoall(AlltoallAlgo::Pairwise), 3),
+        (Collective::Allgatherv(Algorithm::ORing), 3),
+    ] {
+        cases.push(RecoveryCase {
+            cfg: cfg.clone(),
+            collective,
+            msg_bytes: 1024,
+            crashes: vec![Crash::before(victim, 0)],
+        });
+    }
     cases
 }
 
 /// Runs one crash-recovery case and serializes the result.
 pub fn run_recovery_case(case: &RecoveryCase) -> RecoveryEntry {
-    let sample = simulate_recovery_schedule(&case.cfg, case.algo, case.msg_bytes, &case.crashes);
+    let sample = simulate_collective_recovery_schedule(
+        &case.cfg,
+        case.collective,
+        case.msg_bytes,
+        &case.crashes,
+    );
     RecoveryEntry {
-        algorithm: case.algo.name().to_string(),
+        operation: case.collective.operation().name().to_string(),
+        algorithm: case.collective.variant_name().to_string(),
         p: case.cfg.p as u64,
         nodes: case.cfg.nodes as u64,
         mapping: case.cfg.mapping,
@@ -464,10 +543,11 @@ pub fn run_recovery_case(case: &RecoveryCase) -> RecoveryEntry {
 
 /// Runs one case and serializes the result.
 pub fn run_case(case: &SuiteCase) -> BenchEntry {
-    let (samples, metrics) = simulate_samples(&case.cfg, case.algo, case.msg_bytes);
+    let (samples, metrics) = simulate_collective_samples(&case.cfg, case.collective, case.msg_bytes);
     let stats = Stats::of(&samples);
     BenchEntry {
-        algorithm: case.algo.name().to_string(),
+        operation: case.collective.operation().name().to_string(),
+        algorithm: case.collective.variant_name().to_string(),
         p: case.cfg.p as u64,
         nodes: case.cfg.nodes as u64,
         mapping: case.cfg.mapping,
@@ -546,8 +626,12 @@ pub fn suite_from_report(report: &BenchReport) -> Result<Vec<SuiteCase>, String>
         .entries
         .iter()
         .map(|e| {
-            let algo = Algorithm::by_name(&e.algorithm)
-                .ok_or_else(|| format!("unknown algorithm {:?} in report", e.algorithm))?;
+            let collective = Collective::by_names(&e.operation, &e.algorithm).ok_or_else(|| {
+                format!(
+                    "unknown collective {:?}/{:?} in report",
+                    e.operation, e.algorithm
+                )
+            })?;
             let suite = CipherSuite::by_name(&e.cipher_suite)
                 .ok_or_else(|| format!("unknown cipher suite {:?} in report", e.cipher_suite))?;
             Ok(SuiteCase {
@@ -561,7 +645,7 @@ pub fn suite_from_report(report: &BenchReport) -> Result<Vec<SuiteCase>, String>
                     data_seed: e.data_seed,
                     suite,
                 },
-                algo,
+                collective,
                 msg_bytes: e.msg_bytes as usize,
             })
         })
@@ -576,8 +660,12 @@ pub fn recovery_suite_from_report(report: &BenchReport) -> Result<Vec<RecoveryCa
         .recovery
         .iter()
         .map(|e| {
-            let algo = Algorithm::by_name(&e.algorithm)
-                .ok_or_else(|| format!("unknown algorithm {:?} in report", e.algorithm))?;
+            let collective = Collective::by_names(&e.operation, &e.algorithm).ok_or_else(|| {
+                format!(
+                    "unknown collective {:?}/{:?} in report",
+                    e.operation, e.algorithm
+                )
+            })?;
             Ok(RecoveryCase {
                 cfg: SimConfig {
                     p: e.p as usize,
@@ -589,7 +677,7 @@ pub fn recovery_suite_from_report(report: &BenchReport) -> Result<Vec<RecoveryCa
                     data_seed: None,
                     suite: CipherSuite::AesGcm128,
                 },
-                algo,
+                collective,
                 msg_bytes: e.msg_bytes as usize,
                 crashes: e.crashes.iter().map(|c| c.to_crash()).collect(),
             })
@@ -625,15 +713,18 @@ impl BenchReport {
         Ok(report)
     }
 
-    /// Looks up the entry matching `other` by identity (algorithm, p,
-    /// nodes, mapping, msg_bytes, data_seed, cipher_suite) — the key the
-    /// regress gate joins on. `data_seed` distinguishes real-payload cells
-    /// from the phantom cell at the same configuration point;
-    /// `cipher_suite` distinguishes the per-suite real cells from each
-    /// other.
+    /// Looks up the entry matching `other` by identity (operation,
+    /// algorithm, p, nodes, mapping, msg_bytes, data_seed, cipher_suite) —
+    /// the key the regress gate joins on. `operation` distinguishes cells
+    /// of different collectives that share a variant name
+    /// (`allgather/O-Ring` vs `allgatherv/O-Ring`); `data_seed`
+    /// distinguishes real-payload cells from the phantom cell at the same
+    /// configuration point; `cipher_suite` distinguishes the per-suite real
+    /// cells from each other.
     pub fn find_matching(&self, other: &BenchEntry) -> Option<&BenchEntry> {
         self.entries.iter().find(|e| {
-            e.algorithm == other.algorithm
+            e.operation == other.operation
+                && e.algorithm == other.algorithm
                 && e.p == other.p
                 && e.nodes == other.nodes
                 && e.mapping == other.mapping
@@ -643,11 +734,13 @@ impl BenchReport {
         })
     }
 
-    /// Looks up the recovery entry matching `other` by identity (algorithm,
-    /// p, nodes, mapping, msg_bytes, and the full crash schedule).
+    /// Looks up the recovery entry matching `other` by identity (operation,
+    /// algorithm, p, nodes, mapping, msg_bytes, and the full crash
+    /// schedule).
     pub fn find_matching_recovery(&self, other: &RecoveryEntry) -> Option<&RecoveryEntry> {
         self.recovery.iter().find(|e| {
-            e.algorithm == other.algorithm
+            e.operation == other.operation
+                && e.algorithm == other.algorithm
                 && e.p == other.p
                 && e.nodes == other.nodes
                 && e.mapping == other.mapping
@@ -691,18 +784,18 @@ mod tests {
             &[
                 SuiteCase {
                     cfg: cfg.clone(),
-                    algo: Algorithm::Hs2,
+                    collective: Collective::Allgather(Algorithm::Hs2),
                     msg_bytes: 512,
                 },
                 SuiteCase {
                     cfg: cfg.clone(),
-                    algo: Algorithm::CRing,
+                    collective: Collective::Allgather(Algorithm::CRing),
                     msg_bytes: 2048,
                 },
             ],
             &[RecoveryCase {
                 cfg: SimConfig { reps: 1, ..cfg },
-                algo: Algorithm::ORing,
+                collective: Collective::Allgather(Algorithm::ORing),
                 msg_bytes: 512,
                 crashes: vec![Crash::before(0, 0)],
             }],
@@ -741,32 +834,59 @@ mod tests {
     #[test]
     fn smoke_suite_shape() {
         let cases = smoke_suite();
-        // 2 mappings x (1 + encrypted) algorithms x 2 sizes, plus the
-        // real-payload copy-probe cells (O-Ring, O-Bruck) x 2 sizes under
-        // every cipher suite.
+        // 2 mappings x (1 + encrypted) all-gather variants x 2 sizes, plus
+        // one phantom cell per new collective x 2 sizes, plus the
+        // real-payload copy-probe cells: (O-Ring, O-Bruck) x 2 sizes under
+        // every cipher suite and 2 representative new collectives x 2 sizes
+        // under the default suite.
         let algos = 1 + Algorithm::encrypted_all().len();
-        let real_cells = CipherSuite::ALL.len() * 2 * SMOKE_SIZES.len();
-        assert_eq!(cases.len(), 2 * algos * 2 + real_cells);
+        let new_phantom = Collective::new_operations_all().len() * SMOKE_SIZES.len();
+        let allgather_real = CipherSuite::ALL.len() * 2 * SMOKE_SIZES.len();
+        let new_real = 2 * SMOKE_SIZES.len();
+        assert_eq!(
+            cases.len(),
+            2 * algos * 2 + new_phantom + allgather_real + new_real
+        );
         assert!(cases.iter().all(|c| !c.cfg.nic_contention));
         assert!(cases.iter().all(|c| c.cfg.profile == "noleland"));
         let real: Vec<_> = cases.iter().filter(|c| c.cfg.data_seed.is_some()).collect();
-        assert_eq!(real.len(), real_cells);
-        assert!(real
-            .iter()
-            .all(|c| matches!(c.algo, Algorithm::ORing | Algorithm::OBruck)));
-        // Every suite appears in the real cells; phantom cells stay on the
-        // default suite.
+        assert_eq!(real.len(), allgather_real + new_real);
+        // Every suite appears in the all-gather real cells; the new
+        // collectives' real cells and all phantom cells stay on the default
+        // suite.
         for suite in CipherSuite::ALL {
             assert_eq!(
-                real.iter().filter(|c| c.cfg.suite == suite).count(),
+                real.iter()
+                    .filter(|c| c.cfg.suite == suite
+                        && matches!(c.collective, Collective::Allgather(_)))
+                    .count(),
                 2 * SMOKE_SIZES.len(),
                 "{suite}"
             );
         }
+        let new_real_cases: Vec<_> = real
+            .iter()
+            .filter(|c| !matches!(c.collective, Collective::Allgather(_)))
+            .collect();
+        assert_eq!(new_real_cases.len(), new_real);
+        assert!(new_real_cases
+            .iter()
+            .all(|c| c.cfg.suite == CipherSuite::AesGcm128));
         assert!(cases
             .iter()
             .filter(|c| c.cfg.data_seed.is_none())
             .all(|c| c.cfg.suite == CipherSuite::AesGcm128));
+        // Every new collective gets a phantom latency cell at every size.
+        for collective in Collective::new_operations_all() {
+            assert_eq!(
+                cases
+                    .iter()
+                    .filter(|c| c.collective == collective && c.cfg.data_seed.is_none())
+                    .count(),
+                SMOKE_SIZES.len(),
+                "{collective}"
+            );
+        }
     }
 
     #[test]
@@ -783,7 +903,7 @@ mod tests {
         };
         let entry = run_case(&SuiteCase {
             cfg,
-            algo: Algorithm::ORing,
+            collective: Collective::Allgather(Algorithm::ORing),
             msg_bytes: 512,
         });
         assert_eq!(entry.data_seed, Some(SMOKE_DATA_SEED));
@@ -798,13 +918,24 @@ mod tests {
     #[test]
     fn smoke_recovery_suite_shape() {
         let cases = smoke_recovery_suite();
-        // One f=1 cell per encrypted algorithm, plus f=2 and f=3 schedules
-        // for O-Ring and O-Bruck.
-        assert_eq!(cases.len(), Algorithm::encrypted_all().len() + 4);
+        // One f=1 cell per encrypted all-gather variant, f=2 and f=3
+        // schedules for O-Ring and O-Bruck, plus one f=1 cell per
+        // representative new operation.
+        assert_eq!(cases.len(), Algorithm::encrypted_all().len() + 4 + 3);
         assert!(cases.iter().all(|c| !c.cfg.nic_contention));
         let singles: Vec<_> = cases.iter().filter(|c| c.crashes.len() == 1).collect();
-        assert_eq!(singles.len(), Algorithm::encrypted_all().len());
-        assert!(singles.iter().all(|c| c.crashes[0] == Crash::before(0, 0)));
+        assert_eq!(singles.len(), Algorithm::encrypted_all().len() + 3);
+        assert!(singles
+            .iter()
+            .filter(|c| matches!(c.collective, Collective::Allgather(_)))
+            .all(|c| c.crashes[0] == Crash::before(0, 0)));
+        // The new-operation cells cover three distinct operations.
+        let ops: std::collections::BTreeSet<_> = singles
+            .iter()
+            .filter(|c| !matches!(c.collective, Collective::Allgather(_)))
+            .map(|c| c.collective.operation().name())
+            .collect();
+        assert_eq!(ops.len(), 3);
         // The f=3 schedules cascade into the first agreement instance.
         let deep: Vec<_> = cases.iter().filter(|c| c.crashes.len() == 3).collect();
         assert_eq!(deep.len(), 2);
@@ -823,7 +954,7 @@ mod tests {
         // And the suite reconstructs losslessly for the regress re-run path.
         let cases = recovery_suite_from_report(&report).unwrap();
         assert_eq!(cases.len(), 1);
-        assert_eq!(cases[0].algo, Algorithm::ORing);
+        assert_eq!(cases[0].collective, Collective::Allgather(Algorithm::ORing));
         assert_eq!(cases[0].cfg.p, e.p as usize);
     }
 

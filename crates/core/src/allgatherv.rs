@@ -14,9 +14,9 @@
 //! (the receive-count vector is global knowledge).
 
 use crate::algorithm::Algorithm;
-use crate::collective::{bruck_allgather_items, ring_allgather_items};
+use crate::collective::{bruck_allgather_items, recover_collective, ring_allgather_items};
 use crate::encrypted::{hs_v, o_bruck_over, o_ring_over, HsVariant};
-use crate::output::GatherOutput;
+use crate::output::{DegradedOutput, GatherOutput};
 use crate::tags;
 use eag_netsim::Rank;
 use eag_runtime::{Item, ProcCtx};
@@ -112,4 +112,97 @@ pub fn allgatherv(ctx: &mut ProcCtx, algo: Algorithm, lens: &[usize]) -> GatherO
     }
     assert!(out.is_complete(), "{algo} left the all-gather-v incomplete");
     out
+}
+
+/// Runs `algo` as an all-gather-v among `members` only: member `r`
+/// contributes `lens[r]` bytes (`lens` stays indexed by *global* rank, as
+/// everywhere else). Requires an algorithm in the intersection of
+/// [`Algorithm::supports_groups`] and [`Algorithm::supports_varying`]:
+/// Ring, rank-ordered Ring, Bruck, Naive, O-Ring, O-Bruck.
+pub fn allgatherv_group(
+    ctx: &mut ProcCtx,
+    algo: Algorithm,
+    lens: &[usize],
+    members: &[Rank],
+) -> GatherOutput {
+    assert_eq!(lens.len(), ctx.p(), "need one length per rank");
+    assert!(
+        algo.supports_groups() && algo.supports_varying(),
+        "{algo} does not support variable-length sub-communicator groups"
+    );
+    assert!(
+        members.contains(&ctx.rank()),
+        "calling rank {} is not in the group",
+        ctx.rank()
+    );
+    ctx.begin_collective();
+
+    let me = ctx.rank();
+    let my_chunk = ctx.my_block(lens[me]);
+    let mut out = GatherOutput::new_varying_sparse(lens.to_vec(), members);
+
+    use Algorithm::*;
+    match algo {
+        Ring => {
+            let items =
+                ring_allgather_items(ctx, members, vec![Item::Plain(my_chunk)], tags::PHASE_MAIN);
+            out.place_items(items);
+        }
+        RingRanked => {
+            let topo = ctx.topology().clone();
+            let mut ordered = members.to_vec();
+            ordered.sort_by_key(|&r| (topo.node_of(r), r));
+            let items =
+                ring_allgather_items(ctx, &ordered, vec![Item::Plain(my_chunk)], tags::PHASE_MAIN);
+            out.place_items(items);
+        }
+        Bruck => {
+            let items =
+                bruck_allgather_items(ctx, members, Item::Plain(my_chunk), tags::PHASE_MAIN);
+            out.place_items(items);
+        }
+        Naive => {
+            out.place(my_chunk.clone());
+            let sealed = Item::Sealed(ctx.encrypt(my_chunk));
+            let max_len = members.iter().map(|&r| lens[r]).max().unwrap_or(0);
+            let items = if max_len < ctx.mvapich_switch_bytes() {
+                bruck_allgather_items(ctx, members, sealed, tags::PHASE_MAIN)
+            } else {
+                ring_allgather_items(ctx, members, vec![sealed], tags::PHASE_MAIN)
+            };
+            for item in items {
+                let s = item.into_sealed();
+                if s.origins.iter().all(|&o| out.has(o)) {
+                    continue;
+                }
+                let c = ctx.decrypt(s);
+                out.place(c);
+            }
+        }
+        ORing => o_ring_over(ctx, members, my_chunk, &mut out, tags::PHASE_MAIN),
+        OBruck => o_bruck_over(ctx, members, my_chunk, &mut out, tags::PHASE_MAIN),
+        _ => unreachable!("capability vetted above"),
+    }
+    for &r in members {
+        assert!(out.has(r), "{algo} left member {r} unfilled");
+    }
+    out
+}
+
+/// [`allgatherv`] under the crash-recovery engine: run the variable-length
+/// all-gather, and on crashes agree on the failed set and re-run over the
+/// survivor group — with the original per-rank lengths, so the degraded
+/// output is byte-identical to a from-scratch group run. The re-run uses
+/// `algo` itself when it is group- and varying-capable, O-Ring otherwise.
+pub fn recover_allgatherv(ctx: &mut ProcCtx, algo: Algorithm, lens: &[usize]) -> DegradedOutput {
+    let rerun_algo = if algo.supports_groups() && algo.supports_varying() {
+        algo
+    } else {
+        Algorithm::ORing
+    };
+    recover_collective(
+        ctx,
+        |ctx| allgatherv(ctx, algo, lens),
+        |ctx, members| allgatherv_group(ctx, rerun_algo, lens, members),
+    )
 }

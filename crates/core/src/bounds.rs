@@ -1,7 +1,10 @@
-//! Theoretical bounds and predictions (paper Tables I and II).
+//! Theoretical bounds and predictions (paper Tables I and II), generalized
+//! per collective operation.
 
 use crate::algorithm::Algorithm;
 use crate::collective::ceil_log2;
+use crate::operation::Operation;
+use std::fmt;
 
 /// The six metrics of Section IV-A, as closed-form values.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -20,12 +23,61 @@ pub struct MetricSet {
     pub sd: u64,
 }
 
+/// Why a bounds query cannot be answered for a given world shape.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BoundsError {
+    /// `p == 0` or `nodes == 0`: no such world.
+    EmptyWorld,
+    /// `p` is not a multiple of `nodes`, so ℓ = p/N is undefined.
+    IndivisibleShape {
+        /// The offending process count.
+        p: usize,
+        /// The offending node count.
+        nodes: usize,
+    },
+}
+
+impl fmt::Display for BoundsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BoundsError::EmptyWorld => write!(f, "bounds need p >= 1 and nodes >= 1"),
+            BoundsError::IndivisibleShape { p, nodes } => {
+                write!(f, "p = {p} is not a multiple of nodes = {nodes}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for BoundsError {}
+
+fn check_shape(p: usize, nodes: usize) -> Result<usize, BoundsError> {
+    if p == 0 || nodes == 0 {
+        return Err(BoundsError::EmptyWorld);
+    }
+    if !p.is_multiple_of(nodes) {
+        return Err(BoundsError::IndivisibleShape { p, nodes });
+    }
+    Ok(p / nodes)
+}
+
 /// Table I: lower bounds for encrypted all-gather of `m`-byte blocks on `p`
-/// processes over `nodes` nodes (ℓ = p/nodes).
-pub fn lower_bounds(p: usize, nodes: usize, m: usize) -> MetricSet {
-    assert!(nodes >= 2, "a single node needs no encryption");
-    assert_eq!(p % nodes, 0);
-    let ell = p / nodes;
+/// processes over `nodes` nodes (ℓ = p/nodes). Unlike the original
+/// all-gather-only formulation, a single-node world is answered with
+/// degenerate bounds (communication terms unchanged, crypto terms zero —
+/// nothing crosses a node boundary) instead of asserting, so bench sweeps
+/// and `recommend` can probe arbitrary configurations.
+pub fn try_lower_bounds(p: usize, nodes: usize, m: usize) -> Result<MetricSet, BoundsError> {
+    let ell = check_shape(p, nodes)?;
+    if nodes == 1 {
+        return Ok(MetricSet {
+            rc: ceil_log2(p) as u64,
+            sc: ((p - 1) * m) as u64,
+            re: 0,
+            se: 0,
+            rd: 0,
+            sd: 0,
+        });
+    }
     // rd >= ceil( lg N / lg(ℓ+1) ): each decryption round can at most
     // multiply the number of nodes with known data by (ℓ+1).
     let rd = {
@@ -33,14 +85,92 @@ pub fn lower_bounds(p: usize, nodes: usize, m: usize) -> MetricSet {
         let lg_l1 = ((ell + 1) as f64).log2();
         (lg_n / lg_l1).ceil() as u64
     };
-    MetricSet {
+    Ok(MetricSet {
         rc: ceil_log2(p) as u64,
         sc: ((p - 1) * m) as u64,
         re: 1,
         se: m as u64,
         rd,
         sd: ((nodes - 1) * m) as u64,
-    }
+    })
+}
+
+/// Panicking convenience over [`try_lower_bounds`]: still total for any
+/// `nodes >= 1` (single-node worlds get the degenerate zero-crypto bounds),
+/// panicking only on shapes with no defined ℓ.
+pub fn lower_bounds(p: usize, nodes: usize, m: usize) -> MetricSet {
+    try_lower_bounds(p, nodes, m).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// Per-operation Table-I-style lower bounds (ℓ = p/nodes, N = nodes).
+///
+/// The communication terms follow the classic collective arguments; the
+/// crypto terms use the paper's channel model (every byte crossing a node
+/// boundary is sealed exactly where it exits and opened where it is
+/// consumed):
+///
+/// - **broadcast**: every non-root must receive the root's m bytes
+///   (`sc >= m`); the block crosses at least one node boundary, so some
+///   rank seals >= m and some rank opens >= m.
+/// - **gather**: the root receives (p−1) blocks (`sc >= (p-1)m`) and must
+///   end with the p−ℓ remote blocks in plaintext (`sd >= (p-ℓ)m`); at
+///   least one full block is sealed somewhere.
+/// - **scatter**: the root is the sole data holder, so every remote-bound
+///   byte is sealed by it (`se >= (p-ℓ)m`); each remote rank opens its own
+///   m bytes.
+/// - **all-to-all**: data from p distinct sources must reach every rank, and
+///   each receive at most doubles the known-source count (`rc >= ⌈lg p⌉`);
+///   p·(p−ℓ) pair-blocks cross node boundaries, so by averaging some rank
+///   seals >= (p−ℓ)m and some rank opens >= (p−ℓ)m.
+///
+/// The irregular (v) operations share their base operation's bounds with
+/// `m` read as the uniform per-rank block size.
+pub fn lower_bounds_op(
+    op: Operation,
+    p: usize,
+    nodes: usize,
+    m: usize,
+) -> Result<MetricSet, BoundsError> {
+    let ell = check_shape(p, nodes)?;
+    let mb = m as u64;
+    let remote = ((p - ell) * m) as u64;
+    // Crypto terms vanish on a single node: nothing crosses a boundary.
+    let one = u64::from(nodes >= 2);
+    Ok(match op {
+        Operation::Allgather | Operation::Allgatherv => try_lower_bounds(p, nodes, m)?,
+        Operation::Broadcast => MetricSet {
+            rc: u64::from(p > 1),
+            sc: if p > 1 { mb } else { 0 },
+            re: one,
+            se: one * mb,
+            rd: one,
+            sd: one * mb,
+        },
+        Operation::Gather | Operation::Gatherv => MetricSet {
+            rc: u64::from(p > 1),
+            sc: ((p - 1) * m) as u64,
+            re: one,
+            se: one * mb,
+            rd: one,
+            sd: remote,
+        },
+        Operation::Scatter | Operation::Scatterv => MetricSet {
+            rc: u64::from(p > 1),
+            sc: ((p - 1) * m) as u64,
+            re: one,
+            se: remote,
+            rd: one,
+            sd: one * mb,
+        },
+        Operation::Alltoall => MetricSet {
+            rc: ceil_log2(p) as u64,
+            sc: ((p - 1) * m) as u64,
+            re: one,
+            se: remote,
+            rd: one,
+            sd: remote,
+        },
+    })
 }
 
 /// Table II: the paper's closed-form metrics for each encrypted algorithm,

@@ -43,15 +43,22 @@ pub mod bounds;
 pub mod collective;
 pub mod encrypted;
 pub mod group;
+pub mod operation;
 pub mod output;
 pub mod unencrypted;
 
 pub use algorithm::{allgather, Algorithm};
-pub use allgatherv::allgatherv;
-pub use bounds::{lower_bounds, predict, predict_latency_us, recommend, MetricSet};
-pub use collective::recover_allgather;
+pub use allgatherv::{allgatherv, allgatherv_group, recover_allgatherv};
+pub use bounds::{
+    lower_bounds, lower_bounds_op, predict, predict_latency_us, recommend, try_lower_bounds,
+    BoundsError, MetricSet,
+};
+pub use collective::{recover_allgather, recover_collective};
 pub use eag_runtime::CipherSuite;
 pub use group::{allgather_group, Group};
+pub use operation::{
+    varying_lens, AlltoallAlgo, BcastAlgo, Collective, Operation, RootedAlgo,
+};
 pub use output::{DegradedOutput, GatherOutput};
 
 /// Tag-space layout: every phase of every algorithm draws its message tags
@@ -79,4 +86,10 @@ pub mod tags {
     /// Survivor agreement on the failed-rank set (crash recovery; the
     /// flooded-consensus round number is added to the base).
     pub const PHASE_AGREE: u64 = 14 << 20;
+    /// Scatter tree/linear exchange (scatter and scatterv).
+    pub const PHASE_SCATTER: u64 = 15 << 20;
+    /// All-to-all exchange (pairwise and Bruck variants).
+    pub const PHASE_A2A: u64 = 16 << 20;
+    /// Sealed length-exchange prologue of the irregular collectives.
+    pub const PHASE_LEN_XCHG: u64 = 17 << 20;
 }

@@ -1,6 +1,14 @@
-//! All-gather output assembly and verification.
+//! Collective output assembly and verification.
+//!
+//! [`GatherOutput`] is the single output container for every collective in
+//! the suite: a per-rank slot array with an *expected* mask. All-gather
+//! expects every slot at every rank; broadcast expects only the root's slot
+//! (at every rank); gather expects everything at the root and nothing
+//! elsewhere; scatter expects only the caller's own slot; all-to-all
+//! expects every slot, but filled with pair-keyed blocks verified by
+//! [`GatherOutput::verify_pairwise`].
 
-use eag_runtime::{pattern_block, Chunk, Data, Item};
+use eag_runtime::{pattern_block, pattern_block_pair, Chunk, Data, Item};
 
 /// The assembled result of an all-gather at one process: one block per rank.
 ///
@@ -58,6 +66,19 @@ impl GatherOutput {
             blocks,
             expected,
         }
+    }
+
+    /// A varying-length output buffer where only `members` (global ranks)
+    /// are expected — the allgatherv shape after a shrink-and-recover.
+    /// `lens` stays indexed by *global* rank.
+    pub fn new_varying_sparse(lens: Vec<usize>, members: &[usize]) -> Self {
+        let mut out = Self::new_varying(lens);
+        out.expected = vec![false; out.blocks.len()];
+        for &r in members {
+            assert!(r < out.blocks.len(), "member rank {r} out of range");
+            out.expected[r] = true;
+        }
+        out
     }
 
     /// Per-rank block length (uniform collectives only).
@@ -192,6 +213,33 @@ impl GatherOutput {
             );
         }
     }
+
+    /// Verifies a completed *personalized* output at rank `dst` (all-to-all):
+    /// every expected slot `src` must hold `pattern_block_pair(seed, src,
+    /// dst, len)`. Phantom outputs verify lengths only.
+    pub fn verify_pairwise(&self, seed: u64, dst: usize) {
+        let missing = self.missing();
+        assert!(
+            missing.is_empty(),
+            "all-to-all incomplete at rank {dst}: missing sources {missing:?}"
+        );
+        for (src, block) in self
+            .blocks
+            .iter()
+            .enumerate()
+            .filter(|&(r, _)| self.expected[r])
+        {
+            let chunk = block.as_ref().unwrap();
+            assert_eq!(chunk.data.len(), self.lens[src]);
+            if let Data::Real(bytes) = &chunk.data {
+                let expect = pattern_block_pair(seed, src, dst, self.lens[src]);
+                assert_eq!(
+                    bytes, &expect,
+                    "block {src}->{dst} corrupted in transit"
+                );
+            }
+        }
+    }
 }
 
 /// The result of a crash-tolerant all-gather ([`crate::recover_allgather`]):
@@ -236,16 +284,28 @@ impl DegradedOutput {
         self.output.verify_members(seed, &self.survivors());
     }
 
-    /// A canonical byte encoding of the failed set and every present block,
-    /// for cross-survivor byte-identity checks: two survivors agree on the
-    /// degraded result iff their encodings are equal.
-    pub fn canonical_bytes(&self) -> Vec<u8> {
+    /// A canonical byte encoding of the recovery *decision* alone — epochs
+    /// consumed and the agreed failed set. For replicated collectives
+    /// (all-gather, broadcast) survivors additionally agree on every block,
+    /// so [`DegradedOutput::canonical_bytes`] applies; for rooted or
+    /// personalized collectives (gather, scatter, all-to-all) each rank
+    /// legitimately holds different payload, and cross-survivor identity is
+    /// asserted on this header plus a per-role bit-exact payload check.
+    pub fn canonical_header(&self) -> Vec<u8> {
         let mut bytes = Vec::new();
         bytes.extend_from_slice(&self.epochs.to_le_bytes());
         bytes.extend_from_slice(&(self.failed.len() as u64).to_le_bytes());
         for &f in &self.failed {
             bytes.extend_from_slice(&(f as u64).to_le_bytes());
         }
+        bytes
+    }
+
+    /// A canonical byte encoding of the failed set and every present block,
+    /// for cross-survivor byte-identity checks: two survivors agree on the
+    /// degraded result iff their encodings are equal.
+    pub fn canonical_bytes(&self) -> Vec<u8> {
+        let mut bytes = self.canonical_header();
         for r in 0..self.output.p() {
             match self.output.get(r) {
                 Some(chunk) => {

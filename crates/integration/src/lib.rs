@@ -13,7 +13,7 @@
 
 #![deny(missing_docs)]
 
-use eag_core::{allgather, recover_allgather, Algorithm};
+use eag_core::{allgather, recover_allgather, Algorithm, Collective};
 use eag_netsim::{profile, Crash, FaultPlan, Mapping, Topology};
 use eag_runtime::{
     try_run, try_run_crashable, CollectiveError, DataMode, Metrics, RetryPolicy, RunReport,
@@ -281,6 +281,162 @@ pub fn crash_run(
     crash: Crash,
 ) -> CrashRunReport {
     crash_schedule_run(algo, p, nodes, m, vec![crash])
+}
+
+// ----- operation-generic harness ----------------------------------------
+
+/// The outcome of one crash-tolerant collective (any operation) under an
+/// injected crash schedule, checked against the operation's uniformity
+/// contract: replicated operations must yield the byte-identical degraded
+/// output at every survivor; rooted and personalized operations must agree
+/// on the canonical *header* (failed set + epochs) while each survivor's
+/// own output verifies bit-exact for its role.
+#[derive(Debug, Clone)]
+pub struct CollectiveCrashReport {
+    /// The collective exercised.
+    pub collective: Collective,
+    /// At least one planned crash actually fired.
+    pub fired: bool,
+    /// Every survivor decided the identical failed set, naming only ranks
+    /// that really crashed.
+    pub agreed: bool,
+    /// The per-operation uniformity contract held (canonical bytes for
+    /// replicated operations, canonical header otherwise).
+    pub uniform: bool,
+    /// Every survivor's output verified bit-exact for its role.
+    pub verified: bool,
+    /// Number of surviving ranks.
+    pub survivors: usize,
+    /// The ranks that actually died during the run, ascending.
+    pub crashed: Vec<usize>,
+    /// Completed shrink-and-recover re-runs, summed over ranks.
+    pub recoveries: u64,
+    /// The structured failure, if the world aborted instead of recovering.
+    pub error: Option<CollectiveError>,
+}
+
+impl CollectiveCrashReport {
+    /// True when the run upheld the full per-operation recovery contract.
+    pub fn ok(&self) -> bool {
+        self.error.is_none() && self.agreed && self.uniform && self.verified
+    }
+}
+
+/// Runs `Collective::recover` under an injected crash schedule and checks
+/// the per-operation recovery contract (see [`CollectiveCrashReport`]).
+pub fn collective_crash_run(
+    c: Collective,
+    p: usize,
+    nodes: usize,
+    m: usize,
+    crashes: Vec<Crash>,
+) -> CollectiveCrashReport {
+    let spec = crash_schedule_spec(p, nodes, crashes);
+    match try_run_crashable(&spec, move |ctx| c.recover(ctx, m)) {
+        Ok(report) => {
+            let sum = Metrics::component_sum(&report.metrics);
+            let replicated = c.operation().is_replicated();
+            let mut agreed = true;
+            let mut uniform = true;
+            let mut verified = true;
+            let mut canon: Option<Vec<u8>> = None;
+            let mut decided: Option<Vec<usize>> = None;
+            for (rank, out) in report.survivor_outputs() {
+                match &decided {
+                    Some(d) => agreed &= &out.failed == d,
+                    None => decided = Some(out.failed.clone()),
+                }
+                agreed &= out.failed.iter().all(|r| report.crashed.contains(r));
+                verified &= catch_unwind(AssertUnwindSafe(|| {
+                    c.verify(rank, &out.output, DATA_SEED)
+                }))
+                .is_ok();
+                let bytes = if replicated {
+                    out.canonical_bytes()
+                } else {
+                    out.canonical_header()
+                };
+                match &canon {
+                    Some(cb) => uniform &= cb == &bytes,
+                    None => canon = Some(bytes),
+                }
+            }
+            CollectiveCrashReport {
+                collective: c,
+                fired: !report.crashed.is_empty(),
+                agreed,
+                uniform,
+                verified,
+                survivors: p - report.crashed.len(),
+                crashed: report.crashed.clone(),
+                recoveries: sum.recoveries,
+                error: None,
+            }
+        }
+        Err(error) => CollectiveCrashReport {
+            collective: c,
+            fired: false,
+            agreed: false,
+            uniform: false,
+            verified: false,
+            survivors: 0,
+            crashed: Vec::new(),
+            recoveries: 0,
+            error: Some(error),
+        },
+    }
+}
+
+/// Runs a collective under `plan` and compares every rank's delivered
+/// blocks byte-for-byte against a fault-free run — the chaos contract,
+/// generalized to any operation (each rank compares only the slots its
+/// role delivers). Returns the faulted run's fault/retry counters.
+pub fn collective_chaos_run(
+    c: Collective,
+    p: usize,
+    nodes: usize,
+    m: usize,
+    plan: FaultPlan,
+) -> ChaosReport {
+    let deliver = move |ctx: &mut eag_runtime::ProcCtx| {
+        let out = c.run(ctx, m);
+        c.verify(ctx.rank(), &out, DATA_SEED);
+        // Sparse outputs are legal (gather delivers only at the root,
+        // scatter only the own slot): collect whatever this role holds.
+        (0..out.p())
+            .filter_map(|r| out.get(r).map(|b| (r, b.data.to_vec())))
+            .collect::<Vec<_>>()
+    };
+    let clean = try_run(&chaos_spec(p, nodes, FaultPlan::default()), deliver)
+        .unwrap_or_else(|e| panic!("{c}: fault-free reference failed: {e}"));
+    let algo = Algorithm::ORing; // report carrier only; unused for non-allgather
+    match try_run(&chaos_spec(p, nodes, plan), deliver) {
+        Ok(report) => {
+            let sum = Metrics::component_sum(&report.metrics);
+            ChaosReport {
+                algo,
+                byte_identical: report.outputs == clean.outputs,
+                error: None,
+                faults_injected: sum.faults_injected,
+                faults_detected: sum.faults_detected,
+                retries: sum.retries(),
+                dup_frames_dropped: sum.dup_frames_dropped,
+                retransmit_bytes: sum.retransmit_bytes,
+                latency_us: report.latency_us,
+            }
+        }
+        Err(error) => ChaosReport {
+            algo,
+            byte_identical: false,
+            error: Some(error),
+            faults_injected: 0,
+            faults_detected: 0,
+            retries: 0,
+            dup_frames_dropped: 0,
+            retransmit_bytes: 0,
+            latency_us: 0.0,
+        },
+    }
 }
 
 /// Renders crash-run reports as a per-algorithm summary table: how many

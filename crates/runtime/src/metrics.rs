@@ -69,6 +69,11 @@ pub struct Metrics {
     /// uniform world reports its suite and a default-padded slot never
     /// masks it.
     pub cipher_suite: u64,
+    /// Numeric id of the collective operation this rank last ran (0 =
+    /// unset; ids are assigned by the collective layer in `eag-core`).
+    /// Like `cipher_suite`, a label rather than a counter: aggregations
+    /// take the max so default-padded slots never mask it.
+    pub operation: u64,
 }
 
 impl Metrics {
@@ -118,6 +123,7 @@ impl Metrics {
             out.crashes_detected = out.crashes_detected.max(m.crashes_detected);
             out.recoveries = out.recoveries.max(m.recoveries);
             out.cipher_suite = out.cipher_suite.max(m.cipher_suite);
+            out.operation = out.operation.max(m.operation);
         }
         out
     }
@@ -148,8 +154,9 @@ impl Metrics {
             out.dup_frames_dropped += m.dup_frames_dropped;
             out.crashes_detected += m.crashes_detected;
             out.recoveries += m.recoveries;
-            // Label, not a counter: summing suite ids is meaningless.
+            // Labels, not counters: summing ids is meaningless.
             out.cipher_suite = out.cipher_suite.max(m.cipher_suite);
+            out.operation = out.operation.max(m.operation);
         }
         out
     }

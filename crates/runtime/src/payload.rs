@@ -406,7 +406,21 @@ impl Parcel {
 /// but reproducible, so receivers can verify content without communication.
 pub fn pattern_block(seed: u64, origin: Rank, len: usize) -> Vec<u8> {
     // splitmix64 stream keyed by (seed, origin).
-    let mut state = seed ^ (origin as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    splitmix_stream(seed ^ (origin as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15), len)
+}
+
+/// Deterministic test pattern for the *personalized* block rank `src` sends
+/// to rank `dst` (all-to-all traffic): keyed by the ordered pair, so the
+/// (0→1) block differs from (1→0) and from either rank's `pattern_block`.
+pub fn pattern_block_pair(seed: u64, src: Rank, dst: Rank, len: usize) -> Vec<u8> {
+    let key = seed
+        ^ (src as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        ^ (dst as u64).wrapping_mul(0xA076_1D64_78BD_642F);
+    splitmix_stream(key, len)
+}
+
+fn splitmix_stream(key: u64, len: usize) -> Vec<u8> {
+    let mut state = key;
     let mut out = Vec::with_capacity(len);
     while out.len() < len {
         state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);

@@ -621,6 +621,13 @@ impl<'w> ProcCtx<'w> {
         self.record_marker(EventKind::Recover { survivors });
     }
 
+    /// Labels this rank's metrics with the collective operation being run
+    /// (ids assigned by the collective layer in `eag-core`). Max-merged like
+    /// `cipher_suite`, so the label survives aggregation.
+    pub fn note_operation(&mut self, id: u64) {
+        self.metrics.operation = self.metrics.operation.max(id);
+    }
+
     /// Converts a crash reported by the node-shared segment (a same-node
     /// sibling died while we were blocked on its deposit or barrier) into
     /// the recoverable typed failure.
@@ -660,10 +667,32 @@ impl<'w> ProcCtx<'w> {
 
     /// This rank's own m-byte input block.
     pub fn my_block(&self, len: usize) -> Chunk {
+        self.block_for(self.rank, len)
+    }
+
+    /// The m-byte input block of rank `origin`, synthesized locally. Only a
+    /// rank that *owns* the data may call this (e.g. a scatter root, whose
+    /// send buffer holds every destination's block); the pattern is the same
+    /// one `origin` would generate with [`ProcCtx::my_block`], so the
+    /// standard output verification applies unchanged.
+    pub fn block_for(&self, origin: Rank, len: usize) -> Chunk {
         let data = match self.mode {
             DataMode::Real { seed } => {
-                Data::Real(crate::payload::pattern_block(seed, self.rank, len).into())
+                Data::Real(crate::payload::pattern_block(seed, origin, len).into())
             }
+            DataMode::Phantom => Data::Phantom(len),
+        };
+        Chunk::single(origin, data)
+    }
+
+    /// The *personalized* block this rank sends to `dst` in an all-to-all:
+    /// pair-keyed pattern (`pattern_block_pair`), carried under this rank's
+    /// origin so the receiver can identify the source from chunk metadata.
+    pub fn my_block_for(&self, dst: Rank, len: usize) -> Chunk {
+        let data = match self.mode {
+            DataMode::Real { seed } => Data::Real(
+                crate::payload::pattern_block_pair(seed, self.rank, dst, len).into(),
+            ),
             DataMode::Phantom => Data::Phantom(len),
         };
         Chunk::single(self.rank, data)

@@ -7,7 +7,7 @@
 
 use std::collections::BTreeMap;
 
-use eag_core::{allgather, Algorithm};
+use eag_core::{allgather, Algorithm, BcastAlgo, Collective};
 use eag_netsim::{profile, Mapping, Topology};
 use eag_runtime::{run, DataMode, WorldSpec};
 
@@ -79,6 +79,67 @@ fn phantom_equivalence_real_mode_p256() {
             "{algo} p=256 N=8 m=64: phantom run diverged from real run"
         );
     }
+}
+
+/// Observable shape of one collective run; sparse outputs (gather roots,
+/// scatter own-slots) contribute only the slots their role delivers.
+fn shape_collective(c: Collective, p: usize, nodes: usize, m: usize, mode: DataMode) -> Shape {
+    let spec = WorldSpec::new(
+        Topology::new(p, nodes, Mapping::Block),
+        profile::free(),
+        mode,
+    );
+    let report = run(&spec, move |ctx| {
+        let out = c.run(ctx, m);
+        (0..out.p())
+            .filter_map(|r| out.get(r).map(|b| b.data.len()))
+            .collect::<Vec<usize>>()
+    });
+    let mut link_frames: BTreeMap<(usize, usize), Vec<usize>> = BTreeMap::new();
+    for f in report.wiretap.frames() {
+        link_frames.entry((f.src, f.dst)).or_default().push(f.len);
+    }
+    for lens in link_frames.values_mut() {
+        lens.sort_unstable();
+    }
+    Shape {
+        block_lens: report.outputs,
+        link_frames,
+    }
+}
+
+/// Every new collective (broadcast, gather/scatter, the irregular
+/// variants, all-to-all) × (p, N) × message size: phantom lengths match
+/// the real-mode rope lengths, block by block and frame by frame. The
+/// sealed length-exchange prologue of the irregular operations carries
+/// real metadata bytes in both modes, so its frames must agree too.
+#[test]
+fn phantom_lengths_match_real_for_new_collectives() {
+    for c in Collective::new_operations_all() {
+        for (p, nodes) in [(8usize, 2usize), (16, 4), (12, 3)] {
+            for m in [1usize, 64, 1000] {
+                let phantom = shape_collective(c, p, nodes, m, DataMode::Phantom);
+                let real = shape_collective(c, p, nodes, m, DataMode::Real { seed: SEED });
+                assert_eq!(
+                    phantom, real,
+                    "{c} p={p} N={nodes} m={m}: phantom run diverged from real run"
+                );
+            }
+        }
+    }
+}
+
+/// Real-mode p=256 for a new collective: the binomial broadcast finishes
+/// in ⌈lg 256⌉ = 8 rounds, so the byte-carrying cell stays cheap.
+#[test]
+fn phantom_equivalence_real_mode_p256_broadcast() {
+    let c = Collective::Broadcast(BcastAlgo::Binomial);
+    let phantom = shape_collective(c, 256, 8, 64, DataMode::Phantom);
+    let real = shape_collective(c, 256, 8, 64, DataMode::Real { seed: SEED });
+    assert_eq!(
+        phantom, real,
+        "{c} p=256 N=8 m=64: phantom run diverged from real run"
+    );
 }
 
 /// The equivalence holds for the cyclic mapping too (different ranks are
